@@ -1,0 +1,145 @@
+// Command webfold computes the TLB-optimal load assignment for a routing
+// tree with WebFold (the paper's Figure 3 algorithm) and prints the folds,
+// the per-node assignment and the folding trace.
+//
+// Usage:
+//
+//	webfold -parents "-1 0 0 1 1 2 5 5" -rates "10 0 0 40 40 0 12 12" [-trace] [-dot]
+//	webfold -figure 2a|2b|4|6
+//	webfold -parents "-1 0" -rates "0 90" -capacity "1 2"   # heterogeneous servers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"webwave/internal/core"
+	"webwave/internal/fold"
+	"webwave/internal/tree"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "webfold:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("webfold", flag.ContinueOnError)
+	parents := fs.String("parents", "", "space-separated parent list (-1 marks the root)")
+	rates := fs.String("rates", "", "space-separated spontaneous request rates, one per node")
+	capacity := fs.String("capacity", "", "optional per-node capacities (heterogeneous servers)")
+	figure := fs.String("figure", "", "use a paper instance instead: 2a, 2b, 4 or 6")
+	showTrace := fs.Bool("trace", false, "print the folding sequence")
+	showDot := fs.Bool("dot", false, "print the tree in Graphviz DOT format")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	t, e, err := loadInstance(*figure, *parents, *rates)
+	if err != nil {
+		return err
+	}
+
+	var res *fold.Result
+	if *capacity != "" {
+		caps, err := parseVector(*capacity, t.Len())
+		if err != nil {
+			return fmt.Errorf("capacity: %w", err)
+		}
+		res, err = fold.ComputeWeighted(t, e, caps)
+		if err != nil {
+			return err
+		}
+		if err := fold.VerifyWeighted(t, e, caps, res, 1e-9); err != nil {
+			return fmt.Errorf("verification failed: %w", err)
+		}
+	} else {
+		res, err = fold.Compute(t, e)
+		if err != nil {
+			return err
+		}
+		if err := fold.VerifyAll(t, e, res, 1e-9); err != nil {
+			return fmt.Errorf("verification failed: %w", err)
+		}
+	}
+
+	fmt.Printf("nodes: %d, total rate: %.6g, GLE would be %.6g\n",
+		t.Len(), core.SumVec(e), core.SumVec(e)/float64(t.Len()))
+	fmt.Printf("TLB max load: %.6g, folds: %d, TLB==GLE: %v\n",
+		res.MaxLoad(), res.FoldCount(), res.IsGLE(1e-9))
+	fmt.Println()
+	fmt.Print(t.FormatWithValues([]string{"E", "L", "A"}, e, res.Load, res.Forward))
+	fmt.Println("\nfolds:")
+	for _, f := range res.Folds {
+		fmt.Printf("  root=%d load=%.6g members=%v\n", f.Root, f.Load, f.Members)
+	}
+	if *showTrace {
+		fmt.Println("\nfolding sequence:")
+		for i, s := range res.Trace {
+			fmt.Printf("  %2d: %s\n", i+1, s)
+		}
+	}
+	if *showDot {
+		fmt.Println()
+		fmt.Print(t.DOT("webfold", func(v int) string {
+			return fmt.Sprintf("%d\nE=%.4g L=%.4g", v, e[v], res.Load[v])
+		}))
+	}
+	return nil
+}
+
+func loadInstance(figure, parents, rates string) (*tree.Tree, core.Vector, error) {
+	switch figure {
+	case "2a":
+		t, e := tree.Figure2a()
+		return t, e, nil
+	case "2b":
+		t, e := tree.Figure2b()
+		return t, e, nil
+	case "4":
+		t, e := tree.Figure4()
+		return t, e, nil
+	case "6":
+		t, e := tree.Figure6()
+		return t, e, nil
+	case "":
+	default:
+		return nil, nil, fmt.Errorf("unknown figure %q (want 2a, 2b, 4 or 6)", figure)
+	}
+	if parents == "" {
+		return nil, nil, fmt.Errorf("either -figure or -parents/-rates is required")
+	}
+	t, err := tree.ParseParents(parents)
+	if err != nil {
+		return nil, nil, err
+	}
+	e, err := parseVector(rates, t.Len())
+	if err != nil {
+		return nil, nil, fmt.Errorf("rates: %w", err)
+	}
+	if err := core.ValidateRates(e, t.Len()); err != nil {
+		return nil, nil, err
+	}
+	return t, e, nil
+}
+
+func parseVector(s string, n int) (core.Vector, error) {
+	fields := strings.Fields(s)
+	if len(fields) != n {
+		return nil, fmt.Errorf("need %d values, got %d", n, len(fields))
+	}
+	out := make(core.Vector, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("value %d %q: %w", i, f, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestLoadInstanceFigures(t *testing.T) {
+	for _, fig := range []string{"2a", "2b", "4", "6"} {
+		tr, e, err := loadInstance(fig, "", "")
+		if err != nil {
+			t.Fatalf("figure %s: %v", fig, err)
+		}
+		if tr.Len() != len(e) {
+			t.Errorf("figure %s: tree %d nodes, %d rates", fig, tr.Len(), len(e))
+		}
+	}
+	if _, _, err := loadInstance("99", "", ""); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if _, _, err := loadInstance("", "", ""); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestLoadInstanceCustom(t *testing.T) {
+	tr, e, err := loadInstance("", "-1 0 0", "60 0 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 || e[0] != 60 {
+		t.Errorf("custom instance: n=%d e=%v", tr.Len(), e)
+	}
+	if _, _, err := loadInstance("", "-1 0", "1"); err == nil {
+		t.Error("rate count mismatch accepted")
+	}
+	if _, _, err := loadInstance("", "-1 0", "1 x"); err == nil {
+		t.Error("non-numeric rate accepted")
+	}
+	if _, _, err := loadInstance("", "bogus", "1"); err == nil {
+		t.Error("bogus parent list accepted")
+	}
+	if _, _, err := loadInstance("", "-1 0", "1 -5"); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestParseVector(t *testing.T) {
+	v, err := parseVector("1.5 2 3", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 1.5 || v[2] != 3 {
+		t.Errorf("parsed %v", v)
+	}
+	if _, err := parseVector("1 2", 3); err == nil {
+		t.Error("short vector accepted")
+	}
+	if _, err := parseVector("a b c", 3); err == nil {
+		t.Error("non-numeric vector accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// The full CLI path on paper figures and a weighted instance; output
+	// goes to stdout, correctness is signalled by the error.
+	cases := [][]string{
+		{"-figure", "4", "-trace"},
+		{"-figure", "2a", "-dot"},
+		{"-parents", "-1 0", "-rates", "0 90", "-capacity", "1 2"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+	if err := run([]string{"-figure", "4", "-capacity", "bad"}); err == nil {
+		t.Error("bad capacity accepted")
+	}
+	if err := run([]string{"-figure", "nope"}); err == nil {
+		t.Error("bad figure accepted")
+	}
+}

@@ -1,0 +1,58 @@
+// Command webwave-cluster starts a live WebWave cluster — one goroutine
+// server per routing-tree node speaking the wire protocol over an in-memory
+// transport — drives Zipf document traffic through it, and reports the
+// measured load distribution against the TLB optimum. (The same servers run
+// over TCP; see internal/cluster's TestClusterOverTCP.)
+//
+// Usage:
+//
+//	webwave-cluster [-docs 8] [-rate 4000] [-horizon 3] [-parents "-1 0 0 1 1 2 2"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"webwave/internal/repro"
+	"webwave/internal/tree"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "webwave-cluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("webwave-cluster", flag.ContinueOnError)
+	docs := fs.Int("docs", 8, "catalog size")
+	rate := fs.Float64("rate", 4000, "total request rate (req/s)")
+	horizon := fs.Float64("horizon", 3, "schedule length (s)")
+	seed := fs.Int64("seed", 7, "RNG seed")
+	parents := fs.String("parents", "-1 0 0 1 1 2 2", "routing tree parent list")
+	tunneling := fs.Bool("tunneling", true, "enable barrier tunneling")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	t, err := tree.ParseParents(*parents)
+	if err != nil {
+		return err
+	}
+	cfg := repro.LiveConfig{
+		Tree:      t,
+		NumDocs:   *docs,
+		TotalRate: *rate,
+		Horizon:   *horizon,
+		Seed:      *seed,
+		Tunneling: *tunneling,
+	}
+	res, err := repro.RunLiveCluster(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	return nil
+}

@@ -1,0 +1,130 @@
+// Command webwave-sim runs WebWave protocol simulations: synchronous
+// convergence to TLB on a chosen tree, the asynchronous variant with gossip
+// periods, delay and loss, and the document-level variant with potential
+// barriers and tunneling.
+//
+// Usage:
+//
+//	webwave-sim -mode sync   -n 60 -depth 9 -seed 1 [-rounds 4000]
+//	webwave-sim -mode async  -n 30 -seed 1 -delay 0.2 -loss 0.05
+//	webwave-sim -mode barrier [-rounds 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"webwave/internal/core"
+	"webwave/internal/fold"
+	"webwave/internal/repro"
+	"webwave/internal/stats"
+	"webwave/internal/trace"
+	"webwave/internal/tree"
+	"webwave/internal/wave"
+
+	"math/rand"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "webwave-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("webwave-sim", flag.ContinueOnError)
+	mode := fs.String("mode", "sync", "sync, async or barrier")
+	n := fs.Int("n", 60, "tree size")
+	depth := fs.Int("depth", 9, "exact tree height (sync/async modes)")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	rounds := fs.Int("rounds", 4000, "max rounds / samples")
+	delay := fs.Float64("delay", 0.1, "async: one-way message delay (s)")
+	jitter := fs.Float64("jitter", 0.05, "async: extra uniform delay (s)")
+	loss := fs.Float64("loss", 0, "async: gossip loss probability")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch *mode {
+	case "sync":
+		return runSync(*n, *depth, *seed, *rounds)
+	case "async":
+		return runAsync(*n, *depth, *seed, *delay, *jitter, *loss)
+	case "barrier":
+		return runBarrier(*rounds)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+func runSync(n, depth int, seed int64, rounds int) error {
+	rng := rand.New(rand.NewSource(seed))
+	t, err := tree.RandomDepth(n, depth, rng)
+	if err != nil {
+		return err
+	}
+	e := trace.UniformRates(n, 0, 100, rng)
+	tlb, err := fold.Compute(t, e)
+	if err != nil {
+		return err
+	}
+	s, err := wave.NewSim(t, e, wave.Config{Initial: wave.InitialSelf, Alpha: wave.LocalDegreeAlpha(t)})
+	if err != nil {
+		return err
+	}
+	rr, err := s.Run(tlb.Load, rounds, 1e-7)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("n=%d depth=%d folds=%d TLBmax=%.4g\n", n, t.Height(), tlb.FoldCount(), tlb.MaxLoad())
+	fmt.Printf("converged=%v rounds=%d d0=%.6g dEnd=%.6g totalLoad=%.6g (ΣE=%.6g)\n",
+		rr.Converged, rr.Rounds, rr.Distances[0], rr.Distances[len(rr.Distances)-1],
+		s.TotalLoad(), core.SumVec(e))
+	fmt.Printf("‖L−TLB‖ (log scale): %s\n", stats.LogSparkline(rr.Distances, 60))
+	if fit, err := stats.FitGeometric(rr.Distances); err == nil {
+		fmt.Printf("geometric fit: %s (paper: γ=%.6f se %.6f)\n", fit, repro.PaperGamma, repro.PaperGammaSE)
+	}
+	return nil
+}
+
+func runAsync(n, depth int, seed int64, delay, jitter, loss float64) error {
+	rng := rand.New(rand.NewSource(seed))
+	t, err := tree.RandomDepth(n, depth, rng)
+	if err != nil {
+		return err
+	}
+	e := trace.UniformRates(n, 0, 100, rng)
+	tlb, err := fold.Compute(t, e)
+	if err != nil {
+		return err
+	}
+	res, err := wave.RunAsync(t, e, tlb.Load, wave.AsyncConfig{
+		GossipPeriod:    1,
+		DiffusionPeriod: 1,
+		Delay:           delay,
+		Jitter:          jitter,
+		LossProb:        loss,
+		Seed:            seed,
+		Initial:         wave.InitialSelf,
+		Alpha:           wave.LocalDegreeAlpha(t),
+	}, 3000, 10)
+	if err != nil {
+		return err
+	}
+	last := res.Distances[len(res.Distances)-1]
+	fmt.Printf("async n=%d delay=%.3gs jitter=%.3gs loss=%.3g\n", n, delay, jitter, loss)
+	fmt.Printf("converged=%v d0=%.6g dEnd=%.6g messages=%d lost=%d inflight=%.4g\n",
+		res.Converged, res.Distances[0], last, res.MessagesSent, res.MessagesLost, res.InFlight)
+	return nil
+}
+
+func runBarrier(rounds int) error {
+	res, err := repro.RunFigure7(rounds)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	return nil
+}

@@ -1,0 +1,48 @@
+// Barrier: reproduce the paper's Figure 7 — a potential barrier that wedges
+// per-document diffusion, and the tunneling recovery that resolves it.
+//
+// Node 1 caches only d1 and d2, but its under-loaded child (node 2) only
+// requests d3: node 1 has nothing it may delegate (no sibling sharing), and
+// because its own load matches its parent's, the home server never notices.
+// Without tunneling the system stays wedged forever; with tunneling node 2
+// fetches d3 directly across the barrier and the tree settles at the TLB
+// optimum of 90 req/s per node.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"webwave"
+	"webwave/internal/repro"
+)
+
+func main() {
+	res, err := repro.RunFigure7(600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+
+	// The same scenario through the public API, step by step.
+	t, demand := repro.Figure7Demand()
+	sim, err := webwave.NewDocSim(t, demand, webwave.DocConfig{Tunneling: true}, repro.Figure7Placement())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nstep-by-step (tunneling on):")
+	for round := 0; round < 12; round++ {
+		fmt.Printf("  round %2d: load=%v barrier(node 1)=%v\n",
+			round, compact(sim.Load()), sim.IsBarrier(1))
+		sim.Step()
+	}
+	fmt.Printf("  copies of d3 now at nodes %v\n", sim.Copies(2))
+}
+
+func compact(v webwave.Vector) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(int(x*10)) / 10
+	}
+	return out
+}

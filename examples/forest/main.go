@@ -1,0 +1,59 @@
+// Forest: the paper's Section 7 future-work question, made runnable — how
+// does WebWave behave on the forest of overlapping routing trees that is
+// the Internet?
+//
+// Each of k trees is rooted at a different home server over the same 30
+// servers, and every server participates in all k trees at once. Running
+// one WebWave instance per tree on its own load reaches each tree's TLB,
+// but the per-node TOTALS can stack; coupling the instances — diffusion
+// decisions driven by total node load, moves still bounded by each tree's
+// no-sibling-sharing cap — balances the totals strictly better.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"webwave"
+)
+
+func main() {
+	for _, k := range []int{1, 2, 4, 8} {
+		f, err := webwave.RandomForest(30, k, 1000, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmp, err := webwave.CompareForest(f, 4000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(cmp)
+	}
+
+	// The coupled simulator step by step on a small forest.
+	f, err := webwave.RandomForest(12, 3, 300, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := webwave.NewForestSim(f, webwave.ForestConfig{Coupling: webwave.ForestCoupled})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncoupled balancing of total node load (12 servers, 3 trees):")
+	for round := 0; round <= 60; round += 10 {
+		totals := sim.Totals()
+		max, min := totals[0], totals[0]
+		for _, x := range totals {
+			if x > max {
+				max = x
+			}
+			if x < min {
+				min = x
+			}
+		}
+		fmt.Printf("  round %3d: max total %.1f, spread %.1f\n", round, max, max-min)
+		for i := 0; i < 10; i++ {
+			sim.Step()
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// HTTP gateway example: publish a live WebWave tree as an ordinary web
+// service, fetch a hot document repeatedly over real HTTP, and watch the
+// X-WebWave-Served-By header migrate down the tree as the protocol
+// delegates cache copies toward the clients.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"webwave"
+)
+
+func main() {
+	// A binary tree of 7 live cache servers; the root publishes two
+	// documents, one hot and one cold.
+	t, err := webwave.NewTree([]int{-1, 0, 0, 1, 1, 2, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	docs := map[webwave.DocID][]byte{
+		"hot.html":  []byte("<h1>the document everyone wants</h1>"),
+		"cold.html": []byte("<h1>rarely read</h1>"),
+	}
+	c, err := webwave.NewCluster(t, docs, webwave.ClusterConfig{
+		GossipPeriod:    15 * time.Millisecond,
+		DiffusionPeriod: 30 * time.Millisecond,
+		Window:          300 * time.Millisecond,
+		Tunneling:       true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+
+	// Front the tree with the HTTP gateway; clients enter at leaf 3.
+	gw := webwave.NewGateway(c, webwave.GatewayConfig{Origin: webwave.FixedOrigin(3)})
+	defer gw.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: gw, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving WebWave over HTTP at %s/docs/hot.html\n\n", base)
+
+	// Hammer the hot document and sample who serves it over time. Early
+	// requests climb all the way to the home server (node 0, 2 hops from
+	// leaf 3); as WebWave measures the imbalance it pushes copies down, and
+	// later requests are served closer to the client.
+	servedBy := make(map[string]int)
+	var lastHeader string
+	for i := 0; i < 600; i++ {
+		resp, err := http.Get(base + "/docs/hot.html")
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("GET hot.html: status %d", resp.StatusCode)
+		}
+		if len(body) == 0 {
+			log.Fatal("empty body")
+		}
+		lastHeader = resp.Header.Get("X-WebWave-Served-By")
+		servedBy[lastHeader]++
+		if i%100 == 99 {
+			fmt.Printf("after %3d requests: served-by histogram %v\n", i+1, servedBy)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	fmt.Printf("\nfinal served-by distribution: %v\n", servedBy)
+	fmt.Printf("most recent request answered by node %s\n", lastHeader)
+	if len(servedBy) > 1 {
+		fmt.Println("=> cache copies spread off the home server: requests now stumble on en-route copies")
+	}
+
+	// The cold document still comes from the home server.
+	resp, err := http.Get(base + "/docs/cold.html")
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	fmt.Printf("cold.html served by node %s (hops %s)\n",
+		resp.Header.Get("X-WebWave-Served-By"), resp.Header.Get("X-WebWave-Hops"))
+}

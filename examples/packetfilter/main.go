@@ -1,0 +1,79 @@
+// Packet-filter example: the byte-level router fast path of WebWave's
+// architecture. A cache server installs per-document filters into its
+// router; the router classifies raw request packets without decoding them,
+// extracting cache hits from the forwarding path and passing everything
+// else upstream — the paper's "requests stumble on cache copies en route"
+// made concrete at the wire level.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"webwave"
+)
+
+func main() {
+	const treeID = 1
+
+	// The router's filter table for this node. A server installs one
+	// filter per cached document; the table compiles them into a single
+	// DPF-style decision DAG with an O(1) hash dispatch on the document
+	// hash field.
+	table := webwave.NewFilterTable(treeID)
+	for i := 0; i < 1000; i++ {
+		table.Install(webwave.DocID(fmt.Sprintf("site/page-%04d.html", i)))
+	}
+	st := table.TreeStats()
+	fmt.Printf("installed %d document filters\n", table.Len())
+	fmt.Printf("compiled DAG: %d dispatch node(s) (max fanout %d), %d test nodes\n\n",
+		st.Dispatches, st.MaxFanout, st.Tests)
+
+	// Classify a mix of packets the router would see.
+	packets := []struct {
+		label string
+		pkt   []byte
+	}{
+		{"request for a cached page", webwave.EncodeRequestPacket(treeID, "site/page-0042.html", 7, 1)},
+		{"request for an uncached page", webwave.EncodeRequestPacket(treeID, "site/other.html", 7, 2)},
+		{"request on another routing tree", webwave.EncodeRequestPacket(treeID+1, "site/page-0042.html", 7, 3)},
+		{"garbage bytes", []byte("not a webwave packet at all")},
+	}
+	for _, p := range packets {
+		doc, _, hit := table.Classify(p.pkt)
+		verdict := "pass upstream"
+		if hit {
+			verdict = fmt.Sprintf("EXTRACT -> serve %q locally", doc)
+		}
+		fmt.Printf("%-34s %s\n", p.label+":", verdict)
+	}
+
+	// Per-packet cost: the paper cites DPF's 1.51 µs/packet (1996 hardware)
+	// as feasibility evidence. Measure this engine on the same job: one
+	// packet against a 1000-filter table.
+	probe := webwave.EncodeRequestPacket(treeID, "site/page-0777.html", 9, 4)
+	const rounds = 2_000_000
+	start := time.Now()
+	hits := 0
+	for i := 0; i < rounds; i++ {
+		if _, ok := table.ClassifyAction(probe); ok {
+			hits++
+		}
+	}
+	elapsed := time.Since(start)
+	if hits != rounds {
+		log.Fatalf("expected %d hits, got %d", rounds, hits)
+	}
+	perPacket := elapsed / rounds
+	fmt.Printf("\nclassified %d packets in %v: %v/packet (DPF 1996 reference point: 1.51 µs)\n",
+		rounds, elapsed.Round(time.Millisecond), perPacket)
+
+	// Parse validates what filters only match: endpoints verify the
+	// carried hash against the carried name before trusting a packet.
+	h, err := webwave.ParsePacket(probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed probe: kind=%v tree=%d doc=%q origin=%d\n", h.Kind, h.Tree, h.Name, h.Origin)
+}

@@ -1,0 +1,271 @@
+// Package baseline implements the comparison systems the paper argues
+// against in Sections 1 and 6, as analytic capacity models: no caching at
+// all, caching with a central cache-directory service (the Harvest-style
+// architecture whose directory "cannot be replicated efficiently on a large
+// scale"), ICP-style sibling probing (extra protocol messages and
+// round-trip delays per request), and DNS round-robin server selection
+// (replicates only the home server, cannot use en-route capacity).
+//
+// Each system reports, for a given routing tree, demand vector and per-node
+// capacity, its aggregate throughput, maximum per-node load, and control
+// message overhead — the quantities behind the paper's scalability
+// argument. WebWave itself is evaluated through its TLB assignment
+// (internal/fold), which the distributed protocol provably approaches.
+package baseline
+
+import (
+	"fmt"
+
+	"webwave/internal/core"
+	"webwave/internal/fold"
+	"webwave/internal/tree"
+)
+
+// Params holds the cost model shared by all systems.
+type Params struct {
+	// NodeCapacity is each cache server's service capacity, requests/s.
+	NodeCapacity float64
+	// DirectoryCapacity is the central directory's lookup capacity,
+	// requests/s (directory-based system only).
+	DirectoryCapacity float64
+	// ProbeFanout is the number of siblings an ICP node probes per miss.
+	ProbeFanout int
+	// ProbeCost is the fraction of a request's service cost consumed by
+	// processing one probe message.
+	ProbeCost float64
+	// DNSReplicas is the number of full home-server replicas the
+	// round-robin DNS spreads requests over.
+	DNSReplicas int
+	// GossipOverheadPerReq is WebWave's amortized control messages per
+	// request (gossip is periodic, so this shrinks as demand grows; a
+	// conservative constant keeps the comparison honest).
+	GossipOverheadPerReq float64
+}
+
+// DefaultParams returns the cost model used by the X1 experiment.
+func DefaultParams() Params {
+	return Params{
+		NodeCapacity:         1000,
+		DirectoryCapacity:    5000,
+		ProbeFanout:          3,
+		ProbeCost:            0.05,
+		DNSReplicas:          4,
+		GossipOverheadPerReq: 0.1,
+	}
+}
+
+// Metrics is a system's steady-state evaluation.
+type Metrics struct {
+	Name string
+	// Throughput is the aggregate request rate actually served, given the
+	// capacity model (requests/s).
+	Throughput float64
+	// MaxLoad is the highest per-node offered load under the system's
+	// placement (requests/s), before capacity clipping.
+	MaxLoad float64
+	// ServingNodes is the number of nodes carrying any load.
+	ServingNodes int
+	// ControlMsgsPerReq is protocol overhead per client request.
+	ControlMsgsPerReq float64
+	// Bottleneck names the limiting component at saturation.
+	Bottleneck string
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("%-12s thr=%8.0f maxload=%8.0f nodes=%3d ctl/req=%.2f bottleneck=%s",
+		m.Name, m.Throughput, m.MaxLoad, m.ServingNodes, m.ControlMsgsPerReq, m.Bottleneck)
+}
+
+// System evaluates one caching architecture on a workload.
+type System interface {
+	Name() string
+	Evaluate(t *tree.Tree, e core.Vector, p Params) (Metrics, error)
+}
+
+// clip sums min(load, cap) over a load vector.
+func clip(loads core.Vector, cap float64) (throughput float64, serving int) {
+	for _, l := range loads {
+		if l <= 0 {
+			continue
+		}
+		serving++
+		if l > cap {
+			l = cap
+		}
+		throughput += l
+	}
+	return throughput, serving
+}
+
+// ---------------------------------------------------------------------------
+
+// NoCache serves every request at the home server.
+type NoCache struct{}
+
+// Name implements System.
+func (NoCache) Name() string { return "no-cache" }
+
+// Evaluate implements System.
+func (NoCache) Evaluate(t *tree.Tree, e core.Vector, p Params) (Metrics, error) {
+	if err := core.ValidateRates(e, t.Len()); err != nil {
+		return Metrics{}, fmt.Errorf("baseline no-cache: %w", err)
+	}
+	total := core.SumVec(e)
+	thr := total
+	if thr > p.NodeCapacity {
+		thr = p.NodeCapacity
+	}
+	return Metrics{
+		Name:              "no-cache",
+		Throughput:        thr,
+		MaxLoad:           total,
+		ServingNodes:      1,
+		ControlMsgsPerReq: 0,
+		Bottleneck:        "home server",
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+
+// WebWave serves requests under the TLB assignment — what the distributed
+// protocol converges to.
+type WebWave struct{}
+
+// Name implements System.
+func (WebWave) Name() string { return "webwave" }
+
+// Evaluate implements System.
+func (WebWave) Evaluate(t *tree.Tree, e core.Vector, p Params) (Metrics, error) {
+	res, err := fold.Compute(t, e)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("baseline webwave: %w", err)
+	}
+	thr, serving := clip(res.Load, p.NodeCapacity)
+	return Metrics{
+		Name:              "webwave",
+		Throughput:        thr,
+		MaxLoad:           res.MaxLoad(),
+		ServingNodes:      serving,
+		ControlMsgsPerReq: p.GossipOverheadPerReq,
+		Bottleneck:        "largest fold",
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+
+// Directory is a caching system with a central cache directory: placement
+// is unconstrained (GLE), but every request performs a directory lookup, so
+// aggregate throughput is capped by the directory's capacity — the paper's
+// scalability bottleneck.
+type Directory struct{}
+
+// Name implements System.
+func (Directory) Name() string { return "directory" }
+
+// Evaluate implements System.
+func (Directory) Evaluate(t *tree.Tree, e core.Vector, p Params) (Metrics, error) {
+	if err := core.ValidateRates(e, t.Len()); err != nil {
+		return Metrics{}, fmt.Errorf("baseline directory: %w", err)
+	}
+	gle := fold.GLE(e)
+	thr, serving := clip(gle, p.NodeCapacity)
+	bottleneck := "node capacity"
+	if thr > p.DirectoryCapacity {
+		thr = p.DirectoryCapacity
+		bottleneck = "directory"
+	}
+	maxLoad, _ := core.MaxVec(gle)
+	return Metrics{
+		Name:              "directory",
+		Throughput:        thr,
+		MaxLoad:           maxLoad,
+		ServingNodes:      serving,
+		ControlMsgsPerReq: 2, // lookup + reply
+		Bottleneck:        bottleneck,
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+
+// ICP models sibling-probing hierarchical caches: placement is as good as
+// WebWave's TLB (probes do locate en-route copies), but every node spends
+// ProbeCost of its capacity per probe it handles, and each miss costs
+// 2·ProbeFanout messages.
+type ICP struct{}
+
+// Name implements System.
+func (ICP) Name() string { return "icp-probe" }
+
+// Evaluate implements System.
+func (ICP) Evaluate(t *tree.Tree, e core.Vector, p Params) (Metrics, error) {
+	res, err := fold.Compute(t, e)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("baseline icp: %w", err)
+	}
+	// Probe processing consumes capacity: each served request cost 1 and
+	// each node also answers probes from ProbeFanout siblings.
+	overhead := 1 + float64(2*p.ProbeFanout)*p.ProbeCost
+	effCap := p.NodeCapacity / overhead
+	thr, serving := clip(res.Load, effCap)
+	return Metrics{
+		Name:              "icp-probe",
+		Throughput:        thr,
+		MaxLoad:           res.MaxLoad(),
+		ServingNodes:      serving,
+		ControlMsgsPerReq: float64(2 * p.ProbeFanout),
+		Bottleneck:        "probe overhead",
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+
+// DNSRoundRobin replicates the home server DNSReplicas times and spreads
+// requests evenly over the replicas; interior tree capacity goes unused and
+// every replica stores the full document set.
+type DNSRoundRobin struct{}
+
+// Name implements System.
+func (DNSRoundRobin) Name() string { return "dns-rr" }
+
+// Evaluate implements System.
+func (DNSRoundRobin) Evaluate(t *tree.Tree, e core.Vector, p Params) (Metrics, error) {
+	if err := core.ValidateRates(e, t.Len()); err != nil {
+		return Metrics{}, fmt.Errorf("baseline dns-rr: %w", err)
+	}
+	k := p.DNSReplicas
+	if k < 1 {
+		k = 1
+	}
+	total := core.SumVec(e)
+	perReplica := total / float64(k)
+	thr := total
+	if perReplica > p.NodeCapacity {
+		thr = float64(k) * p.NodeCapacity
+	}
+	return Metrics{
+		Name:              "dns-rr",
+		Throughput:        thr,
+		MaxLoad:           perReplica,
+		ServingNodes:      k,
+		ControlMsgsPerReq: 1, // the resolver hop
+		Bottleneck:        "replica set",
+	}, nil
+}
+
+// All returns every implemented system, WebWave first.
+func All() []System {
+	return []System{WebWave{}, NoCache{}, Directory{}, ICP{}, DNSRoundRobin{}}
+}
+
+// Compare evaluates all systems on one workload.
+func Compare(t *tree.Tree, e core.Vector, p Params) ([]Metrics, error) {
+	var out []Metrics
+	for _, s := range All() {
+		m, err := s.Evaluate(t, e, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

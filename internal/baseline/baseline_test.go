@@ -1,0 +1,202 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"webwave/internal/core"
+	"webwave/internal/trace"
+	"webwave/internal/tree"
+)
+
+func smallWorkload(t *testing.T) (*tree.Tree, core.Vector) {
+	t.Helper()
+	tr := tree.MustFromParents([]int{tree.NoParent, 0, 0, 1, 1})
+	return tr, core.Vector{100, 200, 300, 400, 500} // total 1500
+}
+
+func TestNoCache(t *testing.T) {
+	tr, e := smallWorkload(t)
+	p := Params{NodeCapacity: 1000}
+	m, err := NoCache{}.Evaluate(tr, e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxLoad != 1500 {
+		t.Errorf("MaxLoad = %v, want 1500 (everything at the home)", m.MaxLoad)
+	}
+	if m.Throughput != 1000 {
+		t.Errorf("Throughput = %v, want capped at 1000", m.Throughput)
+	}
+	if m.ServingNodes != 1 {
+		t.Errorf("ServingNodes = %d, want 1", m.ServingNodes)
+	}
+}
+
+func TestWebWaveUsesTLB(t *testing.T) {
+	tr, e := smallWorkload(t)
+	p := Params{NodeCapacity: 1000}
+	m, err := WebWave{}.Evaluate(tr, e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TLB for this instance: max load must be far below the no-cache 1500
+	// and at least the GLE average 300.
+	if m.MaxLoad >= 1500 || m.MaxLoad < 300 {
+		t.Errorf("MaxLoad = %v", m.MaxLoad)
+	}
+	// Under this capacity nothing clips, so throughput is the full demand.
+	if math.Abs(m.Throughput-1500) > 1e-9 {
+		t.Errorf("Throughput = %v, want 1500", m.Throughput)
+	}
+	if m.ServingNodes != 5 {
+		t.Errorf("ServingNodes = %d, want 5", m.ServingNodes)
+	}
+}
+
+func TestDirectorySaturates(t *testing.T) {
+	tr, e := smallWorkload(t)
+	p := Params{NodeCapacity: 1000, DirectoryCapacity: 700}
+	m, err := Directory{}.Evaluate(tr, e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Throughput != 700 {
+		t.Errorf("Throughput = %v, want directory cap 700", m.Throughput)
+	}
+	if m.Bottleneck != "directory" {
+		t.Errorf("Bottleneck = %q", m.Bottleneck)
+	}
+	if m.ControlMsgsPerReq != 2 {
+		t.Errorf("ControlMsgsPerReq = %v, want 2", m.ControlMsgsPerReq)
+	}
+}
+
+func TestICPPaysProbeTax(t *testing.T) {
+	tr, e := smallWorkload(t)
+	p := Params{NodeCapacity: 1000, ProbeFanout: 3, ProbeCost: 0.05}
+	icp, err := ICP{}.Evaluate(tr, e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ww, err := WebWave{}.Evaluate(tr, e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if icp.Throughput > ww.Throughput {
+		t.Errorf("ICP throughput %v exceeds WebWave %v", icp.Throughput, ww.Throughput)
+	}
+	if icp.ControlMsgsPerReq != 6 {
+		t.Errorf("ControlMsgsPerReq = %v, want 6", icp.ControlMsgsPerReq)
+	}
+}
+
+func TestICPClipsAtEffectiveCapacity(t *testing.T) {
+	// Force clipping: demand exceeding the probe-taxed capacity.
+	tr := tree.MustFromParents([]int{tree.NoParent, 0})
+	e := core.Vector{0, 5000}
+	p := Params{NodeCapacity: 1000, ProbeFanout: 5, ProbeCost: 0.1}
+	m, err := ICP{}.Evaluate(tr, e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effCap := 1000.0 / 2.0 // 1 + 2·5·0.1 = 2
+	if m.Throughput > 2*effCap+1e-9 {
+		t.Errorf("Throughput = %v, want <= %v", m.Throughput, 2*effCap)
+	}
+}
+
+func TestDNSRoundRobin(t *testing.T) {
+	tr, e := smallWorkload(t)
+	p := Params{NodeCapacity: 1000, DNSReplicas: 3}
+	m, err := DNSRoundRobin{}.Evaluate(tr, e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxLoad != 500 {
+		t.Errorf("MaxLoad = %v, want 1500/3", m.MaxLoad)
+	}
+	if m.Throughput != 1500 {
+		t.Errorf("Throughput = %v", m.Throughput)
+	}
+	// Saturation case.
+	p.DNSReplicas = 1
+	m, err = DNSRoundRobin{}.Evaluate(tr, e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Throughput != 1000 {
+		t.Errorf("saturated throughput = %v, want 1000", m.Throughput)
+	}
+	// Replica count below 1 is clamped.
+	p.DNSReplicas = 0
+	if _, err := (DNSRoundRobin{}).Evaluate(tr, e, p); err != nil {
+		t.Errorf("clamped replicas rejected: %v", err)
+	}
+}
+
+func TestCompareAllSystems(t *testing.T) {
+	tr, e := smallWorkload(t)
+	ms, err := Compare(tr, e, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(All()) {
+		t.Fatalf("Compare returned %d systems, want %d", len(ms), len(All()))
+	}
+	for _, m := range ms {
+		if m.String() == "" {
+			t.Error("empty metrics string")
+		}
+		if m.Throughput < 0 || m.MaxLoad < 0 {
+			t.Errorf("%s: negative metrics %+v", m.Name, m)
+		}
+	}
+}
+
+func TestScalabilityShape(t *testing.T) {
+	// The paper's core claim: WebWave throughput grows with system size,
+	// the directory-based design saturates.
+	p := DefaultParams()
+	var wwPrev, dirAt100, dirAt1000 float64
+	for _, n := range []int{100, 1000} {
+		rng := rand.New(rand.NewSource(1))
+		tr, err := tree.Random(n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := trace.UniformRates(n, 0, 1000, rng)
+		ww, err := WebWave{}.Evaluate(tr, e, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir, err := Directory{}.Evaluate(tr, e, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 100 {
+			wwPrev = ww.Throughput
+			dirAt100 = dir.Throughput
+		} else {
+			if ww.Throughput < 5*wwPrev {
+				t.Errorf("WebWave throughput grew only %v -> %v for 10x nodes", wwPrev, ww.Throughput)
+			}
+			dirAt1000 = dir.Throughput
+			if dirAt1000 > dirAt100+1e-9 {
+				t.Errorf("directory throughput grew %v -> %v; should saturate", dirAt100, dirAt1000)
+			}
+		}
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent, 0})
+	bad := core.Vector{1}
+	p := DefaultParams()
+	for _, s := range All() {
+		if _, err := s.Evaluate(tr, bad, p); err == nil {
+			t.Errorf("%s accepted short rate vector", s.Name())
+		}
+	}
+}

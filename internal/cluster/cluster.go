@@ -1,0 +1,390 @@
+// Package cluster assembles live WebWave servers (internal/server) into a
+// routing tree over a transport, injects client request traffic from a
+// schedule, and scrapes per-node metrics — the test and demonstration
+// harness for the live protocol.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webwave/internal/core"
+	"webwave/internal/netproto"
+	"webwave/internal/server"
+	"webwave/internal/stats"
+	"webwave/internal/trace"
+	"webwave/internal/transport"
+	"webwave/internal/tree"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Network is the transport; nil means a zero-latency in-memory network.
+	Network transport.Network
+	// AddrFor maps a node id to its listen address. nil yields "node-<id>"
+	// (memory networks) — pass 127.0.0.1:0-style addresses for TCP.
+	AddrFor func(id int) string
+
+	GossipPeriod    time.Duration
+	DiffusionPeriod time.Duration
+	Window          time.Duration
+
+	Tunneling       bool
+	BarrierPatience int
+	Alpha           float64 // 0 = per-node 1/(degree+1)
+}
+
+// Cluster is a running tree of live servers.
+type Cluster struct {
+	t       *tree.Tree
+	cfg     Config
+	net     transport.Network
+	servers []*server.Server
+	addrs   []string
+
+	injectMu    sync.Mutex
+	injectConns []transport.Conn
+	reqSeq      []uint64
+
+	outstanding atomic.Int64
+	responses   atomic.Int64
+	totalHops   atomic.Int64
+	servedByMu  sync.Mutex
+	servedBy    map[int]int64
+	sentAt      map[pendingKey]time.Time
+	latencies   []float64 // seconds, one per answered request
+}
+
+// pendingKey identifies an in-flight request for latency accounting.
+type pendingKey struct {
+	origin int
+	reqID  uint64
+}
+
+// New starts one server per tree node (parents before children, so child
+// dials succeed) and opens an injection connection to every node.
+func New(t *tree.Tree, docs map[core.DocID][]byte, cfg Config) (*Cluster, error) {
+	netw := cfg.Network
+	if netw == nil {
+		netw = transport.NewMemoryNetwork(transport.MemoryOptions{})
+	}
+	addrFor := cfg.AddrFor
+	if addrFor == nil {
+		addrFor = func(id int) string { return fmt.Sprintf("node-%d", id) }
+	}
+	c := &Cluster{
+		t:           t,
+		cfg:         cfg,
+		net:         netw,
+		servers:     make([]*server.Server, t.Len()),
+		addrs:       make([]string, t.Len()),
+		injectConns: make([]transport.Conn, t.Len()),
+		reqSeq:      make([]uint64, t.Len()),
+		servedBy:    make(map[int]int64),
+		sentAt:      make(map[pendingKey]time.Time),
+	}
+
+	for _, v := range t.BFSOrder() {
+		scfg := server.Config{
+			ID:              v,
+			Addr:            addrFor(v),
+			ParentID:        -1,
+			GossipPeriod:    cfg.GossipPeriod,
+			DiffusionPeriod: cfg.DiffusionPeriod,
+			Window:          cfg.Window,
+			Tunneling:       cfg.Tunneling,
+			BarrierPatience: cfg.BarrierPatience,
+			Alpha:           cfg.Alpha,
+			Network:         netw,
+		}
+		if v == t.Root() {
+			scfg.Docs = docs
+		} else {
+			scfg.ParentID = t.Parent(v)
+			scfg.ParentAddr = c.addrs[t.Parent(v)]
+			scfg.HomeAddr = c.addrs[t.Root()]
+		}
+		srv, err := server.New(scfg)
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("cluster: node %d: %w", v, err)
+		}
+		if err := srv.Start(); err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("cluster: start node %d: %w", v, err)
+		}
+		c.servers[v] = srv
+		c.addrs[v] = srv.Addr()
+	}
+
+	// One injection conn per node, with a response-collector goroutine.
+	for v := 0; v < t.Len(); v++ {
+		conn, err := netw.Dial(c.addrs[v])
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("cluster: dial injector %d: %w", v, err)
+		}
+		c.injectConns[v] = conn
+		go c.collect(conn)
+	}
+	return c, nil
+}
+
+func (c *Cluster) collect(conn transport.Conn) {
+	for {
+		env, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if env.Kind != netproto.TypeResponse {
+			continue
+		}
+		now := time.Now()
+		c.outstanding.Add(-1)
+		c.responses.Add(1)
+		c.totalHops.Add(int64(env.Hops))
+		key := pendingKey{origin: env.Origin, reqID: env.ReqID}
+		c.servedByMu.Lock()
+		c.servedBy[env.ServedBy]++
+		if sent, ok := c.sentAt[key]; ok {
+			delete(c.sentAt, key)
+			c.latencies = append(c.latencies, now.Sub(sent).Seconds())
+		}
+		c.servedByMu.Unlock()
+	}
+}
+
+// Inject sends one client request for doc entering the tree at origin.
+func (c *Cluster) Inject(origin int, doc core.DocID) error {
+	if origin < 0 || origin >= c.t.Len() {
+		return fmt.Errorf("cluster: origin %d out of range", origin)
+	}
+	c.injectMu.Lock()
+	c.reqSeq[origin]++
+	seq := c.reqSeq[origin]
+	conn := c.injectConns[origin]
+	c.injectMu.Unlock()
+	c.servedByMu.Lock()
+	c.sentAt[pendingKey{origin: origin, reqID: seq}] = time.Now()
+	c.servedByMu.Unlock()
+	c.outstanding.Add(1)
+	return conn.Send(&netproto.Envelope{
+		Kind: netproto.TypeRequest, From: -1, To: origin,
+		Origin: origin, ReqID: seq, Doc: doc,
+	})
+}
+
+// LatencySummary returns descriptive statistics of per-request response
+// latencies in seconds (inject to response at the origin).
+func (c *Cluster) LatencySummary() stats.Summary {
+	c.servedByMu.Lock()
+	samples := append([]float64(nil), c.latencies...)
+	c.servedByMu.Unlock()
+	return stats.Summarize(samples)
+}
+
+// Play replays a request schedule, compressing time by `speedup` (a request
+// at schedule time T is injected at wall time T/speedup after start).
+func (c *Cluster) Play(reqs []trace.Request, speedup float64) error {
+	if speedup <= 0 {
+		speedup = 1
+	}
+	start := time.Now()
+	for i := range reqs {
+		due := start.Add(time.Duration(reqs[i].Time / speedup * float64(time.Second)))
+		if wait := time.Until(due); wait > 0 {
+			time.Sleep(wait)
+		}
+		if err := c.Inject(reqs[i].Origin, reqs[i].Doc); err != nil {
+			return fmt.Errorf("cluster: inject request %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Drain waits until every injected request has been answered or the timeout
+// elapses. It returns the number still outstanding.
+func (c *Cluster) Drain(timeout time.Duration) int64 {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if c.outstanding.Load() <= 0 {
+			return 0
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return c.outstanding.Load()
+}
+
+// Responses returns the number of answered requests so far.
+func (c *Cluster) Responses() int64 { return c.responses.Load() }
+
+// Addr returns node v's transport address (empty when out of range).
+func (c *Cluster) Addr(v int) string {
+	if v < 0 || v >= len(c.addrs) {
+		return ""
+	}
+	return c.addrs[v]
+}
+
+// Network returns the transport the cluster runs on.
+func (c *Cluster) Network() transport.Network { return c.net }
+
+// Tree returns the routing tree the cluster was built on.
+func (c *Cluster) Tree() *tree.Tree { return c.t }
+
+// MeanHops returns the average number of tree edges requests traversed
+// before being served — the paper's "requests stumble on cache copies en
+// route" effect made measurable.
+func (c *Cluster) MeanHops() float64 {
+	n := c.responses.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.totalHops.Load()) / float64(n)
+}
+
+// ServedBy returns how many requests each node has served (by responses).
+func (c *Cluster) ServedBy() map[int]int64 {
+	c.servedByMu.Lock()
+	defer c.servedByMu.Unlock()
+	out := make(map[int]int64, len(c.servedBy))
+	for k, v := range c.servedBy {
+		out[k] = v
+	}
+	return out
+}
+
+// ServedVector returns ServedBy as a dense per-node vector.
+func (c *Cluster) ServedVector() core.Vector {
+	m := c.ServedBy()
+	out := make(core.Vector, c.t.Len())
+	for v, n := range m {
+		if v >= 0 && v < len(out) {
+			out[v] = float64(n)
+		}
+	}
+	return out
+}
+
+// Stats scrapes every server and returns the replies ordered by node id.
+func (c *Cluster) Stats() ([]*netproto.Stats, error) {
+	out := make([]*netproto.Stats, c.t.Len())
+	for v := 0; v < c.t.Len(); v++ {
+		conn, err := c.net.Dial(c.addrs[v])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: stats dial %d: %w", v, err)
+		}
+		err = conn.Send(&netproto.Envelope{Kind: netproto.TypeStatsQuery, From: -1, To: v})
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("cluster: stats query %d: %w", v, err)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			env, err := conn.Recv()
+			if err != nil {
+				conn.Close()
+				return nil, fmt.Errorf("cluster: stats reply %d: %w", v, err)
+			}
+			if env.Kind == netproto.TypeStatsReply && env.Stats != nil {
+				out[v] = env.Stats
+				break
+			}
+			if time.Now().After(deadline) {
+				conn.Close()
+				return nil, fmt.Errorf("cluster: stats reply %d: timeout", v)
+			}
+		}
+		conn.Close()
+	}
+	return out, nil
+}
+
+// Loads returns the per-node served rate (requests/second over each
+// server's sliding window) via a stats scrape.
+func (c *Cluster) Loads() (core.Vector, error) {
+	sts, err := c.Stats()
+	if err != nil {
+		return nil, err
+	}
+	out := make(core.Vector, len(sts))
+	for i, st := range sts {
+		out[i] = st.Load
+	}
+	return out, nil
+}
+
+// CachedDocs returns each node's cache contents, by node id.
+func (c *Cluster) CachedDocs() (map[int][]core.DocID, error) {
+	sts, err := c.Stats()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int][]core.DocID, len(sts))
+	for i, st := range sts {
+		docs := append([]core.DocID(nil), st.CachedDocs...)
+		sort.Slice(docs, func(a, b int) bool { return docs[a] < docs[b] })
+		out[i] = docs
+	}
+	return out, nil
+}
+
+// PartitionEdge cuts the routing-tree edge between node v and its parent
+// (failure injection): traffic between the two servers is silently dropped
+// in both directions until HealEdge. It returns false when v is the root or
+// the transport does not support link faults (only the in-memory network
+// does).
+func (c *Cluster) PartitionEdge(v int) bool {
+	return c.setEdge(v, true)
+}
+
+// HealEdge reverses PartitionEdge for node v.
+func (c *Cluster) HealEdge(v int) bool {
+	return c.setEdge(v, false)
+}
+
+func (c *Cluster) setEdge(v int, down bool) bool {
+	if v < 0 || v >= c.t.Len() || v == c.t.Root() {
+		return false
+	}
+	mem, ok := c.net.(*transport.MemoryNetwork)
+	if !ok {
+		return false
+	}
+	child, parent := c.addrs[v], c.addrs[c.t.Parent(v)]
+	if down {
+		mem.Partition(child, parent)
+	} else {
+		mem.Heal(child, parent)
+	}
+	return true
+}
+
+// StopServer kills one node's server (failure injection). Requests that
+// would route through the dead node go unanswered; the rest of the tree
+// keeps serving.
+func (c *Cluster) StopServer(v int) {
+	if v < 0 || v >= len(c.servers) || c.servers[v] == nil {
+		return
+	}
+	c.servers[v].Stop()
+}
+
+// Stop shuts every server down.
+func (c *Cluster) Stop() {
+	c.injectMu.Lock()
+	for _, conn := range c.injectConns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	c.injectMu.Unlock()
+	for _, s := range c.servers {
+		if s != nil {
+			s.Stop()
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"webwave/internal/core"
+	"webwave/internal/tree"
+)
+
+func TestPartitionEdgeIsolatesSubtreeThenHeals(t *testing.T) {
+	// Chain 0 <- 1 <- 2. Partition the (1,2) edge: requests entering at 2
+	// for a document only the root holds go unanswered; requests entering
+	// at 0 and 1 keep flowing. After healing, node 2's traffic drains.
+	tr := tree.MustFromParents([]int{tree.NoParent, 0, 1})
+	docs := map[core.DocID][]byte{"d": []byte("x")}
+	cfg := smallConfig()
+	cfg.Tunneling = false // keep the document pinned at the root
+	c, err := New(tr, docs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	if !c.PartitionEdge(2) {
+		t.Fatal("PartitionEdge(2) not supported on the memory network")
+	}
+
+	for i := 0; i < 20; i++ {
+		if err := c.Inject(0, "d"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Inject(2, "d"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The root-side 20 must be answered; node 2's 20 must stay outstanding.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Responses() < 20 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := c.Responses(); got < 20 {
+		t.Fatalf("root-side responses = %d, want >= 20 during partition", got)
+	}
+	time.Sleep(100 * time.Millisecond) // give stray deliveries a chance
+	if got := c.Responses(); got != 20 {
+		t.Fatalf("responses = %d during partition, want exactly 20 (subtree isolated)", got)
+	}
+
+	if !c.HealEdge(2) {
+		t.Fatal("HealEdge(2) failed")
+	}
+	// The 20 partition-era requests were dropped on the dead link (a real
+	// partition loses in-flight packets); new traffic must flow again.
+	for i := 0; i < 20; i++ {
+		if err := c.Inject(2, "d"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for c.Responses() < 40 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := c.Responses(); got < 40 {
+		t.Fatalf("responses = %d after heal, want >= 40", got)
+	}
+}
+
+func TestPartitionEdgeValidation(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent, 0})
+	c, err := New(tr, map[core.DocID][]byte{"d": []byte("x")}, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if c.PartitionEdge(0) {
+		t.Error("partitioned the root's (nonexistent) parent edge")
+	}
+	if c.PartitionEdge(-1) || c.PartitionEdge(99) {
+		t.Error("partitioned an out-of-range node")
+	}
+	if !c.PartitionEdge(1) || !c.HealEdge(1) {
+		t.Error("valid edge rejected")
+	}
+}

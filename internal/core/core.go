@@ -1,0 +1,147 @@
+// Package core holds the small kernel of types shared by every WebWave
+// subsystem: document identities, per-node load vectors, and numeric
+// tolerances.
+//
+// The paper's primary contribution — the TLB optimality definition, the
+// WebFold offline algorithm and the WebWave distributed protocol — is
+// implemented on top of these types in internal/fold, internal/wave and
+// internal/docwave.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eps is the default absolute tolerance for comparing request rates. Rates
+// in this module are float64 requests/second; the simulations conserve load
+// to well within this bound.
+const Eps = 1e-9
+
+// DocID identifies a published document (in a real deployment, a URL).
+type DocID string
+
+// Document is an immutable published document served by a home server.
+type Document struct {
+	ID   DocID
+	Home int   // node id of the home server (root of the routing tree)
+	Size int64 // bytes; used by transfer-cost accounting
+}
+
+// Vector is a dense per-node quantity (spontaneous rates E, load assignment
+// L, forwarded rates A), indexed by tree node id.
+type Vector = []float64
+
+// CloneVec returns a copy of v.
+func CloneVec(v Vector) Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// SumVec returns the sum of v's entries.
+func SumVec(v Vector) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// MaxVec returns the maximum entry and its index (lowest index on ties).
+// It returns (-Inf, -1) for an empty vector.
+func MaxVec(v Vector) (float64, int) {
+	max, idx := math.Inf(-1), -1
+	for i, x := range v {
+		if x > max {
+			max, idx = x, i
+		}
+	}
+	return max, idx
+}
+
+// MinVec returns the minimum entry and its index (lowest index on ties).
+// It returns (+Inf, -1) for an empty vector.
+func MinVec(v Vector) (float64, int) {
+	min, idx := math.Inf(1), -1
+	for i, x := range v {
+		if x < min {
+			min, idx = x, i
+		}
+	}
+	return min, idx
+}
+
+// UniformVec returns a vector of n copies of x.
+func UniformVec(n int, x float64) Vector {
+	out := make(Vector, n)
+	for i := range out {
+		out[i] = x
+	}
+	return out
+}
+
+// AlmostEqual reports whether |a-b| <= eps.
+func AlmostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+// VecAlmostEqual reports whether two vectors match entry-wise within eps.
+func VecAlmostEqual(a, b Vector, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !AlmostEqual(a[i], b[i], eps) {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedDesc returns a copy of v sorted in descending order. The TLB
+// optimality criterion (Definition 1 of the paper) compares these profiles
+// lexicographically.
+func SortedDesc(v Vector) Vector {
+	out := CloneVec(v)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// LexLessDesc compares two descending-sorted load profiles
+// lexicographically. It returns a negative value if a is strictly better
+// (smaller) than b under Definition 1, 0 if equal within eps, and positive
+// if worse.
+func LexLessDesc(a, b Vector, eps float64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]-eps:
+			return -1
+		case a[i] > b[i]+eps:
+			return 1
+		}
+	}
+	return len(a) - len(b)
+}
+
+// ValidateRates checks that a rate vector has the expected length and no
+// negative or non-finite entries.
+func ValidateRates(rates Vector, n int) error {
+	if len(rates) != n {
+		return fmt.Errorf("core: rate vector length %d, want %d", len(rates), n)
+	}
+	for i, r := range rates {
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("core: rate[%d] = %v is not finite", i, r)
+		}
+		if r < 0 {
+			return fmt.Errorf("core: rate[%d] = %v is negative", i, r)
+		}
+	}
+	return nil
+}

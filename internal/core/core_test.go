@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCloneVecIsolated(t *testing.T) {
+	v := Vector{1, 2, 3}
+	c := CloneVec(v)
+	c[0] = 99
+	if v[0] != 1 {
+		t.Error("CloneVec aliased the input")
+	}
+}
+
+func TestSumVec(t *testing.T) {
+	tests := []struct {
+		v    Vector
+		want float64
+	}{
+		{nil, 0},
+		{Vector{}, 0},
+		{Vector{1.5, 2.5}, 4},
+		{Vector{-1, 1}, 0},
+	}
+	for _, tc := range tests {
+		if got := SumVec(tc.v); got != tc.want {
+			t.Errorf("SumVec(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestMaxMinVec(t *testing.T) {
+	v := Vector{3, 7, 7, 1}
+	if m, i := MaxVec(v); m != 7 || i != 1 {
+		t.Errorf("MaxVec = (%v,%d), want (7,1)", m, i)
+	}
+	if m, i := MinVec(v); m != 1 || i != 3 {
+		t.Errorf("MinVec = (%v,%d), want (1,3)", m, i)
+	}
+	if m, i := MaxVec(nil); !math.IsInf(m, -1) || i != -1 {
+		t.Errorf("MaxVec(nil) = (%v,%d)", m, i)
+	}
+	if m, i := MinVec(nil); !math.IsInf(m, 1) || i != -1 {
+		t.Errorf("MinVec(nil) = (%v,%d)", m, i)
+	}
+}
+
+func TestUniformVec(t *testing.T) {
+	v := UniformVec(3, 2.5)
+	for _, x := range v {
+		if x != 2.5 {
+			t.Fatalf("UniformVec entry %v", x)
+		}
+	}
+	if len(UniformVec(0, 1)) != 0 {
+		t.Error("UniformVec(0,·) non-empty")
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1, 1+1e-12, 1e-9) {
+		t.Error("AlmostEqual too strict")
+	}
+	if AlmostEqual(1, 1.1, 1e-9) {
+		t.Error("AlmostEqual too lax")
+	}
+	if !VecAlmostEqual(Vector{1, 2}, Vector{1, 2 + 1e-12}, 1e-9) {
+		t.Error("VecAlmostEqual too strict")
+	}
+	if VecAlmostEqual(Vector{1}, Vector{1, 2}, 1e-9) {
+		t.Error("VecAlmostEqual ignores length")
+	}
+}
+
+func TestSortedDesc(t *testing.T) {
+	v := Vector{1, 5, 3}
+	s := SortedDesc(v)
+	if s[0] != 5 || s[1] != 3 || s[2] != 1 {
+		t.Errorf("SortedDesc = %v", s)
+	}
+	if v[0] != 1 {
+		t.Error("SortedDesc mutated input")
+	}
+}
+
+func TestLexLessDesc(t *testing.T) {
+	tests := []struct {
+		a, b Vector
+		want int // sign
+	}{
+		{Vector{5, 1}, Vector{5, 2}, -1},
+		{Vector{5, 2}, Vector{5, 1}, 1},
+		{Vector{5, 1}, Vector{5, 1}, 0},
+		{Vector{4, 9}, Vector{5, 0}, -1}, // first component dominates
+	}
+	for _, tc := range tests {
+		got := LexLessDesc(tc.a, tc.b, 1e-9)
+		switch {
+		case tc.want < 0 && got >= 0,
+			tc.want > 0 && got <= 0,
+			tc.want == 0 && got != 0:
+			t.Errorf("LexLessDesc(%v,%v) = %d, want sign %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestValidateRates(t *testing.T) {
+	if err := ValidateRates(Vector{1, 0, 2}, 3); err != nil {
+		t.Errorf("valid rates rejected: %v", err)
+	}
+	if err := ValidateRates(Vector{1}, 2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := ValidateRates(Vector{-1}, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := ValidateRates(Vector{math.NaN()}, 1); err == nil {
+		t.Error("NaN rate accepted")
+	}
+	if err := ValidateRates(Vector{math.Inf(1)}, 1); err == nil {
+		t.Error("Inf rate accepted")
+	}
+}
+
+// Property: SortedDesc output is a permutation of the input and descending.
+func TestQuickSortedDesc(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Replace NaNs, which are incomparable.
+		for i, x := range xs {
+			if math.IsNaN(x) {
+				xs[i] = 0
+			}
+		}
+		s := SortedDesc(xs)
+		if len(s) != len(xs) {
+			return false
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i-1] < s[i] {
+				return false
+			}
+		}
+		// Permutation check via multiset counts.
+		counts := make(map[float64]int, len(xs))
+		for _, x := range xs {
+			counts[x]++
+		}
+		for _, x := range s {
+			counts[x]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

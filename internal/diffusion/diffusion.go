@@ -1,0 +1,285 @@
+package diffusion
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"webwave/internal/core"
+	"webwave/internal/stats"
+)
+
+// AlphaFunc assigns the diffusion parameter α_ij to an edge. It must be
+// symmetric (α_ij = α_ji); the run functions only ever evaluate it with
+// i < j.
+type AlphaFunc func(i, j int) float64
+
+// UniformAlpha returns the same α for every edge.
+func UniformAlpha(alpha float64) AlphaFunc {
+	return func(i, j int) float64 { return alpha }
+}
+
+// MaxDegreeAlpha returns α = 1/(maxdeg+1) for every edge — the classic safe
+// choice satisfying Cybenko's condition 1 − Σ_j α_ij > 0 at every node.
+func MaxDegreeAlpha(g *Graph) AlphaFunc {
+	a := 1.0 / float64(g.MaxDegree()+1)
+	return func(i, j int) float64 { return a }
+}
+
+// LocalDegreeAlpha returns α_ij = 1/(1 + max(deg i, deg j)) — a locally
+// computable choice that also satisfies Cybenko's condition and adapts to
+// irregular graphs better than the global maximum degree.
+func LocalDegreeAlpha(g *Graph) AlphaFunc {
+	return func(i, j int) float64 {
+		d := g.Degree(i)
+		if dj := g.Degree(j); dj > d {
+			d = dj
+		}
+		return 1.0 / float64(1+d)
+	}
+}
+
+// ValidateAlpha checks Cybenko's sufficient conditions on g with the given
+// α: every α_ij ∈ (0, 1) and every node keeps a positive self-weight,
+// 1 − Σ_{j∈N_i} α_ij > 0.
+func ValidateAlpha(g *Graph, alpha AlphaFunc) error {
+	for i := 0; i < g.Len(); i++ {
+		sum := 0.0
+		for _, j := range g.adj[i] {
+			a, b := i, j
+			if a > b {
+				a, b = b, a
+			}
+			av := alpha(a, b)
+			if av <= 0 || av >= 1 {
+				return fmt.Errorf("diffusion: alpha(%d,%d)=%v outside (0,1)", a, b, av)
+			}
+			sum += av
+		}
+		if sum >= 1 {
+			return fmt.Errorf("diffusion: node %d self-weight 1-Σα = %v <= 0 violates Cybenko's condition", i, 1-sum)
+		}
+	}
+	return nil
+}
+
+// Matrix returns the dense diffusion matrix D with D_ij = α_ij for edges,
+// D_ii = 1 − Σ_j α_ij: the load evolves as x(t) = D·x(t−1).
+func Matrix(g *Graph, alpha AlphaFunc) [][]float64 {
+	n := g.Len()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for _, e := range g.Edges() {
+		i, j := e[0], e[1]
+		a := alpha(i, j)
+		d[i][j] = a
+		d[j][i] = a
+	}
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			sum += d[i][j]
+		}
+		d[i][i] = 1 - sum
+	}
+	return d
+}
+
+// Step performs one synchronous diffusion iteration in place:
+// L_i ← L_i + Σ_{j∈N_i} α_ij (L_j − L_i). scratch must have the same length
+// as load (it is overwritten); pass nil to allocate.
+func Step(g *Graph, alpha AlphaFunc, load, scratch core.Vector) core.Vector {
+	if scratch == nil {
+		scratch = make(core.Vector, len(load))
+	}
+	copy(scratch, load)
+	for _, e := range g.Edges() {
+		i, j := e[0], e[1]
+		a := alpha(i, j)
+		flow := a * (scratch[i] - scratch[j])
+		load[i] -= flow
+		load[j] += flow
+	}
+	return scratch
+}
+
+// RunResult captures a diffusion run: the final load vector and the
+// Euclidean distance to the uniform distribution after every iteration
+// (Distances[0] is the initial distance).
+type RunResult struct {
+	Final     core.Vector
+	Distances []float64
+	Steps     int
+}
+
+// Converged reports whether the final distance is below tol.
+func (r *RunResult) Converged(tol float64) bool {
+	return len(r.Distances) > 0 && r.Distances[len(r.Distances)-1] <= tol
+}
+
+// Run performs synchronous diffusion for at most maxSteps iterations,
+// stopping early once the distance to uniform load falls below tol. The
+// input vector is not modified.
+func Run(g *Graph, alpha AlphaFunc, initial core.Vector, maxSteps int, tol float64) (*RunResult, error) {
+	if len(initial) != g.Len() {
+		return nil, fmt.Errorf("diffusion: load length %d != graph size %d", len(initial), g.Len())
+	}
+	if err := ValidateAlpha(g, alpha); err != nil {
+		return nil, err
+	}
+	uniform := core.UniformVec(len(initial), core.SumVec(initial)/float64(len(initial)))
+	load := core.CloneVec(initial)
+	scratch := make(core.Vector, len(load))
+	res := &RunResult{Distances: []float64{stats.Euclidean(load, uniform)}}
+	for s := 0; s < maxSteps; s++ {
+		Step(g, alpha, load, scratch)
+		res.Steps++
+		d := stats.Euclidean(load, uniform)
+		res.Distances = append(res.Distances, d)
+		if d <= tol {
+			break
+		}
+	}
+	res.Final = load
+	return res, nil
+}
+
+// RunAsync performs edge-asynchronous diffusion with bounded staleness, the
+// Bertsekas–Tsitsiklis regime: at every step each edge independently fires
+// with probability fireProb and, when it fires, exchanges load computed from
+// values up to maxDelay steps old. The exchange is applied symmetrically
+// (equal and opposite), so total load is conserved exactly.
+func RunAsync(g *Graph, alpha AlphaFunc, initial core.Vector, maxSteps, maxDelay int, fireProb float64, rng *rand.Rand, tol float64) (*RunResult, error) {
+	if len(initial) != g.Len() {
+		return nil, fmt.Errorf("diffusion: load length %d != graph size %d", len(initial), g.Len())
+	}
+	if err := ValidateAlpha(g, alpha); err != nil {
+		return nil, err
+	}
+	if maxDelay < 0 {
+		return nil, fmt.Errorf("diffusion: negative maxDelay %d", maxDelay)
+	}
+	if fireProb <= 0 || fireProb > 1 {
+		return nil, fmt.Errorf("diffusion: fireProb %v outside (0,1]", fireProb)
+	}
+	n := len(initial)
+	uniform := core.UniformVec(n, core.SumVec(initial)/float64(n))
+	load := core.CloneVec(initial)
+
+	// History ring buffer of the last maxDelay+1 snapshots.
+	histLen := maxDelay + 1
+	history := make([]core.Vector, histLen)
+	for i := range history {
+		history[i] = core.CloneVec(load)
+	}
+	edges := g.Edges()
+	res := &RunResult{Distances: []float64{stats.Euclidean(load, uniform)}}
+	for s := 0; s < maxSteps; s++ {
+		for _, e := range edges {
+			if rng.Float64() >= fireProb {
+				continue
+			}
+			i, j := e[0], e[1]
+			stale := history[rng.Intn(histLen)]
+			flow := alpha(i, j) * (stale[i] - stale[j])
+			// Clamp so a stale view cannot drive a load negative.
+			if flow > load[i] {
+				flow = load[i]
+			}
+			if -flow > load[j] {
+				flow = -load[j]
+			}
+			load[i] -= flow
+			load[j] += flow
+		}
+		res.Steps++
+		copy(history[s%histLen], load)
+		d := stats.Euclidean(load, uniform)
+		res.Distances = append(res.Distances, d)
+		if d <= tol {
+			break
+		}
+	}
+	res.Final = load
+	return res, nil
+}
+
+// SpectralGamma computes γ, the second-largest eigenvalue modulus of the
+// diffusion matrix — the exact asymptotic contraction factor of synchronous
+// diffusion (‖D^t x(0) − ū‖ ≤ γ^t ‖x(0) − ū‖ for symmetric D). It runs
+// power iteration on D deflated by the uniform eigenvector.
+func SpectralGamma(d [][]float64) float64 {
+	n := len(d)
+	if n <= 1 {
+		return 0
+	}
+	v := make([]float64, n)
+	// Deterministic pseudo-random start, orthogonal to the all-ones vector.
+	for i := range v {
+		v[i] = math.Sin(float64(i+1) * 2.39996322972865332) // golden-angle spread
+	}
+	deflate := func(x []float64) {
+		mean := 0.0
+		for _, xi := range x {
+			mean += xi
+		}
+		mean /= float64(n)
+		for i := range x {
+			x[i] -= mean
+		}
+	}
+	deflate(v)
+	normalize := func(x []float64) float64 {
+		norm := stats.Norm2(x)
+		if norm == 0 {
+			return 0
+		}
+		for i := range x {
+			x[i] /= norm
+		}
+		return norm
+	}
+	normalize(v)
+	w := make([]float64, n)
+	gamma := 0.0
+	for iter := 0; iter < 3000; iter++ {
+		for i := 0; i < n; i++ {
+			s := 0.0
+			row := d[i]
+			for j := 0; j < n; j++ {
+				s += row[j] * v[j]
+			}
+			w[i] = s
+		}
+		deflate(w)
+		norm := normalize(w)
+		v, w = w, v
+		if iter > 10 && math.Abs(norm-gamma) < 1e-13 {
+			gamma = norm
+			break
+		}
+		gamma = norm
+	}
+	return gamma
+}
+
+// HypercubeOptimal returns the optimal uniform diffusion parameter and the
+// resulting γ for the d-dimensional hypercube: the Laplacian spectrum is
+// {2m : m = 0..d}, so α* = 2/(μ₂+μ_max) = 1/(d+1) and
+// γ* = (μ_max−μ₂)/(μ_max+μ₂) = (d−1)/(d+1).
+func HypercubeOptimal(d int) (alpha, gamma float64) {
+	return 1 / float64(d+1), float64(d-1) / float64(d+1)
+}
+
+// KAryNCubeOptimal returns the Xu–Lau optimal uniform diffusion parameter
+// and the resulting γ for the k-ary n-cube (k ≥ 3). The torus Laplacian
+// spectrum is Σ_i (2 − 2cos(2π m_i/k)); with μ₂ = 2 − 2cos(2π/k) and
+// μ_max = n·(2 − 2cos(2π⌊k/2⌋/k)), the optimum is α* = 2/(μ₂+μ_max),
+// γ* = (μ_max−μ₂)/(μ_max+μ₂).
+func KAryNCubeOptimal(k, n int) (alpha, gamma float64) {
+	mu2 := 2 - 2*math.Cos(2*math.Pi/float64(k))
+	muMax := float64(n) * (2 - 2*math.Cos(2*math.Pi*math.Floor(float64(k)/2)/float64(k)))
+	return 2 / (mu2 + muMax), (muMax - mu2) / (muMax + mu2)
+}

@@ -1,0 +1,357 @@
+package diffusion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"webwave/internal/core"
+	"webwave/internal/stats"
+	"webwave/internal/trace"
+)
+
+func TestGraphConstructors(t *testing.T) {
+	tests := []struct {
+		name      string
+		build     func() (*Graph, error)
+		wantN     int
+		wantDeg   int // uniform degree; -1 to skip
+		wantEdges int
+	}{
+		{"path4", func() (*Graph, error) { return Path(4) }, 4, -1, 3},
+		{"ring5", func() (*Graph, error) { return Ring(5) }, 5, 2, 5},
+		{"complete4", func() (*Graph, error) { return Complete(4) }, 4, 3, 6},
+		{"hypercube3", func() (*Graph, error) { return Hypercube(3) }, 8, 3, 12},
+		{"4ary2cube", func() (*Graph, error) { return KAryNCube(4, 2) }, 16, 4, 32},
+		{"3ary1cube", func() (*Graph, error) { return KAryNCube(3, 1) }, 3, 2, 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Len() != tc.wantN {
+				t.Errorf("n = %d, want %d", g.Len(), tc.wantN)
+			}
+			if len(g.Edges()) != tc.wantEdges {
+				t.Errorf("edges = %d, want %d", len(g.Edges()), tc.wantEdges)
+			}
+			if tc.wantDeg >= 0 {
+				for v := 0; v < g.Len(); v++ {
+					if g.Degree(v) != tc.wantDeg {
+						t.Errorf("degree(%d) = %d, want %d", v, g.Degree(v), tc.wantDeg)
+					}
+				}
+			}
+			if !g.Connected() {
+				t.Error("not connected")
+			}
+		})
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	if _, err := NewGraph(0, nil); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := NewGraph(2, [][2]int{{0, 0}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := NewGraph(2, [][2]int{{0, 1}, {1, 0}}); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if _, err := NewGraph(2, [][2]int{{0, 5}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := Ring(2); err == nil {
+		t.Error("Ring(2) accepted")
+	}
+	if _, err := KAryNCube(2, 2); err == nil {
+		t.Error("KAryNCube(2,·) accepted (should direct to Hypercube)")
+	}
+	if _, err := DeBruijn(1, 2); err == nil {
+		t.Error("DeBruijn(1,·) accepted")
+	}
+	if _, err := Hypercube(0); err == nil {
+		t.Error("Hypercube(0) accepted")
+	}
+}
+
+func TestDeBruijn(t *testing.T) {
+	g, err := DeBruijn(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 8 {
+		t.Fatalf("n = %d, want 8", g.Len())
+	}
+	if !g.Connected() {
+		t.Error("De Bruijn graph disconnected")
+	}
+	// Undirected De Bruijn degree is at most 2·base.
+	for v := 0; v < g.Len(); v++ {
+		if g.Degree(v) > 4 {
+			t.Errorf("degree(%d) = %d > 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestDisconnectedDetected(t *testing.T) {
+	g, err := NewGraph(4, [][2]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+}
+
+func TestMatrixRowStochastic(t *testing.T) {
+	g, err := Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Matrix(g, MaxDegreeAlpha(g))
+	for i, row := range d {
+		sum := 0.0
+		for j, x := range row {
+			if x < 0 {
+				t.Fatalf("D[%d][%d] = %v < 0", i, j, x)
+			}
+			if i != j && x != row[j] { // sanity of indexing
+				_ = x
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	// Symmetry.
+	for i := range d {
+		for j := range d {
+			if math.Abs(d[i][j]-d[j][i]) > 1e-15 {
+				t.Fatalf("D not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestValidateAlpha(t *testing.T) {
+	g, err := Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateAlpha(g, UniformAlpha(0.3)); err != nil {
+		t.Errorf("valid alpha rejected: %v", err)
+	}
+	if err := ValidateAlpha(g, UniformAlpha(0.5)); err == nil {
+		t.Error("alpha sum = 1 accepted (violates Cybenko's condition)")
+	}
+	if err := ValidateAlpha(g, UniformAlpha(0)); err == nil {
+		t.Error("alpha = 0 accepted")
+	}
+	if err := ValidateAlpha(g, UniformAlpha(1)); err == nil {
+		t.Error("alpha = 1 accepted")
+	}
+	if err := ValidateAlpha(g, LocalDegreeAlpha(g)); err != nil {
+		t.Errorf("LocalDegreeAlpha rejected: %v", err)
+	}
+}
+
+func TestUniformIsFixedPoint(t *testing.T) {
+	g, err := KAryNCube(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := core.UniformVec(g.Len(), 7.5)
+	Step(g, MaxDegreeAlpha(g), load, nil)
+	for _, x := range load {
+		if math.Abs(x-7.5) > 1e-12 {
+			t.Fatalf("uniform load moved to %v", x)
+		}
+	}
+}
+
+func TestStepConservesLoad(t *testing.T) {
+	g, err := DeBruijn(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	load := trace.UniformRates(g.Len(), 0, 100, rng)
+	total := core.SumVec(load)
+	scratch := make(core.Vector, len(load))
+	for i := 0; i < 50; i++ {
+		Step(g, LocalDegreeAlpha(g), load, scratch)
+	}
+	if math.Abs(core.SumVec(load)-total) > 1e-8 {
+		t.Errorf("total drifted from %v to %v", total, core.SumVec(load))
+	}
+}
+
+func TestRunConvergesToUniform(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() (*Graph, error)
+	}{
+		{"ring8", func() (*Graph, error) { return Ring(8) }},
+		{"hypercube4", func() (*Graph, error) { return Hypercube(4) }},
+		{"path6", func() (*Graph, error) { return Path(6) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(2))
+			load := trace.UniformRates(g.Len(), 0, 100, rng)
+			res, err := Run(g, MaxDegreeAlpha(g), load, 5000, 1e-9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged(1e-9) {
+				t.Fatalf("did not converge: final distance %v", res.Distances[len(res.Distances)-1])
+			}
+			mean := core.SumVec(load) / float64(len(load))
+			for _, x := range res.Final {
+				if math.Abs(x-mean) > 1e-6 {
+					t.Fatalf("final load %v != mean %v", x, mean)
+				}
+			}
+			// Monotone non-increasing distances (symmetric diffusion).
+			for i := 1; i < len(res.Distances); i++ {
+				if res.Distances[i] > res.Distances[i-1]+1e-9 {
+					t.Fatalf("distance increased at step %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	g, err := Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, UniformAlpha(0.2), core.Vector{1, 2}, 10, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Run(g, UniformAlpha(0.9), core.Vector{1, 2, 3, 4}, 10, 0); err == nil {
+		t.Error("unstable alpha accepted")
+	}
+}
+
+func TestSpectralGammaAgainstTheory(t *testing.T) {
+	// Hypercube with α = 1/(d+1): γ = (d−1)/(d+1).
+	for d := 2; d <= 5; d++ {
+		g, err := Hypercube(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alpha, wantGamma := HypercubeOptimal(d)
+		got := SpectralGamma(Matrix(g, UniformAlpha(alpha)))
+		if math.Abs(got-wantGamma) > 1e-6 {
+			t.Errorf("hypercube-%d: spectral γ = %v, want %v", d, got, wantGamma)
+		}
+	}
+	// Complete graph with α = 1/n: D = J/n, γ = 0.
+	g, err := Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := SpectralGamma(Matrix(g, UniformAlpha(1.0/6)))
+	if got > 1e-8 {
+		t.Errorf("complete graph γ = %v, want 0", got)
+	}
+}
+
+func TestKAryNCubeOptimalMatchesSpectrum(t *testing.T) {
+	for _, tc := range []struct{ k, n int }{{3, 2}, {4, 2}, {5, 1}} {
+		g, err := KAryNCube(tc.k, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alpha, wantGamma := KAryNCubeOptimal(tc.k, tc.n)
+		if err := ValidateAlpha(g, UniformAlpha(alpha)); err != nil {
+			t.Fatalf("optimal alpha invalid: %v", err)
+		}
+		got := SpectralGamma(Matrix(g, UniformAlpha(alpha)))
+		if math.Abs(got-wantGamma) > 1e-6 {
+			t.Errorf("k=%d n=%d: spectral γ = %v, want %v", tc.k, tc.n, got, wantGamma)
+		}
+		// The Xu–Lau α must beat the generic max-degree choice.
+		generic := SpectralGamma(Matrix(g, MaxDegreeAlpha(g)))
+		if got > generic+1e-9 {
+			t.Errorf("k=%d n=%d: optimal γ %v worse than generic %v", tc.k, tc.n, got, generic)
+		}
+	}
+}
+
+func TestMeasuredContractionWithinSpectralBound(t *testing.T) {
+	g, err := KAryNCube(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := MaxDegreeAlpha(g)
+	rng := rand.New(rand.NewSource(3))
+	load := trace.UniformRates(g.Len(), 0, 100, rng)
+	res, err := Run(g, alpha, load, 500, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := SpectralGamma(Matrix(g, alpha))
+	if !stats.BoundHolds(res.Distances, res.Distances[0], gamma, 1e-5) {
+		t.Errorf("measured distances exceed the γ^t bound (γ=%v)", gamma)
+	}
+}
+
+func TestRunAsyncConvergesAndConserves(t *testing.T) {
+	g, err := Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	load := trace.UniformRates(g.Len(), 0, 100, rng)
+	total := core.SumVec(load)
+	res, err := RunAsync(g, MaxDegreeAlpha(g), load, 3000, 3, 0.7, rng, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(core.SumVec(res.Final)-total) > 1e-6 {
+		t.Errorf("async total drifted: %v vs %v", core.SumVec(res.Final), total)
+	}
+	if !res.Converged(1e-3) {
+		t.Errorf("async did not converge: final %v", res.Distances[len(res.Distances)-1])
+	}
+}
+
+func TestRunAsyncErrors(t *testing.T) {
+	g, err := Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	ok := core.Vector{1, 2, 3, 4}
+	if _, err := RunAsync(g, UniformAlpha(0.2), core.Vector{1}, 10, 1, 0.5, rng, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := RunAsync(g, UniformAlpha(0.2), ok, 10, -1, 0.5, rng, 0); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if _, err := RunAsync(g, UniformAlpha(0.2), ok, 10, 1, 0, rng, 0); err == nil {
+		t.Error("zero fire probability accepted")
+	}
+}
+
+func TestFromTree(t *testing.T) {
+	tr := mustTree(t)
+	g := FromTree(tr)
+	if g.Len() != tr.Len() || len(g.Edges()) != tr.Len()-1 {
+		t.Errorf("FromTree: n=%d edges=%d", g.Len(), len(g.Edges()))
+	}
+	if !g.Connected() {
+		t.Error("tree graph disconnected")
+	}
+}

@@ -1,0 +1,268 @@
+// Package diffusion implements the load-diffusion background of the paper's
+// Section 2: the synchronous diffusion method of Cybenko and the bounded-
+// delay asynchronous variant of Bertsekas & Tsitsiklis, on general
+// connected graphs. WebWave (internal/wave) is this method specialized to a
+// routing tree under the no-sibling-sharing cap.
+//
+// The package provides the standard interconnection topologies from the
+// paper's related work — hypercubes (Hong et al.), k-ary n-cubes (Xu & Lau),
+// rings and De Bruijn networks (Lüling & Monien) — together with the
+// diffusion matrix, its spectral convergence factor γ (the second-largest
+// eigenvalue modulus), and closed-form optimal diffusion parameters where
+// the literature gives them.
+package diffusion
+
+import (
+	"fmt"
+	"sort"
+
+	"webwave/internal/tree"
+)
+
+// Graph is an undirected simple graph on nodes 0..n-1.
+type Graph struct {
+	n   int
+	adj [][]int
+}
+
+// NewGraph builds a graph from an edge list. Self-loops and duplicate edges
+// are rejected.
+func NewGraph(n int, edges [][2]int) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("diffusion: graph size %d <= 0", n)
+	}
+	g := &Graph{n: n, adj: make([][]int, n)}
+	seen := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("diffusion: edge (%d,%d) out of range (n=%d)", u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("diffusion: self-loop at %d", u)
+		}
+		key := [2]int{u, v}
+		if u > v {
+			key = [2]int{v, u}
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("diffusion: duplicate edge (%d,%d)", u, v)
+		}
+		seen[key] = true
+		g.adj[u] = append(g.adj[u], v)
+		g.adj[v] = append(g.adj[v], u)
+	}
+	for _, a := range g.adj {
+		sort.Ints(a)
+	}
+	return g, nil
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return g.n }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum degree.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for _, a := range g.adj {
+		if len(a) > m {
+			m = len(a)
+		}
+	}
+	return m
+}
+
+// Neighbors returns a copy of v's neighbor list.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, len(g.adj[v]))
+	copy(out, g.adj[v])
+	return out
+}
+
+// EachNeighbor iterates v's neighbors without allocating.
+func (g *Graph) EachNeighbor(v int, fn func(u int)) {
+	for _, u := range g.adj[v] {
+		fn(u)
+	}
+}
+
+// Edges returns each undirected edge once, as (min, max) pairs in sorted
+// order.
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Connected reports whether the graph is connected — one of Cybenko's two
+// sufficient conditions for diffusion convergence.
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return false
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range g.adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// Path returns the path graph on n nodes.
+func Path(n int) (*Graph, error) {
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return NewGraph(n, edges)
+}
+
+// Ring returns the cycle on n nodes (n >= 3).
+func Ring(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("diffusion: ring needs n >= 3, got %d", n)
+	}
+	edges := make([][2]int, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+	}
+	return NewGraph(n, edges)
+}
+
+// Complete returns the complete graph on n nodes.
+func Complete(n int) (*Graph, error) {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return NewGraph(n, edges)
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d nodes (Hong, Tan &
+// Chen's nearest-neighbor averaging topology).
+func Hypercube(d int) (*Graph, error) {
+	if d < 1 || d > 20 {
+		return nil, fmt.Errorf("diffusion: hypercube dimension %d outside [1,20]", d)
+	}
+	n := 1 << d
+	var edges [][2]int
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			u := v ^ (1 << b)
+			if v < u {
+				edges = append(edges, [2]int{v, u})
+			}
+		}
+	}
+	return NewGraph(n, edges)
+}
+
+// KAryNCube returns the k-ary n-cube (the n-dimensional torus Z_k^n) studied
+// by Xu & Lau. k must be at least 3 so that each dimension contributes two
+// distinct neighbors; use Hypercube for k = 2.
+func KAryNCube(k, n int) (*Graph, error) {
+	if k < 3 {
+		return nil, fmt.Errorf("diffusion: k-ary n-cube needs k >= 3, got %d (use Hypercube for k=2)", k)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("diffusion: k-ary n-cube needs n >= 1, got %d", n)
+	}
+	size := 1
+	for i := 0; i < n; i++ {
+		size *= k
+		if size > 1<<20 {
+			return nil, fmt.Errorf("diffusion: k-ary n-cube too large (k=%d n=%d)", k, n)
+		}
+	}
+	var edges [][2]int
+	stride := 1
+	for dim := 0; dim < n; dim++ {
+		for v := 0; v < size; v++ {
+			coord := (v / stride) % k
+			next := v + stride
+			if coord == k-1 {
+				next = v - (k-1)*stride
+			}
+			// Each undirected edge appears exactly once when every node
+			// emits only its +1-direction neighbor (k >= 3 guarantees the
+			// -1 and +1 neighbors differ).
+			edges = append(edges, [2]int{v, next})
+		}
+		stride *= k
+	}
+	return NewGraph(size, edges)
+}
+
+// DeBruijn returns the undirected version of the (base, dim) De Bruijn
+// network on base^dim nodes (Lüling & Monien's load-balancer substrate):
+// node u connects to (u·base + a) mod base^dim for each symbol a, with
+// self-loops and parallel edges collapsed.
+func DeBruijn(base, dim int) (*Graph, error) {
+	if base < 2 || dim < 1 {
+		return nil, fmt.Errorf("diffusion: De Bruijn needs base >= 2, dim >= 1 (got %d, %d)", base, dim)
+	}
+	size := 1
+	for i := 0; i < dim; i++ {
+		size *= base
+		if size > 1<<20 {
+			return nil, fmt.Errorf("diffusion: De Bruijn too large (base=%d dim=%d)", base, dim)
+		}
+	}
+	seen := make(map[[2]int]bool)
+	var edges [][2]int
+	for u := 0; u < size; u++ {
+		for a := 0; a < base; a++ {
+			v := (u*base + a) % size
+			if u == v {
+				continue
+			}
+			key := [2]int{u, v}
+			if u > v {
+				key = [2]int{v, u}
+			}
+			if !seen[key] {
+				seen[key] = true
+				edges = append(edges, key)
+			}
+		}
+	}
+	return NewGraph(size, edges)
+}
+
+// FromTree returns the graph underlying a routing tree (each parent-child
+// edge becomes an undirected edge). Running unconstrained diffusion on this
+// graph shows what WebWave would do without the NSS cap.
+func FromTree(t *tree.Tree) *Graph {
+	edges := t.Edges()
+	ge := make([][2]int, len(edges))
+	for i, e := range edges {
+		ge[i] = [2]int{e[0], e[1]}
+	}
+	g, err := NewGraph(t.Len(), ge)
+	if err != nil {
+		// A valid tree always yields a valid simple graph.
+		panic(err)
+	}
+	return g
+}

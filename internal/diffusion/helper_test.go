@@ -1,0 +1,12 @@
+package diffusion
+
+import (
+	"testing"
+
+	"webwave/internal/tree"
+)
+
+func mustTree(t *testing.T) *tree.Tree {
+	t.Helper()
+	return tree.MustFromParents([]int{tree.NoParent, 0, 0, 1, 1, 2, 2})
+}

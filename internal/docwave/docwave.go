@@ -1,0 +1,686 @@
+// Package docwave implements WebWave at per-document granularity: cache
+// copy placement, per-document forwarded rates, and the potential-barrier /
+// tunneling mechanism of the paper's Section 5.2.
+//
+// The rate-level simulator (internal/wave) treats load as an infinitely
+// divisible fluid. Real WebWave moves load by handing cache copies of
+// specific documents down the routing tree, which introduces a hazard the
+// fluid model cannot express: a server j is a *potential barrier* when it
+// has children k and k′ and parent i with L_k′ ≥ L_j ≥ L_i > L_k and j
+// caches none of the documents the under-loaded child k requests. Diffusion
+// wedges: j has nothing it can delegate to k, and j's own balanced load
+// hides the problem from i. The paper's recovery is *tunneling*: if k stays
+// under-loaded relative to j for more than two periods with no action from
+// j, it picks documents it is currently forwarding requests for, fetches
+// them directly from across the barrier, and caches them normally.
+package docwave
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"webwave/internal/core"
+	"webwave/internal/stats"
+	"webwave/internal/trace"
+	"webwave/internal/tree"
+	"webwave/internal/wave"
+)
+
+// DelegationPolicy chooses which documents a parent copies down when it
+// delegates load — the paper's briefly-discussed design dimension
+// ("Choosing the particular documents to copy ... is also discussed, but
+// only briefly"). The X8 ablation measures the consequences.
+type DelegationPolicy int
+
+// Delegation policies.
+const (
+	// DelegateLargestFirst moves the biggest transferable stream first:
+	// fewest copies created per unit of load moved. The default.
+	DelegateLargestFirst DelegationPolicy = iota
+	// DelegateSmallestFirst moves the smallest stream first — the adversarial
+	// ordering, maximizing copies created.
+	DelegateSmallestFirst
+	// DelegateRandom picks candidate documents in seeded random order.
+	DelegateRandom
+)
+
+func (p DelegationPolicy) String() string {
+	switch p {
+	case DelegateLargestFirst:
+		return "largest-first"
+	case DelegateSmallestFirst:
+		return "smallest-first"
+	case DelegateRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("DelegationPolicy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a document-level simulation.
+type Config struct {
+	// Alpha is the diffusion parameter policy; default 1/(maxdeg+1).
+	Alpha wave.AlphaFunc
+	// BarrierPatience is the number of consecutive under-loaded periods
+	// with no delegation from the parent after which a node tunnels. The
+	// paper uses "more than two periods"; default 3 (i.e. >2).
+	BarrierPatience int
+	// Tunneling enables the Section 5.2 recovery. Disabling it reproduces
+	// the wedged plateau of Figure 7(a).
+	Tunneling bool
+	// EvictIdle drops a non-home cache copy once the node serves none of
+	// its requests ("a child deletes some of its cached documents").
+	EvictIdle bool
+	// Delegation selects the copy-choice policy; default largest-first.
+	Delegation DelegationPolicy
+	// Seed drives DelegateRandom; ignored by the other policies.
+	Seed int64
+	// CacheCap bounds the number of cache copies a non-home node may hold
+	// (0 = unlimited, the paper's simplifying assumption). When a node
+	// exceeds the bound, its coldest copies are evicted; their load flows
+	// back toward the home server at the next reconciliation.
+	CacheCap int
+	// Eps is the load-comparison tolerance; default core.Eps.
+	Eps float64
+}
+
+func (c Config) withDefaults(t *tree.Tree) Config {
+	if c.Alpha == nil {
+		c.Alpha = wave.MaxDegreeAlpha(t)
+	}
+	if c.BarrierPatience <= 0 {
+		c.BarrierPatience = 3
+	}
+	if c.Eps <= 0 {
+		c.Eps = core.Eps
+	}
+	return c
+}
+
+// Placement is an explicit initial cache/service state. The home server
+// always holds every document and absorbs all residual request flow.
+type Placement struct {
+	// Cached[v] lists document indices cached at node v (beyond the home's
+	// implicit full set).
+	Cached map[int][]int
+	// Serve[v][d] is the request rate for document d that node v initially
+	// serves. Rates at non-cached nodes are rejected. The home's serve
+	// rates are derived (residual flow); any value given for it is ignored.
+	Serve [][]float64
+}
+
+// TunnelEvent records one tunneling recovery.
+type TunnelEvent struct {
+	Round int
+	Node  int
+	Doc   int
+	// ParentLoad and NodeLoad are the loads that triggered the recovery.
+	ParentLoad, NodeLoad float64
+}
+
+// Sim is a synchronous document-level WebWave simulator.
+type Sim struct {
+	t      *tree.Tree
+	demand *trace.Demand
+	cfg    Config
+	nDocs  int
+
+	cached [][]bool    // cached[v][d]
+	serve  [][]float64 // serve[v][d]: request rate of d served at v
+	flow   [][]float64 // flow[v][d]: rate of d forwarded by v (A_v^d)
+	load   core.Vector // L_v = Σ_d serve[v][d]
+
+	// Barrier bookkeeping: consecutive periods each node has been
+	// under-loaded relative to its parent without receiving a delegation.
+	underloadedFor []int
+	round          int
+	rng            *rand.Rand // DelegateRandom only
+
+	Tunnels     []TunnelEvent
+	Delegations int
+	Sheds       int
+	Claims      int
+	Evictions   int
+	// CopiesCreated counts cache copies materialized by delegation and
+	// tunneling (the transfer cost the copy-choice policy controls).
+	CopiesCreated int
+}
+
+// NewSim builds a simulator. placement may be nil, which starts from the
+// "freshly published" state: the home serves everything.
+func NewSim(t *tree.Tree, demand *trace.Demand, cfg Config, placement *Placement) (*Sim, error) {
+	if err := demand.Validate(t.Len()); err != nil {
+		return nil, fmt.Errorf("docwave: %w", err)
+	}
+	cfg = cfg.withDefaults(t)
+	n := t.Len()
+	m := len(demand.Docs)
+	s := &Sim{
+		t:              t,
+		demand:         demand,
+		cfg:            cfg,
+		nDocs:          m,
+		cached:         make([][]bool, n),
+		serve:          make([][]float64, n),
+		flow:           make([][]float64, n),
+		load:           make(core.Vector, n),
+		underloadedFor: make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		s.cached[v] = make([]bool, m)
+		s.serve[v] = make([]float64, m)
+		s.flow[v] = make([]float64, m)
+	}
+	for d := 0; d < m; d++ {
+		s.cached[t.Root()][d] = true // the home is authoritative for all
+	}
+	if cfg.Delegation == DelegateRandom {
+		s.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	if placement != nil {
+		for v, docs := range placement.Cached {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("docwave: placement node %d out of range", v)
+			}
+			for _, d := range docs {
+				if d < 0 || d >= m {
+					return nil, fmt.Errorf("docwave: placement doc %d out of range", d)
+				}
+				s.cached[v][d] = true
+			}
+		}
+		if placement.Serve != nil {
+			if len(placement.Serve) != n {
+				return nil, fmt.Errorf("docwave: placement serve has %d rows, want %d", len(placement.Serve), n)
+			}
+			for v, row := range placement.Serve {
+				if v == t.Root() {
+					continue // the home's service is derived
+				}
+				if len(row) != m {
+					return nil, fmt.Errorf("docwave: placement serve row %d has %d cols, want %d", v, len(row), m)
+				}
+				for d, rate := range row {
+					if rate < 0 {
+						return nil, fmt.Errorf("docwave: placement serve[%d][%d] = %v negative", v, d, rate)
+					}
+					if rate > 0 && !s.cached[v][d] {
+						return nil, fmt.Errorf("docwave: node %d serves doc %d without caching it", v, d)
+					}
+					s.serve[v][d] = rate
+				}
+			}
+		}
+	}
+	s.reconcile()
+	return s, nil
+}
+
+// reconcile recomputes per-document flows bottom-up, clipping each node's
+// served rate to the flow actually passing through it (a cache copy can only
+// serve requests that stumble on it en route to the home server), and makes
+// the home absorb every residual. It then refreshes the load vector.
+func (s *Sim) reconcile() {
+	t := s.t
+	root := t.Root()
+	post := t.PostOrder()
+	for d := 0; d < s.nDocs; d++ {
+		for _, v := range post {
+			in := s.demand.Rates[v][d]
+			t.EachChild(v, func(c int) {
+				in += s.flow[c][d]
+			})
+			if v == root {
+				// Authoritative copy: serve everything that arrives.
+				s.serve[v][d] = in
+				s.flow[v][d] = 0
+				continue
+			}
+			sv := s.serve[v][d]
+			if !s.cached[v][d] {
+				sv = 0
+			}
+			if sv > in {
+				sv = in
+			}
+			s.serve[v][d] = sv
+			s.flow[v][d] = in - sv
+		}
+	}
+	for v := range s.load {
+		sum := 0.0
+		for d := 0; d < s.nDocs; d++ {
+			sum += s.serve[v][d]
+		}
+		s.load[v] = sum
+	}
+}
+
+// Load returns a copy of the current per-node load vector.
+func (s *Sim) Load() core.Vector { return core.CloneVec(s.load) }
+
+// CachedDocs returns the document indices cached at v, sorted.
+func (s *Sim) CachedDocs(v int) []int {
+	var out []int
+	for d, c := range s.cached[v] {
+		if c {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Copies returns the nodes holding document d, sorted.
+func (s *Sim) Copies(d int) []int {
+	var out []int
+	for v := range s.cached {
+		if s.cached[v][d] {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ServeRate returns the rate of document d served at node v.
+func (s *Sim) ServeRate(v, d int) float64 { return s.serve[v][d] }
+
+// ForwardRate returns the rate of document d forwarded by node v.
+func (s *Sim) ForwardRate(v, d int) float64 { return s.flow[v][d] }
+
+// Round returns the number of completed simulation rounds.
+func (s *Sim) Round() int { return s.round }
+
+// IsBarrier evaluates the paper's potential-barrier predicate at node j:
+// j has a parent i and children k, k′ with L_k′ ≥ L_j ≥ L_i > L_k, and j
+// caches no document that the under-loaded child k's subtree requests.
+func (s *Sim) IsBarrier(j int) bool {
+	t := s.t
+	if j == t.Root() || t.NumChildren(j) < 2 {
+		return false
+	}
+	i := t.Parent(j)
+	kids := t.Children(j)
+	for _, k := range kids {
+		if !(s.load[i] > s.load[k]) || !(s.load[j] >= s.load[i]) {
+			continue
+		}
+		hasHigher := false
+		for _, k2 := range kids {
+			if k2 != k && s.load[k2] >= s.load[j] {
+				hasHigher = true
+				break
+			}
+		}
+		if !hasHigher {
+			continue
+		}
+		// Does j cache anything k forwards?
+		blocked := true
+		for d := 0; d < s.nDocs; d++ {
+			if s.flow[k][d] > s.cfg.Eps && s.cached[j][d] {
+				blocked = false
+				break
+			}
+		}
+		if blocked {
+			return true
+		}
+	}
+	return false
+}
+
+// Step runs one synchronous period: every node runs the WebWave body
+// against the same load snapshot, delegating documents down and shedding
+// service up; then under-loaded children evaluate the tunneling trigger.
+func (s *Sim) Step() {
+	t := s.t
+	snapshot := core.CloneVec(s.load)
+	delegatedTo := make([]bool, t.Len())
+
+	for _, edge := range t.Edges() {
+		i, j := edge[0], edge[1] // i parent, j child
+		a := s.cfg.Alpha(i, j)
+		switch {
+		case snapshot[i] > snapshot[j]+s.cfg.Eps:
+			want := a * (snapshot[i] - snapshot[j])
+			moved := s.delegateDown(i, j, want)
+			if moved > s.cfg.Eps {
+				delegatedTo[j] = true
+				s.Delegations++
+			}
+			// An under-loaded node with cache copies also absorbs request
+			// flow passing through it — "when the request flies by a node
+			// with a cache copy, the node handles it, if its present
+			// request rate is smaller than it should be" (Section 3). The
+			// claim is bounded by the same α-scaled deficit, so the round
+			// stays contractive.
+			if moved < want-s.cfg.Eps {
+				if s.claimPassing(j, want-moved) > s.cfg.Eps {
+					delegatedTo[j] = true
+					s.Claims++
+				}
+			}
+		case snapshot[j] > snapshot[i]+s.cfg.Eps:
+			want := a * (snapshot[j] - snapshot[i])
+			if s.shedUp(i, j, want) > s.cfg.Eps {
+				s.Sheds++
+			}
+		}
+	}
+
+	s.reconcile()
+
+	if s.cfg.EvictIdle {
+		s.evictIdle()
+		s.reconcile()
+	}
+	if s.cfg.CacheCap > 0 {
+		if s.enforceCacheCap() {
+			s.reconcile()
+		}
+	}
+
+	// Tunneling trigger (Section 5.2): a node that stays under-loaded
+	// relative to its parent with no delegation arriving assumes the parent
+	// is a potential barrier and fetches a hot forwarded document directly.
+	for v := 0; v < t.Len(); v++ {
+		if v == t.Root() {
+			continue
+		}
+		p := t.Parent(v)
+		if s.load[v]+s.cfg.Eps < s.load[p] && !delegatedTo[v] {
+			s.underloadedFor[v]++
+		} else {
+			s.underloadedFor[v] = 0
+		}
+		if s.cfg.Tunneling && s.underloadedFor[v] >= s.cfg.BarrierPatience {
+			if d, ok := s.pickTunnelDoc(v); ok {
+				s.cached[v][d] = true
+				s.CopiesCreated++
+				s.Tunnels = append(s.Tunnels, TunnelEvent{
+					Round: s.round, Node: v, Doc: d,
+					ParentLoad: s.load[p], NodeLoad: s.load[v],
+				})
+				// Having cached d, the node starts serving the requests it
+				// forwards for it, up to its deficit relative to the parent.
+				deficit := (s.load[p] - s.load[v]) / 2
+				claim := s.flow[v][d]
+				if claim > deficit {
+					claim = deficit
+				}
+				s.serve[v][d] += claim
+				s.underloadedFor[v] = 0
+			}
+		}
+	}
+	s.reconcile()
+	s.round++
+}
+
+// delegateDown moves up to `want` of parent i's served rate to child j,
+// choosing documents that i serves and j forwards (NSS: only requests j
+// already relays can be served at j). Copies are created on demand — "cache
+// copies are created only when a parent detects a less loaded child".
+// It returns the amount moved.
+func (s *Sim) delegateDown(i, j int, want float64) float64 {
+	type cand struct {
+		d   int
+		cap float64
+	}
+	var cands []cand
+	for d := 0; d < s.nDocs; d++ {
+		if s.serve[i][d] <= s.cfg.Eps || s.flow[j][d] <= s.cfg.Eps {
+			continue
+		}
+		c := s.serve[i][d]
+		if f := s.flow[j][d]; f < c {
+			c = f
+		}
+		cands = append(cands, cand{d: d, cap: c})
+	}
+	// Order by the configured copy-choice policy. Largest transferable
+	// stream first creates the fewest copies per unit of load moved.
+	switch s.cfg.Delegation {
+	case DelegateSmallestFirst:
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].cap != cands[b].cap {
+				return cands[a].cap < cands[b].cap
+			}
+			return cands[a].d < cands[b].d
+		})
+	case DelegateRandom:
+		s.rng.Shuffle(len(cands), func(a, b int) {
+			cands[a], cands[b] = cands[b], cands[a]
+		})
+	default: // DelegateLargestFirst
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].cap != cands[b].cap {
+				return cands[a].cap > cands[b].cap
+			}
+			return cands[a].d < cands[b].d
+		})
+	}
+	moved := 0.0
+	for _, c := range cands {
+		if moved >= want-s.cfg.Eps {
+			break
+		}
+		amt := want - moved
+		if amt > c.cap {
+			amt = c.cap
+		}
+		s.serve[i][c.d] -= amt
+		if !s.cached[j][c.d] {
+			s.cached[j][c.d] = true
+			s.CopiesCreated++
+		}
+		s.serve[j][c.d] += amt
+		moved += amt
+	}
+	return moved
+}
+
+// shedUp reduces child j's served rate by up to `want`; the freed requests
+// flow toward the root. Documents the parent caches are preferred (the
+// parent picks the load up immediately, matching the fluid model); shedding
+// an un-cached document pushes the load to the nearest caching ancestor —
+// ultimately the home server.
+func (s *Sim) shedUp(i, j int, want float64) float64 {
+	type cand struct {
+		d            int
+		cap          float64
+		parentCached bool
+	}
+	var cands []cand
+	for d := 0; d < s.nDocs; d++ {
+		if s.serve[j][d] <= s.cfg.Eps {
+			continue
+		}
+		cands = append(cands, cand{d: d, cap: s.serve[j][d], parentCached: s.cached[i][d]})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].parentCached != cands[b].parentCached {
+			return cands[a].parentCached
+		}
+		if cands[a].cap != cands[b].cap {
+			return cands[a].cap > cands[b].cap
+		}
+		return cands[a].d < cands[b].d
+	})
+	shed := 0.0
+	for _, c := range cands {
+		if shed >= want-s.cfg.Eps {
+			break
+		}
+		amt := want - shed
+		if amt > c.cap {
+			amt = c.cap
+		}
+		s.serve[j][c.d] -= amt
+		if c.parentCached {
+			s.serve[i][c.d] += amt
+		}
+		shed += amt
+	}
+	return shed
+}
+
+// claimPassing lets node v absorb up to `want` additional request flow from
+// documents it already caches, stealing load from caching ancestors (the
+// nearest upstream copy loses the corresponding residual at the next
+// reconciliation). Returns the amount claimed.
+func (s *Sim) claimPassing(v int, want float64) float64 {
+	type cand struct {
+		d   int
+		cap float64
+	}
+	var cands []cand
+	for d := 0; d < s.nDocs; d++ {
+		if !s.cached[v][d] || s.flow[v][d] <= s.cfg.Eps {
+			continue
+		}
+		cands = append(cands, cand{d: d, cap: s.flow[v][d]})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].cap != cands[b].cap {
+			return cands[a].cap > cands[b].cap
+		}
+		return cands[a].d < cands[b].d
+	})
+	claimed := 0.0
+	for _, c := range cands {
+		if claimed >= want-s.cfg.Eps {
+			break
+		}
+		amt := want - claimed
+		if amt > c.cap {
+			amt = c.cap
+		}
+		s.serve[v][c.d] += amt
+		s.flow[v][c.d] -= amt
+		claimed += amt
+	}
+	return claimed
+}
+
+// pickTunnelDoc chooses the document the node forwards the most requests
+// for among those it does not cache.
+func (s *Sim) pickTunnelDoc(v int) (int, bool) {
+	best, bestFlow := -1, s.cfg.Eps
+	for d := 0; d < s.nDocs; d++ {
+		if s.cached[v][d] {
+			continue
+		}
+		if f := s.flow[v][d]; f > bestFlow {
+			best, bestFlow = d, f
+		}
+	}
+	return best, best >= 0
+}
+
+// enforceCacheCap evicts the coldest copies at nodes over the capacity
+// bound, reporting whether anything was evicted.
+func (s *Sim) enforceCacheCap() bool {
+	root := s.t.Root()
+	evicted := false
+	for v := range s.cached {
+		if v == root {
+			continue
+		}
+		var held []int
+		for d := 0; d < s.nDocs; d++ {
+			if s.cached[v][d] {
+				held = append(held, d)
+			}
+		}
+		excess := len(held) - s.cfg.CacheCap
+		if excess <= 0 {
+			continue
+		}
+		// Coldest first (lowest served rate, ties by doc id).
+		sort.Slice(held, func(a, b int) bool {
+			if s.serve[v][held[a]] != s.serve[v][held[b]] {
+				return s.serve[v][held[a]] < s.serve[v][held[b]]
+			}
+			return held[a] < held[b]
+		})
+		for _, d := range held[:excess] {
+			s.cached[v][d] = false
+			s.serve[v][d] = 0
+			s.Evictions++
+			evicted = true
+		}
+	}
+	return evicted
+}
+
+// evictIdle drops copies that serve nothing at non-home nodes.
+func (s *Sim) evictIdle() {
+	root := s.t.Root()
+	for v := range s.cached {
+		if v == root {
+			continue
+		}
+		for d := 0; d < s.nDocs; d++ {
+			if s.cached[v][d] && s.serve[v][d] <= s.cfg.Eps {
+				s.cached[v][d] = false
+				s.serve[v][d] = 0
+				s.Evictions++
+			}
+		}
+	}
+}
+
+// RunResult captures a document-level run.
+type RunResult struct {
+	Distances []float64
+	Rounds    int
+	Final     core.Vector
+	Converged bool
+	Tunnels   []TunnelEvent
+}
+
+// Run executes rounds until the Euclidean distance to target drops below
+// tol or maxRounds elapse.
+func (s *Sim) Run(target core.Vector, maxRounds int, tol float64) (*RunResult, error) {
+	if len(target) != s.t.Len() {
+		return nil, fmt.Errorf("docwave: target length %d != n %d", len(target), s.t.Len())
+	}
+	res := &RunResult{Distances: []float64{stats.Euclidean(s.load, target)}}
+	for r := 0; r < maxRounds; r++ {
+		s.Step()
+		res.Rounds++
+		d := stats.Euclidean(s.load, target)
+		res.Distances = append(res.Distances, d)
+		if d <= tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Final = s.Load()
+	res.Tunnels = append([]TunnelEvent(nil), s.Tunnels...)
+	return res, nil
+}
+
+// TotalLoad returns ΣL; reconciliation keeps it equal to the demand total.
+func (s *Sim) TotalLoad() float64 { return core.SumVec(s.load) }
+
+// MeanHops returns the average number of tree edges a request crosses
+// before being served under the current placement: every unit of forwarded
+// flow crosses exactly one edge, so the mean is Σ_v Σ_d A_v^d divided by
+// the total demand. Requests served where they originate contribute zero.
+func (s *Sim) MeanHops() float64 {
+	total := s.demand.Total()
+	if total <= 0 {
+		return 0
+	}
+	fwd := 0.0
+	for v := range s.flow {
+		for d := 0; d < s.nDocs; d++ {
+			fwd += s.flow[v][d]
+		}
+	}
+	return fwd / total
+}

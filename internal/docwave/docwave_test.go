@@ -1,0 +1,348 @@
+package docwave
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"webwave/internal/core"
+	"webwave/internal/fold"
+	"webwave/internal/trace"
+	"webwave/internal/tree"
+)
+
+// quickCheck wraps testing/quick with a max count.
+func quickCheck(f interface{}, maxCount int) error {
+	return quick.Check(f, &quick.Config{MaxCount: maxCount})
+}
+
+// figure7 builds the paper's barrier instance: see internal/repro/fig7.go
+// for the narrative. Duplicated here (rather than imported) to keep the
+// package's tests self-contained.
+func figure7() (*tree.Tree, *trace.Demand, *Placement) {
+	t, _ := tree.Figure7Topology()
+	demand := &trace.Demand{
+		Docs: []core.Document{{ID: "d1"}, {ID: "d2"}, {ID: "d3"}},
+		Rates: [][]float64{
+			{0, 0, 0},
+			{0, 0, 0},
+			{0, 0, 120},
+			{120, 120, 0},
+		},
+	}
+	placement := &Placement{
+		Cached: map[int][]int{1: {0, 1}, 3: {1}},
+		Serve: [][]float64{
+			{0, 0, 0},
+			{120, 0, 0},
+			{0, 0, 0},
+			{0, 120, 0},
+		},
+	}
+	return t, demand, placement
+}
+
+func TestNewSimValidation(t *testing.T) {
+	tr, demand, _ := figure7()
+	if _, err := NewSim(tr, &trace.Demand{Docs: demand.Docs, Rates: demand.Rates[:2]}, Config{}, nil); err == nil {
+		t.Error("short demand accepted")
+	}
+	bad := &Placement{Cached: map[int][]int{99: {0}}}
+	if _, err := NewSim(tr, demand, Config{}, bad); err == nil {
+		t.Error("out-of-range placement node accepted")
+	}
+	bad2 := &Placement{Cached: map[int][]int{1: {99}}}
+	if _, err := NewSim(tr, demand, Config{}, bad2); err == nil {
+		t.Error("out-of-range placement doc accepted")
+	}
+	// Serving without caching is rejected.
+	bad3 := &Placement{Serve: [][]float64{{0, 0, 0}, {5, 0, 0}, {0, 0, 0}, {0, 0, 0}}}
+	if _, err := NewSim(tr, demand, Config{}, bad3); err == nil {
+		t.Error("serve-without-cache accepted")
+	}
+	// Negative serve rate rejected.
+	bad4 := &Placement{
+		Cached: map[int][]int{1: {0}},
+		Serve:  [][]float64{{0, 0, 0}, {-5, 0, 0}, {0, 0, 0}, {0, 0, 0}},
+	}
+	if _, err := NewSim(tr, demand, Config{}, bad4); err == nil {
+		t.Error("negative serve accepted")
+	}
+}
+
+func TestInitialStateHomeServesAll(t *testing.T) {
+	tr, demand, _ := figure7()
+	s, err := NewSim(tr, demand, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := s.Load()
+	if load[tr.Root()] != 360 {
+		t.Errorf("home load = %v, want 360", load[tr.Root()])
+	}
+	for v := 1; v < tr.Len(); v++ {
+		if load[v] != 0 {
+			t.Errorf("node %d starts with load %v", v, load[v])
+		}
+	}
+}
+
+func TestWedgedStateIsFixedWithoutTunneling(t *testing.T) {
+	tr, demand, placement := figure7()
+	s, err := NewSim(tr, demand, Config{Tunneling: false}, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Vector{120, 120, 0, 120}
+	if !core.VecAlmostEqual(s.Load(), want, 1e-9) {
+		t.Fatalf("initial load = %v, want %v", s.Load(), want)
+	}
+	if !s.IsBarrier(1) {
+		t.Fatal("barrier predicate false on the Figure 7 state")
+	}
+	for i := 0; i < 50; i++ {
+		s.Step()
+	}
+	if !core.VecAlmostEqual(s.Load(), want, 1e-6) {
+		t.Errorf("wedged state moved to %v", s.Load())
+	}
+	if len(s.Tunnels) != 0 {
+		t.Error("tunneling fired while disabled")
+	}
+}
+
+func TestTunnelingResolvesBarrier(t *testing.T) {
+	tr, demand, placement := figure7()
+	s, err := NewSim(tr, demand, Config{Tunneling: true}, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := core.UniformVec(4, 90)
+	rr, err := s.Run(target, 400, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Converged {
+		t.Fatalf("tunneling run did not converge: final %v", rr.Final)
+	}
+	if len(rr.Tunnels) == 0 {
+		t.Fatal("no tunnel events recorded")
+	}
+	ev := rr.Tunnels[0]
+	if ev.Node != 2 || ev.Doc != 2 {
+		t.Errorf("tunnel event = %+v, want node 2 fetching doc 2 (d3)", ev)
+	}
+	// The copy of d3 must now exist at node 2.
+	copies := s.Copies(2)
+	found := false
+	for _, v := range copies {
+		if v == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("d3 copies at %v, missing node 2", copies)
+	}
+}
+
+func TestBarrierPatienceRespected(t *testing.T) {
+	tr, demand, placement := figure7()
+	s, err := NewSim(tr, demand, Config{Tunneling: true, BarrierPatience: 5}, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.Step()
+	}
+	if len(s.Tunnels) != 0 {
+		t.Fatalf("tunneled after %d rounds with patience 5", s.Round())
+	}
+	for i := 0; i < 3; i++ {
+		s.Step()
+	}
+	if len(s.Tunnels) == 0 {
+		t.Error("never tunneled despite sustained under-load")
+	}
+}
+
+func TestLoadConservation(t *testing.T) {
+	tr, demand, placement := figure7()
+	s, err := NewSim(tr, demand, Config{Tunneling: true}, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := demand.Total()
+	for i := 0; i < 100; i++ {
+		s.Step()
+		if math.Abs(s.TotalLoad()-total) > 1e-6 {
+			t.Fatalf("round %d: total %v != %v", i, s.TotalLoad(), total)
+		}
+	}
+}
+
+func TestServeNeverExceedsFlow(t *testing.T) {
+	tr, demand, placement := figure7()
+	s, err := NewSim(tr, demand, Config{Tunneling: true}, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		s.Step()
+		for v := 0; v < tr.Len(); v++ {
+			for d := 0; d < 3; d++ {
+				if s.ServeRate(v, d) < -1e-9 {
+					t.Fatalf("negative serve at (%d,%d)", v, d)
+				}
+				if s.ForwardRate(v, d) < -1e-9 {
+					t.Fatalf("negative forward at (%d,%d)", v, d)
+				}
+			}
+		}
+	}
+}
+
+func TestBarrierPredicateNegativeCases(t *testing.T) {
+	tr, demand, placement := figure7()
+	s, err := NewSim(tr, demand, Config{}, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IsBarrier(tr.Root()) {
+		t.Error("root cannot be a barrier")
+	}
+	if s.IsBarrier(2) || s.IsBarrier(3) {
+		t.Error("leaves (one child or fewer) cannot be barriers")
+	}
+}
+
+func TestConvergesFromColdStartRandomDemand(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr, err := tree.Random(12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand, err := trace.ZipfDemand(tr, trace.ZipfDemandConfig{
+		NumDocs: 6, Skew: 1, TotalRate: 600,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlb, err := fold.Compute(tr, demand.NodeTotals())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSim(tr, demand, Config{Tunneling: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := s.Run(tlb.Load, 3000, 0.01*demand.Total())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rr.Distances[len(rr.Distances)-1]
+	if last > 0.05*demand.Total() {
+		t.Errorf("cold start far from TLB: %v of total %v (d0=%v)",
+			last, demand.Total(), rr.Distances[0])
+	}
+}
+
+func TestEvictIdleDropsUnusedCopies(t *testing.T) {
+	tr, demand, placement := figure7()
+	s, err := NewSim(tr, demand, Config{Tunneling: true, EvictIdle: true}, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		s.Step()
+	}
+	if s.Evictions == 0 {
+		t.Error("no evictions despite idle copies existing at some point")
+	}
+	// Home must never evict.
+	if got := len(s.CachedDocs(tr.Root())); got != 3 {
+		t.Errorf("home caches %d docs, want 3", got)
+	}
+}
+
+func TestRunTargetValidation(t *testing.T) {
+	tr, demand, _ := figure7()
+	s, err := NewSim(tr, demand, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(core.Vector{1}, 10, 0); err == nil {
+		t.Error("short target accepted")
+	}
+}
+
+// Property: from arbitrary random valid placements, the simulator keeps
+// every invariant — load conservation, non-negative per-document serve and
+// forward rates, and serve ≤ through-flow (enforced by reconciliation).
+func TestQuickRandomPlacementsInvariant(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		n := int(szRaw%12) + 2
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := tree.Random(n, rng)
+		if err != nil {
+			return false
+		}
+		demand, err := trace.ZipfDemand(tr, trace.ZipfDemandConfig{
+			NumDocs: 4, Skew: 1, TotalRate: 400,
+		}, rng)
+		if err != nil {
+			return false
+		}
+		// Random placement: each (node, doc) cached with prob 1/3, serving
+		// a random rate (reconciliation clips to feasibility).
+		placement := &Placement{Cached: map[int][]int{}, Serve: make([][]float64, n)}
+		for v := 0; v < n; v++ {
+			placement.Serve[v] = make([]float64, 4)
+			for d := 0; d < 4; d++ {
+				if v != tr.Root() && rng.Float64() < 1.0/3 {
+					placement.Cached[v] = append(placement.Cached[v], d)
+					placement.Serve[v][d] = rng.Float64() * 200
+				}
+			}
+		}
+		s, err := NewSim(tr, demand, Config{Tunneling: rng.Intn(2) == 0}, placement)
+		if err != nil {
+			return false
+		}
+		total := demand.Total()
+		for r := 0; r < 30; r++ {
+			s.Step()
+			if math.Abs(s.TotalLoad()-total) > 1e-6 {
+				return false
+			}
+			for v := 0; v < n; v++ {
+				for d := 0; d < 4; d++ {
+					if s.ServeRate(v, d) < -1e-9 || s.ForwardRate(v, d) < -1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quickCheck(f, 40); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCachedDocsAndCopies(t *testing.T) {
+	tr, demand, placement := figure7()
+	s, err := NewSim(tr, demand, Config{}, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := s.CachedDocs(1)
+	if len(docs) != 2 || docs[0] != 0 || docs[1] != 1 {
+		t.Errorf("CachedDocs(1) = %v, want [0 1]", docs)
+	}
+	// d1 (index 0) is cached at home and node 1.
+	copies := s.Copies(0)
+	if len(copies) != 2 || copies[0] != tr.Root() || copies[1] != 1 {
+		t.Errorf("Copies(0) = %v", copies)
+	}
+}

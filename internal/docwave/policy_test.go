@@ -1,0 +1,116 @@
+package docwave
+
+import (
+	"strings"
+	"testing"
+
+	"webwave/internal/core"
+	"webwave/internal/trace"
+	"webwave/internal/tree"
+)
+
+// twoDocDemand builds a 2-node chain where the leaf requests one big and
+// one small document stream — the minimal instance where copy choice
+// matters.
+func twoDocDemand(t *testing.T) (*tree.Tree, *trace.Demand) {
+	t.Helper()
+	tr := tree.MustFromParents([]int{tree.NoParent, 0})
+	d := &trace.Demand{
+		Docs: []core.Document{{ID: "big"}, {ID: "small"}},
+		// Rates[node][doc]: the leaf (node 1) generates 90 req/s for "big"
+		// and 10 req/s for "small".
+		Rates: [][]float64{{0, 0}, {90, 10}},
+	}
+	if err := d.Validate(tr.Len()); err != nil {
+		t.Fatal(err)
+	}
+	return tr, d
+}
+
+func TestDelegateLargestFirstCopiesOneDoc(t *testing.T) {
+	tr, demand := twoDocDemand(t)
+	s, err := NewSim(tr, demand, Config{Delegation: DelegateLargestFirst}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One step: the root (load 100) delegates α·(100−0) = 50 to the leaf.
+	// Largest-first covers all 50 from the 90-unit "big" stream: 1 copy.
+	s.Step()
+	if s.CopiesCreated != 1 {
+		t.Fatalf("largest-first created %d copies after one step, want 1", s.CopiesCreated)
+	}
+	if docs := s.CachedDocs(1); len(docs) != 1 || docs[0] != 0 {
+		t.Fatalf("leaf caches %v, want [0] (the big doc)", docs)
+	}
+}
+
+func TestDelegateSmallestFirstCopiesBothDocs(t *testing.T) {
+	tr, demand := twoDocDemand(t)
+	s, err := NewSim(tr, demand, Config{Delegation: DelegateSmallestFirst}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smallest-first exhausts the 10-unit "small" stream, then still needs
+	// 40 more from "big": 2 copies for the same 50 units of load.
+	s.Step()
+	if s.CopiesCreated != 2 {
+		t.Fatalf("smallest-first created %d copies after one step, want 2", s.CopiesCreated)
+	}
+}
+
+func TestDelegateRandomIsSeededDeterministic(t *testing.T) {
+	tr, demand := twoDocDemand(t)
+	run := func(seed int64) int {
+		s, err := NewSim(tr, demand, Config{Delegation: DelegateRandom, Seed: seed}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			s.Step()
+		}
+		return s.CopiesCreated
+	}
+	if run(1) != run(1) {
+		t.Error("same seed produced different copy counts")
+	}
+}
+
+func TestDelegationPolicyString(t *testing.T) {
+	for _, tc := range []struct {
+		p    DelegationPolicy
+		want string
+	}{
+		{DelegateLargestFirst, "largest-first"},
+		{DelegateSmallestFirst, "smallest-first"},
+		{DelegateRandom, "random"},
+	} {
+		if got := tc.p.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", int(tc.p), got, tc.want)
+		}
+	}
+	if s := DelegationPolicy(42).String(); !strings.Contains(s, "42") {
+		t.Errorf("unknown policy String() = %q", s)
+	}
+}
+
+func TestPoliciesReachSameBalance(t *testing.T) {
+	// Copy choice changes transfer cost, not the diffusion amounts: all
+	// policies must end at (essentially) the same load distribution.
+	tr, demand := twoDocDemand(t)
+	finals := map[DelegationPolicy]float64{}
+	for _, pol := range []DelegationPolicy{DelegateLargestFirst, DelegateSmallestFirst, DelegateRandom} {
+		s, err := NewSim(tr, demand, Config{Delegation: pol}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 60; i++ {
+			s.Step()
+		}
+		finals[pol] = s.Load()[0]
+	}
+	for pol, l0 := range finals {
+		if l0 < 49 || l0 > 51 {
+			t.Errorf("%s: root load %v after 60 rounds, want ~50 (GLE here)", pol, l0)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package filter
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"webwave/internal/core"
+)
+
+// AtomOp is a predicate atom's comparison operator.
+type AtomOp uint8
+
+// Atom operators. Numeric comparisons treat the loaded field as an unsigned
+// big-endian integer of the atom's width.
+const (
+	OpEQ AtomOp = iota + 1
+	OpNE
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+	// OpMaskEQ tests (field & Mask) == Val.
+	OpMaskEQ
+	// OpBytesEQ compares raw packet bytes at Off against Bytes.
+	OpBytesEQ
+)
+
+func (op AtomOp) String() string {
+	switch op {
+	case OpEQ:
+		return "=="
+	case OpNE:
+		return "!="
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	case OpMaskEQ:
+		return "&=="
+	case OpBytesEQ:
+		return "bytes=="
+	default:
+		return fmt.Sprintf("AtomOp(%d)", uint8(op))
+	}
+}
+
+// Atom is one predicate over a packet: load Width bytes at Off and compare
+// with Op against Val (or Bytes for OpBytesEQ). A packet too short for the
+// load fails the atom.
+type Atom struct {
+	Off   int
+	Width uint8 // 1, 2, 4 or 8; ignored by OpBytesEQ
+	Op    AtomOp
+	Val   uint64
+	Mask  uint64 // OpMaskEQ only
+	Bytes []byte // OpBytesEQ only
+}
+
+// String renders the atom for diagnostics, e.g. "u64@8 == 0x1234".
+func (a Atom) String() string {
+	if a.Op == OpBytesEQ {
+		return fmt.Sprintf("bytes@%d == %q", a.Off, a.Bytes)
+	}
+	if a.Op == OpMaskEQ {
+		return fmt.Sprintf("u%d@%d & %#x == %#x", a.Width*8, a.Off, a.Mask, a.Val)
+	}
+	return fmt.Sprintf("u%d@%d %s %#x", a.Width*8, a.Off, a.Op, a.Val)
+}
+
+// Validate checks the atom's shape.
+func (a Atom) Validate() error {
+	if a.Off < 0 {
+		return fmt.Errorf("filter: atom offset %d negative", a.Off)
+	}
+	switch a.Op {
+	case OpBytesEQ:
+		if len(a.Bytes) == 0 {
+			return fmt.Errorf("filter: OpBytesEQ with empty bytes")
+		}
+	case OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE, OpMaskEQ:
+		switch a.Width {
+		case 1, 2, 4, 8:
+		default:
+			return fmt.Errorf("filter: atom width %d not in {1,2,4,8}", a.Width)
+		}
+	default:
+		return fmt.Errorf("filter: unknown atom op %d", a.Op)
+	}
+	return nil
+}
+
+// loadField reads Width big-endian bytes at Off. ok is false when the packet
+// is too short.
+func loadField(pkt []byte, off int, width uint8) (v uint64, ok bool) {
+	if off < 0 || off+int(width) > len(pkt) {
+		return 0, false
+	}
+	switch width {
+	case 1:
+		return uint64(pkt[off]), true
+	case 2:
+		return uint64(binary.BigEndian.Uint16(pkt[off:])), true
+	case 4:
+		return uint64(binary.BigEndian.Uint32(pkt[off:])), true
+	case 8:
+		return binary.BigEndian.Uint64(pkt[off:]), true
+	default:
+		return 0, false
+	}
+}
+
+// Match is the reference evaluator: the straightforward semantics every
+// compiled form must reproduce.
+func (a Atom) Match(pkt []byte) bool {
+	if a.Op == OpBytesEQ {
+		end := a.Off + len(a.Bytes)
+		if a.Off < 0 || end > len(pkt) {
+			return false
+		}
+		return bytes.Equal(pkt[a.Off:end], a.Bytes)
+	}
+	v, ok := loadField(pkt, a.Off, a.Width)
+	if !ok {
+		return false
+	}
+	switch a.Op {
+	case OpEQ:
+		return v == a.Val
+	case OpNE:
+		return v != a.Val
+	case OpLT:
+		return v < a.Val
+	case OpLE:
+		return v <= a.Val
+	case OpGT:
+		return v > a.Val
+	case OpGE:
+		return v >= a.Val
+	case OpMaskEQ:
+		return v&a.Mask == a.Val
+	default:
+		return false
+	}
+}
+
+// equalShape reports whether two atoms test the same field with the same
+// operator (so they can share a dispatch node, differing only in Val).
+func (a Atom) equalShape(b Atom) bool {
+	return a.Off == b.Off && a.Width == b.Width && a.Op == b.Op && a.Mask == b.Mask
+}
+
+// equal reports full structural equality.
+func (a Atom) equal(b Atom) bool {
+	return a.equalShape(b) && a.Val == b.Val && bytes.Equal(a.Bytes, b.Bytes)
+}
+
+// Rule is a conjunction of atoms with an action: "if every atom matches,
+// classify the packet as Action". Rules in a rule list are prioritized —
+// the first matching rule wins.
+type Rule struct {
+	// Action identifies what to do with a matching packet; for document
+	// filters it is the table's handle for the cached document.
+	Action int32
+	Atoms  []Atom
+}
+
+// Validate checks every atom.
+func (r Rule) Validate() error {
+	for i, a := range r.Atoms {
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("atom %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Match is the reference evaluator for a rule.
+func (r Rule) Match(pkt []byte) bool {
+	for _, a := range r.Atoms {
+		if !a.Match(pkt) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the rule for diagnostics.
+func (r Rule) String() string {
+	parts := make([]string, len(r.Atoms))
+	for i, a := range r.Atoms {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("[%s -> %d]", strings.Join(parts, " && "), r.Action)
+}
+
+// MatchRules is the reference classifier over a prioritized rule list: the
+// first matching rule's action wins.
+func MatchRules(rules []Rule, pkt []byte) (action int32, ok bool) {
+	for _, r := range rules {
+		if r.Match(pkt) {
+			return r.Action, true
+		}
+	}
+	return 0, false
+}
+
+// DocRequestRule builds the filter a cache server installs for one cached
+// document: extract well-formed request packets on this tree whose document
+// hash and name both match. The shared magic/version/kind/tree prefix is
+// what the DPF-style compiler merges across filters; the per-document hash
+// atom is what it turns into one hash-dispatch; the name atom makes the
+// match exact even if two names collide in the 64-bit hash.
+func DocRequestRule(tree uint32, doc core.DocID, action int32) Rule {
+	name := []byte(doc)
+	return Rule{
+		Action: action,
+		Atoms: []Atom{
+			{Off: OffMagic, Width: 2, Op: OpEQ, Val: uint64(Magic[0])<<8 | uint64(Magic[1])},
+			{Off: OffVersion, Width: 1, Op: OpEQ, Val: Version},
+			{Off: OffKind, Width: 1, Op: OpEQ, Val: uint64(KindRequest)},
+			{Off: OffTree, Width: 4, Op: OpEQ, Val: uint64(tree)},
+			{Off: OffDocHash, Width: 8, Op: OpEQ, Val: HashDoc(doc)},
+			{Off: OffNameLen, Width: 2, Op: OpEQ, Val: uint64(len(name))},
+			{Off: OffName, Op: OpBytesEQ, Bytes: name},
+		},
+	}
+}

@@ -1,0 +1,147 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAtomMatchOps(t *testing.T) {
+	// Packet bytes: [0x01, 0x02, 0x03, 0x04, 0xFF, 'h', 'i']
+	pkt := []byte{0x01, 0x02, 0x03, 0x04, 0xFF, 'h', 'i'}
+
+	tests := []struct {
+		name string
+		atom Atom
+		want bool
+	}{
+		{"u8 eq hit", Atom{Off: 0, Width: 1, Op: OpEQ, Val: 0x01}, true},
+		{"u8 eq miss", Atom{Off: 0, Width: 1, Op: OpEQ, Val: 0x02}, false},
+		{"u8 ne", Atom{Off: 0, Width: 1, Op: OpNE, Val: 0x02}, true},
+		{"u16 eq", Atom{Off: 0, Width: 2, Op: OpEQ, Val: 0x0102}, true},
+		{"u32 eq", Atom{Off: 0, Width: 4, Op: OpEQ, Val: 0x01020304}, true},
+		{"u8 lt hit", Atom{Off: 0, Width: 1, Op: OpLT, Val: 0x02}, true},
+		{"u8 lt boundary", Atom{Off: 0, Width: 1, Op: OpLT, Val: 0x01}, false},
+		{"u8 le boundary", Atom{Off: 0, Width: 1, Op: OpLE, Val: 0x01}, true},
+		{"u8 gt hit", Atom{Off: 4, Width: 1, Op: OpGT, Val: 0xFE}, true},
+		{"u8 gt boundary", Atom{Off: 4, Width: 1, Op: OpGT, Val: 0xFF}, false},
+		{"u8 ge boundary", Atom{Off: 4, Width: 1, Op: OpGE, Val: 0xFF}, true},
+		{"mask eq hit", Atom{Off: 0, Width: 2, Op: OpMaskEQ, Mask: 0xFF00, Val: 0x0100}, true},
+		{"mask eq miss", Atom{Off: 0, Width: 2, Op: OpMaskEQ, Mask: 0xFF00, Val: 0x0200}, false},
+		{"bytes eq hit", Atom{Off: 5, Op: OpBytesEQ, Bytes: []byte("hi")}, true},
+		{"bytes eq miss", Atom{Off: 5, Op: OpBytesEQ, Bytes: []byte("ho")}, false},
+		{"bytes past end", Atom{Off: 6, Op: OpBytesEQ, Bytes: []byte("ii")}, false},
+		{"load past end", Atom{Off: 6, Width: 2, Op: OpEQ, Val: 0}, false},
+		{"load at end", Atom{Off: 7, Width: 1, Op: OpEQ, Val: 0}, false},
+		{"u64 short packet", Atom{Off: 0, Width: 8, Op: OpEQ, Val: 0}, false},
+		{"negative offset", Atom{Off: -1, Width: 1, Op: OpEQ, Val: 0}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.atom.Match(pkt); got != tc.want {
+				t.Errorf("%s on %v = %v, want %v", tc.atom, pkt, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestAtomValidate(t *testing.T) {
+	valid := []Atom{
+		{Off: 0, Width: 1, Op: OpEQ},
+		{Off: 3, Width: 8, Op: OpMaskEQ, Mask: 1},
+		{Off: 0, Op: OpBytesEQ, Bytes: []byte("x")},
+	}
+	for _, a := range valid {
+		if err := a.Validate(); err != nil {
+			t.Errorf("Validate(%s) = %v, want nil", a, err)
+		}
+	}
+	invalid := []Atom{
+		{Off: -1, Width: 1, Op: OpEQ},
+		{Off: 0, Width: 3, Op: OpEQ},
+		{Off: 0, Width: 0, Op: OpEQ},
+		{Off: 0, Op: OpBytesEQ},           // empty bytes
+		{Off: 0, Width: 1, Op: AtomOp(0)}, // unknown op
+	}
+	for _, a := range invalid {
+		if err := a.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", a)
+		}
+	}
+}
+
+func TestRuleMatchConjunction(t *testing.T) {
+	pkt := EncodeRequest(3, "doc-x", 1, 1)
+	rule := DocRequestRule(3, "doc-x", 7)
+	if !rule.Match(pkt) {
+		t.Fatal("rule should match its own document's request")
+	}
+	// Each atom individually broken must fail the conjunction.
+	otherTree := EncodeRequest(4, "doc-x", 1, 1)
+	if rule.Match(otherTree) {
+		t.Error("matched a request on the wrong tree")
+	}
+	otherDoc := EncodeRequest(3, "doc-y", 1, 1)
+	if rule.Match(otherDoc) {
+		t.Error("matched a request for another document")
+	}
+	resp := Encode(Header{Version: Version, Kind: KindResponse, Tree: 3,
+		DocHash: HashDoc("doc-x"), Name: "doc-x"})
+	if rule.Match(resp) {
+		t.Error("matched a response packet")
+	}
+}
+
+func TestDocRequestRuleHashCollisionRejectedByName(t *testing.T) {
+	// Craft a packet whose hash field matches doc-x but whose name is
+	// doc-y: a simulated 64-bit hash collision. The name atom must reject.
+	pkt := Encode(Header{
+		Version: Version, Kind: KindRequest, Tree: 3,
+		DocHash: HashDoc("doc-x"), Name: "doc-y",
+	})
+	rule := DocRequestRule(3, "doc-x", 7)
+	if rule.Match(pkt) {
+		t.Fatal("hash-colliding packet with different name must not match")
+	}
+}
+
+func TestMatchRulesPriority(t *testing.T) {
+	// Two rules match the same packet; the first must win.
+	pkt := []byte{0xAA, 0xBB}
+	rules := []Rule{
+		{Action: 1, Atoms: []Atom{{Off: 0, Width: 1, Op: OpEQ, Val: 0xAA}}},
+		{Action: 2, Atoms: []Atom{{Off: 1, Width: 1, Op: OpEQ, Val: 0xBB}}},
+	}
+	action, ok := MatchRules(rules, pkt)
+	if !ok || action != 1 {
+		t.Fatalf("MatchRules = (%d, %v), want (1, true)", action, ok)
+	}
+	// Only the second matches.
+	action, ok = MatchRules(rules, []byte{0x00, 0xBB})
+	if !ok || action != 2 {
+		t.Fatalf("MatchRules = (%d, %v), want (2, true)", action, ok)
+	}
+	// Neither matches.
+	if _, ok := MatchRules(rules, []byte{0x00, 0x00}); ok {
+		t.Fatal("MatchRules matched, want miss")
+	}
+}
+
+func TestRuleStringAndAtomString(t *testing.T) {
+	r := DocRequestRule(1, "d", 5)
+	s := r.String()
+	for _, want := range []string{"-> 5", "bytes@32", "u64@8"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Rule.String() = %q, missing %q", s, want)
+		}
+	}
+	ops := []AtomOp{OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE}
+	for _, op := range ops {
+		a := Atom{Off: 0, Width: 1, Op: op, Val: 1}
+		if s := a.String(); s == "" || strings.Contains(s, "AtomOp(") {
+			t.Errorf("Atom{op=%d}.String() = %q", op, s)
+		}
+	}
+	if s := AtomOp(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown op String() = %q", s)
+	}
+}

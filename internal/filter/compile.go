@@ -1,0 +1,349 @@
+package filter
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MatchFunc classifies one packet: the action of the highest-priority
+// matching rule, or ok=false when nothing matches.
+type MatchFunc func(pkt []byte) (action int32, ok bool)
+
+// CompileOptions tune the DPF-style compiler.
+type CompileOptions struct {
+	// DispatchMin is the minimum number of distinct constants in a run of
+	// shape-equal equality atoms before the compiler emits a hash-dispatch
+	// node instead of a chain of tests. Zero means the default (4).
+	// DPF calls this optimization "indexed dispatch": a thousand document
+	// filters that differ only in the document-hash constant become one
+	// O(1) map lookup instead of a thousand comparisons.
+	DispatchMin int
+}
+
+func (o CompileOptions) withDefaults() CompileOptions {
+	if o.DispatchMin <= 0 {
+		o.DispatchMin = 4
+	}
+	return o
+}
+
+// TreeStats describe a compiled decision DAG.
+type TreeStats struct {
+	Tests      int // single-atom test nodes
+	Dispatches int // hash-dispatch nodes
+	Leaves     int // accept leaves
+	MaxFanout  int // largest dispatch table
+}
+
+type nodeKind uint8
+
+const (
+	nodeReject nodeKind = iota
+	nodeAccept
+	nodeTest
+	nodeDispatch
+)
+
+// node is one vertex of the decision DAG. Reject continuations are shared,
+// so the structure is a DAG, not a tree, and its size stays linear in the
+// total number of atoms.
+type node struct {
+	kind nodeKind
+
+	action int32 // nodeAccept
+
+	atom      Atom // nodeTest
+	then, els *node
+
+	// nodeDispatch: load (off,width), jump to children[value], or def when
+	// the value is absent or the packet is too short (either way no rule in
+	// the dispatch run can match).
+	off      int
+	width    uint8
+	children map[uint64]*node
+	def      *node
+}
+
+var rejectNode = &node{kind: nodeReject}
+
+// Tree is a compiled decision DAG over a prioritized rule list. It
+// preserves first-match-wins semantics exactly; the compile-time merging
+// only removes work, never changes the answer.
+type Tree struct {
+	root  *node
+	stats TreeStats
+}
+
+// Compile builds the DPF-style decision DAG for a prioritized rule list.
+//
+// The construction keeps an explicit fallback continuation so that merged
+// branches still fall through to lower-priority rules:
+//
+//   - A contiguous run of rules whose first atoms test the same field with
+//     equality becomes a dispatch node when the run has at least
+//     DispatchMin distinct constants; each bucket's subtree falls back to
+//     the rules after the run.
+//   - Otherwise the first rule's first atom becomes a test node whose else
+//     branch (and the then branch's fallback) is the subtree for the
+//     remaining rules.
+func Compile(rules []Rule, opts CompileOptions) (*Tree, error) {
+	opts = opts.withDefaults()
+	for i, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("filter: rule %d: %w", i, err)
+		}
+	}
+	t := &Tree{}
+	t.root = t.build(rules, rejectNode, opts)
+	return t, nil
+}
+
+// build compiles rules with an explicit continuation for "no rule here
+// matched".
+func (t *Tree) build(rules []Rule, fallback *node, opts CompileOptions) *node {
+	if len(rules) == 0 {
+		return fallback
+	}
+	r0 := rules[0]
+	if len(r0.Atoms) == 0 {
+		// Matches unconditionally; later rules are unreachable.
+		t.stats.Leaves++
+		return &node{kind: nodeAccept, action: r0.Action}
+	}
+	head := r0.Atoms[0]
+
+	// Find the contiguous run of rules opening with a shape-equal equality
+	// atom. Rules with different constants on the same field are mutually
+	// exclusive, so grouping them cannot reorder any packet's match.
+	if head.Op == OpEQ {
+		run := 0
+		for run < len(rules) && len(rules[run].Atoms) > 0 && rules[run].Atoms[0].equalShape(head) {
+			run++
+		}
+		if run >= 2 {
+			groups := make(map[uint64][]Rule, run)
+			var order []uint64
+			for _, r := range rules[:run] {
+				v := r.Atoms[0].Val
+				if _, ok := groups[v]; !ok {
+					order = append(order, v)
+				}
+				groups[v] = append(groups[v], Rule{Action: r.Action, Atoms: r.Atoms[1:]})
+			}
+			rest := t.build(rules[run:], fallback, opts)
+			if len(groups) >= opts.DispatchMin {
+				children := make(map[uint64]*node, len(groups))
+				for _, v := range order {
+					children[v] = t.build(groups[v], rest, opts)
+				}
+				t.stats.Dispatches++
+				if len(children) > t.stats.MaxFanout {
+					t.stats.MaxFanout = len(children)
+				}
+				return &node{
+					kind: nodeDispatch, off: head.Off, width: head.Width,
+					children: children, def: rest,
+				}
+			}
+			// Below the dispatch threshold: one test node per distinct
+			// constant, each guarding its group with the shared atom
+			// factored out. For a single distinct value this is exactly
+			// common-prefix factoring.
+			next := rest
+			for i := len(order) - 1; i >= 0; i-- {
+				atom := head
+				atom.Val = order[i]
+				t.stats.Tests++
+				next = &node{
+					kind: nodeTest, atom: atom,
+					then: t.build(groups[order[i]], rest, opts),
+					els:  next,
+				}
+			}
+			return next
+		}
+	} else {
+		// Factor a run of rules opening with the identical (not just
+		// shape-equal) non-equality atom into one shared test.
+		run := 0
+		for run < len(rules) && len(rules[run].Atoms) > 0 && rules[run].Atoms[0].equal(head) {
+			run++
+		}
+		if run >= 2 {
+			stripped := make([]Rule, run)
+			for i, r := range rules[:run] {
+				stripped[i] = Rule{Action: r.Action, Atoms: r.Atoms[1:]}
+			}
+			rest := t.build(rules[run:], fallback, opts)
+			t.stats.Tests++
+			return &node{
+				kind: nodeTest, atom: head,
+				then: t.build(stripped, rest, opts),
+				els:  rest,
+			}
+		}
+	}
+
+	// Plain test on the first rule's first atom.
+	rest := t.build(rules[1:], fallback, opts)
+	then := t.build([]Rule{{Action: r0.Action, Atoms: r0.Atoms[1:]}}, rest, opts)
+	t.stats.Tests++
+	return &node{kind: nodeTest, atom: head, then: then, els: rest}
+}
+
+// Stats returns the DAG's shape.
+func (t *Tree) Stats() TreeStats { return t.stats }
+
+// Run walks the DAG interpretively.
+func (t *Tree) Run(pkt []byte) (action int32, ok bool) {
+	n := t.root
+	for {
+		switch n.kind {
+		case nodeAccept:
+			return n.action, true
+		case nodeReject:
+			return 0, false
+		case nodeTest:
+			if n.atom.Match(pkt) {
+				n = n.then
+			} else {
+				n = n.els
+			}
+		case nodeDispatch:
+			v, ok := loadField(pkt, n.off, n.width)
+			if !ok {
+				n = n.def
+				continue
+			}
+			if c, hit := n.children[v]; hit {
+				n = c
+			} else {
+				n = n.def
+			}
+		default:
+			return 0, false
+		}
+	}
+}
+
+// Specialize translates the DAG into nested Go closures with all atom
+// interpretation (operator and width switches) resolved at compile time —
+// the pure-Go analog of DPF's dynamic code generation. Shared continuations
+// compile once (memoized on node identity).
+func (t *Tree) Specialize() MatchFunc {
+	memo := make(map[*node]MatchFunc)
+	return specialize(t.root, memo)
+}
+
+func specialize(n *node, memo map[*node]MatchFunc) MatchFunc {
+	if f, ok := memo[n]; ok {
+		return f
+	}
+	var f MatchFunc
+	switch n.kind {
+	case nodeAccept:
+		action := n.action
+		f = func([]byte) (int32, bool) { return action, true }
+	case nodeReject:
+		f = func([]byte) (int32, bool) { return 0, false }
+	case nodeTest:
+		then := specialize(n.then, memo)
+		els := specialize(n.els, memo)
+		pred := specializeAtom(n.atom)
+		f = func(pkt []byte) (int32, bool) {
+			if pred(pkt) {
+				return then(pkt)
+			}
+			return els(pkt)
+		}
+	case nodeDispatch:
+		def := specialize(n.def, memo)
+		children := make(map[uint64]MatchFunc, len(n.children))
+		for v, c := range n.children {
+			children[v] = specialize(c, memo)
+		}
+		off, width := n.off, n.width
+		switch width {
+		case 8:
+			f = func(pkt []byte) (int32, bool) {
+				if off+8 > len(pkt) {
+					return def(pkt)
+				}
+				if c, ok := children[binary.BigEndian.Uint64(pkt[off:])]; ok {
+					return c(pkt)
+				}
+				return def(pkt)
+			}
+		case 4:
+			f = func(pkt []byte) (int32, bool) {
+				if off+4 > len(pkt) {
+					return def(pkt)
+				}
+				if c, ok := children[uint64(binary.BigEndian.Uint32(pkt[off:]))]; ok {
+					return c(pkt)
+				}
+				return def(pkt)
+			}
+		default:
+			f = func(pkt []byte) (int32, bool) {
+				v, ok := loadField(pkt, off, width)
+				if !ok {
+					return def(pkt)
+				}
+				if c, hit := children[v]; hit {
+					return c(pkt)
+				}
+				return def(pkt)
+			}
+		}
+	default:
+		f = func([]byte) (int32, bool) { return 0, false }
+	}
+	memo[n] = f
+	return f
+}
+
+// specializeAtom resolves one atom to a concrete predicate closure.
+func specializeAtom(a Atom) func([]byte) bool {
+	off := a.Off
+	val := a.Val
+	switch a.Op {
+	case OpBytesEQ:
+		want := string(a.Bytes) // converted once at compile time
+		end := off + len(want)
+		return func(pkt []byte) bool {
+			if off < 0 || end > len(pkt) {
+				return false
+			}
+			return string(pkt[off:end]) == want
+		}
+	case OpEQ:
+		switch a.Width {
+		case 1:
+			return func(pkt []byte) bool {
+				return off < len(pkt) && uint64(pkt[off]) == val
+			}
+		case 2:
+			return func(pkt []byte) bool {
+				return off+2 <= len(pkt) && uint64(binary.BigEndian.Uint16(pkt[off:])) == val
+			}
+		case 4:
+			return func(pkt []byte) bool {
+				return off+4 <= len(pkt) && uint64(binary.BigEndian.Uint32(pkt[off:])) == val
+			}
+		default:
+			return func(pkt []byte) bool {
+				return off+8 <= len(pkt) && binary.BigEndian.Uint64(pkt[off:]) == val
+			}
+		}
+	case OpMaskEQ:
+		width, mask := a.Width, a.Mask
+		return func(pkt []byte) bool {
+			v, ok := loadField(pkt, off, width)
+			return ok && v&mask == val
+		}
+	default:
+		atom := a
+		return func(pkt []byte) bool { return atom.Match(pkt) }
+	}
+}

@@ -1,0 +1,275 @@
+package filter
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"webwave/internal/core"
+)
+
+// engines returns every evaluation strategy for one rule list, keyed by
+// name. All must classify every packet identically to the reference.
+func engines(t *testing.T, rules []Rule, opts CompileOptions) map[string]MatchFunc {
+	t.Helper()
+	prog, err := Assemble(rules)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	tree, err := Compile(rules, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return map[string]MatchFunc{
+		"bytecode":    prog.Run,
+		"tree":        tree.Run,
+		"specialized": tree.Specialize(),
+	}
+}
+
+// randAtom generates an atom over packet offsets [0, 40).
+func randAtom(rng *rand.Rand) Atom {
+	ops := []AtomOp{OpEQ, OpEQ, OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE, OpMaskEQ, OpBytesEQ}
+	op := ops[rng.Intn(len(ops))]
+	widths := []uint8{1, 2, 4, 8}
+	a := Atom{
+		Off:   rng.Intn(40),
+		Width: widths[rng.Intn(len(widths))],
+		Op:    op,
+		// Small values so random packets (bytes in [0,4)) collide often
+		// enough to exercise both outcomes.
+		Val: uint64(rng.Intn(5)),
+	}
+	switch op {
+	case OpMaskEQ:
+		a.Mask = uint64(rng.Intn(4) + 1)
+		a.Val &= a.Mask
+	case OpBytesEQ:
+		n := rng.Intn(3) + 1
+		a.Bytes = make([]byte, n)
+		for i := range a.Bytes {
+			a.Bytes[i] = byte(rng.Intn(4))
+		}
+		a.Width = 0
+	}
+	return a
+}
+
+func randRules(rng *rand.Rand, nRules int) []Rule {
+	rules := make([]Rule, nRules)
+	for i := range rules {
+		atoms := make([]Atom, rng.Intn(4))
+		for j := range atoms {
+			atoms[j] = randAtom(rng)
+		}
+		rules[i] = Rule{Action: int32(i + 1), Atoms: atoms}
+	}
+	return rules
+}
+
+func randPacket(rng *rand.Rand) []byte {
+	pkt := make([]byte, rng.Intn(48))
+	for i := range pkt {
+		pkt[i] = byte(rng.Intn(4))
+	}
+	return pkt
+}
+
+func TestEnginesEquivalentOnRandomRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		rules := randRules(rng, rng.Intn(8))
+		for _, opts := range []CompileOptions{{}, {DispatchMin: 2}, {DispatchMin: 1 << 30}} {
+			engs := engines(t, rules, opts)
+			for p := 0; p < 50; p++ {
+				pkt := randPacket(rng)
+				wantAction, wantOK := MatchRules(rules, pkt)
+				for name, eng := range engs {
+					gotAction, gotOK := eng(pkt)
+					if gotOK != wantOK || (wantOK && gotAction != wantAction) {
+						t.Fatalf("trial %d opts %+v engine %s: pkt %v -> (%d,%v), reference (%d,%v)\nrules: %v",
+							trial, opts, name, pkt, gotAction, gotOK, wantAction, wantOK, rules)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEnginesEquivalentOnSharedPrefixRules(t *testing.T) {
+	// The document-filter shape: many rules sharing kind/tree atoms and
+	// differing in the hash constant — the case the dispatch node exists
+	// for. Forced dispatch (DispatchMin 2) and forced chains (huge
+	// DispatchMin) must agree with the reference on hits, misses, and
+	// near-miss packets.
+	rng := rand.New(rand.NewSource(7))
+	docs := make([]core.DocID, 40)
+	rules := make([]Rule, len(docs))
+	for i := range docs {
+		docs[i] = core.DocID(fmt.Sprintf("doc/%03d", i))
+		rules[i] = DocRequestRule(9, docs[i], int32(i+1))
+	}
+	for _, opts := range []CompileOptions{{DispatchMin: 2}, {DispatchMin: 1 << 30}} {
+		engs := engines(t, rules, opts)
+		var packets [][]byte
+		for _, d := range docs {
+			packets = append(packets, EncodeRequest(9, d, 1, 1))
+		}
+		packets = append(packets,
+			EncodeRequest(9, "doc/999", 1, 1), // unknown doc
+			EncodeRequest(8, docs[0], 1, 1),   // wrong tree
+			Encode(Header{Version: Version, Kind: KindResponse, Tree: 9, DocHash: HashDoc(docs[0]), Name: string(docs[0])}), // response
+			Encode(Header{Version: Version, Kind: KindRequest, Tree: 9, DocHash: HashDoc(docs[0]), Name: "doc/001"}),        // forged hash
+			randPacket(rng),
+			nil,
+		)
+		for pi, pkt := range packets {
+			wantAction, wantOK := MatchRules(rules, pkt)
+			for name, eng := range engs {
+				gotAction, gotOK := eng(pkt)
+				if gotOK != wantOK || (wantOK && gotAction != wantAction) {
+					t.Fatalf("opts %+v engine %s packet %d: got (%d,%v), want (%d,%v)",
+						opts, name, pi, gotAction, gotOK, wantAction, wantOK)
+				}
+			}
+		}
+	}
+}
+
+func TestCompileEmitsDispatchForDocFilters(t *testing.T) {
+	rules := make([]Rule, 64)
+	for i := range rules {
+		rules[i] = DocRequestRule(1, core.DocID(fmt.Sprintf("d%02d", i)), int32(i+1))
+	}
+	tree, err := Compile(rules, CompileOptions{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	st := tree.Stats()
+	if st.Dispatches == 0 {
+		t.Fatalf("no dispatch node emitted for 64 document filters: %+v", st)
+	}
+	if st.MaxFanout != 64 {
+		t.Errorf("MaxFanout = %d, want 64 (one bucket per document hash)", st.MaxFanout)
+	}
+	// The merged DAG must stay linear in the rule count: each rule
+	// contributes its post-dispatch atoms plus the shared prefix.
+	if st.Tests > 5*len(rules) {
+		t.Errorf("DAG has %d test nodes for %d rules — merging failed", st.Tests, len(rules))
+	}
+}
+
+func TestCompileNoDispatchBelowThreshold(t *testing.T) {
+	rules := []Rule{
+		DocRequestRule(1, "a", 1),
+		DocRequestRule(1, "b", 2),
+	}
+	tree, err := Compile(rules, CompileOptions{DispatchMin: 4})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if st := tree.Stats(); st.Dispatches != 0 {
+		t.Errorf("Dispatches = %d, want 0 below threshold", st.Dispatches)
+	}
+}
+
+func TestCompilePriorityWithOverlappingRules(t *testing.T) {
+	// Rule 1 shadows rule 2 (same atoms); rule 3 is reachable only for
+	// other values. First-match-wins must survive compilation.
+	atoms := func(v uint64) []Atom { return []Atom{{Off: 0, Width: 1, Op: OpEQ, Val: v}} }
+	rules := []Rule{
+		{Action: 1, Atoms: atoms(5)},
+		{Action: 2, Atoms: atoms(5)}, // shadowed
+		{Action: 3, Atoms: atoms(6)},
+		{Action: 4, Atoms: nil}, // catch-all
+	}
+	for _, opts := range []CompileOptions{{DispatchMin: 2}, {DispatchMin: 100}} {
+		engs := engines(t, rules, opts)
+		cases := []struct {
+			pkt  []byte
+			want int32
+		}{
+			{[]byte{5}, 1},
+			{[]byte{6}, 3},
+			{[]byte{7}, 4},
+			{nil, 4},
+		}
+		for _, tc := range cases {
+			for name, eng := range engs {
+				got, ok := eng(tc.pkt)
+				if !ok || got != tc.want {
+					t.Errorf("opts %+v engine %s pkt %v: got (%d,%v), want (%d,true)",
+						opts, name, tc.pkt, got, ok, tc.want)
+				}
+			}
+		}
+	}
+}
+
+func TestCompileCatchAllFirstShadowsEverything(t *testing.T) {
+	rules := []Rule{
+		{Action: 9, Atoms: nil},
+		{Action: 1, Atoms: []Atom{{Off: 0, Width: 1, Op: OpEQ, Val: 1}}},
+	}
+	engs := engines(t, rules, CompileOptions{})
+	for name, eng := range engs {
+		got, ok := eng([]byte{1})
+		if !ok || got != 9 {
+			t.Errorf("engine %s: got (%d,%v), want (9,true)", name, got, ok)
+		}
+	}
+}
+
+func TestCompileEmptyRules(t *testing.T) {
+	engs := engines(t, nil, CompileOptions{})
+	for name, eng := range engs {
+		if _, ok := eng([]byte{1, 2, 3}); ok {
+			t.Errorf("engine %s matched with no rules", name)
+		}
+	}
+}
+
+func TestCompileRejectsInvalidRule(t *testing.T) {
+	bad := []Rule{{Action: 1, Atoms: []Atom{{Off: 0, Width: 3, Op: OpEQ}}}}
+	if _, err := Compile(bad, CompileOptions{}); err == nil {
+		t.Error("Compile accepted an invalid atom")
+	}
+	if _, err := Assemble(bad); err == nil {
+		t.Error("Assemble accepted an invalid atom")
+	}
+}
+
+func TestProgramDisassembly(t *testing.T) {
+	prog, err := Assemble([]Rule{DocRequestRule(1, "d", 1)})
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if prog.Len() != 9 { // 7 atoms + accept + reject
+		t.Errorf("Len = %d, want 9", prog.Len())
+	}
+	if s := prog.String(); s == "" {
+		t.Error("empty disassembly")
+	}
+}
+
+func TestSpecializeSharesContinuations(t *testing.T) {
+	// A large rule set must specialize without exponential blowup; the
+	// memoization makes the closure DAG mirror the node DAG. Smoke-check by
+	// compiling a big table quickly and classifying correctly.
+	rules := make([]Rule, 512)
+	for i := range rules {
+		rules[i] = DocRequestRule(1, core.DocID(fmt.Sprintf("doc/%04d", i)), int32(i+1))
+	}
+	tree, err := Compile(rules, CompileOptions{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	match := tree.Specialize()
+	for i := 0; i < 512; i += 37 {
+		pkt := EncodeRequest(1, core.DocID(fmt.Sprintf("doc/%04d", i)), 0, 0)
+		action, ok := match(pkt)
+		if !ok || action != int32(i+1) {
+			t.Fatalf("doc %d: got (%d,%v)", i, action, ok)
+		}
+	}
+}

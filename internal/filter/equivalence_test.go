@@ -1,0 +1,53 @@
+package filter
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"webwave/internal/core"
+	"webwave/internal/router"
+)
+
+// TestTableMatchesSemanticRouter ties the two layers of the architecture
+// together: the byte-level filter table (what a WebWave router would run)
+// must reach exactly the same extract/pass verdicts as the semantic
+// router.Router (what the live server uses after decoding), for the same
+// installed document set and unconditional filters.
+func TestTableMatchesSemanticRouter(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const treeID = 11
+
+	sem := router.New()
+	tbl := NewTable(treeID, CompileOptions{})
+
+	var installed []core.DocID
+	for i := 0; i < 50; i++ {
+		doc := core.DocID(fmt.Sprintf("site/%d/page-%d.html", i%5, i))
+		installed = append(installed, doc)
+		sem.Install(doc, nil)
+		tbl.Install(doc)
+	}
+	// Remove a third of them again from both layers.
+	for i := 0; i < len(installed); i += 3 {
+		sem.Remove(installed[i])
+		tbl.Remove(installed[i])
+	}
+
+	probe := func(doc core.DocID) {
+		t.Helper()
+		pkt := EncodeRequest(treeID, doc, uint32(rng.Intn(100)), rng.Uint64())
+		semVerdict := sem.Classify(doc) == router.Extract
+		_, _, tblVerdict := tbl.Classify(pkt)
+		if semVerdict != tblVerdict {
+			t.Errorf("doc %q: semantic router extract=%v, filter table extract=%v",
+				doc, semVerdict, tblVerdict)
+		}
+	}
+	for _, doc := range installed {
+		probe(doc)
+	}
+	for i := 0; i < 50; i++ {
+		probe(core.DocID(fmt.Sprintf("other/%d", i)))
+	}
+}

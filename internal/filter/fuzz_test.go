@@ -1,0 +1,63 @@
+package filter
+
+import (
+	"testing"
+
+	"webwave/internal/core"
+)
+
+// FuzzParse hardens the packet parser against arbitrary bytes: it must
+// never panic, and anything it accepts must re-encode to an equivalent
+// header.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(EncodeRequest(1, "doc/a", 2, 3))
+	f.Add(Encode(Header{Version: Version, Kind: KindResponse, Name: "r"}))
+	long := EncodeRequest(7, "some/longer/document/name.html", 100, 1<<40)
+	f.Add(long)
+	f.Add(long[:HeaderSize])
+	f.Add([]byte{'W', 'V', 1, 1, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := Parse(data)
+		if err != nil {
+			return
+		}
+		re := Encode(h)
+		h2, err := Parse(re)
+		if err != nil {
+			t.Fatalf("re-encoded packet failed to parse: %v", err)
+		}
+		if h != h2 {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", h, h2)
+		}
+	})
+}
+
+// FuzzTableClassify ensures the compiled fast path never panics on
+// arbitrary input bytes.
+func FuzzTableClassify(f *testing.F) {
+	tbl := NewTable(1, CompileOptions{})
+	for _, d := range []core.DocID{"a", "bb", "ccc", "doc/4", "doc/5"} {
+		tbl.Install(d)
+	}
+	f.Add([]byte(nil))
+	f.Add(EncodeRequest(1, "a", 0, 0))
+	f.Add(EncodeRequest(1, "nope", 0, 0))
+	f.Add([]byte{'W', 'V'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, _, ok := tbl.Classify(data)
+		if ok {
+			// Any accepted packet must genuinely be a request for an
+			// installed document on tree 1.
+			h, err := Parse(data)
+			if err != nil {
+				t.Fatalf("classified unparseable packet as %q", doc)
+			}
+			if h.Kind != KindRequest || h.Tree != 1 || core.DocID(h.Name) != doc {
+				t.Fatalf("misclassified %+v as %q", h, doc)
+			}
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package filter
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"webwave/internal/core"
+)
+
+func TestEncodeRequestParseRoundTrip(t *testing.T) {
+	pkt := EncodeRequest(7, "doc/alpha", 42, 99)
+	h, err := Parse(pkt)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if h.Kind != KindRequest {
+		t.Errorf("Kind = %v, want request", h.Kind)
+	}
+	if h.Tree != 7 || h.Origin != 42 || h.ReqID != 99 {
+		t.Errorf("fields = tree %d origin %d reqID %d, want 7 42 99", h.Tree, h.Origin, h.ReqID)
+	}
+	if h.Name != "doc/alpha" {
+		t.Errorf("Name = %q, want doc/alpha", h.Name)
+	}
+	if h.DocHash != HashDoc("doc/alpha") {
+		t.Errorf("DocHash = %#x, want HashDoc", h.DocHash)
+	}
+}
+
+func TestParseRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(tree uint32, origin uint32, reqID uint64, nameLen uint8) bool {
+		name := make([]byte, int(nameLen))
+		for i := range name {
+			name[i] = byte('a' + rng.Intn(26))
+		}
+		pkt := EncodeRequest(tree, core.DocID(name), origin, reqID)
+		h, err := Parse(pkt)
+		if err != nil {
+			return false
+		}
+		return h.Tree == tree && h.Origin == origin && h.ReqID == reqID && h.Name == string(name)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	good := EncodeRequest(1, "doc", 0, 0)
+
+	tests := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"short packet", func(p []byte) []byte { return p[:HeaderSize-1] }, ErrShortPacket},
+		{"empty", func(p []byte) []byte { return nil }, ErrShortPacket},
+		{"bad magic", func(p []byte) []byte { p[0] = 'X'; return p }, ErrBadMagic},
+		{"bad version", func(p []byte) []byte { p[OffVersion] = 99; return p }, ErrBadVersion},
+		{"name length past end", func(p []byte) []byte { p[OffNameLen] = 0xFF; p[OffNameLen+1] = 0xFF; return p }, ErrBadNameLen},
+		{"hash mismatch", func(p []byte) []byte { p[OffDocHash] ^= 0xFF; return p }, ErrHashMismatch},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			pkt := append([]byte(nil), good...)
+			pkt = tc.mutate(pkt)
+			if _, err := Parse(pkt); err == nil {
+				t.Fatalf("Parse succeeded, want error %v", tc.wantErr)
+			} else if tc.wantErr != nil && !errorIs(err, tc.wantErr) {
+				t.Fatalf("Parse error = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func errorIs(err, target error) bool {
+	for e := err; e != nil; {
+		if e == target {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+func TestParseNameTooLong(t *testing.T) {
+	name := strings.Repeat("x", MaxNameLen+1)
+	// EncodeRequest would truncate the uint16; build the oversize length by
+	// hand to hit the bound check.
+	pkt := Encode(Header{
+		Version: Version, Kind: KindControl, Name: name,
+	})
+	if _, err := Parse(pkt); !errorIs(err, ErrBadNameLen) {
+		t.Fatalf("Parse error = %v, want ErrBadNameLen", err)
+	}
+}
+
+func TestParseNonRequestSkipsHashCheck(t *testing.T) {
+	// Responses carry no meaningful DocHash; Parse must not reject them.
+	pkt := Encode(Header{Version: Version, Kind: KindResponse, Name: "whatever", DocHash: 12345})
+	h, err := Parse(pkt)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if h.Kind != KindResponse {
+		t.Errorf("Kind = %v, want response", h.Kind)
+	}
+}
+
+func TestHashDocDeterministicAndSpread(t *testing.T) {
+	if HashDoc("a") != HashDoc("a") {
+		t.Fatal("HashDoc not deterministic")
+	}
+	seen := make(map[uint64]core.DocID)
+	for i := 0; i < 10000; i++ {
+		doc := core.DocID(strings.Repeat("d", 1+i%7) + string(rune('a'+i%26)) + string(rune('0'+i%10)))
+		h := HashDoc(doc)
+		if prev, ok := seen[h]; ok && prev != doc {
+			t.Fatalf("collision between %q and %q", prev, doc)
+		}
+		seen[h] = doc
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{KindRequest, "request"},
+		{KindResponse, "response"},
+		{KindControl, "control"},
+		{Kind(77), "Kind(77)"},
+	}
+	for _, tc := range tests {
+		if got := tc.k.String(); got != tc.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", uint8(tc.k), got, tc.want)
+		}
+	}
+}

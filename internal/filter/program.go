@@ -1,0 +1,117 @@
+package filter
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Code is a VM instruction opcode.
+type Code uint8
+
+// VM opcodes. Test instructions fall through on success and jump to Target
+// on failure — the natural shape for compiling a conjunction ("any atom
+// fails → skip to the next rule").
+const (
+	// CodeTest evaluates Inst.Atom; on failure jumps to Target.
+	CodeTest Code = iota + 1
+	// CodeAccept terminates with Inst.Action.
+	CodeAccept
+	// CodeReject terminates with no match.
+	CodeReject
+	// CodeJump transfers control to Target unconditionally.
+	CodeJump
+)
+
+// Inst is one VM instruction.
+type Inst struct {
+	Code   Code
+	Atom   Atom  // CodeTest
+	Target int   // CodeTest (on failure), CodeJump
+	Action int32 // CodeAccept
+}
+
+func (in Inst) String() string {
+	switch in.Code {
+	case CodeTest:
+		return fmt.Sprintf("test %s else ->%d", in.Atom, in.Target)
+	case CodeAccept:
+		return fmt.Sprintf("accept %d", in.Action)
+	case CodeReject:
+		return "reject"
+	case CodeJump:
+		return fmt.Sprintf("jump ->%d", in.Target)
+	default:
+		return fmt.Sprintf("Inst(code=%d)", in.Code)
+	}
+}
+
+// Program is a linear filter program for the bytecode VM — the classic
+// BPF-style representation, used as the baseline the DPF-style tree is
+// measured against.
+type Program struct {
+	insts []Inst
+}
+
+// Assemble compiles a prioritized rule list into a linear program:
+//
+//	rule0:  test a00 else rule1
+//	        test a01 else rule1
+//	        accept action0
+//	rule1:  ...
+//	        reject
+func Assemble(rules []Rule) (*Program, error) {
+	var insts []Inst
+	for ri, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("filter: rule %d: %w", ri, err)
+		}
+		start := len(insts)
+		for range r.Atoms {
+			insts = append(insts, Inst{}) // patched below
+		}
+		insts = append(insts, Inst{Code: CodeAccept, Action: r.Action})
+		next := len(insts) // first instruction of the next rule
+		for ai, a := range r.Atoms {
+			insts[start+ai] = Inst{Code: CodeTest, Atom: a, Target: next}
+		}
+	}
+	insts = append(insts, Inst{Code: CodeReject})
+	return &Program{insts: insts}, nil
+}
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.insts) }
+
+// String disassembles the program.
+func (p *Program) String() string {
+	var b strings.Builder
+	for i, in := range p.insts {
+		fmt.Fprintf(&b, "%4d: %s\n", i, in)
+	}
+	return b.String()
+}
+
+// Run interprets the program over one packet.
+func (p *Program) Run(pkt []byte) (action int32, ok bool) {
+	pc := 0
+	for pc < len(p.insts) {
+		in := &p.insts[pc]
+		switch in.Code {
+		case CodeTest:
+			if in.Atom.Match(pkt) {
+				pc++
+			} else {
+				pc = in.Target
+			}
+		case CodeAccept:
+			return in.Action, true
+		case CodeReject:
+			return 0, false
+		case CodeJump:
+			pc = in.Target
+		default:
+			return 0, false
+		}
+	}
+	return 0, false
+}

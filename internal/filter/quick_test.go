@@ -1,0 +1,86 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"webwave/internal/core"
+)
+
+// TestTableClassifyMatchesReferenceProperty: for arbitrary installed
+// document sets and probe names, the compiled table's verdict equals the
+// naive reference (linear scan of DocRequestRule matches).
+func TestTableClassifyMatchesReferenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	name := func() core.DocID {
+		n := 1 + rng.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(4)) // tiny alphabet → frequent collisions of names
+		}
+		return core.DocID(b)
+	}
+	f := func(nDocs uint8, probes uint8) bool {
+		const treeID = 7
+		tbl := NewTable(treeID, CompileOptions{})
+		installed := make(map[core.DocID]bool)
+		for i := 0; i < int(nDocs%24); i++ {
+			d := name()
+			tbl.Install(d)
+			installed[d] = true
+		}
+		for p := 0; p < int(probes%24)+1; p++ {
+			probe := name()
+			pkt := EncodeRequest(treeID, probe, 1, uint64(p))
+			_, _, got := tbl.Classify(pkt)
+			if got != installed[probe] {
+				return false
+			}
+			// Wrong-tree packets never match, installed or not.
+			if _, _, hit := tbl.Classify(EncodeRequest(treeID+1, probe, 1, uint64(p))); hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAssembleCompileAgreeProperty: the bytecode and DAG engines agree on
+// arbitrary (valid) rule lists and packets, under every dispatch threshold.
+func TestAssembleCompileAgreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	f := func(nRules uint8, nPackets uint8) bool {
+		rules := randRules(rng, int(nRules%10))
+		prog, err := Assemble(rules)
+		if err != nil {
+			return false
+		}
+		for _, opts := range []CompileOptions{{DispatchMin: 2}, {}, {DispatchMin: 1 << 20}} {
+			tree, err := Compile(rules, opts)
+			if err != nil {
+				return false
+			}
+			spec := tree.Specialize()
+			for p := 0; p < int(nPackets%20)+1; p++ {
+				pkt := randPacket(rng)
+				a1, ok1 := prog.Run(pkt)
+				a2, ok2 := tree.Run(pkt)
+				a3, ok3 := spec(pkt)
+				if ok1 != ok2 || ok2 != ok3 {
+					return false
+				}
+				if ok1 && (a1 != a2 || a2 != a3) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

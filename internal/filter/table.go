@@ -1,0 +1,199 @@
+package filter
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"webwave/internal/core"
+)
+
+// TableStats is a table's packet accounting, mirroring the semantic
+// router's counters at the byte level.
+type TableStats struct {
+	Inspected  int64
+	Extracted  int64
+	Passed     int64
+	Installs   int64
+	Removals   int64
+	Recompiles int64
+}
+
+// Table is the per-router filter table a WebWave cache server installs its
+// document filters into. Installs and removals recompile the DPF-style
+// decision DAG under a lock; the classify fast path reads the compiled
+// matcher through an atomic pointer and takes no locks — routers classify
+// while servers update.
+type Table struct {
+	tree uint32
+	opts CompileOptions
+
+	mu      sync.Mutex
+	docs    map[core.DocID]int32
+	actions map[int32]core.DocID
+	nextAct int32
+
+	fast atomic.Pointer[compiledTable]
+
+	inspected  atomic.Int64
+	extracted  atomic.Int64
+	passed     atomic.Int64
+	installs   atomic.Int64
+	removals   atomic.Int64
+	recompiles atomic.Int64
+}
+
+// compiledTable is one immutable generation of the compiled matcher,
+// including the action-to-document mapping of that generation so the
+// classify fast path never consults mutable state.
+type compiledTable struct {
+	match   MatchFunc
+	tree    *Tree
+	actions map[int32]core.DocID
+	size    int
+}
+
+var rejectAll = &compiledTable{
+	match: func([]byte) (int32, bool) { return 0, false },
+	size:  0,
+}
+
+// NewTable returns an empty table for one routing tree.
+func NewTable(tree uint32, opts CompileOptions) *Table {
+	t := &Table{
+		tree:    tree,
+		opts:    opts,
+		docs:    make(map[core.DocID]int32),
+		actions: make(map[int32]core.DocID),
+	}
+	t.fast.Store(rejectAll)
+	return t
+}
+
+// Install adds (or refreshes) the extract filter for doc and returns its
+// action handle. Installing an already-present document is idempotent.
+func (t *Table) Install(doc core.DocID) int32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if h, ok := t.docs[doc]; ok {
+		return h
+	}
+	t.nextAct++
+	h := t.nextAct
+	t.docs[doc] = h
+	t.actions[h] = doc
+	t.installs.Add(1)
+	t.recompileLocked()
+	return h
+}
+
+// Remove deletes the filter for doc; removing an absent document is a
+// no-op.
+func (t *Table) Remove(doc core.DocID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h, ok := t.docs[doc]
+	if !ok {
+		return
+	}
+	delete(t.docs, doc)
+	delete(t.actions, h)
+	t.removals.Add(1)
+	t.recompileLocked()
+}
+
+// recompileLocked rebuilds the matcher from the current document set.
+// Rules are ordered by handle so compilation is deterministic.
+func (t *Table) recompileLocked() {
+	if len(t.docs) == 0 {
+		t.fast.Store(rejectAll)
+		t.recompiles.Add(1)
+		return
+	}
+	handles := make([]int32, 0, len(t.actions))
+	for h := range t.actions {
+		handles = append(handles, h)
+	}
+	sort.Slice(handles, func(i, j int) bool { return handles[i] < handles[j] })
+	rules := make([]Rule, 0, len(handles))
+	actions := make(map[int32]core.DocID, len(handles))
+	for _, h := range handles {
+		doc := t.actions[h]
+		rules = append(rules, DocRequestRule(t.tree, doc, h))
+		actions[h] = doc
+	}
+	tree, err := Compile(rules, t.opts)
+	if err != nil {
+		// DocRequestRule emits only valid atoms; a failure here is a
+		// programming error in this package.
+		panic(fmt.Sprintf("filter: recompile: %v", err))
+	}
+	t.fast.Store(&compiledTable{
+		match: tree.Specialize(), tree: tree, actions: actions, size: len(rules),
+	})
+	t.recompiles.Add(1)
+}
+
+// Classify runs one packet through the compiled matcher. On a hit it
+// returns the matching document and its handle. The entire decision —
+// match plus document resolution — reads one immutable generation, so a
+// concurrent install or removal can never produce a torn answer.
+func (t *Table) Classify(pkt []byte) (doc core.DocID, action int32, ok bool) {
+	ct := t.fast.Load()
+	t.inspected.Add(1)
+	action, ok = ct.match(pkt)
+	if !ok {
+		t.passed.Add(1)
+		return "", 0, false
+	}
+	t.extracted.Add(1)
+	return ct.actions[action], action, true
+}
+
+// ClassifyAction is the allocation-free fast path used in benchmarks and on
+// the router's hot path: no counter updates, no handle-to-document lookup.
+func (t *Table) ClassifyAction(pkt []byte) (int32, bool) {
+	return t.fast.Load().match(pkt)
+}
+
+// Docs returns the installed documents in sorted order.
+func (t *Table) Docs() []core.DocID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]core.DocID, 0, len(t.docs))
+	for d := range t.docs {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of installed filters.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.docs)
+}
+
+// TreeStats returns the current compiled DAG's shape (zero value when the
+// table is empty).
+func (t *Table) TreeStats() TreeStats {
+	ct := t.fast.Load()
+	if ct.tree == nil {
+		return TreeStats{}
+	}
+	return ct.tree.Stats()
+}
+
+// Stats returns a snapshot of the packet accounting.
+func (t *Table) Stats() TableStats {
+	return TableStats{
+		Inspected:  t.inspected.Load(),
+		Extracted:  t.extracted.Load(),
+		Passed:     t.passed.Load(),
+		Installs:   t.installs.Load(),
+		Removals:   t.removals.Load(),
+		Recompiles: t.recompiles.Load(),
+	}
+}

@@ -1,0 +1,149 @@
+package filter
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"webwave/internal/core"
+)
+
+func TestTableInstallClassifyRemove(t *testing.T) {
+	tbl := NewTable(5, CompileOptions{})
+	h := tbl.Install("doc/a")
+	if h == 0 {
+		t.Fatal("zero handle")
+	}
+	if got := tbl.Install("doc/a"); got != h {
+		t.Errorf("re-install handle = %d, want %d (idempotent)", got, h)
+	}
+	tbl.Install("doc/b")
+
+	pkt := EncodeRequest(5, "doc/a", 1, 1)
+	doc, action, ok := tbl.Classify(pkt)
+	if !ok || doc != "doc/a" || action != h {
+		t.Fatalf("Classify = (%q,%d,%v), want (doc/a,%d,true)", doc, action, ok, h)
+	}
+
+	if _, _, ok := tbl.Classify(EncodeRequest(5, "doc/zzz", 1, 1)); ok {
+		t.Error("classified an uninstalled document")
+	}
+	if _, _, ok := tbl.Classify(EncodeRequest(6, "doc/a", 1, 1)); ok {
+		t.Error("classified a request on the wrong tree")
+	}
+
+	tbl.Remove("doc/a")
+	if _, _, ok := tbl.Classify(pkt); ok {
+		t.Error("classified a removed document")
+	}
+	tbl.Remove("doc/a") // absent: no-op
+	if got := tbl.Len(); got != 1 {
+		t.Errorf("Len = %d, want 1", got)
+	}
+	if docs := tbl.Docs(); len(docs) != 1 || docs[0] != "doc/b" {
+		t.Errorf("Docs = %v, want [doc/b]", docs)
+	}
+}
+
+func TestTableEmptyRejects(t *testing.T) {
+	tbl := NewTable(1, CompileOptions{})
+	if _, _, ok := tbl.Classify(EncodeRequest(1, "x", 0, 0)); ok {
+		t.Fatal("empty table classified a packet")
+	}
+	if st := tbl.TreeStats(); st.Dispatches != 0 || st.Tests != 0 {
+		t.Errorf("empty table TreeStats = %+v, want zero", st)
+	}
+	// Remove-then-empty returns to the reject-all matcher.
+	tbl.Install("x")
+	tbl.Remove("x")
+	if _, _, ok := tbl.Classify(EncodeRequest(1, "x", 0, 0)); ok {
+		t.Fatal("emptied table still classifies")
+	}
+}
+
+func TestTableStatsAccounting(t *testing.T) {
+	tbl := NewTable(1, CompileOptions{})
+	tbl.Install("a")
+	tbl.Install("b")
+	tbl.Remove("b")
+
+	hit := EncodeRequest(1, "a", 0, 0)
+	miss := EncodeRequest(1, "nope", 0, 0)
+	for i := 0; i < 3; i++ {
+		tbl.Classify(hit)
+	}
+	for i := 0; i < 2; i++ {
+		tbl.Classify(miss)
+	}
+	st := tbl.Stats()
+	if st.Inspected != 5 || st.Extracted != 3 || st.Passed != 2 {
+		t.Errorf("counters = %+v, want inspected 5 extracted 3 passed 2", st)
+	}
+	if st.Installs != 2 || st.Removals != 1 || st.Recompiles != 3 {
+		t.Errorf("mutation counters = %+v, want installs 2 removals 1 recompiles 3", st)
+	}
+}
+
+func TestTableDispatchShapeAtScale(t *testing.T) {
+	tbl := NewTable(1, CompileOptions{})
+	for i := 0; i < 100; i++ {
+		tbl.Install(core.DocID(fmt.Sprintf("doc/%03d", i)))
+	}
+	st := tbl.TreeStats()
+	if st.Dispatches == 0 || st.MaxFanout != 100 {
+		t.Fatalf("TreeStats = %+v, want a 100-way dispatch", st)
+	}
+}
+
+func TestTableConcurrentClassifyDuringUpdates(t *testing.T) {
+	tbl := NewTable(2, CompileOptions{})
+	docs := make([]core.DocID, 32)
+	for i := range docs {
+		docs[i] = core.DocID(fmt.Sprintf("doc/%02d", i))
+	}
+	packets := make([][]byte, len(docs))
+	for i, d := range docs {
+		packets[i] = EncodeRequest(2, d, 0, uint64(i))
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers: churn installs and removals.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 50; round++ {
+			for _, d := range docs {
+				tbl.Install(d)
+			}
+			for _, d := range docs[:len(docs)/2] {
+				tbl.Remove(d)
+			}
+		}
+		close(stop)
+	}()
+	// Readers: classify continuously; a hit must always be self-consistent
+	// (the returned doc matches the packet's doc).
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			i := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				idx := i % len(packets)
+				doc, _, ok := tbl.Classify(packets[idx])
+				if ok && doc != docs[idx] {
+					t.Errorf("classified %q as %q", docs[idx], doc)
+					return
+				}
+				i++
+			}
+		}(r)
+	}
+	wg.Wait()
+}

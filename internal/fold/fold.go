@@ -1,0 +1,308 @@
+// Package fold implements WebFold, the paper's offline, provably optimal
+// algorithm for computing the tree-load-balanced (TLB) assignment (Section 4,
+// Figure 3).
+//
+// WebFold partitions the routing tree into "folds": contiguous regions whose
+// nodes can all be assigned equal load with no load crossing fold
+// boundaries. A fold j is foldable into its parent fold i when the load per
+// node of j exceeds that of i; WebFold repeatedly folds the foldable fold
+// with maximum per-node load until none remains, then assigns every node the
+// spontaneous total of its fold divided by the fold size.
+//
+// The package also provides the verification tooling used throughout the
+// reproduction: forwarded-rate computation by flow conservation, checkers
+// for Constraint 1 (root forwards nothing), Constraint 2 (NSS), Lemma 1
+// (loads monotonically non-increasing from root to leaf), Lemma 2 (no load
+// crosses fold boundaries), and an independent optimality oracle based on
+// the maximum-density rooted-subtree characterization of TLB.
+package fold
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"webwave/internal/core"
+	"webwave/internal/tree"
+)
+
+// Fold is one contiguous region of the folded tree. Under the paper's
+// uniform-capacity model every member serves Load requests per second; the
+// fold root forwards nothing (Lemma 2). Under ComputeWeighted, Load is the
+// fold's per-unit-capacity load and a member with capacity c serves c·Load.
+type Fold struct {
+	Root        int     // shallowest member
+	Members     []int   // sorted ascending
+	Spontaneous float64 // sum of E over members
+	Load        float64 // Spontaneous / (total member capacity)
+}
+
+// Step records one fold operation for trace output (the paper's Figure 4
+// walk-through shows the complete sequence).
+type Step struct {
+	ChildRoot  int     // root of the fold being folded
+	ParentRoot int     // root of the fold absorbing it
+	ChildAvg   float64 // per-node load of the child fold before folding
+	ParentAvg  float64 // per-node load of the parent fold before folding
+	MergedAvg  float64 // per-node load of the merged fold
+	FoldsLeft  int     // number of folds remaining after this step
+}
+
+func (s Step) String() string {
+	return fmt.Sprintf("fold %d(%.4g) -> %d(%.4g) => %.4g [%d folds left]",
+		s.ChildRoot, s.ChildAvg, s.ParentRoot, s.ParentAvg, s.MergedAvg, s.FoldsLeft)
+}
+
+// Result is the output of WebFold: the TLB load assignment plus the fold
+// structure that certifies it.
+type Result struct {
+	Load    core.Vector // L: TLB request rate served by each node
+	Forward core.Vector // A: net rate each node forwards to its parent
+	FoldOf  []int       // fold root containing each node
+	Folds   []Fold      // final folds, sorted by root id
+	Trace   []Step      // complete folding sequence, in execution order
+}
+
+// MaxLoad returns the largest per-node load, which TLB minimizes
+// (Definition 1).
+func (r *Result) MaxLoad() float64 {
+	m, _ := core.MaxVec(r.Load)
+	return m
+}
+
+// FoldCount returns the number of folds in the final partition.
+func (r *Result) FoldCount() int { return len(r.Folds) }
+
+// IsGLE reports whether the TLB assignment is also GLE (all loads equal
+// within eps) — the fortunate case of the paper's Figure 2(a).
+func (r *Result) IsGLE(eps float64) bool {
+	if len(r.Load) == 0 {
+		return true
+	}
+	first := r.Load[0]
+	for _, l := range r.Load[1:] {
+		if !core.AlmostEqual(l, first, eps) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compute runs WebFold on tree t with spontaneous rates e and returns the
+// TLB assignment. It runs in O((n + merges·log n)·amortized) time using a
+// lazy max-heap of fold candidates; see ComputeNaive for the literal
+// O(n²) transcription of the paper's Figure 3 used as a test oracle.
+func Compute(t *tree.Tree, e core.Vector) (*Result, error) {
+	return computeWeighted(t, e, nil)
+}
+
+// computeWeighted is the shared folding engine. weight is the per-node
+// capacity vector; nil means unit capacities (the paper's uniform-server
+// assumption), for which per-unit load and per-node load coincide.
+func computeWeighted(t *tree.Tree, e, weight core.Vector) (*Result, error) {
+	n := t.Len()
+	if err := core.ValidateRates(e, n); err != nil {
+		return nil, fmt.Errorf("webfold: %w", err)
+	}
+	if weight != nil {
+		if len(weight) != n {
+			return nil, fmt.Errorf("webfold: capacity length %d != n %d", len(weight), n)
+		}
+		for i, w := range weight {
+			if !(w > 0) {
+				return nil, fmt.Errorf("webfold: capacity[%d] = %v must be positive", i, w)
+			}
+		}
+	}
+	wOf := func(i int) float64 {
+		if weight == nil {
+			return 1
+		}
+		return weight[i]
+	}
+
+	st := &foldingState{
+		t:       t,
+		dsu:     make([]int, n),
+		wsum:    make([]float64, n),
+		esum:    make([]float64, n),
+		version: make([]int, n),
+		kids:    make([][]int, n),
+		weight:  weight,
+	}
+	for i := 0; i < n; i++ {
+		st.dsu[i] = i
+		st.wsum[i] = wOf(i)
+		st.esum[i] = e[i]
+		st.kids[i] = t.Children(i)
+	}
+
+	h := &candidateHeap{}
+	heap.Init(h)
+	for i := 0; i < n; i++ {
+		if i != t.Root() {
+			heap.Push(h, candidate{avg: e[i] / wOf(i), root: i, version: 0})
+		}
+	}
+
+	var trace []Step
+	foldsLeft := n
+	for h.Len() > 0 {
+		c := heap.Pop(h).(candidate)
+		r := st.find(c.root)
+		if r != c.root || st.version[r] != c.version {
+			continue // stale entry
+		}
+		if r == st.find(t.Root()) {
+			continue // the fold containing the home server never folds upward
+		}
+		parentRoot := st.find(t.Parent(r))
+		childAvg := st.esum[r] / st.wsum[r]
+		parentAvg := st.esum[parentRoot] / st.wsum[parentRoot]
+		if !(childAvg > parentAvg) {
+			// Not foldable now. A relevant future event (this fold absorbing
+			// a child, or its parent fold merging upward) re-pushes it.
+			continue
+		}
+
+		// Fold r into parentRoot.
+		formerKids := st.kids[r]
+		st.dsu[r] = parentRoot
+		st.wsum[parentRoot] += st.wsum[r]
+		st.esum[parentRoot] += st.esum[r]
+		st.kids[parentRoot] = append(st.kids[parentRoot], formerKids...)
+		st.kids[r] = nil
+		st.version[parentRoot]++
+		foldsLeft--
+		mergedAvg := st.esum[parentRoot] / st.wsum[parentRoot]
+		trace = append(trace, Step{
+			ChildRoot: r, ParentRoot: parentRoot,
+			ChildAvg: childAvg, ParentAvg: parentAvg,
+			MergedAvg: mergedAvg, FoldsLeft: foldsLeft,
+		})
+
+		// The merged fold's average rose; it may now fold into its own
+		// parent.
+		if parentRoot != st.find(t.Root()) {
+			heap.Push(h, candidate{avg: mergedAvg, root: parentRoot, version: st.version[parentRoot]})
+		}
+		// The former child folds of r now compare against the merged fold's
+		// average, which is lower than r's was; they may have become
+		// foldable.
+		for _, k := range formerKids {
+			kr := st.find(k)
+			if kr == parentRoot {
+				continue
+			}
+			heap.Push(h, candidate{
+				avg:     st.esum[kr] / st.wsum[kr],
+				root:    kr,
+				version: st.version[kr],
+			})
+		}
+	}
+
+	return st.buildResult(e, trace), nil
+}
+
+type foldingState struct {
+	t       *tree.Tree
+	dsu     []int // union-find; representative is the fold's root node
+	wsum    []float64
+	esum    []float64
+	version []int
+	kids    [][]int     // candidate child fold roots (validated through find)
+	weight  core.Vector // nil = unit capacities
+}
+
+func (st *foldingState) find(x int) int {
+	for st.dsu[x] != x {
+		st.dsu[x] = st.dsu[st.dsu[x]] // path halving
+		x = st.dsu[x]
+	}
+	return x
+}
+
+func (st *foldingState) buildResult(e core.Vector, trace []Step) *Result {
+	t := st.t
+	n := t.Len()
+	res := &Result{
+		Load:   make(core.Vector, n),
+		FoldOf: make([]int, n),
+		Trace:  trace,
+	}
+	members := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := st.find(i)
+		res.FoldOf[i] = r
+		w := 1.0
+		if st.weight != nil {
+			w = st.weight[i]
+		}
+		res.Load[i] = w * st.esum[r] / st.wsum[r]
+		members[r] = append(members[r], i)
+	}
+	roots := make([]int, 0, len(members))
+	for r := range members {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		sort.Ints(members[r])
+		res.Folds = append(res.Folds, Fold{
+			Root:        r,
+			Members:     members[r],
+			Spontaneous: st.esum[r],
+			Load:        st.esum[r] / st.wsum[r],
+		})
+	}
+	res.Forward = ComputeForward(t, e, res.Load)
+	return res
+}
+
+// candidate is a lazily validated heap entry for one fold.
+type candidate struct {
+	avg     float64
+	root    int
+	version int
+}
+
+// candidateHeap is a max-heap on (avg desc, root asc, version asc): the
+// paper folds "the foldable node with maximum per node load" first; root id
+// breaks ties deterministically.
+type candidateHeap []candidate
+
+func (h candidateHeap) Len() int { return len(h) }
+func (h candidateHeap) Less(i, j int) bool {
+	if h[i].avg != h[j].avg {
+		return h[i].avg > h[j].avg
+	}
+	if h[i].root != h[j].root {
+		return h[i].root < h[j].root
+	}
+	return h[i].version < h[j].version
+}
+func (h candidateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candidateHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
+func (h *candidateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// ComputeForward derives the forwarded-rate vector A from a load assignment
+// by flow conservation: A_i = E_i + Σ_{j ∈ C_i} A_j − L_i (Table 1 of the
+// paper), evaluated bottom-up.
+func ComputeForward(t *tree.Tree, e, l core.Vector) core.Vector {
+	a := make(core.Vector, t.Len())
+	for _, v := range t.PostOrder() {
+		sum := e[v] - l[v]
+		t.EachChild(v, func(c int) {
+			sum += a[c]
+		})
+		a[v] = sum
+	}
+	return a
+}

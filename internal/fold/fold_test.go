@@ -1,0 +1,441 @@
+package fold
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"webwave/internal/core"
+	"webwave/internal/trace"
+	"webwave/internal/tree"
+)
+
+func mustCompute(t *testing.T, tr *tree.Tree, e core.Vector) *Result {
+	t.Helper()
+	res, err := Compute(tr, e)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	return res
+}
+
+func TestFigure2a_TLBIsGLE(t *testing.T) {
+	tr, e := tree.Figure2a()
+	res := mustCompute(t, tr, e)
+	if !res.IsGLE(1e-9) {
+		t.Errorf("Figure 2(a) TLB should be GLE, got %v", res.Load)
+	}
+	if res.FoldCount() != 1 {
+		t.Errorf("Figure 2(a) folds = %d, want 1", res.FoldCount())
+	}
+	for _, l := range res.Load {
+		if math.Abs(l-20) > 1e-9 {
+			t.Errorf("Figure 2(a) load = %v, want all 20", res.Load)
+		}
+	}
+}
+
+func TestFigure2b_TLBNotGLE(t *testing.T) {
+	tr, e := tree.Figure2b()
+	res := mustCompute(t, tr, e)
+	if res.IsGLE(1e-9) {
+		t.Error("Figure 2(b) TLB should not be GLE")
+	}
+	want := core.Vector{60, 0, 0}
+	if !core.VecAlmostEqual(res.Load, want, 1e-9) {
+		t.Errorf("Figure 2(b) load = %v, want %v", res.Load, want)
+	}
+	// NSS forbids pushing the root's load into subtrees that request nothing.
+	if res.FoldCount() != 3 {
+		t.Errorf("Figure 2(b) folds = %d, want 3 singletons", res.FoldCount())
+	}
+}
+
+func TestFigure4_FoldSequence(t *testing.T) {
+	tr, e := tree.Figure4()
+	res := mustCompute(t, tr, e)
+
+	want := core.Vector{22.5, 22.5, 6, 22.5, 22.5, 6, 6, 6}
+	if !core.VecAlmostEqual(res.Load, want, 1e-9) {
+		t.Fatalf("Figure 4 load = %v, want %v", res.Load, want)
+	}
+	if res.FoldCount() != 2 {
+		t.Fatalf("Figure 4 folds = %d, want 2", res.FoldCount())
+	}
+	if len(res.Trace) != 6 {
+		t.Fatalf("Figure 4 trace length = %d, want 6 folds", len(res.Trace))
+	}
+	// The first fold must be the maximum-average foldable fold (40 into 0).
+	if res.Trace[0].ChildAvg != 40 {
+		t.Errorf("first fold child avg = %v, want 40", res.Trace[0].ChildAvg)
+	}
+	// The trace's FoldsLeft must strictly decrease to the final count.
+	for i, s := range res.Trace {
+		if s.FoldsLeft != tr.Len()-i-1 {
+			t.Errorf("trace step %d FoldsLeft = %d, want %d", i, s.FoldsLeft, tr.Len()-i-1)
+		}
+		if s.ChildAvg <= s.ParentAvg {
+			t.Errorf("trace step %d folded a non-foldable fold: %v", i, s)
+		}
+		if s.MergedAvg <= s.ParentAvg || s.MergedAvg >= s.ChildAvg {
+			t.Errorf("trace step %d merged avg %v outside (%v,%v)", i, s.MergedAvg, s.ParentAvg, s.ChildAvg)
+		}
+	}
+	if err := VerifyAll(tr, e, res, 1e-9); err != nil {
+		t.Errorf("Figure 4 verification: %v", err)
+	}
+}
+
+func TestFigure6_AllLemmas(t *testing.T) {
+	tr, e := tree.Figure6()
+	res := mustCompute(t, tr, e)
+	if err := VerifyAll(tr, e, res, 1e-9); err != nil {
+		t.Fatalf("Figure 6 verification: %v", err)
+	}
+	// The crafted rates must force a genuine variety of folds.
+	if res.FoldCount() < 3 {
+		t.Errorf("Figure 6 folds = %d, want a variety (>= 3)", res.FoldCount())
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent})
+	res := mustCompute(t, tr, core.Vector{42})
+	if res.Load[0] != 42 || res.FoldCount() != 1 {
+		t.Errorf("single node: load=%v folds=%d", res.Load, res.FoldCount())
+	}
+}
+
+func TestZeroRates(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent, 0, 0})
+	res := mustCompute(t, tr, core.Vector{0, 0, 0})
+	for _, l := range res.Load {
+		if l != 0 {
+			t.Errorf("zero rates gave load %v", res.Load)
+		}
+	}
+	if err := VerifyAll(tr, res.Load, res, 1e-9); err != nil {
+		t.Errorf("zero rates verification: %v", err)
+	}
+}
+
+func TestChainUphill(t *testing.T) {
+	// Rates increase toward the leaf: everything folds into one fold.
+	tr, err := tree.Chain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.Vector{0, 10, 20, 30, 40}
+	res := mustCompute(t, tr, e)
+	if res.FoldCount() != 1 {
+		t.Errorf("uphill chain folds = %d, want 1", res.FoldCount())
+	}
+	if !res.IsGLE(1e-9) {
+		t.Error("uphill chain should reach GLE")
+	}
+}
+
+func TestChainDownhill(t *testing.T) {
+	// Rates decrease toward the leaf: nothing is foldable; TLB = E.
+	tr, err := tree.Chain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.Vector{40, 30, 20, 10, 0}
+	res := mustCompute(t, tr, e)
+	if res.FoldCount() != 5 {
+		t.Errorf("downhill chain folds = %d, want 5", res.FoldCount())
+	}
+	if !core.VecAlmostEqual(res.Load, e, 1e-9) {
+		t.Errorf("downhill chain load = %v, want %v", res.Load, e)
+	}
+}
+
+func TestInvalidRates(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent, 0})
+	if _, err := Compute(tr, core.Vector{1}); err == nil {
+		t.Error("short rate vector accepted")
+	}
+	if _, err := Compute(tr, core.Vector{1, -2}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := ComputeNaive(tr, core.Vector{1}); err == nil {
+		t.Error("naive: short rate vector accepted")
+	}
+}
+
+func TestComputeForwardConservation(t *testing.T) {
+	tr, e := tree.Figure4()
+	res := mustCompute(t, tr, e)
+	a := ComputeForward(tr, e, res.Load)
+	// A at the root must be ~0 (Constraint 1) and load must sum to ΣE.
+	if math.Abs(a[tr.Root()]) > 1e-9 {
+		t.Errorf("root forward = %v", a[tr.Root()])
+	}
+	if math.Abs(core.SumVec(res.Load)-core.SumVec(e)) > 1e-9 {
+		t.Errorf("ΣL = %v, ΣE = %v", core.SumVec(res.Load), core.SumVec(e))
+	}
+}
+
+func TestVerifyDetectsViolations(t *testing.T) {
+	tr, e := tree.Figure4()
+	res := mustCompute(t, tr, e)
+
+	// NSS violation: shift load into a zero-demand leaf's assignment.
+	bad := core.CloneVec(res.Load)
+	bad[6] += 10 // leaf under node 5
+	bad[0] -= 10
+	if err := VerifyNSS(tr, e, bad, 1e-9); err == nil {
+		t.Error("NSS violation not detected")
+	}
+
+	// Constraint 1 violation: serve less than offered.
+	short := core.CloneVec(res.Load)
+	short[0] -= 5
+	if err := VerifyConstraint1(tr, e, short, 1e-9); err == nil {
+		t.Error("Constraint 1 violation not detected")
+	}
+
+	// Lemma 1 violation: child louder than parent.
+	mono := core.CloneVec(res.Load)
+	mono[3] = mono[1] + 1
+	if err := VerifyMonotone(tr, mono, 1e-9); err == nil {
+		t.Error("Lemma 1 violation not detected")
+	}
+
+	// Optimality violation: a feasible but unbalanced assignment. On the
+	// Figure 2(a) star, serving everything at the root is feasible (NSS
+	// holds) but not TLB.
+	tr2, e2 := tree.Figure2a()
+	res2 := mustCompute(t, tr2, e2)
+	res2.Load = core.Vector{60, 0, 0}
+	res2.Folds = []Fold{{Root: 0, Members: []int{0, 1, 2}, Spontaneous: 60, Load: 20}}
+	if err := VerifyOptimal(tr2, e2, res2, 1e-6); err == nil {
+		t.Error("optimality violation not detected")
+	}
+}
+
+func TestMaxDensityOracleByHand(t *testing.T) {
+	// Star with rates (0, 30, 30): best root-containing subtree is the whole
+	// tree, average 20.
+	tr, e := tree.Figure2a()
+	if got := MaxDensityRootedAverage(tr, e, tr.Root()); math.Abs(got-20) > 1e-6 {
+		t.Errorf("oracle = %v, want 20", got)
+	}
+	// Leaf subtree is just the leaf.
+	if got := MaxDensityRootedAverage(tr, e, 1); math.Abs(got-30) > 1e-6 {
+		t.Errorf("oracle(leaf) = %v, want 30", got)
+	}
+	// Figure 4: root fold {0,1,3,4} has density 90/4 = 22.5.
+	tr4, e4 := tree.Figure4()
+	if got := MaxDensityRootedAverage(tr4, e4, tr4.Root()); math.Abs(got-22.5) > 1e-6 {
+		t.Errorf("oracle(fig4 root) = %v, want 22.5", got)
+	}
+}
+
+// randomTreeAndRates builds a seeded random instance for property tests.
+func randomTreeAndRates(seed int64, n int) (*tree.Tree, core.Vector) {
+	rng := rand.New(rand.NewSource(seed))
+	tr, err := tree.Random(n, rng)
+	if err != nil {
+		panic(err)
+	}
+	// Mix of shapes: half uniform, half exponential with zero patches.
+	var e core.Vector
+	if seed%2 == 0 {
+		e = trace.UniformRates(n, 0, 100, rng)
+	} else {
+		e = trace.ExponentialRates(n, 50, rng)
+		for i := range e {
+			if rng.Float64() < 0.3 {
+				e[i] = 0
+			}
+		}
+	}
+	return tr, e
+}
+
+// Property: the heap-based Compute and the literal Figure 3 transcription
+// produce identical assignments on random instances.
+func TestQuickHeapMatchesNaive(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		n := int(szRaw%60) + 1
+		tr, e := randomTreeAndRates(seed, n)
+		fast, err := Compute(tr, e)
+		if err != nil {
+			return false
+		}
+		slow, err := ComputeNaive(tr, e)
+		if err != nil {
+			return false
+		}
+		return core.VecAlmostEqual(fast.Load, slow.Load, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every WebFold result passes all lemma checks and the
+// optimality oracle (Theorem 1) on random instances.
+func TestQuickVerifyAllRandom(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		n := int(szRaw%80) + 1
+		tr, e := randomTreeAndRates(seed, n)
+		res, err := Compute(tr, e)
+		if err != nil {
+			return false
+		}
+		return VerifyAll(tr, e, res, 1e-6) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the TLB max load never exceeds serving everything at the root
+// and never undercuts the GLE average.
+func TestQuickMaxLoadBounds(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		n := int(szRaw%60) + 2
+		tr, e := randomTreeAndRates(seed, n)
+		res, err := Compute(tr, e)
+		if err != nil {
+			return false
+		}
+		total := core.SumVec(e)
+		gle := total / float64(n)
+		return res.MaxLoad() <= total+1e-9 && res.MaxLoad() >= gle-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TLB is invariant under node relabeling (the algorithm must not
+// depend on node ids beyond tie-breaking among equal loads).
+func TestQuickRelabelInvariance(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		n := int(szRaw%40) + 2
+		tr, e := randomTreeAndRates(seed, n)
+		res, err := Compute(tr, e)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed + 999))
+		perm := rng.Perm(n)
+		rt, err := tr.Relabel(perm)
+		if err != nil {
+			return false
+		}
+		re := tree.ApplyPermutation(e, perm)
+		rres, err := Compute(rt, re)
+		if err != nil {
+			return false
+		}
+		want := tree.ApplyPermutation(res.Load, perm)
+		return core.VecAlmostEqual(rres.Load, want, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: no feasible random perturbation of the TLB assignment is
+// lexicographically better (a randomized check of Definition 1).
+func TestQuickNoBetterFeasibleAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(12)
+		tr, e := randomTreeAndRates(rng.Int63(), n)
+		res, err := Compute(tr, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tlbProfile := core.SortedDesc(res.Load)
+		for p := 0; p < 50; p++ {
+			cand := randomFeasible(tr, e, rng)
+			if core.LexLessDesc(core.SortedDesc(cand), tlbProfile, 1e-9) < 0 {
+				t.Fatalf("found better feasible assignment %v than TLB %v (E=%v)", cand, res.Load, e)
+			}
+		}
+	}
+}
+
+// randomFeasible builds a random assignment satisfying NSS and Constraint 1
+// by pushing random fractions of each subtree's surplus upward.
+func randomFeasible(tr *tree.Tree, e core.Vector, rng *rand.Rand) core.Vector {
+	l := make(core.Vector, tr.Len())
+	fwd := make(core.Vector, tr.Len())
+	for _, v := range tr.PostOrder() {
+		in := e[v]
+		tr.EachChild(v, func(c int) {
+			in += fwd[c]
+		})
+		if v == tr.Root() {
+			l[v] = in
+			fwd[v] = 0
+			continue
+		}
+		serveFrac := rng.Float64()
+		l[v] = in * serveFrac
+		fwd[v] = in - l[v]
+	}
+	return l
+}
+
+func TestFoldMembersPartition(t *testing.T) {
+	tr, e := tree.Figure6()
+	res := mustCompute(t, tr, e)
+	seen := make(map[int]bool)
+	for _, f := range res.Folds {
+		for _, m := range f.Members {
+			if seen[m] {
+				t.Fatalf("node %d in two folds", m)
+			}
+			seen[m] = true
+			if res.FoldOf[m] != f.Root {
+				t.Fatalf("FoldOf[%d] = %d, want %d", m, res.FoldOf[m], f.Root)
+			}
+		}
+	}
+	if len(seen) != tr.Len() {
+		t.Fatalf("folds cover %d of %d nodes", len(seen), tr.Len())
+	}
+}
+
+func TestGLEHelper(t *testing.T) {
+	g := GLE(core.Vector{10, 20, 30})
+	for _, x := range g {
+		if x != 20 {
+			t.Errorf("GLE = %v", g)
+		}
+	}
+	if GLE(nil) != nil {
+		t.Error("GLE(nil) != nil")
+	}
+}
+
+func TestLargeTreePerformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(1))
+	tr, err := tree.Random(50000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := trace.UniformRates(tr.Len(), 0, 100, rng)
+	res, err := Compute(tr, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check invariants cheaply (full oracle is quadratic).
+	if err := VerifyNSS(tr, e, res.Load, 1e-6); err != nil {
+		t.Error(err)
+	}
+	if err := VerifyMonotone(tr, res.Load, 1e-6); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package fold
+
+import (
+	"fmt"
+	"sort"
+
+	"webwave/internal/core"
+	"webwave/internal/tree"
+)
+
+// ComputeNaive is a literal transcription of the paper's Figure 3: scan all
+// folds, find the foldable one with the maximum per-node load, fold it, and
+// repeat. O(n²) worst case. It exists as an independently-written oracle for
+// Compute and as the baseline for the WebFold ablation benchmark.
+func ComputeNaive(t *tree.Tree, e core.Vector) (*Result, error) {
+	n := t.Len()
+	if err := core.ValidateRates(e, n); err != nil {
+		return nil, fmt.Errorf("webfold(naive): %w", err)
+	}
+
+	// (2) foreach i ∈ T: F_i ← {i}; C_i ← C_i; E_i ← E_i
+	foldOf := make([]int, n) // current fold root of each node
+	members := make([][]int, n)
+	esum := make([]float64, n)
+	active := make([]bool, n)
+	for i := 0; i < n; i++ {
+		foldOf[i] = i
+		members[i] = []int{i}
+		esum[i] = e[i]
+		active[i] = true
+	}
+
+	avg := func(r int) float64 { return esum[r] / float64(len(members[r])) }
+	parentFold := func(r int) int {
+		if r == t.Root() {
+			return -1
+		}
+		return foldOf[t.Parent(r)]
+	}
+
+	var trace []Step
+	foldsLeft := n
+	// (3) Fold(T): while a foldable fold exists, fold the max-average one.
+	for {
+		best := -1
+		bestAvg := 0.0
+		for r := 0; r < n; r++ {
+			if !active[r] || r == t.Root() {
+				continue
+			}
+			p := parentFold(r)
+			if p == r {
+				continue
+			}
+			if avg(r) > avg(p) {
+				if best == -1 || avg(r) > bestAvg || (avg(r) == bestAvg && r < best) {
+					best = r
+					bestAvg = avg(r)
+				}
+			}
+		}
+		if best == -1 {
+			break
+		}
+		p := parentFold(best)
+		childAvg, parentAvg := avg(best), avg(p)
+		for _, m := range members[best] {
+			foldOf[m] = p
+		}
+		members[p] = append(members[p], members[best]...)
+		esum[p] += esum[best]
+		members[best] = nil
+		active[best] = false
+		foldsLeft--
+		trace = append(trace, Step{
+			ChildRoot: best, ParentRoot: p,
+			ChildAvg: childAvg, ParentAvg: parentAvg,
+			MergedAvg: avg(p), FoldsLeft: foldsLeft,
+		})
+	}
+
+	// (4) foreach j ∈ T: L_j ← E_fold / |F_fold|
+	res := &Result{
+		Load:   make(core.Vector, n),
+		FoldOf: foldOf,
+		Trace:  trace,
+	}
+	var roots []int
+	for r := 0; r < n; r++ {
+		if active[r] {
+			roots = append(roots, r)
+		}
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		sort.Ints(members[r])
+		f := Fold{Root: r, Members: members[r], Spontaneous: esum[r], Load: avg(r)}
+		res.Folds = append(res.Folds, f)
+		for _, m := range f.Members {
+			res.Load[m] = f.Load
+		}
+	}
+	res.Forward = ComputeForward(t, e, res.Load)
+	return res, nil
+}

@@ -1,0 +1,204 @@
+package fold
+
+import (
+	"fmt"
+	"math"
+
+	"webwave/internal/core"
+	"webwave/internal/tree"
+)
+
+// GLE returns the global-load-equality assignment: every node serves the
+// total spontaneous rate divided by the node count. GLE is the
+// unconstrained optimum that TLB approaches when Constraints 1 and 2 permit.
+func GLE(e core.Vector) core.Vector {
+	n := len(e)
+	if n == 0 {
+		return nil
+	}
+	return core.UniformVec(n, core.SumVec(e)/float64(n))
+}
+
+// VerifyNSS checks Constraint 2 (no sibling sharing): the net rate every
+// node forwards up the tree is non-negative, A_i ≥ 0. A negative A_i would
+// mean load flowing down into a subtree that never requested it.
+func VerifyNSS(t *tree.Tree, e, l core.Vector, eps float64) error {
+	a := ComputeForward(t, e, l)
+	for v, av := range a {
+		if av < -eps {
+			return fmt.Errorf("fold: NSS violated at node %d: A=%.6g < 0", v, av)
+		}
+	}
+	return nil
+}
+
+// VerifyConstraint1 checks that the root forwards nothing: A_r = 0, i.e. the
+// assignment serves exactly the offered load.
+func VerifyConstraint1(t *tree.Tree, e, l core.Vector, eps float64) error {
+	a := ComputeForward(t, e, l)
+	r := t.Root()
+	if math.Abs(a[r]) > eps {
+		return fmt.Errorf("fold: Constraint 1 violated: root forwards A=%.6g", a[r])
+	}
+	return nil
+}
+
+// VerifyMonotone checks Lemma 1: the WebFold load assignment is
+// monotonically non-increasing from root toward the leaves — for every edge
+// (parent i, child j), L_i ≥ L_j.
+func VerifyMonotone(t *tree.Tree, l core.Vector, eps float64) error {
+	for _, edge := range t.Edges() {
+		i, j := edge[0], edge[1]
+		if l[i] < l[j]-eps {
+			return fmt.Errorf("fold: Lemma 1 violated on edge (%d,%d): parent L=%.6g < child L=%.6g", i, j, l[i], l[j])
+		}
+	}
+	return nil
+}
+
+// VerifyNoInterFoldFlow checks Lemma 2: no load crosses fold boundaries —
+// the forwarded rate at every fold root is zero.
+func VerifyNoInterFoldFlow(t *tree.Tree, e core.Vector, res *Result, eps float64) error {
+	a := ComputeForward(t, e, res.Load)
+	for _, f := range res.Folds {
+		if math.Abs(a[f.Root]) > eps {
+			return fmt.Errorf("fold: Lemma 2 violated: fold root %d forwards A=%.6g", f.Root, a[f.Root])
+		}
+	}
+	return nil
+}
+
+// VerifyFoldOrdering checks the termination condition of WebFold: no
+// remaining fold is foldable, i.e. every fold's per-node load is at most its
+// parent fold's.
+func VerifyFoldOrdering(t *tree.Tree, res *Result, eps float64) error {
+	loadOfFold := make(map[int]float64, len(res.Folds))
+	for _, f := range res.Folds {
+		loadOfFold[f.Root] = f.Load
+	}
+	for _, f := range res.Folds {
+		if f.Root == t.Root() {
+			continue
+		}
+		parentFold := res.FoldOf[t.Parent(f.Root)]
+		if f.Load > loadOfFold[parentFold]+eps {
+			return fmt.Errorf("fold: fold %d (load %.6g) still foldable into %d (load %.6g)",
+				f.Root, f.Load, parentFold, loadOfFold[parentFold])
+		}
+	}
+	return nil
+}
+
+// VerifyContiguous checks that every fold is a contiguous region of the
+// tree: each member other than the fold root has its tree-parent in the same
+// fold.
+func VerifyContiguous(t *tree.Tree, res *Result) error {
+	for _, f := range res.Folds {
+		for _, m := range f.Members {
+			if m == f.Root {
+				continue
+			}
+			if res.FoldOf[t.Parent(m)] != f.Root {
+				return fmt.Errorf("fold: fold %d not contiguous at member %d", f.Root, m)
+			}
+		}
+	}
+	return nil
+}
+
+// MaxDensityRootedAverage returns the maximum, over all connected subtrees U
+// of subtree(r) that contain r, of the average spontaneous rate
+// Σ_{v∈U} e_v / |U|. By LP duality this is exactly the per-node load of the
+// TLB fold rooted at r, which makes it an independent optimality oracle for
+// WebFold (it shares no code with the folding loop).
+//
+// Implementation: parametric search on λ. For a given λ, the maximum over
+// rooted connected subtrees of Σ (e_v − λ) is computed by the classic DP
+// best(v) = (e_v − λ) + Σ_c max(0, best(c)); the optimum λ* is the largest λ
+// with best(r) ≥ 0. The optimum average is achieved by some subset of ≤ n
+// nodes, so ~60 bisection iterations give full float64 precision.
+func MaxDensityRootedAverage(t *tree.Tree, e core.Vector, r int) float64 {
+	nodes := t.SubtreeNodes(r)
+	lo := 0.0
+	hi := 0.0
+	for _, v := range nodes {
+		if e[v] > hi {
+			hi = e[v]
+		}
+	}
+	if hi == 0 {
+		return 0
+	}
+	best := make(map[int]float64, len(nodes))
+	feasible := func(lambda float64) bool {
+		// Post-order over subtree(r): children of a node appear before it in
+		// reversed pre-order only for chains; do an explicit stack-based
+		// post-order instead.
+		for i := len(nodes) - 1; i >= 0; i-- {
+			// SubtreeNodes returns pre-order, so iterating it in reverse
+			// visits children before parents.
+			v := nodes[i]
+			b := e[v] - lambda
+			t.EachChild(v, func(c int) {
+				if bc := best[c]; bc > 0 {
+					b += bc
+				}
+			})
+			best[v] = b
+		}
+		return best[r] >= 0
+	}
+	for i := 0; i < 100 && hi-lo > 1e-12*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// VerifyOptimal checks Theorem 1 via the oracle: every fold's per-node load
+// must equal the maximum-density rooted-subtree average of its fold root's
+// subtree, within relative tolerance tol. It first checks that the load
+// vector is consistent with the fold structure, so a doctored Load cannot
+// pass on the strength of correct fold metadata.
+func VerifyOptimal(t *tree.Tree, e core.Vector, res *Result, tol float64) error {
+	for _, f := range res.Folds {
+		for _, m := range f.Members {
+			if math.Abs(res.Load[m]-f.Load) > tol*(1+math.Abs(f.Load)) {
+				return fmt.Errorf("fold: load[%d]=%.9g inconsistent with fold %d load %.9g", m, res.Load[m], f.Root, f.Load)
+			}
+		}
+		want := MaxDensityRootedAverage(t, e, f.Root)
+		if math.Abs(f.Load-want) > tol*(1+math.Abs(want)) {
+			return fmt.Errorf("fold: Theorem 1 violated: fold %d load %.9g != oracle %.9g", f.Root, f.Load, want)
+		}
+	}
+	return nil
+}
+
+// VerifyAll runs every check above: Constraints 1 and 2, Lemmas 1 and 2,
+// fold contiguity and termination, and the optimality oracle.
+func VerifyAll(t *tree.Tree, e core.Vector, res *Result, eps float64) error {
+	if err := VerifyConstraint1(t, e, res.Load, eps); err != nil {
+		return err
+	}
+	if err := VerifyNSS(t, e, res.Load, eps); err != nil {
+		return err
+	}
+	if err := VerifyMonotone(t, res.Load, eps); err != nil {
+		return err
+	}
+	if err := VerifyNoInterFoldFlow(t, e, res, eps); err != nil {
+		return err
+	}
+	if err := VerifyContiguous(t, res); err != nil {
+		return err
+	}
+	if err := VerifyFoldOrdering(t, res, eps); err != nil {
+		return err
+	}
+	return VerifyOptimal(t, e, res, 1e-6)
+}

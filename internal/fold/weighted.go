@@ -1,0 +1,118 @@
+package fold
+
+import (
+	"fmt"
+	"math"
+
+	"webwave/internal/core"
+	"webwave/internal/tree"
+)
+
+// ComputeWeighted generalizes WebFold to heterogeneous server capacities —
+// an extension beyond the paper, whose Section 5.1 assumes "all servers are
+// modeled with uniform capacity".
+//
+// With per-node capacities c the balance objective becomes the
+// lexicographic minimum of the sorted *utilization* profile L_v/c_v,
+// subject to the same Constraint 1 and NSS. Folds now equalize utilization:
+// a fold with spontaneous total E and capacity total C assigns each member
+// v the load c_v·E/C. Setting every capacity to 1 recovers Compute exactly.
+func ComputeWeighted(t *tree.Tree, e, capacity core.Vector) (*Result, error) {
+	if capacity == nil {
+		return nil, fmt.Errorf("webfold: nil capacity vector (use Compute for uniform capacities)")
+	}
+	return computeWeighted(t, e, capacity)
+}
+
+// Utilization returns the per-node utilizations L_v/c_v for a load
+// assignment under capacities c.
+func Utilization(load, capacity core.Vector) (core.Vector, error) {
+	if len(load) != len(capacity) {
+		return nil, fmt.Errorf("fold: load length %d != capacity length %d", len(load), len(capacity))
+	}
+	out := make(core.Vector, len(load))
+	for i := range load {
+		if !(capacity[i] > 0) {
+			return nil, fmt.Errorf("fold: capacity[%d] = %v must be positive", i, capacity[i])
+		}
+		out[i] = load[i] / capacity[i]
+	}
+	return out, nil
+}
+
+// MaxDensityRootedAverageWeighted is the capacity-weighted optimality
+// oracle: the maximum over connected subtrees U of subtree(r) containing r
+// of Σ_{v∈U} e_v / Σ_{v∈U} c_v, computed by the same parametric search as
+// the unweighted oracle with node weights e_v − λ·c_v.
+func MaxDensityRootedAverageWeighted(t *tree.Tree, e, capacity core.Vector, r int) float64 {
+	nodes := t.SubtreeNodes(r)
+	lo, hi := 0.0, 0.0
+	for _, v := range nodes {
+		if d := e[v] / capacity[v]; d > hi {
+			hi = d
+		}
+	}
+	if hi == 0 {
+		return 0
+	}
+	best := make(map[int]float64, len(nodes))
+	feasible := func(lambda float64) bool {
+		for i := len(nodes) - 1; i >= 0; i-- { // reverse pre-order: children first
+			v := nodes[i]
+			b := e[v] - lambda*capacity[v]
+			t.EachChild(v, func(c int) {
+				if bc := best[c]; bc > 0 {
+					b += bc
+				}
+			})
+			best[v] = b
+		}
+		return best[r] >= 0
+	}
+	for i := 0; i < 100 && hi-lo > 1e-12*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// VerifyWeighted checks a ComputeWeighted result: flow feasibility (NSS and
+// Constraint 1 are capacity-independent), monotone non-increasing
+// utilization from root to leaf, load-vector/fold consistency, and the
+// weighted optimality oracle.
+func VerifyWeighted(t *tree.Tree, e, capacity core.Vector, res *Result, eps float64) error {
+	if err := VerifyConstraint1(t, e, res.Load, eps); err != nil {
+		return err
+	}
+	if err := VerifyNSS(t, e, res.Load, eps); err != nil {
+		return err
+	}
+	util, err := Utilization(res.Load, capacity)
+	if err != nil {
+		return err
+	}
+	if err := VerifyMonotone(t, util, eps); err != nil {
+		return fmt.Errorf("weighted (utilization): %w", err)
+	}
+	if err := VerifyContiguous(t, res); err != nil {
+		return err
+	}
+	for _, f := range res.Folds {
+		for _, m := range f.Members {
+			if math.Abs(util[m]-f.Load) > 1e-6*(1+math.Abs(f.Load)) {
+				return fmt.Errorf("fold: utilization[%d]=%.9g inconsistent with fold %d per-unit load %.9g",
+					m, util[m], f.Root, f.Load)
+			}
+		}
+		want := MaxDensityRootedAverageWeighted(t, e, capacity, f.Root)
+		if math.Abs(f.Load-want) > 1e-6*(1+math.Abs(want)) {
+			return fmt.Errorf("fold: weighted optimality violated: fold %d per-unit load %.9g != oracle %.9g",
+				f.Root, f.Load, want)
+		}
+	}
+	return nil
+}

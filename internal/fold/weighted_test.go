@@ -1,0 +1,180 @@
+package fold
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"webwave/internal/core"
+	"webwave/internal/trace"
+	"webwave/internal/tree"
+)
+
+func TestWeightedRejectsBadInput(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent, 0})
+	e := core.Vector{1, 1}
+	if _, err := ComputeWeighted(tr, e, nil); err == nil {
+		t.Error("nil capacity accepted")
+	}
+	if _, err := ComputeWeighted(tr, e, core.Vector{1}); err == nil {
+		t.Error("short capacity accepted")
+	}
+	if _, err := ComputeWeighted(tr, e, core.Vector{1, 0}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := ComputeWeighted(tr, e, core.Vector{1, -2}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestWeightedUnitEqualsUnweighted(t *testing.T) {
+	for _, mk := range []func() (*tree.Tree, core.Vector){
+		tree.Figure2a, tree.Figure2b, tree.Figure4, tree.Figure6,
+	} {
+		tr, e := mk()
+		unit := core.UniformVec(tr.Len(), 1)
+		w, err := ComputeWeighted(tr, e, unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := Compute(tr, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !core.VecAlmostEqual(w.Load, u.Load, 1e-9) {
+			t.Errorf("unit-capacity weighted %v != unweighted %v", w.Load, u.Load)
+		}
+	}
+}
+
+func TestWeightedTwoNodeByHand(t *testing.T) {
+	// Chain root(0) <- leaf(1). Leaf generates 90; root capacity 1, leaf
+	// capacity 2. The single fold has E=90, C=3: per-unit load 30, so the
+	// leaf serves 60 and the root 30.
+	tr := tree.MustFromParents([]int{tree.NoParent, 0})
+	e := core.Vector{0, 90}
+	c := core.Vector{1, 2}
+	res, err := ComputeWeighted(tr, e, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Vector{30, 60}
+	if !core.VecAlmostEqual(res.Load, want, 1e-9) {
+		t.Errorf("load = %v, want %v", res.Load, want)
+	}
+	if err := VerifyWeighted(tr, e, c, res, 1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedCapacityChangesFolding(t *testing.T) {
+	// Same structure and rates; boosting the root's capacity must pull
+	// utilization down and absorb more load at the root.
+	tr := tree.MustFromParents([]int{tree.NoParent, 0, 0})
+	e := core.Vector{0, 50, 50}
+	small, err := ComputeWeighted(tr, e, core.Vector{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := ComputeWeighted(tr, e, core.Vector{8, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Load[0] <= small.Load[0] {
+		t.Errorf("root with 8x capacity serves %v, small-capacity root %v", big.Load[0], small.Load[0])
+	}
+	if err := VerifyWeighted(tr, e, core.Vector{8, 1, 1}, big, 1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilizationHelper(t *testing.T) {
+	u, err := Utilization(core.Vector{10, 30}, core.Vector{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 2 || u[1] != 3 {
+		t.Errorf("utilization = %v", u)
+	}
+	if _, err := Utilization(core.Vector{1}, core.Vector{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Utilization(core.Vector{1}, core.Vector{0}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestWeightedOracleByHand(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent, 0})
+	e := core.Vector{0, 90}
+	c := core.Vector{1, 2}
+	// Whole tree density 90/3 = 30 beats the root alone (0/1 = 0).
+	if got := MaxDensityRootedAverageWeighted(tr, e, c, 0); math.Abs(got-30) > 1e-6 {
+		t.Errorf("oracle = %v, want 30", got)
+	}
+	// Leaf subtree: 90/2 = 45.
+	if got := MaxDensityRootedAverageWeighted(tr, e, c, 1); math.Abs(got-45) > 1e-6 {
+		t.Errorf("oracle(leaf) = %v, want 45", got)
+	}
+}
+
+// Property: weighted WebFold passes the weighted verifier on random trees
+// with random capacities.
+func TestQuickWeightedVerify(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		n := int(szRaw%50) + 1
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := tree.Random(n, rng)
+		if err != nil {
+			return false
+		}
+		e := trace.UniformRates(n, 0, 100, rng)
+		c := make(core.Vector, n)
+		for i := range c {
+			c[i] = 0.5 + 4*rng.Float64()
+		}
+		res, err := ComputeWeighted(tr, e, c)
+		if err != nil {
+			return false
+		}
+		return VerifyWeighted(tr, e, c, res, 1e-6) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling all capacities uniformly leaves the load assignment
+// unchanged (only utilizations rescale).
+func TestQuickWeightedScaleInvariance(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		n := int(szRaw%40) + 1
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := tree.Random(n, rng)
+		if err != nil {
+			return false
+		}
+		e := trace.UniformRates(n, 0, 100, rng)
+		c := make(core.Vector, n)
+		for i := range c {
+			c[i] = 0.5 + rng.Float64()
+		}
+		a, err := ComputeWeighted(tr, e, c)
+		if err != nil {
+			return false
+		}
+		scaled := make(core.Vector, n)
+		for i := range c {
+			scaled[i] = c[i] * 7
+		}
+		b, err := ComputeWeighted(tr, e, scaled)
+		if err != nil {
+			return false
+		}
+		return core.VecAlmostEqual(a.Load, b.Load, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

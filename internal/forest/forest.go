@@ -1,0 +1,402 @@
+// Package forest explores the paper's primary future-work question
+// (Section 7): how WebWave behaves on "the forest of overlapping routing
+// trees that is the Internet".
+//
+// A Forest is a set of routing trees over the same server population: each
+// tree is rooted at a different home server and carries the request flow
+// for the documents published there, with its own spontaneous-rate vector.
+// Every server therefore participates in every tree at once, and its real
+// load is the sum of its per-tree loads.
+//
+// Two protocol variants are simulated:
+//
+//   - Independent: each tree runs plain WebWave on its own load, blind to
+//     the others. Per-tree load converges to each tree's TLB, but the
+//     per-node totals can stack up badly (a node that is a hot fold in two
+//     trees pays twice).
+//
+//   - Coupled: diffusion decisions compare *total* node loads while moves
+//     stay constrained to each tree's NSS cap — a node sheds load in
+//     whichever tree has headroom. This is the natural forest
+//     generalization of Figure 5 and balances totals strictly better than
+//     or equal to Independent on the instances we measure.
+package forest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"webwave/internal/core"
+	"webwave/internal/fold"
+	"webwave/internal/stats"
+	"webwave/internal/trace"
+	"webwave/internal/tree"
+)
+
+// Forest is a set of routing trees over one shared node set 0..n-1.
+type Forest struct {
+	trees []*tree.Tree
+	rates []core.Vector
+	n     int
+}
+
+// New validates that all trees and rate vectors cover the same node set.
+func New(trees []*tree.Tree, rates []core.Vector) (*Forest, error) {
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("forest: no trees")
+	}
+	if len(trees) != len(rates) {
+		return nil, fmt.Errorf("forest: %d trees but %d rate vectors", len(trees), len(rates))
+	}
+	n := trees[0].Len()
+	for k, t := range trees {
+		if t.Len() != n {
+			return nil, fmt.Errorf("forest: tree %d has %d nodes, want %d", k, t.Len(), n)
+		}
+		if err := core.ValidateRates(rates[k], n); err != nil {
+			return nil, fmt.Errorf("forest: tree %d: %w", k, err)
+		}
+	}
+	return &Forest{trees: trees, rates: rates, n: n}, nil
+}
+
+// Random builds a forest of k uniformly random trees over n nodes, each
+// rooted at a random node (via relabeling) with uniform random rates
+// summing to about totalRate per tree.
+func Random(n, k int, totalRate float64, rng *rand.Rand) (*Forest, error) {
+	if n <= 0 || k <= 0 {
+		return nil, fmt.Errorf("forest: invalid size n=%d k=%d", n, k)
+	}
+	trees := make([]*tree.Tree, k)
+	rates := make([]core.Vector, k)
+	for i := 0; i < k; i++ {
+		t, err := tree.Random(n, rng)
+		if err != nil {
+			return nil, fmt.Errorf("forest: %w", err)
+		}
+		// Move the root to a random node so homes differ across trees.
+		perm := rng.Perm(n)
+		t, err = t.Relabel(perm)
+		if err != nil {
+			return nil, fmt.Errorf("forest: relabel: %w", err)
+		}
+		trees[i] = t
+		e := trace.UniformRates(n, 0, 1, rng)
+		scale := totalRate / core.SumVec(e)
+		for j := range e {
+			e[j] *= scale
+		}
+		rates[i] = e
+	}
+	return New(trees, rates)
+}
+
+// NumTrees returns the number of routing trees.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// Len returns the number of nodes.
+func (f *Forest) Len() int { return f.n }
+
+// Tree returns tree k.
+func (f *Forest) Tree(k int) *tree.Tree { return f.trees[k] }
+
+// Rates returns a copy of tree k's spontaneous rates.
+func (f *Forest) Rates(k int) core.Vector { return core.CloneVec(f.rates[k]) }
+
+// TotalRates returns the per-node sum of spontaneous rates across trees.
+func (f *Forest) TotalRates() core.Vector {
+	out := make(core.Vector, f.n)
+	for _, e := range f.rates {
+		for v, x := range e {
+			out[v] += x
+		}
+	}
+	return out
+}
+
+// PerTreeTLB computes each tree's independent TLB assignment and returns
+// the per-node totals — the fixed point of the Independent variant.
+func (f *Forest) PerTreeTLB() ([]*fold.Result, core.Vector, error) {
+	results := make([]*fold.Result, len(f.trees))
+	totals := make(core.Vector, f.n)
+	for k, t := range f.trees {
+		res, err := fold.Compute(t, f.rates[k])
+		if err != nil {
+			return nil, nil, fmt.Errorf("forest: tree %d: %w", k, err)
+		}
+		results[k] = res
+		for v, l := range res.Load {
+			totals[v] += l
+		}
+	}
+	return results, totals, nil
+}
+
+// Coupling selects how per-tree WebWave instances interact.
+type Coupling int
+
+const (
+	// Independent runs each tree's protocol on its own per-tree loads.
+	Independent Coupling = iota + 1
+	// Coupled drives each tree's diffusion by total node loads.
+	Coupled
+)
+
+// Config parameterizes a forest simulation.
+type Config struct {
+	Coupling Coupling
+	// Alpha is the per-edge diffusion parameter before division by the
+	// tree count (each node participates in NumTrees trees, so the
+	// per-tree α is Alpha/NumTrees to preserve Cybenko stability). Zero
+	// selects 1/(maxdeg+1) over all trees.
+	Alpha float64
+}
+
+// Sim simulates WebWave over a forest in synchronous rounds.
+type Sim struct {
+	f        *Forest
+	coupling Coupling
+	alpha    float64 // per-tree, already divided by tree count
+	loads    []core.Vector
+	fwd      []core.Vector
+	delta    core.Vector // scratch
+}
+
+// NewSim builds a simulator. Each tree starts from its own InitialRoot
+// state (all of a tree's load at its home server), the hardest initial
+// condition.
+func NewSim(f *Forest, cfg Config) (*Sim, error) {
+	if cfg.Coupling == 0 {
+		cfg.Coupling = Coupled
+	}
+	alpha := cfg.Alpha
+	if alpha <= 0 {
+		maxDeg := 0
+		for _, t := range f.trees {
+			if d := t.MaxDegree(); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		alpha = 1.0 / float64(maxDeg+1)
+	}
+	s := &Sim{
+		f:        f,
+		coupling: cfg.Coupling,
+		alpha:    alpha / float64(f.NumTrees()),
+		loads:    make([]core.Vector, f.NumTrees()),
+		fwd:      make([]core.Vector, f.NumTrees()),
+		delta:    make(core.Vector, f.Len()),
+	}
+	for k := range s.loads {
+		s.loads[k] = make(core.Vector, f.Len())
+		s.loads[k][f.trees[k].Root()] = core.SumVec(f.rates[k])
+		s.fwd[k] = s.recomputeForward(k)
+	}
+	return s, nil
+}
+
+func (s *Sim) recomputeForward(k int) core.Vector {
+	t := s.f.trees[k]
+	e := s.f.rates[k]
+	a := make(core.Vector, t.Len())
+	for _, v := range t.PostOrder() {
+		sum := e[v] - s.loads[k][v]
+		t.EachChild(v, func(c int) {
+			sum += a[c]
+		})
+		a[v] = sum
+	}
+	return a
+}
+
+// TreeLoad returns a copy of tree k's per-node load.
+func (s *Sim) TreeLoad(k int) core.Vector { return core.CloneVec(s.loads[k]) }
+
+// Totals returns the per-node total load across trees.
+func (s *Sim) Totals() core.Vector {
+	out := make(core.Vector, s.f.Len())
+	for _, l := range s.loads {
+		for v, x := range l {
+			out[v] += x
+		}
+	}
+	return out
+}
+
+// transfer is one desired per-edge move within one tree's round.
+type transfer struct {
+	from, to int
+	amount   float64
+}
+
+// Step runs one synchronous round over every tree.
+//
+// Under Coupled the desired move on an edge is α·(T_i − T_j) — a function
+// of the *total* loads — but the moved quantity is this tree's load, which
+// can be smaller than the desire. Each sender's total outflow is therefore
+// scaled down to the per-tree load it actually carries; scaling only ever
+// shrinks transfers, so the per-edge NSS caps remain respected and no node
+// is overdrafted.
+func (s *Sim) Step() {
+	totals := s.Totals()
+	var moves []transfer
+	outflow := make(core.Vector, s.f.Len())
+	for k := range s.loads {
+		t := s.f.trees[k]
+		load := s.loads[k]
+		fwd := s.fwd[k]
+
+		// The comparison metric: totals when coupled, per-tree when not.
+		metric := load
+		if s.coupling == Coupled {
+			metric = totals
+		}
+		moves = moves[:0]
+		for v := range outflow {
+			outflow[v] = 0
+		}
+		for _, edge := range t.Edges() {
+			i, j := edge[0], edge[1]
+			switch {
+			case metric[i] > metric[j]:
+				d := s.alpha * (metric[i] - metric[j])
+				if d > fwd[j] {
+					d = fwd[j] // NSS: only requests j forwards can move down
+				}
+				if d > 0 {
+					moves = append(moves, transfer{from: i, to: j, amount: d})
+					outflow[i] += d
+				}
+			case metric[j] > metric[i]:
+				u := s.alpha * (metric[j] - metric[i])
+				if u > 0 {
+					moves = append(moves, transfer{from: j, to: i, amount: u})
+					outflow[j] += u
+				}
+			}
+		}
+		// Scale factors come from the pre-round snapshot so that applying
+		// moves sequentially cannot skew them.
+		scale := make(core.Vector, len(outflow))
+		for v := range scale {
+			scale[v] = 1
+			if outflow[v] > load[v] && outflow[v] > 0 {
+				scale[v] = load[v] / outflow[v]
+			}
+		}
+		changed := false
+		for _, m := range moves {
+			amt := m.amount * scale[m.from]
+			if amt <= 0 {
+				continue
+			}
+			load[m.from] -= amt
+			load[m.to] += amt
+			changed = true
+		}
+		if changed {
+			s.fwd[k] = s.recomputeForward(k)
+		}
+	}
+}
+
+// RunResult captures a forest run.
+type RunResult struct {
+	// MaxTotal[r] is the maximum per-node total load after round r
+	// (index 0 = initial state).
+	MaxTotal []float64
+	// Spread[r] is max-min of the per-node totals after round r.
+	Spread []float64
+	Rounds int
+	Final  core.Vector // final totals
+}
+
+// Run executes up to maxRounds rounds, stopping early when the round-over-
+// round improvement of the max total falls below tol for 10 consecutive
+// rounds.
+func (s *Sim) Run(maxRounds int, tol float64) *RunResult {
+	res := &RunResult{}
+	record := func() {
+		totals := s.Totals()
+		max, _ := core.MaxVec(totals)
+		min, _ := core.MinVec(totals)
+		res.MaxTotal = append(res.MaxTotal, max)
+		res.Spread = append(res.Spread, max-min)
+	}
+	record()
+	stable := 0
+	for r := 0; r < maxRounds; r++ {
+		prev := res.MaxTotal[len(res.MaxTotal)-1]
+		s.Step()
+		res.Rounds++
+		record()
+		cur := res.MaxTotal[len(res.MaxTotal)-1]
+		if prev-cur < tol {
+			stable++
+			if stable >= 10 {
+				break
+			}
+		} else {
+			stable = 0
+		}
+	}
+	res.Final = s.Totals()
+	return res
+}
+
+// CompareResult is the X4 experiment outcome: coupled versus independent
+// forest balancing on one instance.
+type CompareResult struct {
+	Nodes, Trees     int
+	GLETotal         float64 // ΣΣE/n — the unconstrained ideal
+	IndependentTLB   float64 // max per-node total if every tree reaches its own TLB
+	IndependentFinal float64 // measured max total, independent protocol
+	CoupledFinal     float64 // measured max total, coupled protocol
+	Rounds           int
+}
+
+// Compare runs both variants on the same forest.
+func Compare(f *Forest, maxRounds int) (*CompareResult, error) {
+	_, indTotals, err := f.PerTreeTLB()
+	if err != nil {
+		return nil, err
+	}
+	indTLBMax, _ := core.MaxVec(indTotals)
+
+	indSim, err := NewSim(f, Config{Coupling: Independent})
+	if err != nil {
+		return nil, err
+	}
+	indRun := indSim.Run(maxRounds, 1e-9)
+
+	coupSim, err := NewSim(f, Config{Coupling: Coupled})
+	if err != nil {
+		return nil, err
+	}
+	coupRun := coupSim.Run(maxRounds, 1e-9)
+
+	total := core.SumVec(f.TotalRates())
+	return &CompareResult{
+		Nodes:            f.Len(),
+		Trees:            f.NumTrees(),
+		GLETotal:         total / float64(f.Len()),
+		IndependentTLB:   indTLBMax,
+		IndependentFinal: indRun.MaxTotal[len(indRun.MaxTotal)-1],
+		CoupledFinal:     coupRun.MaxTotal[len(coupRun.MaxTotal)-1],
+		Rounds:           coupRun.Rounds,
+	}, nil
+}
+
+// String renders one comparison row.
+func (c *CompareResult) String() string {
+	return fmt.Sprintf("n=%d k=%d GLE=%.1f indTLB=%.1f indFinal=%.1f coupledFinal=%.1f (rounds %d)",
+		c.Nodes, c.Trees, c.GLETotal, c.IndependentTLB, c.IndependentFinal, c.CoupledFinal, c.Rounds)
+}
+
+// SpreadDistance is a convenience: Euclidean distance of the totals from
+// their own mean — 0 exactly at GLE of totals.
+func SpreadDistance(totals core.Vector) float64 {
+	mean := core.SumVec(totals) / float64(len(totals))
+	uniform := core.UniformVec(len(totals), mean)
+	return stats.Euclidean(totals, uniform)
+}

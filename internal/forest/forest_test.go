@@ -1,0 +1,222 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"webwave/internal/core"
+	"webwave/internal/tree"
+)
+
+func twoTreeForest(t *testing.T) *Forest {
+	t.Helper()
+	// Tree A rooted at 0, tree B rooted at 2, over 3 shared nodes.
+	ta := tree.MustFromParents([]int{tree.NoParent, 0, 0})
+	tb := tree.MustFromParents([]int{2, 2, tree.NoParent})
+	f, err := New(
+		[]*tree.Tree{ta, tb},
+		[]core.Vector{{0, 30, 30}, {30, 30, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	ta := tree.MustFromParents([]int{tree.NoParent, 0})
+	if _, err := New(nil, nil); err == nil {
+		t.Error("empty forest accepted")
+	}
+	if _, err := New([]*tree.Tree{ta}, nil); err == nil {
+		t.Error("missing rates accepted")
+	}
+	tb := tree.MustFromParents([]int{tree.NoParent, 0, 0})
+	if _, err := New([]*tree.Tree{ta, tb}, []core.Vector{{1, 1}, {1, 1, 1}}); err == nil {
+		t.Error("mismatched node counts accepted")
+	}
+	if _, err := New([]*tree.Tree{ta}, []core.Vector{{1, -1}}); err == nil {
+		t.Error("negative rates accepted")
+	}
+}
+
+func TestTotalRates(t *testing.T) {
+	f := twoTreeForest(t)
+	got := f.TotalRates()
+	want := core.Vector{30, 60, 30}
+	if !core.VecAlmostEqual(got, want, 1e-12) {
+		t.Errorf("TotalRates = %v, want %v", got, want)
+	}
+}
+
+func TestPerTreeTLB(t *testing.T) {
+	f := twoTreeForest(t)
+	results, totals, err := f.PerTreeTLB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Each tree is the GLE-feasible star: per-tree TLB is 20 everywhere,
+	// so totals are 40 everywhere.
+	for v, x := range totals {
+		if math.Abs(x-40) > 1e-9 {
+			t.Errorf("total[%d] = %v, want 40", v, x)
+		}
+	}
+}
+
+func TestRandomForestShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f, err := Random(20, 4, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 20 || f.NumTrees() != 4 {
+		t.Fatalf("forest shape %dx%d", f.Len(), f.NumTrees())
+	}
+	// Roots should not all coincide (random relabeling).
+	roots := map[int]bool{}
+	for k := 0; k < 4; k++ {
+		roots[f.Tree(k).Root()] = true
+	}
+	if len(roots) < 2 {
+		t.Error("all trees share one root; relabeling ineffective")
+	}
+	for k := 0; k < 4; k++ {
+		if math.Abs(core.SumVec(f.Rates(k))-500) > 1e-6 {
+			t.Errorf("tree %d total rate %v, want 500", k, core.SumVec(f.Rates(k)))
+		}
+	}
+	if _, err := Random(0, 1, 1, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestSimConservesPerTreeLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f, err := Random(15, 3, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSim(f, Config{Coupling: Coupled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 100; r++ {
+		s.Step()
+		for k := 0; k < f.NumTrees(); k++ {
+			got := core.SumVec(s.TreeLoad(k))
+			want := core.SumVec(f.Rates(k))
+			if math.Abs(got-want) > 1e-6 {
+				t.Fatalf("round %d tree %d: ΣL=%v, want %v", r, k, got, want)
+			}
+		}
+	}
+}
+
+func TestSimRespectsPerTreeNSS(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f, err := Random(12, 2, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSim(f, Config{Coupling: Coupled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 80; r++ {
+		s.Step()
+		for k := 0; k < f.NumTrees(); k++ {
+			fwd := s.recomputeForward(k)
+			for v, a := range fwd {
+				if a < -1e-6 {
+					t.Fatalf("round %d tree %d node %d: NSS violated (A=%v)", r, k, v, a)
+				}
+			}
+		}
+	}
+}
+
+func TestCoupledBalancesTotalsBetter(t *testing.T) {
+	// A forest built so independent TLBs collide: both trees' folds land
+	// their heaviest loads on the same nodes.
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		f, err := Random(25, 3, 500, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmp, err := Compare(f, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Coupled must not do meaningfully worse than independent, and must
+		// stay above the unconstrained ideal.
+		if cmp.CoupledFinal > cmp.IndependentFinal*1.05+1e-9 {
+			t.Errorf("seed %d: coupled %v worse than independent %v",
+				seed, cmp.CoupledFinal, cmp.IndependentFinal)
+		}
+		if cmp.CoupledFinal < cmp.GLETotal-1e-6 {
+			t.Errorf("seed %d: coupled %v below the GLE ideal %v (impossible)",
+				seed, cmp.CoupledFinal, cmp.GLETotal)
+		}
+	}
+}
+
+func TestIndependentConvergesToPerTreeTLB(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f, err := Random(15, 2, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSim(f, Config{Coupling: Independent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := s.Run(20000, 1e-12)
+	_, indTotals, err := f.PerTreeTLB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The independent protocol's fixed point is each tree's TLB, so totals
+	// converge to the per-tree-TLB totals.
+	for v := range indTotals {
+		if math.Abs(run.Final[v]-indTotals[v]) > 0.02*(1+indTotals[v]) {
+			t.Errorf("node %d: independent final %v vs per-tree TLB total %v",
+				v, run.Final[v], indTotals[v])
+		}
+	}
+}
+
+func TestRunRecordsTrajectories(t *testing.T) {
+	f := twoTreeForest(t)
+	s, err := NewSim(f, Config{Coupling: Coupled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := s.Run(500, 1e-12)
+	if len(run.MaxTotal) != run.Rounds+1 || len(run.Spread) != run.Rounds+1 {
+		t.Fatalf("trajectory lengths %d/%d vs rounds %d", len(run.MaxTotal), len(run.Spread), run.Rounds)
+	}
+	first, last := run.MaxTotal[0], run.MaxTotal[len(run.MaxTotal)-1]
+	if last > first {
+		t.Errorf("max total grew: %v -> %v", first, last)
+	}
+	if SpreadDistance(run.Final) > SpreadDistance(s.Totals())+1e-9 {
+		t.Error("SpreadDistance inconsistent with state")
+	}
+}
+
+func TestCompareString(t *testing.T) {
+	f := twoTreeForest(t)
+	cmp, err := Compare(f, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.String() == "" {
+		t.Error("empty render")
+	}
+}

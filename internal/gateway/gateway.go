@@ -1,0 +1,291 @@
+// Package gateway fronts a live WebWave cluster with a plain HTTP document
+// service: GET /docs/<name> injects a request packet at a tree node and
+// returns the document body that comes back, with headers reporting which
+// cache server answered and how far the request traveled.
+//
+// This is the adoption path for the library — a browser-facing edge that
+// publishes a WebWave tree as an ordinary web service — and it doubles as
+// an end-to-end demonstration that the protocol serves real clients, not
+// just harness counters.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webwave/internal/core"
+	"webwave/internal/netproto"
+	"webwave/internal/transport"
+)
+
+// DefaultTimeout bounds how long a request waits for the tree to answer.
+const DefaultTimeout = 5 * time.Second
+
+// reqIDBase offsets gateway request ids above the cluster harness's
+// sequential ids so the two can share a tree without colliding in the
+// servers' pending-response tables.
+const reqIDBase = uint64(1) << 62
+
+// Backend is the slice of a live cluster the gateway needs. Implemented by
+// *cluster.Cluster.
+type Backend interface {
+	// Addr returns node v's transport address ("" when out of range).
+	Addr(v int) string
+	// Network returns the transport to dial servers on.
+	Network() transport.Network
+}
+
+// OriginPicker chooses which tree node a client's request enters at — the
+// "first cache server on the route from the client" of the paper's model.
+type OriginPicker func(r *http.Request) int
+
+// FixedOrigin always enters the tree at node v.
+func FixedOrigin(v int) OriginPicker {
+	return func(*http.Request) int { return v }
+}
+
+// HashOrigin spreads clients over the given nodes by a hash of their
+// remote address, emulating geographically scattered entry points.
+func HashOrigin(nodes []int) OriginPicker {
+	return func(r *http.Request) int {
+		if len(nodes) == 0 {
+			return 0
+		}
+		h := uint32(2166136261)
+		host := r.RemoteAddr
+		if i := strings.LastIndexByte(host, ':'); i >= 0 {
+			host = host[:i]
+		}
+		for i := 0; i < len(host); i++ {
+			h = (h ^ uint32(host[i])) * 16777619
+		}
+		return nodes[int(h)%len(nodes)]
+	}
+}
+
+// Config parameterizes a Gateway.
+type Config struct {
+	// Origin picks the entry node per request; default FixedOrigin(0).
+	Origin OriginPicker
+	// Timeout bounds the wait for a response; default DefaultTimeout.
+	Timeout time.Duration
+	// Prefix is the URL path prefix for documents; default "/docs/".
+	Prefix string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Origin == nil {
+		c.Origin = FixedOrigin(0)
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.Prefix == "" {
+		c.Prefix = "/docs/"
+	}
+	return c
+}
+
+// Gateway is an http.Handler serving documents out of a WebWave tree.
+type Gateway struct {
+	backend Backend
+	cfg     Config
+
+	seq atomic.Uint64
+
+	mu    sync.Mutex
+	conns map[int]*originConn // entry node -> pooled connection
+	done  bool
+}
+
+// originConn is one pooled connection into the tree, shared by every
+// request entering at the same node, with response correlation by request
+// id.
+type originConn struct {
+	conn transport.Conn
+
+	mu      sync.Mutex
+	pending map[uint64]chan *netproto.Envelope
+	dead    bool
+}
+
+// New builds a gateway over a running cluster.
+func New(b Backend, cfg Config) *Gateway {
+	return &Gateway{backend: b, cfg: cfg.withDefaults(), conns: make(map[int]*originConn)}
+}
+
+// Close releases the gateway's pooled connections. In-flight requests fail
+// with 502.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.done = true
+	for _, oc := range g.conns {
+		oc.conn.Close()
+	}
+	g.conns = make(map[int]*originConn)
+}
+
+// errClosed reports a gateway shut down mid-request.
+var errClosed = errors.New("gateway: closed")
+
+// originConnFor returns (creating on demand) the pooled connection for an
+// entry node and starts its response collector.
+func (g *Gateway) originConnFor(origin int) (*originConn, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.done {
+		return nil, errClosed
+	}
+	if oc, ok := g.conns[origin]; ok && !oc.isDead() {
+		return oc, nil
+	}
+	addr := g.backend.Addr(origin)
+	if addr == "" {
+		return nil, fmt.Errorf("gateway: origin %d out of range", origin)
+	}
+	conn, err := g.backend.Network().Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: dial origin %d: %w", origin, err)
+	}
+	oc := &originConn{conn: conn, pending: make(map[uint64]chan *netproto.Envelope)}
+	g.conns[origin] = oc
+	go oc.collect()
+	return oc, nil
+}
+
+func (oc *originConn) isDead() bool {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	return oc.dead
+}
+
+// collect routes responses to their waiting request handlers until the
+// connection dies, then fails every outstanding request.
+func (oc *originConn) collect() {
+	for {
+		env, err := oc.conn.Recv()
+		if err != nil {
+			oc.mu.Lock()
+			oc.dead = true
+			for id, ch := range oc.pending {
+				close(ch)
+				delete(oc.pending, id)
+			}
+			oc.mu.Unlock()
+			return
+		}
+		if env.Kind != netproto.TypeResponse {
+			continue
+		}
+		oc.mu.Lock()
+		ch, ok := oc.pending[env.ReqID]
+		if ok {
+			delete(oc.pending, env.ReqID)
+		}
+		oc.mu.Unlock()
+		if ok {
+			ch <- env
+		}
+	}
+}
+
+// fetch injects one request at origin and waits for the response.
+func (g *Gateway) fetch(origin int, doc core.DocID, timeout time.Duration) (*netproto.Envelope, error) {
+	oc, err := g.originConnFor(origin)
+	if err != nil {
+		return nil, err
+	}
+	id := reqIDBase + g.seq.Add(1)
+	ch := make(chan *netproto.Envelope, 1)
+	oc.mu.Lock()
+	if oc.dead {
+		oc.mu.Unlock()
+		return nil, errClosed
+	}
+	oc.pending[id] = ch
+	oc.mu.Unlock()
+
+	err = oc.conn.Send(&netproto.Envelope{
+		Kind: netproto.TypeRequest, From: -1, To: origin,
+		Origin: origin, ReqID: id, Doc: doc,
+	})
+	if err != nil {
+		oc.mu.Lock()
+		delete(oc.pending, id)
+		oc.mu.Unlock()
+		return nil, fmt.Errorf("gateway: send: %w", err)
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case env, ok := <-ch:
+		if !ok {
+			return nil, errClosed
+		}
+		return env, nil
+	case <-timer.C:
+		oc.mu.Lock()
+		delete(oc.pending, id)
+		oc.mu.Unlock()
+		return nil, fmt.Errorf("gateway: request for %q timed out after %v", doc, timeout)
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if !strings.HasPrefix(r.URL.Path, g.cfg.Prefix) {
+		http.NotFound(w, r)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, g.cfg.Prefix)
+	if name == "" {
+		http.Error(w, "missing document name", http.StatusBadRequest)
+		return
+	}
+
+	origin := g.cfg.Origin(r)
+	env, err := g.fetch(origin, core.DocID(name), g.cfg.Timeout)
+	switch {
+	case err == nil:
+	case errors.Is(err, errClosed):
+		http.Error(w, "gateway shutting down", http.StatusBadGateway)
+		return
+	case strings.Contains(err.Error(), "timed out"):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	if env.NotFound {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("X-WebWave-Served-By", strconv.Itoa(env.ServedBy))
+	w.Header().Set("X-WebWave-Hops", strconv.Itoa(env.Hops))
+	w.Header().Set("X-WebWave-Origin", strconv.Itoa(origin))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(env.Body)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	if _, err := w.Write(env.Body); err != nil {
+		// The client went away; nothing useful to do.
+		return
+	}
+}
+
+var _ http.Handler = (*Gateway)(nil)

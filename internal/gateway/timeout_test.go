@@ -1,0 +1,87 @@
+package gateway
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"webwave/internal/transport"
+)
+
+// silentBackend implements Backend with a listener that accepts
+// connections and never answers — the pathological tree for timeout
+// handling.
+type silentBackend struct {
+	net  *transport.MemoryNetwork
+	addr string
+}
+
+func newSilentBackend(t *testing.T) *silentBackend {
+	t.Helper()
+	n := transport.NewMemoryNetwork(transport.MemoryOptions{})
+	l, err := n.Listen("silent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			// Swallow the connection: read requests, answer nothing.
+			go func() {
+				for {
+					if _, err := conn.Recv(); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return &silentBackend{net: n, addr: "silent"}
+}
+
+func (b *silentBackend) Addr(v int) string {
+	if v != 0 {
+		return ""
+	}
+	return b.addr
+}
+
+func (b *silentBackend) Network() transport.Network { return b.net }
+
+func TestGatewayTimesOutOnSilentTree(t *testing.T) {
+	gw := New(newSilentBackend(t), Config{Timeout: 50 * time.Millisecond})
+	defer gw.Close()
+	srv := httptest.NewServer(gw)
+	defer srv.Close()
+
+	start := time.Now()
+	resp, err := http.Get(srv.URL + "/docs/anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v; configured 50ms", elapsed)
+	}
+	// The pending map must not leak the timed-out request.
+	gw.mu.Lock()
+	oc := gw.conns[0]
+	gw.mu.Unlock()
+	if oc == nil {
+		t.Fatal("no pooled connection")
+	}
+	oc.mu.Lock()
+	pending := len(oc.pending)
+	oc.mu.Unlock()
+	if pending != 0 {
+		t.Errorf("%d pending entries leaked after timeout", pending)
+	}
+}

@@ -1,0 +1,171 @@
+package hierarchy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"webwave/internal/core"
+	"webwave/internal/trace"
+	"webwave/internal/tree"
+)
+
+func chainDemand(t *testing.T) (*tree.Tree, *trace.Demand) {
+	t.Helper()
+	tr := tree.MustFromParents([]int{tree.NoParent, 0, 1}) // 0 <- 1 <- 2
+	d := &trace.Demand{
+		Docs:  []core.Document{{ID: "a"}, {ID: "b"}},
+		Rates: [][]float64{{0, 0}, {0, 0}, {10, 5}},
+	}
+	return tr, d
+}
+
+func TestFirstRequestGoesToHome(t *testing.T) {
+	tr, d := chainDemand(t)
+	s, err := NewSim(tr, d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	servedAt, hops := s.Request(2, "a")
+	if servedAt != tr.Root() || hops != 2 {
+		t.Errorf("first request served at %d after %d hops, want root after 2", servedAt, hops)
+	}
+}
+
+func TestReturnPathCaching(t *testing.T) {
+	tr, d := chainDemand(t)
+	s, err := NewSim(tr, d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Request(2, "a")
+	// Both node 1 and node 2 now hold a copy.
+	if len(s.CacheContents(1)) != 1 || len(s.CacheContents(2)) != 1 {
+		t.Fatalf("caches after miss: n1=%v n2=%v", s.CacheContents(1), s.CacheContents(2))
+	}
+	// Second request hits at the origin itself.
+	servedAt, hops := s.Request(2, "a")
+	if servedAt != 2 || hops != 0 {
+		t.Errorf("second request served at %d after %d hops, want origin hit", servedAt, hops)
+	}
+}
+
+func TestBoundedCacheEvicts(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent, 0})
+	docs := make([]core.Document, 5)
+	rates := [][]float64{make([]float64, 5), make([]float64, 5)}
+	for i := range docs {
+		docs[i] = core.Document{ID: core.DocID(string(rune('a' + i)))}
+		rates[1][i] = 1
+	}
+	d := &trace.Demand{Docs: docs, Rates: rates}
+	s, err := NewSim(tr, d, Config{CacheCapacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range docs {
+		s.Request(1, doc.ID)
+	}
+	if got := len(s.CacheContents(1)); got != 2 {
+		t.Errorf("bounded cache holds %d docs, want 2", got)
+	}
+}
+
+func TestRunSamplesProportionally(t *testing.T) {
+	tr, d := chainDemand(t)
+	s, err := NewSim(tr, d, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 30000 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	// After warmup nearly everything hits at the origin: mean hops ≈ 0.
+	if res.MeanHops > 0.01 {
+		t.Errorf("mean hops = %v, want ~0 with unlimited caches", res.MeanHops)
+	}
+	// And the origin node serves essentially all load — the imbalance
+	// WebWave exists to fix.
+	if res.MaxLoadShare < 0.99 {
+		t.Errorf("max load share = %v, want ≈1 (all at the requesting leaf)", res.MaxLoadShare)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	tr, d := chainDemand(t)
+	s, err := NewSim(tr, d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	empty := &trace.Demand{Docs: d.Docs, Rates: [][]float64{{0, 0}, {0, 0}, {0, 0}}}
+	s2, err := NewSim(tr, empty, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Run(10); err == nil {
+		t.Error("empty demand accepted")
+	}
+	short := &trace.Demand{Docs: d.Docs, Rates: d.Rates[:1]}
+	if _, err := NewSim(tr, short, Config{}); err == nil {
+		t.Error("short demand accepted")
+	}
+}
+
+func TestServedCountsConserve(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr, err := tree.Random(15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := trace.ZipfDemand(tr, trace.ZipfDemandConfig{NumDocs: 8, Skew: 1, TotalRate: 100}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSim(tr, d, Config{Seed: 2, CacheCapacity: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := core.SumVec(res.Served); got != 5000 {
+		t.Errorf("served sum = %v, want 5000", got)
+	}
+	var hopsTotal int64
+	for _, c := range res.HitHops {
+		hopsTotal += c
+	}
+	if hopsTotal != 5000 {
+		t.Errorf("hop histogram sums to %d", hopsTotal)
+	}
+	if math.IsNaN(res.MeanHops) || res.MeanHops < 0 {
+		t.Errorf("mean hops = %v", res.MeanHops)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	tr, d := chainDemand(t)
+	run := func() *Result {
+		s, err := NewSim(tr, d, Config{Seed: 42, CacheCapacity: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !core.VecAlmostEqual(a.Served, b.Served, 0) {
+		t.Error("same seed produced different served vectors")
+	}
+}

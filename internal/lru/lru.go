@@ -1,0 +1,144 @@
+// Package lru provides a small least-recently-used cache keyed by document
+// id. The paper assumes "every node is capable of storing an unlimited
+// number of cached copies"; this substrate turns storage into a knob so the
+// document-level simulators and the hierarchical-caching baseline can model
+// bounded caches.
+package lru
+
+import "webwave/internal/core"
+
+// Cache is a fixed-capacity LRU set of document ids with optional bodies.
+// A capacity of 0 means unlimited. Cache is not safe for concurrent use.
+type Cache struct {
+	capacity int
+	entries  map[core.DocID]*entry
+	head     *entry // most recently used
+	tail     *entry // least recently used
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type entry struct {
+	key        core.DocID
+	body       []byte
+	prev, next *entry
+}
+
+// New returns a cache holding at most capacity documents (0 = unlimited).
+func New(capacity int) *Cache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[core.DocID]*entry),
+	}
+}
+
+// Len returns the number of cached documents.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Capacity returns the configured capacity (0 = unlimited).
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Contains reports whether the document is cached, without touching
+// recency.
+func (c *Cache) Contains(id core.DocID) bool {
+	_, ok := c.entries[id]
+	return ok
+}
+
+// Get returns the cached body and marks the document most recently used.
+func (c *Cache) Get(id core.DocID) ([]byte, bool) {
+	e, ok := c.entries[id]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e.body, true
+}
+
+// Put inserts or refreshes a document, evicting the least recently used
+// entry if the cache is full. It returns the id of the evicted document and
+// whether an eviction happened.
+func (c *Cache) Put(id core.DocID, body []byte) (evicted core.DocID, wasEvicted bool) {
+	if e, ok := c.entries[id]; ok {
+		e.body = body
+		c.moveToFront(e)
+		return "", false
+	}
+	e := &entry{key: id, body: body}
+	c.entries[id] = e
+	c.pushFront(e)
+	if c.capacity > 0 && len(c.entries) > c.capacity {
+		victim := c.tail
+		c.remove(victim)
+		delete(c.entries, victim.key)
+		c.evictions++
+		return victim.key, true
+	}
+	return "", false
+}
+
+// Delete removes a document if present.
+func (c *Cache) Delete(id core.DocID) bool {
+	e, ok := c.entries[id]
+	if !ok {
+		return false
+	}
+	c.remove(e)
+	delete(c.entries, id)
+	return true
+}
+
+// Keys returns the cached ids from most to least recently used.
+func (c *Cache) Keys() []core.DocID {
+	out := make([]core.DocID, 0, len(c.entries))
+	for e := c.head; e != nil; e = e.next {
+		out = append(out, e.key)
+	}
+	return out
+}
+
+// Stats returns (hits, misses, evictions).
+func (c *Cache) Stats() (hits, misses, evictions int64) {
+	return c.hits, c.misses, c.evictions
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) remove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) moveToFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.remove(e)
+	c.pushFront(e)
+}

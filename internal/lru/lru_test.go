@@ -1,0 +1,154 @@
+package lru
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"webwave/internal/core"
+)
+
+func TestGetPutBasics(t *testing.T) {
+	c := New(2)
+	if _, ok := c.Get("a"); ok {
+		t.Error("hit on empty cache")
+	}
+	c.Put("a", []byte("1"))
+	if body, ok := c.Get("a"); !ok || string(body) != "1" {
+		t.Errorf("Get(a) = %q, %v", body, ok)
+	}
+	if !c.Contains("a") || c.Contains("b") {
+		t.Error("Contains wrong")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestEvictsLeastRecentlyUsed(t *testing.T) {
+	c := New(2)
+	c.Put("a", nil)
+	c.Put("b", nil)
+	c.Get("a") // a most recent
+	victim, evicted := c.Put("c", nil)
+	if !evicted || victim != "b" {
+		t.Errorf("evicted %q (%v), want b", victim, evicted)
+	}
+	if !c.Contains("a") || !c.Contains("c") || c.Contains("b") {
+		t.Errorf("contents after eviction: %v", c.Keys())
+	}
+}
+
+func TestPutRefreshesRecency(t *testing.T) {
+	c := New(2)
+	c.Put("a", nil)
+	c.Put("b", nil)
+	c.Put("a", []byte("new")) // refresh, no eviction
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if _, ev := c.Put("c", nil); !ev {
+		t.Fatal("no eviction on overflow")
+	}
+	if c.Contains("b") {
+		t.Error("b should have been evicted (a was refreshed)")
+	}
+	if body, _ := c.Get("a"); string(body) != "new" {
+		t.Error("refresh lost the new body")
+	}
+}
+
+func TestUnlimitedCapacity(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 1000; i++ {
+		if _, ev := c.Put(core.DocID(fmt.Sprintf("d%d", i)), nil); ev {
+			t.Fatal("unlimited cache evicted")
+		}
+	}
+	if c.Len() != 1000 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	neg := New(-5)
+	if neg.Capacity() != 0 {
+		t.Error("negative capacity not clamped to unlimited")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := New(3)
+	c.Put("a", nil)
+	c.Put("b", nil)
+	if !c.Delete("a") {
+		t.Error("Delete(a) = false")
+	}
+	if c.Delete("a") {
+		t.Error("double delete = true")
+	}
+	if c.Contains("a") || !c.Contains("b") {
+		t.Error("wrong contents after delete")
+	}
+	// Delete head and tail specifically.
+	c.Put("c", nil)
+	c.Put("d", nil)
+	keys := c.Keys()
+	c.Delete(keys[0])
+	c.Delete(keys[len(keys)-1])
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after deleting head and tail", c.Len())
+	}
+}
+
+func TestKeysOrder(t *testing.T) {
+	c := New(3)
+	c.Put("a", nil)
+	c.Put("b", nil)
+	c.Put("c", nil)
+	c.Get("a")
+	want := []core.DocID{"a", "c", "b"}
+	if got := c.Keys(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Keys = %v, want %v", got, want)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(1)
+	c.Put("a", nil)
+	c.Get("a")
+	c.Get("x")
+	c.Put("b", nil) // evicts a
+	h, m, e := c.Stats()
+	if h != 1 || m != 1 || e != 1 {
+		t.Errorf("stats = %d/%d/%d, want 1/1/1", h, m, e)
+	}
+}
+
+// Property: cache never exceeds capacity and Keys has no duplicates.
+func TestRandomizedInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := New(8)
+	for op := 0; op < 5000; op++ {
+		id := core.DocID(fmt.Sprintf("d%d", rng.Intn(30)))
+		switch rng.Intn(3) {
+		case 0:
+			c.Put(id, nil)
+		case 1:
+			c.Get(id)
+		case 2:
+			c.Delete(id)
+		}
+		if c.Len() > 8 {
+			t.Fatalf("len %d exceeds capacity", c.Len())
+		}
+		seen := map[core.DocID]bool{}
+		for _, k := range c.Keys() {
+			if seen[k] {
+				t.Fatalf("duplicate key %s", k)
+			}
+			seen[k] = true
+		}
+		if len(seen) != c.Len() {
+			t.Fatalf("Keys len %d != Len %d", len(seen), c.Len())
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package netproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the frame decoder: it must never
+// panic or over-allocate, only return an envelope or an error.
+func FuzzReadFrame(f *testing.F) {
+	// Seed corpus: a valid frame, a truncated frame, an oversized header,
+	// garbage JSON, and raw noise.
+	var valid bytes.Buffer
+	if err := WriteFrame(&valid, &Envelope{Kind: TypeGossip, From: 1, Load: 2.5}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())-2])
+	var oversized bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	oversized.Write(hdr[:])
+	f.Add(oversized.Bytes())
+	f.Add([]byte("\x00\x00\x00\x05notjs"))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := ReadFrame(bytes.NewReader(data))
+		if err == nil && env == nil {
+			t.Fatal("nil envelope with nil error")
+		}
+		if env != nil && err == nil {
+			// Anything decoded must re-encode.
+			var buf bytes.Buffer
+			if werr := WriteFrame(&buf, env); werr != nil {
+				t.Fatalf("decoded envelope failed to re-encode: %v", werr)
+			}
+		}
+	})
+}

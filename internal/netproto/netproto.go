@@ -1,0 +1,181 @@
+// Package netproto defines the wire protocol spoken by live WebWave cache
+// servers: load gossip, delegation of document service duty down the tree,
+// shedding up the tree, client request packets, tunnel fetches across
+// potential barriers, and a stats scrape for the harness.
+//
+// Messages travel as length-prefixed JSON frames. JSON keeps the protocol
+// inspectable (stdlib-only constraint rules out protobuf); the framing layer
+// bounds message size and is covered by fuzz-style round-trip tests.
+package netproto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"webwave/internal/core"
+)
+
+// Version is the protocol version carried in every envelope.
+const Version = 1
+
+// MaxFrame bounds a frame's payload size (16 MiB), preventing a corrupt
+// length prefix from exhausting memory.
+const MaxFrame = 16 << 20
+
+// ErrFrameTooLarge is returned when a frame exceeds MaxFrame.
+var ErrFrameTooLarge = errors.New("netproto: frame exceeds maximum size")
+
+// Type discriminates protocol messages.
+type Type string
+
+// Message types.
+const (
+	// TypeGossip carries a server's current load to a tree neighbor.
+	TypeGossip Type = "gossip"
+	// TypeDelegate hands part of a document's service duty (and, when
+	// needed, the document body) from a parent to a child.
+	TypeDelegate Type = "delegate"
+	// TypeDelegateAck reports how much of a delegation the child accepted.
+	TypeDelegateAck Type = "delegate_ack"
+	// TypeShed moves service duty from a child up to its parent.
+	TypeShed Type = "shed"
+	// TypeRequest is a client document request traveling toward the home
+	// server.
+	TypeRequest Type = "request"
+	// TypeResponse answers a request, recording which server served it.
+	TypeResponse Type = "response"
+	// TypeTunnelFetch asks the home server directly for a document copy —
+	// the Section 5.2 recovery across a potential barrier.
+	TypeTunnelFetch Type = "tunnel_fetch"
+	// TypeTunnelReply carries the tunneled document body.
+	TypeTunnelReply Type = "tunnel_reply"
+	// TypeStatsQuery and TypeStatsReply let the harness scrape metrics.
+	TypeStatsQuery Type = "stats_query"
+	TypeStatsReply Type = "stats_reply"
+	// TypeShutdown asks a server to stop gracefully.
+	TypeShutdown Type = "shutdown"
+)
+
+// Envelope is the single wire message. Fields are a flat union; which are
+// meaningful depends on Kind.
+type Envelope struct {
+	V    int    `json:"v"`
+	Kind Type   `json:"kind"`
+	From int    `json:"from"`
+	To   int    `json:"to"`
+	Seq  uint64 `json:"seq,omitempty"`
+
+	// Gossip.
+	Load float64 `json:"load,omitempty"`
+
+	// Delegation / shedding / tunneling.
+	Doc  core.DocID `json:"doc,omitempty"`
+	Rate float64    `json:"rate,omitempty"`
+	Body []byte     `json:"body,omitempty"`
+
+	// Requests.
+	Origin int    `json:"origin,omitempty"`
+	ReqID  uint64 `json:"req_id,omitempty"`
+	// ServedBy is set on responses: the node that served the request.
+	ServedBy int `json:"served_by,omitempty"`
+	// Hops counts tree edges the request traversed before being served.
+	Hops int `json:"hops,omitempty"`
+	// NotFound is set on responses from the home server for documents it
+	// does not publish.
+	NotFound bool `json:"not_found,omitempty"`
+
+	// Stats scrape.
+	Stats *Stats `json:"stats,omitempty"`
+}
+
+// Stats is the metrics payload a server reports to the harness.
+type Stats struct {
+	Node           int                    `json:"node"`
+	Load           float64                `json:"load"`        // served req/s over the window
+	Served         int64                  `json:"served"`      // total requests served
+	Forwarded      int64                  `json:"forwarded"`   // total requests passed upstream
+	CachedDocs     []core.DocID           `json:"cached_docs"` // current cache contents
+	Targets        map[core.DocID]float64 `json:"targets"`     // per-doc target serve rates
+	GossipSent     int64                  `json:"gossip_sent"`
+	DelegationsIn  int64                  `json:"delegations_in"`
+	DelegationsOut int64                  `json:"delegations_out"`
+	ShedsIn        int64                  `json:"sheds_in"`
+	ShedsOut       int64                  `json:"sheds_out"`
+	Tunnels        int64                  `json:"tunnels"`
+	FilterStats    FilterStats            `json:"filter_stats"`
+}
+
+// FilterStats mirrors router.Stats for the wire.
+type FilterStats struct {
+	Inspected int64 `json:"inspected"`
+	Extracted int64 `json:"extracted"`
+	Passed    int64 `json:"passed"`
+}
+
+// Validate performs basic sanity checks on a received envelope.
+func (e *Envelope) Validate() error {
+	if e.V != Version {
+		return fmt.Errorf("netproto: version %d, want %d", e.V, Version)
+	}
+	if e.Kind == "" {
+		return errors.New("netproto: missing kind")
+	}
+	if e.Rate < 0 {
+		return fmt.Errorf("netproto: negative rate %v", e.Rate)
+	}
+	return nil
+}
+
+// WriteFrame marshals env and writes it to w as a 4-byte big-endian length
+// prefix followed by the JSON payload.
+func WriteFrame(w io.Writer, env *Envelope) error {
+	if env.V == 0 {
+		env.V = Version
+	}
+	payload, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("netproto: marshal: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("netproto: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("netproto: write payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame from r and unmarshals it.
+func ReadFrame(r io.Reader) (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("netproto: read header: %w", err)
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("netproto: read payload: %w", err)
+	}
+	env := &Envelope{}
+	if err := json.Unmarshal(payload, env); err != nil {
+		return nil, fmt.Errorf("netproto: unmarshal: %w", err)
+	}
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	return env, nil
+}

@@ -1,0 +1,246 @@
+// Package plot renders small ASCII charts and CSV series for the paper's
+// figures. The simulators produce per-round series (Euclidean distance to
+// TLB, tracking error); this package turns them into terminal plots — the
+// semilog view of Figure 6b — and into CSV for external tooling, with no
+// dependencies beyond the standard library.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve, sampled at integer x = 0..len(Y)-1.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// markers distinguish overlapping series in render order.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Config shapes an ASCII chart.
+type Config struct {
+	Title  string
+	Width  int  // plot-area columns (default 60)
+	Height int  // plot-area rows (default 16)
+	LogY   bool // semilog: log10 y-axis (non-positive samples are skipped)
+	YLabel string
+	XLabel string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Width <= 0 {
+		c.Width = 60
+	}
+	if c.Width > 240 {
+		c.Width = 240
+	}
+	if c.Height <= 0 {
+		c.Height = 16
+	}
+	if c.Height > 80 {
+		c.Height = 80
+	}
+	return c
+}
+
+// ErrNoData is returned when nothing is plottable (no series, empty series,
+// or all samples filtered out by LogY).
+var ErrNoData = errors.New("plot: no plottable data")
+
+// Render draws the series onto a character grid.
+//
+// Each sample maps to one cell; when a series is longer than the plot
+// width, samples are binned by column and the bin mean is drawn (for LogY,
+// the geometric mean, matching the visual of a semilog plot).
+func Render(cfg Config, series ...Series) (string, error) {
+	cfg = cfg.withDefaults()
+
+	// Collect plottable values and the x range.
+	maxLen := 0
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	usable := 0
+	for _, s := range series {
+		if len(s.Y) > maxLen {
+			maxLen = len(s.Y)
+		}
+		for _, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) || (cfg.LogY && v <= 0) {
+				continue
+			}
+			usable++
+			w := v
+			if cfg.LogY {
+				w = math.Log10(v)
+			}
+			if w < yMin {
+				yMin = w
+			}
+			if w > yMax {
+				yMax = w
+			}
+		}
+	}
+	if maxLen == 0 || usable == 0 {
+		return "", ErrNoData
+	}
+	if yMax == yMin {
+		yMax = yMin + 1 // flat series: one-unit band
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		cols := columnValues(s.Y, cfg.Width, maxLen, cfg.LogY)
+		for col, cv := range cols {
+			if !cv.ok {
+				continue
+			}
+			frac := (cv.v - yMin) / (yMax - yMin)
+			row := int(math.Round(float64(cfg.Height-1) * (1 - frac)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= cfg.Height {
+				row = cfg.Height - 1
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	axisLabel := func(w float64) string {
+		if cfg.LogY {
+			return fmt.Sprintf("%9.3g", math.Pow(10, w))
+		}
+		return fmt.Sprintf("%9.3g", w)
+	}
+	for r := 0; r < cfg.Height; r++ {
+		label := strings.Repeat(" ", 9)
+		switch r {
+		case 0:
+			label = axisLabel(yMax)
+		case cfg.Height / 2:
+			label = axisLabel(yMin + (yMax-yMin)/2)
+		case cfg.Height - 1:
+			label = axisLabel(yMin)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", cfg.Width))
+	fmt.Fprintf(&b, "%s  0%sx=%d\n", strings.Repeat(" ", 9),
+		strings.Repeat(" ", maxInt(1, cfg.Width-len(fmt.Sprintf("x=%d", maxLen-1))-1)), maxLen-1)
+	if cfg.YLabel != "" || cfg.XLabel != "" {
+		fmt.Fprintf(&b, "          y: %s   x: %s\n", cfg.YLabel, cfg.XLabel)
+	}
+	for si, s := range series {
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("series %d", si)
+		}
+		fmt.Fprintf(&b, "          %c %s\n", markers[si%len(markers)], name)
+	}
+	return b.String(), nil
+}
+
+// colValue is one column's aggregated sample.
+type colValue struct {
+	v  float64
+	ok bool
+}
+
+// columnValues bins a series into the plot width. Values are pre-mapped to
+// log space when logY is set, so the bin mean is a geometric mean.
+func columnValues(y []float64, width, maxLen int, logY bool) []colValue {
+	out := make([]colValue, width)
+	sums := make([]float64, width)
+	counts := make([]int, width)
+	denom := maxLen
+	if denom > 1 {
+		denom--
+	}
+	for i, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) || (logY && v <= 0) {
+			continue
+		}
+		col := 0
+		if denom > 0 {
+			col = int(math.Round(float64(i) / float64(denom) * float64(width-1)))
+		}
+		if col < 0 || col >= width {
+			continue
+		}
+		w := v
+		if logY {
+			w = math.Log10(v)
+		}
+		sums[col] += w
+		counts[col]++
+	}
+	for c := range out {
+		if counts[c] > 0 {
+			out[c] = colValue{v: sums[c] / float64(counts[c]), ok: true}
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteCSV emits the series as CSV: a header row, then one row per x with
+// one column per series. Series shorter than the longest leave blanks.
+func WriteCSV(w io.Writer, series ...Series) error {
+	if len(series) == 0 {
+		return ErrNoData
+	}
+	maxLen := 0
+	header := make([]string, 0, len(series)+1)
+	header = append(header, "x")
+	for i, s := range series {
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("series%d", i)
+		}
+		header = append(header, name)
+		if len(s.Y) > maxLen {
+			maxLen = len(s.Y)
+		}
+	}
+	if maxLen == 0 {
+		return ErrNoData
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return fmt.Errorf("plot: write csv header: %w", err)
+	}
+	row := make([]string, len(series)+1)
+	for x := 0; x < maxLen; x++ {
+		row[0] = fmt.Sprintf("%d", x)
+		for i, s := range series {
+			if x < len(s.Y) {
+				row[i+1] = fmt.Sprintf("%g", s.Y[x])
+			} else {
+				row[i+1] = ""
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return fmt.Errorf("plot: write csv row %d: %w", x, err)
+		}
+	}
+	return nil
+}

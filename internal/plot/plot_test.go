@@ -1,0 +1,179 @@
+package plot
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderLinear(t *testing.T) {
+	s := Series{Name: "ramp", Y: []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}
+	out, err := Render(Config{Width: 20, Height: 10, Title: "T"}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "T\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Title + height rows + axis + x labels + legend.
+	if len(lines) < 10+3 {
+		t.Fatalf("too few lines (%d):\n%s", len(lines), out)
+	}
+	// A monotone ramp fills the top-right and bottom-left: the first plot
+	// row must contain a marker right of center, the last row left of it.
+	top := lines[1]
+	bottom := lines[10]
+	if !strings.Contains(top, "*") {
+		t.Errorf("top row has no marker: %q", top)
+	}
+	if !strings.Contains(bottom, "*") {
+		t.Errorf("bottom row has no marker: %q", bottom)
+	}
+	if strings.Index(top, "*") < strings.Index(bottom, "*") {
+		t.Errorf("ramp plotted downward:\n%s", out)
+	}
+	if !strings.Contains(out, "ramp") {
+		t.Errorf("legend missing series name:\n%s", out)
+	}
+}
+
+func TestRenderSemilogStraightensGeometricDecay(t *testing.T) {
+	// A geometric series is a straight line in log space: every column's
+	// marker should step down by roughly the same number of rows.
+	y := make([]float64, 30)
+	v := 1000.0
+	for i := range y {
+		y[i] = v
+		v *= 0.7
+	}
+	out, err := Render(Config{Width: 30, Height: 15, LogY: true}, Series{Name: "geo", Y: y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	colRow := map[int]int{}
+	for r := 0; r < 15; r++ {
+		body := lines[r][strings.Index(lines[r], "|")+1:]
+		for c, ch := range body {
+			if ch == '*' {
+				colRow[c] = r
+			}
+		}
+	}
+	if len(colRow) < 20 {
+		t.Fatalf("only %d columns plotted:\n%s", len(colRow), out)
+	}
+	// Check monotone descent with near-constant slope.
+	prevRow := -1
+	for c := 0; c < 30; c++ {
+		r, ok := colRow[c]
+		if !ok {
+			continue
+		}
+		if prevRow >= 0 && r < prevRow {
+			t.Fatalf("semilog plot of decay not monotone at col %d:\n%s", c, out)
+		}
+		prevRow = r
+	}
+	// Axis labels are back-transformed to linear values.
+	if !strings.Contains(out, "1e+03") && !strings.Contains(out, "1000") {
+		t.Errorf("y-axis label not in linear units:\n%s", out)
+	}
+}
+
+func TestRenderSkipsNonPositiveInLogMode(t *testing.T) {
+	out, err := Render(Config{LogY: true}, Series{Y: []float64{0, -5, 10, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("empty output")
+	}
+	// All-non-positive is no data.
+	if _, err := Render(Config{LogY: true}, Series{Y: []float64{0, -1}}); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestRenderNoData(t *testing.T) {
+	if _, err := Render(Config{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("no series: err = %v, want ErrNoData", err)
+	}
+	if _, err := Render(Config{}, Series{Y: nil}); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty series: err = %v, want ErrNoData", err)
+	}
+	if _, err := Render(Config{}, Series{Y: []float64{math.NaN(), math.Inf(1)}}); !errors.Is(err, ErrNoData) {
+		t.Errorf("non-finite series: err = %v, want ErrNoData", err)
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	out, err := Render(Config{Width: 10, Height: 5}, Series{Y: []float64{3, 3, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series not plotted:\n%s", out)
+	}
+}
+
+func TestRenderMultipleSeriesDistinctMarkers(t *testing.T) {
+	a := Series{Name: "up", Y: []float64{0, 1, 2, 3}}
+	b := Series{Name: "down", Y: []float64{3, 2, 1, 0}}
+	out, err := Render(Config{Width: 12, Height: 6}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("expected two marker styles:\n%s", out)
+	}
+}
+
+func TestRenderBinsLongSeries(t *testing.T) {
+	y := make([]float64, 10000)
+	for i := range y {
+		y[i] = float64(i)
+	}
+	out, err := Render(Config{Width: 40, Height: 8}, Series{Y: y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 60 {
+			t.Fatalf("line wider than plot area: %q", line)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b,
+		Series{Name: "dist", Y: []float64{10, 5, 2.5}},
+		Series{Name: "bound", Y: []float64{12, 6}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,dist,bound\n0,10,12\n1,5,6\n2,2.5,\n"
+	if b.String() != want {
+		t.Errorf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteCSVDefaultsAndErrors(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, Series{Y: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "x,series0\n") {
+		t.Errorf("default name missing: %q", b.String())
+	}
+	if err := WriteCSV(&b); !errors.Is(err, ErrNoData) {
+		t.Errorf("no series: err = %v", err)
+	}
+	if err := WriteCSV(&b, Series{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("all-empty: err = %v", err)
+	}
+}

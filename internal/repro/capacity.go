@@ -1,0 +1,109 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"webwave/internal/docwave"
+	"webwave/internal/fold"
+	"webwave/internal/stats"
+	"webwave/internal/trace"
+	"webwave/internal/tree"
+)
+
+// ---------------------------------------------------------------------------
+// X9: bounded cache capacity. The paper assumes "every node is capable of
+// storing an unlimited number of cached copies" for simplicity. This sweep
+// prices that assumption: how close to TLB can WebWave get when each node
+// may hold at most C copies?
+
+// CapacityRow is one capacity setting's outcome.
+type CapacityRow struct {
+	// Cap is the per-node copy bound; 0 means unlimited.
+	Cap int
+	// FinalDistance is the Euclidean distance to TLB at the end,
+	// normalized by the TLB norm.
+	FinalDistance float64
+	// MaxLoadRatio is the busiest node's load over the TLB maximum —
+	// the throughput price of the bound (1 = optimal).
+	MaxLoadRatio float64
+	// Evictions counts capacity evictions over the run.
+	Evictions int
+}
+
+// CapacityResult is the X9 sweep.
+type CapacityResult struct {
+	Nodes, Docs int
+	Rows        []CapacityRow
+}
+
+// RunCapacitySweep runs document-level WebWave with per-node copy bounds on
+// one tree and Zipf demand. caps entries of 0 mean unlimited.
+func RunCapacitySweep(n, docs, rounds int, caps []int, seed int64) (*CapacityResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	t, err := tree.Random(n, rng)
+	if err != nil {
+		return nil, fmt.Errorf("capacity: %w", err)
+	}
+	demand, err := trace.ZipfDemand(t, trace.ZipfDemandConfig{
+		NumDocs: docs, Skew: 1.0, TotalRate: 10000, LeavesOnly: true,
+	}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("capacity: %w", err)
+	}
+	tlb, err := fold.Compute(t, demand.NodeTotals())
+	if err != nil {
+		return nil, fmt.Errorf("capacity: %w", err)
+	}
+	norm := stats.Norm2(tlb.Load)
+	tlbMax := tlb.MaxLoad()
+
+	res := &CapacityResult{Nodes: n, Docs: docs}
+	for _, cap := range caps {
+		sim, err := docwave.NewSim(t, demand, docwave.Config{
+			Tunneling: true, CacheCap: cap,
+		}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("capacity cap=%d: %w", cap, err)
+		}
+		for r := 0; r < rounds; r++ {
+			sim.Step()
+		}
+		load := sim.Load()
+		maxLoad := 0.0
+		for _, l := range load {
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		d := stats.Euclidean(load, tlb.Load)
+		if norm > 0 {
+			d /= norm
+		}
+		ratio := 0.0
+		if tlbMax > 0 {
+			ratio = maxLoad / tlbMax
+		}
+		res.Rows = append(res.Rows, CapacityRow{
+			Cap: cap, FinalDistance: d, MaxLoadRatio: ratio, Evictions: sim.Evictions,
+		})
+	}
+	return res, nil
+}
+
+// Render returns one row per capacity.
+func (r *CapacityResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "X9 — bounded cache capacity (n=%d, %d Zipf docs)\n", r.Nodes, r.Docs)
+	fmt.Fprintf(&b, "  %-10s %14s %14s %10s\n", "cap", "final-dist", "max-load/TLB", "evictions")
+	for _, row := range r.Rows {
+		cap := "unlimited"
+		if row.Cap > 0 {
+			cap = fmt.Sprintf("%d", row.Cap)
+		}
+		fmt.Fprintf(&b, "  %-10s %14.4g %14.4g %10d\n",
+			cap, row.FinalDistance, row.MaxLoadRatio, row.Evictions)
+	}
+	return b.String()
+}

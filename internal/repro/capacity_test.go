@@ -1,0 +1,58 @@
+package repro
+
+import "testing"
+
+func TestRunCapacitySweepShape(t *testing.T) {
+	caps := []int{1, 2, 4, 0}
+	r, err := RunCapacitySweep(40, 24, 300, caps, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(caps) {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), len(caps))
+	}
+	byCap := map[int]CapacityRow{}
+	for _, row := range r.Rows {
+		byCap[row.Cap] = row
+		if row.MaxLoadRatio < 1-1e-6 {
+			t.Errorf("cap=%d: max-load ratio %v below 1 — beat the optimum?!", row.Cap, row.MaxLoadRatio)
+		}
+	}
+	unlimited := byCap[0]
+	tight := byCap[1]
+
+	if unlimited.Evictions != 0 {
+		t.Errorf("unlimited capacity evicted %d copies", unlimited.Evictions)
+	}
+	if tight.Evictions == 0 {
+		t.Error("cap=1 evicted nothing; the bound never bound")
+	}
+	// Bounded caches cannot balance better than unlimited ones.
+	if tight.FinalDistance < unlimited.FinalDistance-1e-9 {
+		t.Errorf("cap=1 distance %v beats unlimited %v", tight.FinalDistance, unlimited.FinalDistance)
+	}
+	// Unlimited converges well; the tightest bound visibly degrades.
+	if unlimited.FinalDistance > 0.2 {
+		t.Errorf("unlimited final distance %v; expected near-TLB", unlimited.FinalDistance)
+	}
+	if s := r.Render(); len(s) == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestCapacitySweepZeroCapIsUnlimitedEquivalent(t *testing.T) {
+	// cap=0 and a cap larger than the document count must behave
+	// identically.
+	a, err := RunCapacitySweep(20, 8, 150, []int{0}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCapacitySweep(20, 8, 150, []int{100}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows[0].FinalDistance != b.Rows[0].FinalDistance {
+		t.Errorf("cap=0 distance %v != cap=100 distance %v",
+			a.Rows[0].FinalDistance, b.Rows[0].FinalDistance)
+	}
+}

@@ -1,0 +1,107 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"webwave/internal/core"
+	"webwave/internal/fold"
+	"webwave/internal/trace"
+	"webwave/internal/tree"
+	"webwave/internal/wave"
+)
+
+// ChurnResult is the X6 extension experiment: WebWave under route churn.
+// The paper's model states that the routing tree "captures the routes that
+// are in effect at any point in time"; this experiment changes one route
+// (re-parents a random node) every epoch and measures how the protocol
+// re-tracks the shifting TLB optimum.
+type ChurnResult struct {
+	Nodes          int
+	Epochs         int
+	RoundsPerEpoch int
+	// RecoveryRatio[k] = distance to the (new) TLB at the end of epoch k
+	// divided by the distance right after the route change.
+	RecoveryRatio []float64
+	// Rejected counts proposed route changes that would have created a
+	// cycle (skipped, as real routing would).
+	Rejected int
+}
+
+// RunRouteChurn converges WebWave, then applies `epochs` single-route
+// changes, each followed by roundsPerEpoch protocol rounds.
+func RunRouteChurn(n, epochs, roundsPerEpoch int, seed int64) (*ChurnResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	t, err := tree.Random(n, rng)
+	if err != nil {
+		return nil, fmt.Errorf("churn: %w", err)
+	}
+	e := trace.UniformRates(n, 10, 100, rng)
+	s, err := wave.NewSim(t, e, wave.Config{Initial: wave.InitialSelf, Alpha: wave.UniformAlpha(0.1)})
+	if err != nil {
+		return nil, fmt.Errorf("churn: %w", err)
+	}
+	// Warm up to the first optimum.
+	tlb, err := fold.Compute(t, e)
+	if err != nil {
+		return nil, fmt.Errorf("churn: %w", err)
+	}
+	if _, err := s.Run(tlb.Load, 20000, 1e-6); err != nil {
+		return nil, fmt.Errorf("churn: warmup: %w", err)
+	}
+
+	res := &ChurnResult{Nodes: n, Epochs: epochs, RoundsPerEpoch: roundsPerEpoch}
+	for k := 0; k < epochs; k++ {
+		// One random route change; retry across cycle rejections.
+		var nt *tree.Tree
+		for {
+			v := 1 + rng.Intn(n-1) // any non-root node by construction of tree.Random
+			p := rng.Intn(n)
+			if p == v {
+				continue
+			}
+			cand, err := t.Reparent(v, p)
+			if err != nil {
+				res.Rejected++
+				continue
+			}
+			nt = cand
+			break
+		}
+		t = nt
+		if err := s.SetTree(t); err != nil {
+			return nil, fmt.Errorf("churn: epoch %d: %w", k, err)
+		}
+		tlb, err := fold.Compute(t, e)
+		if err != nil {
+			return nil, fmt.Errorf("churn: epoch %d: %w", k, err)
+		}
+		rr, err := s.Run(tlb.Load, roundsPerEpoch, 0)
+		if err != nil {
+			return nil, fmt.Errorf("churn: epoch %d: %w", k, err)
+		}
+		d0 := rr.Distances[0]
+		dEnd := rr.Distances[len(rr.Distances)-1]
+		ratio := 1.0
+		if d0 > core.Eps {
+			ratio = dEnd / d0
+		} else {
+			ratio = 0 // the route change did not disturb the optimum
+		}
+		res.RecoveryRatio = append(res.RecoveryRatio, ratio)
+	}
+	return res, nil
+}
+
+// Render returns per-epoch recovery rows.
+func (r *ChurnResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "X6 — route churn: %d single-route changes × %d rounds (n=%d)\n",
+		r.Epochs, r.RoundsPerEpoch, r.Nodes)
+	for k, ratio := range r.RecoveryRatio {
+		fmt.Fprintf(&b, "  epoch %d: end/start distance ratio = %.4g\n", k, ratio)
+	}
+	fmt.Fprintf(&b, "  cycle-creating proposals rejected: %d\n", r.Rejected)
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"webwave/internal/core"
+	"webwave/internal/docwave"
+	"webwave/internal/trace"
+	"webwave/internal/tree"
+)
+
+// Figure7Demand builds the Figure 7 workload: documents d1 and d2 requested
+// by the deep leaf (paper's server 4; node 3 here) and d3 requested by the
+// shallow leaf (paper's server 3; node 2 here), 120 req/s each, homed at
+// node 0.
+func Figure7Demand() (*tree.Tree, *trace.Demand) {
+	t, _ := tree.Figure7Topology()
+	demand := &trace.Demand{
+		Docs: []core.Document{
+			{ID: "d1", Home: t.Root(), Size: 4096},
+			{ID: "d2", Home: t.Root(), Size: 4096},
+			{ID: "d3", Home: t.Root(), Size: 4096},
+		},
+		Rates: [][]float64{
+			{0, 0, 0},
+			{0, 0, 0},
+			{0, 0, 120},   // node 2 (paper's 3) requests d3
+			{120, 120, 0}, // node 3 (paper's 4) requests d1 and d2
+		},
+	}
+	return t, demand
+}
+
+// Figure7Placement is the paper's Figure 7(a) wedged state: node 1 caches
+// d1 and d2 (serving d1 entirely), node 3 caches and serves d2, and the
+// home serves d3 — every node except node 2 carries 120 req/s, every edge
+// is either balanced or blocked, and node 1 is a potential barrier.
+func Figure7Placement() *docwave.Placement {
+	return &docwave.Placement{
+		Cached: map[int][]int{1: {0, 1}, 3: {1}},
+		Serve: [][]float64{
+			{0, 0, 0},
+			{120, 0, 0},
+			{0, 0, 0},
+			{0, 120, 0},
+		},
+	}
+}
+
+// Figure7Result captures the barrier experiment: without tunneling the
+// distance to TLB plateaus; with tunneling the system converges and every
+// node serves 90 req/s.
+type Figure7Result struct {
+	Initial         core.Vector
+	Target          core.Vector
+	BarrierDetected bool
+
+	NoTunnel   *docwave.RunResult
+	WithTunnel *docwave.RunResult
+}
+
+// RunFigure7 runs the document-level simulator on the Figure 7 instance
+// twice: tunneling disabled, then enabled.
+func RunFigure7(maxRounds int) (*Figure7Result, error) {
+	target := core.UniformVec(4, 90)
+	out := &Figure7Result{Target: target}
+
+	for _, tunneling := range []bool{false, true} {
+		t, demand := Figure7Demand()
+		sim, err := docwave.NewSim(t, demand, docwave.Config{Tunneling: tunneling}, Figure7Placement())
+		if err != nil {
+			return nil, fmt.Errorf("figure7: %w", err)
+		}
+		if !tunneling {
+			out.Initial = sim.Load()
+			out.BarrierDetected = sim.IsBarrier(1)
+		}
+		rr, err := sim.Run(target, maxRounds, 0.5)
+		if err != nil {
+			return nil, fmt.Errorf("figure7: %w", err)
+		}
+		if tunneling {
+			out.WithTunnel = rr
+		} else {
+			out.NoTunnel = rr
+		}
+	}
+	return out, nil
+}
+
+// Render returns the experiment rows.
+func (r *Figure7Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 — potential barrier and tunneling\n")
+	fmt.Fprintf(&b, "  initial load %v, barrier predicate at node 1: %v, TLB target %v\n",
+		r.Initial, r.BarrierDetected, r.Target)
+	last := func(d []float64) float64 { return d[len(d)-1] }
+	fmt.Fprintf(&b, "  without tunneling: rounds=%d converged=%v final=%v plateau ‖L−TLB‖=%.4g\n",
+		r.NoTunnel.Rounds, r.NoTunnel.Converged, formatVec(r.NoTunnel.Final), last(r.NoTunnel.Distances))
+	fmt.Fprintf(&b, "  with tunneling:    rounds=%d converged=%v final=%v ‖L−TLB‖=%.4g tunnels=%d\n",
+		r.WithTunnel.Rounds, r.WithTunnel.Converged, formatVec(r.WithTunnel.Final),
+		last(r.WithTunnel.Distances), len(r.WithTunnel.Tunnels))
+	for _, ev := range r.WithTunnel.Tunnels {
+		fmt.Fprintf(&b, "    tunnel: round=%d node=%d doc=%d (parent %.4g vs node %.4g)\n",
+			ev.Round, ev.Node, ev.Doc, ev.ParentLoad, ev.NodeLoad)
+	}
+	return b.String()
+}
+
+func formatVec(v core.Vector) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%.1f", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

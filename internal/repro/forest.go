@@ -1,0 +1,46 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"webwave/internal/forest"
+)
+
+// ForestResult is the X4 extension experiment (the paper's Section 7
+// future work): WebWave over a forest of overlapping routing trees,
+// comparing the coupled protocol (diffusion driven by total node loads)
+// against independent per-tree instances.
+type ForestResult struct {
+	Rows []*forest.CompareResult
+}
+
+// RunForestComparison sweeps tree counts on random overlapping forests.
+func RunForestComparison(n int, treeCounts []int, seed int64) (*ForestResult, error) {
+	res := &ForestResult{}
+	for _, k := range treeCounts {
+		rng := rand.New(rand.NewSource(seed))
+		f, err := forest.Random(n, k, 1000, rng)
+		if err != nil {
+			return nil, fmt.Errorf("forest k=%d: %w", k, err)
+		}
+		cmp, err := forest.Compare(f, 4000)
+		if err != nil {
+			return nil, fmt.Errorf("forest k=%d: %w", k, err)
+		}
+		res.Rows = append(res.Rows, cmp)
+	}
+	return res, nil
+}
+
+// Render returns one row per forest size.
+func (r *ForestResult) Render() string {
+	var b strings.Builder
+	b.WriteString("X4 — forest of overlapping routing trees (Section 7 future work)\n")
+	b.WriteString("  max per-node TOTAL load: GLE ideal vs independent per-tree TLB vs measured\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %s\n", row)
+	}
+	return b.String()
+}

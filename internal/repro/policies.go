@@ -1,0 +1,100 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"webwave/internal/docwave"
+	"webwave/internal/fold"
+	"webwave/internal/stats"
+	"webwave/internal/trace"
+	"webwave/internal/tree"
+)
+
+// ---------------------------------------------------------------------------
+// X8: copy-choice policy ablation. The paper leaves "choosing the particular
+// documents to copy" to a brief discussion; this experiment quantifies the
+// choice. All policies shift the same load (the diffusion amounts are
+// policy-independent), so balance quality converges similarly — what the
+// policy controls is the *transfer cost*: how many cache copies must be
+// created to carry that load.
+
+// PolicyRow summarizes one delegation policy.
+type PolicyRow struct {
+	Policy docwave.DelegationPolicy
+	// CopiesCreated counts cache-copy materializations over the run.
+	CopiesCreated int
+	// FinalDistance is the Euclidean distance to TLB at the end.
+	FinalDistance float64
+	// Converged reports whether the run reached the tolerance.
+	Converged bool
+	// Rounds is the number of rounds executed.
+	Rounds int
+}
+
+// PolicyResult is the X8 comparison.
+type PolicyResult struct {
+	Nodes, Docs int
+	Rows        []PolicyRow
+}
+
+// RunPolicyComparison runs document-level WebWave under each delegation
+// policy on the same tree and Zipf demand.
+func RunPolicyComparison(n, docs, rounds int, seed int64) (*PolicyResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	t, err := tree.Random(n, rng)
+	if err != nil {
+		return nil, fmt.Errorf("policies: %w", err)
+	}
+	demand, err := trace.ZipfDemand(t, trace.ZipfDemandConfig{
+		NumDocs: docs, Skew: 1.0, TotalRate: 10000, LeavesOnly: true,
+	}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("policies: %w", err)
+	}
+	tlb, err := fold.Compute(t, demand.NodeTotals())
+	if err != nil {
+		return nil, fmt.Errorf("policies: %w", err)
+	}
+	tol := 0.01 * stats.Norm2(tlb.Load)
+
+	res := &PolicyResult{Nodes: n, Docs: docs}
+	policies := []docwave.DelegationPolicy{
+		docwave.DelegateLargestFirst,
+		docwave.DelegateSmallestFirst,
+		docwave.DelegateRandom,
+	}
+	for _, pol := range policies {
+		sim, err := docwave.NewSim(t, demand, docwave.Config{
+			Tunneling: true, Delegation: pol, Seed: seed,
+		}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("policies %s: %w", pol, err)
+		}
+		rr, err := sim.Run(tlb.Load, rounds, tol)
+		if err != nil {
+			return nil, fmt.Errorf("policies %s: %w", pol, err)
+		}
+		res.Rows = append(res.Rows, PolicyRow{
+			Policy:        pol,
+			CopiesCreated: sim.CopiesCreated,
+			FinalDistance: rr.Distances[len(rr.Distances)-1],
+			Converged:     rr.Converged,
+			Rounds:        rr.Rounds,
+		})
+	}
+	return res, nil
+}
+
+// Render returns one row per policy.
+func (r *PolicyResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "X8 — copy-choice policy ablation (n=%d, %d Zipf docs)\n", r.Nodes, r.Docs)
+	fmt.Fprintf(&b, "  %-15s %8s %10s %12s %10s\n", "policy", "copies", "rounds", "final-dist", "converged")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-15s %8d %10d %12.4g %10v\n",
+			row.Policy, row.CopiesCreated, row.Rounds, row.FinalDistance, row.Converged)
+	}
+	return b.String()
+}

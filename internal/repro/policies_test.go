@@ -1,0 +1,56 @@
+package repro
+
+import "testing"
+
+func TestRunPolicyComparisonShape(t *testing.T) {
+	r, err := RunPolicyComparison(40, 24, 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 policies", len(r.Rows))
+	}
+	byName := map[string]PolicyRow{}
+	for _, row := range r.Rows {
+		byName[row.Policy.String()] = row
+		if row.CopiesCreated <= 0 {
+			t.Errorf("%s: no copies created — delegation never ran", row.Policy)
+		}
+	}
+	largest := byName["largest-first"]
+	smallest := byName["smallest-first"]
+
+	// The headline claim: largest-first needs no more copies than the
+	// adversarial smallest-first ordering to shift comparable load.
+	if largest.CopiesCreated > smallest.CopiesCreated {
+		t.Errorf("largest-first created %d copies, smallest-first %d — expected fewer or equal",
+			largest.CopiesCreated, smallest.CopiesCreated)
+	}
+	// All policies move the same diffusion amounts, so every run must end
+	// well balanced relative to where it started (distance shrinks by 10x).
+	for name, row := range byName {
+		if !row.Converged && row.FinalDistance > 0.2*float64(r.Nodes) {
+			t.Errorf("%s: final distance %v with converged=%v", name, row.FinalDistance, row.Converged)
+		}
+	}
+	if s := r.Render(); len(s) == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestRunPolicyComparisonDeterministic(t *testing.T) {
+	a, err := RunPolicyComparison(20, 10, 150, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPolicyComparison(20, 10, 150, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatalf("policy %s not deterministic: %+v vs %+v",
+				a.Rows[i].Policy, a.Rows[i], b.Rows[i])
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"webwave/internal/core"
+)
+
+func TestRunFigure2(t *testing.T) {
+	r, err := RunFigure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.AIsGLE {
+		t.Error("Figure 2(a) must be GLE")
+	}
+	if r.BIsGLE {
+		t.Error("Figure 2(b) must not be GLE")
+	}
+	if r.FoldsA != 1 || r.FoldsB != 3 {
+		t.Errorf("folds = (%d,%d), want (1,3)", r.FoldsA, r.FoldsB)
+	}
+	if !strings.Contains(r.Render(), "Figure 2") {
+		t.Error("render missing header")
+	}
+}
+
+func TestRunFigure4(t *testing.T) {
+	r, err := RunFigure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Verified {
+		t.Error("Figure 4 verification failed")
+	}
+	if len(r.Steps) != 6 {
+		t.Errorf("steps = %d, want 6", len(r.Steps))
+	}
+	if r.MaxLoad != 22.5 {
+		t.Errorf("max load = %v, want 22.5", r.MaxLoad)
+	}
+	// Max-average-first order: child averages along the trace never exceed
+	// the first step's.
+	for _, s := range r.Steps[1:] {
+		if s.ChildAvg > r.Steps[0].ChildAvg {
+			t.Errorf("later fold has higher child average: %v", s)
+		}
+	}
+	if !strings.Contains(r.Render(), "step 1") {
+		t.Error("render missing trace")
+	}
+}
+
+func TestRunFigure6(t *testing.T) {
+	r, err := RunFigure6(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Converged {
+		t.Fatalf("Figure 6 run did not converge (final %v)", r.Distances[len(r.Distances)-1])
+	}
+	if r.Fit.Gamma <= 0 || r.Fit.Gamma >= 1 {
+		t.Errorf("gamma = %v outside (0,1)", r.Fit.Gamma)
+	}
+	// Distances decrease overall by many orders of magnitude.
+	if r.Distances[len(r.Distances)-1] > 1e-5*r.Distances[0] {
+		t.Error("convergence too shallow")
+	}
+	if len(r.Folds) < 3 {
+		t.Errorf("fold variety too small: %d", len(r.Folds))
+	}
+}
+
+func TestRunGammaEstimate(t *testing.T) {
+	cfg := DefaultGammaConfig()
+	cfg.Trees = 4
+	cfg.MaxRound = 2500
+	r, err := RunGammaEstimate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Fits) != 4 {
+		t.Fatalf("fits = %d", len(r.Fits))
+	}
+	// Shape claim: γ in the paper's ballpark — clearly inside (0,1) and
+	// within a wide band around 0.83.
+	if r.MeanGamma < 0.5 || r.MeanGamma > 0.99 {
+		t.Errorf("mean gamma = %v, outside plausible band", r.MeanGamma)
+	}
+	if !strings.Contains(r.Render(), "paper") {
+		t.Error("render missing paper reference")
+	}
+}
+
+func TestRunGammaEstimateValidation(t *testing.T) {
+	if _, err := RunGammaEstimate(GammaConfig{Trees: 0}); err == nil {
+		t.Error("zero trees accepted")
+	}
+	if _, err := RunGammaEstimate(GammaConfig{Trees: 1, Nodes: 5, Depth: 9}); err == nil {
+		t.Error("depth >= nodes accepted")
+	}
+}
+
+func TestRunFigure7(t *testing.T) {
+	r, err := RunFigure7(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.BarrierDetected {
+		t.Error("barrier predicate not detected on the initial state")
+	}
+	if r.NoTunnel.Converged {
+		t.Error("no-tunneling run converged; barrier not wedging")
+	}
+	plateau := r.NoTunnel.Distances[len(r.NoTunnel.Distances)-1]
+	if plateau < 50 {
+		t.Errorf("plateau distance %v too small; barrier leaked", plateau)
+	}
+	if !r.WithTunnel.Converged {
+		t.Error("tunneling run did not converge")
+	}
+	if len(r.WithTunnel.Tunnels) == 0 {
+		t.Error("no tunnel events")
+	}
+	for _, v := range r.WithTunnel.Final {
+		if v < 80 || v > 100 {
+			t.Errorf("final loads %v, want ≈90 each", r.WithTunnel.Final)
+			break
+		}
+	}
+}
+
+func TestRunGLEDiffusion(t *testing.T) {
+	r, err := RunGLEDiffusion(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if !row.BoundHolds {
+			t.Errorf("%s: measured contraction exceeds spectral bound", row.Topology)
+		}
+		if row.SpectralGamma <= 0 || row.SpectralGamma >= 1 {
+			t.Errorf("%s: spectral gamma = %v", row.Topology, row.SpectralGamma)
+		}
+		if row.MaxStepRatio > row.SpectralGamma*1.001 {
+			t.Errorf("%s: worst step %v above spectral %v", row.Topology, row.MaxStepRatio, row.SpectralGamma)
+		}
+	}
+}
+
+func TestRunBaselineComparison(t *testing.T) {
+	r, err := RunBaselineComparison([]int{10, 200}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := func(n int, name string) float64 {
+		for _, row := range r.Rows {
+			if row.Nodes == n && row.System == name {
+				return row.Throughput
+			}
+		}
+		t.Fatalf("missing row %d/%s", n, name)
+		return 0
+	}
+	if byName(200, "webwave") <= byName(10, "webwave") {
+		t.Error("webwave throughput did not grow with size")
+	}
+	if byName(200, "directory") > byName(10, "directory")*1.5 {
+		t.Error("directory throughput kept growing; should saturate")
+	}
+}
+
+func TestRunRouteChurn(t *testing.T) {
+	r, err := RunRouteChurn(20, 4, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.RecoveryRatio) != 4 {
+		t.Fatalf("epochs = %d", len(r.RecoveryRatio))
+	}
+	for k, ratio := range r.RecoveryRatio {
+		if ratio > 0.5 {
+			t.Errorf("epoch %d: recovery ratio %v, want < 0.5", k, ratio)
+		}
+	}
+	if !strings.Contains(r.Render(), "route churn") {
+		t.Error("render missing header")
+	}
+}
+
+func TestRunErraticTracking(t *testing.T) {
+	r, err := RunErraticTracking(30, 4, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.RecoveryRatio) != 4 {
+		t.Fatalf("regimes = %d", len(r.RecoveryRatio))
+	}
+	// After the first regime the protocol must keep re-tracking: every
+	// regime ends much closer to its TLB than it started.
+	for k, ratio := range r.RecoveryRatio {
+		if k == 0 {
+			continue
+		}
+		if ratio > 0.5 {
+			t.Errorf("regime %d recovery ratio %v, want < 0.5", k, ratio)
+		}
+	}
+}
+
+func TestRunHierarchyComparison(t *testing.T) {
+	r, err := RunHierarchyComparison(20, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hierarchical caching must win on hit distance, WebWave on balance.
+	if r.HierMeanHops > r.WaveMeanHops {
+		t.Errorf("hierarchy mean hops %v > webwave %v", r.HierMeanHops, r.WaveMeanHops)
+	}
+	if r.WaveMaxShare > r.HierMaxShare {
+		t.Errorf("webwave max share %v > hierarchy %v", r.WaveMaxShare, r.HierMaxShare)
+	}
+	// WebWave's share approaches the TLB optimum.
+	if r.WaveMaxShare > r.TLBMaxShare*1.2 {
+		t.Errorf("webwave share %v far above TLB %v", r.WaveMaxShare, r.TLBMaxShare)
+	}
+	if !strings.Contains(r.Render(), "Harvest") {
+		t.Error("render missing header")
+	}
+}
+
+func TestRunForestComparison(t *testing.T) {
+	r, err := RunForestComparison(20, []int{1, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	single := r.Rows[0]
+	// With one tree, coupled and independent are the same protocol.
+	if single.CoupledFinal > single.IndependentFinal*1.01+1e-9 ||
+		single.IndependentFinal > single.CoupledFinal*1.01+1e-9 {
+		t.Errorf("k=1: coupled %v != independent %v", single.CoupledFinal, single.IndependentFinal)
+	}
+	multi := r.Rows[1]
+	if multi.CoupledFinal > multi.IndependentFinal*1.05 {
+		t.Errorf("k=3: coupled %v worse than independent %v", multi.CoupledFinal, multi.IndependentFinal)
+	}
+	if !strings.Contains(r.Render(), "forest") {
+		t.Error("render missing header")
+	}
+}
+
+func TestRunLiveCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	cfg := DefaultLiveConfig()
+	cfg.Horizon = 1.2
+	cfg.TotalRate = 1500
+	r, err := RunLiveCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Responses != int64(r.Requests) {
+		t.Errorf("responses %d != requests %d", r.Responses, r.Requests)
+	}
+	if r.RootShare >= 1 {
+		t.Errorf("root share %v: caching had no effect", r.RootShare)
+	}
+	if r.Latency.N == 0 {
+		t.Error("no latency samples")
+	}
+	out := r.Render()
+	if !strings.Contains(out, "live cluster") || !strings.Contains(out, "latency") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	// Exercise the remaining Render paths.
+	gle, err := RunGLEDiffusion(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(gle.Render(), "topology") {
+		t.Error("GLE render incomplete")
+	}
+	bl, err := RunBaselineComparison([]int{10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bl.Render(), "webwave") {
+		t.Error("baseline render incomplete")
+	}
+	er, err := RunErraticTracking(15, 2, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Render(), "regime") {
+		t.Error("erratic render incomplete")
+	}
+}
+
+func TestFigure7DemandConsistency(t *testing.T) {
+	tr, demand := Figure7Demand()
+	if err := demand.Validate(tr.Len()); err != nil {
+		t.Fatal(err)
+	}
+	if demand.Total() != 360 {
+		t.Errorf("total = %v, want 360", demand.Total())
+	}
+	if got := core.SumVec(demand.NodeTotals()); got != 360 {
+		t.Errorf("node totals sum = %v", got)
+	}
+}

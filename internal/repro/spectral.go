@@ -1,0 +1,129 @@
+package repro
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"webwave/internal/fold"
+	"webwave/internal/stats"
+	"webwave/internal/trace"
+	"webwave/internal/tree"
+	"webwave/internal/wave"
+)
+
+// ---------------------------------------------------------------------------
+// G9S: spectral prediction versus fitted γ. The paper's Figure 1 footnote
+// ties γ to the spectral radius of the diffusion matrix; on a routing tree
+// the dynamics decouple into WebFold folds at the optimum, so the
+// first-principles prediction is the slowest fold's internal spectral rate
+// (wave.SpectralRate). This experiment fits a·γ^t to simulated runs (the
+// paper's S-PLUS methodology) and compares fit against prediction per tree.
+
+// SpectralRow compares one tree's fitted and predicted rates.
+type SpectralRow struct {
+	TreeIndex int
+	Fitted    float64 // nonlinear-LS γ over the whole distance series
+	Predicted float64 // max fold-internal spectral rate
+	TailRate  float64 // mean per-round contraction over the run's tail
+	Folds     int
+}
+
+// SpectralResult is the G9S sweep.
+type SpectralResult struct {
+	Config GammaConfig
+	Rows   []SpectralRow
+	// MeanAbsGap is the mean |TailRate − Predicted| over trees with a
+	// measurable tail — the headline number: how well theory predicts the
+	// protocol's asymptotic behavior.
+	MeanAbsGap float64
+}
+
+// RunGammaSpectral runs the G9 setup and adds the spectral prediction.
+func RunGammaSpectral(cfg GammaConfig) (*SpectralResult, error) {
+	if cfg.Trees <= 0 || cfg.Nodes <= cfg.Depth {
+		return nil, fmt.Errorf("gamma spectral: invalid config %+v", cfg)
+	}
+	res := &SpectralResult{Config: cfg}
+	var gaps []float64
+	for i := 0; i < cfg.Trees; i++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+		t, err := tree.RandomDepth(cfg.Nodes, cfg.Depth, rng)
+		if err != nil {
+			return nil, fmt.Errorf("gamma spectral: tree %d: %w", i, err)
+		}
+		e := trace.UniformRates(t.Len(), 0, 100, rng)
+		alpha := wave.LocalDegreeAlpha(t)
+
+		tlb, err := fold.Compute(t, e)
+		if err != nil {
+			return nil, fmt.Errorf("gamma spectral: fold %d: %w", i, err)
+		}
+		predicted, _, err := wave.SpectralRate(t, e, alpha)
+		if err != nil {
+			return nil, fmt.Errorf("gamma spectral: predict %d: %w", i, err)
+		}
+		s, err := wave.NewSim(t, e, wave.Config{Initial: wave.InitialSelf, Alpha: alpha})
+		if err != nil {
+			return nil, fmt.Errorf("gamma spectral: sim %d: %w", i, err)
+		}
+		rr, err := s.Run(tlb.Load, cfg.MaxRound, 1e-7)
+		if err != nil {
+			return nil, fmt.Errorf("gamma spectral: run %d: %w", i, err)
+		}
+		fit, err := stats.FitGeometric(rr.Distances)
+		if err != nil {
+			return nil, fmt.Errorf("gamma spectral: fit %d: %w", i, err)
+		}
+
+		row := SpectralRow{
+			TreeIndex: i,
+			Fitted:    fit.Gamma,
+			Predicted: predicted,
+			TailRate:  tailContraction(rr.Distances),
+			Folds:     tlb.FoldCount(),
+		}
+		res.Rows = append(res.Rows, row)
+		if row.TailRate > 0 {
+			gaps = append(gaps, math.Abs(row.TailRate-row.Predicted))
+		}
+	}
+	res.MeanAbsGap = stats.Mean(gaps)
+	return res, nil
+}
+
+// tailContraction averages d_{t+1}/d_t over the second half of the series,
+// skipping rounds where the distance is numerically dead. Returns 0 when no
+// tail is measurable.
+func tailContraction(distances []float64) float64 {
+	ratios := stats.ContractionRatios(distances)
+	var tail []float64
+	for i := len(ratios) / 2; i < len(ratios); i++ {
+		if distances[i] > 1e-9 && ratios[i] > 0 && ratios[i] <= 1 {
+			tail = append(tail, ratios[i])
+		}
+	}
+	if len(tail) < 5 {
+		return 0
+	}
+	return stats.Mean(tail)
+}
+
+// Render returns one row per tree plus the aggregate gap.
+func (r *SpectralResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "G9S — spectral prediction vs fitted γ (%d trees, n=%d, depth=%d)\n",
+		r.Config.Trees, r.Config.Nodes, r.Config.Depth)
+	fmt.Fprintf(&b, "  %-6s %10s %10s %10s %7s\n", "tree", "fitted", "predicted", "tail-rate", "folds")
+	for _, row := range r.Rows {
+		tail := "n/a"
+		if row.TailRate > 0 {
+			tail = fmt.Sprintf("%.4f", row.TailRate)
+		}
+		fmt.Fprintf(&b, "  %-6d %10.4f %10.4f %10s %7d\n",
+			row.TreeIndex, row.Fitted, row.Predicted, tail, row.Folds)
+	}
+	fmt.Fprintf(&b, "  mean |tail − predicted| = %.4f\n", r.MeanAbsGap)
+	return b.String()
+}

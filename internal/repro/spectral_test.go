@@ -1,0 +1,53 @@
+package repro
+
+import "testing"
+
+func TestRunGammaSpectralShape(t *testing.T) {
+	cfg := DefaultGammaConfig()
+	cfg.Trees = 4
+	cfg.MaxRound = 2500
+	r, err := RunGammaSpectral(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != cfg.Trees {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), cfg.Trees)
+	}
+	measurable := 0
+	for _, row := range r.Rows {
+		if row.Fitted <= 0 || row.Fitted >= 1 {
+			t.Errorf("tree %d: fitted γ %v outside (0,1)", row.TreeIndex, row.Fitted)
+		}
+		if row.Predicted < 0 || row.Predicted >= 1 {
+			t.Errorf("tree %d: predicted rate %v outside [0,1)", row.TreeIndex, row.Predicted)
+		}
+		if row.Folds <= 0 {
+			t.Errorf("tree %d: %d folds", row.TreeIndex, row.Folds)
+		}
+		if row.TailRate > 0 {
+			measurable++
+			// The asymptotic rate must not exceed the slowest fold's
+			// spectral bound by more than numerical slack.
+			if row.TailRate > row.Predicted+0.05 {
+				t.Errorf("tree %d: tail rate %v exceeds spectral prediction %v",
+					row.TreeIndex, row.TailRate, row.Predicted)
+			}
+		}
+	}
+	if measurable == 0 {
+		t.Fatal("no tree produced a measurable tail; experiment vacuous")
+	}
+	// Theory predicts the measured asymptotics well on average.
+	if r.MeanAbsGap > 0.2 {
+		t.Errorf("mean |tail − predicted| = %v; spectral theory not predictive", r.MeanAbsGap)
+	}
+	if s := r.Render(); len(s) == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestRunGammaSpectralValidation(t *testing.T) {
+	if _, err := RunGammaSpectral(GammaConfig{Trees: 0}); err == nil {
+		t.Error("accepted an empty config")
+	}
+}

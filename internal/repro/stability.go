@@ -1,0 +1,212 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"webwave/internal/core"
+	"webwave/internal/fold"
+	"webwave/internal/stats"
+	"webwave/internal/trace"
+	"webwave/internal/tree"
+	"webwave/internal/wave"
+)
+
+// ---------------------------------------------------------------------------
+// X7: stability under time-varying load (the paper's closing future work:
+// "analyzing WebWave for stability, especially under realistic load").
+//
+// Each scenario drives the rate-level simulator with a trace.RateProcess.
+// Every round the spontaneous rates move, the TLB optimum is recomputed,
+// and the tracking error — the Euclidean distance from the live load to the
+// *current* optimum, normalized by the optimum's norm — is recorded. A
+// stable protocol keeps the error bounded (drift, walk) and recovers
+// geometrically after a shock (flash crowd).
+
+// StabilityScenario names one time-varying workload.
+type StabilityScenario string
+
+// Stability scenarios.
+const (
+	ScenarioConstant   StabilityScenario = "constant"
+	ScenarioSinusoid   StabilityScenario = "sinusoid"
+	ScenarioFlashCrowd StabilityScenario = "flash-crowd"
+	ScenarioRandomWalk StabilityScenario = "random-walk"
+)
+
+// StabilityConfig parameterizes RunStability.
+type StabilityConfig struct {
+	Nodes  int
+	Rounds int
+	Seed   int64
+	// FlashFactor multiplies the hot leaf's rate during the crowd.
+	FlashFactor float64
+}
+
+// DefaultStabilityConfig returns the EXPERIMENTS.md parameters.
+func DefaultStabilityConfig() StabilityConfig {
+	return StabilityConfig{Nodes: 60, Rounds: 600, Seed: 11, FlashFactor: 30}
+}
+
+// StabilityRow summarizes one scenario.
+type StabilityRow struct {
+	Scenario StabilityScenario
+	// MeanError and P95Error summarize the normalized tracking error over
+	// the run's second half (after the initial transient).
+	MeanError float64
+	P95Error  float64
+	MaxError  float64
+	// FinalError is the normalized error at the last round.
+	FinalError float64
+	// RecoveryRatio applies to the flash crowd: error just before the crowd
+	// ends divided by the error at its onset (< 1 means the protocol
+	// re-balanced *during* the crowd, not merely after it passed).
+	RecoveryRatio float64
+	// Errors is the full per-round trace (for plotting).
+	Errors []float64
+}
+
+// StabilityResult is the X7 sweep across scenarios.
+type StabilityResult struct {
+	Config StabilityConfig
+	Rows   []StabilityRow
+}
+
+// RunStability evaluates WebWave's tracking of the four workload
+// scenarios on one random tree.
+func RunStability(cfg StabilityConfig) (*StabilityResult, error) {
+	if cfg.Nodes < 4 {
+		return nil, fmt.Errorf("stability: need at least 4 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.FlashFactor <= 1 {
+		cfg.FlashFactor = 30
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t, err := tree.Random(cfg.Nodes, rng)
+	if err != nil {
+		return nil, fmt.Errorf("stability: %w", err)
+	}
+	base := trace.UniformRates(cfg.Nodes, 20, 100, rng)
+
+	// The flash crowd hits the deepest leaf — the farthest point from the
+	// spare capacity near the root.
+	hot := deepestLeaf(t)
+	procs := []struct {
+		name StabilityScenario
+		proc trace.RateProcess
+	}{
+		{ScenarioConstant, trace.Constant{V: base}},
+		{ScenarioSinusoid, trace.NewSinusoid(base, 0.6, cfg.Rounds/4, rng)},
+		{ScenarioFlashCrowd, trace.NewFlashCrowd(base, []int{hot}, cfg.FlashFactor, cfg.Rounds/3, cfg.Rounds/3)},
+		{ScenarioRandomWalk, trace.NewRandomWalk(base, 0.1, 5, 500, cfg.Seed+1)},
+	}
+
+	res := &StabilityResult{Config: cfg}
+	for _, p := range procs {
+		row, err := runStabilityScenario(t, p.proc, p.name, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("stability %s: %w", p.name, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func runStabilityScenario(t *tree.Tree, proc trace.RateProcess, name StabilityScenario, cfg StabilityConfig) (StabilityRow, error) {
+	row := StabilityRow{Scenario: name, RecoveryRatio: 1}
+	e0 := core.CloneVec(proc.Rates(0))
+	sim, err := wave.NewSim(t, e0, wave.Config{
+		Initial: wave.InitialSelf, Alpha: wave.LocalDegreeAlpha(t),
+	})
+	if err != nil {
+		return row, err
+	}
+
+	prev := core.CloneVec(e0)
+	tlb, err := fold.Compute(t, prev)
+	if err != nil {
+		return row, err
+	}
+	norm := stats.Norm2(tlb.Load)
+
+	var crowd *trace.FlashCrowd
+	if fc, ok := proc.(*trace.FlashCrowd); ok {
+		crowd = fc
+	}
+	var errAtOnset, errBeforeEnd float64
+
+	for round := 0; round < cfg.Rounds; round++ {
+		e := proc.Rates(round)
+		if !core.VecAlmostEqual(e, prev, 1e-12) {
+			copy(prev, e)
+			if err := sim.SetRates(prev); err != nil {
+				return row, err
+			}
+			if tlb, err = fold.Compute(t, prev); err != nil {
+				return row, err
+			}
+			norm = stats.Norm2(tlb.Load)
+		}
+		sim.Step()
+		d := stats.Euclidean(sim.Load(), tlb.Load)
+		if norm > 0 {
+			d /= norm
+		}
+		row.Errors = append(row.Errors, d)
+
+		if crowd != nil {
+			switch round {
+			case crowd.Start:
+				errAtOnset = d
+			case crowd.Start + crowd.Duration - 1:
+				errBeforeEnd = d
+			}
+		}
+	}
+
+	tail := row.Errors[len(row.Errors)/2:]
+	row.MeanError = stats.Mean(tail)
+	row.P95Error = stats.Percentile(tail, 95)
+	for _, d := range row.Errors {
+		if d > row.MaxError {
+			row.MaxError = d
+		}
+	}
+	row.FinalError = row.Errors[len(row.Errors)-1]
+	if crowd != nil && errAtOnset > 0 {
+		row.RecoveryRatio = errBeforeEnd / errAtOnset
+	}
+	return row, nil
+}
+
+// deepestLeaf returns a leaf at maximum depth.
+func deepestLeaf(t *tree.Tree) int {
+	best, bestDepth := t.Root(), -1
+	for v := 0; v < t.Len(); v++ {
+		if len(t.Children(v)) == 0 {
+			if d := t.Depth(v); d > bestDepth {
+				best, bestDepth = v, d
+			}
+		}
+	}
+	return best
+}
+
+// Render returns one row per scenario.
+func (r *StabilityResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "X7 — stability under time-varying load (n=%d, %d rounds)\n",
+		r.Config.Nodes, r.Config.Rounds)
+	fmt.Fprintf(&b, "  %-12s %12s %12s %12s %12s\n",
+		"scenario", "mean-err", "p95-err", "max-err", "final-err")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-12s %12.4g %12.4g %12.4g %12.4g",
+			row.Scenario, row.MeanError, row.P95Error, row.MaxError, row.FinalError)
+		if row.Scenario == ScenarioFlashCrowd {
+			fmt.Fprintf(&b, "   in-crowd recovery ratio %.3g", row.RecoveryRatio)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

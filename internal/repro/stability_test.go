@@ -1,0 +1,83 @@
+package repro
+
+import (
+	"testing"
+)
+
+func TestRunStabilityShape(t *testing.T) {
+	cfg := DefaultStabilityConfig()
+	cfg.Nodes = 30
+	cfg.Rounds = 300
+	r, err := RunStability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 scenarios", len(r.Rows))
+	}
+	byName := map[StabilityScenario]StabilityRow{}
+	for _, row := range r.Rows {
+		byName[row.Scenario] = row
+		if len(row.Errors) != cfg.Rounds {
+			t.Errorf("%s: %d error samples, want %d", row.Scenario, len(row.Errors), cfg.Rounds)
+		}
+		if row.MaxError < row.P95Error || row.P95Error < 0 {
+			t.Errorf("%s: inconsistent error stats %+v", row.Scenario, row)
+		}
+	}
+
+	constant := byName[ScenarioConstant]
+	sinusoid := byName[ScenarioSinusoid]
+	flash := byName[ScenarioFlashCrowd]
+	walk := byName[ScenarioRandomWalk]
+
+	// The control arm converges essentially to zero.
+	if constant.FinalError > 0.01 {
+		t.Errorf("constant scenario final error %v; should converge to TLB", constant.FinalError)
+	}
+	// Moving targets keep a positive but bounded tracking error, and the
+	// protocol stays stable (no blow-up past the initial shock).
+	for _, row := range []StabilityRow{sinusoid, walk} {
+		if row.MeanError <= 0 {
+			t.Errorf("%s: zero tracking error is implausible for a moving target", row.Scenario)
+		}
+		if row.MeanError > 0.5 {
+			t.Errorf("%s: mean tracking error %v — protocol lost the target", row.Scenario, row.MeanError)
+		}
+	}
+	// The flash crowd re-balances while the crowd persists.
+	if flash.RecoveryRatio >= 1 {
+		t.Errorf("flash crowd recovery ratio %v, want < 1 (re-balanced during the crowd)", flash.RecoveryRatio)
+	}
+	// And settles again after it passes.
+	if flash.FinalError > 0.05 {
+		t.Errorf("flash crowd final error %v; should re-converge after the crowd", flash.FinalError)
+	}
+
+	if s := r.Render(); len(s) == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestRunStabilityValidation(t *testing.T) {
+	if _, err := RunStability(StabilityConfig{Nodes: 2, Rounds: 10}); err == nil {
+		t.Error("accepted a 2-node stability run")
+	}
+}
+
+func TestRunStabilityDeterministic(t *testing.T) {
+	cfg := StabilityConfig{Nodes: 20, Rounds: 120, Seed: 5, FlashFactor: 10}
+	a, err := RunStability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunStability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i].MeanError != b.Rows[i].MeanError || a.Rows[i].FinalError != b.Rows[i].FinalError {
+			t.Fatalf("scenario %s not deterministic", a.Rows[i].Scenario)
+		}
+	}
+}

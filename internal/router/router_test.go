@@ -1,0 +1,160 @@
+package router
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"webwave/internal/core"
+)
+
+func TestEmptyRouterPassesEverything(t *testing.T) {
+	r := New()
+	if v := r.Classify("doc-1"); v != Pass {
+		t.Errorf("empty router verdict = %v, want Pass", v)
+	}
+	st := r.Stats()
+	if st.Inspected != 1 || st.Passed != 1 || st.Extracted != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestZeroValueRouterUsable(t *testing.T) {
+	var r Router
+	if v := r.Classify("x"); v != Pass {
+		t.Errorf("zero-value verdict = %v", v)
+	}
+	r.Install("x", nil)
+	if v := r.Classify("x"); v != Extract {
+		t.Errorf("zero-value after install = %v", v)
+	}
+}
+
+func TestInstallNilFilterExtractsAll(t *testing.T) {
+	r := New()
+	r.Install("hot", nil)
+	for i := 0; i < 5; i++ {
+		if r.Classify("hot") != Extract {
+			t.Fatal("nil filter did not extract")
+		}
+	}
+	if r.Classify("cold") != Pass {
+		t.Error("unrelated doc extracted")
+	}
+}
+
+func TestInstallCustomFilter(t *testing.T) {
+	r := New()
+	allow := false
+	r.Install("d", FilterFunc(func(core.DocID) bool { return allow }))
+	if r.Classify("d") != Pass {
+		t.Error("filter returning false extracted")
+	}
+	allow = true
+	if r.Classify("d") != Extract {
+		t.Error("filter returning true passed")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	r := New()
+	r.Install("d", nil)
+	r.Remove("d")
+	if r.Classify("d") != Pass {
+		t.Error("removed filter still extracts")
+	}
+	r.Remove("never-installed") // must not panic or count
+	st := r.Stats()
+	if st.Installs != 1 || st.Removals != 1 {
+		t.Errorf("install/removal counts = %+v", st)
+	}
+}
+
+func TestInstalledSorted(t *testing.T) {
+	r := New()
+	for _, d := range []core.DocID{"z", "a", "m"} {
+		r.Install(d, nil)
+	}
+	got := r.Installed()
+	if len(got) != 3 || got[0] != "a" || got[1] != "m" || got[2] != "z" {
+		t.Errorf("Installed() = %v", got)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Pass.String() != "pass" || Extract.String() != "extract" {
+		t.Error("verdict strings wrong")
+	}
+	if Verdict(99).String() == "" {
+		t.Error("unknown verdict empty")
+	}
+}
+
+func TestRateLimitedFilterProportion(t *testing.T) {
+	for _, share := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		f := NewRateLimitedFilter(share)
+		n := 10000
+		allowed := 0
+		for i := 0; i < n; i++ {
+			if f.Match("d") {
+				allowed++
+			}
+		}
+		got := float64(allowed) / float64(n)
+		if math.Abs(got-share) > 0.01 {
+			t.Errorf("share %v: extracted fraction %v", share, got)
+		}
+	}
+}
+
+func TestRateLimitedFilterClamps(t *testing.T) {
+	f := NewRateLimitedFilter(1.7)
+	if f.Share() != 1 {
+		t.Errorf("share = %v, want clamped 1", f.Share())
+	}
+	f.SetShare(-0.5)
+	if f.Share() != 0 {
+		t.Errorf("share = %v, want clamped 0", f.Share())
+	}
+	if f.Match("d") {
+		t.Error("zero share extracted")
+	}
+}
+
+func TestRateLimitedFilterAdjustableMidStream(t *testing.T) {
+	f := NewRateLimitedFilter(0)
+	for i := 0; i < 100; i++ {
+		f.Match("d")
+	}
+	f.SetShare(1)
+	// With share 1 the running deficit is large; everything is admitted.
+	for i := 0; i < 10; i++ {
+		if !f.Match("d") {
+			t.Fatal("share 1 rejected a packet")
+		}
+	}
+}
+
+func TestRouterConcurrentUse(t *testing.T) {
+	r := New()
+	r.Install("a", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Classify("a")
+				if i%50 == 0 {
+					r.Install("b", nil)
+					r.Remove("b")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := r.Stats()
+	if st.Inspected != 8*500 {
+		t.Errorf("inspected = %d, want %d", st.Inspected, 8*500)
+	}
+}

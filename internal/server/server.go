@@ -1,0 +1,725 @@
+// Package server implements a live WebWave cache server: a goroutine-driven
+// node that serves document requests, measures its load and the per-child
+// forwarded rates over sliding windows, gossips load to its tree neighbors,
+// delegates document service duty down the tree, sheds it up, claims
+// passing request flow when under-loaded, and tunnels across potential
+// barriers — the full protocol of the paper's Sections 3–5 over real
+// message passing (in-memory or TCP transports).
+//
+// Unlike the fluid simulators (internal/wave, internal/docwave), nothing
+// here conserves load by construction: requests physically travel up the
+// routing tree and are served by the first willing cache copy or, finally,
+// by the home server. Protocol state (targets, gossip views) is soft; lost
+// or stale messages degrade balance, never correctness.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"webwave/internal/core"
+	"webwave/internal/netproto"
+	"webwave/internal/router"
+	"webwave/internal/transport"
+)
+
+// Config describes one server's place in the routing tree.
+type Config struct {
+	ID   int
+	Addr string // listen address on Network
+
+	ParentID   int    // -1 for the home server
+	ParentAddr string // empty for the home server
+	HomeAddr   string // the root's address (tunneling target)
+
+	// Docs lists the documents homed at this server (root only), with
+	// bodies. Non-root servers start with empty caches.
+	Docs map[core.DocID][]byte
+
+	// Alpha is this node's diffusion parameter; the paper's default is
+	// 1/(degree+1). If zero, the server computes that default once it knows
+	// its degree (children attach dynamically, so it uses 1/(known
+	// neighbors + 2) refreshed each period).
+	Alpha float64
+
+	GossipPeriod    time.Duration // default 50ms
+	DiffusionPeriod time.Duration // default 100ms
+	Window          time.Duration // rate-estimation window, default 1s
+
+	// BarrierPatience is the number of diffusion periods a node stays
+	// under-loaded with no delegation before tunneling (paper: > 2).
+	BarrierPatience int
+	Tunneling       bool
+
+	Network transport.Network
+}
+
+func (c Config) withDefaults() Config {
+	if c.GossipPeriod <= 0 {
+		c.GossipPeriod = 50 * time.Millisecond
+	}
+	if c.DiffusionPeriod <= 0 {
+		c.DiffusionPeriod = 100 * time.Millisecond
+	}
+	if c.Window <= 0 {
+		c.Window = time.Second
+	}
+	if c.BarrierPatience <= 0 {
+		c.BarrierPatience = 3
+	}
+	return c
+}
+
+// event is an inbound envelope tagged with its connection.
+type event struct {
+	env  *netproto.Envelope
+	conn transport.Conn
+}
+
+// pendingKey identifies an in-flight request for response routing.
+type pendingKey struct {
+	origin int
+	reqID  uint64
+}
+
+// Server is a live WebWave node. Create with New, start with Start, stop
+// with Stop.
+type Server struct {
+	cfg    Config
+	isRoot bool
+	rt     *router.Router
+
+	// Owned by the main loop (no locking needed).
+	cache       map[core.DocID][]byte
+	targets     map[core.DocID]float64 // intended serve rate per doc
+	served      map[core.DocID]*rateWindow
+	totalServed *rateWindow
+	childConns  map[int]transport.Conn             // child id -> conn
+	childFlow   map[int]map[core.DocID]*rateWindow // A_j^d estimates
+	childLoad   map[int]float64                    // gossiped child loads
+	parentLoad  float64
+	parentKnown bool
+	parentConn  transport.Conn
+	pending     map[pendingKey]transport.Conn
+	underFor    int // consecutive under-loaded periods with no delegation
+	gotDelegate bool
+
+	// Counters (owned by main loop; exported via stats scrape).
+	nServed, nForwarded          int64
+	nGossip, nDelegIn, nDelegOut int64
+	nShedIn, nShedOut, nTunnels  int64
+	seq                          uint64
+
+	localFlow map[core.DocID]*rateWindow // locally injected request rates
+
+	events   chan event
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+	listener transport.Listener
+
+	connsMu sync.Mutex
+	conns   []transport.Conn
+}
+
+// New validates cfg and creates a server (not yet started).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Network == nil {
+		return nil, errors.New("server: nil network")
+	}
+	if cfg.Addr == "" {
+		return nil, errors.New("server: empty listen address")
+	}
+	isRoot := cfg.ParentID < 0
+	if !isRoot && cfg.ParentAddr == "" {
+		return nil, fmt.Errorf("server %d: non-root without parent address", cfg.ID)
+	}
+	s := &Server{
+		cfg:        cfg,
+		isRoot:     isRoot,
+		rt:         router.New(),
+		cache:      make(map[core.DocID][]byte),
+		targets:    make(map[core.DocID]float64),
+		served:     make(map[core.DocID]*rateWindow),
+		childConns: make(map[int]transport.Conn),
+		childFlow:  make(map[int]map[core.DocID]*rateWindow),
+		childLoad:  make(map[int]float64),
+		pending:    make(map[pendingKey]transport.Conn),
+		localFlow:  make(map[core.DocID]*rateWindow),
+		events:     make(chan event, 1024),
+		stopped:    make(chan struct{}),
+	}
+	s.totalServed = newRateWindow(cfg.Window, 8)
+	if isRoot {
+		for id, body := range cfg.Docs {
+			s.cache[id] = body
+			s.rt.Install(id, nil) // the home extracts everything it owns
+		}
+	}
+	return s, nil
+}
+
+// Start begins listening and, for non-root servers, connects to the parent.
+// It returns once the server is operational.
+func (s *Server) Start() error {
+	l, err := s.cfg.Network.Listen(s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server %d: %w", s.cfg.ID, err)
+	}
+	s.listener = l
+
+	if !s.isRoot {
+		conn, err := transport.DialOn(s.cfg.Network, s.cfg.Addr, s.cfg.ParentAddr)
+		if err != nil {
+			l.Close()
+			return fmt.Errorf("server %d: dial parent: %w", s.cfg.ID, err)
+		}
+		s.parentConn = conn
+		// Identify ourselves to the parent immediately.
+		s.sendOn(conn, &netproto.Envelope{Kind: netproto.TypeGossip, From: s.cfg.ID, To: s.cfg.ParentID})
+		s.readLoop(conn)
+	}
+
+	// Accept loop.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.readLoop(conn)
+		}
+	}()
+
+	// Main loop.
+	s.wg.Add(1)
+	go s.mainLoop()
+	return nil
+}
+
+// readLoop pumps a connection into the event channel.
+func (s *Server) readLoop(conn transport.Conn) {
+	s.connsMu.Lock()
+	s.conns = append(s.conns, conn)
+	s.connsMu.Unlock()
+	// Stop sweeps s.conns once, after closing s.stopped. A conn registered
+	// after that sweep (accept or tunnel dial racing with shutdown) would
+	// never be closed and its Recv below would block forever, wedging
+	// Stop's wg.Wait. The append above is serialized with the sweep by
+	// connsMu, so observing s.stopped closed here means the sweep may have
+	// already run: close the conn ourselves (double-close is safe).
+	select {
+	case <-s.stopped:
+		conn.Close()
+	default:
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			env, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			select {
+			case s.events <- event{env: env, conn: conn}:
+			case <-s.stopped:
+				return
+			}
+		}
+	}()
+}
+
+// Stop shuts the server down and waits for its goroutines.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stopped)
+		if s.listener != nil {
+			s.listener.Close()
+		}
+		if s.parentConn != nil {
+			s.parentConn.Close()
+		}
+		s.connsMu.Lock()
+		for _, c := range s.conns {
+			c.Close()
+		}
+		s.connsMu.Unlock()
+	})
+	s.wg.Wait()
+}
+
+// Addr returns the listen address (useful with TCP port 0).
+func (s *Server) Addr() string {
+	if s.listener != nil {
+		return s.listener.Addr()
+	}
+	return s.cfg.Addr
+}
+
+func (s *Server) mainLoop() {
+	defer s.wg.Done()
+	gossip := time.NewTicker(s.cfg.GossipPeriod)
+	defer gossip.Stop()
+	diffuse := time.NewTicker(s.cfg.DiffusionPeriod)
+	defer diffuse.Stop()
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case ev := <-s.events:
+			s.handle(ev)
+		case <-gossip.C:
+			s.doGossip()
+		case <-diffuse.C:
+			s.doDiffusion()
+		}
+	}
+}
+
+func (s *Server) handle(ev event) {
+	env := ev.env
+	now := time.Now()
+	switch env.Kind {
+	case netproto.TypeGossip:
+		if env.From == s.cfg.ParentID && !s.isRoot {
+			s.parentLoad = env.Load
+			s.parentKnown = true
+			return
+		}
+		// First gossip from an unknown conn registers a child.
+		if _, ok := s.childConns[env.From]; !ok {
+			s.childConns[env.From] = ev.conn
+			s.childFlow[env.From] = make(map[core.DocID]*rateWindow)
+		}
+		s.childLoad[env.From] = env.Load
+
+	case netproto.TypeRequest:
+		s.handleRequest(ev, now)
+
+	case netproto.TypeResponse:
+		key := pendingKey{origin: env.Origin, reqID: env.ReqID}
+		if down, ok := s.pending[key]; ok {
+			delete(s.pending, key)
+			s.sendOn(down, env)
+		}
+
+	case netproto.TypeDelegate:
+		s.nDelegIn++
+		s.gotDelegate = true
+		if env.Body != nil {
+			s.cache[env.Doc] = env.Body
+			s.installFilter(env.Doc)
+		}
+		if _, ok := s.cache[env.Doc]; ok {
+			s.targets[env.Doc] += env.Rate
+			s.sendOn(ev.conn, &netproto.Envelope{
+				Kind: netproto.TypeDelegateAck, From: s.cfg.ID, To: env.From,
+				Doc: env.Doc, Rate: env.Rate,
+			})
+		}
+
+	case netproto.TypeDelegateAck:
+		// Accepted in full in this implementation; nothing to reconcile.
+
+	case netproto.TypeShed:
+		s.nShedIn++
+		// Pick up shed duty only for documents we hold; otherwise the
+		// request flow simply continues to the home server.
+		if _, ok := s.cache[env.Doc]; ok {
+			s.targets[env.Doc] += env.Rate
+		}
+
+	case netproto.TypeTunnelFetch:
+		// Only the home can answer authoritatively.
+		if body, ok := s.cache[env.Doc]; ok {
+			s.sendOn(ev.conn, &netproto.Envelope{
+				Kind: netproto.TypeTunnelReply, From: s.cfg.ID, To: env.From,
+				Doc: env.Doc, Body: body,
+			})
+		}
+
+	case netproto.TypeTunnelReply:
+		if env.Body != nil {
+			s.cache[env.Doc] = env.Body
+			s.installFilter(env.Doc)
+		}
+
+	case netproto.TypeStatsQuery:
+		s.sendOn(ev.conn, &netproto.Envelope{
+			Kind: netproto.TypeStatsReply, From: s.cfg.ID, To: env.From,
+			Stats: s.snapshot(now),
+		})
+
+	case netproto.TypeShutdown:
+		go s.Stop()
+	}
+}
+
+// handleRequest implements the data path: the local router classifies the
+// packet; Extract serves it here, Pass forwards it toward the home server.
+func (s *Server) handleRequest(ev event, now time.Time) {
+	env := ev.env
+	// Account per-child forwarded flow (A_j^d) when the request came from a
+	// registered child, or local demand otherwise.
+	if flows, ok := s.childFlow[env.From]; ok {
+		w := flows[env.Doc]
+		if w == nil {
+			w = newRateWindow(s.cfg.Window, 8)
+			flows[env.Doc] = w
+		}
+		w.Add(now, 1)
+	} else {
+		w := s.localFlow[env.Doc]
+		if w == nil {
+			w = newRateWindow(s.cfg.Window, 8)
+			s.localFlow[env.Doc] = w
+		}
+		w.Add(now, 1)
+	}
+
+	if s.rt.Classify(env.Doc) == router.Extract || s.isRoot {
+		s.serveRequest(ev, now)
+		return
+	}
+	s.forwardUp(ev)
+}
+
+// forwardUp relays a request toward the home server, remembering which
+// connection to route the response back on.
+func (s *Server) forwardUp(ev event) {
+	env := ev.env
+	s.nForwarded++
+	key := pendingKey{origin: env.Origin, reqID: env.ReqID}
+	s.pending[key] = ev.conn
+	fwd := *env
+	fwd.From = s.cfg.ID
+	fwd.To = s.cfg.ParentID
+	fwd.Hops = env.Hops + 1
+	s.sendOn(s.parentConn, &fwd)
+}
+
+func (s *Server) serveRequest(ev event, now time.Time) {
+	env := ev.env
+	body, cached := s.cache[env.Doc]
+	if !cached && !s.isRoot {
+		// The filter extracted a document we no longer hold (install/evict
+		// race); keep the request moving toward the home server.
+		s.forwardUp(ev)
+		return
+	}
+	s.nServed++
+	s.totalServed.Add(now, 1)
+	w := s.served[env.Doc]
+	if w == nil {
+		w = newRateWindow(s.cfg.Window, 8)
+		s.served[env.Doc] = w
+	}
+	w.Add(now, 1)
+	s.sendOn(ev.conn, &netproto.Envelope{
+		Kind: netproto.TypeResponse, From: s.cfg.ID, To: env.Origin,
+		Doc: env.Doc, Origin: env.Origin, ReqID: env.ReqID,
+		ServedBy: s.cfg.ID, Hops: env.Hops,
+		Body: body, NotFound: !cached,
+	})
+}
+
+// installFilter wires the admission decision for one cached document: the
+// packet is extracted while the measured served rate lags the target rate.
+func (s *Server) installFilter(doc core.DocID) {
+	s.rt.Install(doc, router.FilterFunc(func(d core.DocID) bool {
+		w := s.served[d]
+		if w == nil {
+			return s.targets[d] > 0
+		}
+		return w.Rate(time.Now()) < s.targets[d]
+	}))
+}
+
+func (s *Server) doGossip() {
+	now := time.Now()
+	load := s.totalServed.Rate(now)
+	env := &netproto.Envelope{Kind: netproto.TypeGossip, From: s.cfg.ID, Load: load}
+	if s.parentConn != nil {
+		e := *env
+		e.To = s.cfg.ParentID
+		s.sendOn(s.parentConn, &e)
+		s.nGossip++
+	}
+	for id, conn := range s.childConns {
+		e := *env
+		e.To = id
+		s.sendOn(conn, &e)
+		s.nGossip++
+	}
+}
+
+// alpha returns the diffusion parameter: configured, or 1/(degree+1).
+func (s *Server) alpha() float64 {
+	if s.cfg.Alpha > 0 {
+		return s.cfg.Alpha
+	}
+	deg := len(s.childConns)
+	if !s.isRoot {
+		deg++
+	}
+	return 1.0 / float64(deg+1)
+}
+
+// doDiffusion runs the Figure 5 body on current local knowledge.
+func (s *Server) doDiffusion() {
+	now := time.Now()
+	load := s.totalServed.Rate(now)
+	a := s.alpha()
+
+	// (2.1) Delegate down to less-loaded children, capped by A_j.
+	for id, childLoad := range s.childLoad {
+		if load <= childLoad {
+			continue
+		}
+		want := a * (load - childLoad)
+		s.delegateDown(id, want, now)
+	}
+
+	// (2.2) Shed up toward a less-loaded parent.
+	if s.parentKnown && load > s.parentLoad {
+		want := a * (load - s.parentLoad)
+		s.shedUp(want, now)
+	}
+
+	// Claim passing flow when under-loaded (the "handle it if your rate is
+	// smaller than it should be" rule), and evaluate the tunneling trigger.
+	if s.parentKnown && load < s.parentLoad {
+		want := a * (s.parentLoad - load)
+		claimed := s.claimPassing(want, now)
+		if s.gotDelegate || claimed > 0 {
+			s.underFor = 0
+		} else {
+			s.underFor++
+			if s.cfg.Tunneling && s.underFor >= s.cfg.BarrierPatience {
+				s.tunnel(now)
+				s.underFor = 0
+			}
+		}
+	} else {
+		s.underFor = 0
+	}
+	s.gotDelegate = false
+}
+
+func (s *Server) delegateDown(child int, want float64, now time.Time) {
+	conn := s.childConns[child]
+	flows := s.childFlow[child]
+	if conn == nil || flows == nil {
+		return
+	}
+	type cand struct {
+		doc core.DocID
+		cap float64
+	}
+	var cands []cand
+	for doc, fw := range flows {
+		if _, ok := s.cache[doc]; !ok {
+			continue
+		}
+		flow := fw.Rate(now)
+		srv := 0.0
+		if w := s.served[doc]; w != nil {
+			srv = w.Rate(now)
+		}
+		cap := flow
+		if srv < cap {
+			cap = srv // can only hand off duty we are actually carrying
+		}
+		if cap > 0 {
+			cands = append(cands, cand{doc: doc, cap: cap})
+		}
+	}
+	// Largest stream first, deterministic tie-break by doc id.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && (cands[j].cap > cands[j-1].cap ||
+			(cands[j].cap == cands[j-1].cap && cands[j].doc < cands[j-1].doc)); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	moved := 0.0
+	for _, c := range cands {
+		if moved >= want {
+			break
+		}
+		amt := want - moved
+		if amt > c.cap {
+			amt = c.cap
+		}
+		s.targets[c.doc] -= amt
+		if s.targets[c.doc] < 0 {
+			s.targets[c.doc] = 0
+		}
+		s.nDelegOut++
+		s.sendOn(conn, &netproto.Envelope{
+			Kind: netproto.TypeDelegate, From: s.cfg.ID, To: child,
+			Doc: c.doc, Rate: amt, Body: s.cache[c.doc],
+		})
+		moved += amt
+	}
+}
+
+func (s *Server) shedUp(want float64, now time.Time) {
+	if s.parentConn == nil {
+		return
+	}
+	shed := 0.0
+	for doc, w := range s.served {
+		if shed >= want {
+			break
+		}
+		srv := w.Rate(now)
+		if srv <= 0 {
+			continue
+		}
+		amt := want - shed
+		if amt > srv {
+			amt = srv
+		}
+		s.targets[doc] -= amt
+		if s.targets[doc] < 0 {
+			s.targets[doc] = 0
+		}
+		s.nShedOut++
+		s.sendOn(s.parentConn, &netproto.Envelope{
+			Kind: netproto.TypeShed, From: s.cfg.ID, To: s.cfg.ParentID,
+			Doc: doc, Rate: amt,
+		})
+		shed += amt
+	}
+}
+
+// claimPassing raises targets on cached documents whose requests still flow
+// through this node, up to `want`; the upstream copies lose that flow
+// automatically. Returns the amount claimed.
+func (s *Server) claimPassing(want float64, now time.Time) float64 {
+	claimed := 0.0
+	for doc := range s.cache {
+		if claimed >= want {
+			break
+		}
+		flow := s.observedFlow(doc, now)
+		srv := 0.0
+		if w := s.served[doc]; w != nil {
+			srv = w.Rate(now)
+		}
+		spare := flow - srv
+		if spare <= 0 {
+			continue
+		}
+		amt := want - claimed
+		if amt > spare {
+			amt = spare
+		}
+		s.targets[doc] += amt
+		claimed += amt
+	}
+	return claimed
+}
+
+// observedFlow estimates the request rate for doc passing this node: child
+// forwarded flow plus locally injected demand.
+func (s *Server) observedFlow(doc core.DocID, now time.Time) float64 {
+	total := 0.0
+	for _, flows := range s.childFlow {
+		if w, ok := flows[doc]; ok {
+			total += w.Rate(now)
+		}
+	}
+	if w, ok := s.localFlow[doc]; ok {
+		total += w.Rate(now)
+	}
+	return total
+}
+
+// tunnel fetches the hottest forwarded-but-uncached document straight from
+// the home server (Section 5.2).
+func (s *Server) tunnel(now time.Time) {
+	if s.cfg.HomeAddr == "" || s.isRoot {
+		return
+	}
+	var best core.DocID
+	bestFlow := 0.0
+	consider := func(doc core.DocID, f float64) {
+		if _, cached := s.cache[doc]; cached {
+			return
+		}
+		if f > bestFlow {
+			best, bestFlow = doc, f
+		}
+	}
+	for _, flows := range s.childFlow {
+		for doc, w := range flows {
+			consider(doc, w.Rate(now))
+		}
+	}
+	for doc, w := range s.localFlow {
+		consider(doc, w.Rate(now))
+	}
+	if bestFlow <= 0 {
+		return
+	}
+	conn, err := transport.DialOn(s.cfg.Network, s.cfg.Addr, s.cfg.HomeAddr)
+	if err != nil {
+		return
+	}
+	s.nTunnels++
+	s.sendOn(conn, &netproto.Envelope{
+		Kind: netproto.TypeTunnelFetch, From: s.cfg.ID, Doc: best,
+	})
+	s.readLoop(conn)
+	// Pre-claim a share of the stream we already forward.
+	deficit := (s.parentLoad - s.totalServed.Rate(now)) / 2
+	claim := bestFlow
+	if claim > deficit {
+		claim = deficit
+	}
+	if claim > 0 {
+		s.targets[best] += claim
+	}
+}
+
+func (s *Server) sendOn(conn transport.Conn, env *netproto.Envelope) {
+	if conn == nil {
+		return
+	}
+	s.seq++
+	env.Seq = s.seq
+	env.V = netproto.Version
+	_ = conn.Send(env) // soft state: a failed send is equivalent to loss
+}
+
+func (s *Server) snapshot(now time.Time) *netproto.Stats {
+	st := &netproto.Stats{
+		Node:           s.cfg.ID,
+		Load:           s.totalServed.Rate(now),
+		Served:         s.nServed,
+		Forwarded:      s.nForwarded,
+		Targets:        make(map[core.DocID]float64, len(s.targets)),
+		GossipSent:     s.nGossip,
+		DelegationsIn:  s.nDelegIn,
+		DelegationsOut: s.nDelegOut,
+		ShedsIn:        s.nShedIn,
+		ShedsOut:       s.nShedOut,
+		Tunnels:        s.nTunnels,
+	}
+	st.CachedDocs = s.rt.Installed()
+	for d, t := range s.targets {
+		st.Targets[d] = t
+	}
+	rs := s.rt.Stats()
+	st.FilterStats = netproto.FilterStats{
+		Inspected: rs.Inspected, Extracted: rs.Extracted, Passed: rs.Passed,
+	}
+	return st
+}

@@ -1,0 +1,85 @@
+package server
+
+import "time"
+
+// rateWindow estimates an event rate (events/second) over a sliding window
+// using a ring of fixed-width buckets. It is used by servers to measure
+// their served load L_i and the per-child, per-document forwarded rates
+// A_j^d — the quantities the WebWave protocol bases decisions on.
+//
+// rateWindow is not safe for concurrent use; servers touch it only from
+// their main loop.
+type rateWindow struct {
+	bucketWidth time.Duration
+	buckets     []float64
+	times       []time.Time // start time of each bucket's interval
+	head        int         // index of the current bucket
+}
+
+// newRateWindow returns a window covering `span` with the given number of
+// buckets (more buckets = smoother estimate, slightly more work).
+func newRateWindow(span time.Duration, buckets int) *rateWindow {
+	if buckets < 2 {
+		buckets = 2
+	}
+	if span <= 0 {
+		span = time.Second
+	}
+	return &rateWindow{
+		bucketWidth: span / time.Duration(buckets),
+		buckets:     make([]float64, buckets),
+		times:       make([]time.Time, buckets),
+	}
+}
+
+// advance rotates the ring so the head bucket covers `now`.
+func (w *rateWindow) advance(now time.Time) {
+	if w.times[w.head].IsZero() {
+		w.times[w.head] = now.Truncate(w.bucketWidth)
+		return
+	}
+	for now.Sub(w.times[w.head]) >= w.bucketWidth {
+		next := (w.head + 1) % len(w.buckets)
+		w.times[next] = w.times[w.head].Add(w.bucketWidth)
+		w.buckets[next] = 0
+		w.head = next
+		// Bound the catch-up work after long idleness.
+		if now.Sub(w.times[w.head]) > w.bucketWidth*time.Duration(2*len(w.buckets)) {
+			for i := range w.buckets {
+				w.buckets[i] = 0
+				w.times[i] = time.Time{}
+			}
+			w.head = 0
+			w.times[0] = now.Truncate(w.bucketWidth)
+			return
+		}
+	}
+}
+
+// Add records n events at time now.
+func (w *rateWindow) Add(now time.Time, n float64) {
+	w.advance(now)
+	w.buckets[w.head] += n
+}
+
+// Rate returns the estimated events/second over the covered window.
+func (w *rateWindow) Rate(now time.Time) float64 {
+	w.advance(now)
+	total := 0.0
+	var span time.Duration
+	for i, t := range w.times {
+		if t.IsZero() {
+			continue
+		}
+		age := now.Sub(t)
+		if age < 0 || age >= w.bucketWidth*time.Duration(len(w.buckets)) {
+			continue
+		}
+		total += w.buckets[i]
+		span += w.bucketWidth
+	}
+	if span <= 0 {
+		return 0
+	}
+	return total / span.Seconds()
+}

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRateWindowSteadyRate(t *testing.T) {
+	w := newRateWindow(time.Second, 10)
+	base := time.Unix(1000, 0)
+	// 100 events/second for 2 seconds, 10ms apart.
+	for i := 0; i < 200; i++ {
+		w.Add(base.Add(time.Duration(i)*10*time.Millisecond), 1)
+	}
+	got := w.Rate(base.Add(2 * time.Second))
+	if math.Abs(got-100) > 15 {
+		t.Errorf("steady rate = %v, want ≈100", got)
+	}
+}
+
+func TestRateWindowDecaysAfterBurst(t *testing.T) {
+	w := newRateWindow(time.Second, 10)
+	base := time.Unix(1000, 0)
+	for i := 0; i < 100; i++ {
+		w.Add(base.Add(time.Duration(i)*time.Millisecond), 1)
+	}
+	during := w.Rate(base.Add(100 * time.Millisecond))
+	if during <= 0 {
+		t.Fatal("rate zero during burst")
+	}
+	after := w.Rate(base.Add(5 * time.Second))
+	if after != 0 {
+		t.Errorf("rate %v long after burst, want 0", after)
+	}
+}
+
+func TestRateWindowEmptyIsZero(t *testing.T) {
+	w := newRateWindow(time.Second, 8)
+	if got := w.Rate(time.Unix(5, 0)); got != 0 {
+		t.Errorf("empty window rate = %v", got)
+	}
+}
+
+func TestRateWindowWeightedAdds(t *testing.T) {
+	w := newRateWindow(time.Second, 4)
+	base := time.Unix(2000, 0)
+	w.Add(base, 50)
+	w.Add(base.Add(100*time.Millisecond), 50)
+	got := w.Rate(base.Add(200 * time.Millisecond))
+	if got <= 0 {
+		t.Errorf("weighted rate = %v", got)
+	}
+}
+
+func TestRateWindowLongIdleReset(t *testing.T) {
+	w := newRateWindow(time.Second, 4)
+	base := time.Unix(3000, 0)
+	w.Add(base, 1000)
+	// Rate long after must be 0, and the catch-up must not spin.
+	start := time.Now()
+	got := w.Rate(base.Add(24 * time.Hour))
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("idle catch-up too slow (unbounded rotation?)")
+	}
+	if got != 0 {
+		t.Errorf("rate after a day = %v", got)
+	}
+}
+
+func TestRateWindowDefensiveConstruction(t *testing.T) {
+	// Degenerate parameters are clamped, not fatal.
+	w := newRateWindow(0, 0)
+	w.Add(time.Unix(1, 0), 1)
+	_ = w.Rate(time.Unix(1, 0))
+}

@@ -1,0 +1,129 @@
+// Package sim is a small deterministic discrete-event simulation engine used
+// by the asynchronous WebWave simulations (gossip periods, diffusion periods
+// and bounded communication delays, Section 5.1 of the paper).
+//
+// Events execute in (time, insertion-sequence) order, so runs are
+// reproducible bit-for-bit for a fixed seed and schedule.
+package sim
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Engine is a discrete-event scheduler. The zero value is ready to use.
+// Engine is not safe for concurrent use; it models concurrency, it does not
+// employ it.
+type Engine struct {
+	queue eventHeap
+	now   float64
+	seq   int64
+	steps int64
+}
+
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past (t <
+// Now) clamps to Now: the event runs next, preserving determinism instead of
+// silently reordering history.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, event{time: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d time units after Now.
+func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+
+// Every schedules fn first at start and then every period units, for as long
+// as fn returns true. period must be positive.
+func (e *Engine) Every(start, period float64, fn func() bool) {
+	if period <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	var tick func()
+	next := start
+	tick = func() {
+		if !fn() {
+			return
+		}
+		next += period
+		e.At(next, tick)
+	}
+	e.At(start, tick)
+}
+
+// Step executes the earliest pending event. It returns false when the queue
+// is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.time
+	e.steps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the next event is
+// scheduled strictly after `until`. It returns the number of events
+// executed. Events exactly at `until` run.
+func (e *Engine) Run(until float64) int64 {
+	var count int64
+	for len(e.queue) > 0 && e.queue[0].time <= until {
+		e.Step()
+		count++
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return count
+}
+
+// RunAll executes events until the queue drains. maxEvents bounds runaway
+// schedules; pass a non-positive value for no bound.
+func (e *Engine) RunAll(maxEvents int64) int64 {
+	if maxEvents <= 0 {
+		maxEvents = math.MaxInt64
+	}
+	var count int64
+	for count < maxEvents && e.Step() {
+		count++
+	}
+	return count
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(3, func() { got = append(got, 3) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(2, func() { got = append(got, 2) })
+	e.RunAll(0)
+	if want := []int{1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+}
+
+func TestTieBreakByInsertion(t *testing.T) {
+	var e Engine
+	var got []string
+	e.At(1, func() { got = append(got, "a") })
+	e.At(1, func() { got = append(got, "b") })
+	e.At(1, func() { got = append(got, "c") })
+	e.RunAll(0)
+	if want := []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("tie order = %v, want %v", got, want)
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	var e Engine
+	var seen []float64
+	e.At(5, func() { seen = append(seen, e.Now()) })
+	e.At(10, func() { seen = append(seen, e.Now()) })
+	e.RunAll(0)
+	if want := []float64{5, 10}; !reflect.DeepEqual(seen, want) {
+		t.Errorf("times = %v, want %v", seen, want)
+	}
+	if e.Now() != 10 {
+		t.Errorf("final Now = %v", e.Now())
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	var e Engine
+	var at float64
+	e.At(4, func() {
+		e.After(2.5, func() { at = e.Now() })
+	})
+	e.RunAll(0)
+	if at != 6.5 {
+		t.Errorf("After fired at %v, want 6.5", at)
+	}
+}
+
+func TestSchedulingInPastClamps(t *testing.T) {
+	var e Engine
+	fired := false
+	e.At(5, func() {
+		e.At(1, func() { fired = true }) // in the past; must clamp to now
+	})
+	e.Run(5)
+	if !fired {
+		t.Error("past-scheduled event did not run by time 5")
+	}
+	if e.Now() != 5 {
+		t.Errorf("Now = %v, want 5", e.Now())
+	}
+}
+
+func TestEveryRepeatsUntilFalse(t *testing.T) {
+	var e Engine
+	count := 0
+	e.Every(0, 1, func() bool {
+		count++
+		return count < 4
+	})
+	e.RunAll(0)
+	if count != 4 {
+		t.Errorf("Every fired %d times, want 4", count)
+	}
+	if e.Now() != 3 {
+		t.Errorf("last firing at %v, want 3", e.Now())
+	}
+}
+
+func TestEveryPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Every(·,0,·) did not panic")
+		}
+	}()
+	var e Engine
+	e.Every(0, 0, func() bool { return false })
+}
+
+func TestRunUntilBoundary(t *testing.T) {
+	var e Engine
+	var got []float64
+	for _, tm := range []float64{1, 2, 3, 4} {
+		tm := tm
+		e.At(tm, func() { got = append(got, tm) })
+	}
+	n := e.Run(2) // events exactly at the boundary run
+	if n != 2 {
+		t.Errorf("Run(2) executed %d events, want 2", n)
+	}
+	if want := []float64{1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("executed %v, want %v", got, want)
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	// Run advances Now to the boundary even with no event there.
+	var e2 Engine
+	e2.Run(7)
+	if e2.Now() != 7 {
+		t.Errorf("empty Run(7) Now = %v", e2.Now())
+	}
+}
+
+func TestRunAllBounded(t *testing.T) {
+	var e Engine
+	count := 0
+	e.Every(0, 1, func() bool {
+		count++
+		return true // would run forever
+	})
+	n := e.RunAll(10)
+	if n != 10 || count != 10 {
+		t.Errorf("bounded RunAll executed %d/%d", n, count)
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	var e Engine
+	e.At(1, func() {})
+	e.At(2, func() {})
+	e.RunAll(0)
+	if e.Steps() != 2 {
+		t.Errorf("Steps = %d, want 2", e.Steps())
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []int {
+		var e Engine
+		var got []int
+		e.Every(0, 2, func() bool { got = append(got, 0); return e.Now() < 10 })
+		e.Every(1, 2, func() bool { got = append(got, 1); return e.Now() < 10 })
+		e.Every(0, 3, func() bool { got = append(got, 2); return e.Now() < 10 })
+		e.RunAll(0)
+		return got
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("identical schedules interleaved differently")
+	}
+}

@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// GeometricFit is the result of fitting the convergence model
+//
+//	y_t ≈ A · Gamma^t
+//
+// to a distance-versus-iteration series, mirroring the paper's S-PLUS
+// nonlinear regression (Section 5.1): "Given an objective function
+// specifying the shape of the model, and the simulation results, S-PLUS
+// estimates the desired parameter (i.e., γ) by optimizing the objective
+// function such that the sum of the squared residuals is minimized."
+type GeometricFit struct {
+	A          float64 // amplitude at t = 0
+	Gamma      float64 // per-iteration contraction factor
+	StdErrA    float64 // standard error of A
+	StdErrG    float64 // standard error of Gamma (the paper reports this)
+	SSR        float64 // sum of squared residuals at the optimum
+	Iterations int     // Gauss-Newton iterations performed
+	R2         float64 // coefficient of determination
+}
+
+func (g GeometricFit) String() string {
+	return fmt.Sprintf("gamma=%.6f (se %.6f) a=%.4g ssr=%.4g r2=%.4f",
+		g.Gamma, g.StdErrG, g.A, g.SSR, g.R2)
+}
+
+// FitGeometric fits y_t = A·Gamma^t to the series ys (t = 0, 1, 2, ...)
+// by nonlinear least squares. Initialization comes from a log-linear
+// regression on the strictly positive prefix of ys; refinement uses damped
+// Gauss-Newton on the original (non-log) objective so the estimate matches
+// the paper's squared-residual criterion. Standard errors derive from the
+// Jacobian at the optimum: Cov = σ²(JᵀJ)⁻¹ with σ² = SSR/(n−2).
+func FitGeometric(ys []float64) (GeometricFit, error) {
+	// Use only the prefix before the series hits (numerical) zero: once the
+	// simulation reaches the fixed point exactly, trailing zeros carry no
+	// information about the rate and would bias the fit.
+	n := len(ys)
+	for n > 0 && ys[n-1] <= 0 {
+		n--
+	}
+	series := ys[:n]
+	if n < 3 {
+		return GeometricFit{}, fmt.Errorf("fit geometric: %w (need >= 3 positive points, have %d)", ErrInsufficientData, n)
+	}
+
+	// Log-linear initialization over positive entries.
+	var ts, ls []float64
+	for t, y := range series {
+		if y > 0 {
+			ts = append(ts, float64(t))
+			ls = append(ls, math.Log(y))
+		}
+	}
+	if len(ts) < 2 {
+		return GeometricFit{}, fmt.Errorf("fit geometric: %w (need >= 2 positive points)", ErrInsufficientData)
+	}
+	lin, err := FitLinear(ts, ls)
+	if err != nil {
+		return GeometricFit{}, fmt.Errorf("fit geometric: init: %w", err)
+	}
+	a := math.Exp(lin.Intercept)
+	g := math.Exp(lin.Slope)
+	if g <= 0 || g >= 2 || math.IsNaN(g) {
+		g = 0.9
+	}
+
+	// Damped Gauss-Newton on r_t = y_t − a·g^t.
+	const (
+		maxIter = 200
+		tol     = 1e-12
+	)
+	ssr := geometricSSR(series, a, g)
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		// Normal equations JᵀJ Δ = Jᵀr with J columns (∂f/∂a, ∂f/∂g).
+		var jaa, jag, jgg, ra, rg float64
+		for t, y := range series {
+			ft := float64(t)
+			gt := math.Pow(g, ft)
+			fa := gt // ∂f/∂a
+			var fg float64
+			if t > 0 {
+				fg = a * ft * math.Pow(g, ft-1) // ∂f/∂g
+			}
+			r := y - a*gt
+			jaa += fa * fa
+			jag += fa * fg
+			jgg += fg * fg
+			ra += fa * r
+			rg += fg * r
+		}
+		det := jaa*jgg - jag*jag
+		if math.Abs(det) < 1e-300 {
+			break
+		}
+		da := (jgg*ra - jag*rg) / det
+		dg := (jaa*rg - jag*ra) / det
+
+		// Backtracking line search keeps the step inside the valid region
+		// (a > 0, 0 < g < 1.5) and ensures SSR decreases.
+		step := 1.0
+		improved := false
+		for k := 0; k < 30; k++ {
+			na, ng := a+step*da, g+step*dg
+			if na > 0 && ng > 1e-9 && ng < 1.5 {
+				if nssr := geometricSSR(series, na, ng); nssr < ssr {
+					a, g, ssr = na, ng, nssr
+					improved = true
+					break
+				}
+			}
+			step /= 2
+		}
+		if !improved {
+			break
+		}
+		if step*math.Hypot(da, dg) < tol {
+			break
+		}
+	}
+
+	fit := GeometricFit{A: a, Gamma: g, SSR: ssr, Iterations: iters}
+
+	// Standard errors from the Jacobian at the optimum.
+	if n > 2 {
+		var jaa, jag, jgg float64
+		for t := range series {
+			ft := float64(t)
+			fa := math.Pow(g, ft)
+			var fg float64
+			if t > 0 {
+				fg = a * ft * math.Pow(g, ft-1)
+			}
+			jaa += fa * fa
+			jag += fa * fg
+			jgg += fg * fg
+		}
+		det := jaa*jgg - jag*jag
+		if det > 1e-300 {
+			sigma2 := ssr / float64(n-2)
+			fit.StdErrA = math.Sqrt(sigma2 * jgg / det)
+			fit.StdErrG = math.Sqrt(sigma2 * jaa / det)
+		}
+	}
+
+	// R² against the mean model.
+	meanY := Mean(series)
+	var tss float64
+	for _, y := range series {
+		d := y - meanY
+		tss += d * d
+	}
+	if tss > 0 {
+		fit.R2 = 1 - ssr/tss
+	}
+	return fit, nil
+}
+
+func geometricSSR(ys []float64, a, g float64) float64 {
+	s := 0.0
+	for t, y := range ys {
+		r := y - a*math.Pow(g, float64(t))
+		s += r * r
+	}
+	return s
+}
+
+// ContractionRatios returns the per-step ratios y_{t+1}/y_t for the strictly
+// positive entries of the series. For an exactly geometric series every
+// ratio equals Gamma; the spread of the ratios diagnoses how well the
+// geometric model describes the data.
+func ContractionRatios(ys []float64) []float64 {
+	var out []float64
+	for t := 0; t+1 < len(ys); t++ {
+		if ys[t] > 0 && ys[t+1] > 0 {
+			out = append(out, ys[t+1]/ys[t])
+		}
+	}
+	return out
+}
+
+// BoundHolds reports whether the series is dominated by a·γ^t for all t
+// (within a relative slack), i.e. whether the Cybenko-style exponential
+// bound ‖D^t x − u‖ ≤ γ^t ‖x(0) − u‖ holds for the measured data.
+func BoundHolds(ys []float64, a, gamma, slack float64) bool {
+	for t, y := range ys {
+		bound := a * math.Pow(gamma, float64(t))
+		if y > bound*(1+slack)+1e-12 {
+			return false
+		}
+	}
+	return true
+}

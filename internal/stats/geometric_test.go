@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func geomSeries(a, g float64, n int) []float64 {
+	out := make([]float64, n)
+	for t := range out {
+		out[t] = a * math.Pow(g, float64(t))
+	}
+	return out
+}
+
+func TestFitGeometricExact(t *testing.T) {
+	tests := []struct {
+		name string
+		a, g float64
+	}{
+		{"paperish", 100, 0.830734},
+		{"fast", 50, 0.5},
+		{"slow", 2000, 0.98},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			fit, err := FitGeometric(geomSeries(tc.a, tc.g, 60))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(fit.Gamma-tc.g) > 1e-6 {
+				t.Errorf("Gamma = %v, want %v", fit.Gamma, tc.g)
+			}
+			if math.Abs(fit.A-tc.a) > 1e-4*tc.a {
+				t.Errorf("A = %v, want %v", fit.A, tc.a)
+			}
+			if fit.SSR > 1e-12*tc.a*tc.a {
+				t.Errorf("SSR = %v on exact data", fit.SSR)
+			}
+			// Standard errors on exact data are ~0.
+			if fit.StdErrG > 1e-6 {
+				t.Errorf("StdErrG = %v on exact data", fit.StdErrG)
+			}
+		})
+	}
+}
+
+func TestFitGeometricNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ys := geomSeries(100, 0.85, 80)
+	for i := range ys {
+		ys[i] *= 1 + 0.05*(rng.Float64()-0.5)
+	}
+	fit, err := FitGeometric(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Gamma-0.85) > 0.02 {
+		t.Errorf("Gamma = %v, want ≈0.85", fit.Gamma)
+	}
+	if fit.StdErrG <= 0 {
+		t.Error("StdErrG should be positive on noisy data")
+	}
+	if fit.R2 < 0.95 {
+		t.Errorf("R2 = %v, want > 0.95", fit.R2)
+	}
+}
+
+func TestFitGeometricTrailingZeros(t *testing.T) {
+	// A run that hits the fixed point exactly: zeros must not bias the fit.
+	ys := append(geomSeries(10, 0.5, 20), 0, 0, 0, 0)
+	fit, err := FitGeometric(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Gamma-0.5) > 1e-6 {
+		t.Errorf("Gamma = %v with trailing zeros, want 0.5", fit.Gamma)
+	}
+}
+
+func TestFitGeometricInsufficient(t *testing.T) {
+	if _, err := FitGeometric([]float64{1, 0.5}); err == nil {
+		t.Error("two points accepted")
+	}
+	if _, err := FitGeometric(nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := FitGeometric([]float64{0, 0, 0, 0}); err == nil {
+		t.Error("all-zero series accepted")
+	}
+}
+
+func TestFitGeometricInteriorZeros(t *testing.T) {
+	// An interior zero (measurement glitch) must not break the fit.
+	ys := geomSeries(100, 0.8, 30)
+	ys[7] = 0
+	fit, err := FitGeometric(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Gamma-0.8) > 0.05 {
+		t.Errorf("Gamma = %v with interior zero", fit.Gamma)
+	}
+}
+
+func TestFitGeometricString(t *testing.T) {
+	fit, err := FitGeometric(geomSeries(10, 0.7, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestContractionRatios(t *testing.T) {
+	ys := geomSeries(8, 0.5, 5)
+	rs := ContractionRatios(ys)
+	if len(rs) != 4 {
+		t.Fatalf("got %d ratios, want 4", len(rs))
+	}
+	for _, r := range rs {
+		if math.Abs(r-0.5) > 1e-12 {
+			t.Errorf("ratio = %v, want 0.5", r)
+		}
+	}
+	if got := ContractionRatios([]float64{1, 0, 2}); len(got) != 0 {
+		t.Errorf("ratios across zeros = %v", got)
+	}
+}
+
+func TestBoundHolds(t *testing.T) {
+	ys := geomSeries(100, 0.8, 20)
+	if !BoundHolds(ys, 100, 0.8, 1e-9) {
+		t.Error("exact geometric series violates its own bound")
+	}
+	if !BoundHolds(ys, 100, 0.9, 0) {
+		t.Error("looser gamma must dominate")
+	}
+	if BoundHolds(ys, 100, 0.7, 1e-9) {
+		t.Error("tighter gamma must fail")
+	}
+	if !BoundHolds(nil, 1, 0.5, 0) {
+		t.Error("empty series should hold vacuously")
+	}
+}

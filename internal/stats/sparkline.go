@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"strings"
+)
+
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series as a fixed-width unicode mini-chart, useful
+// for showing convergence trajectories in CLI output. Values are
+// down-sampled to `width` columns by bucket-averaging and scaled to the
+// series range. An empty series yields an empty string.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return ""
+	}
+	cols := resample(values, width)
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range cols {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range cols {
+		idx := 0
+		if max > min {
+			idx = int(math.Round((v - min) / (max - min) * float64(len(sparkLevels)-1)))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// LogSparkline renders the series on a log10 scale — the natural view for
+// geometric convergence, where a straight descent means distance ≈ a·γ^t.
+// Non-positive values clamp to the smallest positive value in the series.
+func LogSparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	smallest := math.Inf(1)
+	for _, v := range values {
+		if v > 0 && v < smallest {
+			smallest = v
+		}
+	}
+	if math.IsInf(smallest, 1) {
+		return Sparkline(values, width)
+	}
+	logs := make([]float64, len(values))
+	for i, v := range values {
+		if v < smallest {
+			v = smallest
+		}
+		logs[i] = math.Log10(v)
+	}
+	return Sparkline(logs, width)
+}
+
+// resample bucket-averages values into exactly width columns (or fewer when
+// the input is shorter than the width).
+func resample(values []float64, width int) []float64 {
+	if len(values) <= width {
+		out := make([]float64, len(values))
+		copy(out, values)
+		return out
+	}
+	out := make([]float64, width)
+	for c := 0; c < width; c++ {
+		lo := c * len(values) / width
+		hi := (c + 1) * len(values) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[c] = sum / float64(hi-lo)
+	}
+	return out
+}

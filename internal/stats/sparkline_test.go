@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty series should render empty")
+	}
+	if Sparkline([]float64{1, 2}, 0) != "" {
+		t.Error("zero width should render empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("width = %d, want 8", utf8.RuneCountInString(s))
+	}
+	// Monotone input yields the full ramp.
+	if s != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp = %q", s)
+	}
+}
+
+func TestSparklineConstantSeries(t *testing.T) {
+	s := Sparkline([]float64{5, 5, 5}, 3)
+	if utf8.RuneCountInString(s) != 3 {
+		t.Fatalf("width = %d", utf8.RuneCountInString(s))
+	}
+	// All columns identical.
+	runes := []rune(s)
+	for _, r := range runes {
+		if r != runes[0] {
+			t.Errorf("constant series rendered unevenly: %q", s)
+		}
+	}
+}
+
+func TestSparklineDownsamples(t *testing.T) {
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	s := Sparkline(values, 20)
+	if utf8.RuneCountInString(s) != 20 {
+		t.Fatalf("width = %d, want 20", utf8.RuneCountInString(s))
+	}
+	if !strings.HasPrefix(s, "▁") || !strings.HasSuffix(s, "█") {
+		t.Errorf("ramp endpoints wrong: %q", s)
+	}
+}
+
+func TestLogSparklineGeometric(t *testing.T) {
+	// Geometric decay is a straight line in log space: the log sparkline
+	// of a·γ^t must be a strictly descending ramp.
+	values := make([]float64, 64)
+	for i := range values {
+		values[i] = 1000 * math.Pow(0.8, float64(i))
+	}
+	s := LogSparkline(values, 8)
+	if s != "█▇▆▅▄▃▂▁" {
+		t.Errorf("log sparkline = %q, want a clean descending ramp", s)
+	}
+	// Zeros do not break it.
+	values = append(values, 0, 0)
+	if out := LogSparkline(values, 8); utf8.RuneCountInString(out) != 8 {
+		t.Errorf("log sparkline with zeros = %q", out)
+	}
+	// All-zero falls back to the linear rendering.
+	if out := LogSparkline([]float64{0, 0, 0}, 3); utf8.RuneCountInString(out) != 3 {
+		t.Errorf("all-zero log sparkline = %q", out)
+	}
+	if LogSparkline(nil, 5) != "" {
+		t.Error("empty log sparkline should be empty")
+	}
+}

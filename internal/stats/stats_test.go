@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestDistances(t *testing.T) {
+	a := []float64{0, 3}
+	b := []float64{4, 0}
+	if got := Euclidean(a, b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Euclidean = %v, want 5", got)
+	}
+	if got := L1(a, b); got != 7 {
+		t.Errorf("L1 = %v, want 7", got)
+	}
+	if got := LInf(a, b); got != 4 {
+		t.Errorf("LInf = %v, want 4", got)
+	}
+	if got := Euclidean(a, a); got != 0 {
+		t.Errorf("Euclidean(a,a) = %v", got)
+	}
+}
+
+func TestDistancePanicsOnLengthMismatch(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"euclidean": func() { Euclidean([]float64{1}, []float64{1, 2}) },
+		"l1":        func() { L1([]float64{1}, []float64{1, 2}) },
+		"linf":      func() { LInf([]float64{1}, []float64{1, 2}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("length mismatch did not panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Errorf("Norm2(nil) = %v", got)
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Unbiased sample variance of the classic dataset: 32/7.
+	if got := Variance(xs); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs not zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5},
+	}
+	for _, tc := range tests {
+		if got := Percentile(xs, tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+	// Input must not be mutated (Percentile sorts a copy).
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("Summary.String empty")
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("Summarize(nil).N = %d", z.N)
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 1 + 2x
+	fit, err := FitLinear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Intercept-1) > 1e-12 || math.Abs(fit.Slope-2) > 1e-12 {
+		t.Errorf("fit = %+v, want intercept 1 slope 2", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitLinear([]float64{1}, []float64{1}); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("single point error = %v", err)
+	}
+	if _, err := FitLinear([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("zero-variance x accepted")
+	}
+}

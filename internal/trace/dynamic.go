@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+
+	"webwave/internal/core"
+)
+
+// A RateProcess produces the spontaneous request-rate vector for each
+// simulation round — the time-varying workloads behind the paper's closing
+// question about "the dynamics of WebWave under erratic request rates" and
+// its stability-under-realistic-load future work (the Crovella–Bestavros
+// self-similarity citation).
+//
+// Implementations must be deterministic: Rates(t) depends only on t and the
+// construction-time seed, so a run can be replayed bit-for-bit.
+type RateProcess interface {
+	// Rates returns the spontaneous rate vector at round t (t >= 0). The
+	// caller must not retain or mutate the returned slice across calls.
+	Rates(t int) core.Vector
+	// Len returns the number of nodes.
+	Len() int
+}
+
+// Sinusoid is a smoothly drifting workload: node i's rate oscillates
+// around Base[i] with amplitude Amp[i] and a per-node phase, so demand
+// continuously migrates around the tree and the TLB target never stops
+// moving.
+type Sinusoid struct {
+	Base   core.Vector
+	Amp    core.Vector
+	Period int // rounds per full cycle
+	phase  []float64
+	out    core.Vector
+}
+
+// NewSinusoid builds a sinusoidal process with uniformly random phases.
+// Amplitudes are clamped so rates stay non-negative.
+func NewSinusoid(base core.Vector, relAmp float64, period int, rng *rand.Rand) *Sinusoid {
+	n := len(base)
+	s := &Sinusoid{
+		Base:   core.CloneVec(base),
+		Amp:    make(core.Vector, n),
+		Period: period,
+		phase:  make([]float64, n),
+		out:    make(core.Vector, n),
+	}
+	if s.Period <= 0 {
+		s.Period = 100
+	}
+	for i := range s.Amp {
+		a := relAmp
+		if a < 0 {
+			a = 0
+		}
+		if a > 1 {
+			a = 1
+		}
+		s.Amp[i] = a * base[i]
+		s.phase[i] = 2 * math.Pi * rng.Float64()
+	}
+	return s
+}
+
+// Rates implements RateProcess.
+func (s *Sinusoid) Rates(t int) core.Vector {
+	w := 2 * math.Pi / float64(s.Period)
+	for i := range s.out {
+		v := s.Base[i] + s.Amp[i]*math.Sin(w*float64(t)+s.phase[i])
+		if v < 0 {
+			v = 0
+		}
+		s.out[i] = v
+	}
+	return s.out
+}
+
+// Len implements RateProcess.
+func (s *Sinusoid) Len() int { return len(s.Base) }
+
+// FlashCrowd models the canonical hot-document event: background demand
+// everywhere, then at round Start the Hot nodes' spontaneous rate
+// multiplies by Factor for Duration rounds and drops back — the workload
+// the paper's title ("hot published documents") is about.
+type FlashCrowd struct {
+	Base     core.Vector
+	Hot      []int
+	Factor   float64
+	Start    int
+	Duration int
+	out      core.Vector
+}
+
+// NewFlashCrowd builds a flash-crowd process. Factor < 1 is clamped to 1.
+func NewFlashCrowd(base core.Vector, hot []int, factor float64, start, duration int) *FlashCrowd {
+	if factor < 1 {
+		factor = 1
+	}
+	return &FlashCrowd{
+		Base:     core.CloneVec(base),
+		Hot:      append([]int(nil), hot...),
+		Factor:   factor,
+		Start:    start,
+		Duration: duration,
+		out:      make(core.Vector, len(base)),
+	}
+}
+
+// Active reports whether the crowd is in progress at round t.
+func (f *FlashCrowd) Active(t int) bool {
+	return t >= f.Start && t < f.Start+f.Duration
+}
+
+// Rates implements RateProcess.
+func (f *FlashCrowd) Rates(t int) core.Vector {
+	copy(f.out, f.Base)
+	if f.Active(t) {
+		for _, v := range f.Hot {
+			if v >= 0 && v < len(f.out) {
+				f.out[v] *= f.Factor
+			}
+		}
+	}
+	return f.out
+}
+
+// Len implements RateProcess.
+func (f *FlashCrowd) Len() int { return len(f.Base) }
+
+// RandomWalk jitters every node's rate multiplicatively each round within
+// [1-Step, 1+Step], clamped to [Lo, Hi] — sustained, unstructured churn.
+// The walk is regenerated deterministically from the seed for any t, at the
+// cost of replaying t rounds, so random access stays reproducible.
+type RandomWalk struct {
+	Lo, Hi float64
+	Step   float64
+	seed   int64
+	n      int
+
+	cur   core.Vector
+	curT  int
+	rng   *rand.Rand
+	start core.Vector
+}
+
+// NewRandomWalk builds a walk starting from start.
+func NewRandomWalk(start core.Vector, step, lo, hi float64, seed int64) *RandomWalk {
+	w := &RandomWalk{
+		Lo: lo, Hi: hi, Step: step, seed: seed, n: len(start),
+		start: core.CloneVec(start),
+	}
+	w.reset()
+	return w
+}
+
+func (w *RandomWalk) reset() {
+	w.rng = rand.New(rand.NewSource(w.seed))
+	w.cur = core.CloneVec(w.start)
+	w.curT = 0
+}
+
+// Rates implements RateProcess.
+func (w *RandomWalk) Rates(t int) core.Vector {
+	if t < w.curT {
+		w.reset()
+	}
+	for w.curT < t {
+		for i := range w.cur {
+			f := 1 + w.Step*(2*w.rng.Float64()-1)
+			v := w.cur[i] * f
+			if v < w.Lo {
+				v = w.Lo
+			}
+			if v > w.Hi {
+				v = w.Hi
+			}
+			w.cur[i] = v
+		}
+		w.curT++
+	}
+	return w.cur
+}
+
+// Len implements RateProcess.
+func (w *RandomWalk) Len() int { return w.n }
+
+// Constant adapts a fixed rate vector to RateProcess (the paper's own
+// steady-state assumption), useful as the control arm of stability
+// experiments.
+type Constant struct {
+	V core.Vector
+}
+
+// Rates implements RateProcess.
+func (c Constant) Rates(int) core.Vector { return c.V }
+
+// Len implements RateProcess.
+func (c Constant) Len() int { return len(c.V) }
+
+var (
+	_ RateProcess = (*Sinusoid)(nil)
+	_ RateProcess = (*FlashCrowd)(nil)
+	_ RateProcess = (*RandomWalk)(nil)
+	_ RateProcess = Constant{}
+)

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"webwave/internal/core"
+)
+
+func TestSinusoidOscillatesAroundBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := core.Vector{100, 200, 50}
+	s := NewSinusoid(base, 0.5, 40, rng)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	min := core.CloneVec(base)
+	max := core.CloneVec(base)
+	var sum core.Vector = make(core.Vector, 3)
+	for round := 0; round < 400; round++ {
+		r := s.Rates(round)
+		for i, v := range r {
+			if v < 0 {
+				t.Fatalf("negative rate %v at round %d", v, round)
+			}
+			if v < min[i] {
+				min[i] = v
+			}
+			if v > max[i] {
+				max[i] = v
+			}
+			sum[i] += v
+		}
+	}
+	for i := range base {
+		if max[i] <= base[i] || min[i] >= base[i] {
+			t.Errorf("node %d never crossed its base: min %v max %v base %v", i, min[i], max[i], base[i])
+		}
+		mean := sum[i] / 400
+		if math.Abs(mean-base[i]) > 0.15*base[i] {
+			t.Errorf("node %d mean %v drifted from base %v", i, mean, base[i])
+		}
+		if max[i] > 1.55*base[i] {
+			t.Errorf("node %d amplitude overshoot: max %v vs base %v", i, max[i], base[i])
+		}
+	}
+}
+
+func TestSinusoidDeterministicAndPeriodic(t *testing.T) {
+	base := core.Vector{10, 20}
+	a := NewSinusoid(base, 0.3, 50, rand.New(rand.NewSource(7)))
+	b := NewSinusoid(base, 0.3, 50, rand.New(rand.NewSource(7)))
+	for _, round := range []int{0, 13, 49, 50, 99, 100} {
+		ra := core.CloneVec(a.Rates(round))
+		rb := core.CloneVec(b.Rates(round))
+		if !core.VecAlmostEqual(ra, rb, 1e-12) {
+			t.Fatalf("same seed diverged at round %d: %v vs %v", round, ra, rb)
+		}
+	}
+	// Full period repeats.
+	r0 := core.CloneVec(a.Rates(3))
+	r1 := core.CloneVec(a.Rates(53))
+	if !core.VecAlmostEqual(r0, r1, 1e-9) {
+		t.Errorf("period 50 not periodic: %v vs %v", r0, r1)
+	}
+}
+
+func TestFlashCrowdWindows(t *testing.T) {
+	base := core.Vector{10, 10, 10, 10}
+	f := NewFlashCrowd(base, []int{2}, 50, 5, 10)
+	for _, tc := range []struct {
+		round  int
+		active bool
+	}{
+		{0, false}, {4, false}, {5, true}, {14, true}, {15, false}, {100, false},
+	} {
+		if got := f.Active(tc.round); got != tc.active {
+			t.Errorf("Active(%d) = %v, want %v", tc.round, got, tc.active)
+		}
+		r := f.Rates(tc.round)
+		want := 10.0
+		if tc.active {
+			want = 500
+		}
+		if r[2] != want {
+			t.Errorf("round %d: hot rate = %v, want %v", tc.round, r[2], want)
+		}
+		if r[0] != 10 || r[1] != 10 || r[3] != 10 {
+			t.Errorf("round %d: cold rates disturbed: %v", tc.round, r)
+		}
+	}
+}
+
+func TestFlashCrowdClampsFactorAndIgnoresBadNodes(t *testing.T) {
+	f := NewFlashCrowd(core.Vector{5}, []int{-1, 7, 0}, 0.2, 0, 10)
+	if f.Factor != 1 {
+		t.Errorf("Factor = %v, want clamped to 1", f.Factor)
+	}
+	r := f.Rates(0) // must not panic on out-of-range hot nodes
+	if r[0] != 5 {
+		t.Errorf("rate = %v, want 5 (factor clamped)", r[0])
+	}
+}
+
+func TestRandomWalkBoundsAndDeterminism(t *testing.T) {
+	start := core.Vector{50, 50, 50}
+	w := NewRandomWalk(start, 0.2, 10, 100, 3)
+	for round := 0; round < 200; round++ {
+		for i, v := range w.Rates(round) {
+			if v < 10 || v > 100 {
+				t.Fatalf("round %d node %d rate %v out of [10,100]", round, i, v)
+			}
+		}
+	}
+	// Random access backwards replays deterministically.
+	at50 := core.CloneVec(w.Rates(50))
+	w.Rates(120)
+	again := core.CloneVec(w.Rates(50))
+	if !core.VecAlmostEqual(at50, again, 1e-12) {
+		t.Errorf("walk not replayable: %v vs %v", at50, again)
+	}
+	// Two instances with the same seed agree.
+	w2 := NewRandomWalk(start, 0.2, 10, 100, 3)
+	if !core.VecAlmostEqual(w.Rates(77), w2.Rates(77), 1e-12) {
+		t.Error("same-seed walks diverged")
+	}
+	// Different seeds diverge.
+	w3 := NewRandomWalk(start, 0.2, 10, 100, 4)
+	if core.VecAlmostEqual(w.Rates(77), w3.Rates(77), 1e-12) {
+		t.Error("different-seed walks identical")
+	}
+}
+
+func TestConstantProcess(t *testing.T) {
+	c := Constant{V: core.Vector{1, 2, 3}}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if !core.VecAlmostEqual(c.Rates(0), c.Rates(999), 0) {
+		t.Error("constant process varied")
+	}
+}

@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"webwave/internal/core"
+	"webwave/internal/tree"
+)
+
+func TestUniformRatesRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := UniformRates(500, 10, 20, rng)
+	if len(e) != 500 {
+		t.Fatalf("len = %d", len(e))
+	}
+	for _, x := range e {
+		if x < 10 || x >= 20 {
+			t.Fatalf("rate %v outside [10,20)", x)
+		}
+	}
+}
+
+func TestExponentialRatesMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := ExponentialRates(20000, 50, rng)
+	mean := core.SumVec(e) / float64(len(e))
+	if math.Abs(mean-50) > 2 {
+		t.Errorf("mean = %v, want ≈50", mean)
+	}
+	for _, x := range e {
+		if x < 0 {
+			t.Fatal("negative exponential rate")
+		}
+	}
+}
+
+func TestLeafOnlyRates(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent, 0, 0, 1, 1})
+	rng := rand.New(rand.NewSource(3))
+	e := LeafOnlyRates(tr, 100, rng)
+	if math.Abs(core.SumVec(e)-100) > 1e-9 {
+		t.Errorf("total = %v, want 100", core.SumVec(e))
+	}
+	for v := 0; v < tr.Len(); v++ {
+		if !tr.IsLeaf(v) && e[v] != 0 {
+			t.Errorf("interior node %d has rate %v", v, e[v])
+		}
+	}
+}
+
+func TestSpikeRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	e := SpikeRates(10, 5, 100, 3, rng)
+	spikes := 0
+	for _, x := range e {
+		switch {
+		case x == 5:
+		case x == 105:
+			spikes++
+		default:
+			t.Fatalf("unexpected rate %v", x)
+		}
+	}
+	if spikes != 3 {
+		t.Errorf("spikes = %d, want 3", spikes)
+	}
+	// k > n clamps.
+	e2 := SpikeRates(2, 0, 1, 5, rng)
+	if core.SumVec(e2) != 2 {
+		t.Errorf("clamped spikes sum = %v", core.SumVec(e2))
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(100, 1.0)
+	if math.Abs(core.SumVec(w)-1) > 1e-9 {
+		t.Errorf("weights sum = %v", core.SumVec(w))
+	}
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(w))) {
+		t.Error("Zipf weights not descending")
+	}
+	// s=0 is uniform.
+	u := ZipfWeights(10, 0)
+	for _, x := range u {
+		if math.Abs(x-0.1) > 1e-12 {
+			t.Errorf("uniform weight %v", x)
+		}
+	}
+	if ZipfWeights(0, 1) != nil {
+		t.Error("ZipfWeights(0) != nil")
+	}
+}
+
+func TestZipfDemand(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent, 0, 0, 1, 1, 2, 2})
+	rng := rand.New(rand.NewSource(5))
+	d, err := ZipfDemand(tr, ZipfDemandConfig{NumDocs: 10, Skew: 1, TotalRate: 1000, LeavesOnly: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(tr.Len()); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Total()-1000) > 1e-6 {
+		t.Errorf("total = %v, want 1000", d.Total())
+	}
+	totals := d.NodeTotals()
+	for v := 0; v < tr.Len(); v++ {
+		if !tr.IsLeaf(v) && totals[v] != 0 {
+			t.Errorf("interior node %d demands %v with LeavesOnly", v, totals[v])
+		}
+	}
+	docTotals := d.DocTotals()
+	if len(docTotals) != 10 {
+		t.Fatalf("doc totals len = %d", len(docTotals))
+	}
+	if math.Abs(core.SumVec(docTotals)-1000) > 1e-6 {
+		t.Errorf("doc totals sum = %v", core.SumVec(docTotals))
+	}
+}
+
+func TestZipfDemandLocality(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent, 0, 0})
+	rng := rand.New(rand.NewSource(6))
+	d, err := ZipfDemand(tr, ZipfDemandConfig{NumDocs: 20, Skew: 1, TotalRate: 100, Locality: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full locality: each requesting node requests exactly one document.
+	for v, row := range d.Rates {
+		nonzero := 0
+		for _, r := range row {
+			if r > 0 {
+				nonzero++
+			}
+		}
+		if nonzero > 1 {
+			t.Errorf("node %d requests %d docs under full locality", v, nonzero)
+		}
+	}
+}
+
+func TestZipfDemandErrors(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent})
+	rng := rand.New(rand.NewSource(7))
+	if _, err := ZipfDemand(tr, ZipfDemandConfig{NumDocs: 0, TotalRate: 1}, rng); err == nil {
+		t.Error("NumDocs=0 accepted")
+	}
+	if _, err := ZipfDemand(tr, ZipfDemandConfig{NumDocs: 1, TotalRate: -1}, rng); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := ZipfDemand(tr, ZipfDemandConfig{NumDocs: 1, TotalRate: 1, Locality: 2}, rng); err == nil {
+		t.Error("locality > 1 accepted")
+	}
+}
+
+func TestDemandValidate(t *testing.T) {
+	d := &Demand{
+		Docs:  []core.Document{{ID: "a"}},
+		Rates: [][]float64{{1}, {2}},
+	}
+	if err := d.Validate(2); err != nil {
+		t.Errorf("valid demand rejected: %v", err)
+	}
+	if err := d.Validate(3); err == nil {
+		t.Error("row count mismatch accepted")
+	}
+	bad := &Demand{Docs: []core.Document{{ID: "a"}}, Rates: [][]float64{{1, 2}}}
+	if err := bad.Validate(1); err == nil {
+		t.Error("column mismatch accepted")
+	}
+	neg := &Demand{Docs: []core.Document{{ID: "a"}}, Rates: [][]float64{{-1}}}
+	if err := neg.Validate(1); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestErraticRegimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	e := NewErratic(5, 3, 10, 20, rng)
+	first := core.CloneVec(e.Next())
+	second := core.CloneVec(e.Next())
+	third := core.CloneVec(e.Next())
+	if !core.VecAlmostEqual(first, second, 0) || !core.VecAlmostEqual(second, third, 0) {
+		t.Error("rates changed within a regime")
+	}
+	fourth := core.CloneVec(e.Next()) // regime boundary at step 3
+	if core.VecAlmostEqual(third, fourth, 0) {
+		t.Error("rates did not change at the regime boundary")
+	}
+	if e.Step() != 4 {
+		t.Errorf("Step = %d, want 4", e.Step())
+	}
+}
+
+func TestPoissonScheduleProperties(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent, 0, 0})
+	rng := rand.New(rand.NewSource(9))
+	d, err := ZipfDemand(tr, ZipfDemandConfig{NumDocs: 4, Skew: 1, TotalRate: 2000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 5.0
+	reqs := PoissonSchedule(d, horizon, rng)
+	// Count matches rate·horizon within 5 sigma.
+	want := d.Total() * horizon
+	sigma := math.Sqrt(want)
+	if diff := math.Abs(float64(len(reqs)) - want); diff > 5*sigma {
+		t.Errorf("schedule size %d, want ≈%.0f (±%.0f)", len(reqs), want, 5*sigma)
+	}
+	// Sorted by time, all within horizon.
+	for i := range reqs {
+		if reqs[i].Time < 0 || reqs[i].Time >= horizon {
+			t.Fatalf("request %d at %v outside [0,%v)", i, reqs[i].Time, horizon)
+		}
+		if i > 0 && reqs[i].Time < reqs[i-1].Time {
+			t.Fatal("schedule not time-sorted")
+		}
+	}
+}
+
+func TestPoissonScheduleEmptyDemand(t *testing.T) {
+	d := &Demand{Docs: []core.Document{{ID: "a"}}, Rates: [][]float64{{0}}}
+	rng := rand.New(rand.NewSource(10))
+	if got := PoissonSchedule(d, 10, rng); len(got) != 0 {
+		t.Errorf("empty demand produced %d requests", len(got))
+	}
+}
+
+func TestParetoOnOffSchedule(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent, 0})
+	rng := rand.New(rand.NewSource(11))
+	d, err := ZipfDemand(tr, ZipfDemandConfig{NumDocs: 2, Skew: 0.8, TotalRate: 1000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := ParetoOnOffSchedule(d, 4, 1.5, 2, rng)
+	if len(reqs) == 0 {
+		t.Fatal("no requests generated")
+	}
+	for i := range reqs {
+		if i > 0 && reqs[i].Time < reqs[i-1].Time {
+			t.Fatal("schedule not time-sorted")
+		}
+		if reqs[i].Time >= 4 {
+			t.Fatalf("request beyond horizon at %v", reqs[i].Time)
+		}
+	}
+	// Burstiness: the max requests in any 100ms window should exceed the
+	// average window count (otherwise the ON/OFF structure is absent).
+	buckets := make(map[int]int)
+	for _, r := range reqs {
+		buckets[int(r.Time*10)]++
+	}
+	maxB, sum := 0, 0
+	for _, c := range buckets {
+		if c > maxB {
+			maxB = c
+		}
+		sum += c
+	}
+	avg := float64(sum) / 40
+	if float64(maxB) < 1.5*avg {
+		t.Errorf("no burstiness: max bucket %d vs avg %.1f", maxB, avg)
+	}
+	// Defaults clamp invalid parameters rather than failing.
+	_ = ParetoOnOffSchedule(d, 1, 0.5, 0.5, rng)
+}

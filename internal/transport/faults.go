@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// SourceDialer is implemented by networks that can attribute a dialed
+// connection to a source address, enabling link-level fault injection.
+// MemoryNetwork implements it; callers fall back to Dial when the network
+// does not (DialOn handles the downgrade).
+type SourceDialer interface {
+	// DialFrom dials dst on behalf of src. src is a label only — it does
+	// not have to be a listening address.
+	DialFrom(src, dst string) (Conn, error)
+}
+
+// DialOn dials dst over n, attributing the connection to src when the
+// network supports source attribution.
+func DialOn(n Network, src, dst string) (Conn, error) {
+	if sd, ok := n.(SourceDialer); ok && src != "" {
+		return sd.DialFrom(src, dst)
+	}
+	return n.Dial(dst)
+}
+
+// linkKey identifies an undirected link between two address labels.
+type linkKey struct {
+	a, b string
+}
+
+// mkLinkKey normalizes the unordered pair.
+func mkLinkKey(x, y string) linkKey {
+	if x > y {
+		x, y = y, x
+	}
+	return linkKey{a: x, b: y}
+}
+
+// linkState is the mutable fault state shared by every connection on one
+// (src, dst) address pair.
+type linkState struct {
+	down atomic.Bool
+}
+
+// faultRegistry tracks per-link state for a MemoryNetwork.
+type faultRegistry struct {
+	mu    sync.Mutex
+	links map[linkKey]*linkState
+}
+
+// state returns (creating if needed) the state for a link.
+func (f *faultRegistry) state(x, y string) *linkState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.links == nil {
+		f.links = make(map[linkKey]*linkState)
+	}
+	k := mkLinkKey(x, y)
+	ls, ok := f.links[k]
+	if !ok {
+		ls = &linkState{}
+		f.links[k] = ls
+	}
+	return ls
+}
+
+// DialFrom implements SourceDialer on MemoryNetwork: the resulting
+// connection is subject to Partition/Heal on the (src, dst) pair.
+func (n *MemoryNetwork) DialFrom(src, dst string) (Conn, error) {
+	conn, err := n.Dial(dst)
+	if err != nil {
+		return nil, err
+	}
+	mc, ok := conn.(*memConn)
+	if !ok {
+		return conn, nil
+	}
+	ls := n.faults.state(src, dst)
+	mc.link = ls
+	mc.peer.link = ls
+	return conn, nil
+}
+
+// Partition silently drops all traffic (both directions) between the two
+// address labels: existing DialFrom connections on the pair stop
+// delivering, mimicking a network partition rather than a connection reset.
+// New DialFrom connections on the pair are created partitioned.
+func (n *MemoryNetwork) Partition(a, b string) {
+	n.faults.state(a, b).down.Store(true)
+}
+
+// Heal reverses Partition for the pair.
+func (n *MemoryNetwork) Heal(a, b string) {
+	n.faults.state(a, b).down.Store(false)
+}
+
+// Partitioned reports whether the pair is currently partitioned.
+func (n *MemoryNetwork) Partitioned(a, b string) bool {
+	return n.faults.state(a, b).down.Load()
+}
+
+var _ SourceDialer = (*MemoryNetwork)(nil)

@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"webwave/internal/netproto"
+)
+
+func TestPartitionDropsBothDirections(t *testing.T) {
+	n := NewMemoryNetwork(MemoryOptions{})
+	l, err := n.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	dialed, err := n.DialFrom("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dialed.Close()
+	accepted, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer accepted.Close()
+
+	send := func(c Conn, seq uint64) {
+		t.Helper()
+		if err := c.Send(&netproto.Envelope{Kind: netproto.TypeGossip, Seq: seq}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	recvSeq := func(c Conn) uint64 {
+		t.Helper()
+		env, err := c.Recv()
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		return env.Seq
+	}
+
+	// Healthy link round-trips.
+	send(dialed, 1)
+	if got := recvSeq(accepted); got != 1 {
+		t.Fatalf("seq = %d, want 1", got)
+	}
+	send(accepted, 2)
+	if got := recvSeq(dialed); got != 2 {
+		t.Fatalf("seq = %d, want 2", got)
+	}
+
+	// Partitioned: sends succeed (soft state) but deliver nothing.
+	n.Partition("a", "b")
+	if !n.Partitioned("a", "b") || !n.Partitioned("b", "a") {
+		t.Fatal("Partitioned should be true for both orders")
+	}
+	send(dialed, 3)
+	send(accepted, 4)
+
+	// Healed: traffic resumes; the partitioned messages stay lost.
+	n.Heal("b", "a") // order must not matter
+	send(dialed, 5)
+	if got := recvSeq(accepted); got != 5 {
+		t.Fatalf("after heal seq = %d, want 5 (3 must be lost)", got)
+	}
+	send(accepted, 6)
+	if got := recvSeq(dialed); got != 6 {
+		t.Fatalf("after heal seq = %d, want 6 (4 must be lost)", got)
+	}
+}
+
+func TestPartitionAppliesToFutureDials(t *testing.T) {
+	n := NewMemoryNetwork(MemoryOptions{})
+	l, err := n.Listen("dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	n.Partition("src", "dst")
+	conn, err := n.DialFrom("src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	acc, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer acc.Close()
+
+	if err := conn.Send(&netproto.Envelope{Kind: netproto.TypeGossip, Seq: 9}); err != nil {
+		t.Fatal(err)
+	}
+	recvd := make(chan struct{})
+	go func() {
+		if _, err := acc.Recv(); err == nil {
+			close(recvd)
+		}
+	}()
+	select {
+	case <-recvd:
+		t.Fatal("message delivered across a pre-existing partition")
+	case <-time.After(30 * time.Millisecond):
+	}
+}
+
+func TestPartitionDoesNotAffectOtherLinks(t *testing.T) {
+	n := NewMemoryNetwork(MemoryOptions{})
+	l, err := n.Listen("hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	x, err := n.DialFrom("x", "hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	accX, _ := l.Accept()
+	defer accX.Close()
+
+	y, err := n.DialFrom("y", "hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer y.Close()
+	accY, _ := l.Accept()
+	defer accY.Close()
+
+	n.Partition("x", "hub")
+	if err := y.Send(&netproto.Envelope{Kind: netproto.TypeGossip, Seq: 42}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := accY.Recv()
+	if err != nil || env.Seq != 42 {
+		t.Fatalf("unpartitioned link broken: %v %v", env, err)
+	}
+}
+
+func TestDialOnFallsBackWithoutSourceDialer(t *testing.T) {
+	// TCPNetwork has no DialFrom; DialOn must fall back to plain Dial.
+	var n Network = TCPNetwork{}
+	if _, ok := n.(SourceDialer); ok {
+		t.Fatal("TCPNetwork unexpectedly implements SourceDialer; test is stale")
+	}
+	l, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn, err := DialOn(n, "whatever", l.Addr())
+	if err != nil {
+		t.Fatalf("DialOn fallback: %v", err)
+	}
+	conn.Close()
+}
+
+func TestDialOnEmptySourceUsesPlainDial(t *testing.T) {
+	n := NewMemoryNetwork(MemoryOptions{})
+	l, err := n.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn, err := DialOn(n, "", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A plain-dialed conn has no link state: partitioning cannot touch it.
+	n.Partition("", "b")
+	if err := conn.Send(&netproto.Envelope{Kind: netproto.TypeGossip, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer acc.Close()
+	env, err := acc.Recv()
+	if err != nil || env.Seq != 1 {
+		t.Fatalf("plain dial affected by partition: %v %v", env, err)
+	}
+}

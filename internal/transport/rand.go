@@ -1,0 +1,24 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// lockedRand is a mutex-guarded rand.Rand, shared by all connections of a
+// MemoryNetwork so that a single seed reproduces a whole network's loss and
+// jitter pattern.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64()
+}

@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"webwave/internal/netproto"
+)
+
+// TCPNetwork implements Network over real TCP sockets (stdlib net). Use
+// addresses like "127.0.0.1:0"; Listener.Addr reports the bound address.
+type TCPNetwork struct{}
+
+// Listen implements Network.
+func (TCPNetwork) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: tcp listen %s: %w", addr, err)
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial implements Network.
+func (TCPNetwork) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: tcp dial %s: %w", addr, err)
+	}
+	return newTCPConn(c), nil
+}
+
+type tcpListener struct {
+	l net.Listener
+}
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("transport: tcp accept: %w", err)
+	}
+	return newTCPConn(c), nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+type tcpConn struct {
+	c  net.Conn
+	r  *bufio.Reader
+	wm sync.Mutex
+	w  *bufio.Writer
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	return &tcpConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+}
+
+// Send implements Conn; frames are flushed immediately (the protocol is
+// latency-, not throughput-, bound).
+func (t *tcpConn) Send(env *netproto.Envelope) error {
+	t.wm.Lock()
+	defer t.wm.Unlock()
+	if err := netproto.WriteFrame(t.w, env); err != nil {
+		return err
+	}
+	if err := t.w.Flush(); err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return ErrClosed
+		}
+		return fmt.Errorf("transport: tcp flush: %w", err)
+	}
+	return nil
+}
+
+// Recv implements Conn. Only one goroutine may call Recv at a time.
+func (t *tcpConn) Recv() (*netproto.Envelope, error) {
+	env, err := netproto.ReadFrame(t.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	return env, nil
+}
+
+func (t *tcpConn) Close() error { return t.c.Close() }
+
+var _ Network = TCPNetwork{}

@@ -1,0 +1,285 @@
+// Package transport abstracts the links between live WebWave servers. Two
+// implementations are provided: an in-memory network with configurable
+// latency, jitter and loss (the default for simulations and tests) and a
+// real TCP network on the loopback interface (package net), demonstrating
+// that the protocol runs over genuine sockets.
+package transport
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"webwave/internal/netproto"
+)
+
+// ErrClosed is returned by operations on a closed connection or listener.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrUnknownAddr is returned when dialing an address nothing listens on.
+var ErrUnknownAddr = errors.New("transport: unknown address")
+
+// Conn is a bidirectional, ordered message link.
+type Conn interface {
+	// Send transmits one envelope. It is safe for concurrent use.
+	Send(env *netproto.Envelope) error
+	// Recv blocks for the next envelope. It returns ErrClosed once the
+	// connection is closed and drained.
+	Recv() (*netproto.Envelope, error)
+	// Close shuts the connection down; pending Recv calls are released.
+	Close() error
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() string
+}
+
+// Network is a connection factory.
+type Network interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}
+
+// ---------------------------------------------------------------------------
+// In-memory network.
+
+// MemoryOptions shape the simulated link behavior.
+type MemoryOptions struct {
+	Latency time.Duration // base one-way delay
+	Jitter  time.Duration // uniform extra delay in [0, Jitter)
+	// Loss is the probability of silently dropping a message in transit.
+	// The live protocol keeps only soft state in messages, so loss slows
+	// balancing but never loses requests or documents.
+	Loss float64
+	Seed int64
+}
+
+// MemoryNetwork is an in-process Network. The zero value is usable with
+// zero latency and no loss.
+type MemoryNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	opts      MemoryOptions
+	rng       *lockedRand
+	faults    faultRegistry
+}
+
+// NewMemoryNetwork returns a memory network with the given link options.
+func NewMemoryNetwork(opts MemoryOptions) *MemoryNetwork {
+	return &MemoryNetwork{
+		listeners: make(map[string]*memListener),
+		opts:      opts,
+		rng:       newLockedRand(opts.Seed),
+	}
+}
+
+// Listen implements Network.
+func (n *MemoryNetwork) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.listeners == nil {
+		n.listeners = make(map[string]*memListener)
+	}
+	if _, ok := n.listeners[addr]; ok {
+		return nil, errors.New("transport: address already in use: " + addr)
+	}
+	l := &memListener{addr: addr, backlog: make(chan Conn, 64), closed: make(chan struct{})}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Network.
+func (n *MemoryNetwork) Dial(addr string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	opts := n.opts
+	rng := n.rng
+	n.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownAddr
+	}
+	a := newMemConn(opts, rng)
+	b := newMemConn(opts, rng)
+	a.peer, b.peer = b, a
+	select {
+	case l.backlog <- b:
+		return a, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+type memListener struct {
+	addr    string
+	backlog chan Conn
+	closed  chan struct{}
+	once    sync.Once
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+// memConn is one endpoint of an in-memory link. Envelopes sent on one
+// endpoint arrive, in order, at the peer after the configured delay.
+type memConn struct {
+	peer *memConn
+	opts MemoryOptions
+	rng  *lockedRand
+	// link is the shared fault state for this connection's address pair;
+	// nil for plain Dial connections (never partitioned).
+	link *linkState
+
+	mu     sync.Mutex
+	queue  []*netproto.Envelope
+	ready  *sync.Cond
+	closed bool
+
+	// Delayed sends are drained by a single dispatcher goroutine per
+	// endpoint, which preserves strict FIFO order under jitter (concurrent
+	// timers would not).
+	sendMu    sync.Mutex
+	sendCond  *sync.Cond
+	sendQueue []timedEnv
+	sending   bool
+	lastAt    time.Time // monotonic clamp on delivery times
+}
+
+type timedEnv struct {
+	env *netproto.Envelope
+	at  time.Time
+}
+
+func newMemConn(opts MemoryOptions, rng *lockedRand) *memConn {
+	c := &memConn{opts: opts, rng: rng}
+	c.ready = sync.NewCond(&c.mu)
+	c.sendCond = sync.NewCond(&c.sendMu)
+	return c
+}
+
+// Send implements Conn. Delivery respects per-link FIFO order even under
+// jitter: each message's delivery time is clamped to be no earlier than the
+// previous message's, and a single dispatcher delivers in queue order.
+func (c *memConn) Send(env *netproto.Envelope) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.mu.Unlock()
+
+	if c.link != nil && c.link.down.Load() {
+		return nil // partitioned: silently dropped, like a dead link
+	}
+	if c.opts.Loss > 0 && c.rng.Float64() < c.opts.Loss {
+		return nil // dropped in transit
+	}
+	cp := *env // shallow copy; Body bytes are immutable by convention
+	delay := c.opts.Latency
+	if c.opts.Jitter > 0 {
+		delay += time.Duration(c.rng.Float64() * float64(c.opts.Jitter))
+	}
+	if delay <= 0 {
+		c.peer.deliver(&cp)
+		return nil
+	}
+
+	deliverAt := time.Now().Add(delay)
+	c.sendMu.Lock()
+	if deliverAt.Before(c.lastAt) {
+		deliverAt = c.lastAt
+	}
+	c.lastAt = deliverAt
+	c.sendQueue = append(c.sendQueue, timedEnv{env: &cp, at: deliverAt})
+	if !c.sending {
+		c.sending = true
+		go c.dispatch()
+	}
+	c.sendCond.Signal()
+	c.sendMu.Unlock()
+	return nil
+}
+
+// dispatch delivers queued messages in order at their scheduled times. It
+// exits when the connection closes or the queue stays empty.
+func (c *memConn) dispatch() {
+	for {
+		c.sendMu.Lock()
+		for len(c.sendQueue) == 0 {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				c.sending = false
+				c.sendMu.Unlock()
+				return
+			}
+			c.sendCond.Wait()
+		}
+		te := c.sendQueue[0]
+		c.sendQueue = c.sendQueue[1:]
+		c.sendMu.Unlock()
+
+		if wait := time.Until(te.at); wait > 0 {
+			time.Sleep(wait)
+		}
+		c.peer.deliver(te.env)
+	}
+}
+
+func (c *memConn) deliver(env *netproto.Envelope) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.queue = append(c.queue, env)
+	c.ready.Signal()
+}
+
+// Recv implements Conn.
+func (c *memConn) Recv() (*netproto.Envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.queue) == 0 && !c.closed {
+		c.ready.Wait()
+	}
+	if len(c.queue) == 0 {
+		return nil, ErrClosed
+	}
+	env := c.queue[0]
+	c.queue = c.queue[1:]
+	return env, nil
+}
+
+// Close implements Conn. It also closes the peer's receive side so blocked
+// readers observe the shutdown, mirroring TCP semantics.
+func (c *memConn) Close() error {
+	for _, end := range []*memConn{c, c.peer} {
+		end.mu.Lock()
+		end.closed = true
+		end.ready.Broadcast()
+		end.mu.Unlock()
+		end.sendMu.Lock()
+		end.sendCond.Broadcast() // release an idle dispatcher
+		end.sendMu.Unlock()
+	}
+	return nil
+}
+
+var _ Network = (*MemoryNetwork)(nil)

@@ -1,0 +1,271 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"webwave/internal/netproto"
+)
+
+func pair(t *testing.T, netw Network, addr string) (client, server Conn, cleanup func()) {
+	t.Helper()
+	l, err := netw.Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	type res struct {
+		c   Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- res{c, err}
+	}()
+	client, err = netw.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("Accept: %v", r.err)
+	}
+	return client, r.c, func() {
+		client.Close()
+		r.c.Close()
+		l.Close()
+	}
+}
+
+func testSendRecv(t *testing.T, netw Network, addr string) {
+	client, server, cleanup := pair(t, netw, addr)
+	defer cleanup()
+
+	want := &netproto.Envelope{Kind: netproto.TypeGossip, From: 1, To: 2, Load: 3.5}
+	if err := client.Send(want); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if got.Kind != want.Kind || got.Load != want.Load {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+
+	// And the reverse direction.
+	if err := server.Send(&netproto.Envelope{Kind: netproto.TypeShed, From: 2, Rate: 1}); err != nil {
+		t.Fatalf("reverse Send: %v", err)
+	}
+	if back, err := client.Recv(); err != nil || back.Kind != netproto.TypeShed {
+		t.Fatalf("reverse Recv: %v %v", back, err)
+	}
+}
+
+func testFIFO(t *testing.T, netw Network, addr string) {
+	client, server, cleanup := pair(t, netw, addr)
+	defer cleanup()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := client.Send(&netproto.Envelope{Kind: netproto.TypeGossip, Seq: uint64(i + 1), From: i}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		env, err := server.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if env.From != i {
+			t.Fatalf("out of order: got %d at position %d", env.From, i)
+		}
+	}
+}
+
+func testCloseUnblocksRecv(t *testing.T, netw Network, addr string) {
+	client, server, cleanup := pair(t, netw, addr)
+	defer cleanup()
+	done := make(chan error, 1)
+	go func() {
+		_, err := server.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	client.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("Recv after close: %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on close")
+	}
+}
+
+func TestMemorySendRecv(t *testing.T) {
+	testSendRecv(t, NewMemoryNetwork(MemoryOptions{}), "a")
+}
+
+func TestMemoryFIFO(t *testing.T) {
+	testFIFO(t, NewMemoryNetwork(MemoryOptions{}), "a")
+}
+
+func TestMemoryFIFOWithJitter(t *testing.T) {
+	netw := NewMemoryNetwork(MemoryOptions{
+		Latency: time.Millisecond, Jitter: 3 * time.Millisecond, Seed: 1,
+	})
+	testFIFO(t, netw, "a")
+}
+
+func TestMemoryCloseUnblocksRecv(t *testing.T) {
+	testCloseUnblocksRecv(t, NewMemoryNetwork(MemoryOptions{}), "a")
+}
+
+func TestMemoryDialUnknown(t *testing.T) {
+	netw := NewMemoryNetwork(MemoryOptions{})
+	if _, err := netw.Dial("nobody"); !errors.Is(err, ErrUnknownAddr) {
+		t.Errorf("dial unknown: %v", err)
+	}
+}
+
+func TestMemoryAddressInUse(t *testing.T) {
+	netw := NewMemoryNetwork(MemoryOptions{})
+	if _, err := netw.Listen("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netw.Listen("a"); err == nil {
+		t.Error("double listen accepted")
+	}
+}
+
+func TestMemoryLatency(t *testing.T) {
+	netw := NewMemoryNetwork(MemoryOptions{Latency: 50 * time.Millisecond})
+	client, server, cleanup := pair(t, netw, "a")
+	defer cleanup()
+	start := time.Now()
+	if err := client.Send(&netproto.Envelope{Kind: netproto.TypeGossip}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("message arrived after %v, want >= ~50ms", elapsed)
+	}
+}
+
+func TestMemoryLoss(t *testing.T) {
+	netw := NewMemoryNetwork(MemoryOptions{Loss: 1, Seed: 1}) // drop everything
+	client, server, cleanup := pair(t, netw, "a")
+	defer cleanup()
+	if err := client.Send(&netproto.Envelope{Kind: netproto.TypeGossip}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		server.Recv()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Error("message delivered despite 100% loss")
+	case <-time.After(50 * time.Millisecond):
+	}
+	client.Close()
+}
+
+func TestMemorySendAfterClose(t *testing.T) {
+	netw := NewMemoryNetwork(MemoryOptions{})
+	client, _, cleanup := pair(t, netw, "a")
+	cleanup()
+	if err := client.Send(&netproto.Envelope{Kind: netproto.TypeGossip}); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close: %v", err)
+	}
+}
+
+func TestMemoryListenerClose(t *testing.T) {
+	netw := NewMemoryNetwork(MemoryOptions{})
+	l, err := netw.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	l.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("Accept after close: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Accept did not unblock")
+	}
+}
+
+func TestMemoryConcurrentSenders(t *testing.T) {
+	netw := NewMemoryNetwork(MemoryOptions{})
+	client, server, cleanup := pair(t, netw, "a")
+	defer cleanup()
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				client.Send(&netproto.Envelope{Kind: netproto.TypeGossip, From: w})
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < workers*per; i++ {
+		if _, err := server.Recv(); err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+	}
+}
+
+// --- TCP transport over the loopback interface ---
+
+func TestTCPSendRecv(t *testing.T) {
+	testSendRecv(t, TCPNetwork{}, "127.0.0.1:0")
+}
+
+func TestTCPFIFO(t *testing.T) {
+	testFIFO(t, TCPNetwork{}, "127.0.0.1:0")
+}
+
+func TestTCPCloseUnblocksRecv(t *testing.T) {
+	testCloseUnblocksRecv(t, TCPNetwork{}, "127.0.0.1:0")
+}
+
+func TestTCPDialRefused(t *testing.T) {
+	// Port 1 on loopback is essentially never listening.
+	if _, err := (TCPNetwork{}).Dial("127.0.0.1:1"); err == nil {
+		t.Skip("something actually listens on 127.0.0.1:1")
+	}
+}
+
+func TestTCPLargeBody(t *testing.T) {
+	client, server, cleanup := pair(t, TCPNetwork{}, "127.0.0.1:0")
+	defer cleanup()
+	body := make([]byte, 1<<20)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	if err := client.Send(&netproto.Envelope{Kind: netproto.TypeDelegate, Doc: "big", Body: body}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Body) != len(body) {
+		t.Fatalf("body length %d, want %d", len(got.Body), len(body))
+	}
+}

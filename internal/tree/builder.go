@@ -1,0 +1,60 @@
+package tree
+
+import "fmt"
+
+// Builder constructs trees incrementally. The first node added becomes the
+// root. Builder is not safe for concurrent use.
+type Builder struct {
+	parent []int
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Root adds the root node and returns its id (always 0). It must be called
+// first and exactly once.
+func (b *Builder) Root() int {
+	if len(b.parent) != 0 {
+		panic("tree: Builder.Root called twice")
+	}
+	b.parent = append(b.parent, NoParent)
+	return 0
+}
+
+// Child adds a new node under parent p and returns its id.
+func (b *Builder) Child(p int) int {
+	if p < 0 || p >= len(b.parent) {
+		panic(fmt.Sprintf("tree: Builder.Child parent %d out of range (n=%d)", p, len(b.parent)))
+	}
+	id := len(b.parent)
+	b.parent = append(b.parent, p)
+	return id
+}
+
+// Children adds k children under p and returns their ids.
+func (b *Builder) Children(p, k int) []int {
+	ids := make([]int, k)
+	for i := range ids {
+		ids[i] = b.Child(p)
+	}
+	return ids
+}
+
+// Len returns the number of nodes added so far.
+func (b *Builder) Len() int { return len(b.parent) }
+
+// Build finalizes the tree. The Builder may continue to be used afterwards;
+// Build copies its state.
+func (b *Builder) Build() (*Tree, error) {
+	return FromParents(b.parent)
+}
+
+// MustBuild is Build that panics on error, for statically correct
+// construction sequences.
+func (b *Builder) MustBuild() *Tree {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,55 @@
+package tree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MarshalText encodes the tree as a space-separated parent list, e.g.
+// "-1 0 0 1" for a root 0 with children 1,2 and grandchild 3 under 1.
+// It implements encoding.TextMarshaler.
+func (t *Tree) MarshalText() ([]byte, error) {
+	parts := make([]string, len(t.parent))
+	for i, p := range t.parent {
+		parts[i] = strconv.Itoa(p)
+	}
+	return []byte(strings.Join(parts, " ")), nil
+}
+
+// ParseParents decodes the format produced by MarshalText.
+func ParseParents(s string) (*Tree, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return nil, ErrEmpty
+	}
+	parent := make([]int, len(fields))
+	for i, f := range fields {
+		p, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("tree: parse field %d %q: %w", i, f, err)
+		}
+		parent[i] = p
+	}
+	return FromParents(parent)
+}
+
+// DOT renders the tree in Graphviz DOT format. The optional label function
+// supplies per-node label text; if nil, node ids are used.
+func (t *Tree) DOT(name string, label func(v int) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=BT;\n") // requests flow bottom-to-top toward the root
+	for v := 0; v < t.Len(); v++ {
+		if label != nil {
+			fmt.Fprintf(&b, "  n%d [label=%q];\n", v, label(v))
+		} else {
+			fmt.Fprintf(&b, "  n%d;\n", v)
+		}
+	}
+	for _, e := range t.Edges() {
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", e[1], e[0])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

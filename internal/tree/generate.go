@@ -1,0 +1,161 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Chain returns a path of n nodes: 0 is the root, node i+1 is the child of i.
+func Chain(n int) (*Tree, error) {
+	if n <= 0 {
+		return nil, ErrEmpty
+	}
+	parent := make([]int, n)
+	parent[0] = NoParent
+	for i := 1; i < n; i++ {
+		parent[i] = i - 1
+	}
+	return FromParents(parent)
+}
+
+// Star returns a root with n-1 leaf children.
+func Star(n int) (*Tree, error) {
+	if n <= 0 {
+		return nil, ErrEmpty
+	}
+	parent := make([]int, n)
+	parent[0] = NoParent
+	for i := 1; i < n; i++ {
+		parent[i] = 0
+	}
+	return FromParents(parent)
+}
+
+// KAry returns the complete k-ary tree of the given depth (depth 0 is a
+// single root). Node ids are assigned in BFS order.
+func KAry(k, depth int) (*Tree, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("tree: KAry branching factor %d <= 0", k)
+	}
+	if depth < 0 {
+		return nil, fmt.Errorf("tree: KAry depth %d < 0", depth)
+	}
+	// Total nodes: (k^(depth+1)-1)/(k-1) for k>1, depth+1 for k==1.
+	n := 1
+	levelSize := 1
+	for d := 0; d < depth; d++ {
+		levelSize *= k
+		n += levelSize
+	}
+	parent := make([]int, n)
+	parent[0] = NoParent
+	for i := 1; i < n; i++ {
+		parent[i] = (i - 1) / k
+	}
+	return FromParents(parent)
+}
+
+// Random returns a uniformly random recursive tree on n nodes: node i's
+// parent is drawn uniformly from 0..i-1. Deterministic for a given rng state.
+func Random(n int, rng *rand.Rand) (*Tree, error) {
+	if n <= 0 {
+		return nil, ErrEmpty
+	}
+	parent := make([]int, n)
+	parent[0] = NoParent
+	for i := 1; i < n; i++ {
+		parent[i] = rng.Intn(i)
+	}
+	return FromParents(parent)
+}
+
+// RandomDepth returns a random tree on n nodes whose height is exactly depth.
+// It first lays down a spine (a chain of depth+1 nodes) to guarantee the
+// height, then attaches the remaining nodes to uniformly random existing
+// nodes whose depth is < depth (so the height bound is never exceeded).
+//
+// This realizes the paper's Section 5.1 experiment setup ("a random tree with
+// depth 9"). n must be at least depth+1.
+func RandomDepth(n, depth int, rng *rand.Rand) (*Tree, error) {
+	if n <= 0 {
+		return nil, ErrEmpty
+	}
+	if depth < 0 || depth >= n {
+		return nil, fmt.Errorf("tree: RandomDepth depth %d incompatible with n %d", depth, n)
+	}
+	parent := make([]int, n)
+	nodeDepth := make([]int, n)
+	parent[0] = NoParent
+	nodeDepth[0] = 0
+	for i := 1; i <= depth; i++ {
+		parent[i] = i - 1
+		nodeDepth[i] = i
+	}
+	// Candidates for attachment: nodes with depth < depth limit.
+	candidates := make([]int, 0, n)
+	for i := 0; i <= depth; i++ {
+		if nodeDepth[i] < depth {
+			candidates = append(candidates, i)
+		}
+	}
+	for i := depth + 1; i < n; i++ {
+		p := candidates[rng.Intn(len(candidates))]
+		parent[i] = p
+		nodeDepth[i] = nodeDepth[p] + 1
+		if nodeDepth[i] < depth {
+			candidates = append(candidates, i)
+		}
+	}
+	return FromParents(parent)
+}
+
+// RandomBounded returns a random tree on n nodes where every node has at most
+// maxChildren children. Attachment targets are drawn uniformly from nodes
+// with spare child capacity.
+func RandomBounded(n, maxChildren int, rng *rand.Rand) (*Tree, error) {
+	if n <= 0 {
+		return nil, ErrEmpty
+	}
+	if maxChildren <= 0 {
+		return nil, fmt.Errorf("tree: RandomBounded maxChildren %d <= 0", maxChildren)
+	}
+	parent := make([]int, n)
+	parent[0] = NoParent
+	childCount := make([]int, n)
+	open := []int{0}
+	for i := 1; i < n; i++ {
+		idx := rng.Intn(len(open))
+		p := open[idx]
+		parent[i] = p
+		childCount[p]++
+		if childCount[p] >= maxChildren {
+			// Remove p from the open set.
+			open[idx] = open[len(open)-1]
+			open = open[:len(open)-1]
+		}
+		open = append(open, i)
+	}
+	return FromParents(parent)
+}
+
+// RandomCaterpillar returns a chain of spineLen nodes with legLen leaf
+// chains hanging off random spine nodes until n nodes exist. Caterpillar-ish
+// trees stress WebFold's fold structure (long chains fold differently from
+// bushy stars).
+func RandomCaterpillar(n, spineLen int, rng *rand.Rand) (*Tree, error) {
+	if n <= 0 {
+		return nil, ErrEmpty
+	}
+	if spineLen <= 0 || spineLen > n {
+		return nil, fmt.Errorf("tree: RandomCaterpillar spine %d incompatible with n %d", spineLen, n)
+	}
+	parent := make([]int, n)
+	parent[0] = NoParent
+	for i := 1; i < spineLen; i++ {
+		parent[i] = i - 1
+	}
+	for i := spineLen; i < n; i++ {
+		parent[i] = rng.Intn(spineLen)
+	}
+	return FromParents(parent)
+}

@@ -1,0 +1,92 @@
+package tree
+
+// This file constructs the concrete tree instances used by the paper's
+// figures. The published scan does not give machine-readable rate tables, so
+// the instances below are crafted to exhibit exactly the properties each
+// figure demonstrates (documented per constructor); the experiment harness
+// verifies those properties rather than magic numbers.
+
+// Figure2a returns the routing tree and spontaneous request rates of
+// Figure 2(a): a TLB load assignment that is also GLE (global load
+// equality). A 3-node star where both leaves generate load lets WebFold fold
+// everything into one fold, so every node serves total/n.
+func Figure2a() (*Tree, []float64) {
+	t := MustFromParents([]int{NoParent, 0, 0})
+	return t, []float64{0, 30, 30}
+}
+
+// Figure2b returns the tree and rates of Figure 2(b): a TLB load assignment
+// that is NOT GLE. All load originates at the root; NSS (no sibling sharing)
+// forbids pushing it down into subtrees that never requested it, so the root
+// fold stays a singleton carrying everything.
+func Figure2b() (*Tree, []float64) {
+	t := MustFromParents([]int{NoParent, 0, 0})
+	return t, []float64{60, 0, 0}
+}
+
+// Figure4 returns an 8-node tree and rates on which WebFold performs a
+// complete multi-step folding sequence (the paper's Figure 4 walk-through):
+//
+//	    0 (E=10)
+//	   / \
+//	  1   2        (E=0, E=0)
+//	 / \   \
+//	3   4   5      (E=40, E=40, E=0)
+//	       / \
+//	      6   7    (E=12, E=12)
+//
+// Folding proceeds max-average-first: 3→1, 4→1, {1,3,4}→0, 6→5, 7→5,
+// {5,6,7}→2, terminating with folds {0,1,3,4} at load 22.5 and {2,5,6,7} at
+// load 6 — a TLB assignment that is far from GLE (114/8 = 14.25).
+func Figure4() (*Tree, []float64) {
+	t := MustFromParents([]int{NoParent, 0, 0, 1, 1, 2, 5, 5})
+	return t, []float64{10, 0, 0, 40, 40, 0, 12, 12}
+}
+
+// Figure6 returns the hand-crafted convergence tree of Figure 6(a): a
+// 14-node tree whose spontaneous rates force a variety of fold patterns
+// (singleton folds, a chain fold, bushy folds), used to demonstrate
+// WebWave's convergence to TLB in Figure 6(b).
+func Figure6() (*Tree, []float64) {
+	b := NewBuilder()
+	root := b.Root()    // 0
+	n1 := b.Child(root) // 1
+	n2 := b.Child(root) // 2
+	n3 := b.Child(root) // 3
+	b.Child(n1)         // 4
+	b.Child(n1)         // 5
+	n6 := b.Child(n2)   // 6
+	n7 := b.Child(n2)   // 7
+	n8 := b.Child(n7)   // 8
+	b.Child(n3)         // 9
+	b.Child(n3)         // 10
+	b.Child(n6)         // 11
+	b.Child(n8)         // 12
+	b.Child(n8)         // 13
+	t := b.MustBuild()
+	rates := []float64{
+		0: 5, 1: 50, 2: 0, 3: 10,
+		4: 2, 5: 2, 6: 30, 7: 0,
+		8: 24, 9: 10, 10: 10, 11: 6,
+		12: 3, 13: 3,
+	}
+	return t, rates
+}
+
+// Figure7Topology returns the 4-server topology of Figure 7 (the potential
+// barrier example): node 0 is the home server, node 1 is the intermediate
+// server (the barrier), nodes 2 and 3 are its children.
+//
+//	  0  (home: authoritative copies of d1, d2, d3)
+//	  |
+//	  1  (caches d1, d2 — the potential barrier)
+//	 / \
+//	2   3
+//
+// Requests for documents d1 and d2 are issued by node 3; requests for d3 are
+// issued by node 2. With 120 req/s per document the TLB assignment serves 90
+// req/s at every node, matching the paper's narrative.
+func Figure7Topology() (*Tree, []float64) {
+	t := MustFromParents([]int{NoParent, 0, 1, 1})
+	return t, []float64{0, 0, 120, 240}
+}

@@ -1,0 +1,475 @@
+// Package tree models the routing tree T that underlies WebWave.
+//
+// The paper (Heddaya & Mirdad, "WebWave", BU-CS-96-024 / ICDCS'97) models the
+// Internet as a forest of routing trees, each rooted at a home server that
+// publishes a set of immutable documents. Requests originate at arbitrary
+// nodes and travel up the tree toward the root; a node i is the parent of j
+// when i is the first cache server on the route from j to the home server.
+//
+// A Tree is an immutable rooted tree over nodes 0..n-1. All per-node
+// quantities used elsewhere in this module (spontaneous rates E, load
+// assignments L, forwarded rates A) are dense []float64 vectors indexed by
+// node.
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NoParent marks the root's parent slot in parent-array representations.
+const NoParent = -1
+
+var (
+	// ErrEmpty is returned when constructing a tree with no nodes.
+	ErrEmpty = errors.New("tree: empty node set")
+	// ErrMultipleRoots is returned when more than one node has no parent.
+	ErrMultipleRoots = errors.New("tree: multiple roots")
+	// ErrNoRoot is returned when every node has a parent (a cycle exists).
+	ErrNoRoot = errors.New("tree: no root")
+	// ErrCycle is returned when the parent array contains a cycle.
+	ErrCycle = errors.New("tree: cycle detected")
+	// ErrBadParent is returned when a parent index is out of range.
+	ErrBadParent = errors.New("tree: parent index out of range")
+)
+
+// Tree is an immutable rooted tree on nodes 0..n-1.
+//
+// The zero value is not usable; construct trees with FromParents, NewBuilder,
+// or one of the generators in this package.
+type Tree struct {
+	parent   []int
+	children [][]int
+	root     int
+
+	// Derived, memoized at construction.
+	depth     []int // depth[root] = 0
+	postOrder []int // children before parents
+	subSize   []int // size of subtree rooted at each node
+	height    int
+}
+
+// FromParents builds a tree from a parent array: parent[i] is the parent of
+// node i, and exactly one entry must be NoParent (the root). The array is
+// copied; the caller keeps ownership of its slice.
+func FromParents(parent []int) (*Tree, error) {
+	n := len(parent)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	p := make([]int, n)
+	copy(p, parent)
+
+	root := NoParent
+	for i, pi := range p {
+		switch {
+		case pi == NoParent:
+			if root != NoParent {
+				return nil, fmt.Errorf("%w: nodes %d and %d", ErrMultipleRoots, root, i)
+			}
+			root = i
+		case pi < 0 || pi >= n:
+			return nil, fmt.Errorf("%w: node %d has parent %d (n=%d)", ErrBadParent, i, pi, n)
+		case pi == i:
+			return nil, fmt.Errorf("%w: node %d is its own parent", ErrCycle, i)
+		}
+	}
+	if root == NoParent {
+		return nil, ErrNoRoot
+	}
+
+	children := make([][]int, n)
+	for i, pi := range p {
+		if pi != NoParent {
+			children[pi] = append(children[pi], i)
+		}
+	}
+
+	t := &Tree{parent: p, children: children, root: root}
+	if err := t.computeDerived(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustFromParents is FromParents that panics on error. It is intended for
+// statically known-good literals (package initialization, tests, examples).
+func MustFromParents(parent []int) *Tree {
+	t, err := FromParents(parent)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// computeDerived fills depth, postOrder, subSize and height, and detects
+// cycles (nodes unreachable from the root).
+func (t *Tree) computeDerived() error {
+	n := len(t.parent)
+	t.depth = make([]int, n)
+	for i := range t.depth {
+		t.depth[i] = -1
+	}
+	t.depth[t.root] = 0
+	t.height = 0
+
+	// Iterative DFS from the root; records post-order.
+	t.postOrder = make([]int, 0, n)
+	type frame struct {
+		node  int
+		child int // index into children[node] of next child to visit
+	}
+	stack := make([]frame, 0, n)
+	stack = append(stack, frame{node: t.root})
+	visited := 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		kids := t.children[f.node]
+		if f.child < len(kids) {
+			c := kids[f.child]
+			f.child++
+			t.depth[c] = t.depth[f.node] + 1
+			if t.depth[c] > t.height {
+				t.height = t.depth[c]
+			}
+			visited++
+			stack = append(stack, frame{node: c})
+			continue
+		}
+		t.postOrder = append(t.postOrder, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	if visited != n {
+		return fmt.Errorf("%w: %d of %d nodes unreachable from root %d", ErrCycle, n-visited, n, t.root)
+	}
+
+	t.subSize = make([]int, n)
+	for _, v := range t.postOrder {
+		t.subSize[v] = 1
+		for _, c := range t.children[v] {
+			t.subSize[v] += t.subSize[c]
+		}
+	}
+	return nil
+}
+
+// Len returns the number of nodes.
+func (t *Tree) Len() int { return len(t.parent) }
+
+// Root returns the root node (the home server).
+func (t *Tree) Root() int { return t.root }
+
+// Parent returns the parent of v, or NoParent if v is the root.
+func (t *Tree) Parent(v int) int { return t.parent[v] }
+
+// Children returns a copy of v's children.
+func (t *Tree) Children(v int) []int {
+	kids := t.children[v]
+	out := make([]int, len(kids))
+	copy(out, kids)
+	return out
+}
+
+// NumChildren returns the number of children of v.
+func (t *Tree) NumChildren(v int) int { return len(t.children[v]) }
+
+// EachChild calls fn for every child of v, in insertion order. It avoids the
+// allocation of Children for hot paths.
+func (t *Tree) EachChild(v int, fn func(child int)) {
+	for _, c := range t.children[v] {
+		fn(c)
+	}
+}
+
+// Degree returns the tree degree of v: children plus parent edge.
+func (t *Tree) Degree(v int) int {
+	d := len(t.children[v])
+	if v != t.root {
+		d++
+	}
+	return d
+}
+
+// MaxDegree returns the maximum Degree over all nodes.
+func (t *Tree) MaxDegree() int {
+	m := 0
+	for v := range t.parent {
+		if d := t.Degree(v); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// IsLeaf reports whether v has no children.
+func (t *Tree) IsLeaf(v int) bool { return len(t.children[v]) == 0 }
+
+// Leaves returns all leaves in increasing node order.
+func (t *Tree) Leaves() []int {
+	var out []int
+	for v := range t.parent {
+		if t.IsLeaf(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Depth returns the number of edges from the root to v.
+func (t *Tree) Depth(v int) int { return t.depth[v] }
+
+// Height returns the maximum depth over all nodes.
+func (t *Tree) Height() int { return t.height }
+
+// SubtreeSize returns the number of nodes in the subtree rooted at v
+// (including v).
+func (t *Tree) SubtreeSize(v int) int { return t.subSize[v] }
+
+// PostOrder returns a copy of a post-order traversal (every node appears
+// after all of its children). This is the natural order for flow-conservation
+// sweeps that compute forwarded rates A bottom-up.
+func (t *Tree) PostOrder() []int {
+	out := make([]int, len(t.postOrder))
+	copy(out, t.postOrder)
+	return out
+}
+
+// PreOrder returns a traversal where every node appears before its children.
+func (t *Tree) PreOrder() []int {
+	out := make([]int, 0, len(t.parent))
+	stack := []int{t.root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, v)
+		kids := t.children[v]
+		for i := len(kids) - 1; i >= 0; i-- {
+			stack = append(stack, kids[i])
+		}
+	}
+	return out
+}
+
+// BFSOrder returns a breadth-first traversal from the root.
+func (t *Tree) BFSOrder() []int {
+	out := make([]int, 0, len(t.parent))
+	queue := []int{t.root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		out = append(out, v)
+		out2 := t.children[v]
+		queue = append(queue, out2...)
+	}
+	return out
+}
+
+// PathToRoot returns the node sequence v, parent(v), ..., root.
+func (t *Tree) PathToRoot(v int) []int {
+	out := []int{v}
+	for v != t.root {
+		v = t.parent[v]
+		out = append(out, v)
+	}
+	return out
+}
+
+// IsAncestor reports whether a is an ancestor of v (a == v counts).
+func (t *Tree) IsAncestor(a, v int) bool {
+	for {
+		if v == a {
+			return true
+		}
+		if v == t.root {
+			return false
+		}
+		v = t.parent[v]
+	}
+}
+
+// SubtreeNodes returns all nodes in the subtree rooted at v, in pre-order.
+func (t *Tree) SubtreeNodes(v int) []int {
+	out := make([]int, 0, t.subSize[v])
+	stack := []int{v}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, u)
+		kids := t.children[u]
+		for i := len(kids) - 1; i >= 0; i-- {
+			stack = append(stack, kids[i])
+		}
+	}
+	return out
+}
+
+// SubtreeSums returns, for every node v, the sum of vals over the subtree
+// rooted at v. len(vals) must equal t.Len().
+func (t *Tree) SubtreeSums(vals []float64) []float64 {
+	sums := make([]float64, len(vals))
+	for _, v := range t.postOrder {
+		s := vals[v]
+		for _, c := range t.children[v] {
+			s += sums[c]
+		}
+		sums[v] = s
+	}
+	return sums
+}
+
+// Parents returns a copy of the parent array.
+func (t *Tree) Parents() []int {
+	out := make([]int, len(t.parent))
+	copy(out, t.parent)
+	return out
+}
+
+// Edges returns every (parent, child) pair in BFS order.
+func (t *Tree) Edges() [][2]int {
+	out := make([][2]int, 0, len(t.parent)-1)
+	for _, v := range t.BFSOrder() {
+		for _, c := range t.children[v] {
+			out = append(out, [2]int{v, c})
+		}
+	}
+	return out
+}
+
+// String renders the tree as an indented outline, one node per line.
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.format(&b, t.root, 0, nil)
+	return b.String()
+}
+
+// FormatWithValues renders the tree as an indented outline annotating every
+// node with the given per-node values (e.g. spontaneous rates and load
+// assignments). Any vals entry may be nil.
+func (t *Tree) FormatWithValues(labels []string, vals ...[]float64) string {
+	var b strings.Builder
+	ann := func(v int) string {
+		parts := make([]string, 0, len(vals))
+		for i, col := range vals {
+			if col == nil {
+				continue
+			}
+			name := ""
+			if i < len(labels) {
+				name = labels[i] + "="
+			}
+			parts = append(parts, fmt.Sprintf("%s%.4g", name, col[v]))
+		}
+		if len(parts) == 0 {
+			return ""
+		}
+		return " [" + strings.Join(parts, " ") + "]"
+	}
+	t.format(&b, t.root, 0, ann)
+	return b.String()
+}
+
+func (t *Tree) format(b *strings.Builder, v, indent int, ann func(int) string) {
+	for i := 0; i < indent; i++ {
+		b.WriteString("  ")
+	}
+	fmt.Fprintf(b, "%d", v)
+	if ann != nil {
+		b.WriteString(ann(v))
+	}
+	b.WriteByte('\n')
+	for _, c := range t.children[v] {
+		t.format(b, c, indent+1, ann)
+	}
+}
+
+// Equal reports whether two trees have identical node sets and parent
+// relations.
+func (t *Tree) Equal(o *Tree) bool {
+	if t.Len() != o.Len() || t.root != o.root {
+		return false
+	}
+	for i := range t.parent {
+		if t.parent[i] != o.parent[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Relabel returns a new tree where node i of the receiver becomes node
+// perm[i]. perm must be a permutation of 0..n-1. Per-node vectors can be
+// mapped with ApplyPermutation.
+func (t *Tree) Relabel(perm []int) (*Tree, error) {
+	n := t.Len()
+	if len(perm) != n {
+		return nil, fmt.Errorf("tree: permutation length %d != n %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			return nil, fmt.Errorf("tree: invalid permutation")
+		}
+		seen[p] = true
+	}
+	np := make([]int, n)
+	for i, pi := range t.parent {
+		if pi == NoParent {
+			np[perm[i]] = NoParent
+		} else {
+			np[perm[i]] = perm[pi]
+		}
+	}
+	return FromParents(np)
+}
+
+// ApplyPermutation maps a per-node vector through the same permutation used
+// by Relabel: out[perm[i]] = vals[i].
+func ApplyPermutation(vals []float64, perm []int) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[perm[i]] = v
+	}
+	return out
+}
+
+// Reparent returns a new tree where node v's parent becomes newParent —
+// a single routing change. v must not be the root and newParent must not
+// lie in v's subtree (that would create a cycle).
+func (t *Tree) Reparent(v, newParent int) (*Tree, error) {
+	if v < 0 || v >= t.Len() || newParent < 0 || newParent >= t.Len() {
+		return nil, fmt.Errorf("tree: Reparent(%d,%d) out of range", v, newParent)
+	}
+	if v == t.root {
+		return nil, fmt.Errorf("tree: cannot reparent the root")
+	}
+	if t.IsAncestor(v, newParent) {
+		return nil, fmt.Errorf("%w: new parent %d lies in subtree of %d", ErrCycle, newParent, v)
+	}
+	np := t.Parents()
+	np[v] = newParent
+	return FromParents(np)
+}
+
+// SortedChildren returns a copy of the tree where every child list is sorted
+// ascending. Traversal orders become canonical; the parent relation is
+// unchanged.
+func (t *Tree) SortedChildren() *Tree {
+	nt := &Tree{
+		parent: append([]int(nil), t.parent...),
+		root:   t.root,
+	}
+	nt.children = make([][]int, len(t.children))
+	for v, kids := range t.children {
+		ck := append([]int(nil), kids...)
+		sort.Ints(ck)
+		nt.children[v] = ck
+	}
+	// Derived values do not depend on child order except postOrder; recompute.
+	if err := nt.computeDerived(); err != nil {
+		// The parent relation was already validated; this cannot fail.
+		panic(err)
+	}
+	return nt
+}

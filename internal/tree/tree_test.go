@@ -1,0 +1,581 @@
+package tree
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromParentsValid(t *testing.T) {
+	tests := []struct {
+		name    string
+		parents []int
+		root    int
+		height  int
+		leaves  []int
+	}{
+		{"single", []int{NoParent}, 0, 0, []int{0}},
+		{"chain3", []int{NoParent, 0, 1}, 0, 2, []int{2}},
+		{"star4", []int{NoParent, 0, 0, 0}, 0, 1, []int{1, 2, 3}},
+		{"rootNotZero", []int{2, 2, NoParent}, 2, 1, []int{0, 1}},
+		{"binary7", []int{NoParent, 0, 0, 1, 1, 2, 2}, 0, 2, []int{3, 4, 5, 6}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := FromParents(tc.parents)
+			if err != nil {
+				t.Fatalf("FromParents(%v): %v", tc.parents, err)
+			}
+			if tr.Root() != tc.root {
+				t.Errorf("Root() = %d, want %d", tr.Root(), tc.root)
+			}
+			if tr.Height() != tc.height {
+				t.Errorf("Height() = %d, want %d", tr.Height(), tc.height)
+			}
+			if got := tr.Leaves(); !reflect.DeepEqual(got, tc.leaves) {
+				t.Errorf("Leaves() = %v, want %v", got, tc.leaves)
+			}
+			if tr.Len() != len(tc.parents) {
+				t.Errorf("Len() = %d, want %d", tr.Len(), len(tc.parents))
+			}
+		})
+	}
+}
+
+func TestFromParentsErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		parents []int
+		wantErr error
+	}{
+		{"empty", nil, ErrEmpty},
+		{"noRoot", []int{1, 0}, ErrNoRoot},
+		{"twoRoots", []int{NoParent, NoParent}, ErrMultipleRoots},
+		{"outOfRange", []int{NoParent, 5}, ErrBadParent},
+		{"selfLoop", []int{NoParent, 1}, ErrCycle},
+		{"cycle", []int{NoParent, 2, 1}, ErrCycle},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := FromParents(tc.parents)
+			if !errors.Is(err, tc.wantErr) {
+				t.Errorf("FromParents(%v) error = %v, want %v", tc.parents, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustFromParentsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustFromParents on invalid input did not panic")
+		}
+	}()
+	MustFromParents([]int{0})
+}
+
+func TestParentChildConsistency(t *testing.T) {
+	tr := MustFromParents([]int{NoParent, 0, 0, 1, 1, 2, 2})
+	for v := 0; v < tr.Len(); v++ {
+		for _, c := range tr.Children(v) {
+			if tr.Parent(c) != v {
+				t.Errorf("Parent(Children(%d)=%d) = %d", v, c, tr.Parent(c))
+			}
+		}
+	}
+	if tr.Parent(tr.Root()) != NoParent {
+		t.Errorf("root parent = %d, want NoParent", tr.Parent(tr.Root()))
+	}
+}
+
+func TestChildrenCopyIsolated(t *testing.T) {
+	tr := MustFromParents([]int{NoParent, 0, 0})
+	kids := tr.Children(0)
+	kids[0] = 99
+	if got := tr.Children(0); got[0] == 99 {
+		t.Error("Children returned an aliased slice; mutation leaked into the tree")
+	}
+}
+
+func TestDegree(t *testing.T) {
+	tr := MustFromParents([]int{NoParent, 0, 0, 1})
+	tests := []struct{ node, want int }{
+		{0, 2}, // two children, no parent
+		{1, 2}, // one child + parent
+		{2, 1}, // parent only
+		{3, 1},
+	}
+	for _, tc := range tests {
+		if got := tr.Degree(tc.node); got != tc.want {
+			t.Errorf("Degree(%d) = %d, want %d", tc.node, got, tc.want)
+		}
+	}
+	if got := tr.MaxDegree(); got != 2 {
+		t.Errorf("MaxDegree() = %d, want 2", got)
+	}
+}
+
+func TestPostOrderChildrenBeforeParents(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr, err := Random(50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, tr.Len())
+	for i, v := range tr.PostOrder() {
+		pos[v] = i
+	}
+	for v := 0; v < tr.Len(); v++ {
+		if v != tr.Root() && pos[v] > pos[tr.Parent(v)] {
+			t.Fatalf("node %d appears after its parent %d in post-order", v, tr.Parent(v))
+		}
+	}
+}
+
+func TestPreOrderParentsBeforeChildren(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr, err := Random(50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, tr.Len())
+	for i, v := range tr.PreOrder() {
+		pos[v] = i
+	}
+	for v := 0; v < tr.Len(); v++ {
+		if v != tr.Root() && pos[v] < pos[tr.Parent(v)] {
+			t.Fatalf("node %d appears before its parent %d in pre-order", v, tr.Parent(v))
+		}
+	}
+}
+
+func TestTraversalsCoverAllNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr, err := Random(40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, order := range map[string][]int{
+		"post": tr.PostOrder(),
+		"pre":  tr.PreOrder(),
+		"bfs":  tr.BFSOrder(),
+	} {
+		if len(order) != tr.Len() {
+			t.Fatalf("%s order has %d nodes, want %d", name, len(order), tr.Len())
+		}
+		seen := make(map[int]bool, len(order))
+		for _, v := range order {
+			if seen[v] {
+				t.Fatalf("%s order repeats node %d", name, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestBFSOrderByDepth(t *testing.T) {
+	tr := MustFromParents([]int{NoParent, 0, 0, 1, 1, 2, 2})
+	prev := -1
+	for _, v := range tr.BFSOrder() {
+		if d := tr.Depth(v); d < prev {
+			t.Fatalf("BFS visits depth %d after depth %d", d, prev)
+		} else {
+			prev = d
+		}
+	}
+}
+
+func TestSubtreeSizeAndNodes(t *testing.T) {
+	tr := MustFromParents([]int{NoParent, 0, 0, 1, 1, 2, 2})
+	if got := tr.SubtreeSize(0); got != 7 {
+		t.Errorf("SubtreeSize(root) = %d, want 7", got)
+	}
+	if got := tr.SubtreeSize(1); got != 3 {
+		t.Errorf("SubtreeSize(1) = %d, want 3", got)
+	}
+	nodes := tr.SubtreeNodes(2)
+	sort.Ints(nodes)
+	if want := []int{2, 5, 6}; !reflect.DeepEqual(nodes, want) {
+		t.Errorf("SubtreeNodes(2) = %v, want %v", nodes, want)
+	}
+}
+
+func TestSubtreeSums(t *testing.T) {
+	tr := MustFromParents([]int{NoParent, 0, 0, 1})
+	vals := []float64{1, 2, 4, 8}
+	sums := tr.SubtreeSums(vals)
+	want := []float64{15, 10, 4, 8}
+	if !reflect.DeepEqual(sums, want) {
+		t.Errorf("SubtreeSums = %v, want %v", sums, want)
+	}
+}
+
+func TestPathToRootAndAncestor(t *testing.T) {
+	tr := MustFromParents([]int{NoParent, 0, 1, 2})
+	if got := tr.PathToRoot(3); !reflect.DeepEqual(got, []int{3, 2, 1, 0}) {
+		t.Errorf("PathToRoot(3) = %v", got)
+	}
+	if !tr.IsAncestor(1, 3) || !tr.IsAncestor(3, 3) {
+		t.Error("IsAncestor false negative")
+	}
+	if tr.IsAncestor(3, 1) {
+		t.Error("IsAncestor false positive")
+	}
+}
+
+func TestEdgesCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr, err := Random(33, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := tr.Edges()
+	if len(edges) != tr.Len()-1 {
+		t.Fatalf("Edges() returned %d edges, want %d", len(edges), tr.Len()-1)
+	}
+	for _, e := range edges {
+		if tr.Parent(e[1]) != e[0] {
+			t.Fatalf("edge %v is not a parent-child pair", e)
+		}
+	}
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	tr := MustFromParents([]int{NoParent, 0, 0, 1, 1})
+	perm := []int{4, 3, 2, 1, 0}
+	rt, err := tr.Relabel(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Root() != 4 {
+		t.Errorf("relabeled root = %d, want 4", rt.Root())
+	}
+	// Depth profile must be preserved under relabeling.
+	for v := 0; v < tr.Len(); v++ {
+		if tr.Depth(v) != rt.Depth(perm[v]) {
+			t.Errorf("depth mismatch: node %d depth %d vs relabeled %d depth %d",
+				v, tr.Depth(v), perm[v], rt.Depth(perm[v]))
+		}
+	}
+	vals := []float64{10, 20, 30, 40, 50}
+	mapped := ApplyPermutation(vals, perm)
+	for i, v := range vals {
+		if mapped[perm[i]] != v {
+			t.Errorf("ApplyPermutation misplaced value %v", v)
+		}
+	}
+}
+
+func TestRelabelRejectsBadPermutations(t *testing.T) {
+	tr := MustFromParents([]int{NoParent, 0})
+	if _, err := tr.Relabel([]int{0}); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if _, err := tr.Relabel([]int{0, 0}); err == nil {
+		t.Error("duplicate permutation accepted")
+	}
+	if _, err := tr.Relabel([]int{0, 5}); err == nil {
+		t.Error("out-of-range permutation accepted")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustFromParents([]int{NoParent, 0, 0})
+	b := MustFromParents([]int{NoParent, 0, 0})
+	c := MustFromParents([]int{NoParent, 0, 1})
+	if !a.Equal(b) {
+		t.Error("identical trees not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different trees Equal")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	orig, err := Random(25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := orig.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseParents(string(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Equal(back) {
+		t.Error("MarshalText/ParseParents round trip changed the tree")
+	}
+}
+
+func TestParseParentsErrors(t *testing.T) {
+	if _, err := ParseParents(""); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty parse error = %v", err)
+	}
+	if _, err := ParseParents("-1 x"); err == nil {
+		t.Error("non-numeric parse accepted")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	tr := MustFromParents([]int{NoParent, 0})
+	dot := tr.DOT("t", nil)
+	for _, want := range []string{"digraph", "n1 -> n0", "rankdir=BT"} {
+		if !contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}
+
+func TestBuilder(t *testing.T) {
+	b := NewBuilder()
+	root := b.Root()
+	kids := b.Children(root, 3)
+	grand := b.Child(kids[1])
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", tr.Len())
+	}
+	if tr.Parent(grand) != kids[1] {
+		t.Errorf("grandchild parent = %d, want %d", tr.Parent(grand), kids[1])
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	t.Run("doubleRoot", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("second Root() did not panic")
+			}
+		}()
+		b := NewBuilder()
+		b.Root()
+		b.Root()
+	})
+	t.Run("badParent", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Child(99) did not panic")
+			}
+		}()
+		b := NewBuilder()
+		b.Root()
+		b.Child(99)
+	})
+}
+
+func TestGenerators(t *testing.T) {
+	t.Run("chain", func(t *testing.T) {
+		tr, err := Chain(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Height() != 4 || len(tr.Leaves()) != 1 {
+			t.Errorf("Chain(5): height=%d leaves=%d", tr.Height(), len(tr.Leaves()))
+		}
+	})
+	t.Run("star", func(t *testing.T) {
+		tr, err := Star(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Height() != 1 || len(tr.Leaves()) != 5 {
+			t.Errorf("Star(6): height=%d leaves=%d", tr.Height(), len(tr.Leaves()))
+		}
+	})
+	t.Run("kary", func(t *testing.T) {
+		tr, err := KAry(2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != 15 || tr.Height() != 3 {
+			t.Errorf("KAry(2,3): n=%d height=%d", tr.Len(), tr.Height())
+		}
+		for v := 0; v < tr.Len(); v++ {
+			if n := tr.NumChildren(v); n != 0 && n != 2 {
+				t.Errorf("KAry(2,3) node %d has %d children", v, n)
+			}
+		}
+	})
+	t.Run("karyErrors", func(t *testing.T) {
+		if _, err := KAry(0, 2); err == nil {
+			t.Error("KAry(0,·) accepted")
+		}
+		if _, err := KAry(2, -1); err == nil {
+			t.Error("KAry(·,-1) accepted")
+		}
+	})
+}
+
+func TestRandomDepthExactHeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20; i++ {
+		n := 12 + rng.Intn(60)
+		depth := 1 + rng.Intn(10)
+		if depth >= n {
+			depth = n - 1
+		}
+		tr, err := RandomDepth(n, depth, rng)
+		if err != nil {
+			t.Fatalf("RandomDepth(%d,%d): %v", n, depth, err)
+		}
+		if tr.Height() != depth {
+			t.Fatalf("RandomDepth(%d,%d) height = %d", n, depth, tr.Height())
+		}
+	}
+	if _, err := RandomDepth(3, 5, rng); err == nil {
+		t.Error("RandomDepth with depth >= n accepted")
+	}
+}
+
+func TestRandomBoundedDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tr, err := RandomBounded(200, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < tr.Len(); v++ {
+		if tr.NumChildren(v) > 3 {
+			t.Fatalf("node %d has %d > 3 children", v, tr.NumChildren(v))
+		}
+	}
+}
+
+func TestRandomCaterpillar(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr, err := RandomCaterpillar(30, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 9 {
+		t.Errorf("caterpillar height %d < spine-1", tr.Height())
+	}
+}
+
+// Property: any parent array generated by Random round-trips through
+// MarshalText and preserves every derived quantity.
+func TestQuickRandomTreesWellFormed(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%120) + 1
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := Random(n, rng)
+		if err != nil {
+			return false
+		}
+		// Depth consistency: every child is exactly one deeper.
+		for v := 0; v < tr.Len(); v++ {
+			if v != tr.Root() && tr.Depth(v) != tr.Depth(tr.Parent(v))+1 {
+				return false
+			}
+		}
+		// Subtree sizes sum correctly at the root.
+		if tr.SubtreeSize(tr.Root()) != tr.Len() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperTrees(t *testing.T) {
+	t2a, e2a := Figure2a()
+	if t2a.Len() != 3 || len(e2a) != 3 {
+		t.Error("Figure2a malformed")
+	}
+	t2b, e2b := Figure2b()
+	if t2b.Len() != 3 || e2b[t2b.Root()] != 60 {
+		t.Error("Figure2b malformed")
+	}
+	t4, e4 := Figure4()
+	if t4.Len() != 8 || len(e4) != 8 {
+		t.Error("Figure4 malformed")
+	}
+	t6, e6 := Figure6()
+	if t6.Len() != 14 || len(e6) != 14 {
+		t.Error("Figure6 malformed")
+	}
+	t7, e7 := Figure7Topology()
+	if t7.Len() != 4 || e7[2] != 120 || e7[3] != 240 {
+		t.Error("Figure7Topology malformed")
+	}
+	// The Figure 7 topology is the chain root->1 with leaves 2,3 under 1.
+	if t7.Parent(2) != 1 || t7.Parent(3) != 1 || t7.Parent(1) != 0 {
+		t.Error("Figure7Topology structure wrong")
+	}
+}
+
+func TestFormatWithValues(t *testing.T) {
+	tr := MustFromParents([]int{NoParent, 0})
+	out := tr.FormatWithValues([]string{"E"}, []float64{1.5, 2.5})
+	if !contains(out, "E=1.5") || !contains(out, "E=2.5") {
+		t.Errorf("FormatWithValues output missing annotations:\n%s", out)
+	}
+}
+
+func TestReparent(t *testing.T) {
+	tr := MustFromParents([]int{NoParent, 0, 0, 1, 1})
+	// Move node 3 under node 2.
+	nt, err := tr.Reparent(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt.Parent(3) != 2 {
+		t.Errorf("parent(3) = %d, want 2", nt.Parent(3))
+	}
+	if tr.Parent(3) != 1 {
+		t.Error("Reparent mutated the original tree")
+	}
+	if nt.Len() != tr.Len() {
+		t.Error("node count changed")
+	}
+	// Errors: root, cycle, out of range.
+	if _, err := tr.Reparent(0, 1); err == nil {
+		t.Error("reparenting the root accepted")
+	}
+	if _, err := tr.Reparent(1, 3); err == nil {
+		t.Error("cycle-creating reparent accepted (3 is in subtree of 1)")
+	}
+	if _, err := tr.Reparent(1, 1); err == nil {
+		t.Error("self-parent accepted")
+	}
+	if _, err := tr.Reparent(-1, 0); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestSortedChildren(t *testing.T) {
+	// Build a tree whose child lists are out of order by construction.
+	tr := MustFromParents([]int{2, 2, NoParent, 1, 1})
+	st := tr.SortedChildren()
+	if !tr.Equal(st) {
+		t.Error("SortedChildren changed the parent relation")
+	}
+	for v := 0; v < st.Len(); v++ {
+		kids := st.Children(v)
+		if !sort.IntsAreSorted(kids) {
+			t.Errorf("children of %d not sorted: %v", v, kids)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package wave
+
+import (
+	"fmt"
+	"math/rand"
+
+	"webwave/internal/core"
+	"webwave/internal/sim"
+	"webwave/internal/stats"
+	"webwave/internal/tree"
+)
+
+// AsyncConfig parameterizes an asynchronous WebWave run. The paper notes
+// that "in a realistic system, WebWave servers would have two parameters:
+// the gossip period, and the diffusion period"; this simulator adds bounded
+// communication delay (the Bertsekas–Tsitsiklis condition for asynchronous
+// diffusion convergence) and optional message loss.
+type AsyncConfig struct {
+	GossipPeriod    float64 // seconds between load broadcasts to neighbors
+	DiffusionPeriod float64 // seconds between local balancing decisions
+	Delay           float64 // base one-way message delay, seconds
+	Jitter          float64 // uniform extra delay in [0, Jitter)
+	LossProb        float64 // probability a gossip message is dropped
+	Seed            int64   // RNG seed (delays, jitter, loss, phase offsets)
+	Alpha           AlphaFunc
+	Initial         InitialPolicy
+	InitialLoad     core.Vector
+}
+
+func (c *AsyncConfig) withDefaults() AsyncConfig {
+	out := *c
+	if out.GossipPeriod <= 0 {
+		out.GossipPeriod = 1.0
+	}
+	if out.DiffusionPeriod <= 0 {
+		out.DiffusionPeriod = 1.0
+	}
+	if out.LossProb < 0 {
+		out.LossProb = 0
+	}
+	return out
+}
+
+// asyncNode is the local state of one server in the asynchronous run — only
+// information a real server would have.
+type asyncNode struct {
+	id       int
+	loadView map[int]float64 // last gossiped load of each neighbor
+}
+
+// AsyncResult captures an asynchronous run.
+type AsyncResult struct {
+	// Times[k] is the virtual time of sample k; Distances[k] the Euclidean
+	// distance to the target at that time.
+	Times     []float64
+	Distances []float64
+	Final     core.Vector
+	Converged bool
+	// MessagesSent counts gossip + transfer messages — the protocol
+	// overhead that a directory-based system would instead spend on
+	// lookups.
+	MessagesSent int64
+	// MessagesLost counts gossip messages dropped by the loss model.
+	MessagesLost int64
+	// InFlight is the load still carried by undelivered transfer messages
+	// when the run ends; ΣFinal + InFlight = ΣE exactly.
+	InFlight float64
+}
+
+// RunAsync simulates WebWave with explicit messaging on a discrete-event
+// engine for `duration` virtual seconds, sampling the distance to target
+// every sampleEvery seconds. Transfers remain exactly load-conserving: the
+// sender debits itself when the delegation/shed message departs and the
+// receiver credits itself on delivery, so in-flight load is accounted.
+func RunAsync(t *tree.Tree, e core.Vector, target core.Vector, cfg AsyncConfig, duration, sampleEvery float64) (*AsyncResult, error) {
+	cfg = cfg.withDefaults()
+	if err := core.ValidateRates(e, t.Len()); err != nil {
+		return nil, fmt.Errorf("webwave async: %w", err)
+	}
+	if len(target) != t.Len() {
+		return nil, fmt.Errorf("webwave async: target length %d != n %d", len(target), t.Len())
+	}
+	if duration <= 0 || sampleEvery <= 0 {
+		return nil, fmt.Errorf("webwave async: duration %v and sampleEvery %v must be positive", duration, sampleEvery)
+	}
+	alpha := cfg.Alpha
+	if alpha == nil {
+		alpha = MaxDegreeAlpha(t)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := t.Len()
+
+	// Global ground truth (the simulator's bookkeeping, not node knowledge).
+	load := make(core.Vector, n)
+	switch {
+	case cfg.InitialLoad != nil:
+		if len(cfg.InitialLoad) != n {
+			return nil, fmt.Errorf("webwave async: initial load length %d != n %d", len(cfg.InitialLoad), n)
+		}
+		copy(load, cfg.InitialLoad)
+	case cfg.Initial == InitialSelf:
+		copy(load, e)
+	default:
+		load[t.Root()] = core.SumVec(e)
+	}
+	inflight := 0.0
+
+	// forward recomputes the true A vector; a real node measures its own A
+	// by counting the requests it forwards, so reading the true value
+	// locally is the faithful model (neighbor values arrive via gossip).
+	fwd := make(core.Vector, n)
+	recomputeFwd := func() {
+		for _, v := range t.PostOrder() {
+			sum := e[v] - load[v]
+			t.EachChild(v, func(c int) {
+				sum += fwd[c]
+			})
+			fwd[v] = sum
+		}
+	}
+	recomputeFwd()
+
+	nodes := make([]*asyncNode, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = &asyncNode{id: v, loadView: make(map[int]float64)}
+	}
+
+	eng := &sim.Engine{}
+	res := &AsyncResult{}
+
+	delay := func() float64 {
+		d := cfg.Delay
+		if cfg.Jitter > 0 {
+			d += rng.Float64() * cfg.Jitter
+		}
+		return d
+	}
+
+	neighbors := func(v int) []int {
+		var out []int
+		if v != t.Root() {
+			out = append(out, t.Parent(v))
+		}
+		out = append(out, t.Children(v)...)
+		return out
+	}
+
+	// Gossip process per node.
+	for v := 0; v < n; v++ {
+		v := v
+		phase := rng.Float64() * cfg.GossipPeriod
+		eng.Every(phase, cfg.GossipPeriod, func() bool {
+			for _, u := range neighbors(v) {
+				u := u
+				res.MessagesSent++
+				if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
+					res.MessagesLost++
+					continue
+				}
+				lv := load[v]
+				eng.After(delay(), func() {
+					nodes[u].loadView[v] = lv
+				})
+			}
+			return true
+		})
+	}
+
+	// Diffusion process per node: the Figure 5 body on local views.
+	for v := 0; v < n; v++ {
+		v := v
+		phase := rng.Float64() * cfg.DiffusionPeriod
+		eng.Every(phase, cfg.DiffusionPeriod, func() bool {
+			node := nodes[v]
+			// (2.1) for each child j: delegate down if we look overloaded.
+			t.EachChild(v, func(j int) {
+				lj, ok := node.loadView[j]
+				if !ok || load[v] <= lj {
+					return
+				}
+				d := alpha(v, j) * (load[v] - lj)
+				// NSS cap with the locally observed forwarded rate.
+				if d > fwd[j] {
+					d = fwd[j]
+				}
+				if d <= 0 {
+					return
+				}
+				if d > load[v] {
+					d = load[v]
+				}
+				load[v] -= d
+				inflight += d
+				res.MessagesSent++
+				eng.After(delay(), func() {
+					// The child accepts at most its current forwarded rate;
+					// any excess bounces back (the delegation names request
+					// streams the child must still be seeing).
+					acc := d
+					if acc > fwd[j] {
+						acc = fwd[j]
+					}
+					if acc < 0 {
+						acc = 0
+					}
+					load[j] += acc
+					inflight -= d
+					if rej := d - acc; rej > 0 {
+						inflight += rej
+						res.MessagesSent++
+						eng.After(delay(), func() {
+							load[v] += rej
+							inflight -= rej
+							recomputeFwd()
+						})
+					}
+					recomputeFwd()
+				})
+			})
+			// (2.2) toward the parent: shed up if we look overloaded.
+			if v != t.Root() {
+				p := t.Parent(v)
+				if lp, ok := node.loadView[p]; ok && load[v] > lp {
+					u := alpha(p, v) * (load[v] - lp)
+					if u > load[v] {
+						u = load[v]
+					}
+					if u > 0 {
+						load[v] -= u
+						inflight += u
+						res.MessagesSent++
+						eng.After(delay(), func() {
+							load[p] += u
+							inflight -= u
+							recomputeFwd()
+						})
+					}
+				}
+			}
+			recomputeFwd()
+			return true
+		})
+	}
+
+	// Sampling process.
+	eng.Every(0, sampleEvery, func() bool {
+		res.Times = append(res.Times, eng.Now())
+		res.Distances = append(res.Distances, stats.Euclidean(load, target))
+		return true
+	})
+
+	eng.Run(duration)
+
+	res.Final = core.CloneVec(load)
+	res.InFlight = inflight
+	if len(res.Distances) > 0 {
+		last := res.Distances[len(res.Distances)-1]
+		total := core.SumVec(e)
+		res.Converged = last <= 1e-3*(1+total)
+	}
+	return res, nil
+}

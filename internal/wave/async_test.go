@@ -1,0 +1,124 @@
+package wave
+
+import (
+	"math"
+	"testing"
+
+	"webwave/internal/core"
+	"webwave/internal/tree"
+)
+
+func TestAsyncValidation(t *testing.T) {
+	tr, e := tree.Figure4()
+	target := mustTLB(t, tr, e)
+	if _, err := RunAsync(tr, core.Vector{1}, target, AsyncConfig{}, 10, 1); err == nil {
+		t.Error("short rates accepted")
+	}
+	if _, err := RunAsync(tr, e, core.Vector{1}, AsyncConfig{}, 10, 1); err == nil {
+		t.Error("short target accepted")
+	}
+	if _, err := RunAsync(tr, e, target, AsyncConfig{}, 0, 1); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := RunAsync(tr, e, target, AsyncConfig{}, 10, 0); err == nil {
+		t.Error("zero sample interval accepted")
+	}
+	if _, err := RunAsync(tr, e, target, AsyncConfig{InitialLoad: core.Vector{1}}, 10, 1); err == nil {
+		t.Error("short initial load accepted")
+	}
+}
+
+func TestAsyncConvergesZeroDelay(t *testing.T) {
+	tr, e := tree.Figure6()
+	target := mustTLB(t, tr, e)
+	res, err := RunAsync(tr, e, target, AsyncConfig{
+		GossipPeriod: 1, DiffusionPeriod: 1, Seed: 1, Initial: InitialRoot,
+	}, 2000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Distances[len(res.Distances)-1]
+	if last > 0.01*res.Distances[0] {
+		t.Errorf("async zero-delay barely converged: d0=%v dEnd=%v", res.Distances[0], last)
+	}
+	if res.MessagesSent == 0 {
+		t.Error("no messages sent")
+	}
+}
+
+func TestAsyncConservationWithDelay(t *testing.T) {
+	tr, e := tree.Figure6()
+	target := mustTLB(t, tr, e)
+	res, err := RunAsync(tr, e, target, AsyncConfig{
+		GossipPeriod: 1, DiffusionPeriod: 1,
+		Delay: 0.4, Jitter: 0.2, Seed: 2, Initial: InitialSelf,
+	}, 1500, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := core.SumVec(e)
+	if got := core.SumVec(res.Final) + res.InFlight; math.Abs(got-total) > 1e-6 {
+		t.Errorf("ΣL + inflight = %v, want %v", got, total)
+	}
+	last := res.Distances[len(res.Distances)-1]
+	if last > 0.05*total {
+		t.Errorf("bounded-delay run far from TLB: %v (total %v)", last, total)
+	}
+}
+
+func TestAsyncToleratesGossipLoss(t *testing.T) {
+	tr, e := tree.Figure6()
+	target := mustTLB(t, tr, e)
+	res, err := RunAsync(tr, e, target, AsyncConfig{
+		GossipPeriod: 1, DiffusionPeriod: 1,
+		Delay: 0.1, LossProb: 0.3, Seed: 3, Initial: InitialRoot,
+	}, 3000, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MessagesLost == 0 {
+		t.Error("loss model inactive")
+	}
+	last := res.Distances[len(res.Distances)-1]
+	if last > 0.05*core.SumVec(e) {
+		t.Errorf("lossy run far from TLB: %v", last)
+	}
+}
+
+func TestAsyncNSSRespected(t *testing.T) {
+	// Figure 2(b): nothing may ever flow to the zero-demand leaves, no
+	// matter the asynchrony.
+	tr, e := tree.Figure2b()
+	target := mustTLB(t, tr, e)
+	res, err := RunAsync(tr, e, target, AsyncConfig{
+		GossipPeriod: 1, DiffusionPeriod: 1, Delay: 0.3, Jitter: 0.3, Seed: 4,
+	}, 500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final[1] != 0 || res.Final[2] != 0 {
+		t.Errorf("async moved load into zero-demand leaves: %v", res.Final)
+	}
+}
+
+func TestAsyncDeterministicForSeed(t *testing.T) {
+	tr, e := tree.Figure6()
+	target := mustTLB(t, tr, e)
+	run := func() *AsyncResult {
+		res, err := RunAsync(tr, e, target, AsyncConfig{
+			GossipPeriod: 1, DiffusionPeriod: 1.5, Delay: 0.2, Jitter: 0.1,
+			LossProb: 0.1, Seed: 99, Initial: InitialRoot,
+		}, 300, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !core.VecAlmostEqual(a.Final, b.Final, 0) {
+		t.Error("same seed produced different trajectories")
+	}
+	if a.MessagesSent != b.MessagesSent || a.MessagesLost != b.MessagesLost {
+		t.Error("same seed produced different message counts")
+	}
+}

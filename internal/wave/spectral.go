@@ -1,0 +1,78 @@
+package wave
+
+import (
+	"fmt"
+
+	"webwave/internal/core"
+	"webwave/internal/diffusion"
+	"webwave/internal/fold"
+	"webwave/internal/tree"
+)
+
+// SpectralRate predicts WebWave's asymptotic convergence rate on (t, e)
+// from first principles, formalizing the paper's Figure 1 footnote ("γ is
+// the spectral radius of the diffusion matrix") for the tree-constrained
+// case.
+//
+// At the TLB fixed point no load crosses fold boundaries (Lemma 2): on a
+// cross-fold edge the parent side is capped by A = 0 and the child side has
+// nothing to shed, so near the optimum the dynamics decouple into
+// independent diffusions on the fold subtrees. The slowest fold dominates:
+// the prediction is the maximum, over WebFold folds, of the second-largest
+// eigenvalue modulus of the fold's internal diffusion matrix (singleton
+// folds equilibrate instantly and contribute zero).
+//
+// It returns the dominating rate and the per-fold rates indexed like
+// res.Folds. The fitted γ of a simulated run (stats.FitGeometric) includes
+// the pre-asymptotic transient, so it tracks — but need not equal — this
+// prediction; the G9S experiment quantifies the gap.
+func SpectralRate(t *tree.Tree, e core.Vector, alpha AlphaFunc) (float64, []float64, error) {
+	if alpha == nil {
+		alpha = MaxDegreeAlpha(t)
+	}
+	res, err := fold.Compute(t, e)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wave: spectral rate: %w", err)
+	}
+	perFold := make([]float64, len(res.Folds))
+	worst := 0.0
+	for fi, f := range res.Folds {
+		if len(f.Members) < 2 {
+			continue
+		}
+		idx := make(map[int]int, len(f.Members))
+		for i, v := range f.Members {
+			idx[v] = i
+		}
+		m := len(f.Members)
+		d := make([][]float64, m)
+		for i := range d {
+			d[i] = make([]float64, m)
+			d[i][i] = 1
+		}
+		// Fold-internal tree edges carry the same α the protocol uses;
+		// everything else is zero (cross-fold transfers vanish at the
+		// optimum).
+		for _, v := range f.Members {
+			if v == f.Root {
+				continue
+			}
+			p := t.Parent(v)
+			pi, ok := idx[p]
+			if !ok {
+				continue // v is the fold root's child in another fold — impossible for contiguous folds, but be safe
+			}
+			vi := idx[v]
+			a := alpha(p, v)
+			d[pi][vi] += a
+			d[vi][pi] += a
+			d[pi][pi] -= a
+			d[vi][vi] -= a
+		}
+		perFold[fi] = diffusion.SpectralGamma(d)
+		if perFold[fi] > worst {
+			worst = perFold[fi]
+		}
+	}
+	return worst, perFold, nil
+}

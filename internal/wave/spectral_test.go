@@ -1,0 +1,124 @@
+package wave
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"webwave/internal/core"
+	"webwave/internal/fold"
+	"webwave/internal/stats"
+	"webwave/internal/trace"
+	"webwave/internal/tree"
+)
+
+func TestSpectralRateChainMatchesTheory(t *testing.T) {
+	// A 2-node chain with a hotter child folds into one fold (the child's
+	// per-node load 30 exceeds the parent's 10). The fold's diffusion
+	// matrix with α is [[1-α, α], [α, 1-α]], whose second eigenvalue is
+	// 1-2α.
+	tr := tree.MustFromParents([]int{tree.NoParent, 0})
+	e := core.Vector{10, 30}
+	const a = 0.25
+	gamma, perFold, err := SpectralRate(tr, e, UniformAlpha(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - 2*a
+	if math.Abs(gamma-want) > 1e-9 {
+		t.Fatalf("gamma = %v, want %v", gamma, want)
+	}
+	if len(perFold) != 1 {
+		t.Fatalf("perFold = %v, want a single fold", perFold)
+	}
+}
+
+func TestSpectralRateSingletonFoldsAreInstant(t *testing.T) {
+	// Rates that keep every node in its own fold (root much hotter than
+	// the leaves) predict instant convergence: nothing to diffuse.
+	tr := tree.MustFromParents([]int{tree.NoParent, 0, 0})
+	e := core.Vector{1000, 1, 1}
+	gamma, perFold, err := SpectralRate(tr, e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gamma != 0 {
+		t.Fatalf("gamma = %v, want 0 for all-singleton folds", gamma)
+	}
+	for i, g := range perFold {
+		if g != 0 {
+			t.Errorf("fold %d rate %v, want 0", i, g)
+		}
+	}
+}
+
+func TestSpectralRatePredictsMeasuredTailRate(t *testing.T) {
+	// On random trees the measured per-round contraction of the distance to
+	// TLB must approach the spectral prediction in the tail of the run.
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := tree.Random(30, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := trace.UniformRates(30, 10, 100, rng)
+		alpha := MaxDegreeAlpha(tr)
+
+		predicted, _, err := SpectralRate(tr, e, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tlb, err := fold.Compute(tr, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSim(tr, e, Config{Initial: InitialSelf, Alpha: alpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := s.Run(tlb.Load, 4000, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Tail contraction ratio: average d_{t+1}/d_t over late rounds with
+		// meaningful distances.
+		ratios := stats.ContractionRatios(rr.Distances)
+		var tail []float64
+		for i := len(ratios) / 2; i < len(ratios); i++ {
+			if rr.Distances[i] > 1e-9 && ratios[i] > 0 && ratios[i] <= 1 {
+				tail = append(tail, ratios[i])
+			}
+		}
+		if len(tail) < 10 {
+			continue // converged too fast to measure a tail; fine
+		}
+		measured := stats.Mean(tail)
+		if predicted == 0 {
+			// All-singleton folds: measured tail should be tiny too.
+			if measured > 0.2 {
+				t.Errorf("seed %d: predicted instant, measured tail ratio %v", seed, measured)
+			}
+			continue
+		}
+		// The measured asymptotic ratio must not exceed the prediction by
+		// more than numerical slack, and should be in its neighborhood
+		// (the prediction is the worst fold; the measured mix can be a bit
+		// faster).
+		if measured > predicted+0.05 {
+			t.Errorf("seed %d: measured tail ratio %v exceeds spectral prediction %v",
+				seed, measured, predicted)
+		}
+		if measured < predicted-0.35 {
+			t.Errorf("seed %d: measured %v far below prediction %v — prediction not tight",
+				seed, measured, predicted)
+		}
+	}
+}
+
+func TestSpectralRateRejectsBadInput(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent, 0})
+	if _, _, err := SpectralRate(tr, core.Vector{1}, nil); err == nil {
+		t.Error("accepted a short rate vector")
+	}
+}

@@ -1,0 +1,302 @@
+// Package wave implements WebWave, the paper's fully distributed,
+// diffusion-based load-balancing protocol (Section 5, Figure 5), at the
+// request-rate level.
+//
+// Each server i maintains its served rate L_i, the forwarded rate A_j it
+// observes from every child j, and gossiped estimates of its neighbors'
+// loads. Periodically it shifts future service duty: down to a less-loaded
+// child j by min(A_j, α·(L_i − L_ij)) — the no-sibling-sharing cap, since a
+// parent can delegate to a child only requests that child itself forwards —
+// and up to a more-loaded parent without a cap, since requests flow upward
+// naturally.
+//
+// The synchronous simulator in this file reproduces the paper's Section 5.1
+// setting (negligible communication delay, instantaneous information,
+// arbitrarily divisible load); the asynchronous simulator in async.go
+// relaxes those assumptions with gossip periods, diffusion periods and
+// bounded message delay on a discrete-event engine.
+package wave
+
+import (
+	"fmt"
+	"math"
+
+	"webwave/internal/core"
+	"webwave/internal/stats"
+	"webwave/internal/tree"
+)
+
+// AlphaFunc yields the diffusion parameter for the tree edge between parent
+// i and child j.
+type AlphaFunc func(i, j int) float64
+
+// MaxDegreeAlpha returns the classic uniform α = 1/(maxdeg+1), the paper's
+// Figure 5 default ("other values of α_i are possible").
+func MaxDegreeAlpha(t *tree.Tree) AlphaFunc {
+	a := 1.0 / float64(t.MaxDegree()+1)
+	return func(i, j int) float64 { return a }
+}
+
+// LocalDegreeAlpha returns α_ij = 1/(1 + max(deg i, deg j)), computable from
+// purely local information.
+func LocalDegreeAlpha(t *tree.Tree) AlphaFunc {
+	return func(i, j int) float64 {
+		d := t.Degree(i)
+		if dj := t.Degree(j); dj > d {
+			d = dj
+		}
+		return 1.0 / float64(1+d)
+	}
+}
+
+// UniformAlpha returns a constant α for every edge. The caller must keep
+// Cybenko's stability condition in mind: Σ over a node's edges must stay
+// below 1.
+func UniformAlpha(a float64) AlphaFunc {
+	return func(i, j int) float64 { return a }
+}
+
+// InitialPolicy selects the load assignment a simulation starts from.
+type InitialPolicy int
+
+const (
+	// InitialSelf starts every node serving exactly its spontaneous rate
+	// (L = E): the state before any cache copies exist beyond one hop.
+	InitialSelf InitialPolicy = iota + 1
+	// InitialRoot starts the home server serving everything (L_root = ΣE):
+	// the state of a freshly published hot document set.
+	InitialRoot
+)
+
+// Config parameterizes a synchronous simulation.
+type Config struct {
+	Alpha   AlphaFunc     // default: MaxDegreeAlpha
+	Initial InitialPolicy // default: InitialRoot
+	// InitialLoad overrides Initial with an explicit feasible assignment.
+	InitialLoad core.Vector
+}
+
+// Sim is a synchronous WebWave simulator: all nodes exchange exact loads and
+// apply transfers in lockstep rounds.
+type Sim struct {
+	t     *tree.Tree
+	e     core.Vector
+	alpha AlphaFunc
+	load  core.Vector
+	fwd   core.Vector // A, recomputed each round by flow conservation
+	delta core.Vector // scratch: per-node net change within a round
+}
+
+// NewSim validates the configuration and builds a simulator.
+func NewSim(t *tree.Tree, e core.Vector, cfg Config) (*Sim, error) {
+	if err := core.ValidateRates(e, t.Len()); err != nil {
+		return nil, fmt.Errorf("webwave: %w", err)
+	}
+	alpha := cfg.Alpha
+	if alpha == nil {
+		alpha = MaxDegreeAlpha(t)
+	}
+	s := &Sim{
+		t:     t,
+		e:     core.CloneVec(e),
+		alpha: alpha,
+		delta: make(core.Vector, t.Len()),
+	}
+	switch {
+	case cfg.InitialLoad != nil:
+		if len(cfg.InitialLoad) != t.Len() {
+			return nil, fmt.Errorf("webwave: initial load length %d != n %d", len(cfg.InitialLoad), t.Len())
+		}
+		s.load = core.CloneVec(cfg.InitialLoad)
+	case cfg.Initial == InitialSelf:
+		s.load = core.CloneVec(e)
+	default:
+		s.load = make(core.Vector, t.Len())
+		s.load[t.Root()] = core.SumVec(e)
+	}
+	s.fwd = s.recomputeForward()
+	if err := s.checkFeasible(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Load returns a copy of the current load assignment.
+func (s *Sim) Load() core.Vector { return core.CloneVec(s.load) }
+
+// Forward returns a copy of the current forwarded-rate vector A.
+func (s *Sim) Forward() core.Vector { return core.CloneVec(s.fwd) }
+
+// Rates returns a copy of the spontaneous rate vector E.
+func (s *Sim) Rates() core.Vector { return core.CloneVec(s.e) }
+
+// SetTree replaces the routing tree mid-run — the route-churn extension.
+// The paper's model notes that "T captures the routes that are in effect at
+// any point in time"; when routing changes, subtrees move and a node may
+// suddenly serve load that no longer flows through it. The current load
+// assignment is carried over and repaired bottom-up on the new tree: any
+// node whose new subtree generates less than it serves sheds the excess
+// toward the new root (requests that stopped passing by are simply no
+// longer intercepted; their load reappears upstream).
+func (s *Sim) SetTree(t *tree.Tree) error {
+	if t.Len() != s.t.Len() {
+		return fmt.Errorf("webwave: new tree has %d nodes, want %d", t.Len(), s.t.Len())
+	}
+	s.t = t
+	s.repairFeasibility()
+	return nil
+}
+
+// repairFeasibility clips the load assignment to the flow constraints of
+// the current tree and rates: one bottom-up sweep moving any infeasible
+// excess toward the root, which absorbs the global imbalance.
+func (s *Sim) repairFeasibility() {
+	for _, v := range s.t.PostOrder() {
+		sub := s.e[v] - s.load[v]
+		s.t.EachChild(v, func(c int) {
+			sub += s.fwd[c]
+		})
+		if sub < 0 && v != s.t.Root() {
+			s.load[v] += sub // serve less here; the parent picks it up
+			sub = 0
+		}
+		if v == s.t.Root() && sub != 0 {
+			s.load[v] += sub
+			if s.load[v] < 0 {
+				s.load[v] = 0
+			}
+			sub = 0
+		}
+		s.fwd[v] = sub
+	}
+	s.fwd = s.recomputeForward()
+}
+
+// SetRates replaces the spontaneous rates mid-run (the erratic-workload
+// extension). The current load assignment is clipped to remain feasible
+// under the new rates: any node whose subtree now generates less than it
+// serves sheds the excess to its parent, in one bottom-up sweep.
+func (s *Sim) SetRates(e core.Vector) error {
+	if err := core.ValidateRates(e, s.t.Len()); err != nil {
+		return fmt.Errorf("webwave: %w", err)
+	}
+	copy(s.e, e)
+	s.repairFeasibility()
+	return nil
+}
+
+func (s *Sim) recomputeForward() core.Vector {
+	a := make(core.Vector, s.t.Len())
+	for _, v := range s.t.PostOrder() {
+		sum := s.e[v] - s.load[v]
+		s.t.EachChild(v, func(c int) {
+			sum += a[c]
+		})
+		a[v] = sum
+	}
+	return a
+}
+
+func (s *Sim) checkFeasible() error {
+	for v, a := range s.fwd {
+		if a < -core.Eps {
+			return fmt.Errorf("webwave: infeasible start: A[%d]=%.6g < 0 (NSS)", v, a)
+		}
+	}
+	r := s.t.Root()
+	if math.Abs(s.fwd[r]) > 1e-6 {
+		return fmt.Errorf("webwave: infeasible start: root forwards %.6g", s.fwd[r])
+	}
+	return nil
+}
+
+// Step performs one synchronous diffusion round (every node runs the Figure
+// 5 body once against the same snapshot) and returns the largest single
+// transfer of the round — a natural convergence signal.
+func (s *Sim) Step() float64 {
+	t := s.t
+	snapshot := s.load // read-only during transfer computation
+	for i := range s.delta {
+		s.delta[i] = 0
+	}
+	maxTransfer := 0.0
+	for _, edge := range t.Edges() {
+		i, j := edge[0], edge[1] // i parent, j child
+		a := s.alpha(i, j)
+		switch {
+		case snapshot[i] > snapshot[j]:
+			// Parent delegates down, capped by the child's forwarded rate
+			// (NSS): only requests j already sees can be served at j.
+			d := a * (snapshot[i] - snapshot[j])
+			if d > s.fwd[j] {
+				d = s.fwd[j]
+			}
+			if d > 0 {
+				s.delta[j] += d
+				s.delta[i] -= d
+				if d > maxTransfer {
+					maxTransfer = d
+				}
+			}
+		case snapshot[j] > snapshot[i]:
+			// Child sheds up; requests travel toward the root naturally, so
+			// no cap applies beyond not shedding more than it serves.
+			u := a * (snapshot[j] - snapshot[i])
+			if u > snapshot[j] {
+				u = snapshot[j]
+			}
+			if u > 0 {
+				s.delta[i] += u
+				s.delta[j] -= u
+				if u > maxTransfer {
+					maxTransfer = u
+				}
+			}
+		}
+	}
+	for v := range s.load {
+		s.load[v] += s.delta[v]
+		if s.load[v] < 0 {
+			// Guard against accumulated floating-point drift only; the α
+			// stability condition prevents real overdraw.
+			s.load[v] = 0
+		}
+	}
+	s.fwd = s.recomputeForward()
+	return maxTransfer
+}
+
+// RunResult captures a synchronous run.
+type RunResult struct {
+	// Distances[k] is the Euclidean distance between the load assignment
+	// after k rounds and the target (TLB) assignment; Distances[0] is the
+	// initial distance.
+	Distances []float64
+	Rounds    int
+	Final     core.Vector
+	Converged bool
+}
+
+// Run executes rounds until the distance to target falls below tol or
+// maxRounds elapse. target is typically the WebFold TLB assignment.
+func (s *Sim) Run(target core.Vector, maxRounds int, tol float64) (*RunResult, error) {
+	if len(target) != s.t.Len() {
+		return nil, fmt.Errorf("webwave: target length %d != n %d", len(target), s.t.Len())
+	}
+	res := &RunResult{Distances: []float64{stats.Euclidean(s.load, target)}}
+	for r := 0; r < maxRounds; r++ {
+		s.Step()
+		res.Rounds++
+		d := stats.Euclidean(s.load, target)
+		res.Distances = append(res.Distances, d)
+		if d <= tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Final = s.Load()
+	return res, nil
+}
+
+// TotalLoad returns ΣL, which every round conserves exactly at ΣE.
+func (s *Sim) TotalLoad() float64 { return core.SumVec(s.load) }

@@ -1,0 +1,332 @@
+package wave
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"webwave/internal/core"
+	"webwave/internal/fold"
+	"webwave/internal/stats"
+	"webwave/internal/trace"
+	"webwave/internal/tree"
+)
+
+func mustSim(t *testing.T, tr *tree.Tree, e core.Vector, cfg Config) *Sim {
+	t.Helper()
+	s, err := NewSim(tr, e, cfg)
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	return s
+}
+
+func mustTLB(t *testing.T, tr *tree.Tree, e core.Vector) core.Vector {
+	t.Helper()
+	res, err := fold.Compute(tr, e)
+	if err != nil {
+		t.Fatalf("fold.Compute: %v", err)
+	}
+	return res.Load
+}
+
+func TestNewSimValidation(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent, 0})
+	if _, err := NewSim(tr, core.Vector{1}, Config{}); err == nil {
+		t.Error("short rates accepted")
+	}
+	if _, err := NewSim(tr, core.Vector{1, -1}, Config{}); err == nil {
+		t.Error("negative rates accepted")
+	}
+	if _, err := NewSim(tr, core.Vector{1, 1}, Config{InitialLoad: core.Vector{1}}); err == nil {
+		t.Error("short initial load accepted")
+	}
+	// Initial load violating NSS (leaf serves load its subtree lacks).
+	if _, err := NewSim(tr, core.Vector{10, 0}, Config{InitialLoad: core.Vector{0, 10}}); err == nil {
+		t.Error("NSS-violating initial load accepted")
+	}
+	// Initial load that does not serve the offered total.
+	if _, err := NewSim(tr, core.Vector{10, 0}, Config{InitialLoad: core.Vector{5, 0}}); err == nil {
+		t.Error("non-conserving initial load accepted")
+	}
+}
+
+func TestInitialPolicies(t *testing.T) {
+	tr, e := tree.Figure4()
+	selfSim := mustSim(t, tr, e, Config{Initial: InitialSelf})
+	if !core.VecAlmostEqual(selfSim.Load(), e, 0) {
+		t.Error("InitialSelf load != E")
+	}
+	rootSim := mustSim(t, tr, e, Config{Initial: InitialRoot})
+	l := rootSim.Load()
+	if l[tr.Root()] != core.SumVec(e) {
+		t.Error("InitialRoot load not at root")
+	}
+}
+
+func TestStepConservesLoadAndNSS(t *testing.T) {
+	tr, e := tree.Figure6()
+	s := mustSim(t, tr, e, Config{Initial: InitialRoot})
+	total := core.SumVec(e)
+	for i := 0; i < 200; i++ {
+		s.Step()
+		if math.Abs(s.TotalLoad()-total) > 1e-7 {
+			t.Fatalf("round %d: total %v != %v", i, s.TotalLoad(), total)
+		}
+		for v, a := range s.Forward() {
+			if a < -1e-7 {
+				t.Fatalf("round %d: NSS violated at node %d (A=%v)", i, v, a)
+			}
+		}
+	}
+}
+
+func TestConvergesToTLBOnFigures(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() (*tree.Tree, core.Vector)
+	}{
+		{"figure2a", tree.Figure2a},
+		{"figure2b", tree.Figure2b},
+		{"figure4", tree.Figure4},
+		{"figure6", tree.Figure6},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, e := tc.mk()
+			target := mustTLB(t, tr, e)
+			s := mustSim(t, tr, e, Config{Initial: InitialRoot})
+			rr, err := s.Run(target, 5000, 1e-6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rr.Converged {
+				t.Fatalf("did not converge: final distance %v", rr.Distances[len(rr.Distances)-1])
+			}
+		})
+	}
+}
+
+func TestFigure2bStaysPut(t *testing.T) {
+	// All load at the root with zero-demand leaves: TLB = initial state, and
+	// NSS forbids any transfer. WebWave must terminate immediately.
+	tr, e := tree.Figure2b()
+	target := mustTLB(t, tr, e)
+	s := mustSim(t, tr, e, Config{Initial: InitialRoot})
+	rr, err := s.Run(target, 10, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Converged || rr.Rounds != 0 && rr.Distances[0] > 1e-9 {
+		t.Errorf("Figure 2(b): distances %v", rr.Distances)
+	}
+	if s.Step() != 0 {
+		t.Error("transfer happened despite NSS forbidding it")
+	}
+}
+
+func TestDistanceMonotoneOnFigure6(t *testing.T) {
+	tr, e := tree.Figure6()
+	target := mustTLB(t, tr, e)
+	s := mustSim(t, tr, e, Config{Initial: InitialRoot})
+	rr, err := s.Run(target, 3000, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rr.Distances); i++ {
+		if rr.Distances[i] > rr.Distances[i-1]*1.02+1e-9 {
+			t.Fatalf("distance grew at round %d: %v -> %v", i, rr.Distances[i-1], rr.Distances[i])
+		}
+	}
+}
+
+func TestRunTargetValidation(t *testing.T) {
+	tr, e := tree.Figure2a()
+	s := mustSim(t, tr, e, Config{})
+	if _, err := s.Run(core.Vector{1}, 10, 0); err == nil {
+		t.Error("short target accepted")
+	}
+}
+
+func TestAlphaPolicies(t *testing.T) {
+	tr, e := tree.Figure6()
+	target := mustTLB(t, tr, e)
+	for _, tc := range []struct {
+		name  string
+		alpha AlphaFunc
+	}{
+		{"maxdeg", MaxDegreeAlpha(tr)},
+		{"local", LocalDegreeAlpha(tr)},
+		{"uniform", UniformAlpha(0.15)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustSim(t, tr, e, Config{Initial: InitialRoot, Alpha: tc.alpha})
+			rr, err := s.Run(target, 6000, 1e-6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rr.Converged {
+				t.Fatalf("%s did not converge", tc.name)
+			}
+		})
+	}
+}
+
+// Property: on random trees with random rates, synchronous WebWave from
+// either initial condition converges to the WebFold TLB assignment.
+func TestQuickConvergenceRandomTrees(t *testing.T) {
+	f := func(seed int64, szRaw uint8, fromRoot bool) bool {
+		n := int(szRaw%25) + 2
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := tree.Random(n, rng)
+		if err != nil {
+			return false
+		}
+		e := trace.UniformRates(n, 0, 100, rng)
+		res, err := fold.Compute(tr, e)
+		if err != nil {
+			return false
+		}
+		init := InitialSelf
+		if fromRoot {
+			init = InitialRoot
+		}
+		s, err := NewSim(tr, e, Config{Initial: init, Alpha: LocalDegreeAlpha(tr)})
+		if err != nil {
+			return false
+		}
+		rr, err := s.Run(res.Load, 20000, 1e-4)
+		if err != nil {
+			return false
+		}
+		return rr.Converged
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetRatesRepairsFeasibility(t *testing.T) {
+	tr, e := tree.Figure4()
+	target := mustTLB(t, tr, e)
+	s := mustSim(t, tr, e, Config{Initial: InitialRoot})
+	if _, err := s.Run(target, 2000, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// New regime: demand moves entirely to the other subtree.
+	e2 := core.Vector{5, 0, 0, 0, 0, 0, 80, 80}
+	if err := s.SetRates(e2); err != nil {
+		t.Fatal(err)
+	}
+	// Feasibility after repair: NSS and conservation.
+	if math.Abs(s.TotalLoad()-core.SumVec(e2)) > 1e-6 {
+		t.Fatalf("total after SetRates = %v, want %v", s.TotalLoad(), core.SumVec(e2))
+	}
+	for v, a := range s.Forward() {
+		if a < -1e-7 {
+			t.Fatalf("NSS violated at %d after SetRates (A=%v)", v, a)
+		}
+	}
+	// And the protocol re-converges to the new optimum.
+	target2 := mustTLB(t, tr, e2)
+	rr, err := s.Run(target2, 5000, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Converged {
+		t.Fatalf("did not re-converge after rate change: %v", rr.Distances[len(rr.Distances)-1])
+	}
+}
+
+func TestSetTreeRouteChurn(t *testing.T) {
+	// Converge on one topology, then change a route and re-converge.
+	tr := tree.MustFromParents([]int{tree.NoParent, 0, 0, 1, 1})
+	e := core.Vector{0, 10, 20, 80, 40}
+	s := mustSim(t, tr, e, Config{Initial: InitialRoot})
+	target := mustTLB(t, tr, e)
+	if _, err := s.Run(target, 3000, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// Route change: node 3 (the hottest source) now reaches the home via
+	// node 2 instead of node 1.
+	nt, err := tr.Reparent(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTree(nt); err != nil {
+		t.Fatal(err)
+	}
+	// Feasibility after repair on the new tree.
+	if got, want := s.TotalLoad(), core.SumVec(e); !core.AlmostEqual(got, want, 1e-6) {
+		t.Fatalf("total after churn = %v, want %v", got, want)
+	}
+	for v, a := range s.Forward() {
+		if a < -1e-7 {
+			t.Fatalf("NSS violated at %d after churn (A=%v)", v, a)
+		}
+	}
+	// Re-converges to the new topology's optimum.
+	target2 := mustTLB(t, nt, e)
+	rr, err := s.Run(target2, 5000, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Converged {
+		t.Fatalf("did not re-converge after route change: %v", rr.Distances[len(rr.Distances)-1])
+	}
+}
+
+func TestSetTreeValidation(t *testing.T) {
+	tr, e := tree.Figure2a()
+	s := mustSim(t, tr, e, Config{})
+	small := tree.MustFromParents([]int{tree.NoParent, 0})
+	if err := s.SetTree(small); err == nil {
+		t.Error("tree with different node count accepted")
+	}
+}
+
+func TestSetRatesValidation(t *testing.T) {
+	tr, e := tree.Figure2a()
+	s := mustSim(t, tr, e, Config{})
+	if err := s.SetRates(core.Vector{1}); err == nil {
+		t.Error("short rates accepted")
+	}
+	if err := s.SetRates(core.Vector{1, 2, math.NaN()}); err == nil {
+		t.Error("NaN rates accepted")
+	}
+}
+
+func TestConvergenceIsGeometric(t *testing.T) {
+	tr, e := tree.Figure6()
+	target := mustTLB(t, tr, e)
+	s := mustSim(t, tr, e, Config{Initial: InitialRoot})
+	rr, err := s.Run(target, 4000, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := stats.FitGeometric(rr.Distances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Gamma <= 0 || fit.Gamma >= 1 {
+		t.Errorf("gamma = %v outside (0,1)", fit.Gamma)
+	}
+	if fit.R2 < 0.8 {
+		t.Errorf("geometric model fits poorly: R2 = %v", fit.R2)
+	}
+}
+
+func TestLoadAccessorsCopy(t *testing.T) {
+	tr, e := tree.Figure2a()
+	s := mustSim(t, tr, e, Config{})
+	l := s.Load()
+	l[0] = 1e9
+	if s.Load()[0] == 1e9 {
+		t.Error("Load() exposes internal state")
+	}
+	r := s.Rates()
+	r[0] = 1e9
+	if s.Rates()[0] == 1e9 {
+		t.Error("Rates() exposes internal state")
+	}
+}

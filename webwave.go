@@ -1,0 +1,313 @@
+// Package webwave is a Go implementation of WebWave (Heddaya & Mirdad,
+// ICDCS 1997): globally load-balanced, fully distributed caching of hot
+// published documents on the routing tree between a home server and its
+// clients.
+//
+// The library provides three layers:
+//
+//   - The offline optimum: WebFold computes the tree-load-balanced (TLB)
+//     assignment — the lexicographic minimum of the sorted load profile
+//     subject to "the root forwards nothing" and "no sibling sharing".
+//     See ComputeTLB and VerifyTLB.
+//
+//   - Simulators: NewWaveSim runs the rate-level diffusion protocol of the
+//     paper's Figure 5 in lockstep rounds (RunWaveAsync adds gossip
+//     periods, bounded delay and loss); NewDocSim runs the per-document
+//     protocol with cache-copy placement, potential-barrier detection and
+//     tunneling (Section 5.2).
+//
+//   - A live implementation: NewCluster starts one goroutine server per
+//     tree node over an in-memory or TCP transport; servers measure loads
+//     over sliding windows, gossip, delegate document service duty with
+//     real messages, and intercept request packets with installed filters.
+//
+// All randomness is seeded; stdlib only.
+package webwave
+
+import (
+	"math/rand"
+
+	"webwave/internal/cluster"
+	"webwave/internal/core"
+	"webwave/internal/docwave"
+	"webwave/internal/filter"
+	"webwave/internal/fold"
+	"webwave/internal/forest"
+	"webwave/internal/gateway"
+	"webwave/internal/stats"
+	"webwave/internal/trace"
+	"webwave/internal/tree"
+	"webwave/internal/wave"
+)
+
+// Core model types.
+type (
+	// Tree is an immutable routing tree on nodes 0..n-1 rooted at the home
+	// server.
+	Tree = tree.Tree
+	// TreeBuilder constructs trees incrementally.
+	TreeBuilder = tree.Builder
+	// Vector is a dense per-node quantity (rates, loads), indexed by node.
+	Vector = core.Vector
+	// DocID identifies a published document.
+	DocID = core.DocID
+	// Document is an immutable published document.
+	Document = core.Document
+)
+
+// WebFold / TLB types.
+type (
+	// TLB is the result of WebFold: the optimal load assignment and the
+	// fold partition certifying it.
+	TLB = fold.Result
+	// Fold is one contiguous equal-load region of the folded tree.
+	Fold = fold.Fold
+	// FoldStep records one fold operation of the WebFold trace.
+	FoldStep = fold.Step
+)
+
+// Simulator types.
+type (
+	// WaveSim is the synchronous rate-level WebWave simulator.
+	WaveSim = wave.Sim
+	// WaveConfig parameterizes a WaveSim.
+	WaveConfig = wave.Config
+	// WaveResult captures a synchronous run (distance-to-TLB per round).
+	WaveResult = wave.RunResult
+	// AsyncConfig parameterizes the asynchronous (gossip-period, bounded
+	// delay) simulator.
+	AsyncConfig = wave.AsyncConfig
+	// AsyncResult captures an asynchronous run.
+	AsyncResult = wave.AsyncResult
+	// DocSim is the document-level simulator with barriers and tunneling.
+	DocSim = docwave.Sim
+	// DocConfig parameterizes a DocSim.
+	DocConfig = docwave.Config
+	// DocPlacement is an explicit initial cache/service state.
+	DocPlacement = docwave.Placement
+	// DocResult captures a document-level run.
+	DocResult = docwave.RunResult
+	// GeometricFit is the a·γ^t convergence-model fit.
+	GeometricFit = stats.GeometricFit
+)
+
+// Live cluster types.
+type (
+	// Cluster is a running tree of live goroutine servers.
+	Cluster = cluster.Cluster
+	// ClusterConfig parameterizes a Cluster.
+	ClusterConfig = cluster.Config
+	// Demand is a per-(node, document) request-rate matrix.
+	Demand = trace.Demand
+	// Request is one timed client request.
+	Request = trace.Request
+)
+
+// Initial-load policies for simulations.
+const (
+	// InitialSelf starts every node serving its own spontaneous rate.
+	InitialSelf = wave.InitialSelf
+	// InitialRoot starts the home server serving everything.
+	InitialRoot = wave.InitialRoot
+)
+
+// NewTree builds a routing tree from a parent array (exactly one entry must
+// be -1, the home server).
+func NewTree(parents []int) (*Tree, error) { return tree.FromParents(parents) }
+
+// NewTreeBuilder returns an incremental tree builder.
+func NewTreeBuilder() *TreeBuilder { return tree.NewBuilder() }
+
+// RandomTree returns a seeded uniformly random recursive tree on n nodes.
+func RandomTree(n int, seed int64) (*Tree, error) {
+	return tree.Random(n, rand.New(rand.NewSource(seed)))
+}
+
+// RandomTreeDepth returns a seeded random tree with exactly the given
+// height — the family used for the paper's γ experiment.
+func RandomTreeDepth(n, depth int, seed int64) (*Tree, error) {
+	return tree.RandomDepth(n, depth, rand.New(rand.NewSource(seed)))
+}
+
+// ComputeTLB runs WebFold and returns the TLB-optimal load assignment for
+// spontaneous request rates e.
+func ComputeTLB(t *Tree, e Vector) (*TLB, error) { return fold.Compute(t, e) }
+
+// VerifyTLB checks a WebFold result against every property the paper
+// proves: Constraint 1, NSS, Lemmas 1 and 2, fold structure, and the
+// independent optimality oracle.
+func VerifyTLB(t *Tree, e Vector, res *TLB, eps float64) error {
+	return fold.VerifyAll(t, e, res, eps)
+}
+
+// GLE returns the global-load-equality assignment (total/n at every node),
+// the unconstrained optimum that TLB approaches when feasible.
+func GLE(e Vector) Vector { return fold.GLE(e) }
+
+// NewWaveSim builds the synchronous rate-level simulator.
+func NewWaveSim(t *Tree, e Vector, cfg WaveConfig) (*WaveSim, error) {
+	return wave.NewSim(t, e, cfg)
+}
+
+// RunWaveAsync simulates WebWave with explicit messaging: gossip and
+// diffusion periods, bounded delay, jitter and loss.
+func RunWaveAsync(t *Tree, e, target Vector, cfg AsyncConfig, duration, sampleEvery float64) (*AsyncResult, error) {
+	return wave.RunAsync(t, e, target, cfg, duration, sampleEvery)
+}
+
+// NewDocSim builds the document-level simulator. placement may be nil (the
+// home starts serving everything).
+func NewDocSim(t *Tree, d *Demand, cfg DocConfig, placement *DocPlacement) (*DocSim, error) {
+	return docwave.NewSim(t, d, cfg, placement)
+}
+
+// FitConvergence fits the paper's a·γ^t model to a distance series and
+// returns γ with its standard error.
+func FitConvergence(distances []float64) (GeometricFit, error) {
+	return stats.FitGeometric(distances)
+}
+
+// PredictConvergenceRate computes the first-principles spectral prediction
+// of WebWave's asymptotic convergence rate on (t, e): the slowest WebFold
+// fold's internal diffusion rate. Compare with FitConvergence on a
+// simulated run. A nil alpha uses the paper's default 1/(maxdeg+1).
+func PredictConvergenceRate(t *Tree, e Vector, alpha wave.AlphaFunc) (float64, error) {
+	gamma, _, err := wave.SpectralRate(t, e, alpha)
+	return gamma, err
+}
+
+// Document copy-choice policies for the document-level simulator (DocConfig
+// Delegation field).
+const (
+	// DelegateLargestFirst copies the biggest transferable stream first
+	// (fewest copies per unit of load moved); the default.
+	DelegateLargestFirst = docwave.DelegateLargestFirst
+	// DelegateSmallestFirst is the adversarial ordering (most copies).
+	DelegateSmallestFirst = docwave.DelegateSmallestFirst
+	// DelegateRandom shuffles candidates with the DocConfig seed.
+	DelegateRandom = docwave.DelegateRandom
+)
+
+// ZipfDemand builds a Zipf-popularity document demand over t (documents
+// homed at the root).
+func ZipfDemand(t *Tree, numDocs int, skew, totalRate float64, seed int64) (*Demand, error) {
+	return trace.ZipfDemand(t, trace.ZipfDemandConfig{
+		NumDocs: numDocs, Skew: skew, TotalRate: totalRate, LeavesOnly: true,
+	}, rand.New(rand.NewSource(seed)))
+}
+
+// PoissonSchedule expands a demand matrix into a time-sorted request
+// schedule covering [0, horizon) seconds.
+func PoissonSchedule(d *Demand, horizon float64, seed int64) []Request {
+	return trace.PoissonSchedule(d, horizon, rand.New(rand.NewSource(seed)))
+}
+
+// NewCluster starts one live goroutine server per tree node. docs maps each
+// document homed at the root to its body.
+func NewCluster(t *Tree, docs map[DocID][]byte, cfg ClusterConfig) (*Cluster, error) {
+	return cluster.New(t, docs, cfg)
+}
+
+// HTTP gateway types (the adoption path: publish a WebWave tree as an
+// ordinary web service).
+type (
+	// Gateway is an http.Handler serving GET <prefix><name> out of a live
+	// cluster.
+	Gateway = gateway.Gateway
+	// GatewayConfig parameterizes a Gateway.
+	GatewayConfig = gateway.Config
+	// OriginPicker chooses the tree node a client's request enters at.
+	OriginPicker = gateway.OriginPicker
+)
+
+// NewGateway fronts a running cluster with an HTTP document service.
+func NewGateway(c *Cluster, cfg GatewayConfig) *Gateway {
+	return gateway.New(c, cfg)
+}
+
+// FixedOrigin makes every request enter the tree at node v.
+func FixedOrigin(v int) OriginPicker { return gateway.FixedOrigin(v) }
+
+// HashOrigin spreads clients over the given entry nodes by a hash of their
+// address.
+func HashOrigin(nodes []int) OriginPicker { return gateway.HashOrigin(nodes) }
+
+// Packet-filter engine types (the byte-level router fast path the paper's
+// architecture requires; see internal/filter for the DPF background).
+type (
+	// FilterTable is a router's compiled per-document filter table.
+	FilterTable = filter.Table
+	// FilterRule is one prioritized match rule over raw packet bytes.
+	FilterRule = filter.Rule
+	// PacketHeader is the parsed WebWave packet header.
+	PacketHeader = filter.Header
+)
+
+// NewFilterTable returns an empty filter table for one routing tree.
+func NewFilterTable(treeID uint32) *FilterTable {
+	return filter.NewTable(treeID, filter.CompileOptions{})
+}
+
+// EncodeRequestPacket builds the wire form of a document request.
+func EncodeRequestPacket(treeID uint32, doc DocID, origin uint32, reqID uint64) []byte {
+	return filter.EncodeRequest(treeID, doc, origin, reqID)
+}
+
+// ParsePacket decodes and validates a wire packet.
+func ParsePacket(pkt []byte) (PacketHeader, error) { return filter.Parse(pkt) }
+
+// Extensions beyond the paper's evaluation.
+type (
+	// Forest is a set of overlapping routing trees over one server
+	// population — the paper's Section 7 future-work setting.
+	Forest = forest.Forest
+	// ForestSim simulates WebWave over a forest.
+	ForestSim = forest.Sim
+	// ForestConfig selects the coupling variant.
+	ForestConfig = forest.Config
+	// ForestCompare is the coupled-versus-independent comparison result.
+	ForestCompare = forest.CompareResult
+)
+
+// Forest coupling variants.
+const (
+	// ForestIndependent runs each tree's protocol on its own loads.
+	ForestIndependent = forest.Independent
+	// ForestCoupled drives per-tree diffusion with total node loads.
+	ForestCoupled = forest.Coupled
+)
+
+// NewForest builds a forest from trees over the same node set with
+// per-tree spontaneous rates.
+func NewForest(trees []*Tree, rates []Vector) (*Forest, error) {
+	return forest.New(trees, rates)
+}
+
+// RandomForest builds k random overlapping trees over n nodes, each with
+// roughly totalRate req/s of demand.
+func RandomForest(n, k int, totalRate float64, seed int64) (*Forest, error) {
+	return forest.Random(n, k, totalRate, rand.New(rand.NewSource(seed)))
+}
+
+// NewForestSim builds a forest simulator.
+func NewForestSim(f *Forest, cfg ForestConfig) (*ForestSim, error) {
+	return forest.NewSim(f, cfg)
+}
+
+// CompareForest runs the coupled and independent variants on one forest.
+func CompareForest(f *Forest, maxRounds int) (*ForestCompare, error) {
+	return forest.Compare(f, maxRounds)
+}
+
+// ComputeWeightedTLB generalizes ComputeTLB to heterogeneous server
+// capacities: the result lexicographically minimizes the sorted utilization
+// profile L_v/c_v under the same routing-tree constraints.
+func ComputeWeightedTLB(t *Tree, e, capacity Vector) (*TLB, error) {
+	return fold.ComputeWeighted(t, e, capacity)
+}
+
+// VerifyWeightedTLB checks a ComputeWeightedTLB result: feasibility,
+// monotone utilization, and the capacity-weighted optimality oracle.
+func VerifyWeightedTLB(t *Tree, e, capacity Vector, res *TLB, eps float64) error {
+	return fold.VerifyWeighted(t, e, capacity, res, eps)
+}

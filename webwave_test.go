@@ -1,0 +1,301 @@
+package webwave
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestFacadeEndToEnd exercises the whole public API surface: tree
+// construction, TLB computation and verification, the rate-level simulator,
+// the document-level simulator, the convergence fit, and the live cluster.
+func TestFacadeEndToEnd(t *testing.T) {
+	tr, err := NewTree([]int{-1, 0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Vector{0, 10, 30, 50, 70}
+
+	tlb, err := ComputeTLB(tr, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTLB(tr, e, tlb, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	gle := GLE(e)
+	if gle[0] != 32 {
+		t.Errorf("GLE = %v", gle[0])
+	}
+
+	sim, err := NewWaveSim(tr, e, WaveConfig{Initial: InitialRoot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sim.Run(tlb.Load, 3000, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Converged {
+		t.Fatal("facade sim did not converge")
+	}
+	fit, err := FitConvergence(run.Distances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Gamma <= 0 || fit.Gamma >= 1 {
+		t.Errorf("gamma = %v", fit.Gamma)
+	}
+}
+
+func TestFacadeRandomTrees(t *testing.T) {
+	tr, err := RandomTree(30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 30 {
+		t.Errorf("n = %d", tr.Len())
+	}
+	td, err := RandomTreeDepth(40, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.Height() != 9 {
+		t.Errorf("height = %d, want 9", td.Height())
+	}
+	// Same seed, same tree.
+	tr2, err := RandomTree(30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Equal(tr2) {
+		t.Error("RandomTree not deterministic for a seed")
+	}
+}
+
+func TestFacadeAsyncAndDocSim(t *testing.T) {
+	tr, err := NewTree([]int{-1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Vector{0, 40, 20}
+	tlb, err := ComputeTLB(tr, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWaveAsync(tr, e, tlb.Load, AsyncConfig{
+		GossipPeriod: 1, DiffusionPeriod: 1, Seed: 1, Initial: InitialSelf,
+	}, 500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Distances) == 0 {
+		t.Fatal("no samples")
+	}
+
+	demand, err := ZipfDemand(tr, 4, 1.0, 600, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDocSim(tr, demand, DocConfig{Tunneling: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := ComputeTLB(tr, demand.NodeTotals())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := ds.Run(target.Load, 2000, 0.02*600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := dr.Distances[len(dr.Distances)-1]; last > 0.1*600 {
+		t.Errorf("doc sim far from TLB: %v", last)
+	}
+}
+
+func TestFacadeWeightedTLB(t *testing.T) {
+	tr, err := NewTree([]int{-1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Vector{0, 90}
+	c := Vector{1, 2}
+	res, err := ComputeWeightedTLB(tr, e, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Load[0] != 30 || res.Load[1] != 60 {
+		t.Errorf("weighted load = %v", res.Load)
+	}
+	if err := VerifyWeightedTLB(tr, e, c, res, 1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeForest(t *testing.T) {
+	f, err := RandomForest(15, 3, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewForestSim(f, ForestConfig{Coupling: ForestCoupled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sim.Totals()
+	for i := 0; i < 50; i++ {
+		sim.Step()
+	}
+	after := sim.Totals()
+	maxBefore, maxAfter := before[0], after[0]
+	for i := range before {
+		if before[i] > maxBefore {
+			maxBefore = before[i]
+		}
+		if after[i] > maxAfter {
+			maxAfter = after[i]
+		}
+	}
+	if maxAfter >= maxBefore {
+		t.Errorf("coupled forest did not reduce the max total: %v -> %v", maxBefore, maxAfter)
+	}
+	cmp, err := CompareForest(f, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Trees != 3 || cmp.Nodes != 15 {
+		t.Errorf("compare shape %+v", cmp)
+	}
+}
+
+func TestFacadeLiveCluster(t *testing.T) {
+	tr, err := NewTree([]int{-1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand, err := ZipfDemand(tr, 3, 1.0, 800, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := make(map[DocID][]byte)
+	for _, d := range demand.Docs {
+		docs[d.ID] = []byte(string(d.ID))
+	}
+	c, err := NewCluster(tr, docs, ClusterConfig{
+		GossipPeriod:    15 * time.Millisecond,
+		DiffusionPeriod: 30 * time.Millisecond,
+		Window:          300 * time.Millisecond,
+		Tunneling:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	sched := PoissonSchedule(demand, 1.0, 5)
+	if err := c.Play(sched, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if left := c.Drain(5 * time.Second); left != 0 {
+		t.Fatalf("%d unanswered", left)
+	}
+}
+
+func TestFacadeGateway(t *testing.T) {
+	tr, err := NewTree([]int{-1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(tr, map[DocID][]byte{"index.html": []byte("hello")}, ClusterConfig{
+		GossipPeriod:    15 * time.Millisecond,
+		DiffusionPeriod: 30 * time.Millisecond,
+		Window:          300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	gw := NewGateway(c, GatewayConfig{Origin: FixedOrigin(1)})
+	defer gw.Close()
+	srv := httptest.NewServer(gw)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/docs/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || string(body) != "hello" {
+		t.Fatalf("GET: status %d body %q", resp.StatusCode, body)
+	}
+	if HashOrigin([]int{1, 2}) == nil {
+		t.Error("HashOrigin returned nil")
+	}
+}
+
+func TestFacadePacketFilter(t *testing.T) {
+	tbl := NewFilterTable(9)
+	tbl.Install("a.html")
+	pkt := EncodeRequestPacket(9, "a.html", 3, 77)
+	doc, _, ok := tbl.Classify(pkt)
+	if !ok || doc != "a.html" {
+		t.Fatalf("Classify = (%q, %v)", doc, ok)
+	}
+	h, err := ParsePacket(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name != "a.html" || h.Origin != 3 || h.ReqID != 77 {
+		t.Errorf("header = %+v", h)
+	}
+}
+
+func TestFacadeSpectralPrediction(t *testing.T) {
+	// A 3-node chain whose hot leaf folds the whole tree into one fold.
+	// With the default α = 1/(maxdeg+1) = 1/3 the path's diffusion matrix
+	// has second eigenvalue exactly 2/3.
+	tr, err := NewTree([]int{-1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma, err := PredictConvergenceRate(tr, Vector{10, 20, 60}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gamma < 2.0/3-1e-6 || gamma > 2.0/3+1e-6 {
+		t.Errorf("predicted rate = %v, want 2/3", gamma)
+	}
+}
+
+func TestFacadeDelegationPolicies(t *testing.T) {
+	tr, err := NewTree([]int{-1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand, err := ZipfDemand(tr, 4, 1.0, 500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []DocConfig{
+		{Delegation: DelegateLargestFirst},
+		{Delegation: DelegateSmallestFirst},
+		{Delegation: DelegateRandom, Seed: 1},
+	} {
+		ds, err := NewDocSim(tr, demand, pol, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			ds.Step()
+		}
+		if ds.CopiesCreated == 0 {
+			t.Errorf("policy %v: no copies created", pol.Delegation)
+		}
+	}
+}
