@@ -1,0 +1,37 @@
+# WebWave build / test entry points. CI invokes exactly these targets so
+# local runs and the workflow agree.
+
+GO ?= go
+BENCH_JSON ?= bench-smoke.json
+
+.PHONY: all build test race fmt vet bench-smoke clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails when any file needs formatting (CI mode); run `gofmt -w .` to fix.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# A short deterministic benchmark: small tree, reduced rate, full virtual
+# duration (so the flash event actually fires), JSON report written to
+# $(BENCH_JSON). Runs in well under a second of wall time.
+bench-smoke:
+	$(GO) run ./cmd/webwave-bench -scenario flash-crowd -seed 1 \
+		-n 15 -rate 100 -json $(BENCH_JSON)
+
+clean:
+	rm -f $(BENCH_JSON)

@@ -1,0 +1,129 @@
+// Command webwave-bench runs named workload scenarios against the WebWave
+// reproduction and emits a machine-readable JSON report comparing WebWave
+// with the comparison policies on the identical request trace.
+//
+// Fast-forward mode (the default) replays the scenario in virtual time on
+// the discrete-event engine against the document-level protocol simulator;
+// two runs with the same seed produce byte-identical reports. Live mode
+// replays the compressed schedule against a real in-memory cluster through
+// the HTTP gateway.
+//
+// Usage:
+//
+//	webwave-bench -list
+//	webwave-bench -scenario flash-crowd -seed 1 -json out.json
+//	webwave-bench -scenario churn -mode live -speedup 20 -json out.json
+//	webwave-bench -scenario zipf-steady -n 63 -duration 60 -rate 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"webwave/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "webwave-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("webwave-bench", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list scenarios and exit")
+	scenario := fs.String("scenario", "zipf-steady", "scenario name (see -list)")
+	seed := fs.Int64("seed", 1, "RNG seed; fixes tree, trace and report in fast mode")
+	mode := fs.String("mode", "fast", "fast (virtual time, deterministic) or live (real cluster)")
+	jsonPath := fs.String("json", "", "write the JSON report to this file")
+	n := fs.Int("n", 0, "override tree size")
+	duration := fs.Float64("duration", 0, "override schedule length, seconds")
+	rate := fs.Float64("rate", 0, "override aggregate request rate, req/s")
+	window := fs.Float64("window", 0, "override metrics window, seconds")
+	speedup := fs.Float64("speedup", 10, "live: schedule time compression")
+	clients := fs.Int("clients", 16, "live: concurrent HTTP workers")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, s := range workload.Scenarios() {
+			d := s.WithDefaults()
+			fmt.Printf("%-14s %3d nodes, %4d docs, %-7s popularity, %-7s arrivals, %.0f req/s for %.0fs\n",
+				d.Name, d.Nodes, d.NumDocs, d.Popularity, d.Arrival, d.TotalRate, d.Duration)
+		}
+		return nil
+	}
+
+	sp, ok := workload.Lookup(*scenario)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (try -list)", *scenario)
+	}
+	if *n > 0 {
+		sp.Nodes = *n
+	}
+	if *duration > 0 {
+		sp.Duration = *duration
+	}
+	if *rate > 0 {
+		sp.TotalRate = *rate
+	}
+	if *window > 0 {
+		sp.Window = *window
+	}
+
+	var rep *workload.Report
+	var err error
+	switch *mode {
+	case "fast":
+		rep, err = workload.RunFast(sp, *seed)
+	case "live":
+		rep, err = workload.RunLive(sp, *seed, workload.LiveOptions{
+			Speedup: *speedup, Clients: *clients,
+		})
+	default:
+		return fmt.Errorf("unknown mode %q (want fast or live)", *mode)
+	}
+	if err != nil {
+		return err
+	}
+
+	printSummary(rep)
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("report: %s\n", *jsonPath)
+	}
+	return nil
+}
+
+func printSummary(rep *workload.Report) {
+	fmt.Printf("scenario %s (%s mode, seed %d): %d nodes (height %d), %d requests @ %.1f req/s, %d churn events\n",
+		rep.Scenario, rep.Mode, rep.Seed, rep.Tree.Nodes, rep.Tree.Height,
+		rep.Requests, rep.OfferedRPS, rep.ChurnEvents)
+	fmt.Printf("%-12s %9s %7s %8s %8s %8s %8s %9s %9s\n",
+		"system", "thr(r/s)", "failed", "p50(ms)", "p95(ms)", "p99(ms)", "hops", "jain", "max/mean")
+	for _, s := range rep.Systems {
+		fmt.Printf("%-12s %9.1f %7d %8.2f %8.2f %8.2f %8.2f %9.3f %9.2f\n",
+			s.Name, s.ThroughputRPS, s.Failed,
+			s.Latency.P50MS, s.Latency.P95MS, s.Latency.P99MS,
+			s.MeanHops, s.MeanJain, s.WorstMaxOverMean)
+	}
+	fmt.Println("analytic capacity models (steady-state mean demand):")
+	for _, b := range rep.Baselines {
+		fmt.Printf("  %-12s thr=%8.1f maxload=%8.1f nodes=%3d ctl/req=%.2f bottleneck=%s\n",
+			b.Name, b.ThroughputRPS, b.MaxLoadRPS, b.ServingNodes, b.ControlMsgsPerReq, b.Bottleneck)
+	}
+}

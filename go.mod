@@ -1,0 +1,3 @@
+module webwave
+
+go 1.24

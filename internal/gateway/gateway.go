@@ -50,6 +50,21 @@ func FixedOrigin(v int) OriginPicker {
 	return func(*http.Request) int { return v }
 }
 
+// OriginFromHeader reads the entry node from an integer request header —
+// the hook load generators use to replay a schedule with exact per-request
+// origins through the gateway. Requests without the header (or with an
+// unparsable value) fall back to the given picker.
+func OriginFromHeader(header string, fallback OriginPicker) OriginPicker {
+	return func(r *http.Request) int {
+		if s := r.Header.Get(header); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v >= 0 {
+				return v
+			}
+		}
+		return fallback(r)
+	}
+}
+
 // HashOrigin spreads clients over the given nodes by a hash of their
 // remote address, emulating geographically scattered entry points.
 func HashOrigin(nodes []int) OriginPicker {
@@ -69,6 +84,16 @@ func HashOrigin(nodes []int) OriginPicker {
 	}
 }
 
+// Result is the per-request observation delivered to Config.OnResult.
+type Result struct {
+	Doc     core.DocID
+	Origin  int           // entry node
+	Served  int           // serving node (-1 on error)
+	Hops    int           // tree edges traversed
+	Latency time.Duration // gateway-measured response time
+	Err     error         // nil on success (NotFound is a success)
+}
+
 // Config parameterizes a Gateway.
 type Config struct {
 	// Origin picks the entry node per request; default FixedOrigin(0).
@@ -77,6 +102,12 @@ type Config struct {
 	Timeout time.Duration
 	// Prefix is the URL path prefix for documents; default "/docs/".
 	Prefix string
+	// OnResult, when set, is called synchronously with every completed
+	// document fetch — an observability hook for wiring counters or
+	// request logs onto a deployed gateway. (The benchmark's live runner
+	// reads the response headers instead: it needs per-request identity,
+	// which the hook deliberately omits.) Must be safe for concurrent use.
+	OnResult func(Result)
 }
 
 func (c Config) withDefaults() Config {
@@ -257,7 +288,15 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	origin := g.cfg.Origin(r)
+	start := time.Now()
 	env, err := g.fetch(origin, core.DocID(name), g.cfg.Timeout)
+	if g.cfg.OnResult != nil {
+		res := Result{Doc: core.DocID(name), Origin: origin, Served: -1, Latency: time.Since(start), Err: err}
+		if err == nil {
+			res.Served, res.Hops = env.ServedBy, env.Hops
+		}
+		g.cfg.OnResult(res)
+	}
 	switch {
 	case err == nil:
 	case errors.Is(err, errClosed):

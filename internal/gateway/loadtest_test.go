@@ -1,0 +1,120 @@
+package gateway
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"webwave/internal/cluster"
+	"webwave/internal/core"
+	"webwave/internal/tree"
+)
+
+// TestGatewayConcurrentLoadHashOrigin hammers a gateway from many parallel
+// clients with distinct remote addresses: every request must succeed, the
+// HashOrigin picker must actually scatter entry points across the tree, and
+// nothing may race (run under -race in CI).
+func TestGatewayConcurrentLoadHashOrigin(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr, err := tree.RandomBounded(15, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := make(map[core.DocID][]byte)
+	for j := 0; j < 8; j++ {
+		id := core.DocID(fmt.Sprintf("doc-%d", j))
+		docs[id] = []byte("body of " + string(id))
+	}
+	c, err := cluster.New(tr, docs, cluster.Config{
+		GossipPeriod:    10 * time.Millisecond,
+		DiffusionPeriod: 20 * time.Millisecond,
+		Window:          200 * time.Millisecond,
+		Tunneling:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+
+	var nodes []int
+	for v := 0; v < tr.Len(); v++ {
+		nodes = append(nodes, v)
+	}
+	var results int64
+	gw := New(c, Config{
+		Origin:   HashOrigin(nodes),
+		OnResult: func(Result) { atomic.AddInt64(&results, 1) },
+	})
+	defer gw.Close()
+
+	const (
+		clients       = 32
+		reqsPerClient = 25
+	)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		origins  = make(map[string]int)
+		failures int64
+	)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for i := 0; i < reqsPerClient; i++ {
+				doc := fmt.Sprintf("doc-%d", (cl+i)%len(docs))
+				req := httptest.NewRequest("GET", "/docs/"+doc, nil)
+				// Distinct per-client address so HashOrigin scatters.
+				req.RemoteAddr = fmt.Sprintf("192.0.2.%d:%d", cl, 1000+i)
+				rec := httptest.NewRecorder()
+				gw.ServeHTTP(rec, req)
+				res := rec.Result()
+				res.Body.Close()
+				if res.StatusCode != 200 {
+					atomic.AddInt64(&failures, 1)
+					continue
+				}
+				mu.Lock()
+				origins[res.Header.Get("X-WebWave-Origin")]++
+				mu.Unlock()
+			}
+		}(cl)
+	}
+	wg.Wait()
+
+	if failures != 0 {
+		t.Fatalf("%d of %d requests failed", failures, clients*reqsPerClient)
+	}
+	if got := atomic.LoadInt64(&results); got != clients*reqsPerClient {
+		t.Fatalf("OnResult fired %d times, want %d", got, clients*reqsPerClient)
+	}
+	if len(origins) < 4 {
+		t.Fatalf("HashOrigin used only %d distinct entry nodes: %v", len(origins), origins)
+	}
+}
+
+// TestOriginFromHeader verifies the load-generator hook: the header wins,
+// garbage and absence fall back.
+func TestOriginFromHeader(t *testing.T) {
+	pick := OriginFromHeader("X-Enter", FixedOrigin(7))
+	req := httptest.NewRequest("GET", "/docs/x", nil)
+	if got := pick(req); got != 7 {
+		t.Fatalf("fallback: got %d, want 7", got)
+	}
+	req.Header.Set("X-Enter", "3")
+	if got := pick(req); got != 3 {
+		t.Fatalf("header: got %d, want 3", got)
+	}
+	req.Header.Set("X-Enter", "nope")
+	if got := pick(req); got != 7 {
+		t.Fatalf("garbage header: got %d, want 7", got)
+	}
+	req.Header.Set("X-Enter", "-2")
+	if got := pick(req); got != 7 {
+		t.Fatalf("negative header: got %d, want 7", got)
+	}
+}

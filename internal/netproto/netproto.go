@@ -106,6 +106,11 @@ type Stats struct {
 	ShedsOut       int64                  `json:"sheds_out"`
 	Tunnels        int64                  `json:"tunnels"`
 	FilterStats    FilterStats            `json:"filter_stats"`
+	// QueueLen is the server's inbound event backlog at snapshot time and
+	// CacheBytes the bytes held in its document cache — the saturation
+	// signals the benchmark harness scrapes per window.
+	QueueLen   int   `json:"queue_len"`
+	CacheBytes int64 `json:"cache_bytes"`
 }
 
 // FilterStats mirrors router.Stats for the wire.

@@ -712,6 +712,10 @@ func (s *Server) snapshot(now time.Time) *netproto.Stats {
 		ShedsIn:        s.nShedIn,
 		ShedsOut:       s.nShedOut,
 		Tunnels:        s.nTunnels,
+		QueueLen:       len(s.events),
+	}
+	for _, body := range s.cache {
+		st.CacheBytes += int64(len(body))
 	}
 	st.CachedDocs = s.rt.Installed()
 	for d, t := range s.targets {

@@ -1,0 +1,166 @@
+package stats
+
+import "math"
+
+// JainIndex returns Jain's fairness index (Σx)² / (n·Σx²) of a load vector:
+// 1 when every node carries identical load, 1/n when a single node carries
+// everything. Negative entries are clamped to zero (loads are rates or
+// counts). An empty or all-zero vector yields 1 — nothing is unfair about
+// no load at all.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// MaxMeanRatio returns max(x)/mean(x), the load-imbalance factor the paper's
+// global balance criterion drives toward 1. It is 1 for a perfectly balanced
+// vector and n for a single hot node. An empty or all-zero vector yields 1.
+func MaxMeanRatio(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, max float64
+	for _, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return max * float64(len(xs)) / sum
+}
+
+// Histogram is a fixed-bucket histogram with logarithmically spaced bounds,
+// built for latency distributions: cheap to update, mergeable, and good
+// enough for interpolated quantiles in a machine-readable report.
+type Histogram struct {
+	// Bounds[i] is the inclusive upper bound of bucket i; a final implicit
+	// overflow bucket catches everything above Bounds[len-1].
+	Bounds []float64
+	Counts []int64
+
+	n        int64
+	sum      float64
+	min, max float64
+}
+
+// NewLogHistogram builds a histogram with perDecade buckets per power of ten
+// spanning [lo, hi]. lo and hi must be positive with lo < hi.
+func NewLogHistogram(lo, hi float64, perDecade int) *Histogram {
+	if lo <= 0 || hi <= lo || perDecade <= 0 {
+		panic("stats: NewLogHistogram needs 0 < lo < hi and perDecade > 0")
+	}
+	var bounds []float64
+	step := math.Pow(10, 1/float64(perDecade))
+	for b := lo; b < hi*(1+1e-12); b *= step {
+		bounds = append(bounds, b)
+	}
+	return &Histogram{
+		Bounds: bounds,
+		Counts: make([]int64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(x float64) {
+	i := 0
+	for i < len(h.Bounds) && x > h.Bounds[i] {
+		i++
+	}
+	h.Counts[i]++
+	h.n++
+	h.sum += x
+	if x < h.min {
+		h.min = x
+	}
+	if x > h.max {
+		h.max = x
+	}
+}
+
+// N returns the number of observed samples.
+func (h *Histogram) N() int64 { return h.n }
+
+// Mean returns the sample mean, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min returns the smallest observed sample, 0 when empty.
+func (h *Histogram) Min() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observed sample, 0 when empty.
+func (h *Histogram) Max() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) estimated by linear
+// interpolation within the containing bucket, clamped to the observed
+// min/max. It returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := q * float64(h.n)
+	var cum float64
+	for i, c := range h.Counts {
+		next := cum + float64(c)
+		if rank <= next && c > 0 {
+			lo := h.min
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			hi := h.max
+			if i < len(h.Bounds) && h.Bounds[i] < hi {
+				hi = h.Bounds[i]
+			}
+			if lo < h.min {
+				lo = h.min
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return h.max
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("uniform Jain = %v, want 1", got)
+	}
+	n := 8
+	oneHot := make([]float64, n)
+	oneHot[3] = 42
+	if got, want := JainIndex(oneHot), 1.0/float64(n); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("one-hot Jain = %v, want %v", got, want)
+	}
+	if got := JainIndex(nil); got != 1 {
+		t.Fatalf("empty Jain = %v, want 1", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 1 {
+		t.Fatalf("zero Jain = %v, want 1", got)
+	}
+	// Clamping: negatives behave as zero load.
+	if got, want := JainIndex([]float64{-1, 4}), JainIndex([]float64{0, 4}); got != want {
+		t.Fatalf("negative clamp: %v != %v", got, want)
+	}
+}
+
+func TestMaxMeanRatio(t *testing.T) {
+	if got := MaxMeanRatio([]float64{2, 2, 2}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("uniform ratio = %v, want 1", got)
+	}
+	if got := MaxMeanRatio([]float64{0, 0, 9}); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("one-hot ratio = %v, want 3", got)
+	}
+	if got := MaxMeanRatio(nil); got != 1 {
+		t.Fatalf("empty ratio = %v, want 1", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewLogHistogram(1e-4, 10, 10)
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		h.Observe(0.001 + rng.Float64()*0.999) // ~uniform on [0.001, 1]
+	}
+	if h.N() != n {
+		t.Fatalf("N = %d, want %d", h.N(), n)
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.50, 0.5, 0.1},
+		{0.95, 0.95, 0.1},
+		{0.99, 0.99, 0.1},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("Quantile(%v) = %v, want %v ± %v", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Fatalf("quantile endpoints: q0=%v min=%v q1=%v max=%v",
+			h.Quantile(0), h.Min(), h.Quantile(1), h.Max())
+	}
+	if h.Min() < 0.001 || h.Max() > 1.0001 {
+		t.Fatalf("min/max out of range: %v %v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramEmptyAndSingle(t *testing.T) {
+	h := NewLogHistogram(1e-3, 1, 5)
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Observe(0.02)
+	if got := h.Quantile(0.5); math.Abs(got-0.02) > 0.02 {
+		t.Fatalf("single-sample median = %v, want ≈0.02", got)
+	}
+}

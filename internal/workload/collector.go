@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math"
+
+	"webwave/internal/core"
+	"webwave/internal/stats"
+)
+
+// Collector aggregates per-request observations into the benchmark's
+// metrics: an overall latency histogram and per-window load vectors from
+// which the fairness series is derived. Time is the schedule's virtual
+// time, so fast-forward and live runs window identically. Collector is not
+// safe for concurrent use; the live runner serializes Record calls.
+type Collector struct {
+	n       int
+	window  float64
+	windows []windowAcc
+
+	hist   *stats.Histogram
+	lat    []float64
+	hops   int64
+	served int64
+	failed int64
+}
+
+type windowAcc struct {
+	served   core.Vector // per-node requests served in this window
+	requests int64
+	failed   int64
+}
+
+// NewCollector sizes a collector for n nodes over ceil(horizon/window)
+// windows.
+func NewCollector(n int, window, horizon float64) *Collector {
+	nw := int(math.Ceil(horizon / window))
+	if nw < 1 {
+		nw = 1
+	}
+	c := &Collector{
+		n:      n,
+		window: window,
+		// Latency buckets from 100µs to 100s, 10 per decade.
+		hist:    stats.NewLogHistogram(1e-4, 100, 10),
+		windows: make([]windowAcc, nw),
+	}
+	for i := range c.windows {
+		c.windows[i].served = make(core.Vector, n)
+	}
+	return c
+}
+
+// Record adds one completed (or failed) request: t is the schedule time it
+// was issued, servedBy the node that answered, hops the tree edges it
+// traversed, latency its response time in seconds. Failed requests carry no
+// latency sample and no serving node.
+func (c *Collector) Record(t float64, servedBy, hops int, latency float64, ok bool) {
+	w := int(t / c.window)
+	if w < 0 {
+		w = 0
+	}
+	if w >= len(c.windows) {
+		w = len(c.windows) - 1
+	}
+	c.windows[w].requests++
+	if !ok {
+		c.failed++
+		c.windows[w].failed++
+		return
+	}
+	c.served++
+	c.hops += int64(hops)
+	if servedBy >= 0 && servedBy < c.n {
+		c.windows[w].served[servedBy]++
+	}
+	c.hist.Observe(latency)
+	c.lat = append(c.lat, latency)
+}
+
+// Served returns the number of successfully answered requests.
+func (c *Collector) Served() int64 { return c.served }
+
+// Failed returns the number of failed (lost / timed-out) requests.
+func (c *Collector) Failed() int64 { return c.failed }
+
+// MeanHops returns the average tree distance of served requests.
+func (c *Collector) MeanHops() float64 {
+	if c.served == 0 {
+		return 0
+	}
+	return float64(c.hops) / float64(c.served)
+}
+
+// Latency summarizes the latency samples (seconds).
+func (c *Collector) Latency() stats.Summary { return stats.Summarize(c.lat) }
+
+// Histogram exposes the latency histogram (seconds).
+func (c *Collector) Histogram() *stats.Histogram { return c.hist }
+
+// Windows renders the per-window fairness series. Windows with no served
+// requests report Jain = 1 and MaxOverMean = 1 (no load, no imbalance).
+func (c *Collector) Windows() []WindowStat {
+	out := make([]WindowStat, len(c.windows))
+	for i, w := range c.windows {
+		serving := 0
+		var maxLoad float64
+		for _, x := range w.served {
+			if x > 0 {
+				serving++
+			}
+			if x > maxLoad {
+				maxLoad = x
+			}
+		}
+		out[i] = WindowStat{
+			Start:        round6(float64(i) * c.window),
+			End:          round6(float64(i+1) * c.window),
+			Requests:     w.requests,
+			Failed:       w.failed,
+			Jain:         round6(stats.JainIndex(w.served)),
+			MaxOverMean:  round6(stats.MaxMeanRatio(w.served)),
+			MaxLoadRPS:   round6(maxLoad / c.window),
+			ServingNodes: serving,
+		}
+	}
+	return out
+}
+
+// round6 rounds to 6 decimal places so reports are stable to read and still
+// byte-deterministic.
+func round6(x float64) float64 { return math.Round(x*1e6) / 1e6 }

@@ -1,0 +1,297 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"webwave/internal/core"
+	"webwave/internal/trace"
+	"webwave/internal/tree"
+)
+
+func sin2pi(x float64) float64 { return math.Sin(2 * math.Pi * x) }
+
+// Trace is a generated benchmark workload: a time-ordered open-loop request
+// schedule plus the churn schedule and the stationary weights it was drawn
+// from. Everything is a pure function of (Spec, tree, seed).
+type Trace struct {
+	Requests []trace.Request
+	Churn    []ChurnEvent
+
+	// NodeWeights[v] is node v's share of request originations (0 for
+	// non-requesting nodes, e.g. the root and interior nodes when
+	// LeavesOnly). DocWeights[j] is document j's stationary popularity.
+	NodeWeights []float64
+	DocWeights  []float64
+}
+
+// DocID returns the canonical document name for catalog index j, matching
+// trace.ZipfDemand's naming so tooling can cross-reference.
+func DocID(j int) core.DocID { return core.DocID(fmt.Sprintf("doc-%04d", j)) }
+
+// docWeights builds the stationary popularity vector for the spec.
+func docWeights(s Spec) []float64 {
+	switch s.Popularity {
+	case PopUniform:
+		w := make([]float64, s.NumDocs)
+		for j := range w {
+			w[j] = 1 / float64(s.NumDocs)
+		}
+		return w
+	case PopHotset:
+		w := make([]float64, s.NumDocs)
+		hot := s.HotsetSize
+		if hot >= s.NumDocs {
+			// Every document is "hot": the split degenerates to uniform.
+			// Without this the weights would sum to HotsetShare < 1 and
+			// skew both sampling and the demand matrix.
+			for j := range w {
+				w[j] = 1 / float64(s.NumDocs)
+			}
+			return w
+		}
+		for j := range w {
+			if j < hot {
+				w[j] = s.HotsetShare / float64(hot)
+			} else {
+				w[j] = (1 - s.HotsetShare) / float64(s.NumDocs-hot)
+			}
+		}
+		return w
+	default: // PopZipf
+		return trace.ZipfWeights(s.NumDocs, s.ZipfSkew)
+	}
+}
+
+// nodeWeights draws each requesting node's share of originations.
+func nodeWeights(s Spec, t *tree.Tree, rng *rand.Rand) []float64 {
+	w := make([]float64, t.Len())
+	var requesters []int
+	if s.LeavesOnly {
+		requesters = t.Leaves()
+	} else {
+		for v := 0; v < t.Len(); v++ {
+			if v != t.Root() { // the home server originates nothing
+				requesters = append(requesters, v)
+			}
+		}
+	}
+	sum := 0.0
+	for _, v := range requesters {
+		w[v] = rng.Float64() + 0.05
+		sum += w[v]
+	}
+	for v := range w {
+		w[v] /= sum
+	}
+	return w
+}
+
+// sampleIndex draws an index from a normalized weight vector.
+func sampleIndex(w []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		if u < acc {
+			return i
+		}
+	}
+	// Float round-off: fall back to the last positive weight.
+	for i := len(w) - 1; i >= 0; i-- {
+		if w[i] > 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// onOffEnvelope precomputes a Pareto ON/OFF burst envelope over [0,
+// horizon): ON intervals carry rate BurstFactor×nominal and occupy a
+// 1/BurstFactor fraction of time in expectation, so the long-run mean rate
+// is preserved. Returns the sorted ON interval starts and ends.
+type onOffEnvelope struct {
+	starts, ends []float64
+	burst        float64
+}
+
+func newOnOffEnvelope(s Spec, rng *rand.Rand) *onOffEnvelope {
+	if s.Arrival != ArrivalBursty {
+		return nil
+	}
+	env := &onOffEnvelope{burst: s.BurstFactor}
+	alpha := s.ParetoAlpha
+	pareto := func(mean float64) float64 {
+		// Pareto with tail index alpha and the given mean: scale =
+		// mean·(alpha-1)/alpha.
+		u := rng.Float64()
+		if u <= 0 {
+			u = 1e-12
+		}
+		return mean * (alpha - 1) / alpha / math.Pow(u, 1/alpha)
+	}
+	meanOn := 1.0 // seconds
+	meanOff := meanOn * (s.BurstFactor - 1)
+	t, on := 0.0, rng.Intn(2) == 0
+	for t < s.Duration {
+		if on {
+			d := pareto(meanOn)
+			env.starts = append(env.starts, t)
+			env.ends = append(env.ends, math.Min(t+d, s.Duration))
+			t += d
+		} else {
+			t += pareto(meanOff)
+		}
+		on = !on
+	}
+	return env
+}
+
+// factorAt returns the envelope's rate multiplier at time t (0 during OFF).
+func (e *onOffEnvelope) factorAt(t float64) float64 {
+	if e == nil {
+		return 1
+	}
+	i := sort.SearchFloat64s(e.starts, t)
+	// starts[i-1] <= t < starts[i]; ON iff t < ends[i-1].
+	if i > 0 && t < e.ends[i-1] {
+		return e.burst
+	}
+	return 0
+}
+
+// peak returns the envelope's maximum multiplier.
+func (e *onOffEnvelope) peak() float64 {
+	if e == nil {
+		return 1
+	}
+	return e.burst
+}
+
+// Generate builds the request and churn schedules for a spec on a tree.
+// The same (spec, tree, seed) always yields a byte-identical trace; see
+// Trace.Canonical.
+func Generate(s Spec, t *tree.Tree, seed int64) (*Trace, error) {
+	s = s.WithDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if t.Len() != s.Nodes {
+		return nil, fmt.Errorf("workload: tree has %d nodes, spec wants %d", t.Len(), s.Nodes)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{
+		NodeWeights: nodeWeights(s, t, rng),
+		DocWeights:  docWeights(s),
+	}
+	env := newOnOffEnvelope(s, rng)
+
+	// Open-loop arrivals by thinning a homogeneous Poisson process at the
+	// peak rate: candidate arrivals at rate λmax, each kept with
+	// probability λ(t)/λmax. Exact for any bounded λ(t) and trivially
+	// deterministic under a fixed seed.
+	lambdaMax := s.TotalRate * s.peakRateFactor() * env.peak()
+	now := 0.0
+	for {
+		now += rng.ExpFloat64() / lambdaMax
+		if now >= s.Duration {
+			break
+		}
+		shape := s.rateFactorAt(now)
+		lambda := s.TotalRate * shape * env.factorAt(now)
+		if rng.Float64()*lambdaMax >= lambda {
+			continue
+		}
+		origin := sampleIndex(tr.NodeWeights, rng)
+		// Flash surplus traffic targets the hot set: at multiplier f ≥ 1 a
+		// (f-1)/f fraction of arrivals are flash-driven.
+		var doc int
+		if f := s.Flash.factorAt(now); f > 1 && rng.Float64() < (f-1)/f {
+			doc = rng.Intn(s.Flash.HotDocs)
+		} else {
+			doc = sampleIndex(tr.DocWeights, rng)
+		}
+		tr.Requests = append(tr.Requests, trace.Request{
+			Time: now, Origin: origin, Doc: DocID(doc),
+		})
+	}
+
+	// Churn schedule: distinct non-root victims, down in the middle 80% of
+	// the run, exponential downtimes.
+	if c := s.Churn; c != nil && c.Events > 0 {
+		perm := rng.Perm(t.Len())
+		var victims []int
+		for _, v := range perm {
+			if v != t.Root() {
+				victims = append(victims, v)
+			}
+			if len(victims) == c.Events {
+				break
+			}
+		}
+		mean := c.MeanDowntime
+		if mean <= 0 {
+			mean = s.Duration / 10
+		}
+		for _, v := range victims {
+			down := s.Duration * (0.1 + 0.7*rng.Float64())
+			up := down + rng.ExpFloat64()*mean
+			tr.Churn = append(tr.Churn, ChurnEvent{Time: down, Node: v, Down: true})
+			if up < s.Duration {
+				tr.Churn = append(tr.Churn, ChurnEvent{Time: up, Node: v, Down: false})
+			}
+		}
+		sort.Slice(tr.Churn, func(i, j int) bool {
+			a, b := tr.Churn[i], tr.Churn[j]
+			if a.Time != b.Time {
+				return a.Time < b.Time
+			}
+			return a.Node < b.Node
+		})
+	}
+	return tr, nil
+}
+
+// Canonical renders the trace in a stable text form, for byte-level
+// determinism checks and offline diffing.
+func (tr *Trace) Canonical() []byte {
+	var b bytes.Buffer
+	for _, r := range tr.Requests {
+		fmt.Fprintf(&b, "req %.9f %d %s\n", r.Time, r.Origin, r.Doc)
+	}
+	for _, c := range tr.Churn {
+		state := "up"
+		if c.Down {
+			state = "down"
+		}
+		fmt.Fprintf(&b, "churn %.9f %d %s\n", c.Time, c.Node, state)
+	}
+	return b.Bytes()
+}
+
+// MeanDemand returns E, the stationary per-node request-rate vector implied
+// by the spec's total rate and the trace's node weights — the demand vector
+// the analytic baselines evaluate.
+func (tr *Trace) MeanDemand(totalRate float64) core.Vector {
+	out := make(core.Vector, len(tr.NodeWeights))
+	for v, w := range tr.NodeWeights {
+		out[v] = totalRate * w
+	}
+	return out
+}
+
+// DemandMatrix returns the per-(node, document) stationary rate matrix the
+// protocol simulator diffuses against.
+func (tr *Trace) DemandMatrix(totalRate float64) [][]float64 {
+	out := make([][]float64, len(tr.NodeWeights))
+	for v := range out {
+		out[v] = make([]float64, len(tr.DocWeights))
+		for j := range out[v] {
+			out[v][j] = totalRate * tr.NodeWeights[v] * tr.DocWeights[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"webwave/internal/cluster"
+	"webwave/internal/core"
+	"webwave/internal/gateway"
+	"webwave/internal/trace"
+)
+
+// originHeader carries the schedule's per-request entry node through the
+// gateway.
+const originHeader = "X-WebWave-Enter"
+
+// LiveOptions tunes the live (wall-clock) runner.
+type LiveOptions struct {
+	// Speedup compresses the schedule: a request at schedule time T is
+	// issued T/Speedup seconds after start. Default 10.
+	Speedup float64
+	// Clients is the number of concurrent HTTP workers. Default 16.
+	Clients int
+	// GossipPeriod / DiffusionPeriod / Window override the cluster's
+	// protocol timers; defaults are fast (25/50/500 ms) so short
+	// compressed runs still see diffusion happen.
+	GossipPeriod    time.Duration
+	DiffusionPeriod time.Duration
+	Window          time.Duration
+}
+
+func (o LiveOptions) withDefaults() LiveOptions {
+	if o.Speedup <= 0 {
+		o.Speedup = 10
+	}
+	if o.Clients <= 0 {
+		o.Clients = 16
+	}
+	if o.GossipPeriod <= 0 {
+		o.GossipPeriod = 25 * time.Millisecond
+	}
+	if o.DiffusionPeriod <= 0 {
+		o.DiffusionPeriod = 50 * time.Millisecond
+	}
+	if o.Window <= 0 {
+		o.Window = 500 * time.Millisecond
+	}
+	return o
+}
+
+// respSink is the minimal ResponseWriter the load workers hand to the
+// gateway: it keeps status and headers, discards the body.
+type respSink struct {
+	status int
+	header http.Header
+}
+
+func (r *respSink) Header() http.Header { return r.header }
+
+func (r *respSink) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return len(b), nil
+}
+
+func (r *respSink) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+}
+
+func (r *respSink) statusCode() int {
+	if r.status == 0 {
+		return http.StatusOK
+	}
+	return r.status
+}
+
+// NodeStat is one live server's end-of-run scrape.
+type NodeStat struct {
+	Node       int     `json:"node"`
+	Served     int64   `json:"served"`
+	Forwarded  int64   `json:"forwarded"`
+	LoadRPS    float64 `json:"load_rps"`
+	CachedDocs int     `json:"cached_docs"`
+	CacheBytes int64   `json:"cache_bytes"`
+	QueueLen   int     `json:"queue_len"`
+	Tunnels    int64   `json:"tunnels"`
+}
+
+// RunLive replays the scenario's schedule against a real cluster through
+// the HTTP gateway over the in-memory transport. The same (spec, seed)
+// yields the same tree and request trace as RunFast; latencies and the
+// resulting report are wall-clock measurements and NOT deterministic.
+func RunLive(sp Spec, seed int64, opt LiveOptions) (*Report, error) {
+	sp = sp.WithDefaults()
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if sp.CacheCap > 0 {
+		// The live server has no cache bound yet; running anyway would
+		// produce a report whose spec claims a cap that wasn't enforced.
+		return nil, fmt.Errorf("workload: live mode does not support cache_cap (scenario %q sets %d); use fast mode", sp.Name, sp.CacheCap)
+	}
+	opt = opt.withDefaults()
+	t, err := BuildTree(sp, seed)
+	if err != nil {
+		return nil, fmt.Errorf("workload: tree: %w", err)
+	}
+	tr, err := Generate(sp, t, traceSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+
+	docs := make(map[core.DocID][]byte, len(tr.DocWeights))
+	for j := range tr.DocWeights {
+		id := DocID(j)
+		docs[id] = []byte("webwave live document " + string(id))
+	}
+	c, err := cluster.New(t, docs, cluster.Config{
+		GossipPeriod:    opt.GossipPeriod,
+		DiffusionPeriod: opt.DiffusionPeriod,
+		Window:          opt.Window,
+		Tunneling:       sp.Tunneling,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: cluster: %w", err)
+	}
+	defer c.Stop()
+
+	gw := gateway.New(c, gateway.Config{
+		Origin: gateway.OriginFromHeader(originHeader, gateway.FixedOrigin(t.Root())),
+	})
+	defer gw.Close()
+
+	col := NewCollector(t.Len(), sp.Window, sp.Duration)
+	var colMu sync.Mutex
+
+	// Churn: partition the victim's parent edge for the scheduled span.
+	// Edges heal even if the run ends first; cluster.Stop tears all down.
+	var churnWG sync.WaitGroup
+	start := time.Now()
+	for _, ev := range tr.Churn {
+		ev := ev
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			due := start.Add(time.Duration(ev.Time / opt.Speedup * float64(time.Second)))
+			if wait := time.Until(due); wait > 0 {
+				time.Sleep(wait)
+			}
+			if ev.Down {
+				c.PartitionEdge(ev.Node)
+			} else {
+				c.HealEdge(ev.Node)
+			}
+		}()
+	}
+
+	// Workers issue the schedule open-loop through the gateway. Latency is
+	// measured from each request's *scheduled* wall time, not from when a
+	// worker got around to it — when the cluster saturates and the worker
+	// pool backs up, the queueing delay counts, instead of the schedule
+	// silently degrading to closed-loop with rosy percentiles.
+	type job struct {
+		req trace.Request
+		due time.Time
+	}
+	jobs := make(chan job, opt.Clients)
+	var workWG sync.WaitGroup
+	for w := 0; w < opt.Clients; w++ {
+		workWG.Add(1)
+		go func(id int) {
+			defer workWG.Done()
+			for jb := range jobs {
+				httpReq, err := http.NewRequest("GET", "/docs/"+string(jb.req.Doc), nil)
+				if err != nil {
+					colMu.Lock()
+					col.Record(jb.req.Time, -1, 0, 0, false)
+					colMu.Unlock()
+					continue
+				}
+				httpReq.Header.Set(originHeader, strconv.Itoa(jb.req.Origin))
+				httpReq.RemoteAddr = fmt.Sprintf("10.0.%d.%d:999", id, jb.req.Origin)
+				rec := &respSink{header: make(http.Header)}
+				gw.ServeHTTP(rec, httpReq)
+				lat := time.Since(jb.due).Seconds()
+				servedBy, _ := strconv.Atoi(rec.header.Get("X-WebWave-Served-By"))
+				hops, _ := strconv.Atoi(rec.header.Get("X-WebWave-Hops"))
+				ok := rec.statusCode() == http.StatusOK
+				colMu.Lock()
+				if ok {
+					col.Record(jb.req.Time, servedBy, hops, lat, true)
+				} else {
+					col.Record(jb.req.Time, -1, 0, 0, false)
+				}
+				colMu.Unlock()
+			}
+		}(w)
+	}
+	for i := range tr.Requests {
+		req := tr.Requests[i]
+		due := start.Add(time.Duration(req.Time / opt.Speedup * float64(time.Second)))
+		if wait := time.Until(due); wait > 0 {
+			time.Sleep(wait)
+		}
+		jobs <- job{req: req, due: due}
+	}
+	close(jobs)
+	workWG.Wait()
+	churnWG.Wait()
+
+	rep := &Report{
+		Schema: Schema, Scenario: sp.Name, Mode: "live", Seed: seed,
+		Spec: sp, Tree: treeInfo(t),
+		Requests:    int64(len(tr.Requests)),
+		ChurnEvents: len(tr.Churn),
+		OfferedRPS:  round6(float64(len(tr.Requests)) / sp.Duration),
+	}
+	sys := systemResult("webwave-live", col, sp.Duration)
+	if sts, err := c.Stats(); err == nil {
+		for _, st := range sts {
+			sys.Nodes = append(sys.Nodes, NodeStat{
+				Node:       st.Node,
+				Served:     st.Served,
+				Forwarded:  st.Forwarded,
+				LoadRPS:    round6(st.Load),
+				CachedDocs: len(st.CachedDocs),
+				CacheBytes: st.CacheBytes,
+				QueueLen:   st.QueueLen,
+				Tunnels:    st.Tunnels,
+			})
+		}
+		sort.Slice(sys.Nodes, func(i, j int) bool { return sys.Nodes[i].Node < sys.Nodes[j].Node })
+	}
+	rep.Systems = append(rep.Systems, sys)
+	rep.Baselines, err = analyticBaselines(t, tr, sp)
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,84 @@
+package workload
+
+// Scenarios returns the named benchmark scenarios, in presentation order.
+// Each is a complete Spec; callers may override Nodes, Duration or
+// TotalRate before running (the CLI exposes flags for exactly that).
+func Scenarios() []Spec {
+	return []Spec{
+		{
+			// Steady-state skewed demand: the bread-and-butter hot-document
+			// workload. Measures how far diffusion spreads a Zipf head.
+			Name:       "zipf-steady",
+			Nodes:      31,
+			NumDocs:    64,
+			Popularity: PopZipf,
+			ZipfSkew:   1.0,
+			TotalRate:  300,
+			Duration:   40,
+			Arrival:    ArrivalPoisson,
+			Tunneling:  true,
+		},
+		{
+			// A published document goes viral: rate ramps to 8× with all
+			// surplus traffic on two documents, then subsides. Measures how
+			// fast the wave re-balances and how bad p99 gets at the peak.
+			Name:       "flash-crowd",
+			Nodes:      31,
+			NumDocs:    64,
+			Popularity: PopZipf,
+			ZipfSkew:   1.0,
+			TotalRate:  200,
+			Duration:   48,
+			Arrival:    ArrivalPoisson,
+			Tunneling:  true,
+			Flash: &FlashCrowd{
+				Start: 12, Ramp: 6, Hold: 12, Decay: 6,
+				Factor: 8, HotDocs: 2,
+			},
+		},
+		{
+			// Nodes fail and recover mid-run under bursty traffic. Requests
+			// originating at a down node are lost; the rest of the tree
+			// keeps serving around it.
+			Name:        "churn",
+			Nodes:       31,
+			NumDocs:     64,
+			Popularity:  PopZipf,
+			ZipfSkew:    0.9,
+			TotalRate:   250,
+			Duration:    48,
+			Arrival:     ArrivalBursty,
+			BurstFactor: 4,
+			ParetoAlpha: 1.5,
+			Tunneling:   true,
+			Churn:       &ChurnSpec{Events: 4, MeanDowntime: 8},
+		},
+		{
+			// Large catalog, bounded caches: a hot set bigger than any one
+			// cache forces eviction churn. Compares WebWave's demand-driven
+			// placement against en-route LRU fill on the same trace.
+			Name:        "multi-doc-lru",
+			Nodes:       31,
+			NumDocs:     256,
+			Popularity:  PopHotset,
+			HotsetSize:  24,
+			HotsetShare: 0.8,
+			TotalRate:   300,
+			Duration:    40,
+			Arrival:     ArrivalPoisson,
+			CacheCap:    8,
+			Tunneling:   true,
+			Diurnal:     &Diurnal{Period: 40, Amplitude: 0.3},
+		},
+	}
+}
+
+// Lookup returns the named scenario spec.
+func Lookup(name string) (Spec, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
