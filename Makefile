@@ -3,8 +3,11 @@
 
 GO ?= go
 BENCH_JSON ?= bench-smoke.json
+BENCH_WIRE_JSON ?= BENCH_wire.json
+WIRE_THROUGHPUT_JSON ?= wire-throughput.json
+BENCHTIME ?= 0.3s
 
-.PHONY: all build test race fmt vet bench-smoke clean
+.PHONY: all build test race fmt vet bench-smoke bench-micro bench-wire clean
 
 all: build test
 
@@ -33,5 +36,24 @@ bench-smoke:
 	$(GO) run ./cmd/webwave-bench -scenario flash-crowd -seed 1 \
 		-n 15 -rate 100 -json $(BENCH_JSON)
 
+# bench-micro runs the hot-path micro-benchmarks (wire codec, server
+# handlers, transport round trips) with -benchmem, records ns/op and
+# allocs/op into $(BENCH_WIRE_JSON), and fails on a >2x allocs/op
+# regression against the committed baseline (bench/BENCH_wire_baseline.json).
+bench-micro:
+	$(GO) test -run 'TestNothing^' -bench . -benchmem -benchtime $(BENCHTIME) \
+		./internal/netproto/ ./internal/server/ ./internal/transport/ \
+		> bench-micro.out || { cat bench-micro.out; exit 1; }
+	@cat bench-micro.out
+	$(GO) run ./cmd/benchwire -in bench-micro.out \
+		-baseline bench/BENCH_wire_baseline.json -out $(BENCH_WIRE_JSON)
+
+# bench-wire measures the live TCP serving stack on the v1 (JSON) and v2
+# (binary) wire protocols and reports sustained req/s and the speedup.
+# Wall-clock: NOT deterministic.
+bench-wire:
+	$(GO) run ./cmd/webwave-bench -scenario wire-throughput -seed 1 \
+		-duration 3 -json $(WIRE_THROUGHPUT_JSON)
+
 clean:
-	rm -f $(BENCH_JSON)
+	rm -f $(BENCH_JSON) $(BENCH_WIRE_JSON) $(WIRE_THROUGHPUT_JSON) bench-micro.out

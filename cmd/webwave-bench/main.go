@@ -14,6 +14,13 @@
 //	webwave-bench -scenario flash-crowd -seed 1 -json out.json
 //	webwave-bench -scenario churn -mode live -speedup 20 -json out.json
 //	webwave-bench -scenario zipf-steady -n 63 -duration 60 -rate 500
+//	webwave-bench -scenario zipf-steady -mode live -transport tcp -wirev 2
+//	webwave-bench -scenario wire-throughput -duration 3 -json BENCH_wire_throughput.json
+//
+// The wire-throughput scenario is special: it runs the live stack over
+// real TCP loopback sockets twice — once per wire protocol version — and
+// reports sustained req/s and the v2/v1 speedup (wall-clock, not
+// deterministic).
 package main
 
 import (
@@ -43,7 +50,10 @@ func run(args []string) error {
 	rate := fs.Float64("rate", 0, "override aggregate request rate, req/s")
 	window := fs.Float64("window", 0, "override metrics window, seconds")
 	speedup := fs.Float64("speedup", 10, "live: schedule time compression")
-	clients := fs.Int("clients", 16, "live: concurrent HTTP workers")
+	clients := fs.Int("clients", 16, "live/wire: concurrent workers")
+	transportName := fs.String("transport", "mem", "live: cluster transport (mem or tcp)")
+	wirev := fs.Int("wirev", 2, "live/wire: TCP wire protocol version (1=JSON, 2=binary)")
+	body := fs.Int("body", 0, "wire-throughput: document body bytes (default 1024)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,7 +64,16 @@ func run(args []string) error {
 			fmt.Printf("%-14s %3d nodes, %4d docs, %-7s popularity, %-7s arrivals, %.0f req/s for %.0fs\n",
 				d.Name, d.Nodes, d.NumDocs, d.Popularity, d.Arrival, d.TotalRate, d.Duration)
 		}
+		fmt.Printf("%-14s live TCP stack, v1 (JSON) vs v2 (binary) wire protocol, closed-loop saturation\n",
+			"wire-throughput")
 		return nil
+	}
+
+	if *scenario == "wire-throughput" {
+		return runWireThroughput(wireSpec{
+			Seed: *seed, Nodes: *n, Clients: *clients,
+			Duration: *duration, BodyBytes: *body,
+		}, *jsonPath)
 	}
 
 	sp, ok := workload.Lookup(*scenario)
@@ -82,6 +101,7 @@ func run(args []string) error {
 	case "live":
 		rep, err = workload.RunLive(sp, *seed, workload.LiveOptions{
 			Speedup: *speedup, Clients: *clients,
+			Transport: *transportName, WireVersion: *wirev,
 		})
 	default:
 		return fmt.Errorf("unknown mode %q (want fast or live)", *mode)

@@ -1,0 +1,277 @@
+package main
+
+// The wire-throughput scenario measures the live serving stack end to end
+// over real TCP loopback sockets: the same tree, documents and client
+// pressure are driven once over the legacy v1 (JSON) wire protocol and
+// once over v2 (binary, pooled framing, batched flushing), and the report
+// records sustained responses/second, Jain fairness of the per-node served
+// counts, and the v2/v1 speedup. Unlike the fast-forward scenarios this is
+// a wall-clock measurement and is NOT deterministic.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webwave/internal/cluster"
+	"webwave/internal/core"
+	"webwave/internal/netproto"
+	"webwave/internal/stats"
+	"webwave/internal/trace"
+	"webwave/internal/transport"
+	"webwave/internal/tree"
+	"webwave/internal/workload"
+)
+
+// wireSpec parameterizes the wire-throughput scenario.
+type wireSpec struct {
+	Seed      int64
+	Nodes     int     // tree size; default 15
+	Clients   int     // closed-loop injector connections; default 32
+	Duration  float64 // measured seconds per protocol version; default 3
+	BodyBytes int     // document body size; default 1024
+	NumDocs   int
+	ZipfSkew  float64
+}
+
+func (w wireSpec) withDefaults() wireSpec {
+	if w.Nodes <= 0 {
+		w.Nodes = 15
+	}
+	if w.Clients <= 0 {
+		w.Clients = 32
+	}
+	if w.Duration <= 0 {
+		w.Duration = 3
+	}
+	if w.BodyBytes <= 0 {
+		w.BodyBytes = 1024
+	}
+	if w.NumDocs <= 0 {
+		w.NumDocs = 32
+	}
+	if w.ZipfSkew <= 0 {
+		w.ZipfSkew = 1.0
+	}
+	return w
+}
+
+// wireRun is one protocol version's measurement.
+type wireRun struct {
+	WireVersion   int     `json:"wire_version"`
+	Responses     int64   `json:"responses"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	Jain          float64 `json:"jain"`
+	MeanHops      float64 `json:"mean_hops"`
+	ServingNodes  int     `json:"serving_nodes"`
+	Forwarded     int64   `json:"forwarded"`
+	Coalesced     int64   `json:"coalesced"`
+}
+
+// wireReport is the wire-throughput JSON document.
+type wireReport struct {
+	Schema          string    `json:"schema"`
+	Scenario        string    `json:"scenario"`
+	Seed            int64     `json:"seed"`
+	Nodes           int       `json:"nodes"`
+	Clients         int       `json:"clients"`
+	DurationS       float64   `json:"duration_s"`
+	BodyBytes       int       `json:"body_bytes"`
+	NumDocs         int       `json:"num_docs"`
+	Runs            []wireRun `json:"runs"`
+	SpeedupV2OverV1 float64   `json:"speedup_v2_over_v1"`
+}
+
+func runWireThroughput(sp wireSpec, jsonPath string) error {
+	sp = sp.withDefaults()
+	fmt.Printf("scenario wire-throughput: %d nodes over TCP loopback, %d closed-loop clients, %d docs x %dB, %.1fs per version\n",
+		sp.Nodes, sp.Clients, sp.NumDocs, sp.BodyBytes, sp.Duration)
+
+	rep := &wireReport{
+		Schema: "webwave-wire-throughput/v1", Scenario: "wire-throughput",
+		Seed: sp.Seed, Nodes: sp.Nodes, Clients: sp.Clients,
+		DurationS: sp.Duration, BodyBytes: sp.BodyBytes, NumDocs: sp.NumDocs,
+	}
+	for _, version := range []int{1, 2} {
+		run, err := wireRunOnce(sp, version)
+		if err != nil {
+			return fmt.Errorf("wire-throughput v%d: %w", version, err)
+		}
+		rep.Runs = append(rep.Runs, run)
+		fmt.Printf("  v%d: %9.0f req/s  (%d responses, jain %.3f, hops %.2f, %d nodes serving, coalesced %d)\n",
+			version, run.ThroughputRPS, run.Responses, run.Jain, run.MeanHops, run.ServingNodes, run.Coalesced)
+	}
+	if rep.Runs[0].ThroughputRPS > 0 {
+		rep.SpeedupV2OverV1 = rep.Runs[1].ThroughputRPS / rep.Runs[0].ThroughputRPS
+	}
+	fmt.Printf("  v2/v1 speedup: %.2fx\n", rep.SpeedupV2OverV1)
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("report: %s\n", jsonPath)
+	}
+	return nil
+}
+
+// wireRunOnce builds a fresh cluster on TCP with the given wire version and
+// hammers it closed-loop: each client keeps exactly one request in flight.
+// The first part of the run warms the tree (delegation spreads the hot
+// documents); only the measured window counts.
+func wireRunOnce(sp wireSpec, version int) (wireRun, error) {
+	rng := rand.New(rand.NewSource(sp.Seed))
+	t, err := tree.RandomBounded(sp.Nodes, 4, rng)
+	if err != nil {
+		return wireRun{}, err
+	}
+	body := make([]byte, sp.BodyBytes)
+	for i := range body {
+		body[i] = byte('a' + i%26)
+	}
+	docs := make(map[core.DocID][]byte, sp.NumDocs)
+	for j := 0; j < sp.NumDocs; j++ {
+		docs[workload.DocID(j)] = body
+	}
+	c, err := cluster.New(t, docs, cluster.Config{
+		Network:         transport.TCPNetwork{Version: version},
+		AddrFor:         func(int) string { return "127.0.0.1:0" },
+		GossipPeriod:    25 * time.Millisecond,
+		DiffusionPeriod: 50 * time.Millisecond,
+		Window:          500 * time.Millisecond,
+		Tunneling:       true,
+	})
+	if err != nil {
+		return wireRun{}, err
+	}
+	defer c.Stop()
+
+	// Zipf CDF over the documents, on the same weights the other scenarios
+	// use.
+	cdf := trace.ZipfWeights(sp.NumDocs, sp.ZipfSkew)
+	for j := 1; j < len(cdf); j++ {
+		cdf[j] += cdf[j-1]
+	}
+
+	var (
+		measuring atomic.Bool
+		stop      atomic.Bool
+		responses atomic.Int64
+		hops      atomic.Int64
+		servedBy  = make([]atomic.Int64, t.Len())
+		wg        sync.WaitGroup
+	)
+	docIDs := make([]core.DocID, sp.NumDocs)
+	for j := range docIDs {
+		docIDs[j] = workload.DocID(j)
+	}
+	conns := make([]transport.Conn, 0, sp.Clients)
+	closeAll := func() {
+		stop.Store(true)
+		for _, cn := range conns {
+			cn.Close() // releases workers blocked in Recv
+		}
+		wg.Wait()
+	}
+	for w := 0; w < sp.Clients; w++ {
+		origin := 0
+		if t.Len() > 1 {
+			origin = 1 + w%(t.Len()-1) // clients enter at non-root nodes
+		}
+		wrng := rand.New(rand.NewSource(sp.Seed + int64(w)*7919))
+		conn, err := c.Network().Dial(c.Addr(origin))
+		if err != nil {
+			closeAll()
+			return wireRun{}, fmt.Errorf("dial origin %d: %w", origin, err)
+		}
+		conns = append(conns, conn)
+		wg.Add(1)
+		go func(conn transport.Conn, origin, w int, wrng *rand.Rand) {
+			defer wg.Done()
+			defer conn.Close()
+			// Disjoint request-id spaces: workers sharing an origin node
+			// must not collide in the servers' response-routing tables.
+			reqID := uint64(w+1) << 32
+			for !stop.Load() {
+				reqID++
+				u := wrng.Float64()
+				doc := 0
+				for doc < len(cdf)-1 && cdf[doc] < u {
+					doc++
+				}
+				err := conn.Send(&netproto.Envelope{
+					Kind: netproto.TypeRequest, From: -1, To: origin,
+					Origin: origin, ReqID: reqID, Doc: docIDs[doc],
+				})
+				if err != nil {
+					return
+				}
+				for {
+					env, err := conn.Recv()
+					if err != nil {
+						return
+					}
+					isResp := env.Kind == netproto.TypeResponse && env.ReqID == reqID
+					if isResp && measuring.Load() {
+						responses.Add(1)
+						hops.Add(int64(env.Hops))
+						if env.ServedBy >= 0 && env.ServedBy < len(servedBy) {
+							servedBy[env.ServedBy].Add(1)
+						}
+					}
+					netproto.PutEnvelope(env)
+					if isResp {
+						break
+					}
+				}
+			}
+		}(conn, origin, w, wrng)
+	}
+
+	warmup := time.Duration(sp.Duration*float64(time.Second)) / 2
+	if warmup > 2*time.Second {
+		warmup = 2 * time.Second
+	}
+	time.Sleep(warmup)
+	measuring.Store(true)
+	time.Sleep(time.Duration(sp.Duration * float64(time.Second)))
+	measuring.Store(false)
+	// Closing the client conns unblocks any worker stuck in Recv on a
+	// response that was lost or expired server-side.
+	closeAll()
+
+	run := wireRun{WireVersion: version, Responses: responses.Load()}
+	run.ThroughputRPS = float64(run.Responses) / sp.Duration
+	if run.Responses > 0 {
+		run.MeanHops = float64(hops.Load()) / float64(run.Responses)
+	}
+	loads := make([]float64, t.Len())
+	for v := range servedBy {
+		loads[v] = float64(servedBy[v].Load())
+		if loads[v] > 0 {
+			run.ServingNodes++
+		}
+	}
+	run.Jain = stats.JainIndex(loads)
+	if sts, err := c.Stats(); err == nil {
+		for _, st := range sts {
+			run.Forwarded += st.Forwarded
+			run.Coalesced += st.Coalesced
+		}
+	}
+	return run, nil
+}

@@ -140,6 +140,7 @@ func (c *Cluster) collect(conn transport.Conn) {
 			return
 		}
 		if env.Kind != netproto.TypeResponse {
+			netproto.PutEnvelope(env)
 			continue
 		}
 		now := time.Now()
@@ -154,6 +155,7 @@ func (c *Cluster) collect(conn transport.Conn) {
 			c.latencies = append(c.latencies, now.Sub(sent).Seconds())
 		}
 		c.servedByMu.Unlock()
+		netproto.PutEnvelope(env) // fully consumed: recycle
 	}
 }
 
@@ -290,9 +292,11 @@ func (c *Cluster) Stats() ([]*netproto.Stats, error) {
 				return nil, fmt.Errorf("cluster: stats reply %d: %w", v, err)
 			}
 			if env.Kind == netproto.TypeStatsReply && env.Stats != nil {
-				out[v] = env.Stats
+				out[v] = env.Stats // keep Stats; the envelope shell recycles
+				netproto.PutEnvelope(env)
 				break
 			}
+			netproto.PutEnvelope(env)
 			if time.Now().After(deadline) {
 				conn.Close()
 				return nil, fmt.Errorf("cluster: stats reply %d: timeout", v)

@@ -213,6 +213,7 @@ func (oc *originConn) collect() {
 			return
 		}
 		if env.Kind != netproto.TypeResponse {
+			netproto.PutEnvelope(env)
 			continue
 		}
 		oc.mu.Lock()
@@ -222,7 +223,9 @@ func (oc *originConn) collect() {
 		}
 		oc.mu.Unlock()
 		if ok {
-			ch <- env
+			ch <- env // ownership moves to the waiting request handler
+		} else {
+			netproto.PutEnvelope(env) // late response: its waiter timed out
 		}
 	}
 }
@@ -290,6 +293,9 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	origin := g.cfg.Origin(r)
 	start := time.Now()
 	env, err := g.fetch(origin, core.DocID(name), g.cfg.Timeout)
+	if env != nil {
+		defer netproto.PutEnvelope(env) // recycled once the body is written
+	}
 	if g.cfg.OnResult != nil {
 		res := Result{Doc: core.DocID(name), Origin: origin, Served: -1, Latency: time.Since(start), Err: err}
 		if err == nil {

@@ -1,0 +1,276 @@
+package netproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"webwave/internal/core"
+)
+
+// allKindEnvelopes returns one representative envelope per message kind,
+// with every kind-meaningful field set to a non-default value.
+func allKindEnvelopes() []*Envelope {
+	return []*Envelope{
+		{Kind: TypeGossip, From: 1, To: 2, Seq: 9, Load: 123.5},
+		{Kind: TypeDelegate, From: 0, To: 3, Seq: 10, Doc: "doc-1", Rate: 42.25, Body: []byte("payload")},
+		{Kind: TypeDelegateAck, From: 3, To: 0, Doc: "doc-1", Rate: 42.25},
+		{Kind: TypeShed, From: 5, To: 1, Doc: "d", Rate: 7},
+		{Kind: TypeRequest, From: -1, To: 4, Origin: 4, ReqID: 99, Hops: 2, Doc: "d"},
+		{Kind: TypeResponse, From: 2, To: 4, Origin: 4, ReqID: 99, ServedBy: 2, Hops: 3, Doc: "d", Body: []byte("b")},
+		{Kind: TypeResponse, From: 2, To: 4, Origin: 4, ReqID: 100, ServedBy: 0, NotFound: true, Doc: "missing"},
+		{Kind: TypeTunnelFetch, From: 6, Doc: "d3"},
+		{Kind: TypeTunnelReply, From: 0, To: 6, Doc: "d3", Body: []byte("b")},
+		{Kind: TypeStatsQuery, From: -1, To: 1},
+		{Kind: TypeStatsReply, From: 1, Stats: &Stats{
+			Node: 1, Load: 55.5, Served: 100, Forwarded: 20,
+			CachedDocs:  []core.DocID{"a", "b"},
+			Targets:     map[core.DocID]float64{"a": 10},
+			FilterStats: FilterStats{Inspected: 120, Extracted: 100, Passed: 20},
+			QueueLen:    3, CacheBytes: 77,
+		}},
+		{Kind: TypeShutdown, From: -1, To: 0},
+	}
+}
+
+// sameEnvelope compares two envelopes field by field, ignoring V (the codec
+// stamps its own version).
+func sameEnvelope(t *testing.T, got, want *Envelope) {
+	t.Helper()
+	a, b := *got, *want
+	a.V, b.V = 0, 0
+	// Normalize empty vs nil bodies.
+	if len(a.Body) == 0 {
+		a.Body = nil
+	}
+	if len(b.Body) == 0 {
+		b.Body = nil
+	}
+	as, bs := a.Stats, b.Stats
+	a.Stats, b.Stats = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("envelope mismatch:\n got %+v\nwant %+v", a, b)
+	}
+	if (as == nil) != (bs == nil) {
+		t.Fatalf("stats presence mismatch: %v vs %v", as, bs)
+	}
+	if as != nil && !reflect.DeepEqual(as, bs) {
+		t.Errorf("stats mismatch:\n got %+v\nwant %+v", as, bs)
+	}
+}
+
+func TestBinaryRoundTripAllKinds(t *testing.T) {
+	var in DocInterner
+	for _, env := range allKindEnvelopes() {
+		t.Run(string(env.Kind), func(t *testing.T) {
+			frame, err := AppendFrameV2(nil, env)
+			if err != nil {
+				t.Fatalf("AppendFrameV2: %v", err)
+			}
+			got := &Envelope{}
+			if err := DecodePayload(got, frame[4:], &in); err != nil {
+				t.Fatalf("DecodePayload: %v", err)
+			}
+			if got.V != Version2 {
+				t.Errorf("V = %d, want %d", got.V, Version2)
+			}
+			sameEnvelope(t, got, env)
+		})
+	}
+}
+
+// TestCodecEquivalence decodes the same logical message from both codecs
+// and requires identical envelopes — the v1↔v2 equivalence contract.
+func TestCodecEquivalence(t *testing.T) {
+	for _, env := range allKindEnvelopes() {
+		t.Run(string(env.Kind), func(t *testing.T) {
+			var jsonBuf bytes.Buffer
+			e := *env
+			if err := WriteFrame(&jsonBuf, &e); err != nil {
+				t.Fatalf("WriteFrame: %v", err)
+			}
+			binFrame, err := AppendFrameV2(nil, env)
+			if err != nil {
+				t.Fatalf("AppendFrameV2: %v", err)
+			}
+			fromJSON, err := ReadFrame(&jsonBuf)
+			if err != nil {
+				t.Fatalf("ReadFrame(json): %v", err)
+			}
+			fromBin, err := ReadFrame(bytes.NewReader(binFrame))
+			if err != nil {
+				t.Fatalf("ReadFrame(binary): %v", err)
+			}
+			sameEnvelope(t, fromBin, fromJSON)
+		})
+	}
+}
+
+// TestMixedVersionStream interleaves v1 and v2 frames on one stream; the
+// reader negotiates per frame from the payload's first byte.
+func TestMixedVersionStream(t *testing.T) {
+	var buf bytes.Buffer
+	w1 := NewFrameWriter(&buf, 1)
+	w2 := NewFrameWriter(&buf, 2)
+	for i := 0; i < 6; i++ {
+		w := w1
+		if i%2 == 1 {
+			w = w2
+		}
+		env := &Envelope{Kind: TypeGossip, From: i, Load: float64(i) * 2.5}
+		if err := w.WriteEnvelope(env); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	r := NewFrameReader(&buf)
+	env := &Envelope{}
+	for i := 0; i < 6; i++ {
+		if err := r.ReadInto(env); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if env.From != i || env.Load != float64(i)*2.5 {
+			t.Errorf("frame %d corrupted: %+v", i, env)
+		}
+		wantV := Version
+		if i%2 == 1 {
+			wantV = Version2
+		}
+		if env.V != wantV {
+			t.Errorf("frame %d version = %d, want %d", i, env.V, wantV)
+		}
+	}
+	if err := r.ReadInto(env); !errors.Is(err, io.EOF) {
+		t.Errorf("after drain: %v, want EOF", err)
+	}
+}
+
+// TestMaxFrameBoundaryBody exercises bodies that land a v2 frame exactly on
+// the MaxFrame payload bound, and one byte past it.
+func TestMaxFrameBoundaryBody(t *testing.T) {
+	mk := func(bodyLen int) *Envelope {
+		return &Envelope{Kind: TypeDelegate, From: 1, To: 2, Doc: "d", Rate: 1, Body: make([]byte, bodyLen)}
+	}
+	base, err := AppendEnvelopeV2(nil, mk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// payload(B) = len(base) - 1 (nil body's 1-byte length) + uvarintLen(B) + B.
+	exact := -1
+	for b := MaxFrame - len(base) - 8; b <= MaxFrame; b++ {
+		n := len(base) - 1 + uvarintLen(uint64(b)) + b
+		if n == MaxFrame {
+			exact = b
+			break
+		}
+	}
+	if exact < 0 {
+		t.Fatal("no body length lands exactly on MaxFrame")
+	}
+	frame, err := AppendFrameV2(nil, mk(exact))
+	if err != nil {
+		t.Fatalf("exact MaxFrame payload rejected: %v", err)
+	}
+	if got := len(frame) - 4; got != MaxFrame {
+		t.Fatalf("payload = %d bytes, want MaxFrame", got)
+	}
+	got := GetEnvelope()
+	defer PutEnvelope(got)
+	if err := DecodePayload(got, frame[4:], nil); err != nil {
+		t.Fatalf("decode MaxFrame payload: %v", err)
+	}
+	if len(got.Body) != exact {
+		t.Fatalf("body length %d, want %d", len(got.Body), exact)
+	}
+	if _, err := AppendFrameV2(nil, mk(exact+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("over-MaxFrame error = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func uvarintLen(v uint64) int {
+	var tmp [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(tmp[:], v)
+}
+
+func TestBinaryDecodeRejectsGarbage(t *testing.T) {
+	valid, err := AppendEnvelopeV2(nil, &Envelope{Kind: TypeRequest, From: 1, Origin: 1, ReqID: 5, Doc: "doc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &Envelope{}
+	// Every truncation of a valid payload must error, never panic.
+	for i := 0; i < len(valid); i++ {
+		if err := DecodePayload(env, valid[:i], nil); err == nil {
+			t.Errorf("truncation at %d accepted", i)
+		}
+	}
+	// Trailing junk is rejected.
+	if err := DecodePayload(env, append(append([]byte(nil), valid...), 0xAA), nil); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Unknown kind code.
+	if err := DecodePayload(env, []byte{Version2, 0xEE, 0, 0, 0}, nil); err == nil {
+		t.Error("unknown kind code accepted")
+	}
+	// A claimed string length far past the payload end.
+	bad := []byte{Version2, 5 /* request */, 2, 2, 0 /* from,to,seq */, 2, 10, 0xFF, 0xFF, 0xFF, 0x7F}
+	if err := DecodePayload(env, bad, nil); err == nil {
+		t.Error("overlong string length accepted")
+	}
+}
+
+func TestUnknownKindHasNoBinaryEncoding(t *testing.T) {
+	if _, err := AppendEnvelopeV2(nil, &Envelope{Kind: "bogus"}); err == nil {
+		t.Error("unknown kind encoded")
+	}
+}
+
+func TestDocInterner(t *testing.T) {
+	var in DocInterner
+	a := in.Intern([]byte("doc-7"))
+	b := in.Intern([]byte("doc-7"))
+	if a != b || a != "doc-7" {
+		t.Errorf("intern mismatch: %q vs %q", a, b)
+	}
+	if got := in.Intern(nil); got != "" {
+		t.Errorf("empty intern = %q", got)
+	}
+	var nilIn *DocInterner
+	if got := nilIn.Intern([]byte("x")); got != "x" {
+		t.Errorf("nil interner = %q", got)
+	}
+}
+
+// TestHotPathZeroAllocs pins the acceptance criterion: encoding gossip and
+// decoding requests on the v2 codec allocate nothing in steady state.
+func TestHotPathZeroAllocs(t *testing.T) {
+	gossip := &Envelope{Kind: TypeGossip, From: 3, To: 7, Seq: 42, Load: 812.5, V: Version2}
+	buf := make([]byte, 0, 256)
+	if n := testing.AllocsPerRun(200, func() {
+		b, err := AppendFrameV2(buf[:0], gossip)
+		if err != nil || len(b) == 0 {
+			t.Fatal("encode failed")
+		}
+	}); n != 0 {
+		t.Errorf("EncodeGossip allocs/op = %v, want 0", n)
+	}
+
+	reqFrame, err := AppendFrameV2(nil, &Envelope{
+		Kind: TypeRequest, From: -1, To: 4, Origin: 4, ReqID: 77, Hops: 1, Doc: "hot-doc",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in DocInterner
+	env := &Envelope{}
+	in.Intern([]byte("hot-doc")) // steady state: the doc id has been seen
+	if n := testing.AllocsPerRun(200, func() {
+		if err := DecodePayload(env, reqFrame[4:], &in); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("DecodeRequest allocs/op = %v, want 0", n)
+	}
+}

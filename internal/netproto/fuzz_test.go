@@ -24,6 +24,18 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(oversized.Bytes())
 	f.Add([]byte("\x00\x00\x00\x05notjs"))
 	f.Add([]byte{0xff, 0xfe, 0x00})
+	// Binary v2 seeds: a valid frame, its truncation, and a corrupt kind.
+	binFrame, err := AppendFrameV2(nil, &Envelope{
+		Kind: TypeRequest, From: -1, To: 3, Origin: 3, ReqID: 7, Doc: "d",
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), binFrame...))
+	f.Add(append([]byte(nil), binFrame[:len(binFrame)-2]...))
+	corrupt := append([]byte(nil), binFrame...)
+	corrupt[5] = 0xEE // kind code byte
+	f.Add(corrupt)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		env, err := ReadFrame(bytes.NewReader(data))
@@ -31,11 +43,26 @@ func FuzzReadFrame(f *testing.F) {
 			t.Fatal("nil envelope with nil error")
 		}
 		if env != nil && err == nil {
-			// Anything decoded must re-encode.
+			// Anything decoded must re-encode. A JSON payload may claim v:2
+			// while carrying a kind the binary codec has no code for; such
+			// envelopes must still re-encode on the JSON path.
 			var buf bytes.Buffer
-			if werr := WriteFrame(&buf, env); werr != nil {
-				t.Fatalf("decoded envelope failed to re-encode: %v", werr)
+			w := NewFrameWriter(&buf, env.V)
+			if werr := w.WriteEnvelope(env); werr != nil {
+				buf.Reset()
+				w1 := NewFrameWriter(&buf, 1)
+				if werr1 := w1.WriteEnvelope(env); werr1 != nil {
+					t.Fatalf("decoded envelope failed to re-encode: v%d: %v; json: %v", env.V, werr, werr1)
+				}
 			}
 		}
+		// The streaming reader must agree with ReadFrame and never panic.
+		fr := NewFrameReader(bytes.NewReader(data))
+		into := GetEnvelope()
+		ierr := fr.ReadInto(into)
+		if (err == nil) != (ierr == nil) {
+			t.Fatalf("ReadFrame err=%v but ReadInto err=%v", err, ierr)
+		}
+		PutEnvelope(into)
 	})
 }

@@ -3,9 +3,12 @@
 // shedding up the tree, client request packets, tunnel fetches across
 // potential barriers, and a stats scrape for the harness.
 //
-// Messages travel as length-prefixed JSON frames. JSON keeps the protocol
-// inspectable (stdlib-only constraint rules out protobuf); the framing layer
-// bounds message size and is covered by fuzz-style round-trip tests.
+// Messages travel as length-prefixed frames in one of two payload codecs
+// negotiated per frame by the first payload byte: protocol v1 is JSON
+// (inspectable; the stdlib-only constraint rules out protobuf) and protocol
+// v2 is a compact binary form (binary.go) whose high-frequency kinds encode
+// and decode without allocating. The framing layer bounds message size and
+// is covered by fuzz-style round-trip tests.
 package netproto
 
 import (
@@ -18,7 +21,7 @@ import (
 	"webwave/internal/core"
 )
 
-// Version is the protocol version carried in every envelope.
+// Version is the JSON (v1) protocol version carried in every envelope.
 const Version = 1
 
 // MaxFrame bounds a frame's payload size (16 MiB), preventing a corrupt
@@ -93,10 +96,13 @@ type Envelope struct {
 
 // Stats is the metrics payload a server reports to the harness.
 type Stats struct {
-	Node           int                    `json:"node"`
-	Load           float64                `json:"load"`        // served req/s over the window
-	Served         int64                  `json:"served"`      // total requests served
-	Forwarded      int64                  `json:"forwarded"`   // total requests passed upstream
+	Node      int     `json:"node"`
+	Load      float64 `json:"load"`      // served req/s over the window
+	Served    int64   `json:"served"`    // total requests served
+	Forwarded int64   `json:"forwarded"` // total requests passed upstream
+	// Coalesced counts requests answered from another request's upstream
+	// fetch (single-flight) instead of traveling up the tree themselves.
+	Coalesced      int64                  `json:"coalesced,omitempty"`
 	CachedDocs     []core.DocID           `json:"cached_docs"` // current cache contents
 	Targets        map[core.DocID]float64 `json:"targets"`     // per-doc target serve rates
 	GossipSent     int64                  `json:"gossip_sent"`
@@ -111,6 +117,9 @@ type Stats struct {
 	// signals the benchmark harness scrapes per window.
 	QueueLen   int   `json:"queue_len"`
 	CacheBytes int64 `json:"cache_bytes"`
+	// PendingLen is the size of the response-routing table at snapshot
+	// time (in-flight forwarded requests not yet answered or expired).
+	PendingLen int `json:"pending_len,omitempty"`
 }
 
 // FilterStats mirrors router.Stats for the wire.
@@ -122,8 +131,8 @@ type FilterStats struct {
 
 // Validate performs basic sanity checks on a received envelope.
 func (e *Envelope) Validate() error {
-	if e.V != Version {
-		return fmt.Errorf("netproto: version %d, want %d", e.V, Version)
+	if e.V != Version && e.V != Version2 {
+		return fmt.Errorf("netproto: version %d, want %d or %d", e.V, Version, Version2)
 	}
 	if e.Kind == "" {
 		return errors.New("netproto: missing kind")
@@ -158,7 +167,9 @@ func WriteFrame(w io.Writer, env *Envelope) error {
 	return nil
 }
 
-// ReadFrame reads one frame from r and unmarshals it.
+// ReadFrame reads one frame from r and decodes it, accepting either
+// payload codec (JSON v1 or binary v2). Callers that read many frames from
+// one stream should prefer FrameReader, which reuses its buffers.
 func ReadFrame(r io.Reader) (*Envelope, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -176,10 +187,7 @@ func ReadFrame(r io.Reader) (*Envelope, error) {
 		return nil, fmt.Errorf("netproto: read payload: %w", err)
 	}
 	env := &Envelope{}
-	if err := json.Unmarshal(payload, env); err != nil {
-		return nil, fmt.Errorf("netproto: unmarshal: %w", err)
-	}
-	if err := env.Validate(); err != nil {
+	if err := DecodePayload(env, payload, nil); err != nil {
 		return nil, err
 	}
 	return env, nil

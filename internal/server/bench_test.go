@@ -1,0 +1,100 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"webwave/internal/core"
+	"webwave/internal/netproto"
+	"webwave/internal/transport"
+)
+
+// nopConn discards sends; the benchmarks drive the main-loop handlers
+// directly, so nothing ever reads.
+type nopConn struct{}
+
+func (nopConn) Send(*netproto.Envelope) error     { return nil }
+func (nopConn) Recv() (*netproto.Envelope, error) { return nil, transport.ErrClosed }
+func (nopConn) Close() error                      { return nil }
+
+func benchServer(b *testing.B, cfg Config) *Server {
+	b.Helper()
+	cfg.Network = transport.NewMemoryNetwork(transport.MemoryOptions{})
+	if cfg.Addr == "" {
+		cfg.Addr = "bench"
+	}
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s // not started: handlers run inline on the bench goroutine
+}
+
+// BenchmarkServeCachedRequest measures the request fast path on a home
+// server: classify, account the flow windows, serve from cache, emit the
+// response. The acceptance target is 0 allocs/op in steady state.
+func BenchmarkServeCachedRequest(b *testing.B) {
+	s := benchServer(b, Config{
+		ID: 0, ParentID: -1,
+		Docs: map[core.DocID][]byte{"hot": []byte("cached body bytes")},
+	})
+	env := &netproto.Envelope{Kind: netproto.TypeRequest, From: -1, Origin: 0, Doc: "hot"}
+	ev := event{env: env, conn: nopConn{}}
+	s.now = time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.ReqID = uint64(i + 1)
+		s.now = s.now.Add(50 * time.Microsecond)
+		s.handle(ev)
+	}
+}
+
+// BenchmarkForwardAndRespond measures the relay path on an interior node:
+// forward a request upstream (pending entry, single-flight leader) and
+// route its response back down.
+func BenchmarkForwardAndRespond(b *testing.B) {
+	s := benchServer(b, Config{ID: 1, ParentID: 0, ParentAddr: "parent", HomeAddr: "parent"})
+	s.parentConn = nopConn{}
+	req := &netproto.Envelope{Kind: netproto.TypeRequest, From: -1, Origin: 1, Doc: "d"}
+	resp := &netproto.Envelope{Kind: netproto.TypeResponse, From: 0, Origin: 1, Doc: "d", ServedBy: 0, Hops: 1, Body: []byte("x")}
+	reqEv := event{env: req, conn: nopConn{}}
+	respEv := event{env: resp, conn: nopConn{}}
+	s.now = time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i + 1)
+		req.ReqID, resp.ReqID = id, id
+		s.now = s.now.Add(50 * time.Microsecond)
+		s.handle(reqEv)
+		s.handle(respEv)
+	}
+}
+
+// BenchmarkGossipTick measures one gossip fan-out over eight children.
+func BenchmarkGossipTick(b *testing.B) {
+	s := benchServer(b, Config{ID: 0, ParentID: -1})
+	for i := 1; i <= 8; i++ {
+		s.childConns[i] = nopConn{}
+	}
+	s.now = time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.now = s.now.Add(time.Millisecond)
+		s.doGossip()
+	}
+}
+
+// BenchmarkRateWindowAdd pins the cost of the per-request flow accounting.
+func BenchmarkRateWindowAdd(b *testing.B) {
+	w := newRateWindow(time.Second, 8)
+	now := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(10 * time.Microsecond)
+		w.Add(now, 1)
+	}
+}

@@ -11,6 +11,13 @@
 // routing tree and are served by the first willing cache copy or, finally,
 // by the home server. Protocol state (targets, gossip views) is soft; lost
 // or stale messages degrade balance, never correctness.
+//
+// The main loop is built for throughput: inbound events drain in batches
+// under a single loop-owned clock reading, stale gossip coalesces to the
+// newest figure per neighbor, consumed envelopes recycle through netproto's
+// pool, and concurrent requests for the same uncached document collapse
+// into one upstream fetch (single-flight) whose response answers every
+// waiter.
 package server
 
 import (
@@ -48,6 +55,12 @@ type Config struct {
 	DiffusionPeriod time.Duration // default 100ms
 	Window          time.Duration // rate-estimation window, default 1s
 
+	// PendingTTL bounds how long response-routing state for a forwarded
+	// request (and any single-flight waiters coalesced behind it) is kept
+	// when no response arrives; stale entries are swept so lost responses
+	// and vanished clients do not leak memory. Default 30s.
+	PendingTTL time.Duration
+
 	// BarrierPatience is the number of diffusion periods a node stays
 	// under-loaded with no delegation before tunneling (paper: > 2).
 	BarrierPatience int
@@ -66,22 +79,52 @@ func (c Config) withDefaults() Config {
 	if c.Window <= 0 {
 		c.Window = time.Second
 	}
+	if c.PendingTTL <= 0 {
+		c.PendingTTL = 30 * time.Second
+	}
 	if c.BarrierPatience <= 0 {
 		c.BarrierPatience = 3
 	}
 	return c
 }
 
-// event is an inbound envelope tagged with its connection.
+// event is an inbound envelope tagged with its connection, or (when closed
+// is set) a notification that the connection's read side has ended.
 type event struct {
-	env  *netproto.Envelope
-	conn transport.Conn
+	env    *netproto.Envelope
+	conn   transport.Conn
+	closed bool
 }
+
+// maxBatch bounds how many queued events one clock reading covers.
+const maxBatch = 256
 
 // pendingKey identifies an in-flight request for response routing.
 type pendingKey struct {
 	origin int
 	reqID  uint64
+}
+
+// pendingEntry remembers where to route a response and when the request
+// was forwarded, so stale entries can be expired.
+type pendingEntry struct {
+	conn transport.Conn
+	at   time.Time
+}
+
+// waiter is a request coalesced behind an identical in-flight fetch.
+type waiter struct {
+	origin int
+	reqID  uint64
+	conn   transport.Conn
+}
+
+// flight tracks one upstream fetch for an uncached document; concurrent
+// requests for the same document ride along as waiters instead of each
+// traveling up the tree.
+type flight struct {
+	at      time.Time
+	waiters []waiter
 }
 
 // Server is a live WebWave node. Create with New, start with Start, stop
@@ -92,6 +135,7 @@ type Server struct {
 	rt     *router.Router
 
 	// Owned by the main loop (no locking needed).
+	now         time.Time // loop-owned clock, read once per event batch
 	cache       map[core.DocID][]byte
 	targets     map[core.DocID]float64 // intended serve rate per doc
 	served      map[core.DocID]*rateWindow
@@ -102,14 +146,21 @@ type Server struct {
 	parentLoad  float64
 	parentKnown bool
 	parentConn  transport.Conn
-	pending     map[pendingKey]transport.Conn
+	pending     map[pendingKey]pendingEntry
+	inflight    map[core.DocID]*flight
 	underFor    int // consecutive under-loaded periods with no delegation
 	gotDelegate bool
+	flightRetry time.Duration // age past which a flight forwards a new leader
+	batch       []event       // reused event-drain scratch
+	gossipSeen  map[int]int   // reused per-batch newest-gossip index by sender
+	gossipEnv   netproto.Envelope
+	dirty       []transport.BatchConn // conns with buffered frames this batch
 
 	// Counters (owned by main loop; exported via stats scrape).
 	nServed, nForwarded          int64
 	nGossip, nDelegIn, nDelegOut int64
 	nShedIn, nShedOut, nTunnels  int64
+	nCoalesced                   int64
 	seq                          uint64
 
 	localFlow map[core.DocID]*rateWindow // locally injected request rates
@@ -141,16 +192,24 @@ func New(cfg Config) (*Server, error) {
 		cfg:        cfg,
 		isRoot:     isRoot,
 		rt:         router.New(),
-		cache:      make(map[core.DocID][]byte),
-		targets:    make(map[core.DocID]float64),
-		served:     make(map[core.DocID]*rateWindow),
-		childConns: make(map[int]transport.Conn),
-		childFlow:  make(map[int]map[core.DocID]*rateWindow),
-		childLoad:  make(map[int]float64),
-		pending:    make(map[pendingKey]transport.Conn),
-		localFlow:  make(map[core.DocID]*rateWindow),
+		now:        time.Now(),
+		cache:      make(map[core.DocID][]byte, len(cfg.Docs)+8),
+		targets:    make(map[core.DocID]float64, 16),
+		served:     make(map[core.DocID]*rateWindow, 16),
+		childConns: make(map[int]transport.Conn, 8),
+		childFlow:  make(map[int]map[core.DocID]*rateWindow, 8),
+		childLoad:  make(map[int]float64, 8),
+		pending:    make(map[pendingKey]pendingEntry, 256),
+		inflight:   make(map[core.DocID]*flight, 16),
+		localFlow:  make(map[core.DocID]*rateWindow, 16),
+		batch:      make([]event, 0, maxBatch),
+		gossipSeen: make(map[int]int, 8),
 		events:     make(chan event, 1024),
 		stopped:    make(chan struct{}),
+	}
+	s.flightRetry = 2 * cfg.GossipPeriod
+	if s.flightRetry < 20*time.Millisecond {
+		s.flightRetry = 20 * time.Millisecond
 	}
 	s.totalServed = newRateWindow(cfg.Window, 8)
 	if isRoot {
@@ -180,6 +239,7 @@ func (s *Server) Start() error {
 		s.parentConn = conn
 		// Identify ourselves to the parent immediately.
 		s.sendOn(conn, &netproto.Envelope{Kind: netproto.TypeGossip, From: s.cfg.ID, To: s.cfg.ParentID})
+		s.flushDirty()
 		s.readLoop(conn)
 	}
 
@@ -202,7 +262,10 @@ func (s *Server) Start() error {
 	return nil
 }
 
-// readLoop pumps a connection into the event channel.
+// readLoop pumps a connection into the event channel. When the read side
+// ends it posts a close notification so the main loop can sweep routing
+// state (pending responses, single-flight waiters, child registration)
+// tied to the connection.
 func (s *Server) readLoop(conn transport.Conn) {
 	s.connsMu.Lock()
 	s.conns = append(s.conns, conn)
@@ -224,11 +287,16 @@ func (s *Server) readLoop(conn transport.Conn) {
 		for {
 			env, err := conn.Recv()
 			if err != nil {
+				select {
+				case s.events <- event{conn: conn, closed: true}:
+				case <-s.stopped:
+				}
 				return
 			}
 			select {
 			case s.events <- event{env: env, conn: conn}:
 			case <-s.stopped:
+				netproto.PutEnvelope(env)
 				return
 			}
 		}
@@ -268,23 +336,76 @@ func (s *Server) mainLoop() {
 	defer gossip.Stop()
 	diffuse := time.NewTicker(s.cfg.DiffusionPeriod)
 	defer diffuse.Stop()
+	sweepEvery := s.cfg.PendingTTL / 2
+	if sweepEvery < 10*time.Millisecond {
+		sweepEvery = 10 * time.Millisecond
+	}
+	sweep := time.NewTicker(sweepEvery)
+	defer sweep.Stop()
 	for {
 		select {
 		case <-s.stopped:
 			return
 		case ev := <-s.events:
-			s.handle(ev)
+			s.now = time.Now()
+			s.handleBatch(ev)
 		case <-gossip.C:
+			s.now = time.Now()
 			s.doGossip()
 		case <-diffuse.C:
+			s.now = time.Now()
 			s.doDiffusion()
+		case <-sweep.C:
+			s.now = time.Now()
+			s.sweepStale()
+		}
+		s.flushDirty()
+	}
+}
+
+// handleBatch drains the event queue (bounded by maxBatch) and processes
+// it under one clock reading. Queued gossip coalesces per neighbor — under
+// backlog only the newest load figure matters, so stale ones are dropped
+// instead of handled. Consumed envelopes return to netproto's pool.
+func (s *Server) handleBatch(first event) {
+	s.batch = append(s.batch[:0], first)
+drain:
+	for len(s.batch) < maxBatch {
+		select {
+		case ev := <-s.events:
+			s.batch = append(s.batch, ev)
+		default:
+			break drain
 		}
 	}
+	gossipSeen := s.gossipSeen
+	if len(s.batch) > 1 {
+		for i, ev := range s.batch {
+			if !ev.closed && ev.env.Kind == netproto.TypeGossip {
+				gossipSeen[ev.env.From] = i
+			}
+		}
+	}
+	for i, ev := range s.batch {
+		if ev.closed {
+			s.handleConnClosed(ev.conn)
+			continue
+		}
+		if ev.env.Kind == netproto.TypeGossip && len(gossipSeen) > 0 {
+			if last, ok := gossipSeen[ev.env.From]; ok && last != i {
+				netproto.PutEnvelope(ev.env) // stale: a newer figure is queued
+				continue
+			}
+		}
+		s.handle(ev)
+		netproto.PutEnvelope(ev.env)
+	}
+	clear(gossipSeen)
+	clear(s.batch) // drop envelope/conn refs before reuse
 }
 
 func (s *Server) handle(ev event) {
 	env := ev.env
-	now := time.Now()
 	switch env.Kind {
 	case netproto.TypeGossip:
 		if env.From == s.cfg.ParentID && !s.isRoot {
@@ -295,18 +416,24 @@ func (s *Server) handle(ev event) {
 		// First gossip from an unknown conn registers a child.
 		if _, ok := s.childConns[env.From]; !ok {
 			s.childConns[env.From] = ev.conn
-			s.childFlow[env.From] = make(map[core.DocID]*rateWindow)
+			s.childFlow[env.From] = make(map[core.DocID]*rateWindow, 16)
 		}
 		s.childLoad[env.From] = env.Load
 
 	case netproto.TypeRequest:
-		s.handleRequest(ev, now)
+		s.handleRequest(ev)
 
 	case netproto.TypeResponse:
 		key := pendingKey{origin: env.Origin, reqID: env.ReqID}
-		if down, ok := s.pending[key]; ok {
+		if pe, ok := s.pending[key]; ok {
 			delete(s.pending, key)
-			s.sendOn(down, env)
+			s.sendOn(pe.conn, env)
+		}
+		// Any response carrying this document also answers the requests
+		// coalesced behind the in-flight fetch.
+		if fl, ok := s.inflight[env.Doc]; ok {
+			delete(s.inflight, env.Doc)
+			s.answerWaiters(fl, env)
 		}
 
 	case netproto.TypeDelegate:
@@ -353,7 +480,7 @@ func (s *Server) handle(ev event) {
 	case netproto.TypeStatsQuery:
 		s.sendOn(ev.conn, &netproto.Envelope{
 			Kind: netproto.TypeStatsReply, From: s.cfg.ID, To: env.From,
-			Stats: s.snapshot(now),
+			Stats: s.snapshot(s.now),
 		})
 
 	case netproto.TypeShutdown:
@@ -361,12 +488,62 @@ func (s *Server) handle(ev event) {
 	}
 }
 
+// handleConnClosed sweeps per-connection routing state when a link dies:
+// pending response routes and coalesced waiters pointing at the dead
+// connection are dropped (the leak fix — before this sweep, entries for
+// requests whose client went away lived forever), and a child registered
+// on the connection is forgotten so gossip and delegation stop targeting
+// it until it re-registers.
+func (s *Server) handleConnClosed(conn transport.Conn) {
+	for key, pe := range s.pending {
+		if pe.conn == conn {
+			delete(s.pending, key)
+		}
+	}
+	for _, fl := range s.inflight {
+		kept := fl.waiters[:0]
+		for _, w := range fl.waiters {
+			if w.conn != conn {
+				kept = append(kept, w)
+			}
+		}
+		fl.waiters = kept
+	}
+	for id, c := range s.childConns {
+		if c == conn {
+			delete(s.childConns, id)
+			delete(s.childFlow, id)
+			delete(s.childLoad, id)
+		}
+	}
+}
+
+// sweepStale expires pending routes and in-flight fetches older than
+// PendingTTL — responses that will never come (message loss, dead
+// subtrees) must not pin table entries forever.
+func (s *Server) sweepStale() {
+	ttl := s.cfg.PendingTTL
+	for key, pe := range s.pending {
+		if s.now.Sub(pe.at) > ttl {
+			delete(s.pending, key)
+		}
+	}
+	for doc, fl := range s.inflight {
+		if s.now.Sub(fl.at) > ttl {
+			delete(s.inflight, doc)
+		}
+	}
+}
+
 // handleRequest implements the data path: the local router classifies the
 // packet; Extract serves it here, Pass forwards it toward the home server.
-func (s *Server) handleRequest(ev event, now time.Time) {
+func (s *Server) handleRequest(ev event) {
 	env := ev.env
+	now := s.now
 	// Account per-child forwarded flow (A_j^d) when the request came from a
-	// registered child, or local demand otherwise.
+	// registered child, or local demand otherwise. Accounting happens
+	// before single-flight coalescing, so the local protocol signals see
+	// the full demand even when the upstream fetch is shared.
 	if flows, ok := s.childFlow[env.From]; ok {
 		w := flows[env.Doc]
 		if w == nil {
@@ -384,27 +561,65 @@ func (s *Server) handleRequest(ev event, now time.Time) {
 	}
 
 	if s.rt.Classify(env.Doc) == router.Extract || s.isRoot {
-		s.serveRequest(ev, now)
+		s.serveRequest(ev)
 		return
 	}
 	s.forwardUp(ev)
 }
 
 // forwardUp relays a request toward the home server, remembering which
-// connection to route the response back on.
+// connection to route the response back on. Concurrent requests for the
+// same uncached document collapse into the existing in-flight fetch: they
+// are parked as waiters and answered from its response instead of each
+// traveling upstream (single-flight). A flight whose leader has gone
+// unanswered past the retry horizon (a lost message, a healed partition)
+// stops absorbing requests: the next one travels upstream as a fresh
+// leader, keeping the accumulated waiters eligible for its response.
 func (s *Server) forwardUp(ev event) {
 	env := ev.env
+	fl := s.inflight[env.Doc]
+	if fl != nil && s.now.Sub(fl.at) < s.flightRetry {
+		fl.waiters = append(fl.waiters, waiter{origin: env.Origin, reqID: env.ReqID, conn: ev.conn})
+		s.nCoalesced++
+		return
+	}
+	if fl == nil {
+		fl = &flight{}
+		s.inflight[env.Doc] = fl
+	}
+	fl.at = s.now
 	s.nForwarded++
 	key := pendingKey{origin: env.Origin, reqID: env.ReqID}
-	s.pending[key] = ev.conn
-	fwd := *env
+	s.pending[key] = pendingEntry{conn: ev.conn, at: s.now}
+	fwd := netproto.GetEnvelope()
+	*fwd = *env
 	fwd.From = s.cfg.ID
 	fwd.To = s.cfg.ParentID
 	fwd.Hops = env.Hops + 1
-	s.sendOn(s.parentConn, &fwd)
+	s.sendOn(s.parentConn, fwd)
+	netproto.PutEnvelope(fwd)
 }
 
-func (s *Server) serveRequest(ev event, now time.Time) {
+// answerWaiters fans a response out to every request coalesced behind the
+// fetch that produced it.
+func (s *Server) answerWaiters(fl *flight, resp *netproto.Envelope) {
+	if len(fl.waiters) == 0 {
+		return
+	}
+	out := netproto.GetEnvelope()
+	for _, w := range fl.waiters {
+		*out = netproto.Envelope{
+			Kind: netproto.TypeResponse, From: s.cfg.ID, To: w.origin,
+			Doc: resp.Doc, Origin: w.origin, ReqID: w.reqID,
+			ServedBy: resp.ServedBy, Hops: resp.Hops,
+			Body: resp.Body, NotFound: resp.NotFound,
+		}
+		s.sendOn(w.conn, out)
+	}
+	netproto.PutEnvelope(out)
+}
+
+func (s *Server) serveRequest(ev event) {
 	env := ev.env
 	body, cached := s.cache[env.Doc]
 	if !cached && !s.isRoot {
@@ -413,6 +628,7 @@ func (s *Server) serveRequest(ev event, now time.Time) {
 		s.forwardUp(ev)
 		return
 	}
+	now := s.now
 	s.nServed++
 	s.totalServed.Add(now, 1)
 	w := s.served[env.Doc]
@@ -421,40 +637,46 @@ func (s *Server) serveRequest(ev event, now time.Time) {
 		s.served[env.Doc] = w
 	}
 	w.Add(now, 1)
-	s.sendOn(ev.conn, &netproto.Envelope{
+	resp := netproto.GetEnvelope()
+	*resp = netproto.Envelope{
 		Kind: netproto.TypeResponse, From: s.cfg.ID, To: env.Origin,
 		Doc: env.Doc, Origin: env.Origin, ReqID: env.ReqID,
 		ServedBy: s.cfg.ID, Hops: env.Hops,
 		Body: body, NotFound: !cached,
-	})
+	}
+	s.sendOn(ev.conn, resp)
+	netproto.PutEnvelope(resp)
 }
 
 // installFilter wires the admission decision for one cached document: the
 // packet is extracted while the measured served rate lags the target rate.
+// The filter runs on the main loop, so it reads the loop-owned clock
+// instead of taking a timestamp per classified packet.
 func (s *Server) installFilter(doc core.DocID) {
 	s.rt.Install(doc, router.FilterFunc(func(d core.DocID) bool {
 		w := s.served[d]
 		if w == nil {
 			return s.targets[d] > 0
 		}
-		return w.Rate(time.Now()) < s.targets[d]
+		return w.Rate(s.now) < s.targets[d]
 	}))
 }
 
+// doGossip sends this node's load figure to every tree neighbor. One
+// envelope is built per tick and reused across neighbors; transports copy
+// or serialize it per send.
 func (s *Server) doGossip() {
-	now := time.Now()
-	load := s.totalServed.Rate(now)
-	env := &netproto.Envelope{Kind: netproto.TypeGossip, From: s.cfg.ID, Load: load}
+	load := s.totalServed.Rate(s.now)
+	env := &s.gossipEnv
+	*env = netproto.Envelope{Kind: netproto.TypeGossip, From: s.cfg.ID, Load: load}
 	if s.parentConn != nil {
-		e := *env
-		e.To = s.cfg.ParentID
-		s.sendOn(s.parentConn, &e)
+		env.To = s.cfg.ParentID
+		s.sendOn(s.parentConn, env)
 		s.nGossip++
 	}
 	for id, conn := range s.childConns {
-		e := *env
-		e.To = id
-		s.sendOn(conn, &e)
+		env.To = id
+		s.sendOn(conn, env)
 		s.nGossip++
 	}
 }
@@ -473,7 +695,7 @@ func (s *Server) alpha() float64 {
 
 // doDiffusion runs the Figure 5 body on current local knowledge.
 func (s *Server) doDiffusion() {
-	now := time.Now()
+	now := s.now
 	load := s.totalServed.Rate(now)
 	a := s.alpha()
 
@@ -689,14 +911,45 @@ func (s *Server) tunnel(now time.Time) {
 	}
 }
 
+// sendOn transmits env, buffering on transports that support explicit
+// flushing: those frames coalesce until the current main-loop step ends
+// (flushDirty), so a batch of responses or a gossip fan-out costs one
+// flush per connection rather than one per frame.
 func (s *Server) sendOn(conn transport.Conn, env *netproto.Envelope) {
 	if conn == nil {
 		return
 	}
 	s.seq++
 	env.Seq = s.seq
-	env.V = netproto.Version
-	_ = conn.Send(env) // soft state: a failed send is equivalent to loss
+	if env.V == 0 {
+		env.V = netproto.Version
+	}
+	if bc, ok := conn.(transport.BatchConn); ok {
+		_ = bc.SendBuffered(env) // soft state: a failed send is equivalent to loss
+		s.markDirty(bc)
+		return
+	}
+	_ = conn.Send(env)
+}
+
+func (s *Server) markDirty(bc transport.BatchConn) {
+	for _, d := range s.dirty {
+		if d == bc {
+			return
+		}
+	}
+	s.dirty = append(s.dirty, bc)
+}
+
+// flushDirty flushes every connection sendOn buffered to since the last
+// call. The main loop invokes it after each event batch and timer tick;
+// Start invokes it after the parent handshake.
+func (s *Server) flushDirty() {
+	for i, bc := range s.dirty {
+		_ = bc.Flush()
+		s.dirty[i] = nil
+	}
+	s.dirty = s.dirty[:0]
 }
 
 func (s *Server) snapshot(now time.Time) *netproto.Stats {
@@ -705,6 +958,7 @@ func (s *Server) snapshot(now time.Time) *netproto.Stats {
 		Load:           s.totalServed.Rate(now),
 		Served:         s.nServed,
 		Forwarded:      s.nForwarded,
+		Coalesced:      s.nCoalesced,
 		Targets:        make(map[core.DocID]float64, len(s.targets)),
 		GossipSent:     s.nGossip,
 		DelegationsIn:  s.nDelegIn,
@@ -713,6 +967,7 @@ func (s *Server) snapshot(now time.Time) *netproto.Stats {
 		ShedsOut:       s.nShedOut,
 		Tunnels:        s.nTunnels,
 		QueueLen:       len(s.events),
+		PendingLen:     len(s.pending),
 	}
 	for _, body := range s.cache {
 		st.CacheBytes += int64(len(body))

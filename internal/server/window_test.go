@@ -6,6 +6,66 @@ import (
 	"time"
 )
 
+// TestRateWindowIdleResetViaAdd covers the advance catch-up branch through
+// Add: after an idle gap far longer than the window, the ring resets in
+// O(buckets) instead of rotating once per elapsed bucket, stale counts
+// vanish, and the new event still lands.
+func TestRateWindowIdleResetViaAdd(t *testing.T) {
+	w := newRateWindow(time.Second, 8)
+	start := time.Unix(1000, 0)
+	for i := 0; i < 8; i++ {
+		w.Add(start.Add(time.Duration(i)*125*time.Millisecond), 10)
+	}
+	if r := w.Rate(start.Add(900 * time.Millisecond)); r < 50 {
+		t.Fatalf("warm rate = %v, want substantial", r)
+	}
+
+	// Jump forward by an hour — millions of bucket widths. The reset branch
+	// must fire (bounded work) and the old counts must not survive.
+	later := start.Add(time.Hour)
+	done := make(chan struct{})
+	go func() {
+		w.Add(later, 1)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("advance did not take the catch-up reset branch (still rotating)")
+	}
+
+	got := w.Rate(later)
+	// Only the single new event may contribute; one event over one bucket
+	// width (125ms) is 8/s. Any stale pre-gap count would push it far higher.
+	if got > 8.01 {
+		t.Errorf("rate after idle gap = %v, want <= 8 (stale buckets leaked)", got)
+	}
+	if got <= 0 {
+		t.Errorf("rate after idle gap = %v, want > 0 (new event lost)", got)
+	}
+
+	// The ring must be fully usable after the reset.
+	for i := 0; i < 8; i++ {
+		w.Add(later.Add(time.Duration(i)*125*time.Millisecond), 5)
+	}
+	if r := w.Rate(later.Add(900 * time.Millisecond)); r < 25 {
+		t.Errorf("post-reset rate = %v, want substantial", r)
+	}
+}
+
+// TestRateWindowModerateGapRotates covers the non-reset path around the
+// catch-up bound: a gap just inside 2x the window still rotates bucket by
+// bucket and simply zeroes history.
+func TestRateWindowModerateGapRotates(t *testing.T) {
+	w := newRateWindow(time.Second, 4)
+	start := time.Unix(2000, 0)
+	w.Add(start, 100)
+	w.Add(start.Add(1500*time.Millisecond), 1) // 1.5 windows later
+	if r := w.Rate(start.Add(1500 * time.Millisecond)); r > 4.01 {
+		t.Errorf("rate after moderate gap = %v; old burst should have aged out", r)
+	}
+}
+
 func TestRateWindowSteadyRate(t *testing.T) {
 	w := newRateWindow(time.Second, 10)
 	base := time.Unix(1000, 0)

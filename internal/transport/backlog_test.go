@@ -1,0 +1,52 @@
+package transport
+
+import "testing"
+
+// TestMemoryBacklogConfigurable pins the MemoryOptions.Backlog knob: a
+// listener must absorb more un-accepted dials than the old hard-coded 64
+// when configured for it (high-fan-out scenarios dial every node before
+// any accept loop catches up).
+func TestMemoryBacklogConfigurable(t *testing.T) {
+	n := NewMemoryNetwork(MemoryOptions{Backlog: 128})
+	l, err := n.Listen("hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// 100 dials with no Accept: would deadlock at the 65th under the old
+	// fixed backlog.
+	conns := make([]Conn, 0, 100)
+	for i := 0; i < 100; i++ {
+		c, err := n.Dial("hub")
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		conns = append(conns, c)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := l.Accept(); err != nil {
+			t.Fatalf("accept %d: %v", i, err)
+		}
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// TestMemoryBacklogDefault keeps the zero value working.
+func TestMemoryBacklogDefault(t *testing.T) {
+	n := NewMemoryNetwork(MemoryOptions{})
+	l, err := n.Listen("hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := n.Dial("hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := l.Accept(); err != nil {
+		t.Fatal(err)
+	}
+}

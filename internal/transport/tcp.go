@@ -7,34 +7,52 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"webwave/internal/netproto"
 )
 
 // TCPNetwork implements Network over real TCP sockets (stdlib net). Use
 // addresses like "127.0.0.1:0"; Listener.Addr reports the bound address.
-type TCPNetwork struct{}
+//
+// Version selects the wire codec new connections speak: 0 or 2 is the
+// binary v2 protocol (pooled frame buffers, writes coalesced across
+// concurrent senders before each flush), 1 is the legacy JSON protocol
+// (one marshal, one write and one flush per frame — kept as the
+// inspectable/compatibility path). Receivers negotiate per frame from the
+// payload's first byte, so the two versions interoperate on one stream.
+type TCPNetwork struct {
+	Version int
+}
+
+func (n TCPNetwork) version() int {
+	if n.Version == 1 {
+		return 1
+	}
+	return netproto.Version2
+}
 
 // Listen implements Network.
-func (TCPNetwork) Listen(addr string) (Listener, error) {
+func (n TCPNetwork) Listen(addr string) (Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: tcp listen %s: %w", addr, err)
 	}
-	return &tcpListener{l: l}, nil
+	return &tcpListener{l: l, version: n.version()}, nil
 }
 
 // Dial implements Network.
-func (TCPNetwork) Dial(addr string) (Conn, error) {
+func (n TCPNetwork) Dial(addr string) (Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: tcp dial %s: %w", addr, err)
 	}
-	return newTCPConn(c), nil
+	return newTCPConn(c, n.version()), nil
 }
 
 type tcpListener struct {
-	l net.Listener
+	l       net.Listener
+	version int
 }
 
 func (t *tcpListener) Accept() (Conn, error) {
@@ -45,7 +63,7 @@ func (t *tcpListener) Accept() (Conn, error) {
 		}
 		return nil, fmt.Errorf("transport: tcp accept: %w", err)
 	}
-	return newTCPConn(c), nil
+	return newTCPConn(c, t.version), nil
 }
 
 func (t *tcpListener) Close() error { return t.l.Close() }
@@ -53,37 +71,60 @@ func (t *tcpListener) Close() error { return t.l.Close() }
 func (t *tcpListener) Addr() string { return t.l.Addr().String() }
 
 type tcpConn struct {
-	c  net.Conn
-	r  *bufio.Reader
+	c       net.Conn
+	r       *netproto.FrameReader
+	version int
+
 	wm sync.Mutex
 	w  *bufio.Writer
+	fw *netproto.FrameWriter
+	// senders counts goroutines inside or waiting on Send. The holder of wm
+	// flushes only when no one else is about to write — concurrent senders
+	// coalesce their frames into one flush (and, under TCP, fewer syscalls
+	// and fuller segments) instead of flushing per frame.
+	senders atomic.Int32
 }
 
-func newTCPConn(c net.Conn) *tcpConn {
-	return &tcpConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+func newTCPConn(c net.Conn, version int) *tcpConn {
+	t := &tcpConn{c: c, r: netproto.NewFrameReader(bufio.NewReader(c)), version: version}
+	t.w = bufio.NewWriter(c)
+	t.fw = netproto.NewFrameWriter(t.w, version)
+	return t
 }
 
-// Send implements Conn; frames are flushed immediately (the protocol is
-// latency-, not throughput-, bound).
+// Send implements Conn. Frames from concurrent senders are batched into a
+// shared flush; a lone sender still flushes immediately, so the protocol's
+// latency sensitivity is preserved.
 func (t *tcpConn) Send(env *netproto.Envelope) error {
+	t.senders.Add(1)
 	t.wm.Lock()
-	defer t.wm.Unlock()
-	if err := netproto.WriteFrame(t.w, env); err != nil {
-		return err
+	err := t.fw.WriteEnvelope(env)
+	// Decrement inside the lock: a waiter that has already incremented will
+	// take over the flush when it gets the lock. Flush whenever no waiter
+	// remains — even after this sender's own encode error — so a failed
+	// send never strands an earlier sender's deferred frames in the buffer.
+	if pending := t.senders.Add(-1); pending == 0 {
+		if ferr := t.w.Flush(); err == nil {
+			err = ferr
+		}
 	}
-	if err := t.w.Flush(); err != nil {
+	t.wm.Unlock()
+	if err != nil {
 		if errors.Is(err, net.ErrClosed) {
 			return ErrClosed
 		}
-		return fmt.Errorf("transport: tcp flush: %w", err)
+		return fmt.Errorf("transport: tcp send: %w", err)
 	}
 	return nil
 }
 
-// Recv implements Conn. Only one goroutine may call Recv at a time.
+// Recv implements Conn. Only one goroutine may call Recv at a time. The
+// returned envelope comes from netproto's pool; a caller that fully
+// consumes it may release it with netproto.PutEnvelope.
 func (t *tcpConn) Recv() (*netproto.Envelope, error) {
-	env, err := netproto.ReadFrame(t.r)
-	if err != nil {
+	env := netproto.GetEnvelope()
+	if err := t.r.ReadInto(env); err != nil {
+		netproto.PutEnvelope(env)
 		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
 			return nil, ErrClosed
 		}
@@ -94,4 +135,43 @@ func (t *tcpConn) Recv() (*netproto.Envelope, error) {
 
 func (t *tcpConn) Close() error { return t.c.Close() }
 
+// SendBuffered implements BatchConn: on the v2 path the frame is written
+// to the connection's buffer and left for an explicit Flush. The legacy v1
+// path keeps its historical flush-per-frame behavior. SendBuffered stays
+// out of the senders count — it never flushes, so it must not suppress a
+// concurrent Send's flush.
+func (t *tcpConn) SendBuffered(env *netproto.Envelope) error {
+	if t.version == 1 {
+		return t.Send(env)
+	}
+	t.wm.Lock()
+	err := t.fw.WriteEnvelope(env)
+	t.wm.Unlock()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return ErrClosed
+		}
+		return fmt.Errorf("transport: tcp send: %w", err)
+	}
+	return nil
+}
+
+// Flush implements BatchConn.
+func (t *tcpConn) Flush() error {
+	if t.version == 1 {
+		return nil // v1 sends flush themselves
+	}
+	t.wm.Lock()
+	err := t.w.Flush()
+	t.wm.Unlock()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return ErrClosed
+		}
+		return fmt.Errorf("transport: tcp flush: %w", err)
+	}
+	return nil
+}
+
 var _ Network = TCPNetwork{}
+var _ BatchConn = (*tcpConn)(nil)

@@ -21,13 +21,28 @@ var ErrUnknownAddr = errors.New("transport: unknown address")
 
 // Conn is a bidirectional, ordered message link.
 type Conn interface {
-	// Send transmits one envelope. It is safe for concurrent use.
+	// Send transmits one envelope. It is safe for concurrent use; the
+	// envelope is copied or serialized before Send returns, so the caller
+	// may reuse it.
 	Send(env *netproto.Envelope) error
 	// Recv blocks for the next envelope. It returns ErrClosed once the
-	// connection is closed and drained.
+	// connection is closed and drained. The caller owns the returned
+	// envelope; callers that fully consume one (retaining at most its Body
+	// bytes) may recycle it with netproto.PutEnvelope.
 	Recv() (*netproto.Envelope, error)
 	// Close shuts the connection down; pending Recv calls are released.
 	Close() error
+}
+
+// BatchConn is implemented by connections that can buffer writes for an
+// explicit flush, letting a serial sender (a server's main loop emitting
+// many frames per event batch) pay one flush — and on TCP one syscall —
+// per batch instead of per frame. SendBuffered may leave the frame
+// unflushed indefinitely; the sender owns calling Flush promptly.
+type BatchConn interface {
+	Conn
+	SendBuffered(env *netproto.Envelope) error
+	Flush() error
 }
 
 // Listener accepts inbound connections.
@@ -55,6 +70,10 @@ type MemoryOptions struct {
 	// balancing but never loses requests or documents.
 	Loss float64
 	Seed int64
+	// Backlog is each listener's accept queue depth; Dial blocks once it
+	// fills. Default 64 — raise it for high-fan-out scenarios where many
+	// clients dial one node faster than its accept loop drains.
+	Backlog int
 }
 
 // MemoryNetwork is an in-process Network. The zero value is usable with
@@ -86,7 +105,11 @@ func (n *MemoryNetwork) Listen(addr string) (Listener, error) {
 	if _, ok := n.listeners[addr]; ok {
 		return nil, errors.New("transport: address already in use: " + addr)
 	}
-	l := &memListener{addr: addr, backlog: make(chan Conn, 64), closed: make(chan struct{})}
+	backlog := n.opts.Backlog
+	if backlog <= 0 {
+		backlog = 64
+	}
+	l := &memListener{addr: addr, backlog: make(chan Conn, backlog), closed: make(chan struct{})}
 	n.listeners[addr] = l
 	return l, nil
 }
@@ -189,13 +212,18 @@ func (c *memConn) Send(env *netproto.Envelope) error {
 	if c.opts.Loss > 0 && c.rng.Float64() < c.opts.Loss {
 		return nil // dropped in transit
 	}
-	cp := *env // shallow copy; Body bytes are immutable by convention
+	// The fast lane for in-memory links: no marshaling, just a shallow
+	// envelope copy (Body bytes are immutable by convention) drawn from the
+	// shared pool so receivers that release consumed envelopes make the
+	// per-message allocation disappear.
+	cp := netproto.GetEnvelope()
+	*cp = *env
 	delay := c.opts.Latency
 	if c.opts.Jitter > 0 {
 		delay += time.Duration(c.rng.Float64() * float64(c.opts.Jitter))
 	}
 	if delay <= 0 {
-		c.peer.deliver(&cp)
+		c.peer.deliver(cp)
 		return nil
 	}
 
@@ -205,7 +233,7 @@ func (c *memConn) Send(env *netproto.Envelope) error {
 		deliverAt = c.lastAt
 	}
 	c.lastAt = deliverAt
-	c.sendQueue = append(c.sendQueue, timedEnv{env: &cp, at: deliverAt})
+	c.sendQueue = append(c.sendQueue, timedEnv{env: cp, at: deliverAt})
 	if !c.sending {
 		c.sending = true
 		go c.dispatch()
@@ -246,6 +274,7 @@ func (c *memConn) deliver(env *netproto.Envelope) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
+		netproto.PutEnvelope(env)
 		return
 	}
 	c.queue = append(c.queue, env)

@@ -12,6 +12,7 @@ import (
 	"webwave/internal/core"
 	"webwave/internal/gateway"
 	"webwave/internal/trace"
+	"webwave/internal/transport"
 )
 
 // originHeader carries the schedule's per-request entry node through the
@@ -31,6 +32,14 @@ type LiveOptions struct {
 	GossipPeriod    time.Duration
 	DiffusionPeriod time.Duration
 	Window          time.Duration
+	// Transport selects the cluster's links: "" or "mem" is the in-process
+	// memory network, "tcp" runs the tree over real loopback sockets (and
+	// so through the wire codec).
+	Transport string
+	// WireVersion selects the TCP wire codec: 0/2 is the binary v2
+	// protocol, 1 the legacy JSON framing. Ignored on the memory transport,
+	// which passes envelopes by pointer.
+	WireVersion int
 }
 
 func (o LiveOptions) withDefaults() LiveOptions {
@@ -86,10 +95,12 @@ type NodeStat struct {
 	Node       int     `json:"node"`
 	Served     int64   `json:"served"`
 	Forwarded  int64   `json:"forwarded"`
+	Coalesced  int64   `json:"coalesced,omitempty"`
 	LoadRPS    float64 `json:"load_rps"`
 	CachedDocs int     `json:"cached_docs"`
 	CacheBytes int64   `json:"cache_bytes"`
 	QueueLen   int     `json:"queue_len"`
+	PendingLen int     `json:"pending_len,omitempty"`
 	Tunnels    int64   `json:"tunnels"`
 }
 
@@ -122,12 +133,25 @@ func RunLive(sp Spec, seed int64, opt LiveOptions) (*Report, error) {
 		id := DocID(j)
 		docs[id] = []byte("webwave live document " + string(id))
 	}
-	c, err := cluster.New(t, docs, cluster.Config{
+	ccfg := cluster.Config{
 		GossipPeriod:    opt.GossipPeriod,
 		DiffusionPeriod: opt.DiffusionPeriod,
 		Window:          opt.Window,
 		Tunneling:       sp.Tunneling,
-	})
+	}
+	switch opt.Transport {
+	case "", "mem":
+		// cluster's default in-memory network.
+	case "tcp":
+		if len(tr.Churn) > 0 {
+			return nil, fmt.Errorf("workload: scenario %q uses churn, which needs the memory transport's link faults; run it with Transport \"mem\"", sp.Name)
+		}
+		ccfg.Network = transport.TCPNetwork{Version: opt.WireVersion}
+		ccfg.AddrFor = func(int) string { return "127.0.0.1:0" }
+	default:
+		return nil, fmt.Errorf("workload: unknown transport %q (want mem or tcp)", opt.Transport)
+	}
+	c, err := cluster.New(t, docs, ccfg)
 	if err != nil {
 		return nil, fmt.Errorf("workload: cluster: %w", err)
 	}
@@ -229,10 +253,12 @@ func RunLive(sp Spec, seed int64, opt LiveOptions) (*Report, error) {
 				Node:       st.Node,
 				Served:     st.Served,
 				Forwarded:  st.Forwarded,
+				Coalesced:  st.Coalesced,
 				LoadRPS:    round6(st.Load),
 				CachedDocs: len(st.CachedDocs),
 				CacheBytes: st.CacheBytes,
 				QueueLen:   st.QueueLen,
+				PendingLen: st.PendingLen,
 				Tunnels:    st.Tunnels,
 			})
 		}
