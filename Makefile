@@ -4,24 +4,33 @@
 GO ?= go
 BENCH_JSON ?= bench-smoke.json
 BENCH_WIRE_JSON ?= BENCH_wire.json
+BENCH_CACHE_JSON ?= BENCH_cache.json
 WIRE_THROUGHPUT_JSON ?= wire-throughput.json
 BENCHTIME ?= 0.3s
 
-.PHONY: all build test race fmt vet bench-smoke bench-micro bench-wire clean
+.PHONY: all build test race fmt vet staticcheck bench-smoke bench-micro bench-wire \
+	bench-cache bench-cache-baseline clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
+# Tests run shuffled (-shuffle=on) and uncached (-count=1) so hidden
+# inter-test ordering dependencies fail fast instead of lurking.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on -count=1 ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on -count=1 ./...
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck must be on PATH (CI installs it; locally:
+# go install honnef.co/go/tools/cmd/staticcheck@2025.1).
+staticcheck:
+	staticcheck ./...
 
 # fmt fails when any file needs formatting (CI mode); run `gofmt -w .` to fix.
 fmt:
@@ -55,5 +64,20 @@ bench-wire:
 	$(GO) run ./cmd/webwave-bench -scenario wire-throughput -seed 1 \
 		-duration 3 -json $(WIRE_THROUGHPUT_JSON)
 
+# bench-cache runs the deterministic cache-pressure scenario (byte-budgeted
+# stores, eviction-policy shoot-out) and gates on hit-rate regressions
+# (>10%) and budget violations against the committed baseline.
+bench-cache:
+	$(GO) run ./cmd/webwave-bench -scenario cache-pressure -seed 1 -json $(BENCH_CACHE_JSON)
+	$(GO) run ./cmd/benchgate -report $(BENCH_CACHE_JSON) \
+		-baseline bench/BENCH_cache_baseline.json -max-regress 0.10
+
+# bench-cache-baseline regenerates the committed baseline after an
+# intentional behavior change; commit the result.
+bench-cache-baseline:
+	$(GO) run ./cmd/webwave-bench -scenario cache-pressure -seed 1 \
+		-json bench/BENCH_cache_baseline.json
+
 clean:
-	rm -f $(BENCH_JSON) $(BENCH_WIRE_JSON) $(WIRE_THROUGHPUT_JSON) bench-micro.out
+	rm -f $(BENCH_JSON) $(BENCH_WIRE_JSON) $(BENCH_CACHE_JSON) \
+		$(WIRE_THROUGHPUT_JSON) bench-micro.out

@@ -1,0 +1,101 @@
+// Command benchgate compares a freshly produced webwave-bench report
+// against a committed baseline and fails (exit 1) when cache behavior
+// regressed: a system's hit rate dropping more than the allowed fraction
+// below the baseline, a budgeted system exceeding its byte budget, or a
+// system present in the baseline vanishing from the report. CI runs it
+// after the deterministic cache-pressure scenario so an eviction-policy
+// regression breaks the build instead of the tail latency of some future
+// long-haul run.
+//
+// Usage:
+//
+//	benchgate -report BENCH_cache.json -baseline bench/BENCH_cache_baseline.json [-max-regress 0.10]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"webwave/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	reportPath := fs.String("report", "", "report JSON produced by this run")
+	basePath := fs.String("baseline", "", "committed baseline report JSON")
+	maxRegress := fs.Float64("max-regress", 0.10, "max allowed fractional hit-rate drop vs baseline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *reportPath == "" || *basePath == "" {
+		return fmt.Errorf("both -report and -baseline are required")
+	}
+	rep, err := load(*reportPath)
+	if err != nil {
+		return err
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		return err
+	}
+	return gate(rep, base, *maxRegress, os.Stdout)
+}
+
+func load(path string) (*workload.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep := &workload.Report{}
+	if err := json.NewDecoder(f).Decode(rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// gate applies the regression rules; it reports every violation before
+// returning an error so CI logs show the full picture.
+func gate(rep, base *workload.Report, maxRegress float64, out *os.File) error {
+	if rep.Scenario != base.Scenario || rep.Seed != base.Seed {
+		return fmt.Errorf("report (%s seed %d) and baseline (%s seed %d) are different runs; regenerate the baseline",
+			rep.Scenario, rep.Seed, base.Scenario, base.Seed)
+	}
+	bad := 0
+	for i := range base.Systems {
+		bs := &base.Systems[i]
+		if bs.Cache == nil {
+			continue
+		}
+		rs := rep.System(bs.Name)
+		switch {
+		case rs == nil || rs.Cache == nil:
+			fmt.Fprintf(out, "FAIL %-14s missing from the report (baseline hit %.4f)\n", bs.Name, bs.Cache.HitRate)
+			bad++
+		case rs.Cache.OverBudget:
+			fmt.Fprintf(out, "FAIL %-14s exceeded its byte budget (max node %d > %d)\n",
+				rs.Name, rs.Cache.MaxNodeBytes, rs.Cache.BudgetBytes)
+			bad++
+		case rs.Cache.HitRate < bs.Cache.HitRate*(1-maxRegress):
+			fmt.Fprintf(out, "FAIL %-14s hit rate %.4f fell >%.0f%% below baseline %.4f\n",
+				rs.Name, rs.Cache.HitRate, maxRegress*100, bs.Cache.HitRate)
+			bad++
+		default:
+			fmt.Fprintf(out, "ok   %-14s hit rate %.4f (baseline %.4f)\n",
+				rs.Name, rs.Cache.HitRate, bs.Cache.HitRate)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d cache regression(s) vs baseline", bad)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"webwave/internal/workload"
+)
+
+func writeReport(t *testing.T, dir, name string, rep *workload.Report) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return path
+}
+
+func report(hitHeat, hitLRU float64, overBudget bool) *workload.Report {
+	return &workload.Report{
+		Schema: workload.Schema, Scenario: "cache-pressure", Seed: 1,
+		Systems: []workload.SystemResult{
+			{Name: "webwave-heat", Cache: &workload.CacheResult{
+				Policy: "heat", BudgetBytes: 40960, HitRate: hitHeat, OverBudget: overBudget,
+				MaxNodeBytes: 40960,
+			}},
+			{Name: "webwave-lru", Cache: &workload.CacheResult{
+				Policy: "lru", BudgetBytes: 40960, HitRate: hitLRU, MaxNodeBytes: 40960,
+			}},
+			{Name: "no-cache"}, // no cache summary: ignored by the gate
+		},
+	}
+}
+
+func TestGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", report(0.30, 0.28, false))
+	// Slightly lower but within the 10% band.
+	rep := writeReport(t, dir, "rep.json", report(0.28, 0.26, false))
+	if err := run([]string{"-report", rep, "-baseline", base}); err != nil {
+		t.Fatalf("gate failed on an in-band report: %v", err)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", report(0.30, 0.28, false))
+	rep := writeReport(t, dir, "rep.json", report(0.20, 0.28, false)) // heat fell 33%
+	if err := run([]string{"-report", rep, "-baseline", base}); err == nil {
+		t.Fatalf("gate accepted a >10%% hit-rate regression")
+	}
+}
+
+func TestGateFailsOnBudgetViolation(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", report(0.30, 0.28, false))
+	rep := writeReport(t, dir, "rep.json", report(0.30, 0.28, true))
+	if err := run([]string{"-report", rep, "-baseline", base}); err == nil {
+		t.Fatalf("gate accepted an over-budget run")
+	}
+}
+
+func TestGateFailsOnMissingSystem(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", report(0.30, 0.28, false))
+	rep := report(0.30, 0.28, false)
+	rep.Systems = rep.Systems[:1] // drop webwave-lru
+	repPath := writeReport(t, dir, "rep.json", rep)
+	if err := run([]string{"-report", repPath, "-baseline", base}); err == nil {
+		t.Fatalf("gate accepted a report missing a baseline system")
+	}
+}
+
+func TestGateRejectsMismatchedRuns(t *testing.T) {
+	dir := t.TempDir()
+	base := report(0.30, 0.28, false)
+	base.Seed = 2
+	basePath := writeReport(t, dir, "base.json", base)
+	rep := writeReport(t, dir, "rep.json", report(0.30, 0.28, false))
+	if err := run([]string{"-report", rep, "-baseline", basePath}); err == nil {
+		t.Fatalf("gate compared reports from different runs")
+	}
+}

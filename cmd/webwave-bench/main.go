@@ -54,6 +54,9 @@ func run(args []string) error {
 	transportName := fs.String("transport", "mem", "live: cluster transport (mem or tcp)")
 	wirev := fs.Int("wirev", 2, "live/wire: TCP wire protocol version (1=JSON, 2=binary)")
 	body := fs.Int("body", 0, "wire-throughput: document body bytes (default 1024)")
+	cacheBudget := fs.Int64("cache-budget", 0, "override per-node cache budget, bytes (0 = scenario default)")
+	docBytes := fs.Int("doc-bytes", 0, "override document body size, bytes")
+	evictPolicy := fs.String("evict-policy", "", "live: eviction policy (lru, heat or gdsf)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,6 +94,15 @@ func run(args []string) error {
 	}
 	if *window > 0 {
 		sp.Window = *window
+	}
+	if *cacheBudget > 0 {
+		sp.CacheBudgetBytes = *cacheBudget
+	}
+	if *docBytes > 0 {
+		sp.DocBytes = *docBytes
+	}
+	if *evictPolicy != "" {
+		sp.EvictPolicy = *evictPolicy
 	}
 
 	var rep *workload.Report
@@ -140,6 +152,15 @@ func printSummary(rep *workload.Report) {
 			s.Name, s.ThroughputRPS, s.Failed,
 			s.Latency.P50MS, s.Latency.P95MS, s.Latency.P99MS,
 			s.MeanHops, s.MeanJain, s.WorstMaxOverMean)
+	}
+	for _, s := range rep.Systems {
+		if s.Cache == nil {
+			continue
+		}
+		c := s.Cache
+		fmt.Printf("%-12s cache: policy=%-4s budget=%dB hit=%.3f evictions=%d evictedMB=%.1f maxnode=%dB overBudget=%v\n",
+			s.Name, c.Policy, c.BudgetBytes, c.HitRate, c.Evictions,
+			float64(c.EvictedBytes)/(1<<20), c.MaxNodeBytes, c.OverBudget)
 	}
 	fmt.Println("analytic capacity models (steady-state mean demand):")
 	for _, b := range rep.Baselines {

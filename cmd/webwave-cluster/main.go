@@ -33,6 +33,9 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 7, "RNG seed")
 	parents := fs.String("parents", "-1 0 0 1 1 2 2", "routing tree parent list")
 	tunneling := fs.Bool("tunneling", true, "enable barrier tunneling")
+	cacheBudget := fs.Int64("cache-budget", 0, "per-server cache budget, bytes (0 = unlimited)")
+	cacheShards := fs.Int("cache-shards", 0, "cache store stripe count (0 = default 8)")
+	evictPolicy := fs.String("evict-policy", "", "eviction policy: lru (default), heat or gdsf")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,12 +45,15 @@ func run(args []string) error {
 		return err
 	}
 	cfg := repro.LiveConfig{
-		Tree:      t,
-		NumDocs:   *docs,
-		TotalRate: *rate,
-		Horizon:   *horizon,
-		Seed:      *seed,
-		Tunneling: *tunneling,
+		Tree:             t,
+		NumDocs:          *docs,
+		TotalRate:        *rate,
+		Horizon:          *horizon,
+		Seed:             *seed,
+		Tunneling:        *tunneling,
+		CacheBudgetBytes: *cacheBudget,
+		CacheShards:      *cacheShards,
+		EvictPolicy:      *evictPolicy,
 	}
 	res, err := repro.RunLiveCluster(cfg)
 	if err != nil {

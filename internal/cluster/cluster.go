@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"webwave/internal/cachestore"
 	"webwave/internal/core"
 	"webwave/internal/netproto"
 	"webwave/internal/server"
@@ -35,6 +36,15 @@ type Config struct {
 	Tunneling       bool
 	BarrierPatience int
 	Alpha           float64 // 0 = per-node 1/(degree+1)
+
+	// CacheBudgetBytes bounds every server's cached bytes (0 = unlimited).
+	// The home server's published documents are pinned and exempt.
+	CacheBudgetBytes int64
+	// CacheShards is each server's cache-store stripe count (default 8).
+	CacheShards int
+	// EvictPolicy selects the replacement policy (cachestore.LRU, Heat or
+	// GDSF; empty = LRU).
+	EvictPolicy cachestore.Policy
 }
 
 // Cluster is a running tree of live servers.
@@ -89,16 +99,19 @@ func New(t *tree.Tree, docs map[core.DocID][]byte, cfg Config) (*Cluster, error)
 
 	for _, v := range t.BFSOrder() {
 		scfg := server.Config{
-			ID:              v,
-			Addr:            addrFor(v),
-			ParentID:        -1,
-			GossipPeriod:    cfg.GossipPeriod,
-			DiffusionPeriod: cfg.DiffusionPeriod,
-			Window:          cfg.Window,
-			Tunneling:       cfg.Tunneling,
-			BarrierPatience: cfg.BarrierPatience,
-			Alpha:           cfg.Alpha,
-			Network:         netw,
+			ID:               v,
+			Addr:             addrFor(v),
+			ParentID:         -1,
+			GossipPeriod:     cfg.GossipPeriod,
+			DiffusionPeriod:  cfg.DiffusionPeriod,
+			Window:           cfg.Window,
+			Tunneling:        cfg.Tunneling,
+			BarrierPatience:  cfg.BarrierPatience,
+			Alpha:            cfg.Alpha,
+			Network:          netw,
+			CacheBudgetBytes: cfg.CacheBudgetBytes,
+			CacheShards:      cfg.CacheShards,
+			EvictPolicy:      cfg.EvictPolicy,
 		}
 		if v == t.Root() {
 			scfg.Docs = docs

@@ -49,12 +49,13 @@ var kindToCode = map[Type]byte{
 	TypeStatsQuery:  9,
 	TypeStatsReply:  10,
 	TypeShutdown:    11,
+	TypeEvict:       12,
 }
 
-var codeToKind = [12]Type{
+var codeToKind = [13]Type{
 	1: TypeGossip, 2: TypeDelegate, 3: TypeDelegateAck, 4: TypeShed,
 	5: TypeRequest, 6: TypeResponse, 7: TypeTunnelFetch, 8: TypeTunnelReply,
-	9: TypeStatsQuery, 10: TypeStatsReply, 11: TypeShutdown,
+	9: TypeStatsQuery, 10: TypeStatsReply, 11: TypeShutdown, 12: TypeEvict,
 }
 
 // DocInterner de-duplicates document-id strings seen by a decoder so the
@@ -121,7 +122,7 @@ func AppendEnvelopeV2(dst []byte, env *Envelope) ([]byte, error) {
 		dst = append(dst, flags)
 		dst = appendString(dst, string(env.Doc))
 		dst = appendBytes(dst, env.Body)
-	case TypeDelegate, TypeDelegateAck, TypeShed, TypeTunnelFetch, TypeTunnelReply:
+	case TypeDelegate, TypeDelegateAck, TypeShed, TypeEvict, TypeTunnelFetch, TypeTunnelReply:
 		dst = appendString(dst, string(env.Doc))
 		dst = appendFloat(dst, env.Rate)
 		dst = appendBytes(dst, env.Body)
@@ -213,7 +214,7 @@ func DecodeEnvelopeV2(env *Envelope, payload []byte, in *DocInterner) error {
 		if b := r.bytes(); len(b) > 0 {
 			env.Body = append(body, b...)
 		}
-	case TypeDelegate, TypeDelegateAck, TypeShed, TypeTunnelFetch, TypeTunnelReply:
+	case TypeDelegate, TypeDelegateAck, TypeShed, TypeEvict, TypeTunnelFetch, TypeTunnelReply:
 		env.Doc = in.Intern(r.bytes())
 		env.Rate = r.float()
 		if b := r.bytes(); len(b) > 0 {

@@ -19,6 +19,7 @@ func allKindEnvelopes() []*Envelope {
 		{Kind: TypeDelegate, From: 0, To: 3, Seq: 10, Doc: "doc-1", Rate: 42.25, Body: []byte("payload")},
 		{Kind: TypeDelegateAck, From: 3, To: 0, Doc: "doc-1", Rate: 42.25},
 		{Kind: TypeShed, From: 5, To: 1, Doc: "d", Rate: 7},
+		{Kind: TypeEvict, From: 5, To: 1, Seq: 11, Doc: "d", Rate: 3.5},
 		{Kind: TypeRequest, From: -1, To: 4, Origin: 4, ReqID: 99, Hops: 2, Doc: "d"},
 		{Kind: TypeResponse, From: 2, To: 4, Origin: 4, ReqID: 99, ServedBy: 2, Hops: 3, Doc: "d", Body: []byte("b")},
 		{Kind: TypeResponse, From: 2, To: 4, Origin: 4, ReqID: 100, ServedBy: 0, NotFound: true, Doc: "missing"},

@@ -50,6 +50,12 @@ const (
 	TypeRequest Type = "request"
 	// TypeResponse answers a request, recording which server served it.
 	TypeResponse Type = "response"
+	// TypeEvict hints to a tree neighbor that the sender displaced its
+	// cache copy of a document under memory pressure: Rate carries the
+	// serve duty the sender was still holding, which the receiver absorbs
+	// into its own target when it caches the document (the wave recedes to
+	// the surviving copies) and ignores otherwise.
+	TypeEvict Type = "evict"
 	// TypeTunnelFetch asks the home server directly for a document copy —
 	// the Section 5.2 recovery across a potential barrier.
 	TypeTunnelFetch Type = "tunnel_fetch"
@@ -120,6 +126,16 @@ type Stats struct {
 	// PendingLen is the size of the response-routing table at snapshot
 	// time (in-flight forwarded requests not yet answered or expired).
 	PendingLen int `json:"pending_len,omitempty"`
+	// Cache pressure counters: the configured byte budget (0 = unlimited),
+	// documents displaced by eviction, the bytes they held, and the
+	// high-water mark of CacheBytes over the server's lifetime.
+	CacheBudgetBytes int64 `json:"cache_budget_bytes,omitempty"`
+	EvictedDocs      int64 `json:"evicted_docs,omitempty"`
+	EvictedBytes     int64 `json:"evicted_bytes,omitempty"`
+	// EvictHintsIn counts evict hints received from neighbors (distinct
+	// from ShedsIn, which counts only TypeShed messages).
+	EvictHintsIn  int64 `json:"evict_hints_in,omitempty"`
+	MaxCacheBytes int64 `json:"max_cache_bytes,omitempty"`
 }
 
 // FilterStats mirrors router.Stats for the wire.

@@ -18,6 +18,7 @@ func TestRoundTripAllKinds(t *testing.T) {
 		{Kind: TypeDelegate, From: 0, To: 3, Doc: "doc-1", Rate: 42.25, Body: []byte("payload")},
 		{Kind: TypeDelegateAck, From: 3, To: 0, Doc: "doc-1", Rate: 42.25},
 		{Kind: TypeShed, From: 5, To: 1, Doc: "d", Rate: 7},
+		{Kind: TypeEvict, From: 5, To: 1, Doc: "d", Rate: 3.5},
 		{Kind: TypeRequest, From: -1, To: 4, Origin: 4, ReqID: 99, Doc: "d"},
 		{Kind: TypeResponse, From: 2, To: 4, Origin: 4, ReqID: 99, ServedBy: 2, Hops: 3},
 		{Kind: TypeTunnelFetch, From: 6, Doc: "d3"},

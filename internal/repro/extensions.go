@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"webwave/internal/baseline"
+	"webwave/internal/cachestore"
 	"webwave/internal/cluster"
 	"webwave/internal/core"
 	"webwave/internal/fold"
@@ -146,6 +147,12 @@ type LiveConfig struct {
 	Horizon   float64 // schedule length, seconds
 	Seed      int64
 	Tunneling bool
+
+	// CacheBudgetBytes bounds each server's cached bytes (0 = unlimited);
+	// CacheShards and EvictPolicy tune the store (see internal/cachestore).
+	CacheBudgetBytes int64
+	CacheShards      int
+	EvictPolicy      string
 }
 
 // DefaultLiveConfig returns a laptop-scale live run: a 7-node binary tree,
@@ -193,11 +200,18 @@ func RunLiveCluster(cfg LiveConfig) (*LiveResult, error) {
 	for _, d := range demand.Docs {
 		docs[d.ID] = []byte("webwave document body: " + string(d.ID))
 	}
+	evictPolicy, err := cachestore.ParsePolicy(cfg.EvictPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
 	c, err := cluster.New(cfg.Tree, docs, cluster.Config{
-		GossipPeriod:    20 * time.Millisecond,
-		DiffusionPeriod: 40 * time.Millisecond,
-		Window:          400 * time.Millisecond,
-		Tunneling:       cfg.Tunneling,
+		GossipPeriod:     20 * time.Millisecond,
+		DiffusionPeriod:  40 * time.Millisecond,
+		Window:           400 * time.Millisecond,
+		Tunneling:        cfg.Tunneling,
+		CacheBudgetBytes: cfg.CacheBudgetBytes,
+		CacheShards:      cfg.CacheShards,
+		EvictPolicy:      evictPolicy,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("live: %w", err)

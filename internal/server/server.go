@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"webwave/internal/cachestore"
 	"webwave/internal/core"
 	"webwave/internal/netproto"
 	"webwave/internal/router"
@@ -60,6 +61,21 @@ type Config struct {
 	// when no response arrives; stale entries are swept so lost responses
 	// and vanished clients do not leak memory. Default 30s.
 	PendingTTL time.Duration
+
+	// CacheBudgetBytes bounds the bytes of cached document bodies (0 =
+	// unlimited, the paper's idealized assumption). Documents homed at
+	// this server are pinned and exempt: origin copies must survive any
+	// pressure. When a delegated or tunneled copy is displaced, the server
+	// tears down the document's admission filter (requests resume flowing
+	// toward the home server) and hints the eviction to its parent so the
+	// abandoned serve duty is absorbed by a surviving copy upstream.
+	CacheBudgetBytes int64
+	// CacheShards is the cache store's lock-stripe count (default 8).
+	CacheShards int
+	// EvictPolicy selects the replacement policy: cachestore.LRU (default),
+	// cachestore.Heat (evict the lowest request-rate-per-byte copy, rates
+	// read from this server's sliding windows), or cachestore.GDSF.
+	EvictPolicy cachestore.Policy
 
 	// BarrierPatience is the number of diffusion periods a node stays
 	// under-loaded with no delegation before tunneling (paper: > 2).
@@ -134,9 +150,11 @@ type Server struct {
 	isRoot bool
 	rt     *router.Router
 
-	// Owned by the main loop (no locking needed).
+	// Owned by the main loop (no locking needed). The cache store itself
+	// is concurrency-safe, but this server only touches it from the loop,
+	// so its heat callback may read loop-owned rate windows.
 	now         time.Time // loop-owned clock, read once per event batch
-	cache       map[core.DocID][]byte
+	cache       *cachestore.Store
 	targets     map[core.DocID]float64 // intended serve rate per doc
 	served      map[core.DocID]*rateWindow
 	totalServed *rateWindow
@@ -161,6 +179,8 @@ type Server struct {
 	nGossip, nDelegIn, nDelegOut int64
 	nShedIn, nShedOut, nTunnels  int64
 	nCoalesced                   int64
+	nEvicted, nEvictedBytes      int64
+	nEvictHintsIn                int64
 	seq                          uint64
 
 	localFlow map[core.DocID]*rateWindow // locally injected request rates
@@ -188,12 +208,15 @@ func New(cfg Config) (*Server, error) {
 	if !isRoot && cfg.ParentAddr == "" {
 		return nil, fmt.Errorf("server %d: non-root without parent address", cfg.ID)
 	}
+	policy, err := cachestore.ParsePolicy(string(cfg.EvictPolicy))
+	if err != nil {
+		return nil, fmt.Errorf("server %d: %w", cfg.ID, err)
+	}
 	s := &Server{
 		cfg:        cfg,
 		isRoot:     isRoot,
 		rt:         router.New(),
 		now:        time.Now(),
-		cache:      make(map[core.DocID][]byte, len(cfg.Docs)+8),
 		targets:    make(map[core.DocID]float64, 16),
 		served:     make(map[core.DocID]*rateWindow, 16),
 		childConns: make(map[int]transport.Conn, 8),
@@ -212,13 +235,36 @@ func New(cfg Config) (*Server, error) {
 		s.flightRetry = 20 * time.Millisecond
 	}
 	s.totalServed = newRateWindow(cfg.Window, 8)
+	s.cache = cachestore.New(cachestore.Config{
+		BudgetBytes: cfg.CacheBudgetBytes,
+		Shards:      cfg.CacheShards,
+		Policy:      policy,
+		// Heat is the serve duty the copy carries (measured served rate
+		// plus intended target), read from loop-owned windows — safe
+		// because the store is only touched from the main loop.
+		HeatOf: func(doc core.DocID) float64 { return s.docHeat(doc) },
+	})
 	if isRoot {
 		for id, body := range cfg.Docs {
-			s.cache[id] = body
+			s.cache.Pin(id, body) // origin copies are immune to eviction
 			s.rt.Install(id, nil) // the home extracts everything it owns
 		}
 	}
 	return s, nil
+}
+
+// docHeat ranks a held copy for eviction by the serve duty it carries:
+// the measured served rate plus the intended target (so a freshly
+// delegated copy with no serve history yet is not evicted on arrival).
+// Pass-through flow is deliberately excluded — requests that stream
+// through but are served elsewhere must not make a bystander copy look
+// hot.
+func (s *Server) docHeat(doc core.DocID) float64 {
+	h := s.targets[doc]
+	if w := s.served[doc]; w != nil {
+		h += w.Rate(s.now)
+	}
+	return h
 }
 
 // Start begins listening and, for non-root servers, connects to the parent.
@@ -440,10 +486,12 @@ func (s *Server) handle(ev event) {
 		s.nDelegIn++
 		s.gotDelegate = true
 		if env.Body != nil {
-			s.cache[env.Doc] = env.Body
-			s.installFilter(env.Doc)
+			// A copy that does not fit under the byte budget is simply not
+			// admitted (no ack): the delegated flow keeps passing toward
+			// the home server and the parent reclaims it via claimPassing.
+			s.admit(env.Doc, env.Body)
 		}
-		if _, ok := s.cache[env.Doc]; ok {
+		if s.cache.Contains(env.Doc) {
 			s.targets[env.Doc] += env.Rate
 			s.sendOn(ev.conn, &netproto.Envelope{
 				Kind: netproto.TypeDelegateAck, From: s.cfg.ID, To: env.From,
@@ -458,13 +506,25 @@ func (s *Server) handle(ev event) {
 		s.nShedIn++
 		// Pick up shed duty only for documents we hold; otherwise the
 		// request flow simply continues to the home server.
-		if _, ok := s.cache[env.Doc]; ok {
+		if s.cache.Contains(env.Doc) {
+			s.targets[env.Doc] += env.Rate
+		}
+
+	case netproto.TypeEvict:
+		// A neighbor displaced its copy under memory pressure. Absorb the
+		// serve duty it abandoned if we still hold the document; otherwise
+		// the flow simply continues toward the home server, which always
+		// can serve (origin copies are pinned).
+		s.nEvictHintsIn++
+		if s.cache.Contains(env.Doc) {
 			s.targets[env.Doc] += env.Rate
 		}
 
 	case netproto.TypeTunnelFetch:
-		// Only the home can answer authoritatively.
-		if body, ok := s.cache[env.Doc]; ok {
+		// Only the home can answer authoritatively. Peek: a tunnel fetch
+		// is a copy transfer, not local demand, so it must not refresh
+		// recency or frequency.
+		if body, ok := s.cache.Peek(env.Doc); ok {
 			s.sendOn(ev.conn, &netproto.Envelope{
 				Kind: netproto.TypeTunnelReply, From: s.cfg.ID, To: env.From,
 				Doc: env.Doc, Body: body,
@@ -473,8 +533,7 @@ func (s *Server) handle(ev event) {
 
 	case netproto.TypeTunnelReply:
 		if env.Body != nil {
-			s.cache[env.Doc] = env.Body
-			s.installFilter(env.Doc)
+			s.admit(env.Doc, env.Body)
 		}
 
 	case netproto.TypeStatsQuery:
@@ -619,9 +678,44 @@ func (s *Server) answerWaiters(fl *flight, resp *netproto.Envelope) {
 	netproto.PutEnvelope(out)
 }
 
+// admit caches a document copy under the byte budget and wires the
+// eviction feedback into the protocol. It returns whether the copy was
+// admitted (a body that cannot fit is rejected, not cached).
+//
+// For every displaced document the server: (1) tears down the admission
+// filter, so requests stop being extracted here and resume traveling
+// toward the home server — in-flight demand re-forwards on the next
+// packet; (2) drops the local serve target and rate window; (3) hints the
+// eviction to its parent with the abandoned target rate, so a surviving
+// copy upstream absorbs the duty instead of waiting a diffusion period to
+// notice the imbalance.
+func (s *Server) admit(doc core.DocID, body []byte) bool {
+	evs, ok := s.cache.Put(doc, body)
+	for _, ev := range evs {
+		s.nEvicted++
+		s.nEvictedBytes += int64(ev.Bytes)
+		s.rt.Remove(ev.Doc)
+		residual := s.targets[ev.Doc]
+		delete(s.targets, ev.Doc)
+		delete(s.served, ev.Doc)
+		// A copy displaced before accruing any serve duty has nothing for
+		// the parent to absorb; skip the no-op hint.
+		if residual > 0 && s.parentConn != nil {
+			s.sendOn(s.parentConn, &netproto.Envelope{
+				Kind: netproto.TypeEvict, From: s.cfg.ID, To: s.cfg.ParentID,
+				Doc: ev.Doc, Rate: residual,
+			})
+		}
+	}
+	if ok {
+		s.installFilter(doc)
+	}
+	return ok
+}
+
 func (s *Server) serveRequest(ev event) {
 	env := ev.env
-	body, cached := s.cache[env.Doc]
+	body, cached := s.cache.Get(env.Doc)
 	if !cached && !s.isRoot {
 		// The filter extracted a document we no longer hold (install/evict
 		// race); keep the request moving toward the home server.
@@ -746,7 +840,7 @@ func (s *Server) delegateDown(child int, want float64, now time.Time) {
 	}
 	var cands []cand
 	for doc, fw := range flows {
-		if _, ok := s.cache[doc]; !ok {
+		if !s.cache.Contains(doc) {
 			continue
 		}
 		flow := fw.Rate(now)
@@ -783,9 +877,10 @@ func (s *Server) delegateDown(child int, want float64, now time.Time) {
 			s.targets[c.doc] = 0
 		}
 		s.nDelegOut++
+		body, _ := s.cache.Peek(c.doc) // a handoff is not local demand
 		s.sendOn(conn, &netproto.Envelope{
 			Kind: netproto.TypeDelegate, From: s.cfg.ID, To: child,
-			Doc: c.doc, Rate: amt, Body: s.cache[c.doc],
+			Doc: c.doc, Rate: amt, Body: body,
 		})
 		moved += amt
 	}
@@ -826,10 +921,7 @@ func (s *Server) shedUp(want float64, now time.Time) {
 // automatically. Returns the amount claimed.
 func (s *Server) claimPassing(want float64, now time.Time) float64 {
 	claimed := 0.0
-	for doc := range s.cache {
-		if claimed >= want {
-			break
-		}
+	s.cache.ForEach(func(doc core.DocID, _ int) bool {
 		flow := s.observedFlow(doc, now)
 		srv := 0.0
 		if w := s.served[doc]; w != nil {
@@ -837,7 +929,7 @@ func (s *Server) claimPassing(want float64, now time.Time) float64 {
 		}
 		spare := flow - srv
 		if spare <= 0 {
-			continue
+			return true
 		}
 		amt := want - claimed
 		if amt > spare {
@@ -845,7 +937,8 @@ func (s *Server) claimPassing(want float64, now time.Time) float64 {
 		}
 		s.targets[doc] += amt
 		claimed += amt
-	}
+		return claimed < want
+	})
 	return claimed
 }
 
@@ -873,7 +966,7 @@ func (s *Server) tunnel(now time.Time) {
 	var best core.DocID
 	bestFlow := 0.0
 	consider := func(doc core.DocID, f float64) {
-		if _, cached := s.cache[doc]; cached {
+		if s.cache.Contains(doc) {
 			return
 		}
 		if f > bestFlow {
@@ -968,9 +1061,14 @@ func (s *Server) snapshot(now time.Time) *netproto.Stats {
 		Tunnels:        s.nTunnels,
 		QueueLen:       len(s.events),
 		PendingLen:     len(s.pending),
-	}
-	for _, body := range s.cache {
-		st.CacheBytes += int64(len(body))
+		// Maintained incrementally by the store — no per-scrape walk over
+		// every cached body.
+		CacheBytes:       s.cache.Bytes(),
+		CacheBudgetBytes: s.cfg.CacheBudgetBytes,
+		EvictedDocs:      s.nEvicted,
+		EvictedBytes:     s.nEvictedBytes,
+		EvictHintsIn:     s.nEvictHintsIn,
+		MaxCacheBytes:    s.cache.MaxBytes(),
 	}
 	st.CachedDocs = s.rt.Installed()
 	for d, t := range s.targets {

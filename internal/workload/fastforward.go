@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"webwave/internal/cachestore"
 	"webwave/internal/core"
 	"webwave/internal/docwave"
 	"webwave/internal/lru"
@@ -29,11 +30,23 @@ const (
 	// PolicyPathLRU fills an LRU cache at every node on the request path
 	// (classic en-route / CDN caching) and serves at the first hit.
 	PolicyPathLRU Policy = "path-lru"
+	// PolicyBoundedLRU / PolicyBoundedHeat / PolicyBoundedGDSF run WebWave
+	// placement over byte-budgeted cachestores, one per non-home node:
+	// the fluid protocol decides where copies should live, the store's
+	// eviction policy decides which survive the budget, and a request is
+	// served en route only where the copy actually survived.
+	PolicyBoundedLRU  Policy = "webwave-lru"
+	PolicyBoundedHeat Policy = "webwave-heat"
+	PolicyBoundedGDSF Policy = "webwave-gdsf"
 )
 
 // DefaultPolicies returns the policies RunFast compares for a spec:
-// WebWave and no-cache always, en-route LRU when the spec bounds caches.
+// WebWave and no-cache always, en-route LRU when the spec bounds cache
+// slots, and the eviction-policy shoot-out when it bounds cache bytes.
 func DefaultPolicies(sp Spec) []Policy {
+	if sp.CacheBudgetBytes > 0 {
+		return []Policy{PolicyBoundedHeat, PolicyBoundedLRU, PolicyBoundedGDSF, PolicyNoCache}
+	}
 	ps := []Policy{PolicyWebWave, PolicyNoCache}
 	if sp.CacheCap > 0 {
 		ps = append(ps, PolicyPathLRU)
@@ -154,6 +167,152 @@ func (r *webwaveReplayer) place(req trace.Request, down []bool, rng *rand.Rand) 
 
 // ---------------------------------------------------------------------------
 
+// boundedReplayer layers byte-budgeted cachestores over the fluid WebWave
+// placement: windowTick installs copies where the protocol placed them
+// (bounded by budget, displacing per the eviction policy), and a request
+// is served en route only where its copy actually survived — a placement
+// the wave intended but eviction destroyed counts as a store miss and the
+// request keeps climbing toward the home server.
+type boundedReplayer struct {
+	*webwaveReplayer
+	policy cachestore.Policy
+	stores []*cachestore.Store // nil at the home node
+	flow   [][]float64         // node × doc demand rate for the current window
+	body   []byte              // shared dummy body, len = Spec.DocBytes
+
+	servedBelow, servedRoot int64
+}
+
+func newBoundedReplayer(sp Spec, t *tree.Tree, tr *Trace, policy cachestore.Policy) (*boundedReplayer, error) {
+	// Align the fluid guidance with the byte capacity: the protocol
+	// simulator bounds copies per node at budget/doc-size slots, so its
+	// placement is one the stores could in principle hold in full.
+	guided := sp
+	guided.CacheCap = int(sp.CacheBudgetBytes / int64(sp.DocBytes))
+	ww, err := newWebwaveReplayer(guided, t, tr)
+	if err != nil {
+		return nil, err
+	}
+	r := &boundedReplayer{
+		webwaveReplayer: ww,
+		policy:          policy,
+		stores:          make([]*cachestore.Store, t.Len()),
+		flow:            make([][]float64, t.Len()),
+		body:            make([]byte, sp.DocBytes),
+	}
+	for v := range r.stores {
+		if v == t.Root() {
+			continue // the home serves from pinned originals, not a budget
+		}
+		v := v
+		r.flow[v] = make([]float64, len(tr.DocWeights))
+		r.stores[v] = cachestore.New(cachestore.Config{
+			BudgetBytes: sp.CacheBudgetBytes,
+			Shards:      sp.CacheShards,
+			Policy:      policy,
+			HeatOf: func(doc core.DocID) float64 {
+				if j, ok := r.docIndex[doc]; ok {
+					return r.flow[v][j]
+				}
+				return 0
+			},
+		})
+	}
+	return r, nil
+}
+
+func (r *boundedReplayer) name() string { return "webwave-" + string(r.policy) }
+
+func (r *boundedReplayer) windowTick(t float64) {
+	r.webwaveReplayer.windowTick(t)
+	for v := range r.stores {
+		if r.stores[v] == nil {
+			continue
+		}
+		// Refresh the heat source first so evictions triggered by this
+		// window's installs see this window's rates. Heat is the rate the
+		// copy *serves*, not total passing flow: a document whose requests
+		// stream through but are served elsewhere must look cold here, or
+		// eviction keeps busy-path bystanders over working copies.
+		for j := range r.flow[v] {
+			r.flow[v][j] = r.ds.ServeRate(v, j)
+		}
+		for j := range r.flow[v] {
+			if r.ds.ServeRate(v, j) <= 0 {
+				continue
+			}
+			doc := DocID(j)
+			if !r.stores[v].Contains(doc) {
+				r.stores[v].Put(doc, r.body)
+			}
+		}
+	}
+}
+
+func (r *boundedReplayer) place(req trace.Request, down []bool, rng *rand.Rand) (int, int, bool) {
+	if down[req.Origin] {
+		return -1, 0, false
+	}
+	j, ok := r.docIndex[req.Doc]
+	if !ok {
+		return -1, 0, false
+	}
+	path := r.t.PathToRoot(req.Origin)
+	for hops, v := range path {
+		if v == r.t.Root() {
+			r.servedRoot++
+			return v, hops, true
+		}
+		if down[v] {
+			continue
+		}
+		serve := r.ds.ServeRate(v, j)
+		fwd := r.ds.ForwardRate(v, j)
+		if tot := serve + fwd; tot > 0 && rng.Float64() < serve/tot {
+			// The wave wants this node to serve; it can only if the copy
+			// survived the byte budget.
+			if _, hit := r.stores[v].Get(req.Doc); hit {
+				r.servedBelow++
+				return v, hops, true
+			}
+		}
+	}
+	root := r.t.Root()
+	r.servedRoot++
+	return root, len(path) - 1, true
+}
+
+// cacheResult aggregates the run's cache-pressure outcome.
+func (r *boundedReplayer) cacheResult() *CacheResult {
+	cr := &CacheResult{
+		Policy:      string(r.policy),
+		BudgetBytes: r.sp.CacheBudgetBytes,
+		DocBytes:    r.sp.DocBytes,
+	}
+	for _, st := range r.stores {
+		if st == nil {
+			continue
+		}
+		s := st.Stats()
+		cr.StoreHits += s.Hits
+		cr.StoreMisses += s.Misses
+		cr.Evictions += s.Evictions
+		cr.EvictedBytes += s.EvictedBytes
+		if st.MaxBytes() > cr.MaxNodeBytes {
+			cr.MaxNodeBytes = st.MaxBytes()
+		}
+		if st.MaxBytes() > r.sp.CacheBudgetBytes {
+			cr.OverBudget = true
+		}
+	}
+	if total := r.servedBelow + r.servedRoot; total > 0 {
+		cr.HitRate = round6(float64(r.servedBelow) / float64(total))
+	}
+	return cr
+}
+
+// ---------------------------------------------------------------------------
+
 // noCacheReplayer serves everything at the home server.
 type noCacheReplayer struct{ t *tree.Tree }
 
@@ -264,6 +423,15 @@ func RunFastPolicies(sp Spec, seed int64, policies []Policy) (*Report, error) {
 			rp = &noCacheReplayer{t: t}
 		case PolicyPathLRU:
 			rp = newPathLRUReplayer(sp, t)
+		case PolicyBoundedLRU, PolicyBoundedHeat, PolicyBoundedGDSF:
+			if sp.CacheBudgetBytes <= 0 {
+				return nil, fmt.Errorf("workload: policy %q needs cache_budget_bytes", p)
+			}
+			pol := cachestore.Policy(string(p)[len("webwave-"):])
+			rp, err = newBoundedReplayer(sp, t, tr, pol)
+			if err != nil {
+				return nil, err
+			}
 		default:
 			return nil, fmt.Errorf("workload: unknown policy %q", p)
 		}
@@ -271,7 +439,11 @@ func RunFastPolicies(sp Spec, seed int64, policies []Policy) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep.Systems = append(rep.Systems, systemResult(rp.name(), col, sp.Duration))
+		sys := systemResult(rp.name(), col, sp.Duration)
+		if br, ok := rp.(*boundedReplayer); ok {
+			sys.Cache = br.cacheResult()
+		}
+		rep.Systems = append(rep.Systems, sys)
 	}
 
 	rep.Baselines, err = analyticBaselines(t, tr, sp)

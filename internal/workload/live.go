@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"webwave/internal/cachestore"
 	"webwave/internal/cluster"
 	"webwave/internal/core"
 	"webwave/internal/gateway"
@@ -92,16 +93,51 @@ func (r *respSink) statusCode() int {
 
 // NodeStat is one live server's end-of-run scrape.
 type NodeStat struct {
-	Node       int     `json:"node"`
-	Served     int64   `json:"served"`
-	Forwarded  int64   `json:"forwarded"`
-	Coalesced  int64   `json:"coalesced,omitempty"`
-	LoadRPS    float64 `json:"load_rps"`
-	CachedDocs int     `json:"cached_docs"`
-	CacheBytes int64   `json:"cache_bytes"`
-	QueueLen   int     `json:"queue_len"`
-	PendingLen int     `json:"pending_len,omitempty"`
-	Tunnels    int64   `json:"tunnels"`
+	Node          int     `json:"node"`
+	Served        int64   `json:"served"`
+	Forwarded     int64   `json:"forwarded"`
+	Coalesced     int64   `json:"coalesced,omitempty"`
+	LoadRPS       float64 `json:"load_rps"`
+	CachedDocs    int     `json:"cached_docs"`
+	CacheBytes    int64   `json:"cache_bytes"`
+	MaxCacheBytes int64   `json:"max_cache_bytes,omitempty"`
+	EvictedDocs   int64   `json:"evicted_docs,omitempty"`
+	EvictedBytes  int64   `json:"evicted_bytes,omitempty"`
+	QueueLen      int     `json:"queue_len"`
+	PendingLen    int     `json:"pending_len,omitempty"`
+	Tunnels       int64   `json:"tunnels"`
+}
+
+// liveCacheResult aggregates the scraped per-node cache counters into the
+// report's cache-pressure summary. The home node is excluded from budget
+// accounting (its originals are pinned); HitRate is the share of serves
+// that happened below it.
+func liveCacheResult(sp Spec, policy string, root int, nodes []NodeStat) *CacheResult {
+	cr := &CacheResult{
+		Policy:      policy,
+		BudgetBytes: sp.CacheBudgetBytes,
+		DocBytes:    sp.DocBytes,
+	}
+	var total, below int64
+	for _, ns := range nodes {
+		total += ns.Served
+		if ns.Node == root {
+			continue
+		}
+		below += ns.Served
+		cr.Evictions += ns.EvictedDocs
+		cr.EvictedBytes += ns.EvictedBytes
+		if ns.MaxCacheBytes > cr.MaxNodeBytes {
+			cr.MaxNodeBytes = ns.MaxCacheBytes
+		}
+		if ns.MaxCacheBytes > sp.CacheBudgetBytes {
+			cr.OverBudget = true
+		}
+	}
+	if total > 0 {
+		cr.HitRate = round6(float64(below) / float64(total))
+	}
+	return cr
 }
 
 // RunLive replays the scenario's schedule against a real cluster through
@@ -114,9 +150,11 @@ func RunLive(sp Spec, seed int64, opt LiveOptions) (*Report, error) {
 		return nil, err
 	}
 	if sp.CacheCap > 0 {
-		// The live server has no cache bound yet; running anyway would
-		// produce a report whose spec claims a cap that wasn't enforced.
-		return nil, fmt.Errorf("workload: live mode does not support cache_cap (scenario %q sets %d); use fast mode", sp.Name, sp.CacheCap)
+		// CacheCap is the fluid simulator's copy-count knob; the live
+		// server enforces byte budgets (CacheBudgetBytes) instead. Running
+		// anyway would produce a report whose spec claims a cap that
+		// wasn't enforced.
+		return nil, fmt.Errorf("workload: live mode does not support cache_cap (scenario %q sets %d); use cache_budget_bytes or fast mode", sp.Name, sp.CacheCap)
 	}
 	opt = opt.withDefaults()
 	t, err := BuildTree(sp, seed)
@@ -131,13 +169,25 @@ func RunLive(sp Spec, seed int64, opt LiveOptions) (*Report, error) {
 	docs := make(map[core.DocID][]byte, len(tr.DocWeights))
 	for j := range tr.DocWeights {
 		id := DocID(j)
-		docs[id] = []byte("webwave live document " + string(id))
+		if sp.DocBytes > 0 {
+			docs[id] = make([]byte, sp.DocBytes)
+			copy(docs[id], id)
+		} else {
+			docs[id] = []byte("webwave live document " + string(id))
+		}
+	}
+	evictPolicy, err := cachestore.ParsePolicy(sp.EvictPolicy)
+	if err != nil {
+		return nil, err
 	}
 	ccfg := cluster.Config{
-		GossipPeriod:    opt.GossipPeriod,
-		DiffusionPeriod: opt.DiffusionPeriod,
-		Window:          opt.Window,
-		Tunneling:       sp.Tunneling,
+		GossipPeriod:     opt.GossipPeriod,
+		DiffusionPeriod:  opt.DiffusionPeriod,
+		Window:           opt.Window,
+		Tunneling:        sp.Tunneling,
+		CacheBudgetBytes: sp.CacheBudgetBytes,
+		CacheShards:      sp.CacheShards,
+		EvictPolicy:      evictPolicy,
 	}
 	switch opt.Transport {
 	case "", "mem":
@@ -250,19 +300,25 @@ func RunLive(sp Spec, seed int64, opt LiveOptions) (*Report, error) {
 	if sts, err := c.Stats(); err == nil {
 		for _, st := range sts {
 			sys.Nodes = append(sys.Nodes, NodeStat{
-				Node:       st.Node,
-				Served:     st.Served,
-				Forwarded:  st.Forwarded,
-				Coalesced:  st.Coalesced,
-				LoadRPS:    round6(st.Load),
-				CachedDocs: len(st.CachedDocs),
-				CacheBytes: st.CacheBytes,
-				QueueLen:   st.QueueLen,
-				PendingLen: st.PendingLen,
-				Tunnels:    st.Tunnels,
+				Node:          st.Node,
+				Served:        st.Served,
+				Forwarded:     st.Forwarded,
+				Coalesced:     st.Coalesced,
+				LoadRPS:       round6(st.Load),
+				CachedDocs:    len(st.CachedDocs),
+				CacheBytes:    st.CacheBytes,
+				MaxCacheBytes: st.MaxCacheBytes,
+				EvictedDocs:   st.EvictedDocs,
+				EvictedBytes:  st.EvictedBytes,
+				QueueLen:      st.QueueLen,
+				PendingLen:    st.PendingLen,
+				Tunnels:       st.Tunnels,
 			})
 		}
 		sort.Slice(sys.Nodes, func(i, j int) bool { return sys.Nodes[i].Node < sys.Nodes[j].Node })
+		if sp.CacheBudgetBytes > 0 {
+			sys.Cache = liveCacheResult(sp, string(evictPolicy), t.Root(), sys.Nodes)
+		}
 	}
 	rep.Systems = append(rep.Systems, sys)
 	rep.Baselines, err = analyticBaselines(t, tr, sp)

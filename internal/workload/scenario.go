@@ -54,6 +54,26 @@ func Scenarios() []Spec {
 			Churn:       &ChurnSpec{Events: 4, MeanDowntime: 8},
 		},
 		{
+			// Byte-budgeted caches under a hot set wider than the aggregate
+			// budget, with a diurnal shift that keeps rotating which
+			// documents are hot — sustained eviction churn. Compares
+			// eviction policies (heat-per-byte vs LRU vs GDSF) on hit rate,
+			// origin offload and Jain fairness over the identical trace.
+			Name:             "cache-pressure",
+			Nodes:            31,
+			NumDocs:          192,
+			Popularity:       PopHotset,
+			HotsetSize:       48,
+			HotsetShare:      0.7,
+			TotalRate:        300,
+			Duration:         48,
+			Arrival:          ArrivalPoisson,
+			Tunneling:        true,
+			CacheBudgetBytes: 10 * 4096, // ~10 docs per node vs a 48-doc hot set
+			DocBytes:         4096,
+			Diurnal:          &Diurnal{Period: 24, Amplitude: 0.4},
+		},
+		{
 			// Large catalog, bounded caches: a hot set bigger than any one
 			// cache forces eviction churn. Compares WebWave's demand-driven
 			// placement against en-route LRU fill on the same trace.

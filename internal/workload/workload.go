@@ -22,6 +22,8 @@ package workload
 
 import (
 	"fmt"
+
+	"webwave/internal/cachestore"
 )
 
 // Popularity selects the document-popularity model.
@@ -151,6 +153,15 @@ type Spec struct {
 	Tunneling       bool `json:"tunneling"`
 	RoundsPerWindow int  `json:"rounds_per_window"` // protocol rounds per metrics window
 
+	// Cache capacity model (byte-budgeted stores). When CacheBudgetBytes
+	// is set, every non-home node runs a byte-budgeted cachestore and the
+	// fast runner compares eviction policies on the identical trace; the
+	// live runner plumbs the budget into the real servers.
+	CacheBudgetBytes int64  `json:"cache_budget_bytes,omitempty"` // per node, 0 = unlimited
+	DocBytes         int    `json:"doc_bytes,omitempty"`          // body size per document (default 4096)
+	CacheShards      int    `json:"cache_shards,omitempty"`       // store stripes (default 1 in fast mode)
+	EvictPolicy      string `json:"evict_policy,omitempty"`       // lru | heat | gdsf (live mode / single-policy runs)
+
 	// Service/latency model (fast-forward mode).
 	HopDelay     float64 `json:"hop_delay"`     // one-way per-edge delay, seconds
 	ServiceTime  float64 `json:"service_time"`  // unloaded per-request service time, seconds
@@ -204,6 +215,17 @@ func (s Spec) WithDefaults() Spec {
 	}
 	if s.RoundsPerWindow <= 0 {
 		s.RoundsPerWindow = 4
+	}
+	if s.CacheBudgetBytes > 0 {
+		if s.DocBytes <= 0 {
+			s.DocBytes = 4096
+		}
+		if s.CacheShards <= 0 {
+			// One stripe keeps the whole budget in a single segment, so the
+			// per-node byte bound is exact regardless of doc-to-shard
+			// hashing; live clusters may raise it for lock spreading.
+			s.CacheShards = 1
+		}
 	}
 	if s.HopDelay <= 0 {
 		s.HopDelay = 0.005
@@ -259,6 +281,19 @@ func (s Spec) Validate() error {
 	}
 	if s.HotsetSize > s.NumDocs {
 		return fmt.Errorf("workload: hotset size %d > num docs %d", s.HotsetSize, s.NumDocs)
+	}
+	if s.CacheBudgetBytes > 0 {
+		if _, err := cachestore.ParsePolicy(s.EvictPolicy); err != nil {
+			return err
+		}
+		shards := int64(s.CacheShards)
+		if shards <= 0 {
+			shards = 1 // tolerate un-defaulted specs instead of dividing by zero
+		}
+		if int64(s.DocBytes) > s.CacheBudgetBytes/shards {
+			return fmt.Errorf("workload: doc_bytes %d exceeds the per-shard budget %d (budget %d / %d shards); no document would fit",
+				s.DocBytes, s.CacheBudgetBytes/shards, s.CacheBudgetBytes, shards)
+		}
 	}
 	if s.Window > s.Duration {
 		return fmt.Errorf("workload: window %v > duration %v", s.Window, s.Duration)
