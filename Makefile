@@ -5,11 +5,17 @@ GO ?= go
 BENCH_JSON ?= bench-smoke.json
 BENCH_WIRE_JSON ?= BENCH_wire.json
 BENCH_CACHE_JSON ?= BENCH_cache.json
+BENCH_SCALING_JSON ?= BENCH_scaling.json
 WIRE_THROUGHPUT_JSON ?= wire-throughput.json
 BENCHTIME ?= 0.3s
+# CI sweeps a subset of the committed baseline's core counts; local full
+# sweeps can set SCALING_PROCS=1,2,4,8.
+SCALING_PROCS ?= 1,4
+SCALING_DURATION ?= 2
 
 .PHONY: all build test race fmt vet staticcheck bench-smoke bench-micro bench-wire \
-	bench-cache bench-cache-baseline clean
+	bench-cache bench-cache-baseline bench-scaling bench-scaling-baseline \
+	profile clean
 
 all: build test
 
@@ -78,6 +84,33 @@ bench-cache-baseline:
 	$(GO) run ./cmd/webwave-bench -scenario cache-pressure -seed 1 \
 		-json bench/BENCH_cache_baseline.json
 
+# bench-scaling sweeps GOMAXPROCS over the live TCP stack (the servers'
+# shard-loop count follows the core count) and gates on a >15% drop in
+# per-core scaling efficiency vs the committed baseline. Wall-clock: NOT
+# deterministic; the gate is self-normalized so it ports across hardware.
+bench-scaling:
+	$(GO) run ./cmd/webwave-bench -scenario core-scaling -seed 1 \
+		-procs $(SCALING_PROCS) -duration $(SCALING_DURATION) -json $(BENCH_SCALING_JSON)
+	$(GO) run ./cmd/benchgate -scaling-report $(BENCH_SCALING_JSON) \
+		-scaling-baseline bench/BENCH_scaling_baseline.json -max-scaling-regress 0.15
+
+# bench-scaling-baseline regenerates the committed scaling baseline after
+# an intentional behavior change; commit the result. Three full 1/2/4/8
+# sweeps, keeping the lowest efficiency per core count — a conservative
+# floor one noisy wall-clock run cannot distort.
+bench-scaling-baseline:
+	$(GO) run ./cmd/webwave-bench -scenario core-scaling -seed 1 \
+		-procs 1,2,4,8 -duration 3 -repeat 3 -json bench/BENCH_scaling_baseline.json
+
+# profile runs the core-scaling scenario under the CPU and heap profilers,
+# leaving pprof artifacts next to the report so scaling regressions are
+# diagnosable (`go tool pprof cpu.pprof`).
+profile:
+	$(GO) run ./cmd/webwave-bench -scenario core-scaling -seed 1 \
+		-procs $(SCALING_PROCS) -duration $(SCALING_DURATION) \
+		-cpuprofile cpu.pprof -memprofile mem.pprof -json $(BENCH_SCALING_JSON)
+
 clean:
 	rm -f $(BENCH_JSON) $(BENCH_WIRE_JSON) $(BENCH_CACHE_JSON) \
-		$(WIRE_THROUGHPUT_JSON) bench-micro.out
+		$(BENCH_SCALING_JSON) $(WIRE_THROUGHPUT_JSON) bench-micro.out \
+		cpu.pprof mem.pprof

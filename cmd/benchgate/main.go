@@ -1,15 +1,26 @@
-// Command benchgate compares a freshly produced webwave-bench report
-// against a committed baseline and fails (exit 1) when cache behavior
-// regressed: a system's hit rate dropping more than the allowed fraction
-// below the baseline, a budgeted system exceeding its byte budget, or a
-// system present in the baseline vanishing from the report. CI runs it
-// after the deterministic cache-pressure scenario so an eviction-policy
-// regression breaks the build instead of the tail latency of some future
-// long-haul run.
+// Command benchgate compares freshly produced webwave-bench reports
+// against committed baselines and fails (exit 1) on regressions. Two gates
+// are implemented; CI runs both so a regression breaks the build instead
+// of the tail latency of some future long-haul run:
+//
+//   - Cache (-report/-baseline): a system's hit rate dropping more than the
+//     allowed fraction below the baseline, a budgeted system exceeding its
+//     byte budget, or a system present in the baseline vanishing from the
+//     report.
+//
+//   - Core scaling (-scaling-report/-scaling-baseline): the multi-core
+//     serving efficiency — req/s-per-core normalized by the same sweep's
+//     1-proc throughput — dropping more than the allowed fraction below the
+//     baseline at any common core count. The normalization makes the gate
+//     portable across hardware: a committed baseline from one machine still
+//     bounds the *shape* of the scaling curve on another, where gating raw
+//     req/s would only measure whose CPU is newer. Absolute per-core drops
+//     are printed as warnings, not failures, for the same reason.
 //
 // Usage:
 //
 //	benchgate -report BENCH_cache.json -baseline bench/BENCH_cache_baseline.json [-max-regress 0.10]
+//	benchgate -scaling-report BENCH_scaling.json -scaling-baseline bench/BENCH_scaling_baseline.json [-max-scaling-regress 0.15]
 package main
 
 import (
@@ -30,24 +41,122 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
-	reportPath := fs.String("report", "", "report JSON produced by this run")
-	basePath := fs.String("baseline", "", "committed baseline report JSON")
+	reportPath := fs.String("report", "", "cache report JSON produced by this run")
+	basePath := fs.String("baseline", "", "committed cache baseline report JSON")
 	maxRegress := fs.Float64("max-regress", 0.10, "max allowed fractional hit-rate drop vs baseline")
+	scalingPath := fs.String("scaling-report", "", "core-scaling report JSON produced by this run")
+	scalingBasePath := fs.String("scaling-baseline", "", "committed core-scaling baseline JSON")
+	maxScalingRegress := fs.Float64("max-scaling-regress", 0.15, "max allowed fractional per-core efficiency drop vs baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *reportPath == "" || *basePath == "" {
-		return fmt.Errorf("both -report and -baseline are required")
+	ranAny := false
+	if *reportPath != "" || *basePath != "" {
+		if *reportPath == "" || *basePath == "" {
+			return fmt.Errorf("both -report and -baseline are required")
+		}
+		rep, err := load(*reportPath)
+		if err != nil {
+			return err
+		}
+		base, err := load(*basePath)
+		if err != nil {
+			return err
+		}
+		if err := gate(rep, base, *maxRegress, os.Stdout); err != nil {
+			return err
+		}
+		ranAny = true
 	}
-	rep, err := load(*reportPath)
+	if *scalingPath != "" || *scalingBasePath != "" {
+		if *scalingPath == "" || *scalingBasePath == "" {
+			return fmt.Errorf("both -scaling-report and -scaling-baseline are required")
+		}
+		rep, err := loadScaling(*scalingPath)
+		if err != nil {
+			return err
+		}
+		base, err := loadScaling(*scalingBasePath)
+		if err != nil {
+			return err
+		}
+		if err := gateScaling(rep, base, *maxScalingRegress, os.Stdout); err != nil {
+			return err
+		}
+		ranAny = true
+	}
+	if !ranAny {
+		return fmt.Errorf("nothing to gate: pass -report/-baseline and/or -scaling-report/-scaling-baseline")
+	}
+	return nil
+}
+
+func loadScaling(path string) (*workload.ScalingReport, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	base, err := load(*basePath)
-	if err != nil {
-		return err
+	defer f.Close()
+	rep := &workload.ScalingReport{}
+	if err := json.NewDecoder(f).Decode(rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return gate(rep, base, *maxRegress, os.Stdout)
+	if rep.Schema != workload.ScalingSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, workload.ScalingSchema)
+	}
+	return rep, nil
+}
+
+// gateScaling applies the efficiency rules; it reports every violation
+// before returning an error so CI logs show the full picture.
+func gateScaling(rep, base *workload.ScalingReport, maxRegress float64, out *os.File) error {
+	if len(rep.Spec.Procs) == 0 || len(base.Spec.Procs) == 0 {
+		return fmt.Errorf("scaling report/baseline with empty proc sweep")
+	}
+	// Same workload or the curves mean nothing. Duration is deliberately
+	// exempt: it sets the sampling window, not the offered pressure, and CI
+	// measures a shorter window than the committed baseline.
+	rw, bw := rep.Spec, base.Spec
+	if rw.Seed != bw.Seed || rw.Nodes != bw.Nodes || rw.Clients != bw.Clients ||
+		rw.NumDocs != bw.NumDocs || rw.BodyBytes != bw.BodyBytes || rw.ZipfSkew != bw.ZipfSkew {
+		return fmt.Errorf("report (seed %d, %d nodes, %d clients, %d docs x %dB, skew %g) and baseline (seed %d, %d nodes, %d clients, %d docs x %dB, skew %g) are different workloads; regenerate the baseline",
+			rw.Seed, rw.Nodes, rw.Clients, rw.NumDocs, rw.BodyBytes, rw.ZipfSkew,
+			bw.Seed, bw.Nodes, bw.Clients, bw.NumDocs, bw.BodyBytes, bw.ZipfSkew)
+	}
+	if rep.Spec.Procs[0] != base.Spec.Procs[0] {
+		return fmt.Errorf("report sweep starts at %d procs, baseline at %d; efficiencies are not comparable — regenerate the baseline",
+			rep.Spec.Procs[0], base.Spec.Procs[0])
+	}
+	bad, checked := 0, 0
+	for _, br := range base.Runs {
+		rr := rep.Run(br.Procs)
+		if rr == nil {
+			continue // CI sweeps a subset of the committed baseline's procs
+		}
+		if rr.PerCoreRPS < br.PerCoreRPS*(1-maxRegress) {
+			fmt.Fprintf(out, "warn procs=%d raw %8.0f req/s/core vs baseline %8.0f (different hardware? not gated)\n",
+				br.Procs, rr.PerCoreRPS, br.PerCoreRPS)
+		}
+		if br.Procs == base.Spec.Procs[0] {
+			continue // efficiency at the sweep base is 1.0 by definition
+		}
+		checked++
+		if rr.Efficiency < br.Efficiency*(1-maxRegress) {
+			fmt.Fprintf(out, "FAIL procs=%d efficiency %.4f fell >%.0f%% below baseline %.4f\n",
+				br.Procs, rr.Efficiency, maxRegress*100, br.Efficiency)
+			bad++
+		} else {
+			fmt.Fprintf(out, "ok   procs=%d efficiency %.4f (baseline %.4f, %6.0f req/s/core)\n",
+				br.Procs, rr.Efficiency, br.Efficiency, rr.PerCoreRPS)
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("no common core counts beyond the sweep base between report and baseline")
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d core-scaling regression(s) vs baseline", bad)
+	}
+	return nil
 }
 
 func load(path string) (*workload.Report, error) {

@@ -87,3 +87,110 @@ func TestGateRejectsMismatchedRuns(t *testing.T) {
 		t.Fatalf("gate compared reports from different runs")
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Core-scaling gate.
+
+func scalingReport(effs map[int]float64, perCore map[int]float64) *workload.ScalingReport {
+	procs := []int{1, 2, 4}
+	rep := &workload.ScalingReport{
+		Schema: workload.ScalingSchema, Scenario: "core-scaling",
+		Spec: workload.ScalingSpec{Procs: procs},
+	}
+	for _, p := range procs {
+		if _, ok := effs[p]; !ok {
+			continue
+		}
+		rep.Runs = append(rep.Runs, workload.ScalingRun{
+			Procs: p, Shards: p, Efficiency: effs[p], PerCoreRPS: perCore[p],
+		})
+	}
+	return rep
+}
+
+func writeScaling(t *testing.T, dir, name string, rep *workload.ScalingReport) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return path
+}
+
+func TestScalingGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeScaling(t, dir, "base.json",
+		scalingReport(map[int]float64{1: 1, 2: 0.8, 4: 0.6}, map[int]float64{1: 50e3, 2: 40e3, 4: 30e3}))
+	// Within the 15% band at every common core count (raw req/s far lower —
+	// different hardware — must only warn).
+	rep := writeScaling(t, dir, "rep.json",
+		scalingReport(map[int]float64{1: 1, 2: 0.72, 4: 0.55}, map[int]float64{1: 20e3, 2: 15e3, 4: 11e3}))
+	if err := run([]string{"-scaling-report", rep, "-scaling-baseline", base}); err != nil {
+		t.Fatalf("gate failed on an in-band report: %v", err)
+	}
+}
+
+func TestScalingGateFailsOnEfficiencyDrop(t *testing.T) {
+	dir := t.TempDir()
+	base := writeScaling(t, dir, "base.json",
+		scalingReport(map[int]float64{1: 1, 2: 0.8, 4: 0.6}, nil))
+	rep := writeScaling(t, dir, "rep.json",
+		scalingReport(map[int]float64{1: 1, 2: 0.8, 4: 0.4}, nil)) // 4-proc eff fell 33%
+	if err := run([]string{"-scaling-report", rep, "-scaling-baseline", base}); err == nil {
+		t.Fatalf("gate accepted a >15%% efficiency regression")
+	}
+}
+
+func TestScalingGateSubsetSweep(t *testing.T) {
+	// CI sweeps 1,4 against a committed 1,2,4 baseline: only common core
+	// counts are compared, and that must be enough to gate.
+	dir := t.TempDir()
+	base := writeScaling(t, dir, "base.json",
+		scalingReport(map[int]float64{1: 1, 2: 0.8, 4: 0.6}, nil))
+	rep := scalingReport(map[int]float64{1: 1, 4: 0.58}, nil)
+	rep.Spec.Procs = []int{1, 4}
+	repPath := writeScaling(t, dir, "rep.json", rep)
+	if err := run([]string{"-scaling-report", repPath, "-scaling-baseline", base}); err != nil {
+		t.Fatalf("gate failed on a passing subset sweep: %v", err)
+	}
+}
+
+func TestScalingGateRejectsMismatchedBase(t *testing.T) {
+	dir := t.TempDir()
+	base := writeScaling(t, dir, "base.json",
+		scalingReport(map[int]float64{1: 1, 2: 0.8}, nil))
+	rep := scalingReport(map[int]float64{1: 1, 2: 0.8}, nil)
+	rep.Spec.Procs = []int{2, 4} // efficiency normalized to 2 procs, not 1
+	repPath := writeScaling(t, dir, "rep.json", rep)
+	if err := run([]string{"-scaling-report", repPath, "-scaling-baseline", base}); err == nil {
+		t.Fatalf("gate compared sweeps with different normalization bases")
+	}
+}
+
+func TestScalingGateNoCommonProcs(t *testing.T) {
+	dir := t.TempDir()
+	base := writeScaling(t, dir, "base.json",
+		scalingReport(map[int]float64{1: 1, 2: 0.8}, nil))
+	rep := scalingReport(map[int]float64{1: 1}, nil)
+	rep.Spec.Procs = []int{1}
+	repPath := writeScaling(t, dir, "rep.json", rep)
+	if err := run([]string{"-scaling-report", repPath, "-scaling-baseline", base}); err == nil {
+		t.Fatalf("gate passed with nothing beyond the base to compare")
+	}
+}
+
+func TestScalingGateRejectsDifferentWorkload(t *testing.T) {
+	dir := t.TempDir()
+	base := scalingReport(map[int]float64{1: 1, 2: 0.8}, nil)
+	base.Spec.Clients = 64
+	basePath := writeScaling(t, dir, "base.json", base)
+	rep := scalingReport(map[int]float64{1: 1, 2: 0.8}, nil) // Clients 0
+	repPath := writeScaling(t, dir, "rep.json", rep)
+	if err := run([]string{"-scaling-report", repPath, "-scaling-baseline", basePath}); err == nil {
+		t.Fatalf("gate compared scaling curves from different workloads")
+	}
+}

@@ -16,17 +16,27 @@
 //	webwave-bench -scenario zipf-steady -n 63 -duration 60 -rate 500
 //	webwave-bench -scenario zipf-steady -mode live -transport tcp -wirev 2
 //	webwave-bench -scenario wire-throughput -duration 3 -json BENCH_wire_throughput.json
+//	webwave-bench -scenario core-scaling -procs 1,2,4,8 -json BENCH_scaling.json
+//	webwave-bench -scenario core-scaling -procs 1,4 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
-// The wire-throughput scenario is special: it runs the live stack over
-// real TCP loopback sockets twice — once per wire protocol version — and
-// reports sustained req/s and the v2/v1 speedup (wall-clock, not
-// deterministic).
+// Two scenarios are special, wall-clock (NOT deterministic) measurements
+// of the live serving stack over real TCP loopback sockets:
+// wire-throughput drives the same pressure once per wire protocol version
+// and reports the v2/v1 speedup; core-scaling sweeps GOMAXPROCS (the
+// servers' shard-loop count follows) and reports req/s, per-core
+// efficiency, Jain fairness and hit rate per core count.
+//
+// -cpuprofile and -memprofile write pprof artifacts covering the run, so a
+// scaling regression caught by CI can be diagnosed from the uploaded
+// profile instead of reproduced by hand.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"webwave/internal/workload"
 )
@@ -57,8 +67,43 @@ func run(args []string) error {
 	cacheBudget := fs.Int64("cache-budget", 0, "override per-node cache budget, bytes (0 = scenario default)")
 	docBytes := fs.Int("doc-bytes", 0, "override document body size, bytes")
 	evictPolicy := fs.String("evict-policy", "", "live: eviction policy (lru, heat or gdsf)")
+	procs := fs.String("procs", "1,2,4,8", "core-scaling: comma-separated GOMAXPROCS sweep")
+	repeat := fs.Int("repeat", 1, "core-scaling: full-sweep repetitions, keeping the lowest efficiency per core count (baselines use 3)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile covering the run to this file")
+	memprofile := fs.String("memprofile", "", "write an end-of-run heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("cpu profile: %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "webwave-bench: memprofile:", err)
+				return
+			}
+			runtime.GC() // settle so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "webwave-bench: memprofile:", err)
+			}
+			f.Close()
+			fmt.Printf("heap profile: %s\n", *memprofile)
+		}()
 	}
 
 	if *list {
@@ -69,6 +114,8 @@ func run(args []string) error {
 		}
 		fmt.Printf("%-14s live TCP stack, v1 (JSON) vs v2 (binary) wire protocol, closed-loop saturation\n",
 			"wire-throughput")
+		fmt.Printf("%-14s live TCP stack, GOMAXPROCS sweep, req/s + per-core efficiency + Jain + hit rate\n",
+			"core-scaling")
 		return nil
 	}
 
@@ -76,6 +123,16 @@ func run(args []string) error {
 		return runWireThroughput(wireSpec{
 			Seed: *seed, Nodes: *n, Clients: *clients,
 			Duration: *duration, BodyBytes: *body,
+		}, *jsonPath)
+	}
+	if *scenario == "core-scaling" {
+		sweep, err := parseProcs(*procs)
+		if err != nil {
+			return err
+		}
+		return runCoreScaling(workload.ScalingSpec{
+			Seed: *seed, Nodes: *n, Clients: *clients,
+			Duration: *duration, BodyBytes: *body, Procs: sweep, Repeat: *repeat,
 		}, *jsonPath)
 	}
 

@@ -11,19 +11,9 @@ package main
 import (
 	"encoding/json"
 	"fmt"
-	"math/rand"
 	"os"
-	"sync"
-	"sync/atomic"
-	"time"
 
-	"webwave/internal/cluster"
-	"webwave/internal/core"
-	"webwave/internal/netproto"
-	"webwave/internal/stats"
-	"webwave/internal/trace"
 	"webwave/internal/transport"
-	"webwave/internal/tree"
 	"webwave/internal/workload"
 )
 
@@ -129,149 +119,26 @@ func runWireThroughput(sp wireSpec, jsonPath string) error {
 	return nil
 }
 
-// wireRunOnce builds a fresh cluster on TCP with the given wire version and
-// hammers it closed-loop: each client keeps exactly one request in flight.
-// The first part of the run warms the tree (delegation spreads the hot
-// documents); only the measured window counts.
+// wireRunOnce drives the shared closed-loop harness (workload.RunClosedLoop)
+// against a fresh TCP cluster speaking the given wire version.
 func wireRunOnce(sp wireSpec, version int) (wireRun, error) {
-	rng := rand.New(rand.NewSource(sp.Seed))
-	t, err := tree.RandomBounded(sp.Nodes, 4, rng)
-	if err != nil {
-		return wireRun{}, err
-	}
-	body := make([]byte, sp.BodyBytes)
-	for i := range body {
-		body[i] = byte('a' + i%26)
-	}
-	docs := make(map[core.DocID][]byte, sp.NumDocs)
-	for j := 0; j < sp.NumDocs; j++ {
-		docs[workload.DocID(j)] = body
-	}
-	c, err := cluster.New(t, docs, cluster.Config{
-		Network:         transport.TCPNetwork{Version: version},
-		AddrFor:         func(int) string { return "127.0.0.1:0" },
-		GossipPeriod:    25 * time.Millisecond,
-		DiffusionPeriod: 50 * time.Millisecond,
-		Window:          500 * time.Millisecond,
-		Tunneling:       true,
+	res, err := workload.RunClosedLoop(workload.ClosedLoopSpec{
+		Seed: sp.Seed, Nodes: sp.Nodes, Clients: sp.Clients,
+		NumDocs: sp.NumDocs, BodyBytes: sp.BodyBytes, ZipfSkew: sp.ZipfSkew,
+		Duration: sp.Duration,
+		Network:  transport.TCPNetwork{Version: version},
 	})
 	if err != nil {
 		return wireRun{}, err
 	}
-	defer c.Stop()
-
-	// Zipf CDF over the documents, on the same weights the other scenarios
-	// use.
-	cdf := trace.ZipfWeights(sp.NumDocs, sp.ZipfSkew)
-	for j := 1; j < len(cdf); j++ {
-		cdf[j] += cdf[j-1]
-	}
-
-	var (
-		measuring atomic.Bool
-		stop      atomic.Bool
-		responses atomic.Int64
-		hops      atomic.Int64
-		servedBy  = make([]atomic.Int64, t.Len())
-		wg        sync.WaitGroup
-	)
-	docIDs := make([]core.DocID, sp.NumDocs)
-	for j := range docIDs {
-		docIDs[j] = workload.DocID(j)
-	}
-	conns := make([]transport.Conn, 0, sp.Clients)
-	closeAll := func() {
-		stop.Store(true)
-		for _, cn := range conns {
-			cn.Close() // releases workers blocked in Recv
-		}
-		wg.Wait()
-	}
-	for w := 0; w < sp.Clients; w++ {
-		origin := 0
-		if t.Len() > 1 {
-			origin = 1 + w%(t.Len()-1) // clients enter at non-root nodes
-		}
-		wrng := rand.New(rand.NewSource(sp.Seed + int64(w)*7919))
-		conn, err := c.Network().Dial(c.Addr(origin))
-		if err != nil {
-			closeAll()
-			return wireRun{}, fmt.Errorf("dial origin %d: %w", origin, err)
-		}
-		conns = append(conns, conn)
-		wg.Add(1)
-		go func(conn transport.Conn, origin, w int, wrng *rand.Rand) {
-			defer wg.Done()
-			defer conn.Close()
-			// Disjoint request-id spaces: workers sharing an origin node
-			// must not collide in the servers' response-routing tables.
-			reqID := uint64(w+1) << 32
-			for !stop.Load() {
-				reqID++
-				u := wrng.Float64()
-				doc := 0
-				for doc < len(cdf)-1 && cdf[doc] < u {
-					doc++
-				}
-				err := conn.Send(&netproto.Envelope{
-					Kind: netproto.TypeRequest, From: -1, To: origin,
-					Origin: origin, ReqID: reqID, Doc: docIDs[doc],
-				})
-				if err != nil {
-					return
-				}
-				for {
-					env, err := conn.Recv()
-					if err != nil {
-						return
-					}
-					isResp := env.Kind == netproto.TypeResponse && env.ReqID == reqID
-					if isResp && measuring.Load() {
-						responses.Add(1)
-						hops.Add(int64(env.Hops))
-						if env.ServedBy >= 0 && env.ServedBy < len(servedBy) {
-							servedBy[env.ServedBy].Add(1)
-						}
-					}
-					netproto.PutEnvelope(env)
-					if isResp {
-						break
-					}
-				}
-			}
-		}(conn, origin, w, wrng)
-	}
-
-	warmup := time.Duration(sp.Duration*float64(time.Second)) / 2
-	if warmup > 2*time.Second {
-		warmup = 2 * time.Second
-	}
-	time.Sleep(warmup)
-	measuring.Store(true)
-	time.Sleep(time.Duration(sp.Duration * float64(time.Second)))
-	measuring.Store(false)
-	// Closing the client conns unblocks any worker stuck in Recv on a
-	// response that was lost or expired server-side.
-	closeAll()
-
-	run := wireRun{WireVersion: version, Responses: responses.Load()}
-	run.ThroughputRPS = float64(run.Responses) / sp.Duration
-	if run.Responses > 0 {
-		run.MeanHops = float64(hops.Load()) / float64(run.Responses)
-	}
-	loads := make([]float64, t.Len())
-	for v := range servedBy {
-		loads[v] = float64(servedBy[v].Load())
-		if loads[v] > 0 {
-			run.ServingNodes++
-		}
-	}
-	run.Jain = stats.JainIndex(loads)
-	if sts, err := c.Stats(); err == nil {
-		for _, st := range sts {
-			run.Forwarded += st.Forwarded
-			run.Coalesced += st.Coalesced
-		}
-	}
-	return run, nil
+	return wireRun{
+		WireVersion:   version,
+		Responses:     res.Responses,
+		ThroughputRPS: res.ThroughputRPS,
+		Jain:          res.Jain,
+		MeanHops:      res.MeanHops,
+		ServingNodes:  res.ServingNodes,
+		Forwarded:     res.Forwarded,
+		Coalesced:     res.Coalesced,
+	}, nil
 }

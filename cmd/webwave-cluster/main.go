@@ -34,8 +34,11 @@ func run(args []string) error {
 	parents := fs.String("parents", "-1 0 0 1 1 2 2", "routing tree parent list")
 	tunneling := fs.Bool("tunneling", true, "enable barrier tunneling")
 	cacheBudget := fs.Int64("cache-budget", 0, "per-server cache budget, bytes (0 = unlimited)")
-	cacheShards := fs.Int("cache-shards", 0, "cache store stripe count (0 = default 8)")
+	cacheShards := fs.Int("cache-shards", 0, "cache store stripe count (0 = follow -shards)")
 	evictPolicy := fs.String("evict-policy", "", "eviction policy: lru (default), heat or gdsf")
+	shards := fs.Int("shards", 0, "doc-sharded event loops per server (0 = GOMAXPROCS)")
+	maxBatch := fs.Int("max-batch", 0, "events drained per loop iteration (0 = default 256)")
+	queueDepth := fs.Int("queue-depth", 0, "per-loop event queue capacity (0 = default 1024)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,6 +57,9 @@ func run(args []string) error {
 		CacheBudgetBytes: *cacheBudget,
 		CacheShards:      *cacheShards,
 		EvictPolicy:      *evictPolicy,
+		NumShards:        *shards,
+		MaxBatch:         *maxBatch,
+		QueueDepth:       *queueDepth,
 	}
 	res, err := repro.RunLiveCluster(cfg)
 	if err != nil {

@@ -75,9 +75,17 @@ type Config struct {
 	// HeatOf reports a document's current request rate (req/s) for the
 	// Heat policy. It is called during Put with a shard lock held; callers
 	// sharing the store across goroutines must supply a thread-safe
-	// implementation. nil reads as zero heat (Heat degrades toward FIFO
-	// with LRU tie-breaking).
+	// implementation (the live server feeds it from atomic per-shard
+	// snapshots rather than loop-owned state). nil reads as zero heat
+	// (Heat degrades toward FIFO with LRU tie-breaking).
 	HeatOf func(core.DocID) float64
+	// ShardOf optionally supplies each document's stripe (taken modulo
+	// Shards); nil uses the internal FNV hash. A caller that partitions its
+	// own per-document state — the server's doc-sharded event loops — can
+	// align the store's striping with that partition, so a Put's evictions
+	// fall in the caller's own partition (victim locality) whenever the
+	// stripe counts match.
+	ShardOf func(core.DocID) uint32
 }
 
 func (c Config) withDefaults() Config {
@@ -168,6 +176,9 @@ func (s *Store) BudgetBytes() int64 { return s.cfg.BudgetBytes }
 func (s *Store) shardFor(doc core.DocID) *shard {
 	if len(s.shards) == 1 {
 		return &s.shards[0]
+	}
+	if s.cfg.ShardOf != nil {
+		return &s.shards[s.cfg.ShardOf(doc)%uint32(len(s.shards))]
 	}
 	h := fnv.New32a()
 	h.Write([]byte(doc))

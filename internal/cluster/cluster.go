@@ -40,11 +40,20 @@ type Config struct {
 	// CacheBudgetBytes bounds every server's cached bytes (0 = unlimited).
 	// The home server's published documents are pinned and exempt.
 	CacheBudgetBytes int64
-	// CacheShards is each server's cache-store stripe count (default 8).
+	// CacheShards is each server's cache-store stripe count (default: the
+	// server's NumShards, keeping evictions local to the owning shard).
 	CacheShards int
 	// EvictPolicy selects the replacement policy (cachestore.LRU, Heat or
 	// GDSF; empty = LRU).
 	EvictPolicy cachestore.Policy
+
+	// NumShards is each server's doc-sharded event loop count (0 =
+	// GOMAXPROCS); MaxBatch bounds events drained per loop iteration
+	// (0 = 256); QueueDepth is each loop's inbound queue capacity
+	// (0 = 1024). See server.Config.
+	NumShards  int
+	MaxBatch   int
+	QueueDepth int
 }
 
 // Cluster is a running tree of live servers.
@@ -112,6 +121,9 @@ func New(t *tree.Tree, docs map[core.DocID][]byte, cfg Config) (*Cluster, error)
 			CacheBudgetBytes: cfg.CacheBudgetBytes,
 			CacheShards:      cfg.CacheShards,
 			EvictPolicy:      cfg.EvictPolicy,
+			NumShards:        cfg.NumShards,
+			MaxBatch:         cfg.MaxBatch,
+			QueueDepth:       cfg.QueueDepth,
 		}
 		if v == t.Root() {
 			scfg.Docs = docs

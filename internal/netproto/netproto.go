@@ -118,11 +118,26 @@ type Stats struct {
 	ShedsOut       int64                  `json:"sheds_out"`
 	Tunnels        int64                  `json:"tunnels"`
 	FilterStats    FilterStats            `json:"filter_stats"`
-	// QueueLen is the server's inbound event backlog at snapshot time and
-	// CacheBytes the bytes held in its document cache — the saturation
+	// QueueLen is the server's inbound event backlog at snapshot time —
+	// the sum over every shard loop's queue plus the control loop's — and
+	// CacheBytes the bytes held in its document cache: the saturation
 	// signals the benchmark harness scrapes per window.
 	QueueLen   int   `json:"queue_len"`
 	CacheBytes int64 `json:"cache_bytes"`
+	// Shards is the number of doc-sharded event loops; ShardQueueLens the
+	// per-shard backlog at snapshot time (len == Shards) and CtrlQueueLen
+	// the control loop's, so a hot-shard imbalance is visible rather than
+	// hidden inside the QueueLen sum.
+	Shards         int   `json:"shards,omitempty"`
+	ShardQueueLens []int `json:"shard_queue_lens,omitempty"`
+	CtrlQueueLen   int   `json:"ctrl_queue_len,omitempty"`
+	// ShardSnapEpochs is each shard's snapshot-mailbox epoch at scrape
+	// time. Ticks are skippable under backpressure, so an epoch that stops
+	// advancing between scrapes identifies a wedged or starved shard.
+	ShardSnapEpochs []uint64 `json:"shard_snap_epochs,omitempty"`
+	// FastServed counts requests answered on the lock-free read fast path
+	// (connection goroutine, publication-index hit) — a subset of Served.
+	FastServed int64 `json:"fast_served,omitempty"`
 	// PendingLen is the size of the response-routing table at snapshot
 	// time (in-flight forwarded requests not yet answered or expired).
 	PendingLen int `json:"pending_len,omitempty"`

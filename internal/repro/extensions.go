@@ -153,6 +153,13 @@ type LiveConfig struct {
 	CacheBudgetBytes int64
 	CacheShards      int
 	EvictPolicy      string
+
+	// NumShards is each server's doc-sharded event loop count (0 =
+	// GOMAXPROCS); MaxBatch and QueueDepth tune the loops' batch bound and
+	// queue capacity (0 = server defaults).
+	NumShards  int
+	MaxBatch   int
+	QueueDepth int
 }
 
 // DefaultLiveConfig returns a laptop-scale live run: a 7-node binary tree,
@@ -212,6 +219,9 @@ func RunLiveCluster(cfg LiveConfig) (*LiveResult, error) {
 		CacheBudgetBytes: cfg.CacheBudgetBytes,
 		CacheShards:      cfg.CacheShards,
 		EvictPolicy:      evictPolicy,
+		NumShards:        cfg.NumShards,
+		MaxBatch:         cfg.MaxBatch,
+		QueueDepth:       cfg.QueueDepth,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("live: %w", err)

@@ -9,8 +9,8 @@ import (
 	"webwave/internal/transport"
 )
 
-// nopConn discards sends; the benchmarks drive the main-loop handlers
-// directly, so nothing ever reads.
+// nopConn discards sends; the benchmarks drive the loop handlers directly,
+// so nothing ever reads.
 type nopConn struct{}
 
 func (nopConn) Send(*netproto.Envelope) error     { return nil }
@@ -30,7 +30,7 @@ func benchServer(b *testing.B, cfg Config) *Server {
 	return s // not started: handlers run inline on the bench goroutine
 }
 
-// BenchmarkServeCachedRequest measures the request fast path on a home
+// BenchmarkServeCachedRequest measures the queued request path on a home
 // server: classify, account the flow windows, serve from cache, emit the
 // response. The acceptance target is 0 allocs/op in steady state.
 func BenchmarkServeCachedRequest(b *testing.B) {
@@ -40,13 +40,36 @@ func BenchmarkServeCachedRequest(b *testing.B) {
 	})
 	env := &netproto.Envelope{Kind: netproto.TypeRequest, From: -1, Origin: 0, Doc: "hot"}
 	ev := event{env: env, conn: nopConn{}}
-	s.now = time.Now()
+	sh := s.shardFor("hot")
+	sh.now = time.Now()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		env.ReqID = uint64(i + 1)
-		s.now = s.now.Add(50 * time.Microsecond)
-		s.handle(ev)
+		sh.now = sh.now.Add(50 * time.Microsecond)
+		sh.handle(ev)
+	}
+}
+
+// BenchmarkFastPathServe measures the lock-free read fast path: one atomic
+// index load, admission check, flow accounting and the pooled response —
+// the work a connection goroutine does per cached hit without ever touching
+// an event loop. Target: 0 allocs/op.
+func BenchmarkFastPathServe(b *testing.B) {
+	s := benchServer(b, Config{
+		ID: 0, ParentID: -1,
+		Docs: map[core.DocID][]byte{"hot": []byte("cached body bytes")},
+	})
+	env := &netproto.Envelope{Kind: netproto.TypeRequest, From: -1, Origin: 0, Doc: "hot"}
+	conn := nopConn{}
+	sh := s.shardFor("hot")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.ReqID = uint64(i + 1)
+		if !s.tryFastServe(sh, env, conn) {
+			b.Fatal("fast path declined a pinned doc")
+		}
 	}
 }
 
@@ -60,30 +83,33 @@ func BenchmarkForwardAndRespond(b *testing.B) {
 	resp := &netproto.Envelope{Kind: netproto.TypeResponse, From: 0, Origin: 1, Doc: "d", ServedBy: 0, Hops: 1, Body: []byte("x")}
 	reqEv := event{env: req, conn: nopConn{}}
 	respEv := event{env: resp, conn: nopConn{}}
-	s.now = time.Now()
+	sh := s.shardFor("d")
+	sh.now = time.Now()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		id := uint64(i + 1)
 		req.ReqID, resp.ReqID = id, id
-		s.now = s.now.Add(50 * time.Microsecond)
-		s.handle(reqEv)
-		s.handle(respEv)
+		sh.now = sh.now.Add(50 * time.Microsecond)
+		sh.handle(reqEv)
+		sh.handle(respEv)
 	}
 }
 
 // BenchmarkGossipTick measures one gossip fan-out over eight children.
 func BenchmarkGossipTick(b *testing.B) {
 	s := benchServer(b, Config{ID: 0, ParentID: -1})
+	conns := make(map[int]transport.Conn, 8)
 	for i := 1; i <= 8; i++ {
-		s.childConns[i] = nopConn{}
+		conns[i] = nopConn{}
 	}
-	s.now = time.Now()
+	s.children.Store(&childView{conns: conns})
+	s.ctrl.now = time.Now()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.now = s.now.Add(time.Millisecond)
-		s.doGossip()
+		s.ctrl.now = s.ctrl.now.Add(time.Millisecond)
+		s.ctrl.doGossip()
 	}
 }
 

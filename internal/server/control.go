@@ -1,0 +1,570 @@
+package server
+
+import (
+	"sort"
+	"time"
+
+	"webwave/internal/core"
+	"webwave/internal/netproto"
+	"webwave/internal/router"
+	"webwave/internal/transport"
+)
+
+// control is the server's control loop: it owns the neighborhood — gossip
+// timers and load figures, child registration, diffusion and tunneling
+// decisions, stats scrapes — while the shard loops own per-document state.
+// It never reads shard state directly: decisions are computed from the
+// shards' epoch-stamped snapshot mailboxes and applied by posting commands
+// into the shard queues, so the two layers share nothing but atomics.
+type control struct {
+	s *Server
+
+	now         time.Time
+	childLoad   map[int]float64
+	parentLoad  float64
+	parentKnown bool
+	underFor    int // consecutive under-loaded periods with no delegation
+
+	nGossip, nTunnels int64
+
+	batch      []event
+	gossipSeen map[int]int // reused per-batch newest-gossip index by sender
+	gossipEnv  netproto.Envelope
+	laneSender              // lane index NumShards, after the shard lanes
+	snapsBuf   []*shardSnap // reused mailbox-read scratch (loop-owned)
+}
+
+func newControl(s *Server) *control {
+	return &control{
+		s:          s,
+		now:        time.Now(),
+		childLoad:  make(map[int]float64, 8),
+		batch:      make([]event, 0, s.cfg.MaxBatch),
+		gossipSeen: make(map[int]int, 8),
+		laneSender: laneSender{s: s, lane: len(s.shards)},
+	}
+}
+
+func (c *control) loop() {
+	s := c.s
+	defer s.wg.Done()
+	gossip := time.NewTicker(s.cfg.GossipPeriod)
+	defer gossip.Stop()
+	diffuse := time.NewTicker(s.cfg.DiffusionPeriod)
+	defer diffuse.Stop()
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case ev := <-s.events:
+			c.now = time.Now()
+			c.handleBatch(ev)
+		case <-gossip.C:
+			c.now = time.Now()
+			c.doGossip()
+		case <-diffuse.C:
+			c.now = time.Now()
+			c.doDiffusion()
+		}
+		c.flushDirty()
+	}
+}
+
+// handleBatch drains the control queue (bounded by MaxBatch) under one
+// clock reading. Queued gossip coalesces per neighbor — under backlog only
+// the newest load figure matters, so stale ones are dropped instead of
+// handled. Consumed envelopes return to netproto's pool.
+func (c *control) handleBatch(first event) {
+	c.batch = append(c.batch[:0], first)
+drain:
+	for len(c.batch) < c.s.cfg.MaxBatch {
+		select {
+		case ev := <-c.s.events:
+			c.batch = append(c.batch, ev)
+		default:
+			break drain
+		}
+	}
+	gossipSeen := c.gossipSeen
+	if len(c.batch) > 1 {
+		for i, ev := range c.batch {
+			if !ev.closed && ev.env != nil && ev.env.Kind == netproto.TypeGossip {
+				gossipSeen[ev.env.From] = i
+			}
+		}
+	}
+	for i, ev := range c.batch {
+		if ev.closed {
+			c.handleConnClosed(ev.conn)
+			continue
+		}
+		if ev.env.Kind == netproto.TypeGossip && len(gossipSeen) > 0 {
+			if last, ok := gossipSeen[ev.env.From]; ok && last != i {
+				netproto.PutEnvelope(ev.env) // stale: a newer figure is queued
+				continue
+			}
+		}
+		c.handle(ev)
+		netproto.PutEnvelope(ev.env)
+	}
+	clear(gossipSeen)
+	clear(c.batch) // drop envelope/conn refs before reuse
+}
+
+func (c *control) handle(ev event) {
+	env := ev.env
+	s := c.s
+	switch env.Kind {
+	case netproto.TypeGossip:
+		if env.From == s.cfg.ParentID && !s.isRoot {
+			c.parentLoad = env.Load
+			c.parentKnown = true
+			return
+		}
+		// First gossip from an unknown conn registers a child: the child
+		// view is copy-on-write, so shard loops and the fast path observe
+		// the registration without locking.
+		if s.childConn(env.From) == nil {
+			c.registerChild(env.From, ev.conn)
+		}
+		c.childLoad[env.From] = env.Load
+
+	case netproto.TypeStatsQuery:
+		s.stampAndSend(ev.conn, &netproto.Envelope{
+			Kind: netproto.TypeStatsReply, From: s.cfg.ID, To: env.From,
+			Stats: c.snapshot(),
+		})
+
+	case netproto.TypeShutdown:
+		go s.Stop()
+	}
+}
+
+// registerChild rebuilds the copy-on-write child view with one more child.
+func (c *control) registerChild(id int, conn transport.Conn) {
+	old := c.s.children.Load()
+	conns := make(map[int]transport.Conn, 8)
+	if old != nil {
+		for k, v := range old.conns {
+			conns[k] = v
+		}
+	}
+	conns[id] = conn
+	c.s.children.Store(&childView{conns: conns})
+}
+
+// handleConnClosed forgets a child registered on a dead connection so
+// gossip and delegation stop targeting it until it re-registers, and tells
+// the shards to drop its flow windows. (Shard loops sweep their own
+// per-connection routing state from the same close notification.)
+func (c *control) handleConnClosed(conn transport.Conn) {
+	old := c.s.children.Load()
+	if old == nil {
+		return
+	}
+	gone := -1
+	for id, cc := range old.conns {
+		if cc == conn {
+			gone = id
+			break
+		}
+	}
+	if gone < 0 {
+		return
+	}
+	conns := make(map[int]transport.Conn, len(old.conns))
+	for k, v := range old.conns {
+		if k != gone {
+			conns[k] = v
+		}
+	}
+	c.s.children.Store(&childView{conns: conns})
+	delete(c.childLoad, gone)
+	for _, sh := range c.s.shards {
+		// Non-blocking like every control command: a missed drop only
+		// leaves idle flow windows behind, and delegateDown already skips
+		// children with no registered connection.
+		c.s.tryPost(sh.events, event{cmd: cmdChildGone, child: gone})
+	}
+}
+
+// snaps returns the latest mailbox snapshot of every shard (entries may be
+// nil before the first tick). The backing slice is loop-owned scratch,
+// valid until the next call.
+func (c *control) snaps() []*shardSnap {
+	if cap(c.snapsBuf) < len(c.s.shards) {
+		c.snapsBuf = make([]*shardSnap, len(c.s.shards))
+	}
+	out := c.snapsBuf[:len(c.s.shards)]
+	for i, sh := range c.s.shards {
+		out[i] = sh.snap.Load()
+	}
+	return out
+}
+
+// sumLoad totals the shards' served rates from their snapshots.
+func sumLoad(snaps []*shardSnap) float64 {
+	load := 0.0
+	for _, sn := range snaps {
+		if sn != nil {
+			load += sn.load
+		}
+	}
+	return load
+}
+
+// doGossip sends this node's load figure to every tree neighbor. One
+// envelope is built per tick and reused across neighbors; transports copy
+// or serialize it per send.
+func (c *control) doGossip() {
+	s := c.s
+	load := sumLoad(c.snaps())
+	env := &c.gossipEnv
+	*env = netproto.Envelope{Kind: netproto.TypeGossip, From: s.cfg.ID, Load: load}
+	if s.parentConn != nil {
+		env.To = s.cfg.ParentID
+		c.sendOn(s.parentConn, env)
+		c.nGossip++
+	}
+	if cv := s.children.Load(); cv != nil {
+		for id, conn := range cv.conns {
+			env.To = id
+			c.sendOn(conn, env)
+			c.nGossip++
+		}
+	}
+}
+
+// alpha returns the diffusion parameter: configured, or 1/(degree+1).
+func (c *control) alpha() float64 {
+	if c.s.cfg.Alpha > 0 {
+		return c.s.cfg.Alpha
+	}
+	deg := 0
+	if cv := c.s.children.Load(); cv != nil {
+		deg = len(cv.conns)
+	}
+	if !c.s.isRoot {
+		deg++
+	}
+	return 1.0 / float64(deg+1)
+}
+
+// doDiffusion runs the Figure 5 body on current local knowledge: the
+// neighbors' gossiped loads (control-owned) and the shards' snapshot
+// mailboxes. Duty movements are posted to the owning shards as commands.
+func (c *control) doDiffusion() {
+	s := c.s
+	snaps := c.snaps()
+	load := sumLoad(snaps)
+	a := c.alpha()
+	gotDelegate := s.gotDelegate.Swap(false)
+
+	// (2.1) Delegate down to less-loaded children, capped by A_j.
+	for id, childLoad := range c.childLoad {
+		if load <= childLoad {
+			continue
+		}
+		want := a * (load - childLoad)
+		c.delegateDown(id, want, snaps)
+	}
+
+	// (2.2) Shed up toward a less-loaded parent.
+	if c.parentKnown && load > c.parentLoad {
+		want := a * (load - c.parentLoad)
+		c.shedUp(want, snaps)
+	}
+
+	// Claim passing flow when under-loaded (the "handle it if your rate is
+	// smaller than it should be" rule), and evaluate the tunneling trigger.
+	if c.parentKnown && load < c.parentLoad {
+		want := a * (c.parentLoad - load)
+		claimed := c.claimPassing(want, snaps)
+		if gotDelegate || claimed > 0 {
+			c.underFor = 0
+		} else {
+			c.underFor++
+			if s.cfg.Tunneling && c.underFor >= s.cfg.BarrierPatience {
+				c.tunnel(load, snaps)
+				c.underFor = 0
+			}
+		}
+	} else {
+		c.underFor = 0
+	}
+}
+
+// delegateDown picks the child's largest forwarded streams we actually
+// serve and posts delegation commands to the owning shards.
+func (c *control) delegateDown(child int, want float64, snaps []*shardSnap) {
+	if c.s.childConn(child) == nil {
+		return
+	}
+	type cand struct {
+		doc core.DocID
+		cap float64
+	}
+	var cands []cand
+	for _, sn := range snaps {
+		if sn == nil {
+			continue
+		}
+		flows := sn.flows[child]
+		for doc, flow := range flows {
+			if !c.s.cache.Contains(doc) {
+				continue
+			}
+			srv := sn.served[doc]
+			cap := flow
+			if srv < cap {
+				cap = srv // can only hand off duty we are actually carrying
+			}
+			if cap > 0 {
+				cands = append(cands, cand{doc: doc, cap: cap})
+			}
+		}
+	}
+	// Largest stream first, deterministic tie-break by doc id.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].cap != cands[j].cap {
+			return cands[i].cap > cands[j].cap
+		}
+		return cands[i].doc < cands[j].doc
+	})
+	moved := 0.0
+	for _, cd := range cands {
+		if moved >= want {
+			break
+		}
+		amt := want - moved
+		if amt > cd.cap {
+			amt = cd.cap
+		}
+		if c.s.tryPost(c.s.shardFor(cd.doc).events, event{cmd: cmdDelegate, child: child, doc: cd.doc, rate: amt}) {
+			moved += amt
+		}
+	}
+}
+
+// shedUp posts shed commands for served documents until `want` duty moved.
+func (c *control) shedUp(want float64, snaps []*shardSnap) {
+	if c.s.parentConn == nil {
+		return
+	}
+	shed := 0.0
+	for _, sn := range snaps {
+		if sn == nil {
+			continue
+		}
+		for doc, srv := range sn.served {
+			if shed >= want {
+				return
+			}
+			if srv <= 0 {
+				continue
+			}
+			amt := want - shed
+			if amt > srv {
+				amt = srv
+			}
+			if c.s.tryPost(c.s.shardFor(doc).events, event{cmd: cmdShed, doc: doc, rate: amt}) {
+				shed += amt
+			}
+		}
+	}
+}
+
+// claimPassing raises targets on cached documents whose requests still flow
+// through this node, up to `want`; the upstream copies lose that flow
+// automatically. Returns the amount claimed.
+func (c *control) claimPassing(want float64, snaps []*shardSnap) float64 {
+	claimed := 0.0
+	for _, sn := range snaps {
+		if sn == nil {
+			continue
+		}
+		// Union of docs with observed flow, totaled across senders.
+		flowOf := make(map[core.DocID]float64, 16)
+		for _, flows := range sn.flows {
+			for doc, r := range flows {
+				flowOf[doc] += r
+			}
+		}
+		for doc, flow := range flowOf {
+			if claimed >= want {
+				return claimed
+			}
+			if !c.s.cache.Contains(doc) {
+				continue
+			}
+			spare := flow - sn.served[doc]
+			if spare <= 0 {
+				continue
+			}
+			amt := want - claimed
+			if amt > spare {
+				amt = spare
+			}
+			if c.s.tryPost(c.s.shardFor(doc).events, event{cmd: cmdClaim, doc: doc, rate: amt}) {
+				claimed += amt
+			}
+		}
+	}
+	return claimed
+}
+
+// tunnel fetches the hottest forwarded-but-uncached document straight from
+// the home server (Section 5.2).
+func (c *control) tunnel(load float64, snaps []*shardSnap) {
+	s := c.s
+	if s.cfg.HomeAddr == "" || s.isRoot {
+		return
+	}
+	var best core.DocID
+	bestFlow := 0.0
+	for _, sn := range snaps {
+		if sn == nil {
+			continue
+		}
+		for _, flows := range sn.flows {
+			for doc, r := range flows {
+				if r > bestFlow && !s.cache.Contains(doc) {
+					best, bestFlow = doc, r
+				}
+			}
+		}
+	}
+	if bestFlow <= 0 {
+		return
+	}
+	conn, err := transport.DialOn(s.cfg.Network, s.cfg.Addr, s.cfg.HomeAddr)
+	if err != nil {
+		return
+	}
+	c.nTunnels++
+	c.sendOn(conn, &netproto.Envelope{
+		Kind: netproto.TypeTunnelFetch, From: s.cfg.ID, Doc: best,
+	})
+	s.readLoop(conn)
+	// Pre-claim a share of the stream we already forward.
+	deficit := (c.parentLoad - load) / 2
+	claim := bestFlow
+	if claim > deficit {
+		claim = deficit
+	}
+	if claim > 0 {
+		s.tryPost(s.shardFor(best).events, event{cmd: cmdPreclaim, doc: best, rate: claim})
+	}
+}
+
+// snapshot assembles the stats scrape. Counters come from synchronous
+// shard snapshots (cmdSnap forces a fresh drain of the fast-path atomics,
+// so a scrape right after traffic observes it all); queue depths and
+// router/cache figures are read live.
+func (c *control) snapshot() *netproto.Stats {
+	s := c.s
+	snaps := c.freshSnaps()
+	st := &netproto.Stats{
+		Node:       s.cfg.ID,
+		Targets:    make(map[core.DocID]float64, 16),
+		GossipSent: c.nGossip,
+		Tunnels:    c.nTunnels,
+		// Maintained incrementally by the store — no per-scrape walk over
+		// every cached body.
+		CacheBytes:       s.cache.Bytes(),
+		CacheBudgetBytes: s.cfg.CacheBudgetBytes,
+		EvictedDocs:      s.nEvicted.Load(),
+		EvictedBytes:     s.nEvictedBytes.Load(),
+		MaxCacheBytes:    s.cache.MaxBytes(),
+		Shards:           len(s.shards),
+	}
+	st.ShardSnapEpochs = make([]uint64, len(snaps))
+	var rs router.Stats
+	for i, sn := range snaps {
+		if sn == nil {
+			continue
+		}
+		st.ShardSnapEpochs[i] = sn.epoch
+		st.Load += sn.load
+		st.Served += sn.counters.served
+		st.Forwarded += sn.counters.forwarded
+		st.Coalesced += sn.counters.coalesced
+		st.DelegationsIn += sn.counters.delegIn
+		st.DelegationsOut += sn.counters.delegOut
+		st.ShedsIn += sn.counters.shedIn
+		st.ShedsOut += sn.counters.shedOut
+		st.EvictHintsIn += sn.counters.evictHintsIn
+		// Snapshot-carried (not a live atomic), so a scrape never reports
+		// more fast serves than the drained Served it sits inside.
+		st.FastServed += sn.counters.fastServed
+		st.PendingLen += sn.pendingLen
+		for d, t := range sn.targets {
+			st.Targets[d] = t
+		}
+		// Router state comes from the same snapshot as the duty figures —
+		// never a live read that could be newer than the targets beside it.
+		rs.Inspected += sn.filter.Inspected
+		rs.Extracted += sn.filter.Extracted
+		rs.Passed += sn.filter.Passed
+		st.CachedDocs = append(st.CachedDocs, sn.installed...)
+	}
+	sort.Slice(st.CachedDocs, func(i, j int) bool { return st.CachedDocs[i] < st.CachedDocs[j] })
+	// The publication index is the filter table's lock-free fast lane:
+	// count its serves as inspected-and-extracted packets so filter
+	// accounting still covers every request.
+	st.FilterStats = netproto.FilterStats{
+		Inspected: rs.Inspected + st.FastServed,
+		Extracted: rs.Extracted + st.FastServed,
+		Passed:    rs.Passed,
+	}
+	st.ShardQueueLens, st.CtrlQueueLen, st.QueueLen = s.queueLens()
+	return st
+}
+
+// freshSnaps asks every shard for a synchronous snapshot (draining its
+// fast-path counters first) and falls back to the mailbox where a shard is
+// too backlogged to answer in time. The cap trades a stalled control loop
+// (gossip and diffusion pause while a scrape waits on a wedged shard)
+// against scrape freshness; because every figure in a snapshot — targets,
+// filters, counters — is captured together, a timeout degrades a scrape to
+// uniformly stale, never to torn.
+func (c *control) freshSnaps() []*shardSnap {
+	s := c.s
+	reply := make(chan *shardSnap, len(s.shards))
+	asked := 0
+	for _, sh := range s.shards {
+		select {
+		case sh.events <- event{cmd: cmdSnap, reply: reply}:
+			asked++
+		case <-s.stopped:
+		default:
+			// Shard queue full: don't block the scrape behind a saturated
+			// shard; its mailbox is at most a tick stale.
+		}
+	}
+	// Bound the stall relative to the protocol's own cadence: long enough
+	// that an idle shard always answers (the harness asserts scrape
+	// freshness), short enough that a wedged shard costs a few gossip
+	// periods of control-loop time, not a fixed second.
+	wait := 8 * s.cfg.GossipPeriod
+	if wait < 200*time.Millisecond {
+		wait = 200 * time.Millisecond
+	}
+	if wait > time.Second {
+		wait = time.Second
+	}
+	timeout := time.NewTimer(wait)
+	defer timeout.Stop()
+	got := 0
+	for got < asked {
+		select {
+		case <-reply:
+			got++
+		case <-timeout.C:
+			asked = got // stop waiting; stale mailboxes cover the rest
+		case <-s.stopped:
+			asked = got
+		}
+	}
+	return c.snaps()
+}

@@ -266,6 +266,13 @@ func TestSingleFlightRacesEviction(t *testing.T) {
 	}); err != nil {
 		t.Fatalf("request 5: %v", err)
 	}
+	// Wait until it actually parked (2, 3 and 5 coalesced) before releasing
+	// the response — otherwise the response can overtake request 5 across
+	// the two connections and promote it to a fresh flight leader whose
+	// upstream answer this test never sends.
+	waitFor("request 5 coalesced", func() bool {
+		return scrape(t, netw, "child").Coalesced >= 3
+	})
 
 	// Release the upstream response for the leader; it must fan out to the
 	// leader and every parked waiter.

@@ -1,0 +1,395 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"webwave/internal/cachestore"
+	"webwave/internal/core"
+	"webwave/internal/netproto"
+)
+
+// TestFastPathServesPinnedDocs hammers a home server from several
+// connections at once: pinned documents are published to the fast path, so
+// most responses must be served without an event-loop hop, every body must
+// be intact, and the scraped stats must account for every request (fast
+// serves included) with coherent filter totals.
+func TestFastPathServesPinnedDocs(t *testing.T) {
+	netw := newTestNetwork()
+	body := []byte("fast-path body")
+	startServer(t, Config{
+		ID: 0, Addr: "root", ParentID: -1,
+		Docs:      map[core.DocID][]byte{"hot": body, "warm": body},
+		Network:   netw,
+		NumShards: 4,
+	})
+
+	const clients, perClient = 4, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			conn, err := netw.Dial("root")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			doc := core.DocID("hot")
+			if cl%2 == 1 {
+				doc = "warm"
+			}
+			for i := 0; i < perClient; i++ {
+				reqID := uint64(cl)<<32 | uint64(i+1)
+				if err := conn.Send(&netproto.Envelope{
+					Kind: netproto.TypeRequest, From: -1, Origin: 0, ReqID: reqID, Doc: doc,
+				}); err != nil {
+					errs <- err
+					return
+				}
+				for {
+					env, err := conn.Recv()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if env.Kind != netproto.TypeResponse || env.ReqID != reqID {
+						netproto.PutEnvelope(env)
+						continue
+					}
+					if env.NotFound || string(env.Body) != string(body) {
+						errs <- fmt.Errorf("client %d: bad response %+v", cl, env)
+						netproto.PutEnvelope(env)
+						return
+					}
+					netproto.PutEnvelope(env)
+					break
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := scrape(t, netw, "root")
+	total := int64(clients * perClient)
+	if st.Served != total {
+		t.Fatalf("served = %d, want %d", st.Served, total)
+	}
+	if st.FastServed == 0 {
+		t.Fatal("no request took the fast path on pinned docs")
+	}
+	if st.FastServed > st.Served {
+		t.Fatalf("fast served %d exceeds served %d", st.FastServed, st.Served)
+	}
+	// Filter accounting covers every request whichever path it took.
+	if st.FilterStats.Inspected < total {
+		t.Fatalf("filter inspected %d < %d requests", st.FilterStats.Inspected, total)
+	}
+}
+
+// TestFastPathRaceEvictRepublish races concurrent reads against eviction
+// and republication of the same documents: a tight byte budget and a
+// stream of delegations keep copies churning in and out of the store (and
+// the publication index) while readers hammer them. Run under -race this
+// pins the tombstone/copy-on-write discipline; functionally every request
+// must still be answered — served from a live copy or answered by the home
+// server — and the budget must hold.
+func TestFastPathRaceEvictRepublish(t *testing.T) {
+	netw := newTestNetwork()
+	bodies := make(map[core.DocID][]byte)
+	docs := make([]core.DocID, 6)
+	for i := range docs {
+		docs[i] = core.DocID(fmt.Sprintf("d%d", i))
+		bodies[docs[i]] = []byte(fmt.Sprintf("body-%d-0123456789", i))
+	}
+	startServer(t, Config{
+		ID: 0, Addr: "root", ParentID: -1,
+		Docs:    map[core.DocID][]byte{"home": []byte("pinned")},
+		Network: netw,
+		// Room for ~2 of the 6 delegated docs: every admit evicts.
+		CacheBudgetBytes: 64, CacheShards: 1, EvictPolicy: cachestore.LRU,
+		NumShards:    4,
+		GossipPeriod: 5 * time.Millisecond, // fast ticks: credits keep refreshing
+	})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Delegator: republish the six documents round-robin with serve duty,
+	// so each admit displaces an earlier copy (evict → tombstone →
+	// republish on the next round).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := netw.Dial("root")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer conn.Close()
+		go func() { // drain acks
+			for {
+				env, err := conn.Recv()
+				if err != nil {
+					return
+				}
+				netproto.PutEnvelope(env)
+			}
+		}()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			doc := docs[i%len(docs)]
+			if err := conn.Send(&netproto.Envelope{
+				Kind: netproto.TypeDelegate, From: 99, To: 0,
+				Doc: doc, Rate: 100, Body: bodies[doc],
+			}); err != nil {
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// Readers: hammer the churning documents. Origin requests at the home
+	// server are always answerable (live copy or NotFound after eviction);
+	// what must never happen is a stale or torn body.
+	const readers = 4
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			conn, err := netw.Dial("root")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			var reqID uint64
+			deadline := time.Now().Add(500 * time.Millisecond)
+			for time.Now().Before(deadline) {
+				reqID++
+				doc := docs[int(reqID)%len(docs)]
+				id := uint64(r+1)<<32 | reqID
+				if err := conn.Send(&netproto.Envelope{
+					Kind: netproto.TypeRequest, From: -1, Origin: 0, ReqID: id, Doc: doc,
+				}); err != nil {
+					return
+				}
+				for {
+					env, err := conn.Recv()
+					if err != nil {
+						return
+					}
+					if env.Kind != netproto.TypeResponse || env.ReqID != id {
+						netproto.PutEnvelope(env)
+						continue
+					}
+					// A just-evicted doc may answer NotFound (the home does
+					// not publish it); a hit must carry the exact body.
+					if !env.NotFound && string(env.Body) != string(bodies[doc]) {
+						t.Errorf("reader %d: doc %s body %q", r, doc, env.Body)
+					}
+					netproto.PutEnvelope(env)
+					break
+				}
+			}
+		}(r)
+	}
+	time.Sleep(600 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	st := scrape(t, netw, "root")
+	if st.EvictedDocs == 0 {
+		t.Fatal("no eviction churn: the race this test exists for never happened")
+	}
+	pinned := int64(len("pinned"))
+	if st.MaxCacheBytes > 64+pinned {
+		t.Fatalf("budget violated under churn: high-water %d > %d", st.MaxCacheBytes, 64+pinned)
+	}
+}
+
+// TestFastPathFallbackOnAdmission pins the admission fallback: a delegated
+// (rate-limited) copy serves on the fast path only while its credits last;
+// past that, requests must fall back to the shard queue's exact filter —
+// and once the filter saturates, travel to the home server instead of
+// being over-served locally.
+func TestFastPathFallbackOnAdmission(t *testing.T) {
+	netw := newTestNetwork()
+	body := []byte("gated body")
+	startServer(t, Config{
+		ID: 0, Addr: "root", ParentID: -1,
+		Docs:    map[core.DocID][]byte{"g": body},
+		Network: netw,
+	})
+	startServer(t, Config{
+		ID: 1, Addr: "child", ParentID: 0, ParentAddr: "root", HomeAddr: "root",
+		Network: netw,
+		// Long window: the small delegated target saturates quickly and
+		// stays saturated for the rest of the test.
+		Window:       5 * time.Second,
+		GossipPeriod: 20 * time.Millisecond,
+	})
+
+	// Hand the child a copy with a tiny serve target.
+	parentish := dial(t, netw, "child")
+	if err := parentish.Send(&netproto.Envelope{
+		Kind: netproto.TypeDelegate, From: 0, To: 1, Doc: "g", Rate: 2, Body: body,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitCached(t, netw, "child", map[core.DocID]bool{"g": true})
+
+	// Fire a burst far beyond the target. Everything must be answered; the
+	// surplus must reach the home server (ServedBy 0), not be swallowed by
+	// an unbounded fast path at the child.
+	conn := dial(t, netw, "child")
+	const n = 120
+	served := map[int]int{}
+	for i := 1; i <= n; i++ {
+		if err := conn.Send(&netproto.Envelope{
+			Kind: netproto.TypeRequest, From: -1, Origin: 1, ReqID: uint64(i), Doc: "g",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for got := 0; got < n; got++ {
+		resp := recvKind(t, conn, netproto.TypeResponse, 3*time.Second)
+		served[resp.ServedBy]++
+	}
+	if served[0] == 0 {
+		t.Fatalf("admission never fell back to the home server: %v", served)
+	}
+	st := scrape(t, netw, "child")
+	if st.FastServed >= n {
+		t.Fatalf("fast path served %d of %d despite a target of 2 req/s", st.FastServed, n)
+	}
+}
+
+// TestStatsAggregationAcrossShards drives documents that land on different
+// shards and checks the scraped aggregate is coherent: served totals match
+// the injected requests, the per-shard queue depths are exposed and sum
+// (with the control queue) to QueueLen, and per-document state (targets,
+// cached docs) merges across shards without loss.
+func TestStatsAggregationAcrossShards(t *testing.T) {
+	netw := newTestNetwork()
+	docs := make(map[core.DocID][]byte)
+	ids := make([]core.DocID, 16)
+	for i := range ids {
+		ids[i] = core.DocID(fmt.Sprintf("doc-%02d", i))
+		docs[ids[i]] = []byte("x")
+	}
+	const shards = 4
+	startServer(t, Config{
+		ID: 0, Addr: "root", ParentID: -1,
+		Docs: docs, Network: netw, NumShards: shards,
+	})
+
+	// Confirm the hash actually spreads these docs over >1 shard (if not,
+	// the test would silently lose its point).
+	seen := map[uint32]bool{}
+	for _, id := range ids {
+		seen[shardHash(id)%shards] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("test docs all hash to one shard of %d", shards)
+	}
+
+	conn := dial(t, netw, "root")
+	const perDoc = 5
+	var reqID uint64
+	for _, id := range ids {
+		for i := 0; i < perDoc; i++ {
+			reqID++
+			if err := conn.Send(&netproto.Envelope{
+				Kind: netproto.TypeRequest, From: -1, Origin: 0, ReqID: reqID, Doc: id,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < len(ids)*perDoc; i++ {
+		recvKind(t, conn, netproto.TypeResponse, 2*time.Second)
+	}
+
+	st := scrape(t, netw, "root")
+	if st.Served != int64(len(ids)*perDoc) {
+		t.Fatalf("served = %d, want %d", st.Served, len(ids)*perDoc)
+	}
+	if st.Shards != shards {
+		t.Fatalf("stats shards = %d, want %d", st.Shards, shards)
+	}
+	if len(st.ShardQueueLens) != shards {
+		t.Fatalf("shard queue lens = %v, want %d entries", st.ShardQueueLens, shards)
+	}
+	sum := st.CtrlQueueLen
+	for _, q := range st.ShardQueueLens {
+		sum += q
+	}
+	if st.QueueLen != sum {
+		t.Fatalf("QueueLen %d != shard sum %d", st.QueueLen, sum)
+	}
+	if len(st.CachedDocs) != len(ids) {
+		t.Fatalf("cached docs merged to %d entries, want %d", len(st.CachedDocs), len(ids))
+	}
+	for i := 1; i < len(st.CachedDocs); i++ {
+		if st.CachedDocs[i-1] >= st.CachedDocs[i] {
+			t.Fatalf("cached docs not sorted/deduped: %v", st.CachedDocs)
+		}
+	}
+}
+
+// TestShardQueueBackpressure pins the configurable queue depth: a server
+// with a tiny queue and batch still answers everything (the posting
+// goroutines block rather than drop).
+func TestShardQueueBackpressure(t *testing.T) {
+	netw := newTestNetwork()
+	startServer(t, Config{
+		ID: 0, Addr: "root", ParentID: -1,
+		Docs:    map[core.DocID][]byte{"d": []byte("tiny-queue")},
+		Network: netw,
+		// Force the doc off the fast path so every request crosses the
+		// 2-deep shard queue: unpublish happens only via eviction, so use
+		// an un-owned doc via a child instead... simpler: keep the fast
+		// path but drive an uncached doc, which always takes the queue.
+		NumShards: 2, QueueDepth: 2, MaxBatch: 2,
+	})
+	conn := dial(t, netw, "root")
+	const n = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= n; i++ {
+			// "missing" is not published (root answers NotFound via the
+			// queued path), "d" rides the fast path: both flow under a
+			// 2-deep queue.
+			doc := core.DocID("missing")
+			if i%2 == 0 {
+				doc = "d"
+			}
+			if err := conn.Send(&netproto.Envelope{
+				Kind: netproto.TypeRequest, From: -1, Origin: 0, ReqID: uint64(i), Doc: doc,
+			}); err != nil {
+				return
+			}
+		}
+	}()
+	got := 0
+	for got < n {
+		recvKind(t, conn, netproto.TypeResponse, 3*time.Second)
+		got++
+	}
+	wg.Wait()
+}

@@ -1,5 +1,5 @@
-// Package server implements a live WebWave cache server: a goroutine-driven
-// node that serves document requests, measures its load and the per-child
+// Package server implements a live WebWave cache server: a multi-core node
+// that serves document requests, measures its load and the per-child
 // forwarded rates over sliding windows, gossips load to its tree neighbors,
 // delegates document service duty down the tree, sheds it up, claims
 // passing request flow when under-loaded, and tunnels across potential
@@ -12,24 +12,30 @@
 // by the home server. Protocol state (targets, gossip views) is soft; lost
 // or stale messages degrade balance, never correctness.
 //
-// The main loop is built for throughput: inbound events drain in batches
-// under a single loop-owned clock reading, stale gossip coalesces to the
-// newest figure per neighbor, consumed envelopes recycle through netproto's
-// pool, and concurrent requests for the same uncached document collapse
-// into one upstream fetch (single-flight) whose response answers every
-// waiter.
+// The runtime is built for multi-core throughput. Per-document protocol
+// state — admission filters, serve targets, rate windows, response routing,
+// single-flight tables — is partitioned by hash(doc) across NumShards
+// independent shard loops with no cross-shard locking; a separate control
+// loop owns gossip, diffusion and tunneling, exchanging aggregate heat and
+// duty with the shards through epoch-stamped snapshot mailboxes
+// (atomic.Pointer) instead of shared maps. On top of that sits a lock-free
+// read fast path: each connection's read goroutine consults a copy-on-write
+// publication index and serves cached hits in place — zero event-loop hops —
+// falling back to the owning shard's queue only on a miss, a rate-limited
+// admission decision, or an eviction race.
 package server
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"webwave/internal/cachestore"
 	"webwave/internal/core"
 	"webwave/internal/netproto"
-	"webwave/internal/router"
 	"webwave/internal/transport"
 )
 
@@ -62,6 +68,18 @@ type Config struct {
 	// and vanished clients do not leak memory. Default 30s.
 	PendingTTL time.Duration
 
+	// NumShards is the number of independent doc-sharded event loops
+	// (default GOMAXPROCS). Each shard owns the per-document protocol state
+	// for its hash slice; 1 restores the single-loop behavior.
+	NumShards int
+	// MaxBatch bounds how many queued events one loop iteration drains
+	// under a single clock reading (default 256).
+	MaxBatch int
+	// QueueDepth is the capacity of each shard loop's (and the control
+	// loop's) inbound event queue (default 1024). Full queues apply
+	// backpressure to the posting connection goroutine.
+	QueueDepth int
+
 	// CacheBudgetBytes bounds the bytes of cached document bodies (0 =
 	// unlimited, the paper's idealized assumption). Documents homed at
 	// this server are pinned and exempt: origin copies must survive any
@@ -70,7 +88,10 @@ type Config struct {
 	// toward the home server) and hints the eviction to its parent so the
 	// abandoned serve duty is absorbed by a surviving copy upstream.
 	CacheBudgetBytes int64
-	// CacheShards is the cache store's lock-stripe count (default 8).
+	// CacheShards is the cache store's lock-stripe count (default
+	// NumShards). The store's striping is aligned with the server's shard
+	// hash, so when the counts match a Put's evictions always fall in the
+	// putting shard's own slice (victim locality).
 	CacheShards int
 	// EvictPolicy selects the replacement policy: cachestore.LRU (default),
 	// cachestore.Heat (evict the lowest request-rate-per-byte copy, rates
@@ -101,19 +122,64 @@ func (c Config) withDefaults() Config {
 	if c.BarrierPatience <= 0 {
 		c.BarrierPatience = 3
 	}
+	if c.NumShards <= 0 {
+		c.NumShards = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = c.NumShards
+	}
 	return c
 }
 
-// event is an inbound envelope tagged with its connection, or (when closed
-// is set) a notification that the connection's read side has ended.
+// event is an inbound envelope tagged with its connection, a notification
+// that the connection's read side ended (closed), or an internal command
+// from the control loop to a shard (cmd != cmdNone).
 type event struct {
 	env    *netproto.Envelope
 	conn   transport.Conn
 	closed bool
+
+	cmd   cmdKind
+	doc   core.DocID
+	child int
+	rate  float64
+	reply chan *shardSnap
 }
 
-// maxBatch bounds how many queued events one clock reading covers.
-const maxBatch = 256
+// cmdKind discriminates control→shard commands.
+type cmdKind uint8
+
+const (
+	cmdNone cmdKind = iota
+	// cmdSnap asks the shard to run its maintenance tick (drain fast-path
+	// counters, refresh credits, republish the mailbox) and reply with the
+	// fresh snapshot — the stats scrape path, so a scrape observes fresh
+	// counters. Periodic ticks are shard-owned (each loop has its own
+	// timer); only the synchronous scrape needs a command.
+	cmdSnap
+	// cmdDelegate applies one diffusion decision: move `rate` duty for
+	// `doc` down to `child`, shipping the body.
+	cmdDelegate
+	// cmdShed moves `rate` duty for `doc` up to the parent.
+	cmdShed
+	// cmdClaim raises the local serve target for `doc` by `rate` (claiming
+	// passing flow). Applied only while the copy is still cached — the
+	// decision came from a snapshot and the copy may have been evicted
+	// since.
+	cmdClaim
+	// cmdPreclaim is cmdClaim without the cached check: the tunnel path
+	// claims a share of a stream for a copy that is still in flight from
+	// the home server.
+	cmdPreclaim
+	// cmdChildGone tells shards a child link died so its flow windows drop.
+	cmdChildGone
+)
 
 // pendingKey identifies an in-flight request for response routing.
 type pendingKey struct {
@@ -143,49 +209,33 @@ type flight struct {
 	waiters []waiter
 }
 
+// childView is the copy-on-write registry of attached children. The
+// control loop rebuilds it on (un)registration; shard loops and the fast
+// path read it without locking.
+type childView struct {
+	conns map[int]transport.Conn
+}
+
 // Server is a live WebWave node. Create with New, start with Start, stop
 // with Stop.
 type Server struct {
 	cfg    Config
 	isRoot bool
-	rt     *router.Router
 
-	// Owned by the main loop (no locking needed). The cache store itself
-	// is concurrency-safe, but this server only touches it from the loop,
-	// so its heat callback may read loop-owned rate windows.
-	now         time.Time // loop-owned clock, read once per event batch
-	cache       *cachestore.Store
-	targets     map[core.DocID]float64 // intended serve rate per doc
-	served      map[core.DocID]*rateWindow
-	totalServed *rateWindow
-	childConns  map[int]transport.Conn             // child id -> conn
-	childFlow   map[int]map[core.DocID]*rateWindow // A_j^d estimates
-	childLoad   map[int]float64                    // gossiped child loads
-	parentLoad  float64
-	parentKnown bool
-	parentConn  transport.Conn
-	pending     map[pendingKey]pendingEntry
-	inflight    map[core.DocID]*flight
-	underFor    int // consecutive under-loaded periods with no delegation
-	gotDelegate bool
-	flightRetry time.Duration // age past which a flight forwards a new leader
-	batch       []event       // reused event-drain scratch
-	gossipSeen  map[int]int   // reused per-batch newest-gossip index by sender
-	gossipEnv   netproto.Envelope
-	dirty       []transport.BatchConn // conns with buffered frames this batch
+	// cache is shared by all shards (internally striped, aligned with the
+	// server's shard hash). Bodies are immutable by convention.
+	cache *cachestore.Store
 
-	// Counters (owned by main loop; exported via stats scrape).
-	nServed, nForwarded          int64
-	nGossip, nDelegIn, nDelegOut int64
-	nShedIn, nShedOut, nTunnels  int64
-	nCoalesced                   int64
-	nEvicted, nEvictedBytes      int64
-	nEvictHintsIn                int64
-	seq                          uint64
+	shards []*shard
+	ctrl   *control
 
-	localFlow map[core.DocID]*rateWindow // locally injected request rates
+	parentConn              transport.Conn            // immutable after Start
+	children                atomic.Pointer[childView] // COW, written by the control loop
+	seq                     atomic.Uint64             // wire sequence, stamped per send
+	gotDelegate             atomic.Bool               // set by shards, drained by diffusion
+	nEvicted, nEvictedBytes atomic.Int64              // bumped by the evicting shard at Put time
 
-	events   chan event
+	events   chan event // control loop's queue
 	stopOnce sync.Once
 	stopped  chan struct{}
 	wg       sync.WaitGroup
@@ -213,58 +263,72 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server %d: %w", cfg.ID, err)
 	}
 	s := &Server{
-		cfg:        cfg,
-		isRoot:     isRoot,
-		rt:         router.New(),
-		now:        time.Now(),
-		targets:    make(map[core.DocID]float64, 16),
-		served:     make(map[core.DocID]*rateWindow, 16),
-		childConns: make(map[int]transport.Conn, 8),
-		childFlow:  make(map[int]map[core.DocID]*rateWindow, 8),
-		childLoad:  make(map[int]float64, 8),
-		pending:    make(map[pendingKey]pendingEntry, 256),
-		inflight:   make(map[core.DocID]*flight, 16),
-		localFlow:  make(map[core.DocID]*rateWindow, 16),
-		batch:      make([]event, 0, maxBatch),
-		gossipSeen: make(map[int]int, 8),
-		events:     make(chan event, 1024),
-		stopped:    make(chan struct{}),
+		cfg:     cfg,
+		isRoot:  isRoot,
+		events:  make(chan event, cfg.QueueDepth),
+		stopped: make(chan struct{}),
 	}
-	s.flightRetry = 2 * cfg.GossipPeriod
-	if s.flightRetry < 20*time.Millisecond {
-		s.flightRetry = 20 * time.Millisecond
+	s.shards = make([]*shard, cfg.NumShards)
+	for i := range s.shards {
+		s.shards[i] = newShard(s, i)
 	}
-	s.totalServed = newRateWindow(cfg.Window, 8)
+	s.ctrl = newControl(s)
 	s.cache = cachestore.New(cachestore.Config{
 		BudgetBytes: cfg.CacheBudgetBytes,
 		Shards:      cfg.CacheShards,
 		Policy:      policy,
+		// Align the store's striping with the server's shard hash: when
+		// CacheShards == NumShards a Put's evictions are always documents
+		// of the putting shard.
+		ShardOf: shardHash,
 		// Heat is the serve duty the copy carries (measured served rate
-		// plus intended target), read from loop-owned windows — safe
-		// because the store is only touched from the main loop.
-		HeatOf: func(doc core.DocID) float64 { return s.docHeat(doc) },
+		// plus intended target), read from the owning shard's atomic
+		// snapshot mailbox — safe from whichever shard loop is Putting.
+		HeatOf: s.docHeat,
 	})
 	if isRoot {
 		for id, body := range cfg.Docs {
 			s.cache.Pin(id, body) // origin copies are immune to eviction
-			s.rt.Install(id, nil) // the home extracts everything it owns
+			sh := s.shardFor(id)
+			sh.rt.Install(id, nil) // the home extracts everything it owns
+			sh.publish(id, body, true)
 		}
 	}
 	return s, nil
 }
 
-// docHeat ranks a held copy for eviction by the serve duty it carries:
-// the measured served rate plus the intended target (so a freshly
-// delegated copy with no serve history yet is not evicted on arrival).
-// Pass-through flow is deliberately excluded — requests that stream
-// through but are served elsewhere must not make a bystander copy look
-// hot.
-func (s *Server) docHeat(doc core.DocID) float64 {
-	h := s.targets[doc]
-	if w := s.served[doc]; w != nil {
-		h += w.Rate(s.now)
+// shardHash is the document→shard hash (FNV-1a), shared with the cache
+// store's striping so victim locality holds when the stripe counts match.
+func shardHash(doc core.DocID) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(doc); i++ {
+		h = (h ^ uint32(doc[i])) * 16777619
 	}
 	return h
+}
+
+func (s *Server) shardIndex(doc core.DocID) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	return int(shardHash(doc) % uint32(len(s.shards)))
+}
+
+func (s *Server) shardFor(doc core.DocID) *shard { return s.shards[s.shardIndex(doc)] }
+
+// docHeat ranks a held copy for eviction by the serve duty it carries: the
+// measured served rate plus the intended target (so a freshly delegated
+// copy with no serve history yet is not evicted on arrival). Pass-through
+// flow is deliberately excluded — requests that stream through but are
+// served elsewhere must not make a bystander copy look hot. The figures
+// come from the owning shard's snapshot mailbox (at most one tick stale),
+// which makes the readout safe from any shard loop.
+func (s *Server) docHeat(doc core.DocID) float64 {
+	snap := s.shardFor(doc).snap.Load()
+	if snap == nil {
+		return 0
+	}
+	return snap.targets[doc] + snap.served[doc]
 }
 
 // Start begins listening and, for non-root servers, connects to the parent.
@@ -284,8 +348,7 @@ func (s *Server) Start() error {
 		}
 		s.parentConn = conn
 		// Identify ourselves to the parent immediately.
-		s.sendOn(conn, &netproto.Envelope{Kind: netproto.TypeGossip, From: s.cfg.ID, To: s.cfg.ParentID})
-		s.flushDirty()
+		s.stampAndSend(conn, &netproto.Envelope{Kind: netproto.TypeGossip, From: s.cfg.ID, To: s.cfg.ParentID})
 		s.readLoop(conn)
 	}
 
@@ -302,16 +365,22 @@ func (s *Server) Start() error {
 		}
 	}()
 
-	// Main loop.
+	// Shard loops and the control loop.
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go sh.loop()
+	}
 	s.wg.Add(1)
-	go s.mainLoop()
+	go s.ctrl.loop()
 	return nil
 }
 
-// readLoop pumps a connection into the event channel. When the read side
-// ends it posts a close notification so the main loop can sweep routing
-// state (pending responses, single-flight waiters, child registration)
-// tied to the connection.
+// readLoop pumps a connection: requests hitting the publication index are
+// served right here (the lock-free fast path); everything else is routed to
+// the owning shard or the control loop. When the read side ends it posts a
+// close notification to every loop so each can sweep the routing state
+// (pending responses, single-flight waiters, child registration) tied to
+// the connection.
 func (s *Server) readLoop(conn transport.Conn) {
 	s.connsMu.Lock()
 	s.conns = append(s.conns, conn)
@@ -333,20 +402,173 @@ func (s *Server) readLoop(conn transport.Conn) {
 		for {
 			env, err := conn.Recv()
 			if err != nil {
-				select {
-				case s.events <- event{conn: conn, closed: true}:
-				case <-s.stopped:
+				closed := event{conn: conn, closed: true}
+				s.post(s.events, closed)
+				for _, sh := range s.shards {
+					s.post(sh.events, closed)
 				}
 				return
 			}
-			select {
-			case s.events <- event{env: env, conn: conn}:
-			case <-s.stopped:
-				netproto.PutEnvelope(env)
-				return
-			}
+			s.dispatch(env, conn)
 		}
 	}()
+}
+
+// dispatch routes one inbound envelope: cached request hits are served on
+// this goroutine; per-document kinds go to the owning shard; neighborhood
+// kinds (gossip, stats, shutdown) go to the control loop.
+func (s *Server) dispatch(env *netproto.Envelope, conn transport.Conn) {
+	switch env.Kind {
+	case netproto.TypeRequest:
+		sh := s.shardFor(env.Doc) // hashed once: fast path and fallback share it
+		if s.tryFastServe(sh, env, conn) {
+			netproto.PutEnvelope(env)
+			return
+		}
+		s.post(sh.events, event{env: env, conn: conn})
+	case netproto.TypeResponse, netproto.TypeDelegate, netproto.TypeDelegateAck,
+		netproto.TypeShed, netproto.TypeEvict,
+		netproto.TypeTunnelFetch, netproto.TypeTunnelReply:
+		s.post(s.shardFor(env.Doc).events, event{env: env, conn: conn})
+	default:
+		s.post(s.events, event{env: env, conn: conn})
+	}
+}
+
+// post enqueues an event, releasing the envelope if the server stopped.
+func (s *Server) post(ch chan event, ev event) {
+	select {
+	case ch <- ev:
+	case <-s.stopped:
+		if ev.env != nil {
+			netproto.PutEnvelope(ev.env)
+		}
+	}
+}
+
+// tryPost enqueues without blocking, reporting whether the event landed.
+// The control loop uses it for every command it sends a shard: commands
+// are soft state (a dropped tick or duty movement is re-issued or re-derived
+// next period), and the control loop must never stall node-wide gossip and
+// diffusion behind one saturated shard queue.
+func (s *Server) tryPost(ch chan event, ev event) bool {
+	select {
+	case ch <- ev:
+		return true
+	default:
+		return false
+	}
+}
+
+// tryFastServe is the lock-free read fast path: one atomic load of the
+// owning shard's copy-on-write publication index, and a hit is answered on
+// the connection goroutine — no event-loop hop, no lock. It declines (the
+// request then takes the shard queue) on an index miss, a dead entry (an
+// eviction race; the queued path re-checks the store and forwards), or an
+// exhausted admission budget (rate-limited copies fall back to the shard's
+// exact filter). Serve and flow counts accumulate on atomics the owning
+// shard drains into its rate windows each tick, so diffusion sees fast-path
+// demand exactly like queued demand.
+func (s *Server) tryFastServe(sh *shard, env *netproto.Envelope, conn transport.Conn) bool {
+	pm := sh.pub.Load()
+	if pm == nil {
+		return false
+	}
+	e := (*pm)[env.Doc]
+	if e == nil || e.dead.Load() {
+		return false
+	}
+	if !e.always && e.credits.Add(-1) < 0 {
+		return false
+	}
+	e.bumpFlow(env.From)
+	e.served.Add(1)
+	sh.nFastServed.Add(1)
+	resp := netproto.GetEnvelope()
+	*resp = netproto.Envelope{
+		Kind: netproto.TypeResponse, From: s.cfg.ID, To: env.Origin,
+		Doc: env.Doc, Origin: env.Origin, ReqID: env.ReqID,
+		ServedBy: s.cfg.ID, Hops: env.Hops, Body: e.body,
+		// Seq deliberately unstamped: no receiver consumes it, and the
+		// global counter would be the one shared cacheline every core's
+		// fast path contends on. Loop-emitted frames keep their stamps.
+		V: netproto.Version,
+	}
+	_ = conn.Send(resp) // soft state: a failed send is equivalent to loss
+	netproto.PutEnvelope(resp)
+	return true
+}
+
+// stampAndSend stamps the wire sequence/version and transmits immediately
+// (plain Send — transports coalesce concurrent senders' flushes). Loops
+// that batch many frames per iteration use their laneSender instead.
+func (s *Server) stampAndSend(conn transport.Conn, env *netproto.Envelope) {
+	if conn == nil {
+		return
+	}
+	env.Seq = s.seq.Add(1)
+	if env.V == 0 {
+		env.V = netproto.Version
+	}
+	_ = conn.Send(env) // soft state: a failed send is equivalent to loss
+}
+
+// laneSender is the buffered-send state each loop (shard or control) owns:
+// one lane index on every lane-capable connection, plus the set of lanes
+// dirtied since the last flush. Buffering here and flushing once at the
+// end of a loop iteration means a batch of frames costs one flush per
+// connection rather than one per frame, and distinct loops sharing a
+// connection never contend on an encoder.
+type laneSender struct {
+	s     *Server
+	lane  int
+	dirty []transport.BatchLane
+}
+
+// sendOn stamps and transmits env: buffered on this loop's lane where the
+// transport supports it, plain Send otherwise.
+func (ls *laneSender) sendOn(conn transport.Conn, env *netproto.Envelope) {
+	if conn == nil {
+		return
+	}
+	env.Seq = ls.s.seq.Add(1)
+	if env.V == 0 {
+		env.V = netproto.Version
+	}
+	if lc, ok := conn.(transport.LaneConn); ok {
+		ln := lc.Lane(ls.lane)
+		_ = ln.SendBuffered(env) // soft state: a failed send is equivalent to loss
+		ls.markDirty(ln)
+		return
+	}
+	_ = conn.Send(env)
+}
+
+func (ls *laneSender) markDirty(ln transport.BatchLane) {
+	for _, d := range ls.dirty {
+		if d == ln {
+			return
+		}
+	}
+	ls.dirty = append(ls.dirty, ln)
+}
+
+// flushDirty flushes every lane sendOn buffered to since the last call.
+func (ls *laneSender) flushDirty() {
+	for i, ln := range ls.dirty {
+		_ = ln.Flush()
+		ls.dirty[i] = nil
+	}
+	ls.dirty = ls.dirty[:0]
+}
+
+// childConn returns the registered child's connection, if any.
+func (s *Server) childConn(id int) transport.Conn {
+	cv := s.children.Load()
+	if cv == nil {
+		return nil
+	}
+	return cv.conns[id]
 }
 
 // Stop shuts the server down and waits for its goroutines.
@@ -376,707 +598,14 @@ func (s *Server) Addr() string {
 	return s.cfg.Addr
 }
 
-func (s *Server) mainLoop() {
-	defer s.wg.Done()
-	gossip := time.NewTicker(s.cfg.GossipPeriod)
-	defer gossip.Stop()
-	diffuse := time.NewTicker(s.cfg.DiffusionPeriod)
-	defer diffuse.Stop()
-	sweepEvery := s.cfg.PendingTTL / 2
-	if sweepEvery < 10*time.Millisecond {
-		sweepEvery = 10 * time.Millisecond
+// queueLens returns the per-shard and control-loop backlog right now.
+func (s *Server) queueLens() (shards []int, ctrl int, total int) {
+	shards = make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		shards[i] = len(sh.events)
+		total += shards[i]
 	}
-	sweep := time.NewTicker(sweepEvery)
-	defer sweep.Stop()
-	for {
-		select {
-		case <-s.stopped:
-			return
-		case ev := <-s.events:
-			s.now = time.Now()
-			s.handleBatch(ev)
-		case <-gossip.C:
-			s.now = time.Now()
-			s.doGossip()
-		case <-diffuse.C:
-			s.now = time.Now()
-			s.doDiffusion()
-		case <-sweep.C:
-			s.now = time.Now()
-			s.sweepStale()
-		}
-		s.flushDirty()
-	}
-}
-
-// handleBatch drains the event queue (bounded by maxBatch) and processes
-// it under one clock reading. Queued gossip coalesces per neighbor — under
-// backlog only the newest load figure matters, so stale ones are dropped
-// instead of handled. Consumed envelopes return to netproto's pool.
-func (s *Server) handleBatch(first event) {
-	s.batch = append(s.batch[:0], first)
-drain:
-	for len(s.batch) < maxBatch {
-		select {
-		case ev := <-s.events:
-			s.batch = append(s.batch, ev)
-		default:
-			break drain
-		}
-	}
-	gossipSeen := s.gossipSeen
-	if len(s.batch) > 1 {
-		for i, ev := range s.batch {
-			if !ev.closed && ev.env.Kind == netproto.TypeGossip {
-				gossipSeen[ev.env.From] = i
-			}
-		}
-	}
-	for i, ev := range s.batch {
-		if ev.closed {
-			s.handleConnClosed(ev.conn)
-			continue
-		}
-		if ev.env.Kind == netproto.TypeGossip && len(gossipSeen) > 0 {
-			if last, ok := gossipSeen[ev.env.From]; ok && last != i {
-				netproto.PutEnvelope(ev.env) // stale: a newer figure is queued
-				continue
-			}
-		}
-		s.handle(ev)
-		netproto.PutEnvelope(ev.env)
-	}
-	clear(gossipSeen)
-	clear(s.batch) // drop envelope/conn refs before reuse
-}
-
-func (s *Server) handle(ev event) {
-	env := ev.env
-	switch env.Kind {
-	case netproto.TypeGossip:
-		if env.From == s.cfg.ParentID && !s.isRoot {
-			s.parentLoad = env.Load
-			s.parentKnown = true
-			return
-		}
-		// First gossip from an unknown conn registers a child.
-		if _, ok := s.childConns[env.From]; !ok {
-			s.childConns[env.From] = ev.conn
-			s.childFlow[env.From] = make(map[core.DocID]*rateWindow, 16)
-		}
-		s.childLoad[env.From] = env.Load
-
-	case netproto.TypeRequest:
-		s.handleRequest(ev)
-
-	case netproto.TypeResponse:
-		key := pendingKey{origin: env.Origin, reqID: env.ReqID}
-		if pe, ok := s.pending[key]; ok {
-			delete(s.pending, key)
-			s.sendOn(pe.conn, env)
-		}
-		// Any response carrying this document also answers the requests
-		// coalesced behind the in-flight fetch.
-		if fl, ok := s.inflight[env.Doc]; ok {
-			delete(s.inflight, env.Doc)
-			s.answerWaiters(fl, env)
-		}
-
-	case netproto.TypeDelegate:
-		s.nDelegIn++
-		s.gotDelegate = true
-		if env.Body != nil {
-			// A copy that does not fit under the byte budget is simply not
-			// admitted (no ack): the delegated flow keeps passing toward
-			// the home server and the parent reclaims it via claimPassing.
-			s.admit(env.Doc, env.Body)
-		}
-		if s.cache.Contains(env.Doc) {
-			s.targets[env.Doc] += env.Rate
-			s.sendOn(ev.conn, &netproto.Envelope{
-				Kind: netproto.TypeDelegateAck, From: s.cfg.ID, To: env.From,
-				Doc: env.Doc, Rate: env.Rate,
-			})
-		}
-
-	case netproto.TypeDelegateAck:
-		// Accepted in full in this implementation; nothing to reconcile.
-
-	case netproto.TypeShed:
-		s.nShedIn++
-		// Pick up shed duty only for documents we hold; otherwise the
-		// request flow simply continues to the home server.
-		if s.cache.Contains(env.Doc) {
-			s.targets[env.Doc] += env.Rate
-		}
-
-	case netproto.TypeEvict:
-		// A neighbor displaced its copy under memory pressure. Absorb the
-		// serve duty it abandoned if we still hold the document; otherwise
-		// the flow simply continues toward the home server, which always
-		// can serve (origin copies are pinned).
-		s.nEvictHintsIn++
-		if s.cache.Contains(env.Doc) {
-			s.targets[env.Doc] += env.Rate
-		}
-
-	case netproto.TypeTunnelFetch:
-		// Only the home can answer authoritatively. Peek: a tunnel fetch
-		// is a copy transfer, not local demand, so it must not refresh
-		// recency or frequency.
-		if body, ok := s.cache.Peek(env.Doc); ok {
-			s.sendOn(ev.conn, &netproto.Envelope{
-				Kind: netproto.TypeTunnelReply, From: s.cfg.ID, To: env.From,
-				Doc: env.Doc, Body: body,
-			})
-		}
-
-	case netproto.TypeTunnelReply:
-		if env.Body != nil {
-			s.admit(env.Doc, env.Body)
-		}
-
-	case netproto.TypeStatsQuery:
-		s.sendOn(ev.conn, &netproto.Envelope{
-			Kind: netproto.TypeStatsReply, From: s.cfg.ID, To: env.From,
-			Stats: s.snapshot(s.now),
-		})
-
-	case netproto.TypeShutdown:
-		go s.Stop()
-	}
-}
-
-// handleConnClosed sweeps per-connection routing state when a link dies:
-// pending response routes and coalesced waiters pointing at the dead
-// connection are dropped (the leak fix — before this sweep, entries for
-// requests whose client went away lived forever), and a child registered
-// on the connection is forgotten so gossip and delegation stop targeting
-// it until it re-registers.
-func (s *Server) handleConnClosed(conn transport.Conn) {
-	for key, pe := range s.pending {
-		if pe.conn == conn {
-			delete(s.pending, key)
-		}
-	}
-	for _, fl := range s.inflight {
-		kept := fl.waiters[:0]
-		for _, w := range fl.waiters {
-			if w.conn != conn {
-				kept = append(kept, w)
-			}
-		}
-		fl.waiters = kept
-	}
-	for id, c := range s.childConns {
-		if c == conn {
-			delete(s.childConns, id)
-			delete(s.childFlow, id)
-			delete(s.childLoad, id)
-		}
-	}
-}
-
-// sweepStale expires pending routes and in-flight fetches older than
-// PendingTTL — responses that will never come (message loss, dead
-// subtrees) must not pin table entries forever.
-func (s *Server) sweepStale() {
-	ttl := s.cfg.PendingTTL
-	for key, pe := range s.pending {
-		if s.now.Sub(pe.at) > ttl {
-			delete(s.pending, key)
-		}
-	}
-	for doc, fl := range s.inflight {
-		if s.now.Sub(fl.at) > ttl {
-			delete(s.inflight, doc)
-		}
-	}
-}
-
-// handleRequest implements the data path: the local router classifies the
-// packet; Extract serves it here, Pass forwards it toward the home server.
-func (s *Server) handleRequest(ev event) {
-	env := ev.env
-	now := s.now
-	// Account per-child forwarded flow (A_j^d) when the request came from a
-	// registered child, or local demand otherwise. Accounting happens
-	// before single-flight coalescing, so the local protocol signals see
-	// the full demand even when the upstream fetch is shared.
-	if flows, ok := s.childFlow[env.From]; ok {
-		w := flows[env.Doc]
-		if w == nil {
-			w = newRateWindow(s.cfg.Window, 8)
-			flows[env.Doc] = w
-		}
-		w.Add(now, 1)
-	} else {
-		w := s.localFlow[env.Doc]
-		if w == nil {
-			w = newRateWindow(s.cfg.Window, 8)
-			s.localFlow[env.Doc] = w
-		}
-		w.Add(now, 1)
-	}
-
-	if s.rt.Classify(env.Doc) == router.Extract || s.isRoot {
-		s.serveRequest(ev)
-		return
-	}
-	s.forwardUp(ev)
-}
-
-// forwardUp relays a request toward the home server, remembering which
-// connection to route the response back on. Concurrent requests for the
-// same uncached document collapse into the existing in-flight fetch: they
-// are parked as waiters and answered from its response instead of each
-// traveling upstream (single-flight). A flight whose leader has gone
-// unanswered past the retry horizon (a lost message, a healed partition)
-// stops absorbing requests: the next one travels upstream as a fresh
-// leader, keeping the accumulated waiters eligible for its response.
-func (s *Server) forwardUp(ev event) {
-	env := ev.env
-	fl := s.inflight[env.Doc]
-	if fl != nil && s.now.Sub(fl.at) < s.flightRetry {
-		fl.waiters = append(fl.waiters, waiter{origin: env.Origin, reqID: env.ReqID, conn: ev.conn})
-		s.nCoalesced++
-		return
-	}
-	if fl == nil {
-		fl = &flight{}
-		s.inflight[env.Doc] = fl
-	}
-	fl.at = s.now
-	s.nForwarded++
-	key := pendingKey{origin: env.Origin, reqID: env.ReqID}
-	s.pending[key] = pendingEntry{conn: ev.conn, at: s.now}
-	fwd := netproto.GetEnvelope()
-	*fwd = *env
-	fwd.From = s.cfg.ID
-	fwd.To = s.cfg.ParentID
-	fwd.Hops = env.Hops + 1
-	s.sendOn(s.parentConn, fwd)
-	netproto.PutEnvelope(fwd)
-}
-
-// answerWaiters fans a response out to every request coalesced behind the
-// fetch that produced it.
-func (s *Server) answerWaiters(fl *flight, resp *netproto.Envelope) {
-	if len(fl.waiters) == 0 {
-		return
-	}
-	out := netproto.GetEnvelope()
-	for _, w := range fl.waiters {
-		*out = netproto.Envelope{
-			Kind: netproto.TypeResponse, From: s.cfg.ID, To: w.origin,
-			Doc: resp.Doc, Origin: w.origin, ReqID: w.reqID,
-			ServedBy: resp.ServedBy, Hops: resp.Hops,
-			Body: resp.Body, NotFound: resp.NotFound,
-		}
-		s.sendOn(w.conn, out)
-	}
-	netproto.PutEnvelope(out)
-}
-
-// admit caches a document copy under the byte budget and wires the
-// eviction feedback into the protocol. It returns whether the copy was
-// admitted (a body that cannot fit is rejected, not cached).
-//
-// For every displaced document the server: (1) tears down the admission
-// filter, so requests stop being extracted here and resume traveling
-// toward the home server — in-flight demand re-forwards on the next
-// packet; (2) drops the local serve target and rate window; (3) hints the
-// eviction to its parent with the abandoned target rate, so a surviving
-// copy upstream absorbs the duty instead of waiting a diffusion period to
-// notice the imbalance.
-func (s *Server) admit(doc core.DocID, body []byte) bool {
-	evs, ok := s.cache.Put(doc, body)
-	for _, ev := range evs {
-		s.nEvicted++
-		s.nEvictedBytes += int64(ev.Bytes)
-		s.rt.Remove(ev.Doc)
-		residual := s.targets[ev.Doc]
-		delete(s.targets, ev.Doc)
-		delete(s.served, ev.Doc)
-		// A copy displaced before accruing any serve duty has nothing for
-		// the parent to absorb; skip the no-op hint.
-		if residual > 0 && s.parentConn != nil {
-			s.sendOn(s.parentConn, &netproto.Envelope{
-				Kind: netproto.TypeEvict, From: s.cfg.ID, To: s.cfg.ParentID,
-				Doc: ev.Doc, Rate: residual,
-			})
-		}
-	}
-	if ok {
-		s.installFilter(doc)
-	}
-	return ok
-}
-
-func (s *Server) serveRequest(ev event) {
-	env := ev.env
-	body, cached := s.cache.Get(env.Doc)
-	if !cached && !s.isRoot {
-		// The filter extracted a document we no longer hold (install/evict
-		// race); keep the request moving toward the home server.
-		s.forwardUp(ev)
-		return
-	}
-	now := s.now
-	s.nServed++
-	s.totalServed.Add(now, 1)
-	w := s.served[env.Doc]
-	if w == nil {
-		w = newRateWindow(s.cfg.Window, 8)
-		s.served[env.Doc] = w
-	}
-	w.Add(now, 1)
-	resp := netproto.GetEnvelope()
-	*resp = netproto.Envelope{
-		Kind: netproto.TypeResponse, From: s.cfg.ID, To: env.Origin,
-		Doc: env.Doc, Origin: env.Origin, ReqID: env.ReqID,
-		ServedBy: s.cfg.ID, Hops: env.Hops,
-		Body: body, NotFound: !cached,
-	}
-	s.sendOn(ev.conn, resp)
-	netproto.PutEnvelope(resp)
-}
-
-// installFilter wires the admission decision for one cached document: the
-// packet is extracted while the measured served rate lags the target rate.
-// The filter runs on the main loop, so it reads the loop-owned clock
-// instead of taking a timestamp per classified packet.
-func (s *Server) installFilter(doc core.DocID) {
-	s.rt.Install(doc, router.FilterFunc(func(d core.DocID) bool {
-		w := s.served[d]
-		if w == nil {
-			return s.targets[d] > 0
-		}
-		return w.Rate(s.now) < s.targets[d]
-	}))
-}
-
-// doGossip sends this node's load figure to every tree neighbor. One
-// envelope is built per tick and reused across neighbors; transports copy
-// or serialize it per send.
-func (s *Server) doGossip() {
-	load := s.totalServed.Rate(s.now)
-	env := &s.gossipEnv
-	*env = netproto.Envelope{Kind: netproto.TypeGossip, From: s.cfg.ID, Load: load}
-	if s.parentConn != nil {
-		env.To = s.cfg.ParentID
-		s.sendOn(s.parentConn, env)
-		s.nGossip++
-	}
-	for id, conn := range s.childConns {
-		env.To = id
-		s.sendOn(conn, env)
-		s.nGossip++
-	}
-}
-
-// alpha returns the diffusion parameter: configured, or 1/(degree+1).
-func (s *Server) alpha() float64 {
-	if s.cfg.Alpha > 0 {
-		return s.cfg.Alpha
-	}
-	deg := len(s.childConns)
-	if !s.isRoot {
-		deg++
-	}
-	return 1.0 / float64(deg+1)
-}
-
-// doDiffusion runs the Figure 5 body on current local knowledge.
-func (s *Server) doDiffusion() {
-	now := s.now
-	load := s.totalServed.Rate(now)
-	a := s.alpha()
-
-	// (2.1) Delegate down to less-loaded children, capped by A_j.
-	for id, childLoad := range s.childLoad {
-		if load <= childLoad {
-			continue
-		}
-		want := a * (load - childLoad)
-		s.delegateDown(id, want, now)
-	}
-
-	// (2.2) Shed up toward a less-loaded parent.
-	if s.parentKnown && load > s.parentLoad {
-		want := a * (load - s.parentLoad)
-		s.shedUp(want, now)
-	}
-
-	// Claim passing flow when under-loaded (the "handle it if your rate is
-	// smaller than it should be" rule), and evaluate the tunneling trigger.
-	if s.parentKnown && load < s.parentLoad {
-		want := a * (s.parentLoad - load)
-		claimed := s.claimPassing(want, now)
-		if s.gotDelegate || claimed > 0 {
-			s.underFor = 0
-		} else {
-			s.underFor++
-			if s.cfg.Tunneling && s.underFor >= s.cfg.BarrierPatience {
-				s.tunnel(now)
-				s.underFor = 0
-			}
-		}
-	} else {
-		s.underFor = 0
-	}
-	s.gotDelegate = false
-}
-
-func (s *Server) delegateDown(child int, want float64, now time.Time) {
-	conn := s.childConns[child]
-	flows := s.childFlow[child]
-	if conn == nil || flows == nil {
-		return
-	}
-	type cand struct {
-		doc core.DocID
-		cap float64
-	}
-	var cands []cand
-	for doc, fw := range flows {
-		if !s.cache.Contains(doc) {
-			continue
-		}
-		flow := fw.Rate(now)
-		srv := 0.0
-		if w := s.served[doc]; w != nil {
-			srv = w.Rate(now)
-		}
-		cap := flow
-		if srv < cap {
-			cap = srv // can only hand off duty we are actually carrying
-		}
-		if cap > 0 {
-			cands = append(cands, cand{doc: doc, cap: cap})
-		}
-	}
-	// Largest stream first, deterministic tie-break by doc id.
-	for i := 1; i < len(cands); i++ {
-		for j := i; j > 0 && (cands[j].cap > cands[j-1].cap ||
-			(cands[j].cap == cands[j-1].cap && cands[j].doc < cands[j-1].doc)); j-- {
-			cands[j], cands[j-1] = cands[j-1], cands[j]
-		}
-	}
-	moved := 0.0
-	for _, c := range cands {
-		if moved >= want {
-			break
-		}
-		amt := want - moved
-		if amt > c.cap {
-			amt = c.cap
-		}
-		s.targets[c.doc] -= amt
-		if s.targets[c.doc] < 0 {
-			s.targets[c.doc] = 0
-		}
-		s.nDelegOut++
-		body, _ := s.cache.Peek(c.doc) // a handoff is not local demand
-		s.sendOn(conn, &netproto.Envelope{
-			Kind: netproto.TypeDelegate, From: s.cfg.ID, To: child,
-			Doc: c.doc, Rate: amt, Body: body,
-		})
-		moved += amt
-	}
-}
-
-func (s *Server) shedUp(want float64, now time.Time) {
-	if s.parentConn == nil {
-		return
-	}
-	shed := 0.0
-	for doc, w := range s.served {
-		if shed >= want {
-			break
-		}
-		srv := w.Rate(now)
-		if srv <= 0 {
-			continue
-		}
-		amt := want - shed
-		if amt > srv {
-			amt = srv
-		}
-		s.targets[doc] -= amt
-		if s.targets[doc] < 0 {
-			s.targets[doc] = 0
-		}
-		s.nShedOut++
-		s.sendOn(s.parentConn, &netproto.Envelope{
-			Kind: netproto.TypeShed, From: s.cfg.ID, To: s.cfg.ParentID,
-			Doc: doc, Rate: amt,
-		})
-		shed += amt
-	}
-}
-
-// claimPassing raises targets on cached documents whose requests still flow
-// through this node, up to `want`; the upstream copies lose that flow
-// automatically. Returns the amount claimed.
-func (s *Server) claimPassing(want float64, now time.Time) float64 {
-	claimed := 0.0
-	s.cache.ForEach(func(doc core.DocID, _ int) bool {
-		flow := s.observedFlow(doc, now)
-		srv := 0.0
-		if w := s.served[doc]; w != nil {
-			srv = w.Rate(now)
-		}
-		spare := flow - srv
-		if spare <= 0 {
-			return true
-		}
-		amt := want - claimed
-		if amt > spare {
-			amt = spare
-		}
-		s.targets[doc] += amt
-		claimed += amt
-		return claimed < want
-	})
-	return claimed
-}
-
-// observedFlow estimates the request rate for doc passing this node: child
-// forwarded flow plus locally injected demand.
-func (s *Server) observedFlow(doc core.DocID, now time.Time) float64 {
-	total := 0.0
-	for _, flows := range s.childFlow {
-		if w, ok := flows[doc]; ok {
-			total += w.Rate(now)
-		}
-	}
-	if w, ok := s.localFlow[doc]; ok {
-		total += w.Rate(now)
-	}
-	return total
-}
-
-// tunnel fetches the hottest forwarded-but-uncached document straight from
-// the home server (Section 5.2).
-func (s *Server) tunnel(now time.Time) {
-	if s.cfg.HomeAddr == "" || s.isRoot {
-		return
-	}
-	var best core.DocID
-	bestFlow := 0.0
-	consider := func(doc core.DocID, f float64) {
-		if s.cache.Contains(doc) {
-			return
-		}
-		if f > bestFlow {
-			best, bestFlow = doc, f
-		}
-	}
-	for _, flows := range s.childFlow {
-		for doc, w := range flows {
-			consider(doc, w.Rate(now))
-		}
-	}
-	for doc, w := range s.localFlow {
-		consider(doc, w.Rate(now))
-	}
-	if bestFlow <= 0 {
-		return
-	}
-	conn, err := transport.DialOn(s.cfg.Network, s.cfg.Addr, s.cfg.HomeAddr)
-	if err != nil {
-		return
-	}
-	s.nTunnels++
-	s.sendOn(conn, &netproto.Envelope{
-		Kind: netproto.TypeTunnelFetch, From: s.cfg.ID, Doc: best,
-	})
-	s.readLoop(conn)
-	// Pre-claim a share of the stream we already forward.
-	deficit := (s.parentLoad - s.totalServed.Rate(now)) / 2
-	claim := bestFlow
-	if claim > deficit {
-		claim = deficit
-	}
-	if claim > 0 {
-		s.targets[best] += claim
-	}
-}
-
-// sendOn transmits env, buffering on transports that support explicit
-// flushing: those frames coalesce until the current main-loop step ends
-// (flushDirty), so a batch of responses or a gossip fan-out costs one
-// flush per connection rather than one per frame.
-func (s *Server) sendOn(conn transport.Conn, env *netproto.Envelope) {
-	if conn == nil {
-		return
-	}
-	s.seq++
-	env.Seq = s.seq
-	if env.V == 0 {
-		env.V = netproto.Version
-	}
-	if bc, ok := conn.(transport.BatchConn); ok {
-		_ = bc.SendBuffered(env) // soft state: a failed send is equivalent to loss
-		s.markDirty(bc)
-		return
-	}
-	_ = conn.Send(env)
-}
-
-func (s *Server) markDirty(bc transport.BatchConn) {
-	for _, d := range s.dirty {
-		if d == bc {
-			return
-		}
-	}
-	s.dirty = append(s.dirty, bc)
-}
-
-// flushDirty flushes every connection sendOn buffered to since the last
-// call. The main loop invokes it after each event batch and timer tick;
-// Start invokes it after the parent handshake.
-func (s *Server) flushDirty() {
-	for i, bc := range s.dirty {
-		_ = bc.Flush()
-		s.dirty[i] = nil
-	}
-	s.dirty = s.dirty[:0]
-}
-
-func (s *Server) snapshot(now time.Time) *netproto.Stats {
-	st := &netproto.Stats{
-		Node:           s.cfg.ID,
-		Load:           s.totalServed.Rate(now),
-		Served:         s.nServed,
-		Forwarded:      s.nForwarded,
-		Coalesced:      s.nCoalesced,
-		Targets:        make(map[core.DocID]float64, len(s.targets)),
-		GossipSent:     s.nGossip,
-		DelegationsIn:  s.nDelegIn,
-		DelegationsOut: s.nDelegOut,
-		ShedsIn:        s.nShedIn,
-		ShedsOut:       s.nShedOut,
-		Tunnels:        s.nTunnels,
-		QueueLen:       len(s.events),
-		PendingLen:     len(s.pending),
-		// Maintained incrementally by the store — no per-scrape walk over
-		// every cached body.
-		CacheBytes:       s.cache.Bytes(),
-		CacheBudgetBytes: s.cfg.CacheBudgetBytes,
-		EvictedDocs:      s.nEvicted,
-		EvictedBytes:     s.nEvictedBytes,
-		EvictHintsIn:     s.nEvictHintsIn,
-		MaxCacheBytes:    s.cache.MaxBytes(),
-	}
-	st.CachedDocs = s.rt.Installed()
-	for d, t := range s.targets {
-		st.Targets[d] = t
-	}
-	rs := s.rt.Stats()
-	st.FilterStats = netproto.FilterStats{
-		Inspected: rs.Inspected, Extracted: rs.Extracted, Passed: rs.Passed,
-	}
-	return st
+	ctrl = len(s.events)
+	total += ctrl
+	return shards, ctrl, total
 }

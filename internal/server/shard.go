@@ -1,0 +1,881 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webwave/internal/core"
+	"webwave/internal/netproto"
+	"webwave/internal/router"
+	"webwave/internal/transport"
+)
+
+// pubMap is a shard's copy-on-write publication index: the documents this
+// shard currently serves, readable lock-free by every connection goroutine.
+// Only the owning shard loop writes it (load, copy, store — no CAS needed);
+// other shards may at most tombstone an entry's dead flag on an eviction.
+type pubMap = map[core.DocID]*pubEntry
+
+// pubEntry is one published document. The body is immutable; the atomics
+// accumulate fast-path activity between shard ticks.
+type pubEntry struct {
+	body []byte
+	// always marks an origin (pinned) copy: admitted unconditionally. A
+	// delegated or tunneled copy instead spends credits, the fast-path
+	// stand-in for the shard's rate-limited admission filter.
+	always bool
+	// dead is the eviction tombstone: set (possibly by another shard's
+	// Put displacing this copy) the moment the document leaves the store,
+	// so the fast path stops serving a stale body before the owning shard
+	// gets around to unpublishing.
+	dead atomic.Bool
+	// credits is the admission budget for gated copies: the owning shard
+	// refreshes it each tick to the window the exact filter would admit
+	// (target − served rate, scaled to the tick); the fast path spends one
+	// per serve and falls back to the shard queue when exhausted.
+	credits atomic.Int64
+	// served counts fast-path serves since the owner last drained them
+	// into its rate windows.
+	served atomic.Int64
+	// flows counts fast-path arrivals per sender id (-1 = locally
+	// injected) since the last drain — the A_j^d accounting the diffusion
+	// protocol needs, kept even for requests that never touch a loop.
+	flows atomic.Pointer[map[int]*atomic.Int64]
+}
+
+// bumpFlow counts one fast-path arrival from the given sender. New senders
+// install their counter with a copy-on-write swap (existing counters are
+// carried by pointer, so no concurrent increment is lost); the steady state
+// is a single atomic add.
+func (e *pubEntry) bumpFlow(from int) {
+	for {
+		m := e.flows.Load()
+		if m != nil {
+			if c, ok := (*m)[from]; ok {
+				c.Add(1)
+				return
+			}
+		}
+		var nm map[int]*atomic.Int64
+		if m == nil {
+			nm = make(map[int]*atomic.Int64, 4)
+		} else {
+			nm = make(map[int]*atomic.Int64, len(*m)+1)
+			for k, v := range *m {
+				nm[k] = v
+			}
+		}
+		c := new(atomic.Int64)
+		nm[from] = c
+		if e.flows.CompareAndSwap(m, &nm) {
+			c.Add(1)
+			return
+		}
+	}
+}
+
+// shardSnap is the epoch-stamped snapshot a shard publishes to its mailbox:
+// the aggregate heat/duty figures the control loop reads for gossip and
+// diffusion, and other shards read for eviction ranking — all without
+// touching loop-owned state.
+type shardSnap struct {
+	// epoch increments per publication; it stops advancing when a wedged
+	// shard misses its (non-blocking, skippable) ticks, and the stats
+	// scrape exposes it per shard so exactly that is observable.
+	epoch      uint64
+	load       float64 // served req/s over the window, fast path included
+	pendingLen int
+
+	targets map[core.DocID]float64
+	served  map[core.DocID]float64         // measured served rates
+	flows   map[int]map[core.DocID]float64 // per sender id; -1 = local demand
+
+	// Router state captured at the same instant as the duty figures, so a
+	// stats scrape served from this snapshot is internally consistent: a
+	// torn-down filter never appears alongside its already-deleted target's
+	// stale value, however stale the snapshot itself is.
+	installed []core.DocID
+	filter    router.Stats
+
+	counters shardCounters
+}
+
+// shardCounters is the loop-owned counter block carried in snapshots.
+// fastServed is captured here right after the snapshot's drain, so a
+// scrape always sees FastServed consistent with (a subset of) Served
+// instead of a live atomic racing ahead of the drained counters.
+type shardCounters struct {
+	served, forwarded, coalesced       int64
+	delegIn, delegOut, shedIn, shedOut int64
+	evictHintsIn, fastServed           int64
+}
+
+// evictedNote is a cross-shard eviction cleanup request: shard A's Put
+// displaced a document owned by shard B; B must tear down its protocol
+// state for it.
+type evictedNote struct {
+	doc core.DocID
+}
+
+// shard is one doc-sharded event loop. Everything below `events` is owned
+// by the loop goroutine; the atomics at the bottom are the lock-free
+// surfaces other goroutines touch.
+type shard struct {
+	s      *Server
+	idx    int
+	events chan event
+
+	now         time.Time // loop-owned clock, read once per event batch
+	rt          *router.Router
+	targets     map[core.DocID]float64
+	served      map[core.DocID]*rateWindow
+	totalServed *rateWindow
+	localFlow   map[core.DocID]*rateWindow
+	childFlow   map[int]map[core.DocID]*rateWindow // A_j^d estimates
+	pending     map[pendingKey]pendingEntry
+	inflight    map[core.DocID]*flight
+	flightRetry time.Duration
+	batch       []event
+	laneSender
+
+	lastSweep time.Time
+	lastReap  time.Time
+
+	// Counters (loop-owned; exported via snapshots).
+	nServed, nForwarded, nCoalesced  int64
+	nDelegIn, nDelegOut              int64
+	nShedIn, nShedOut, nEvictHintsIn int64
+
+	// Lock-free surfaces.
+	pub         atomic.Pointer[pubMap]    // publication index (single writer: this loop)
+	snap        atomic.Pointer[shardSnap] // epoch-stamped mailbox
+	epoch       uint64
+	nFastServed atomic.Int64 // cumulative fast-path serves
+
+	// Two-phase tombstone reaping: unpublished docs wait here one full
+	// tick before their entries leave the index, so a connection goroutine
+	// that loaded the index just before the tombstone still bumps counters
+	// drainFast can reach.
+	tombstoned, tombstonedPrev []core.DocID
+
+	evictMu   sync.Mutex
+	evictedIn []evictedNote // posted by other shards' Puts, drained by this loop
+}
+
+func newShard(s *Server, idx int) *shard {
+	cfg := s.cfg
+	sh := &shard{
+		s:           s,
+		idx:         idx,
+		events:      make(chan event, cfg.QueueDepth),
+		now:         time.Now(),
+		rt:          router.New(),
+		targets:     make(map[core.DocID]float64, 16),
+		served:      make(map[core.DocID]*rateWindow, 16),
+		localFlow:   make(map[core.DocID]*rateWindow, 16),
+		childFlow:   make(map[int]map[core.DocID]*rateWindow, 8),
+		pending:     make(map[pendingKey]pendingEntry, 64),
+		inflight:    make(map[core.DocID]*flight, 16),
+		batch:       make([]event, 0, cfg.MaxBatch),
+		totalServed: newRateWindow(cfg.Window, 8),
+		laneSender:  laneSender{s: s, lane: idx},
+	}
+	sh.flightRetry = 2 * cfg.GossipPeriod
+	if sh.flightRetry < 20*time.Millisecond {
+		sh.flightRetry = 20 * time.Millisecond
+	}
+	pm := make(pubMap)
+	sh.pub.Store(&pm)
+	return sh
+}
+
+func (sh *shard) loop() {
+	defer sh.s.wg.Done()
+	// Each shard owns its maintenance timer: ticks must keep firing on the
+	// busiest shard (select chooses uniformly among ready cases, so a
+	// flooded event queue cannot starve the ticker), where a control-posted
+	// tick command would be exactly what a saturated queue drops.
+	tick := time.NewTicker(sh.s.cfg.GossipPeriod)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sh.s.stopped:
+			return
+		case ev := <-sh.events:
+			sh.now = time.Now()
+			sh.drainEvicted()
+			sh.handleBatch(ev)
+		case <-tick.C:
+			sh.now = time.Now()
+			sh.drainEvicted()
+			sh.tick()
+		}
+		sh.flushDirty()
+	}
+}
+
+// handleBatch drains the shard queue (bounded by MaxBatch) and processes it
+// under one clock reading. Consumed envelopes return to netproto's pool.
+func (sh *shard) handleBatch(first event) {
+	sh.batch = append(sh.batch[:0], first)
+drain:
+	for len(sh.batch) < sh.s.cfg.MaxBatch {
+		select {
+		case ev := <-sh.events:
+			sh.batch = append(sh.batch, ev)
+		default:
+			break drain
+		}
+	}
+	for _, ev := range sh.batch {
+		if ev.closed {
+			sh.handleConnClosed(ev.conn)
+			continue
+		}
+		if ev.cmd != cmdNone {
+			sh.handleCmd(ev)
+			continue
+		}
+		sh.handle(ev)
+		netproto.PutEnvelope(ev.env)
+	}
+	clear(sh.batch) // drop envelope/conn refs before reuse
+}
+
+func (sh *shard) handleCmd(ev event) {
+	switch ev.cmd {
+	case cmdSnap:
+		sh.tick()
+		if ev.reply != nil {
+			ev.reply <- sh.snap.Load()
+		}
+	case cmdDelegate:
+		sh.delegateOut(ev.child, ev.doc, ev.rate)
+	case cmdShed:
+		sh.shedOut(ev.doc, ev.rate)
+	case cmdClaim:
+		// The claim was computed from a snapshot; re-validate like
+		// delegateOut does, so a copy evicted in between does not get a
+		// phantom target resurrected for it.
+		if !sh.s.cache.Contains(ev.doc) {
+			return
+		}
+		sh.targets[ev.doc] += ev.rate
+		sh.refreshCredit(ev.doc) // arm the fast path without waiting a tick
+	case cmdPreclaim:
+		sh.targets[ev.doc] += ev.rate // tunneled copy still in flight: no cached check
+	case cmdChildGone:
+		delete(sh.childFlow, ev.child)
+	}
+}
+
+// tick is the shard's periodic self-maintenance, driven by its own timer
+// every gossip period (and by cmdSnap for scrapes): fold fast-path
+// activity into the rate windows, refresh admission credits, sweep stale
+// routing state, republish the snapshot mailbox.
+func (sh *shard) tick() {
+	// Read the cumulative fast-serve counter before the drain: every serve
+	// it covers bumped its entry counter first (program order, seq-cst
+	// atomics), so the drain below folds all of them into nServed and the
+	// snapshot's fastServed stays a subset of its served.
+	fast := sh.nFastServed.Load()
+	sh.drainFast()
+	sh.reapTombstones()
+	sh.refreshCredits()
+	sweepEvery := sh.s.cfg.PendingTTL / 2
+	if sweepEvery < 10*time.Millisecond {
+		sweepEvery = 10 * time.Millisecond
+	}
+	if sh.now.Sub(sh.lastSweep) >= sweepEvery {
+		sh.lastSweep = sh.now
+		sh.sweepStale()
+	}
+	sh.publishSnap(fast)
+}
+
+// drainFast folds the fast path's atomic serve/flow counts into the
+// loop-owned rate windows, so gossip, diffusion and the admission filters
+// see fast-path demand exactly like queued demand. A drained serve also
+// touches the store once, keeping recency-based eviction policies aware
+// that the document is hot.
+func (sh *shard) drainFast() {
+	for doc, e := range *sh.pub.Load() {
+		sh.drainEntry(doc, e)
+	}
+}
+
+// drainEntry folds one entry's pending fast-path counts into the windows.
+func (sh *shard) drainEntry(doc core.DocID, e *pubEntry) {
+	now := sh.now
+	if n := e.served.Swap(0); n > 0 {
+		sh.nServed += n
+		sh.totalServed.Add(now, float64(n))
+		sh.servedWindow(doc).Add(now, float64(n))
+		if !e.dead.Load() {
+			sh.s.cache.Get(doc) // one recency/frequency touch per active tick
+		}
+	}
+	if fm := e.flows.Load(); fm != nil {
+		for from, c := range *fm {
+			if n := c.Swap(0); n > 0 {
+				sh.flowWindow(from, doc).Add(now, float64(n))
+			}
+		}
+	}
+}
+
+// reapTombstones removes entries unpublished at least one full gossip
+// period ago from the index (unless the document was republished since —
+// its entry is live again and stays). Between the tombstone and the reap
+// the dead entry declines every fast-path serve but keeps its counters
+// reachable, so a racing bump is at worst drained one tick late instead of
+// lost. The generation shift is clamped to the gossip period — ticks also
+// run per stats scrape (cmdSnap), and a tight scrape loop must not
+// collapse the grace window a racing connection goroutine relies on.
+func (sh *shard) reapTombstones() {
+	if sh.now.Sub(sh.lastReap) < sh.s.cfg.GossipPeriod {
+		return
+	}
+	sh.lastReap = sh.now
+	if len(sh.tombstonedPrev) > 0 {
+		old := sh.pub.Load()
+		nm := make(pubMap, len(*old))
+		for k, v := range *old {
+			nm[k] = v
+		}
+		for _, doc := range sh.tombstonedPrev {
+			if e := nm[doc]; e != nil && e.dead.Load() {
+				sh.drainEntry(doc, e) // final stragglers
+				delete(nm, doc)
+			}
+		}
+		sh.pub.Store(&nm)
+	}
+	sh.tombstonedPrev = sh.tombstoned
+	sh.tombstoned = nil
+}
+
+// refreshCredits reloads every gated entry's admission budget (see
+// refreshCredit).
+func (sh *shard) refreshCredits() {
+	for doc, e := range *sh.pub.Load() {
+		sh.refreshEntryCredit(doc, e)
+	}
+}
+
+// publishSnap rebuilds and stores the snapshot mailbox. fast is the
+// cumulative fast-serve count captured before the preceding drain.
+func (sh *shard) publishSnap(fast int64) {
+	sh.epoch++
+	now := sh.now
+	snap := &shardSnap{
+		epoch:      sh.epoch,
+		load:       sh.totalServed.Rate(now),
+		pendingLen: len(sh.pending),
+		targets:    make(map[core.DocID]float64, len(sh.targets)),
+		served:     make(map[core.DocID]float64, len(sh.served)),
+		flows:      make(map[int]map[core.DocID]float64, len(sh.childFlow)+1),
+		installed:  sh.rt.Installed(),
+		filter:     sh.rt.Stats(),
+		counters: shardCounters{
+			served: sh.nServed, forwarded: sh.nForwarded, coalesced: sh.nCoalesced,
+			delegIn: sh.nDelegIn, delegOut: sh.nDelegOut,
+			shedIn: sh.nShedIn, shedOut: sh.nShedOut,
+			evictHintsIn: sh.nEvictHintsIn,
+			fastServed:   fast,
+		},
+	}
+	for d, t := range sh.targets {
+		snap.targets[d] = t
+	}
+	for d, w := range sh.served {
+		snap.served[d] = w.Rate(now)
+	}
+	for child, flows := range sh.childFlow {
+		m := make(map[core.DocID]float64, len(flows))
+		for d, w := range flows {
+			if r := w.Rate(now); r > 0 {
+				m[d] = r
+			}
+		}
+		snap.flows[child] = m
+	}
+	if len(sh.localFlow) > 0 {
+		m := make(map[core.DocID]float64, len(sh.localFlow))
+		for d, w := range sh.localFlow {
+			if r := w.Rate(now); r > 0 {
+				m[d] = r
+			}
+		}
+		snap.flows[-1] = m
+	}
+	sh.snap.Store(snap)
+}
+
+// drainEvicted applies eviction cleanups posted by other shards' Puts.
+func (sh *shard) drainEvicted() {
+	sh.evictMu.Lock()
+	if len(sh.evictedIn) == 0 {
+		sh.evictMu.Unlock()
+		return
+	}
+	notes := sh.evictedIn
+	sh.evictedIn = nil
+	sh.evictMu.Unlock()
+	for _, n := range notes {
+		sh.dropEvicted(n.doc)
+	}
+}
+
+// postEvicted queues an eviction cleanup for this (non-owning caller's)
+// shard; the owner drains it at its next batch or tick.
+func (sh *shard) postEvicted(doc core.DocID) {
+	sh.evictMu.Lock()
+	sh.evictedIn = append(sh.evictedIn, evictedNote{doc: doc})
+	sh.evictMu.Unlock()
+}
+
+// killPub tombstones a published entry so the fast path stops serving it.
+// Safe from any goroutine — this is the one cross-shard write, a single
+// atomic flag.
+func (sh *shard) killPub(doc core.DocID) {
+	if e := (*sh.pub.Load())[doc]; e != nil {
+		e.dead.Store(true)
+	}
+}
+
+// publish installs (or refreshes) a document in the copy-on-write
+// publication index. Owner loop only (single writer). Counts still pending
+// on a replaced entry (a refresh, or a tombstone being republished) are
+// drained first so no fast-path serves vanish from the stats.
+func (sh *shard) publish(doc core.DocID, body []byte, always bool) {
+	old := sh.pub.Load()
+	var nm pubMap
+	if old == nil {
+		nm = make(pubMap, 8)
+	} else {
+		nm = make(pubMap, len(*old)+1)
+		for k, v := range *old {
+			nm[k] = v
+		}
+		if prev := nm[doc]; prev != nil {
+			sh.drainEntry(doc, prev)
+		}
+	}
+	e := &pubEntry{body: body, always: always}
+	nm[doc] = e
+	sh.pub.Store(&nm)
+}
+
+// unpublish tombstones a document in the publication index (owner loop
+// only) and drains its pending counts; the entry itself is reaped from the
+// map two ticks later (reapTombstones), keeping a racing bump reachable.
+func (sh *shard) unpublish(doc core.DocID) {
+	e := (*sh.pub.Load())[doc]
+	if e == nil {
+		return
+	}
+	e.dead.Store(true)
+	sh.drainEntry(doc, e)
+	sh.tombstoned = append(sh.tombstoned, doc)
+}
+
+// servedWindow returns (creating if needed) the served-rate window for doc.
+func (sh *shard) servedWindow(doc core.DocID) *rateWindow {
+	w := sh.served[doc]
+	if w == nil {
+		w = newRateWindow(sh.s.cfg.Window, 8)
+		sh.served[doc] = w
+	}
+	return w
+}
+
+// flowWindow returns the arrival-rate window for doc as seen from sender
+// `from`: a child's A_j^d estimate for forwarded requests (requests only
+// travel up the tree, so any non-negative sender id is a child), or local
+// demand for client-injected ones (From -1). Keying on the envelope's id
+// rather than the registration view keeps attribution correct even when a
+// child's first requests overtake its registering gossip across the shard
+// and control queues — the single event loop's per-connection FIFO no
+// longer orders those two.
+func (sh *shard) flowWindow(from int, doc core.DocID) *rateWindow {
+	if from >= 0 {
+		flows := sh.childFlow[from]
+		if flows == nil {
+			flows = make(map[core.DocID]*rateWindow, 16)
+			sh.childFlow[from] = flows
+		}
+		w := flows[doc]
+		if w == nil {
+			w = newRateWindow(sh.s.cfg.Window, 8)
+			flows[doc] = w
+		}
+		return w
+	}
+	w := sh.localFlow[doc]
+	if w == nil {
+		w = newRateWindow(sh.s.cfg.Window, 8)
+		sh.localFlow[doc] = w
+	}
+	return w
+}
+
+func (sh *shard) handle(ev event) {
+	env := ev.env
+	switch env.Kind {
+	case netproto.TypeRequest:
+		sh.handleRequest(ev)
+
+	case netproto.TypeResponse:
+		key := pendingKey{origin: env.Origin, reqID: env.ReqID}
+		if pe, ok := sh.pending[key]; ok {
+			delete(sh.pending, key)
+			sh.sendOn(pe.conn, env)
+		}
+		// Any response carrying this document also answers the requests
+		// coalesced behind the in-flight fetch.
+		if fl, ok := sh.inflight[env.Doc]; ok {
+			delete(sh.inflight, env.Doc)
+			sh.answerWaiters(fl, env)
+		}
+
+	case netproto.TypeDelegate:
+		sh.nDelegIn++
+		sh.s.gotDelegate.Store(true)
+		if env.Body != nil {
+			// A copy that does not fit under the byte budget is simply not
+			// admitted (no ack): the delegated flow keeps passing toward
+			// the home server and the parent reclaims it via claimPassing.
+			sh.admit(env.Doc, env.Body)
+		}
+		if sh.s.cache.Contains(env.Doc) {
+			sh.targets[env.Doc] += env.Rate
+			sh.refreshCredit(env.Doc) // arm the fast path without waiting a tick
+			sh.sendOn(ev.conn, &netproto.Envelope{
+				Kind: netproto.TypeDelegateAck, From: sh.s.cfg.ID, To: env.From,
+				Doc: env.Doc, Rate: env.Rate,
+			})
+		}
+
+	case netproto.TypeDelegateAck:
+		// Accepted in full in this implementation; nothing to reconcile.
+
+	case netproto.TypeShed:
+		sh.nShedIn++
+		// Pick up shed duty only for documents we hold; otherwise the
+		// request flow simply continues to the home server.
+		if sh.s.cache.Contains(env.Doc) {
+			sh.targets[env.Doc] += env.Rate
+			sh.refreshCredit(env.Doc)
+		}
+
+	case netproto.TypeEvict:
+		// A neighbor displaced its copy under memory pressure. Absorb the
+		// serve duty it abandoned if we still hold the document; otherwise
+		// the flow simply continues toward the home server, which always
+		// can serve (origin copies are pinned).
+		sh.nEvictHintsIn++
+		if sh.s.cache.Contains(env.Doc) {
+			sh.targets[env.Doc] += env.Rate
+			sh.refreshCredit(env.Doc)
+		}
+
+	case netproto.TypeTunnelFetch:
+		// Only the home can answer authoritatively. Peek: a tunnel fetch
+		// is a copy transfer, not local demand, so it must not refresh
+		// recency or frequency.
+		if body, ok := sh.s.cache.Peek(env.Doc); ok {
+			sh.sendOn(ev.conn, &netproto.Envelope{
+				Kind: netproto.TypeTunnelReply, From: sh.s.cfg.ID, To: env.From,
+				Doc: env.Doc, Body: body,
+			})
+		}
+
+	case netproto.TypeTunnelReply:
+		if env.Body != nil && sh.admit(env.Doc, env.Body) {
+			// The tunnel's pre-claim raised the target before the copy
+			// existed; arm the fast path now instead of one tick late —
+			// the burst that triggered tunneling is happening right now.
+			sh.refreshCredit(env.Doc)
+		}
+	}
+}
+
+// refreshCredit re-arms one gated entry's fast-path budget after a target
+// change, instead of leaving the fast path cold until the next tick.
+func (sh *shard) refreshCredit(doc core.DocID) {
+	if e := (*sh.pub.Load())[doc]; e != nil {
+		sh.refreshEntryCredit(doc, e)
+	}
+}
+
+// refreshEntryCredit reloads one gated entry's admission budget to what the
+// exact filter would admit over the next tick: target minus measured served
+// rate, scaled by the tick length (+1 so a barely-lagging copy still
+// serves). Overshoot is bounded by one tick's worth of credits.
+func (sh *shard) refreshEntryCredit(doc core.DocID, e *pubEntry) {
+	if e.always || e.dead.Load() {
+		return
+	}
+	gap := sh.targets[doc]
+	if w := sh.served[doc]; w != nil {
+		gap -= w.Rate(sh.now)
+	}
+	if gap > 0 {
+		e.credits.Store(int64(gap*sh.s.cfg.GossipPeriod.Seconds()) + 1)
+	} else {
+		e.credits.Store(0)
+	}
+}
+
+// handleConnClosed sweeps per-connection routing state when a link dies:
+// pending response routes and coalesced waiters pointing at the dead
+// connection are dropped (entries for requests whose client went away must
+// not live forever). Child registration is control-loop state; the control
+// loop additionally posts cmdChildGone so the flow windows drop.
+func (sh *shard) handleConnClosed(conn transport.Conn) {
+	for key, pe := range sh.pending {
+		if pe.conn == conn {
+			delete(sh.pending, key)
+		}
+	}
+	for _, fl := range sh.inflight {
+		kept := fl.waiters[:0]
+		for _, w := range fl.waiters {
+			if w.conn != conn {
+				kept = append(kept, w)
+			}
+		}
+		fl.waiters = kept
+	}
+}
+
+// sweepStale expires pending routes and in-flight fetches older than
+// PendingTTL — responses that will never come (message loss, dead
+// subtrees) must not pin table entries forever.
+func (sh *shard) sweepStale() {
+	ttl := sh.s.cfg.PendingTTL
+	for key, pe := range sh.pending {
+		if sh.now.Sub(pe.at) > ttl {
+			delete(sh.pending, key)
+		}
+	}
+	for doc, fl := range sh.inflight {
+		if sh.now.Sub(fl.at) > ttl {
+			delete(sh.inflight, doc)
+		}
+	}
+}
+
+// handleRequest implements the queued data path: the shard's router
+// classifies the packet; Extract serves it here, Pass forwards it toward
+// the home server. (Requests the fast path already answered never reach
+// this point.)
+func (sh *shard) handleRequest(ev event) {
+	env := ev.env
+	// Account per-child forwarded flow (A_j^d) when the request came from a
+	// registered child, or local demand otherwise. Accounting happens
+	// before single-flight coalescing, so the local protocol signals see
+	// the full demand even when the upstream fetch is shared.
+	sh.flowWindow(env.From, env.Doc).Add(sh.now, 1)
+
+	if sh.rt.Classify(env.Doc) == router.Extract || sh.s.isRoot {
+		sh.serveRequest(ev)
+		return
+	}
+	sh.forwardUp(ev)
+}
+
+// forwardUp relays a request toward the home server, remembering which
+// connection to route the response back on. Concurrent requests for the
+// same uncached document collapse into the existing in-flight fetch: they
+// are parked as waiters and answered from its response instead of each
+// traveling upstream (single-flight). A flight whose leader has gone
+// unanswered past the retry horizon (a lost message, a healed partition)
+// stops absorbing requests: the next one travels upstream as a fresh
+// leader, keeping the accumulated waiters eligible for its response.
+func (sh *shard) forwardUp(ev event) {
+	env := ev.env
+	fl := sh.inflight[env.Doc]
+	if fl != nil && sh.now.Sub(fl.at) < sh.flightRetry {
+		fl.waiters = append(fl.waiters, waiter{origin: env.Origin, reqID: env.ReqID, conn: ev.conn})
+		sh.nCoalesced++
+		return
+	}
+	if fl == nil {
+		fl = &flight{}
+		sh.inflight[env.Doc] = fl
+	}
+	fl.at = sh.now
+	sh.nForwarded++
+	key := pendingKey{origin: env.Origin, reqID: env.ReqID}
+	sh.pending[key] = pendingEntry{conn: ev.conn, at: sh.now}
+	fwd := netproto.GetEnvelope()
+	*fwd = *env
+	fwd.From = sh.s.cfg.ID
+	fwd.To = sh.s.cfg.ParentID
+	fwd.Hops = env.Hops + 1
+	sh.sendOn(sh.s.parentConn, fwd)
+	netproto.PutEnvelope(fwd)
+}
+
+// answerWaiters fans a response out to every request coalesced behind the
+// fetch that produced it.
+func (sh *shard) answerWaiters(fl *flight, resp *netproto.Envelope) {
+	if len(fl.waiters) == 0 {
+		return
+	}
+	out := netproto.GetEnvelope()
+	for _, w := range fl.waiters {
+		*out = netproto.Envelope{
+			Kind: netproto.TypeResponse, From: sh.s.cfg.ID, To: w.origin,
+			Doc: resp.Doc, Origin: w.origin, ReqID: w.reqID,
+			ServedBy: resp.ServedBy, Hops: resp.Hops,
+			Body: resp.Body, NotFound: resp.NotFound,
+		}
+		sh.sendOn(w.conn, out)
+	}
+	netproto.PutEnvelope(out)
+}
+
+// admit caches a document copy under the byte budget and wires the
+// eviction feedback into the protocol. It returns whether the copy was
+// admitted (a body that cannot fit is rejected, not cached).
+//
+// For every displaced document: the fast path is cut immediately (the
+// publication tombstone), and the owning shard — usually this one, always
+// this one when the cache striping is aligned — tears down the admission
+// filter so requests resume traveling toward the home server, drops the
+// serve target and rate window, and hints the eviction to the parent with
+// the abandoned target rate so a surviving copy upstream absorbs the duty
+// instead of waiting a diffusion period to notice the imbalance.
+func (sh *shard) admit(doc core.DocID, body []byte) bool {
+	evs, ok := sh.s.cache.Put(doc, body)
+	for _, ev := range evs {
+		sh.s.nEvicted.Add(1)
+		sh.s.nEvictedBytes.Add(int64(ev.Bytes))
+		owner := sh.s.shardFor(ev.Doc)
+		owner.killPub(ev.Doc) // stop fast-path serves of the stale body now
+		if owner == sh {
+			sh.dropEvicted(ev.Doc)
+		} else {
+			owner.postEvicted(ev.Doc)
+		}
+	}
+	if ok {
+		sh.installFilter(doc)
+		sh.publish(doc, body, false)
+	}
+	return ok
+}
+
+// dropEvicted is the owner-side eviction cleanup: filter down, publication
+// entry out, duty handed to the parent. Skipped when the document was
+// re-admitted before the cleanup drained (the note is then stale).
+func (sh *shard) dropEvicted(doc core.DocID) {
+	if sh.s.cache.Contains(doc) {
+		// Re-admitted since the note was posted. The evictor's killPub may
+		// have raced the re-admission and tombstoned the FRESH publication
+		// entry — which sits in no tombstone list and would otherwise stay
+		// dead (fast path disabled) forever. Republish from the live copy.
+		if e := (*sh.pub.Load())[doc]; e != nil && e.dead.Load() {
+			if body, ok := sh.s.cache.Peek(doc); ok {
+				sh.publish(doc, body, false)
+				sh.refreshCredit(doc)
+			}
+		}
+		return
+	}
+	sh.rt.Remove(doc)
+	sh.unpublish(doc)
+	residual := sh.targets[doc]
+	delete(sh.targets, doc)
+	delete(sh.served, doc)
+	// A copy displaced before accruing any serve duty has nothing for
+	// the parent to absorb; skip the no-op hint.
+	if residual > 0 && sh.s.parentConn != nil {
+		sh.sendOn(sh.s.parentConn, &netproto.Envelope{
+			Kind: netproto.TypeEvict, From: sh.s.cfg.ID, To: sh.s.cfg.ParentID,
+			Doc: doc, Rate: residual,
+		})
+	}
+}
+
+func (sh *shard) serveRequest(ev event) {
+	env := ev.env
+	body, cached := sh.s.cache.Get(env.Doc)
+	if !cached && !sh.s.isRoot {
+		// The filter extracted a document we no longer hold (install/evict
+		// race); keep the request moving toward the home server.
+		sh.forwardUp(ev)
+		return
+	}
+	now := sh.now
+	sh.nServed++
+	sh.totalServed.Add(now, 1)
+	sh.servedWindow(env.Doc).Add(now, 1)
+	resp := netproto.GetEnvelope()
+	*resp = netproto.Envelope{
+		Kind: netproto.TypeResponse, From: sh.s.cfg.ID, To: env.Origin,
+		Doc: env.Doc, Origin: env.Origin, ReqID: env.ReqID,
+		ServedBy: sh.s.cfg.ID, Hops: env.Hops,
+		Body: body, NotFound: !cached,
+	}
+	sh.sendOn(ev.conn, resp)
+	netproto.PutEnvelope(resp)
+}
+
+// installFilter wires the admission decision for one cached document: the
+// packet is extracted while the measured served rate lags the target rate.
+// The filter runs on this shard's loop, so it reads the loop-owned clock
+// instead of taking a timestamp per classified packet.
+func (sh *shard) installFilter(doc core.DocID) {
+	sh.rt.Install(doc, router.FilterFunc(func(d core.DocID) bool {
+		w := sh.served[d]
+		if w == nil {
+			return sh.targets[d] > 0
+		}
+		return w.Rate(sh.now) < sh.targets[d]
+	}))
+}
+
+// delegateOut executes one control-loop delegation decision on the owning
+// shard: drop the local target, ship the duty (and body) to the child.
+// Decisions are computed from snapshots and so may be a tick stale; the
+// shard re-validates what still holds.
+func (sh *shard) delegateOut(child int, doc core.DocID, rate float64) {
+	conn := sh.s.childConn(child)
+	if conn == nil || !sh.s.cache.Contains(doc) {
+		return
+	}
+	sh.targets[doc] -= rate
+	if sh.targets[doc] < 0 {
+		sh.targets[doc] = 0
+	}
+	sh.nDelegOut++
+	body, _ := sh.s.cache.Peek(doc) // a handoff is not local demand
+	sh.sendOn(conn, &netproto.Envelope{
+		Kind: netproto.TypeDelegate, From: sh.s.cfg.ID, To: child,
+		Doc: doc, Rate: rate, Body: body,
+	})
+}
+
+// shedOut executes one control-loop shed decision: move duty up to the
+// parent. Re-validated like delegateOut: if the copy was evicted since the
+// snapshot, its residual duty already traveled upstream in the evict hint
+// and a shed here would hand the parent the same duty twice.
+func (sh *shard) shedOut(doc core.DocID, rate float64) {
+	if sh.s.parentConn == nil || !sh.s.cache.Contains(doc) {
+		return
+	}
+	sh.targets[doc] -= rate
+	if sh.targets[doc] < 0 {
+		sh.targets[doc] = 0
+	}
+	sh.nShedOut++
+	sh.sendOn(sh.s.parentConn, &netproto.Envelope{
+		Kind: netproto.TypeShed, From: sh.s.cfg.ID, To: sh.s.cfg.ParentID,
+		Doc: doc, Rate: rate,
+	})
+}

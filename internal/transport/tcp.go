@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -83,6 +84,9 @@ type tcpConn struct {
 	// coalesce their frames into one flush (and, under TCP, fewer syscalls
 	// and fuller segments) instead of flushing per frame.
 	senders atomic.Int32
+
+	laneMu sync.RWMutex
+	lanes  map[int]*tcpLane
 }
 
 func newTCPConn(c net.Conn, version int) *tcpConn {
@@ -173,5 +177,100 @@ func (t *tcpConn) Flush() error {
 	return nil
 }
 
+// Lane implements LaneConn: each index gets a private encode buffer whose
+// frames reach the socket only on the lane's Flush. Shard loops batching
+// onto a shared connection encode concurrently — the connection-wide writer
+// lock is held only for the buffer copy at flush time, not per frame. On
+// the legacy v1 codec (flush-per-frame by design) the lane degrades to
+// plain Send.
+func (t *tcpConn) Lane(i int) BatchLane {
+	if t.version == 1 {
+		return (*v1Lane)(t)
+	}
+	t.laneMu.RLock()
+	ln := t.lanes[i]
+	t.laneMu.RUnlock()
+	if ln != nil {
+		return ln
+	}
+	t.laneMu.Lock()
+	defer t.laneMu.Unlock()
+	if ln = t.lanes[i]; ln != nil {
+		return ln
+	}
+	if t.lanes == nil {
+		t.lanes = make(map[int]*tcpLane, 8)
+	}
+	ln = &tcpLane{t: t}
+	ln.fw = netproto.NewFrameWriter(&ln.buf, t.version)
+	t.lanes[i] = ln
+	return ln
+}
+
+// maxLaneBuf bounds the encode buffer a lane keeps across flushes; a lane
+// that ballooned on a burst of large bodies is shrunk instead of pinning
+// the memory for the connection's lifetime.
+const maxLaneBuf = 256 << 10
+
+// tcpLane is one per-shard flush lane. The mutex is effectively
+// uncontended — a lane has a single owning shard — and exists so a lane
+// handed to a different goroutine (shard handoff, tests) stays safe.
+type tcpLane struct {
+	t  *tcpConn
+	mu sync.Mutex
+	// buf accumulates encoded frames between flushes; fw encodes into it.
+	buf bytes.Buffer
+	fw  *netproto.FrameWriter
+}
+
+// SendBuffered implements BatchLane: encode into the lane's private buffer,
+// no connection lock taken.
+func (l *tcpLane) SendBuffered(env *netproto.Envelope) error {
+	l.mu.Lock()
+	err := l.fw.WriteEnvelope(env)
+	l.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("transport: tcp lane send: %w", err)
+	}
+	return nil
+}
+
+// Flush implements BatchLane: the buffered frames are copied to the shared
+// socket writer and flushed under the connection's writer lock.
+func (l *tcpLane) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.buf.Len() == 0 {
+		return nil
+	}
+	t := l.t
+	t.wm.Lock()
+	_, err := t.w.Write(l.buf.Bytes())
+	if err == nil {
+		err = t.w.Flush()
+	}
+	t.wm.Unlock()
+	if l.buf.Cap() > maxLaneBuf {
+		l.buf = bytes.Buffer{} // fw writes through the pointer; same address
+	} else {
+		l.buf.Reset()
+	}
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return ErrClosed
+		}
+		return fmt.Errorf("transport: tcp lane flush: %w", err)
+	}
+	return nil
+}
+
+// v1Lane adapts the legacy JSON codec to the lane interface: v1 flushes per
+// frame, so buffering is a no-op and Flush has nothing to do.
+type v1Lane tcpConn
+
+func (l *v1Lane) SendBuffered(env *netproto.Envelope) error { return (*tcpConn)(l).Send(env) }
+func (l *v1Lane) Flush() error                              { return nil }
+
 var _ Network = TCPNetwork{}
 var _ BatchConn = (*tcpConn)(nil)
+var _ LaneConn = (*tcpConn)(nil)

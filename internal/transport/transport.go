@@ -45,6 +45,26 @@ type BatchConn interface {
 	Flush() error
 }
 
+// BatchLane is one independent buffered-send lane of a LaneConn. A lane
+// encodes frames into its own buffer, so concurrent lanes never contend on
+// the encoder; only Flush briefly serializes on the connection's writer.
+// Like BatchConn, a lane's frames stay buffered until Flush.
+type BatchLane interface {
+	SendBuffered(env *netproto.Envelope) error
+	Flush() error
+}
+
+// LaneConn is implemented by connections offering multiple independent
+// flush lanes. A doc-sharded server gives each shard loop its own lane so
+// shards batching frames onto a shared connection (responses to one client,
+// protocol traffic to one neighbor) encode without taking a common lock.
+// Lane is safe for concurrent use and returns the same lane for the same
+// index; lane indices should be small and dense.
+type LaneConn interface {
+	BatchConn
+	Lane(i int) BatchLane
+}
+
 // Listener accepts inbound connections.
 type Listener interface {
 	Accept() (Conn, error)

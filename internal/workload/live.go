@@ -41,6 +41,11 @@ type LiveOptions struct {
 	// protocol, 1 the legacy JSON framing. Ignored on the memory transport,
 	// which passes envelopes by pointer.
 	WireVersion int
+	// NumShards is each server's doc-sharded event loop count (0 =
+	// GOMAXPROCS); MaxBatch and QueueDepth tune the loops (0 = defaults).
+	NumShards  int
+	MaxBatch   int
+	QueueDepth int
 }
 
 func (o LiveOptions) withDefaults() LiveOptions {
@@ -95,6 +100,7 @@ func (r *respSink) statusCode() int {
 type NodeStat struct {
 	Node          int     `json:"node"`
 	Served        int64   `json:"served"`
+	FastServed    int64   `json:"fast_served,omitempty"`
 	Forwarded     int64   `json:"forwarded"`
 	Coalesced     int64   `json:"coalesced,omitempty"`
 	LoadRPS       float64 `json:"load_rps"`
@@ -188,6 +194,9 @@ func RunLive(sp Spec, seed int64, opt LiveOptions) (*Report, error) {
 		CacheBudgetBytes: sp.CacheBudgetBytes,
 		CacheShards:      sp.CacheShards,
 		EvictPolicy:      evictPolicy,
+		NumShards:        opt.NumShards,
+		MaxBatch:         opt.MaxBatch,
+		QueueDepth:       opt.QueueDepth,
 	}
 	switch opt.Transport {
 	case "", "mem":
@@ -302,6 +311,7 @@ func RunLive(sp Spec, seed int64, opt LiveOptions) (*Report, error) {
 			sys.Nodes = append(sys.Nodes, NodeStat{
 				Node:          st.Node,
 				Served:        st.Served,
+				FastServed:    st.FastServed,
 				Forwarded:     st.Forwarded,
 				Coalesced:     st.Coalesced,
 				LoadRPS:       round6(st.Load),
