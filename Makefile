@@ -6,6 +6,7 @@ BENCH_JSON ?= bench-smoke.json
 BENCH_WIRE_JSON ?= BENCH_wire.json
 BENCH_CACHE_JSON ?= BENCH_cache.json
 BENCH_SCALING_JSON ?= BENCH_scaling.json
+BENCH_CHAOS_JSON ?= BENCH_chaos.json
 WIRE_THROUGHPUT_JSON ?= wire-throughput.json
 BENCHTIME ?= 0.3s
 # CI sweeps a subset of the committed baseline's core counts; local full
@@ -15,7 +16,7 @@ SCALING_DURATION ?= 2
 
 .PHONY: all build test race fmt vet staticcheck bench-smoke bench-micro bench-wire \
 	bench-cache bench-cache-baseline bench-scaling bench-scaling-baseline \
-	profile clean
+	bench-chaos bench-chaos-baseline docs-check profile clean
 
 all: build test
 
@@ -102,6 +103,27 @@ bench-scaling-baseline:
 	$(GO) run ./cmd/webwave-bench -scenario core-scaling -seed 1 \
 		-procs 1,2,4,8 -duration 3 -repeat 3 -json bench/BENCH_scaling_baseline.json
 
+# bench-chaos runs the chaos scenario (kill/restart 10% of a live cluster's
+# interior nodes mid-run) and gates availability, post-repair fairness and
+# completed repair against the committed baseline. Wall-clock: NOT
+# deterministic; the gate applies thresholds, and the baseline pins the
+# workload so the scenario cannot be quietly shrunk.
+bench-chaos:
+	$(GO) run ./cmd/webwave-bench -scenario chaos -seed 1 -json $(BENCH_CHAOS_JSON)
+	$(GO) run ./cmd/benchgate -chaos-report $(BENCH_CHAOS_JSON) \
+		-chaos-baseline bench/BENCH_chaos_baseline.json
+
+# bench-chaos-baseline regenerates the committed chaos baseline after an
+# intentional behavior change; commit the result.
+bench-chaos-baseline:
+	$(GO) run ./cmd/webwave-bench -scenario chaos -seed 1 \
+		-json bench/BENCH_chaos_baseline.json
+
+# docs-check verifies every relative markdown link (and heading anchor) in
+# README.md and docs/ resolves; CI's docs job runs exactly this.
+docs-check:
+	$(GO) run ./cmd/doccheck README.md docs
+
 # profile runs the core-scaling scenario under the CPU and heap profilers,
 # leaving pprof artifacts next to the report so scaling regressions are
 # diagnosable (`go tool pprof cpu.pprof`).
@@ -112,5 +134,5 @@ profile:
 
 clean:
 	rm -f $(BENCH_JSON) $(BENCH_WIRE_JSON) $(BENCH_CACHE_JSON) \
-		$(BENCH_SCALING_JSON) $(WIRE_THROUGHPUT_JSON) bench-micro.out \
-		cpu.pprof mem.pprof
+		$(BENCH_SCALING_JSON) $(BENCH_CHAOS_JSON) $(WIRE_THROUGHPUT_JSON) \
+		bench-micro.out cpu.pprof mem.pprof

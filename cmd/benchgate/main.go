@@ -17,10 +17,20 @@
 //     req/s would only measure whose CPU is newer. Absolute per-core drops
 //     are printed as warnings, not failures, for the same reason.
 //
+//   - Chaos (-chaos-report/-chaos-baseline): the fault-tolerance floor. The
+//     committed baseline pins the workload (spec mismatch fails, so the
+//     scenario cannot be silently shrunk until it passes); the report must
+//     then clear absolute thresholds: availability under the interior-node
+//     kills at least -min-availability, post-repair Jain within the allowed
+//     ratio of the same schedule's no-failure run, at least one observed
+//     failover, and nobody left orphaned at the end. Thresholds rather than
+//     byte comparison because the run is wall-clock.
+//
 // Usage:
 //
 //	benchgate -report BENCH_cache.json -baseline bench/BENCH_cache_baseline.json [-max-regress 0.10]
 //	benchgate -scaling-report BENCH_scaling.json -scaling-baseline bench/BENCH_scaling_baseline.json [-max-scaling-regress 0.15]
+//	benchgate -chaos-report BENCH_chaos.json -chaos-baseline bench/BENCH_chaos_baseline.json [-min-availability 0.95] [-min-jain-ratio 0.90]
 package main
 
 import (
@@ -47,6 +57,10 @@ func run(args []string) error {
 	scalingPath := fs.String("scaling-report", "", "core-scaling report JSON produced by this run")
 	scalingBasePath := fs.String("scaling-baseline", "", "committed core-scaling baseline JSON")
 	maxScalingRegress := fs.Float64("max-scaling-regress", 0.15, "max allowed fractional per-core efficiency drop vs baseline")
+	chaosPath := fs.String("chaos-report", "", "chaos report JSON produced by this run")
+	chaosBasePath := fs.String("chaos-baseline", "", "committed chaos baseline JSON (pins the workload)")
+	minAvailability := fs.Float64("min-availability", 0.95, "chaos: minimum served/offered under the scheduled kills")
+	minJainRatio := fs.Float64("min-jain-ratio", 0.90, "chaos: minimum post-repair Jain relative to the no-failure run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,8 +99,76 @@ func run(args []string) error {
 		}
 		ranAny = true
 	}
+	if *chaosPath != "" || *chaosBasePath != "" {
+		if *chaosPath == "" || *chaosBasePath == "" {
+			return fmt.Errorf("both -chaos-report and -chaos-baseline are required")
+		}
+		rep, err := loadChaos(*chaosPath)
+		if err != nil {
+			return err
+		}
+		base, err := loadChaos(*chaosBasePath)
+		if err != nil {
+			return err
+		}
+		if err := gateChaos(rep, base, *minAvailability, *minJainRatio, os.Stdout); err != nil {
+			return err
+		}
+		ranAny = true
+	}
 	if !ranAny {
-		return fmt.Errorf("nothing to gate: pass -report/-baseline and/or -scaling-report/-scaling-baseline")
+		return fmt.Errorf("nothing to gate: pass -report/-baseline, -scaling-report/-scaling-baseline and/or -chaos-report/-chaos-baseline")
+	}
+	return nil
+}
+
+func loadChaos(path string) (*workload.ChaosReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep := &workload.ChaosReport{}
+	if err := json.NewDecoder(f).Decode(rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != workload.ChaosSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, workload.ChaosSchema)
+	}
+	return rep, nil
+}
+
+// gateChaos applies the fault-tolerance thresholds; every violation is
+// reported before the error returns so CI logs show the full picture.
+func gateChaos(rep, base *workload.ChaosReport, minAvail, minJainRatio float64, out *os.File) error {
+	// The baseline pins the workload: a report from a smaller tree, lighter
+	// kills or a shorter schedule is not the gated scenario.
+	// Every spec field is pinned — including the kill schedule and the
+	// detector period, since a faster heartbeat or gentler downtime would
+	// ease the scenario as surely as a smaller tree.
+	if rep.Spec != base.Spec {
+		return fmt.Errorf("report spec %+v and baseline spec %+v are different workloads; regenerate the baseline",
+			rep.Spec, base.Spec)
+	}
+	bad := 0
+	check := func(ok bool, format string, args ...any) {
+		if ok {
+			fmt.Fprintf(out, "ok   "+format+"\n", args...)
+		} else {
+			fmt.Fprintf(out, "FAIL "+format+"\n", args...)
+			bad++
+		}
+	}
+	check(rep.Availability >= minAvail,
+		"availability %.4f under %d kills (floor %.4f)", rep.Availability, len(rep.Killed), minAvail)
+	check(rep.JainRatio >= minJainRatio,
+		"post-repair jain %.3f = %.3f of the no-failure run (floor %.2f)",
+		rep.PostRepairJain, rep.JainRatio, minJainRatio)
+	check(rep.Reconnects >= 1, "reconnects %d (failover must have fired)", rep.Reconnects)
+	check(rep.FinalOrphaned == 0, "orphaned at end %d (tree must be repaired)", rep.FinalOrphaned)
+	check(rep.ReabsorbSeconds >= 0, "reabsorb %.2fs (repair must complete within the run)", rep.ReabsorbSeconds)
+	if bad > 0 {
+		return fmt.Errorf("%d chaos gate violation(s)", bad)
 	}
 	return nil
 }

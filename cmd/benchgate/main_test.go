@@ -194,3 +194,87 @@ func TestScalingGateRejectsDifferentWorkload(t *testing.T) {
 		t.Fatalf("gate compared scaling curves from different workloads")
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Chaos gate.
+
+func chaosReport(avail, jainRatio float64, reconnects int64, orphaned int) *workload.ChaosReport {
+	return &workload.ChaosReport{
+		Schema: workload.ChaosSchema, Scenario: "chaos",
+		Spec: workload.ChaosSpec{
+			Seed: 1, Nodes: 31, NumDocs: 48, TotalRate: 600, Duration: 12,
+			KillFraction: 0.10,
+		},
+		Killed:          []int{4},
+		Offered:         7200,
+		Responses:       int64(avail * 7200),
+		Availability:    avail,
+		PostRepairJain:  0.5 * jainRatio,
+		NoFailJain:      0.5,
+		JainRatio:       jainRatio,
+		Reconnects:      reconnects,
+		ReabsorbSeconds: 0.25,
+		FinalOrphaned:   orphaned,
+	}
+}
+
+func writeChaos(t *testing.T, dir, name string, rep *workload.ChaosReport) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return path
+}
+
+func TestChaosGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeChaos(t, dir, "base.json", chaosReport(0.99, 1.0, 2, 0))
+	rep := writeChaos(t, dir, "rep.json", chaosReport(0.96, 0.95, 1, 0))
+	if err := run([]string{"-chaos-report", rep, "-chaos-baseline", base}); err != nil {
+		t.Fatalf("gate failed on a healthy chaos run: %v", err)
+	}
+}
+
+func TestChaosGateFailsOnLowAvailability(t *testing.T) {
+	dir := t.TempDir()
+	base := writeChaos(t, dir, "base.json", chaosReport(0.99, 1.0, 2, 0))
+	rep := writeChaos(t, dir, "rep.json", chaosReport(0.90, 1.0, 2, 0))
+	if err := run([]string{"-chaos-report", rep, "-chaos-baseline", base}); err == nil {
+		t.Fatal("gate accepted availability below the floor")
+	}
+}
+
+func TestChaosGateFailsOnJainCollapse(t *testing.T) {
+	dir := t.TempDir()
+	base := writeChaos(t, dir, "base.json", chaosReport(0.99, 1.0, 2, 0))
+	rep := writeChaos(t, dir, "rep.json", chaosReport(0.99, 0.7, 2, 0))
+	if err := run([]string{"-chaos-report", rep, "-chaos-baseline", base}); err == nil {
+		t.Fatal("gate accepted a post-repair fairness collapse")
+	}
+}
+
+func TestChaosGateFailsWithoutRepair(t *testing.T) {
+	dir := t.TempDir()
+	base := writeChaos(t, dir, "base.json", chaosReport(0.99, 1.0, 2, 0))
+	// No failover observed and an orphan left behind.
+	rep := writeChaos(t, dir, "rep.json", chaosReport(0.99, 1.0, 0, 1))
+	if err := run([]string{"-chaos-report", rep, "-chaos-baseline", base}); err == nil {
+		t.Fatal("gate accepted a run whose tree never repaired")
+	}
+}
+
+func TestChaosGateRejectsDifferentWorkload(t *testing.T) {
+	dir := t.TempDir()
+	base := writeChaos(t, dir, "base.json", chaosReport(0.99, 1.0, 2, 0))
+	shrunk := chaosReport(0.99, 1.0, 2, 0)
+	shrunk.Spec.KillFraction = 0.01 // gentler kills than the gated scenario
+	rep := writeChaos(t, dir, "rep.json", shrunk)
+	if err := run([]string{"-chaos-report", rep, "-chaos-baseline", base}); err == nil {
+		t.Fatal("gate compared different workloads")
+	}
+}

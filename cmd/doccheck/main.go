@@ -1,0 +1,163 @@
+// Command doccheck is the repository's markdown link checker: it walks the
+// given files and directories (recursively, *.md), extracts every inline
+// link and image, and verifies that each relative target resolves — the
+// file exists, and when the link carries a #fragment into a markdown file,
+// a heading with that GitHub-style anchor exists there. External schemes
+// (http, https, mailto) are skipped: CI must not depend on the network.
+//
+// Usage:
+//
+//	doccheck README.md docs
+//
+// Exit status 1 lists every broken link, so one run shows the full damage.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	targets := os.Args[1:]
+	if len(targets) == 0 {
+		targets = []string{"README.md", "docs"}
+	}
+	files, err := collect(targets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(1)
+	}
+	broken := 0
+	for _, f := range files {
+		bad, err := checkFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(1)
+		}
+		for _, b := range bad {
+			fmt.Println(b)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d broken link(s) in %d file(s)\n", broken, len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d file(s), all links resolve\n", len(files))
+}
+
+// collect expands the argument list into markdown files.
+func collect(targets []string) ([]string, error) {
+	var out []string
+	for _, t := range targets {
+		info, err := os.Stat(t)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			out = append(out, t)
+			continue
+		}
+		err = filepath.WalkDir(t, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(strings.ToLower(d.Name()), ".md") {
+				out = append(out, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// linkRe matches inline markdown links and images: [text](target) with an
+// optional title. Targets with spaces are out of scope (quote them).
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRe matches ATX headings.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+// codeFenceRe strips fenced code blocks so links inside examples are not
+// checked (and fake headings inside them are not collected).
+var codeFenceRe = regexp.MustCompile("(?s)```.*?```")
+
+// anchors returns the GitHub-style heading anchors of a markdown document.
+func anchors(md string) map[string]bool {
+	out := make(map[string]bool)
+	for _, m := range headingRe.FindAllStringSubmatch(codeFenceRe.ReplaceAllString(md, ""), -1) {
+		out[slugify(m[1])] = true
+	}
+	return out
+}
+
+// slugify approximates GitHub's heading-anchor algorithm: lowercase, drop
+// everything but letters, digits, spaces and hyphens (backticks vanish),
+// then turn spaces into hyphens.
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// checkFile verifies every relative link in one markdown file, returning a
+// description of each broken one.
+func checkFile(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	md := string(raw)
+	selfAnchors := anchors(md)
+	var bad []string
+	for _, m := range linkRe.FindAllStringSubmatch(codeFenceRe.ReplaceAllString(md, ""), -1) {
+		target := m[1]
+		if hasScheme(target) {
+			continue
+		}
+		file, frag, _ := strings.Cut(target, "#")
+		if file == "" {
+			// Same-document anchor.
+			if frag != "" && !selfAnchors[frag] {
+				bad = append(bad, fmt.Sprintf("%s: broken anchor %q", path, target))
+			}
+			continue
+		}
+		resolved := filepath.Join(filepath.Dir(path), file)
+		info, err := os.Stat(resolved)
+		if err != nil {
+			bad = append(bad, fmt.Sprintf("%s: broken link %q (%s does not exist)", path, target, resolved))
+			continue
+		}
+		if frag != "" && !info.IsDir() && strings.HasSuffix(strings.ToLower(file), ".md") {
+			other, err := os.ReadFile(resolved)
+			if err != nil {
+				return nil, err
+			}
+			if !anchors(string(other))[frag] {
+				bad = append(bad, fmt.Sprintf("%s: broken anchor %q (no such heading in %s)", path, target, resolved))
+			}
+		}
+	}
+	return bad, nil
+}
+
+func hasScheme(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:")
+}

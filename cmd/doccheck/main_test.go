@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFileResolvesGoodLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "docs", "a.md"),
+		"# Title Here\n\nsee [b](b.md), [up](../top.md#quick-start), [self](#title-here), [ext](https://example.com/x)\n")
+	write(t, filepath.Join(dir, "docs", "b.md"), "# B\n")
+	write(t, filepath.Join(dir, "top.md"), "# Top\n\n## Quick start\n")
+	bad, err := checkFile(filepath.Join(dir, "docs", "a.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("good links reported broken: %v", bad)
+	}
+}
+
+func TestCheckFileFlagsBrokenLinksAndAnchors(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.md"),
+		"# A\n\n[gone](missing.md) and [bad anchor](b.md#nope) and [bad self](#nothing)\n")
+	write(t, filepath.Join(dir, "b.md"), "# B\n")
+	bad, err := checkFile(filepath.Join(dir, "a.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 3 {
+		t.Fatalf("broken = %d (%v), want 3", len(bad), bad)
+	}
+}
+
+func TestLinksInsideCodeFencesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.md"),
+		"# A\n\n```sh\ncat [not a link](nowhere.md)\n```\n")
+	bad, err := checkFile(filepath.Join(dir, "a.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("fenced pseudo-link flagged: %v", bad)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Quick start":               "quick-start",
+		"The `evict` wire kind":     "the-evict-wire-kind",
+		"Layer map: top to bottom!": "layer-map-top-to-bottom",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -18,13 +18,16 @@
 //	webwave-bench -scenario wire-throughput -duration 3 -json BENCH_wire_throughput.json
 //	webwave-bench -scenario core-scaling -procs 1,2,4,8 -json BENCH_scaling.json
 //	webwave-bench -scenario core-scaling -procs 1,4 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	webwave-bench -scenario chaos -kill-fraction 0.1 -json BENCH_chaos.json
 //
-// Two scenarios are special, wall-clock (NOT deterministic) measurements
-// of the live serving stack over real TCP loopback sockets:
-// wire-throughput drives the same pressure once per wire protocol version
-// and reports the v2/v1 speedup; core-scaling sweeps GOMAXPROCS (the
-// servers' shard-loop count follows) and reports req/s, per-core
-// efficiency, Jain fairness and hit rate per core count.
+// Three scenarios are special, wall-clock (NOT deterministic) measurements
+// of the live serving stack: wire-throughput drives the same pressure once
+// per wire protocol version over TCP loopback and reports the v2/v1
+// speedup; core-scaling sweeps GOMAXPROCS (the servers' shard-loop count
+// follows) and reports req/s, per-core efficiency, Jain fairness and hit
+// rate per core count; chaos kills and restarts a fraction of a live
+// cluster's interior nodes mid-run and reports availability, repair time
+// and post-repair fairness against a no-failure control pass.
 //
 // -cpuprofile and -memprofile write pprof artifacts covering the run, so a
 // scaling regression caught by CI can be diagnosed from the uploaded
@@ -69,6 +72,8 @@ func run(args []string) error {
 	evictPolicy := fs.String("evict-policy", "", "live: eviction policy (lru, heat or gdsf)")
 	procs := fs.String("procs", "1,2,4,8", "core-scaling: comma-separated GOMAXPROCS sweep")
 	repeat := fs.Int("repeat", 1, "core-scaling: full-sweep repetitions, keeping the lowest efficiency per core count (baselines use 3)")
+	killFraction := fs.Float64("kill-fraction", 0, "chaos: fraction of interior nodes killed mid-run (0 = default 0.10)")
+	heartbeatMS := fs.Int("heartbeat-ms", 0, "chaos: failure-detector period, milliseconds (0 = default 40)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile covering the run to this file")
 	memprofile := fs.String("memprofile", "", "write an end-of-run heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -116,6 +121,8 @@ func run(args []string) error {
 			"wire-throughput")
 		fmt.Printf("%-14s live TCP stack, GOMAXPROCS sweep, req/s + per-core efficiency + Jain + hit rate\n",
 			"core-scaling")
+		fmt.Printf("%-14s live cluster under node churn: kill/restart interior nodes, availability + repair time + post-repair Jain\n",
+			"chaos")
 		return nil
 	}
 
@@ -133,6 +140,12 @@ func run(args []string) error {
 		return runCoreScaling(workload.ScalingSpec{
 			Seed: *seed, Nodes: *n, Clients: *clients,
 			Duration: *duration, BodyBytes: *body, Procs: sweep, Repeat: *repeat,
+		}, *jsonPath)
+	}
+	if *scenario == "chaos" {
+		return runChaos(workload.ChaosSpec{
+			Seed: *seed, Nodes: *n, TotalRate: *rate, Duration: *duration,
+			KillFraction: *killFraction, HeartbeatMS: *heartbeatMS,
 		}, *jsonPath)
 	}
 

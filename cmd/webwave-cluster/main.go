@@ -39,6 +39,9 @@ func run(args []string) error {
 	shards := fs.Int("shards", 0, "doc-sharded event loops per server (0 = GOMAXPROCS)")
 	maxBatch := fs.Int("max-batch", 0, "events drained per loop iteration (0 = default 256)")
 	queueDepth := fs.Int("queue-depth", 0, "per-loop event queue capacity (0 = default 1024)")
+	ancestors := fs.Bool("ancestors", false, "give nodes ancestor failover lists (survive interior-node loss)")
+	heartbeat := fs.Duration("heartbeat", 0, "failure-detector period, e.g. 50ms (0 = off; >0 implies -ancestors)")
+	heartbeatMisses := fs.Int("heartbeat-misses", 0, "silent heartbeat periods before a neighbor is declared dead (0 = default 3)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +63,9 @@ func run(args []string) error {
 		NumShards:        *shards,
 		MaxBatch:         *maxBatch,
 		QueueDepth:       *queueDepth,
+		Ancestors:        *ancestors,
+		HeartbeatPeriod:  *heartbeat,
+		HeartbeatMisses:  *heartbeatMisses,
 	}
 	res, err := repro.RunLiveCluster(cfg)
 	if err != nil {

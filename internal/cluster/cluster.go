@@ -2,6 +2,14 @@
 // routing tree over a transport, injects client request traffic from a
 // schedule, and scrapes per-node metrics — the test and demonstration
 // harness for the live protocol.
+//
+// Beyond assembly, the cluster is a topology registry with failure
+// injection: KillNode / RestartNode stop and revive whole servers (the
+// restarted node rebinds its old address, so surviving ancestor lists stay
+// valid), PartitionEdge / HealEdge drop traffic on a tree edge without
+// killing anything, and Topology scrapes each node's current parent so the
+// repaired tree — children failed over to ancestors, restarted nodes
+// re-attached — is observable rather than assumed.
 package cluster
 
 import (
@@ -54,6 +62,17 @@ type Config struct {
 	NumShards  int
 	MaxBatch   int
 	QueueDepth int
+
+	// Ancestors gives every non-root server a failover candidate list
+	// ([parent, grandparent, ..., root]): a node whose parent link dies
+	// re-attaches to the nearest answering ancestor and replays its held
+	// duty. HeartbeatPeriod (>0 implies Ancestors) additionally enables the
+	// liveness detector, which is what turns a silent failure — a partition,
+	// a wedged peer — into a detected one; HeartbeatMisses is the silence
+	// budget (0 = server default of 3 periods). See server.Config.
+	Ancestors       bool
+	HeartbeatPeriod time.Duration
+	HeartbeatMisses int
 }
 
 // Cluster is a running tree of live servers.
@@ -63,6 +82,13 @@ type Cluster struct {
 	net     transport.Network
 	servers []*server.Server
 	addrs   []string
+
+	// Topology registry: the per-node server configs (kept so KillNode /
+	// RestartNode can revive a node on its original address) and each
+	// node's liveness.
+	regMu sync.Mutex
+	scfgs []server.Config
+	dead  []bool
 
 	injectMu    sync.Mutex
 	injectConns []transport.Conn
@@ -100,12 +126,15 @@ func New(t *tree.Tree, docs map[core.DocID][]byte, cfg Config) (*Cluster, error)
 		net:         netw,
 		servers:     make([]*server.Server, t.Len()),
 		addrs:       make([]string, t.Len()),
+		scfgs:       make([]server.Config, t.Len()),
+		dead:        make([]bool, t.Len()),
 		injectConns: make([]transport.Conn, t.Len()),
 		reqSeq:      make([]uint64, t.Len()),
 		servedBy:    make(map[int]int64),
 		sentAt:      make(map[pendingKey]time.Time),
 	}
 
+	recovery := cfg.Ancestors || cfg.HeartbeatPeriod > 0
 	for _, v := range t.BFSOrder() {
 		scfg := server.Config{
 			ID:               v,
@@ -124,6 +153,8 @@ func New(t *tree.Tree, docs map[core.DocID][]byte, cfg Config) (*Cluster, error)
 			NumShards:        cfg.NumShards,
 			MaxBatch:         cfg.MaxBatch,
 			QueueDepth:       cfg.QueueDepth,
+			HeartbeatPeriod:  cfg.HeartbeatPeriod,
+			HeartbeatMisses:  cfg.HeartbeatMisses,
 		}
 		if v == t.Root() {
 			scfg.Docs = docs
@@ -131,6 +162,14 @@ func New(t *tree.Tree, docs map[core.DocID][]byte, cfg Config) (*Cluster, error)
 			scfg.ParentID = t.Parent(v)
 			scfg.ParentAddr = c.addrs[t.Parent(v)]
 			scfg.HomeAddr = c.addrs[t.Root()]
+			if recovery {
+				// Failover candidates: parent first (a healed or restarted
+				// parent is always preferred), then each farther ancestor.
+				// BFS order guarantees every ancestor's address is known.
+				for p := t.Parent(v); p >= 0; p = t.Parent(p) {
+					scfg.AncestorAddrs = append(scfg.AncestorAddrs, c.addrs[p])
+				}
+			}
 		}
 		srv, err := server.New(scfg)
 		if err != nil {
@@ -143,6 +182,10 @@ func New(t *tree.Tree, docs map[core.DocID][]byte, cfg Config) (*Cluster, error)
 		}
 		c.servers[v] = srv
 		c.addrs[v] = srv.Addr()
+		// Registry copy with the concrete bound address, so a restart
+		// rebinds exactly where the ancestors expect the node.
+		scfg.Addr = srv.Addr()
+		c.scfgs[v] = scfg
 	}
 
 	// One injection conn per node, with a response-collector goroutine.
@@ -184,7 +227,9 @@ func (c *Cluster) collect(conn transport.Conn) {
 	}
 }
 
-// Inject sends one client request for doc entering the tree at origin.
+// Inject sends one client request for doc entering the tree at origin. A
+// failed send (the origin node is down) rolls its accounting back, so Drain
+// still converges on the requests that actually entered the tree.
 func (c *Cluster) Inject(origin int, doc core.DocID) error {
 	if origin < 0 || origin >= c.t.Len() {
 		return fmt.Errorf("cluster: origin %d out of range", origin)
@@ -194,14 +239,22 @@ func (c *Cluster) Inject(origin int, doc core.DocID) error {
 	seq := c.reqSeq[origin]
 	conn := c.injectConns[origin]
 	c.injectMu.Unlock()
+	key := pendingKey{origin: origin, reqID: seq}
 	c.servedByMu.Lock()
-	c.sentAt[pendingKey{origin: origin, reqID: seq}] = time.Now()
+	c.sentAt[key] = time.Now()
 	c.servedByMu.Unlock()
 	c.outstanding.Add(1)
-	return conn.Send(&netproto.Envelope{
+	err := conn.Send(&netproto.Envelope{
 		Kind: netproto.TypeRequest, From: -1, To: origin,
 		Origin: origin, ReqID: seq, Doc: doc,
 	})
+	if err != nil {
+		c.outstanding.Add(-1)
+		c.servedByMu.Lock()
+		delete(c.sentAt, key)
+		c.servedByMu.Unlock()
+	}
+	return err
 }
 
 // LatencySummary returns descriptive statistics of per-request response
@@ -297,16 +350,31 @@ func (c *Cluster) ServedVector() core.Vector {
 }
 
 // Stats scrapes every server and returns the replies ordered by node id.
+// Killed nodes yield a nil entry instead of failing the whole scrape, so
+// the harness can observe a cluster mid-failure.
 func (c *Cluster) Stats() ([]*netproto.Stats, error) {
 	out := make([]*netproto.Stats, c.t.Len())
 	for v := 0; v < c.t.Len(); v++ {
+		if c.NodeDead(v) {
+			continue
+		}
+		// A node can be killed between the liveness check and any step of
+		// the scrape; re-checking on error keeps a racing kill a skipped
+		// entry instead of failing the whole scrape.
+		deadRace := func(err error) bool { return err != nil && c.NodeDead(v) }
 		conn, err := c.net.Dial(c.addrs[v])
+		if deadRace(err) {
+			continue
+		}
 		if err != nil {
 			return nil, fmt.Errorf("cluster: stats dial %d: %w", v, err)
 		}
 		err = conn.Send(&netproto.Envelope{Kind: netproto.TypeStatsQuery, From: -1, To: v})
 		if err != nil {
 			conn.Close()
+			if deadRace(err) {
+				continue
+			}
 			return nil, fmt.Errorf("cluster: stats query %d: %w", v, err)
 		}
 		deadline := time.Now().Add(2 * time.Second)
@@ -314,6 +382,9 @@ func (c *Cluster) Stats() ([]*netproto.Stats, error) {
 			env, err := conn.Recv()
 			if err != nil {
 				conn.Close()
+				if deadRace(err) {
+					break
+				}
 				return nil, fmt.Errorf("cluster: stats reply %d: %w", v, err)
 			}
 			if env.Kind == netproto.TypeStatsReply && env.Stats != nil {
@@ -341,7 +412,9 @@ func (c *Cluster) Loads() (core.Vector, error) {
 	}
 	out := make(core.Vector, len(sts))
 	for i, st := range sts {
-		out[i] = st.Load
+		if st != nil {
+			out[i] = st.Load
+		}
 	}
 	return out, nil
 }
@@ -354,6 +427,9 @@ func (c *Cluster) CachedDocs() (map[int][]core.DocID, error) {
 	}
 	out := make(map[int][]core.DocID, len(sts))
 	for i, st := range sts {
+		if st == nil {
+			continue
+		}
 		docs := append([]core.DocID(nil), st.CachedDocs...)
 		sort.Slice(docs, func(a, b int) bool { return docs[a] < docs[b] })
 		out[i] = docs
@@ -394,12 +470,103 @@ func (c *Cluster) setEdge(v int, down bool) bool {
 
 // StopServer kills one node's server (failure injection). Requests that
 // would route through the dead node go unanswered; the rest of the tree
-// keeps serving.
-func (c *Cluster) StopServer(v int) {
+// keeps serving (and, with Ancestors configured, repairs around the hole).
+// Alias of KillNode, kept for existing callers.
+func (c *Cluster) StopServer(v int) { c.KillNode(v) }
+
+// KillNode stops node v's server and marks it dead in the registry: stats
+// scrapes skip it, injections at it fail, and — when the cluster runs with
+// Ancestors — its children detect the loss and fail over to surviving
+// ancestors while its parent re-absorbs the duty it had delegated to it.
+// It reports whether a live node was actually killed.
+func (c *Cluster) KillNode(v int) bool {
 	if v < 0 || v >= len(c.servers) || c.servers[v] == nil {
-		return
+		return false
 	}
-	c.servers[v].Stop()
+	c.regMu.Lock()
+	if c.dead[v] {
+		c.regMu.Unlock()
+		return false
+	}
+	c.dead[v] = true
+	srv := c.servers[v]
+	c.regMu.Unlock()
+	srv.Stop()
+	c.injectMu.Lock()
+	if conn := c.injectConns[v]; conn != nil {
+		conn.Close()
+	}
+	c.injectMu.Unlock()
+	return true
+}
+
+// RestartNode revives a killed node on its original address with its
+// original configuration (the root re-publishes its pinned documents). The
+// revived node dials its configured parent — or, if that parent is still
+// down and ancestors are configured, comes up orphaned and fails over —
+// and rejoins the tree as a fresh leaf: its former children have already
+// re-attached elsewhere. The injection connection is re-dialed so traffic
+// can enter at the node again.
+func (c *Cluster) RestartNode(v int) error {
+	if v < 0 || v >= len(c.servers) {
+		return fmt.Errorf("cluster: restart node %d out of range", v)
+	}
+	c.regMu.Lock()
+	if !c.dead[v] {
+		c.regMu.Unlock()
+		return fmt.Errorf("cluster: restart node %d: not dead", v)
+	}
+	scfg := c.scfgs[v]
+	c.regMu.Unlock()
+	srv, err := server.New(scfg)
+	if err != nil {
+		return fmt.Errorf("cluster: restart node %d: %w", v, err)
+	}
+	if err := srv.Start(); err != nil {
+		return fmt.Errorf("cluster: restart node %d: %w", v, err)
+	}
+	conn, err := c.net.Dial(srv.Addr())
+	if err != nil {
+		srv.Stop()
+		return fmt.Errorf("cluster: restart node %d: dial injector: %w", v, err)
+	}
+	c.regMu.Lock()
+	c.servers[v] = srv
+	c.dead[v] = false
+	c.regMu.Unlock()
+	c.injectMu.Lock()
+	c.injectConns[v] = conn
+	c.injectMu.Unlock()
+	go c.collect(conn)
+	return nil
+}
+
+// NodeDead reports whether node v is currently killed.
+func (c *Cluster) NodeDead(v int) bool {
+	if v < 0 || v >= len(c.dead) {
+		return true
+	}
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	return c.dead[v]
+}
+
+// Topology scrapes each live node's current parent id — the repaired
+// routing tree after failures, as the nodes themselves see it. Dead nodes
+// and (transiently) orphaned nodes report -1; index Root() is always -1.
+func (c *Cluster) Topology() ([]int, error) {
+	sts, err := c.Stats()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(sts))
+	for v, st := range sts {
+		out[v] = -1
+		if st != nil {
+			out[v] = st.ParentID
+		}
+	}
+	return out, nil
 }
 
 // Stop shuts every server down.
@@ -411,7 +578,10 @@ func (c *Cluster) Stop() {
 		}
 	}
 	c.injectMu.Unlock()
-	for _, s := range c.servers {
+	c.regMu.Lock()
+	servers := append([]*server.Server(nil), c.servers...)
+	c.regMu.Unlock()
+	for _, s := range servers {
 		if s != nil {
 			s.Stop()
 		}

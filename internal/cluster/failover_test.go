@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"webwave/internal/core"
+	"webwave/internal/netproto"
+	"webwave/internal/transport"
+	"webwave/internal/tree"
+)
+
+// TestKillRestartRepairsTreeOverTCP is the live-socket acceptance test for
+// the fault-tolerant runtime: killing an interior node of a real TCP
+// cluster must repair the tree (the stranded child fails over to the
+// grandparent: reconnects > 0, orphaned back to 0), restarting the node
+// must re-attach it on its original address, traffic must flow end to end
+// afterward, and stopping the whole cluster must not leak goroutines.
+func TestKillRestartRepairsTreeOverTCP(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	tr := tree.MustFromParents([]int{tree.NoParent, 0, 1})
+	docs := map[core.DocID][]byte{"d": []byte("x")}
+	cfg := smallConfig()
+	cfg.Network = transport.TCPNetwork{}
+	cfg.AddrFor = func(int) string { return "127.0.0.1:0" }
+	cfg.Ancestors = true
+	cfg.HeartbeatPeriod = 25 * time.Millisecond
+	c, err := New(tr, docs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	// Warm traffic through the intact chain.
+	for i := 0; i < 20; i++ {
+		if err := c.Inject(2, "d"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if left := c.Drain(5 * time.Second); left != 0 {
+		t.Fatalf("%d warmup requests unanswered", left)
+	}
+
+	if !c.KillNode(1) {
+		t.Fatal("KillNode(1) reported no kill")
+	}
+	waitNodeStats(t, c, 2, "node 2 failed over to the root", func(st *netproto.Stats) bool {
+		return st.Orphaned == 0 && st.ParentID == 0 && st.Reconnects >= 1
+	})
+
+	// The repaired (flattened) tree serves requests entering at the leaf.
+	got := c.Responses()
+	for i := 0; i < 20; i++ {
+		if err := c.Inject(2, "d"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if left := c.Drain(5 * time.Second); left != 0 {
+		t.Fatalf("%d requests unanswered on the repaired tree", left)
+	}
+	if c.Responses() != got+20 {
+		t.Fatalf("responses = %d, want %d", c.Responses(), got+20)
+	}
+
+	// Restart: the node rebinds its old address and re-attaches upward.
+	if err := c.RestartNode(1); err != nil {
+		t.Fatal(err)
+	}
+	waitNodeStats(t, c, 1, "restarted node re-attached", func(st *netproto.Stats) bool {
+		return st.Orphaned == 0 && st.ParentID == 0
+	})
+	topo, err := c.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo[0] != -1 || topo[1] != 0 {
+		t.Fatalf("repaired topology = %v, want node 1 under the root", topo)
+	}
+	if topo[2] != 0 && topo[2] != 1 {
+		t.Fatalf("node 2's parent = %d, want a live ancestor", topo[2])
+	}
+	for i := 0; i < 20; i++ {
+		if err := c.Inject(1, "d"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Inject(2, "d"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if left := c.Drain(5 * time.Second); left != 0 {
+		t.Fatalf("%d requests unanswered after restart", left)
+	}
+
+	// Goroutine-leak check: after a full stop everything the kill/restart
+	// cycle spawned (failover hunts, read loops, revived servers) unwinds.
+	c.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+3 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after stop — leak", before, runtime.NumGoroutine())
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"webwave/internal/core"
+	"webwave/internal/netproto"
 	"webwave/internal/tree"
 )
 
@@ -64,6 +65,69 @@ func TestPartitionEdgeIsolatesSubtreeThenHeals(t *testing.T) {
 	if got := c.Responses(); got < 40 {
 		t.Fatalf("responses = %d after heal, want >= 40", got)
 	}
+}
+
+// TestHealTriggersRejoin is the regression test for the dead-pipe bug:
+// before the rejoin path existed, a heartbeat-equipped child whose parent
+// edge was partitioned kept its parentConn pointing at a pipe the detector
+// had killed, and HealEdge restored the link state but never the
+// connection. Now the partition must drive the child into orphan mode
+// (heartbeat misses, no failover possible — the only ancestor is across
+// the partition) and HealEdge must let the background rejoin succeed:
+// reconnects goes positive, orphaned returns to zero, traffic flows.
+func TestHealTriggersRejoin(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent, 0})
+	docs := map[core.DocID][]byte{"d": []byte("x")}
+	cfg := smallConfig()
+	cfg.Ancestors = true
+	cfg.HeartbeatPeriod = 20 * time.Millisecond
+	c, err := New(tr, docs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	if !c.PartitionEdge(1) {
+		t.Fatal("PartitionEdge(1) not supported")
+	}
+	waitNodeStats(t, c, 1, "node 1 orphaned behind the partition", func(st *netproto.Stats) bool {
+		return st.Orphaned == 1 && st.HeartbeatMisses > 0
+	})
+
+	if !c.HealEdge(1) {
+		t.Fatal("HealEdge(1) failed")
+	}
+	waitNodeStats(t, c, 1, "node 1 rejoined after heal", func(st *netproto.Stats) bool {
+		return st.Orphaned == 0 && st.ParentID == 0 && st.Reconnects >= 1
+	})
+
+	for i := 0; i < 20; i++ {
+		if err := c.Inject(1, "d"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if left := c.Drain(5 * time.Second); left != 0 {
+		t.Fatalf("%d requests unanswered after heal+rejoin", left)
+	}
+}
+
+// waitNodeStats polls one node's scrape until pred accepts it.
+func waitNodeStats(t *testing.T, c *Cluster, v int, what string, pred func(*netproto.Stats) bool) *netproto.Stats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var last *netproto.Stats
+	for time.Now().Before(deadline) {
+		sts, err := c.Stats()
+		if err == nil && sts[v] != nil {
+			last = sts[v]
+			if pred(last) {
+				return last
+			}
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	t.Fatalf("%s never held; last scrape %+v", what, last)
+	return nil
 }
 
 func TestPartitionEdgeValidation(t *testing.T) {

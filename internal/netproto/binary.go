@@ -50,12 +50,16 @@ var kindToCode = map[Type]byte{
 	TypeStatsReply:  10,
 	TypeShutdown:    11,
 	TypeEvict:       12,
+	TypePing:        13,
+	TypePong:        14,
+	TypeReclaim:     15,
 }
 
-var codeToKind = [13]Type{
+var codeToKind = [16]Type{
 	1: TypeGossip, 2: TypeDelegate, 3: TypeDelegateAck, 4: TypeShed,
 	5: TypeRequest, 6: TypeResponse, 7: TypeTunnelFetch, 8: TypeTunnelReply,
 	9: TypeStatsQuery, 10: TypeStatsReply, 11: TypeShutdown, 12: TypeEvict,
+	13: TypePing, 14: TypePong, 15: TypeReclaim,
 }
 
 // DocInterner de-duplicates document-id strings seen by a decoder so the
@@ -122,11 +126,11 @@ func AppendEnvelopeV2(dst []byte, env *Envelope) ([]byte, error) {
 		dst = append(dst, flags)
 		dst = appendString(dst, string(env.Doc))
 		dst = appendBytes(dst, env.Body)
-	case TypeDelegate, TypeDelegateAck, TypeShed, TypeEvict, TypeTunnelFetch, TypeTunnelReply:
+	case TypeDelegate, TypeDelegateAck, TypeShed, TypeEvict, TypeReclaim, TypeTunnelFetch, TypeTunnelReply:
 		dst = appendString(dst, string(env.Doc))
 		dst = appendFloat(dst, env.Rate)
 		dst = appendBytes(dst, env.Body)
-	case TypeStatsQuery, TypeShutdown:
+	case TypeStatsQuery, TypeShutdown, TypePing, TypePong:
 		// Header only.
 	case TypeStatsReply:
 		if env.Stats == nil {
@@ -214,13 +218,13 @@ func DecodeEnvelopeV2(env *Envelope, payload []byte, in *DocInterner) error {
 		if b := r.bytes(); len(b) > 0 {
 			env.Body = append(body, b...)
 		}
-	case TypeDelegate, TypeDelegateAck, TypeShed, TypeEvict, TypeTunnelFetch, TypeTunnelReply:
+	case TypeDelegate, TypeDelegateAck, TypeShed, TypeEvict, TypeReclaim, TypeTunnelFetch, TypeTunnelReply:
 		env.Doc = in.Intern(r.bytes())
 		env.Rate = r.float()
 		if b := r.bytes(); len(b) > 0 {
 			env.Body = append(body, b...)
 		}
-	case TypeStatsQuery, TypeShutdown:
+	case TypeStatsQuery, TypeShutdown, TypePing, TypePong:
 		// Header only.
 	case TypeStatsReply:
 		if r.byte() != 0 {

@@ -34,6 +34,31 @@ func allKindEnvelopes() []*Envelope {
 			QueueLen:    3, CacheBytes: 77,
 		}},
 		{Kind: TypeShutdown, From: -1, To: 0},
+		{Kind: TypePing, From: 4, To: 1, Seq: 12},
+		{Kind: TypePong, From: 1, To: 4, Seq: 13},
+		{Kind: TypeReclaim, From: 4, To: 0, Seq: 14, Doc: "d", Rate: 12.5},
+	}
+}
+
+// TestAllKindsHaveBinaryEncoding keeps the codec table and the kind list in
+// sync: a new Type constant without a v2 code would silently fall back to
+// header-only encoding and corrupt the stream.
+func TestAllKindsHaveBinaryEncoding(t *testing.T) {
+	kinds := []Type{
+		TypeGossip, TypeDelegate, TypeDelegateAck, TypeShed, TypeRequest,
+		TypeResponse, TypeEvict, TypeTunnelFetch, TypeTunnelReply,
+		TypeStatsQuery, TypeStatsReply, TypeShutdown, TypePing, TypePong,
+		TypeReclaim,
+	}
+	for _, k := range kinds {
+		code, ok := kindToCode[k]
+		if !ok {
+			t.Errorf("kind %q has no binary code", k)
+			continue
+		}
+		if codeToKind[code] != k {
+			t.Errorf("code %d maps to %q, want %q", code, codeToKind[code], k)
+		}
 	}
 }
 

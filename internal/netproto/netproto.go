@@ -66,6 +66,22 @@ const (
 	TypeStatsReply Type = "stats_reply"
 	// TypeShutdown asks a server to stop gracefully.
 	TypeShutdown Type = "shutdown"
+	// TypePing probes a link for liveness: sent on idle heartbeats by the
+	// failure detector and as the first frame of a failover handshake. The
+	// receiver answers with TypePong; either frame (or any other traffic)
+	// counts as proof of life.
+	TypePing Type = "ping"
+	// TypePong answers a ping. From carries the responder's node id, which
+	// is how a failing-over orphan learns the identity of the ancestor it
+	// dialed by address.
+	TypePong Type = "pong"
+	// TypeReclaim re-announces serve duty across a repaired tree edge: after
+	// failing over to a new parent, an orphan replays one reclaim per held
+	// document, with Rate carrying the target duty it is still serving. The
+	// new parent absorbs the figures into its per-child duty ledger — the
+	// same bookkeeping the evict-hint path feeds — so a later loss of this
+	// child re-absorbs exactly the duty that actually lives below the edge.
+	TypeReclaim Type = "reclaim"
 )
 
 // Envelope is the single wire message. Fields are a flat union; which are
@@ -151,6 +167,24 @@ type Stats struct {
 	// from ShedsIn, which counts only TypeShed messages).
 	EvictHintsIn  int64 `json:"evict_hints_in,omitempty"`
 	MaxCacheBytes int64 `json:"max_cache_bytes,omitempty"`
+	// Fault-tolerance figures. ParentID is the node currently acting as this
+	// server's parent (-1 at the root, or while orphaned); Orphaned is a
+	// gauge: 1 while a non-root node has no live parent link. Reconnects
+	// counts completed failovers (a new parent installed after a loss);
+	// HeartbeatMisses counts heartbeat intervals that elapsed with no
+	// traffic from a monitored neighbor — a steadily rising figure points at
+	// a partitioned or wedged link before the detector gives up on it.
+	ParentID        int   `json:"parent_id"`
+	Orphaned        int   `json:"orphaned,omitempty"`
+	Reconnects      int64 `json:"reconnects,omitempty"`
+	HeartbeatMisses int64 `json:"heartbeat_misses,omitempty"`
+	// ReclaimedDuty totals the duty rate re-announced to this node by
+	// orphans that failed over to it (TypeReclaim); AbsorbedDuty totals the
+	// delegated duty this node re-absorbed into its own targets when a
+	// child died. Together they account for where a dead subtree's serve
+	// duty went.
+	ReclaimedDuty float64 `json:"reclaimed_duty,omitempty"`
+	AbsorbedDuty  float64 `json:"absorbed_duty,omitempty"`
 }
 
 // FilterStats mirrors router.Stats for the wire.

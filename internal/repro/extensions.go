@@ -160,6 +160,15 @@ type LiveConfig struct {
 	NumShards  int
 	MaxBatch   int
 	QueueDepth int
+
+	// Ancestors gives every non-root server a failover candidate list so a
+	// node whose parent dies re-attaches to a surviving ancestor;
+	// HeartbeatPeriod (>0 implies Ancestors) enables the liveness detector
+	// and HeartbeatMisses its silence budget (0 = 3 periods). See
+	// cluster.Config.
+	Ancestors       bool
+	HeartbeatPeriod time.Duration
+	HeartbeatMisses int
 }
 
 // DefaultLiveConfig returns a laptop-scale live run: a 7-node binary tree,
@@ -222,6 +231,9 @@ func RunLiveCluster(cfg LiveConfig) (*LiveResult, error) {
 		NumShards:        cfg.NumShards,
 		MaxBatch:         cfg.MaxBatch,
 		QueueDepth:       cfg.QueueDepth,
+		Ancestors:        cfg.Ancestors,
+		HeartbeatPeriod:  cfg.HeartbeatPeriod,
+		HeartbeatMisses:  cfg.HeartbeatMisses,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("live: %w", err)

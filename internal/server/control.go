@@ -2,6 +2,7 @@ package server
 
 import (
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"webwave/internal/core"
@@ -27,6 +28,20 @@ type control struct {
 
 	nGossip, nTunnels int64
 
+	// Failure-detector state (loop-owned except failoverOn, which the
+	// Start-time orphan path also sets). lastParent / childSeen record when
+	// each neighbor last produced control-visible traffic (gossip, pings,
+	// pongs); the heartbeat tick turns prolonged silence into a closed
+	// connection, which funnels into the same repair paths as a transport
+	// error.
+	failoverOn       atomic.Bool // a failover goroutine is hunting ancestors
+	lastParent       time.Time
+	parentMisses     int
+	childSeen        map[int]time.Time
+	childMisses      map[int]int
+	nReconnects      int64
+	nHeartbeatMisses int64
+
 	batch      []event
 	gossipSeen map[int]int // reused per-batch newest-gossip index by sender
 	gossipEnv  netproto.Envelope
@@ -36,12 +51,14 @@ type control struct {
 
 func newControl(s *Server) *control {
 	return &control{
-		s:          s,
-		now:        time.Now(),
-		childLoad:  make(map[int]float64, 8),
-		batch:      make([]event, 0, s.cfg.MaxBatch),
-		gossipSeen: make(map[int]int, 8),
-		laneSender: laneSender{s: s, lane: len(s.shards)},
+		s:           s,
+		now:         time.Now(),
+		childLoad:   make(map[int]float64, 8),
+		childSeen:   make(map[int]time.Time, 8),
+		childMisses: make(map[int]int, 8),
+		batch:       make([]event, 0, s.cfg.MaxBatch),
+		gossipSeen:  make(map[int]int, 8),
+		laneSender:  laneSender{s: s, lane: len(s.shards)},
 	}
 }
 
@@ -52,6 +69,12 @@ func (c *control) loop() {
 	defer gossip.Stop()
 	diffuse := time.NewTicker(s.cfg.DiffusionPeriod)
 	defer diffuse.Stop()
+	var heartbeat <-chan time.Time // nil (never fires) when the detector is off
+	if s.cfg.HeartbeatPeriod > 0 {
+		hb := time.NewTicker(s.cfg.HeartbeatPeriod)
+		defer hb.Stop()
+		heartbeat = hb.C
+	}
 	for {
 		select {
 		case <-s.stopped:
@@ -65,6 +88,9 @@ func (c *control) loop() {
 		case <-diffuse.C:
 			c.now = time.Now()
 			c.doDiffusion()
+		case <-heartbeat:
+			c.now = time.Now()
+			c.doHeartbeat()
 		}
 		c.flushDirty()
 	}
@@ -98,6 +124,10 @@ drain:
 			c.handleConnClosed(ev.conn)
 			continue
 		}
+		if ev.cmd != cmdNone {
+			c.handleCmd(ev)
+			continue
+		}
 		if ev.env.Kind == netproto.TypeGossip && len(gossipSeen) > 0 {
 			if last, ok := gossipSeen[ev.env.From]; ok && last != i {
 				netproto.PutEnvelope(ev.env) // stale: a newer figure is queued
@@ -114,9 +144,10 @@ drain:
 func (c *control) handle(ev event) {
 	env := ev.env
 	s := c.s
+	c.noteAlive(env.From)
 	switch env.Kind {
 	case netproto.TypeGossip:
-		if env.From == s.cfg.ParentID && !s.isRoot {
+		if pl := s.parentLink(); pl != nil && env.From == pl.id {
 			c.parentLoad = env.Load
 			c.parentKnown = true
 			return
@@ -129,6 +160,16 @@ func (c *control) handle(ev event) {
 		}
 		c.childLoad[env.From] = env.Load
 
+	case netproto.TypePing:
+		// Answer on the same connection; the pong both proves liveness to a
+		// monitoring neighbor and completes an orphan's failover handshake.
+		c.sendOn(ev.conn, &netproto.Envelope{
+			Kind: netproto.TypePong, From: s.cfg.ID, To: env.From,
+		})
+
+	case netproto.TypePong:
+		// Liveness only, recorded by noteAlive above.
+
 	case netproto.TypeStatsQuery:
 		s.stampAndSend(ev.conn, &netproto.Envelope{
 			Kind: netproto.TypeStatsReply, From: s.cfg.ID, To: env.From,
@@ -137,6 +178,28 @@ func (c *control) handle(ev event) {
 
 	case netproto.TypeShutdown:
 		go s.Stop()
+	}
+}
+
+// handleCmd applies a command posted to the control queue (currently only
+// the failover goroutine's "new parent link is live" hand-off).
+func (c *control) handleCmd(ev event) {
+	if ev.cmd == cmdParentUp {
+		c.installParent(ev.child, ev.conn)
+	}
+}
+
+// noteAlive records control-visible traffic from a tree neighbor for the
+// failure detector.
+func (c *control) noteAlive(from int) {
+	if pl := c.s.parentLink(); pl != nil && from == pl.id {
+		c.lastParent = c.now
+		c.parentMisses = 0
+		return
+	}
+	if _, ok := c.childSeen[from]; ok || c.s.childConn(from) != nil {
+		c.childSeen[from] = c.now
+		c.childMisses[from] = 0
 	}
 }
 
@@ -153,11 +216,17 @@ func (c *control) registerChild(id int, conn transport.Conn) {
 	c.s.children.Store(&childView{conns: conns})
 }
 
-// handleConnClosed forgets a child registered on a dead connection so
-// gossip and delegation stop targeting it until it re-registers, and tells
-// the shards to drop its flow windows. (Shard loops sweep their own
-// per-connection routing state from the same close notification.)
+// handleConnClosed routes a dead connection to the right repair path: the
+// parent link's death makes this node an orphan (degraded serving plus a
+// background failover hunt); a child's death tears down its registration
+// and flow windows and re-absorbs the duty delegated to it. (Shard loops
+// sweep their own per-connection routing state from the same close
+// notification.)
 func (c *control) handleConnClosed(conn transport.Conn) {
+	if pl := c.s.parentLink(); pl != nil && pl.conn == conn {
+		c.parentLost(pl)
+		return
+	}
 	old := c.s.children.Load()
 	if old == nil {
 		return
@@ -180,11 +249,107 @@ func (c *control) handleConnClosed(conn transport.Conn) {
 	}
 	c.s.children.Store(&childView{conns: conns})
 	delete(c.childLoad, gone)
+	delete(c.childSeen, gone)
+	delete(c.childMisses, gone)
 	for _, sh := range c.s.shards {
-		// Non-blocking like every control command: a missed drop only
-		// leaves idle flow windows behind, and delegateDown already skips
-		// children with no registered connection.
-		c.s.tryPost(sh.events, event{cmd: cmdChildGone, child: gone})
+		// Blocking post: cmdChildGone now re-absorbs the child's delegated
+		// duty, and dropping it would strand that duty in a deleted ledger.
+		// The shard loops drain continuously and never post back to the
+		// control queue, so this cannot deadlock.
+		c.s.post(sh.events, event{cmd: cmdChildGone, child: gone})
+	}
+}
+
+// parentLost flips the node into orphan mode: the parent pointer clears (so
+// shards queue upward flow instead of sending it into a dead link), gossip
+// figures for the parent reset, and — when an ancestor list is configured —
+// a single failover goroutine starts hunting for a live ancestor.
+func (c *control) parentLost(pl *parentLink) {
+	s := c.s
+	s.parent.Store(nil)
+	pl.conn.Close() // idempotent; ensures a heartbeat-declared link really dies
+	c.parentKnown = false
+	c.parentLoad = 0
+	c.parentMisses = 0
+	if len(s.cfg.AncestorAddrs) == 0 {
+		return
+	}
+	if !c.failoverOn.CompareAndSwap(false, true) {
+		return // a hunt is already running
+	}
+	// wg.Add here is safe: the control loop itself is wg-tracked, so the
+	// counter cannot have reached zero while this runs.
+	s.wg.Add(1)
+	go s.failover()
+}
+
+// installParent wires a handshaken ancestor connection in as the new
+// parent: the link goes live for the shards, the node re-identifies itself
+// (the ancestor registers it as a child on the gossip), and every shard
+// replays its held duty (reclaim) and unanswered upward requests.
+func (c *control) installParent(id int, conn transport.Conn) {
+	s := c.s
+	c.failoverOn.Store(false)
+	if s.isRoot || s.parentLink() != nil {
+		conn.Close() // stale hand-off: a parent is already live
+		return
+	}
+	s.parent.Store(&parentLink{id: id, conn: conn})
+	c.nReconnects++
+	c.lastParent = c.now
+	c.parentMisses = 0
+	s.readLoop(conn)
+	c.sendOn(conn, &netproto.Envelope{
+		Kind: netproto.TypeGossip, From: s.cfg.ID, To: id, Load: sumLoad(c.snaps()),
+	})
+	for _, sh := range s.shards {
+		// Blocking post, like cmdChildGone: losing this command would strand
+		// the shard's queued upward flow until its pending TTL.
+		s.post(sh.events, event{cmd: cmdParentRestored})
+	}
+}
+
+// doHeartbeat pings every tree neighbor and turns prolonged silence into a
+// closed connection. Closing is the whole intervention: the read loop's
+// error then posts the close notifications every loop already repairs from,
+// so a partition (no read error, traffic silently dropped) and a crashed
+// peer (read error) converge on one code path.
+func (c *control) doHeartbeat() {
+	s := c.s
+	period := s.cfg.HeartbeatPeriod
+	env := netproto.Envelope{Kind: netproto.TypePing, From: s.cfg.ID}
+	if pl := s.parentLink(); pl != nil {
+		env.To = pl.id
+		c.sendOn(pl.conn, &env)
+		if c.lastParent.IsZero() {
+			c.lastParent = c.now
+		} else if c.now.Sub(c.lastParent) > period {
+			c.parentMisses++
+			c.nHeartbeatMisses++
+			if c.parentMisses >= s.cfg.HeartbeatMisses {
+				pl.conn.Close() // the read loop's error triggers parentLost
+			}
+		}
+	}
+	cv := s.children.Load()
+	if cv == nil {
+		return
+	}
+	for id, conn := range cv.conns {
+		env.To = id
+		c.sendOn(conn, &env)
+		last, ok := c.childSeen[id]
+		if !ok {
+			c.childSeen[id] = c.now
+			continue
+		}
+		if c.now.Sub(last) > period {
+			c.childMisses[id]++
+			c.nHeartbeatMisses++
+			if c.childMisses[id] >= s.cfg.HeartbeatMisses {
+				conn.Close() // the read loop's error triggers the child-gone path
+			}
+		}
 	}
 }
 
@@ -221,9 +386,9 @@ func (c *control) doGossip() {
 	load := sumLoad(c.snaps())
 	env := &c.gossipEnv
 	*env = netproto.Envelope{Kind: netproto.TypeGossip, From: s.cfg.ID, Load: load}
-	if s.parentConn != nil {
-		env.To = s.cfg.ParentID
-		c.sendOn(s.parentConn, env)
+	if pl := s.parentLink(); pl != nil {
+		env.To = pl.id
+		c.sendOn(pl.conn, env)
 		c.nGossip++
 	}
 	if cv := s.children.Load(); cv != nil {
@@ -244,7 +409,7 @@ func (c *control) alpha() float64 {
 	if cv := c.s.children.Load(); cv != nil {
 		deg = len(cv.conns)
 	}
-	if !c.s.isRoot {
+	if c.s.parentLink() != nil {
 		deg++
 	}
 	return 1.0 / float64(deg+1)
@@ -348,7 +513,7 @@ func (c *control) delegateDown(child int, want float64, snaps []*shardSnap) {
 
 // shedUp posts shed commands for served documents until `want` duty moved.
 func (c *control) shedUp(want float64, snaps []*shardSnap) {
-	if c.s.parentConn == nil {
+	if c.s.parentLink() == nil {
 		return
 	}
 	shed := 0.0
@@ -477,6 +642,14 @@ func (c *control) snapshot() *netproto.Stats {
 		EvictedBytes:     s.nEvictedBytes.Load(),
 		MaxCacheBytes:    s.cache.MaxBytes(),
 		Shards:           len(s.shards),
+		ParentID:         -1,
+		Reconnects:       c.nReconnects,
+		HeartbeatMisses:  c.nHeartbeatMisses,
+	}
+	if pl := s.parentLink(); pl != nil {
+		st.ParentID = pl.id
+	} else if !s.isRoot {
+		st.Orphaned = 1
 	}
 	st.ShardSnapEpochs = make([]uint64, len(snaps))
 	var rs router.Stats
@@ -494,6 +667,8 @@ func (c *control) snapshot() *netproto.Stats {
 		st.ShedsIn += sn.counters.shedIn
 		st.ShedsOut += sn.counters.shedOut
 		st.EvictHintsIn += sn.counters.evictHintsIn
+		st.ReclaimedDuty += sn.counters.reclaimedDuty
+		st.AbsorbedDuty += sn.counters.absorbedDuty
 		// Snapshot-carried (not a live atomic), so a scrape never reports
 		// more fast serves than the drained Served it sits inside.
 		st.FastServed += sn.counters.fastServed

@@ -23,6 +23,16 @@
 // publication index and serves cached hits in place — zero event-loop hops —
 // falling back to the owning shard's queue only on a miss, a rate-limited
 // admission decision, or an eviction race.
+//
+// The runtime is also fault-tolerant: heartbeat ping/pong liveness
+// detection turns silent failures (partitions, wedged peers) into closed
+// connections; a node that loses its parent enters a degraded orphan mode
+// (it keeps serving everything it holds and parks upward flow), fails over
+// along Config.AncestorAddrs with a handshake that rejects dead-but-
+// dialable links, and replays its held duty as reclaim frames across the
+// repaired edge; a parent that loses a child re-absorbs the duty its
+// per-child ledger says lived below the dead link. See failover.go and
+// docs/ARCHITECTURE.md.
 package server
 
 import (
@@ -47,6 +57,25 @@ type Config struct {
 	ParentID   int    // -1 for the home server
 	ParentAddr string // empty for the home server
 	HomeAddr   string // the root's address (tunneling target)
+
+	// AncestorAddrs is the failover candidate list a non-root node walks
+	// when its parent link dies: typically [parent, grandparent, ..., root].
+	// Candidates are tried in order with a ping/pong handshake (a dial that
+	// succeeds but answers nothing — a partitioned link — is rejected), and
+	// the node re-identifies and replays a reclaim summary of its held duty
+	// to whichever ancestor answers first. Empty disables failover: a node
+	// that loses its parent stays orphaned (pre-failure behavior).
+	AncestorAddrs []string
+
+	// HeartbeatPeriod enables the liveness detector: every period the
+	// control loop pings its tree neighbors and counts the periods that
+	// elapsed with no traffic from each. A neighbor silent for
+	// HeartbeatMisses consecutive periods (default 3) is declared dead and
+	// its connection closed, which triggers the same repair paths as a
+	// transport-level error — this is what detects partitions and wedged
+	// peers that never produce a read error. 0 disables the detector.
+	HeartbeatPeriod time.Duration
+	HeartbeatMisses int
 
 	// Docs lists the documents homed at this server (root only), with
 	// bodies. Non-root servers start with empty caches.
@@ -122,6 +151,9 @@ func (c Config) withDefaults() Config {
 	if c.BarrierPatience <= 0 {
 		c.BarrierPatience = 3
 	}
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = 3
+	}
 	if c.NumShards <= 0 {
 		c.NumShards = runtime.GOMAXPROCS(0)
 	}
@@ -139,7 +171,9 @@ func (c Config) withDefaults() Config {
 
 // event is an inbound envelope tagged with its connection, a notification
 // that the connection's read side ended (closed), or an internal command
-// from the control loop to a shard (cmd != cmdNone).
+// from the control loop to a shard (cmd != cmdNone). cmdParentUp travels
+// the other way: from a failover goroutine to the control loop, carrying
+// the handshaken connection in conn and the new parent's id in child.
 type event struct {
 	env    *netproto.Envelope
 	conn   transport.Conn
@@ -177,8 +211,17 @@ const (
 	// claims a share of a stream for a copy that is still in flight from
 	// the home server.
 	cmdPreclaim
-	// cmdChildGone tells shards a child link died so its flow windows drop.
+	// cmdChildGone tells shards a child link died: its flow windows drop and
+	// the delegated duty recorded in the child's ledger is re-absorbed into
+	// this node's own targets (or hinted upward when the copy is gone).
 	cmdChildGone
+	// cmdParentUp is posted to the control loop by a failover goroutine once
+	// an ancestor answered the handshake; conn and child carry the new link.
+	cmdParentUp
+	// cmdParentRestored tells shards a new parent link is live: each shard
+	// replays its unanswered pending requests upward (their previous leaders
+	// died with the old link) and re-announces its held duty via reclaim.
+	cmdParentRestored
 )
 
 // pendingKey identifies an in-flight request for response routing.
@@ -188,10 +231,14 @@ type pendingKey struct {
 }
 
 // pendingEntry remembers where to route a response and when the request
-// was forwarded, so stale entries can be expired.
+// was forwarded, so stale entries can be expired. doc and hops keep enough
+// of the original request to replay it after a parent failover (the
+// forwarded copy died with the old link).
 type pendingEntry struct {
 	conn transport.Conn
 	at   time.Time
+	doc  core.DocID
+	hops int
 }
 
 // waiter is a request coalesced behind an identical in-flight fetch.
@@ -216,6 +263,15 @@ type childView struct {
 	conns map[int]transport.Conn
 }
 
+// parentLink is the current upward edge: the parent's node id and the
+// connection to it. It lives behind an atomic pointer — the control loop
+// swaps it on failover, shard loops read it per forward — and is nil while
+// the node is orphaned (or at the root).
+type parentLink struct {
+	id   int
+	conn transport.Conn
+}
+
 // Server is a live WebWave node. Create with New, start with Start, stop
 // with Stop.
 type Server struct {
@@ -229,11 +285,11 @@ type Server struct {
 	shards []*shard
 	ctrl   *control
 
-	parentConn              transport.Conn            // immutable after Start
-	children                atomic.Pointer[childView] // COW, written by the control loop
-	seq                     atomic.Uint64             // wire sequence, stamped per send
-	gotDelegate             atomic.Bool               // set by shards, drained by diffusion
-	nEvicted, nEvictedBytes atomic.Int64              // bumped by the evicting shard at Put time
+	parent                  atomic.Pointer[parentLink] // swapped by the control loop on failover; nil = root or orphaned
+	children                atomic.Pointer[childView]  // COW, written by the control loop
+	seq                     atomic.Uint64              // wire sequence, stamped per send
+	gotDelegate             atomic.Bool                // set by shards, drained by diffusion
+	nEvicted, nEvictedBytes atomic.Int64               // bumped by the evicting shard at Put time
 
 	events   chan event // control loop's queue
 	stopOnce sync.Once
@@ -332,7 +388,10 @@ func (s *Server) docHeat(doc core.DocID) float64 {
 }
 
 // Start begins listening and, for non-root servers, connects to the parent.
-// It returns once the server is operational.
+// It returns once the server is operational. When the parent cannot be
+// dialed and an ancestor list is configured, the server starts orphaned and
+// fails over in the background instead of failing Start — a restarted node
+// must come up even while its configured parent is still down.
 func (s *Server) Start() error {
 	l, err := s.cfg.Network.Listen(s.cfg.Addr)
 	if err != nil {
@@ -340,16 +399,21 @@ func (s *Server) Start() error {
 	}
 	s.listener = l
 
+	startFailover := false
 	if !s.isRoot {
 		conn, err := transport.DialOn(s.cfg.Network, s.cfg.Addr, s.cfg.ParentAddr)
 		if err != nil {
-			l.Close()
-			return fmt.Errorf("server %d: dial parent: %w", s.cfg.ID, err)
+			if len(s.cfg.AncestorAddrs) == 0 {
+				l.Close()
+				return fmt.Errorf("server %d: dial parent: %w", s.cfg.ID, err)
+			}
+			startFailover = true
+		} else {
+			s.parent.Store(&parentLink{id: s.cfg.ParentID, conn: conn})
+			// Identify ourselves to the parent immediately.
+			s.stampAndSend(conn, &netproto.Envelope{Kind: netproto.TypeGossip, From: s.cfg.ID, To: s.cfg.ParentID})
+			s.readLoop(conn)
 		}
-		s.parentConn = conn
-		// Identify ourselves to the parent immediately.
-		s.stampAndSend(conn, &netproto.Envelope{Kind: netproto.TypeGossip, From: s.cfg.ID, To: s.cfg.ParentID})
-		s.readLoop(conn)
 	}
 
 	// Accept loop.
@@ -372,6 +436,11 @@ func (s *Server) Start() error {
 	}
 	s.wg.Add(1)
 	go s.ctrl.loop()
+	if startFailover {
+		s.ctrl.failoverOn.Store(true)
+		s.wg.Add(1)
+		go s.failover()
+	}
 	return nil
 }
 
@@ -427,7 +496,7 @@ func (s *Server) dispatch(env *netproto.Envelope, conn transport.Conn) {
 		}
 		s.post(sh.events, event{env: env, conn: conn})
 	case netproto.TypeResponse, netproto.TypeDelegate, netproto.TypeDelegateAck,
-		netproto.TypeShed, netproto.TypeEvict,
+		netproto.TypeShed, netproto.TypeEvict, netproto.TypeReclaim,
 		netproto.TypeTunnelFetch, netproto.TypeTunnelReply:
 		s.post(s.shardFor(env.Doc).events, event{env: env, conn: conn})
 	default:
@@ -571,6 +640,10 @@ func (s *Server) childConn(id int) transport.Conn {
 	return cv.conns[id]
 }
 
+// parentLink returns the current upward edge, nil at the root or while
+// orphaned. Safe from any goroutine.
+func (s *Server) parentLink() *parentLink { return s.parent.Load() }
+
 // Stop shuts the server down and waits for its goroutines.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() {
@@ -578,8 +651,8 @@ func (s *Server) Stop() {
 		if s.listener != nil {
 			s.listener.Close()
 		}
-		if s.parentConn != nil {
-			s.parentConn.Close()
+		if pl := s.parent.Load(); pl != nil {
+			pl.conn.Close()
 		}
 		s.connsMu.Lock()
 		for _, c := range s.conns {

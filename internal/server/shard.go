@@ -109,6 +109,7 @@ type shardCounters struct {
 	served, forwarded, coalesced       int64
 	delegIn, delegOut, shedIn, shedOut int64
 	evictHintsIn, fastServed           int64
+	reclaimedDuty, absorbedDuty        float64
 }
 
 // evictedNote is a cross-shard eviction cleanup request: shard A's Put
@@ -133,6 +134,13 @@ type shard struct {
 	totalServed *rateWindow
 	localFlow   map[core.DocID]*rateWindow
 	childFlow   map[int]map[core.DocID]*rateWindow // A_j^d estimates
+	// childDuty is the per-child delegated-duty ledger: how much serve duty
+	// for each document is believed to live at (or below) each child —
+	// credited by outgoing delegations and incoming reclaims, debited when
+	// the child sheds duty back or abandons it with an evict hint. When a
+	// child dies the ledger is what the node re-absorbs, so the wave does
+	// not silently lose the dead subtree's share.
+	childDuty   map[int]map[core.DocID]float64
 	pending     map[pendingKey]pendingEntry
 	inflight    map[core.DocID]*flight
 	flightRetry time.Duration
@@ -146,12 +154,20 @@ type shard struct {
 	nServed, nForwarded, nCoalesced  int64
 	nDelegIn, nDelegOut              int64
 	nShedIn, nShedOut, nEvictHintsIn int64
+	nReclaimedDuty, nAbsorbedDuty    float64
 
 	// Lock-free surfaces.
 	pub         atomic.Pointer[pubMap]    // publication index (single writer: this loop)
 	snap        atomic.Pointer[shardSnap] // epoch-stamped mailbox
 	epoch       uint64
 	nFastServed atomic.Int64 // cumulative fast-path serves
+
+	// strandedDuty parks duty that should have been hinted upward (an
+	// eviction's residual, a dead child's un-absorbable ledger) while the
+	// node is orphaned: with no parent link the hint has nowhere to go, and
+	// dropping it would silently zero that share of the wave. parentRestored
+	// flushes it across the repaired edge.
+	strandedDuty map[core.DocID]float64
 
 	// Two-phase tombstone reaping: unpublished docs wait here one full
 	// tick before their entries leave the index, so a connection goroutine
@@ -175,6 +191,7 @@ func newShard(s *Server, idx int) *shard {
 		served:      make(map[core.DocID]*rateWindow, 16),
 		localFlow:   make(map[core.DocID]*rateWindow, 16),
 		childFlow:   make(map[int]map[core.DocID]*rateWindow, 8),
+		childDuty:   make(map[int]map[core.DocID]float64, 8),
 		pending:     make(map[pendingKey]pendingEntry, 64),
 		inflight:    make(map[core.DocID]*flight, 16),
 		batch:       make([]event, 0, cfg.MaxBatch),
@@ -267,6 +284,132 @@ func (sh *shard) handleCmd(ev event) {
 		sh.targets[ev.doc] += ev.rate // tunneled copy still in flight: no cached check
 	case cmdChildGone:
 		delete(sh.childFlow, ev.child)
+		sh.absorbChildDuty(ev.child)
+	case cmdParentRestored:
+		sh.parentRestored()
+	}
+}
+
+// absorbChildDuty re-absorbs a dead child's ledgered duty: documents this
+// node still holds take the rate back into their own targets (the parent
+// resumes serving what the dead subtree carried); documents it no longer
+// holds get the stranded rate hinted upward like an eviction, so a
+// surviving ancestor copy absorbs it instead of the wave zeroing out.
+func (sh *shard) absorbChildDuty(child int) {
+	ledger := sh.childDuty[child]
+	if ledger == nil {
+		return
+	}
+	delete(sh.childDuty, child)
+	for doc, rate := range ledger {
+		if rate <= 0 {
+			continue
+		}
+		if sh.s.cache.Contains(doc) {
+			sh.targets[doc] += rate
+			sh.nAbsorbedDuty += rate
+			sh.refreshCredit(doc)
+			continue
+		}
+		sh.hintUp(doc, rate)
+	}
+}
+
+// hintUp forwards abandoned duty toward the parent as an evict hint so a
+// surviving copy upstream absorbs it. While orphaned the hint has no live
+// edge to travel; the rate is parked in strandedDuty and flushed by
+// parentRestored, so duty conservation survives a double failure (losing a
+// child and the parent in the same window).
+func (sh *shard) hintUp(doc core.DocID, rate float64) {
+	if rate <= 0 {
+		return
+	}
+	pl := sh.s.parentLink()
+	if pl == nil {
+		if sh.strandedDuty == nil {
+			sh.strandedDuty = make(map[core.DocID]float64, 4)
+		}
+		sh.strandedDuty[doc] += rate
+		return
+	}
+	sh.sendOn(pl.conn, &netproto.Envelope{
+		Kind: netproto.TypeEvict, From: sh.s.cfg.ID, To: pl.id,
+		Doc: doc, Rate: rate,
+	})
+}
+
+// parentRestored replays this shard's state onto a freshly failed-over
+// parent link: one reclaim frame per held target (so the new parent's duty
+// ledger mirrors what actually lives below the repaired edge), then every
+// unanswered pending request (their forwarded copies died with the old
+// link; responses still route back by (origin, reqID)).
+func (sh *shard) parentRestored() {
+	pl := sh.s.parentLink()
+	if pl == nil {
+		return // lost again before the command drained
+	}
+	for doc, rate := range sh.targets {
+		if rate <= 0 {
+			continue
+		}
+		sh.sendOn(pl.conn, &netproto.Envelope{
+			Kind: netproto.TypeReclaim, From: sh.s.cfg.ID, To: pl.id,
+			Doc: doc, Rate: rate,
+		})
+	}
+	// Duty stranded while orphaned: re-absorb what we meanwhile hold again
+	// (a tunneled copy, say), hint the rest across the repaired edge.
+	stranded := sh.strandedDuty
+	sh.strandedDuty = nil
+	for doc, rate := range stranded {
+		if sh.s.cache.Contains(doc) {
+			sh.targets[doc] += rate
+			sh.nAbsorbedDuty += rate
+			sh.refreshCredit(doc)
+			continue
+		}
+		sh.hintUp(doc, rate)
+	}
+	fwd := netproto.GetEnvelope()
+	for key, pe := range sh.pending {
+		*fwd = netproto.Envelope{
+			Kind: netproto.TypeRequest, From: sh.s.cfg.ID, To: pl.id,
+			Doc: pe.doc, Origin: key.origin, ReqID: key.reqID, Hops: pe.hops + 1,
+		}
+		sh.sendOn(pl.conn, fwd)
+		pe.at = sh.now // restart the TTL clock from the replay
+		sh.pending[key] = pe
+	}
+	netproto.PutEnvelope(fwd)
+	// Flights stay armed so new arrivals keep coalescing behind the replays
+	// instead of each traveling upstream.
+	for _, fl := range sh.inflight {
+		fl.at = sh.now
+	}
+}
+
+// dutyLedger returns (creating if needed) the delegated-duty ledger for one
+// child.
+func (sh *shard) dutyLedger(child int) map[core.DocID]float64 {
+	m := sh.childDuty[child]
+	if m == nil {
+		m = make(map[core.DocID]float64, 8)
+		sh.childDuty[child] = m
+	}
+	return m
+}
+
+// dropLedgerDuty debits duty a child handed back (shed) or abandoned
+// (evict hint), clamped at zero.
+func (sh *shard) dropLedgerDuty(child int, doc core.DocID, rate float64) {
+	m := sh.childDuty[child]
+	if m == nil {
+		return
+	}
+	if r := m[doc] - rate; r > 1e-9 {
+		m[doc] = r
+	} else {
+		delete(m, doc)
 	}
 }
 
@@ -382,8 +525,9 @@ func (sh *shard) publishSnap(fast int64) {
 			served: sh.nServed, forwarded: sh.nForwarded, coalesced: sh.nCoalesced,
 			delegIn: sh.nDelegIn, delegOut: sh.nDelegOut,
 			shedIn: sh.nShedIn, shedOut: sh.nShedOut,
-			evictHintsIn: sh.nEvictHintsIn,
-			fastServed:   fast,
+			evictHintsIn:  sh.nEvictHintsIn,
+			fastServed:    fast,
+			reclaimedDuty: sh.nReclaimedDuty, absorbedDuty: sh.nAbsorbedDuty,
 		},
 	}
 	for d, t := range sh.targets {
@@ -563,6 +707,8 @@ func (sh *shard) handle(ev event) {
 
 	case netproto.TypeShed:
 		sh.nShedIn++
+		// Duty coming back up is no longer the sender's: debit its ledger.
+		sh.dropLedgerDuty(env.From, env.Doc, env.Rate)
 		// Pick up shed duty only for documents we hold; otherwise the
 		// request flow simply continues to the home server.
 		if sh.s.cache.Contains(env.Doc) {
@@ -576,10 +722,20 @@ func (sh *shard) handle(ev event) {
 		// the flow simply continues toward the home server, which always
 		// can serve (origin copies are pinned).
 		sh.nEvictHintsIn++
+		sh.dropLedgerDuty(env.From, env.Doc, env.Rate)
 		if sh.s.cache.Contains(env.Doc) {
 			sh.targets[env.Doc] += env.Rate
 			sh.refreshCredit(env.Doc)
 		}
+
+	case netproto.TypeReclaim:
+		// An orphan that failed over to this node re-announces duty it is
+		// still carrying. Credit the child's ledger — the same bookkeeping
+		// the evict-hint path debits — so a later loss of this child
+		// re-absorbs exactly what lives below the repaired edge. The duty
+		// itself stays at the child; nothing is added to our own targets.
+		sh.nReclaimedDuty += env.Rate
+		sh.dutyLedger(env.From)[env.Doc] += env.Rate
 
 	case netproto.TypeTunnelFetch:
 		// Only the home can answer authoritatively. Peek: a tunnel fetch
@@ -695,6 +851,11 @@ func (sh *shard) handleRequest(ev event) {
 // unanswered past the retry horizon (a lost message, a healed partition)
 // stops absorbing requests: the next one travels upstream as a fresh
 // leader, keeping the accumulated waiters eligible for its response.
+//
+// While orphaned (no parent link), the request is parked — pending entry
+// and flight created, nothing sent — and replayed by parentRestored once a
+// failover lands, so losing a parent delays queued upward flow instead of
+// dropping it.
 func (sh *shard) forwardUp(ev event) {
 	env := ev.env
 	fl := sh.inflight[env.Doc]
@@ -710,13 +871,17 @@ func (sh *shard) forwardUp(ev event) {
 	fl.at = sh.now
 	sh.nForwarded++
 	key := pendingKey{origin: env.Origin, reqID: env.ReqID}
-	sh.pending[key] = pendingEntry{conn: ev.conn, at: sh.now}
+	sh.pending[key] = pendingEntry{conn: ev.conn, at: sh.now, doc: env.Doc, hops: env.Hops}
+	pl := sh.s.parentLink()
+	if pl == nil {
+		return // orphaned: queued for replay
+	}
 	fwd := netproto.GetEnvelope()
 	*fwd = *env
 	fwd.From = sh.s.cfg.ID
-	fwd.To = sh.s.cfg.ParentID
+	fwd.To = pl.id
 	fwd.Hops = env.Hops + 1
-	sh.sendOn(sh.s.parentConn, fwd)
+	sh.sendOn(pl.conn, fwd)
 	netproto.PutEnvelope(fwd)
 }
 
@@ -792,14 +957,10 @@ func (sh *shard) dropEvicted(doc core.DocID) {
 	residual := sh.targets[doc]
 	delete(sh.targets, doc)
 	delete(sh.served, doc)
-	// A copy displaced before accruing any serve duty has nothing for
-	// the parent to absorb; skip the no-op hint.
-	if residual > 0 && sh.s.parentConn != nil {
-		sh.sendOn(sh.s.parentConn, &netproto.Envelope{
-			Kind: netproto.TypeEvict, From: sh.s.cfg.ID, To: sh.s.cfg.ParentID,
-			Doc: doc, Rate: residual,
-		})
-	}
+	// A copy displaced before accruing any serve duty has nothing for the
+	// parent to absorb; hintUp skips the no-op (and parks the hint while
+	// orphaned).
+	sh.hintUp(doc, residual)
 }
 
 func (sh *shard) serveRequest(ev event) {
@@ -854,7 +1015,8 @@ func (sh *shard) delegateOut(child int, doc core.DocID, rate float64) {
 		sh.targets[doc] = 0
 	}
 	sh.nDelegOut++
-	body, _ := sh.s.cache.Peek(doc) // a handoff is not local demand
+	sh.dutyLedger(child)[doc] += rate // credited back if the child sheds or dies
+	body, _ := sh.s.cache.Peek(doc)   // a handoff is not local demand
 	sh.sendOn(conn, &netproto.Envelope{
 		Kind: netproto.TypeDelegate, From: sh.s.cfg.ID, To: child,
 		Doc: doc, Rate: rate, Body: body,
@@ -866,7 +1028,8 @@ func (sh *shard) delegateOut(child int, doc core.DocID, rate float64) {
 // snapshot, its residual duty already traveled upstream in the evict hint
 // and a shed here would hand the parent the same duty twice.
 func (sh *shard) shedOut(doc core.DocID, rate float64) {
-	if sh.s.parentConn == nil || !sh.s.cache.Contains(doc) {
+	pl := sh.s.parentLink()
+	if pl == nil || !sh.s.cache.Contains(doc) {
 		return
 	}
 	sh.targets[doc] -= rate
@@ -874,8 +1037,8 @@ func (sh *shard) shedOut(doc core.DocID, rate float64) {
 		sh.targets[doc] = 0
 	}
 	sh.nShedOut++
-	sh.sendOn(sh.s.parentConn, &netproto.Envelope{
-		Kind: netproto.TypeShed, From: sh.s.cfg.ID, To: sh.s.cfg.ParentID,
+	sh.sendOn(pl.conn, &netproto.Envelope{
+		Kind: netproto.TypeShed, From: sh.s.cfg.ID, To: pl.id,
 		Doc: doc, Rate: rate,
 	})
 }

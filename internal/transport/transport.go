@@ -129,7 +129,7 @@ func (n *MemoryNetwork) Listen(addr string) (Listener, error) {
 	if backlog <= 0 {
 		backlog = 64
 	}
-	l := &memListener{addr: addr, backlog: make(chan Conn, backlog), closed: make(chan struct{})}
+	l := &memListener{net: n, addr: addr, backlog: make(chan Conn, backlog), closed: make(chan struct{})}
 	n.listeners[addr] = l
 	return l, nil
 }
@@ -149,6 +149,18 @@ func (n *MemoryNetwork) Dial(addr string) (Conn, error) {
 	a.peer, b.peer = b, a
 	select {
 	case l.backlog <- b:
+		// The listener may have closed concurrently, after its final
+		// backlog drain: nothing would ever accept or close b, and a's
+		// reads would block forever. Treat the race as a refused dial
+		// (closing a closes b too); a conn the accept loop already took is
+		// at worst closed under it, which readers observe as a normal
+		// disconnect.
+		select {
+		case <-l.closed:
+			a.Close()
+			return nil, ErrClosed
+		default:
+		}
 		return a, nil
 	case <-l.closed:
 		return nil, ErrClosed
@@ -156,6 +168,7 @@ func (n *MemoryNetwork) Dial(addr string) (Conn, error) {
 }
 
 type memListener struct {
+	net     *MemoryNetwork
 	addr    string
 	backlog chan Conn
 	closed  chan struct{}
@@ -171,8 +184,28 @@ func (l *memListener) Accept() (Conn, error) {
 	}
 }
 
+// Close releases the address — a later Listen on the same label succeeds,
+// mirroring TCP's behavior after a listener closes (restarted nodes rebind
+// their old address) — and resets the connections still queued in the
+// backlog, like a closed TCP listener resets its accept queue: a dialer
+// whose conn was never accepted sees a disconnect instead of hanging.
 func (l *memListener) Close() error {
-	l.once.Do(func() { close(l.closed) })
+	l.once.Do(func() {
+		close(l.closed)
+		l.net.mu.Lock()
+		if l.net.listeners[l.addr] == l {
+			delete(l.net.listeners, l.addr)
+		}
+		l.net.mu.Unlock()
+		for {
+			select {
+			case c := <-l.backlog:
+				c.Close()
+			default:
+				return
+			}
+		}
+	})
 	return nil
 }
 

@@ -1,0 +1,42 @@
+package workload
+
+import "testing"
+
+// TestChaosRunSmall smoke-tests the chaos runner end to end on a small
+// tree: interior nodes die and restart mid-schedule, the tree must repair
+// (reconnects observed, nobody left orphaned) and keep answering a solid
+// majority of the offered load. Thresholds are deliberately loose — this is
+// a wall-clock run on shared CI hardware; the calibrated gate lives in
+// benchgate against the committed baseline.
+func TestChaosRunSmall(t *testing.T) {
+	rep, err := RunChaos(ChaosSpec{
+		Seed: 1, Nodes: 9, NumDocs: 8, TotalRate: 150, Duration: 2.5,
+	}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ChaosSchema || rep.Scenario != "chaos" {
+		t.Fatalf("bad report identity: %q %q", rep.Schema, rep.Scenario)
+	}
+	if len(rep.Killed) == 0 {
+		t.Fatal("no interior nodes killed")
+	}
+	if rep.Offered == 0 || rep.Responses == 0 {
+		t.Fatalf("no traffic flowed: offered %d, responses %d", rep.Offered, rep.Responses)
+	}
+	if rep.Availability < 0.5 {
+		t.Errorf("availability %v implausibly low for a small kill", rep.Availability)
+	}
+	if rep.Reconnects < 1 {
+		t.Errorf("reconnects = %d, want at least one failover", rep.Reconnects)
+	}
+	if rep.FinalOrphaned != 0 {
+		t.Errorf("final orphaned = %d, want a fully repaired tree", rep.FinalOrphaned)
+	}
+	if rep.ReabsorbSeconds < 0 {
+		t.Error("repair never completed (reabsorb_seconds = -1)")
+	}
+	if rep.NoFailJain <= 0 || rep.PostRepairJain <= 0 {
+		t.Errorf("jain figures missing: %v / %v", rep.PostRepairJain, rep.NoFailJain)
+	}
+}

@@ -68,6 +68,9 @@ func scrapeCounters(c *cluster.Cluster, n int) counterScrape {
 		return cs
 	}
 	for _, st := range sts {
+		if st == nil {
+			continue // killed node: no scrape entry
+		}
 		if st.Node >= 0 && st.Node < n {
 			cs.served[st.Node] = st.Served
 		}

@@ -308,6 +308,9 @@ func RunLive(sp Spec, seed int64, opt LiveOptions) (*Report, error) {
 	sys := systemResult("webwave-live", col, sp.Duration)
 	if sts, err := c.Stats(); err == nil {
 		for _, st := range sts {
+			if st == nil {
+				continue
+			}
 			sys.Nodes = append(sys.Nodes, NodeStat{
 				Node:          st.Node,
 				Served:        st.Served,
