@@ -7,16 +7,26 @@ BENCH_WIRE_JSON ?= BENCH_wire.json
 BENCH_CACHE_JSON ?= BENCH_cache.json
 BENCH_SCALING_JSON ?= BENCH_scaling.json
 BENCH_CHAOS_JSON ?= BENCH_chaos.json
+BENCH_HOTKEY_JSON ?= BENCH_hotkey.json
 WIRE_THROUGHPUT_JSON ?= wire-throughput.json
 BENCHTIME ?= 0.3s
 # CI sweeps a subset of the committed baseline's core counts; local full
 # sweeps can set SCALING_PROCS=1,2,4,8.
 SCALING_PROCS ?= 1,4
 SCALING_DURATION ?= 2
+# The single source of truth for the pinned staticcheck release: both the
+# local `make staticcheck-install` and CI's lint job read this variable, so
+# bumping the linter is a one-line change that cannot drift between the two.
+STATICCHECK_VERSION ?= 2025.1
+# Total-coverage floor (percent) enforced by cover-check; raise it as
+# coverage grows, never lower it to make a PR pass.
+COVER_FLOOR ?= 70.0
 
-.PHONY: all build test race fmt vet staticcheck bench-smoke bench-micro bench-wire \
+.PHONY: all build test race fmt vet staticcheck staticcheck-install vulncheck \
+	cover cover-check bench-smoke bench-micro bench-wire \
 	bench-cache bench-cache-baseline bench-scaling bench-scaling-baseline \
-	bench-chaos bench-chaos-baseline docs-check profile clean
+	bench-chaos bench-chaos-baseline bench-hotkey bench-hotkey-baseline \
+	docs-check profile clean
 
 all: build test
 
@@ -34,10 +44,34 @@ race:
 vet:
 	$(GO) vet ./...
 
-# staticcheck must be on PATH (CI installs it; locally:
-# go install honnef.co/go/tools/cmd/staticcheck@2025.1).
+# staticcheck must be on PATH; `make staticcheck-install` puts the pinned
+# release there (CI runs exactly that, so local and CI lint agree).
 staticcheck:
 	staticcheck ./...
+
+staticcheck-install:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+
+# vulncheck scans the module against the Go vulnerability database.
+# govulncheck must be on PATH (CI installs it; locally:
+# go install golang.org/x/vuln/cmd/govulncheck@latest).
+vulncheck:
+	govulncheck ./...
+
+# cover runs the full suite once with coverage accounting; cover-check then
+# fails if total statement coverage fell below $(COVER_FLOOR)%. The floor is
+# committed here so coverage can only ratchet up deliberately.
+cover:
+	$(GO) test -shuffle=on -count=1 -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | tail -1
+
+cover-check: cover
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	if awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 < f+0) }'; then \
+		echo "FAIL total coverage $$total% is below the committed floor $(COVER_FLOOR)%"; exit 1; \
+	else \
+		echo "ok   total coverage $$total% (floor $(COVER_FLOOR)%)"; \
+	fi
 
 # fmt fails when any file needs formatting (CI mode); run `gofmt -w .` to fix.
 fmt:
@@ -119,6 +153,21 @@ bench-chaos-baseline:
 	$(GO) run ./cmd/webwave-bench -scenario chaos -seed 1 \
 		-json bench/BENCH_chaos_baseline.json
 
+# bench-hotkey runs the deterministic replication-forest model (one
+# document's flash crowd against k=1 vs k=3 trees) and gates the scaling
+# (widest forest must beat the single tree >=2x in throughput), the Jain
+# ratio and the promote/demote round trip against the committed baseline.
+bench-hotkey:
+	$(GO) run ./cmd/webwave-bench -scenario hot-key -seed 1 -json $(BENCH_HOTKEY_JSON)
+	$(GO) run ./cmd/benchgate -hotkey-report $(BENCH_HOTKEY_JSON) \
+		-hotkey-baseline bench/BENCH_hotkey_baseline.json
+
+# bench-hotkey-baseline regenerates the committed hot-key baseline after an
+# intentional behavior change; commit the result.
+bench-hotkey-baseline:
+	$(GO) run ./cmd/webwave-bench -scenario hot-key -seed 1 \
+		-json bench/BENCH_hotkey_baseline.json
+
 # docs-check verifies every relative markdown link (and heading anchor) in
 # README.md and docs/ resolves; CI's docs job runs exactly this.
 docs-check:
@@ -134,5 +183,5 @@ profile:
 
 clean:
 	rm -f $(BENCH_JSON) $(BENCH_WIRE_JSON) $(BENCH_CACHE_JSON) \
-		$(BENCH_SCALING_JSON) $(BENCH_CHAOS_JSON) $(WIRE_THROUGHPUT_JSON) \
-		bench-micro.out cpu.pprof mem.pprof
+		$(BENCH_SCALING_JSON) $(BENCH_CHAOS_JSON) $(BENCH_HOTKEY_JSON) \
+		$(WIRE_THROUGHPUT_JSON) bench-micro.out cpu.pprof mem.pprof coverage.out

@@ -17,6 +17,16 @@
 //     req/s would only measure whose CPU is newer. Absolute per-core drops
 //     are printed as warnings, not failures, for the same reason.
 //
+//   - Hot-key (-hotkey-report/-hotkey-baseline): the replication-forest
+//     floor. The committed baseline pins the workload (spec mismatch fails);
+//     the report must then show the widest forest beating the single tree by
+//     at least -min-scaling in throughput on the single-document flash crowd
+//     while keeping Jain fairness at least -min-hotkey-jain-ratio of the
+//     k=1 run, and every multi-tree run must complete a promote/demote
+//     round trip — promotion during the ramp AND demotion after the decay,
+//     so the hysteresis can never be satisfied by a forest that promotes
+//     and sticks.
+//
 //   - Chaos (-chaos-report/-chaos-baseline): the fault-tolerance floor. The
 //     committed baseline pins the workload (spec mismatch fails, so the
 //     scenario cannot be silently shrunk until it passes); the report must
@@ -31,6 +41,7 @@
 //	benchgate -report BENCH_cache.json -baseline bench/BENCH_cache_baseline.json [-max-regress 0.10]
 //	benchgate -scaling-report BENCH_scaling.json -scaling-baseline bench/BENCH_scaling_baseline.json [-max-scaling-regress 0.15]
 //	benchgate -chaos-report BENCH_chaos.json -chaos-baseline bench/BENCH_chaos_baseline.json [-min-availability 0.95] [-min-jain-ratio 0.90]
+//	benchgate -hotkey-report BENCH_hotkey.json -hotkey-baseline bench/BENCH_hotkey_baseline.json [-min-scaling 2.0] [-min-hotkey-jain-ratio 0.90]
 package main
 
 import (
@@ -61,6 +72,10 @@ func run(args []string) error {
 	chaosBasePath := fs.String("chaos-baseline", "", "committed chaos baseline JSON (pins the workload)")
 	minAvailability := fs.Float64("min-availability", 0.95, "chaos: minimum served/offered under the scheduled kills")
 	minJainRatio := fs.Float64("min-jain-ratio", 0.90, "chaos: minimum post-repair Jain relative to the no-failure run")
+	hotkeyPath := fs.String("hotkey-report", "", "hot-key report JSON produced by this run")
+	hotkeyBasePath := fs.String("hotkey-baseline", "", "committed hot-key baseline JSON (pins the workload)")
+	minScaling := fs.Float64("min-scaling", 2.0, "hot-key: minimum widest-forest/k=1 throughput ratio")
+	minHotkeyJainRatio := fs.Float64("min-hotkey-jain-ratio", 0.90, "hot-key: minimum widest-forest Jain relative to the k=1 run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,8 +131,91 @@ func run(args []string) error {
 		}
 		ranAny = true
 	}
+	if *hotkeyPath != "" || *hotkeyBasePath != "" {
+		if *hotkeyPath == "" || *hotkeyBasePath == "" {
+			return fmt.Errorf("both -hotkey-report and -hotkey-baseline are required")
+		}
+		rep, err := loadHotkey(*hotkeyPath)
+		if err != nil {
+			return err
+		}
+		base, err := loadHotkey(*hotkeyBasePath)
+		if err != nil {
+			return err
+		}
+		if err := gateHotkey(rep, base, *minScaling, *minHotkeyJainRatio, os.Stdout); err != nil {
+			return err
+		}
+		ranAny = true
+	}
 	if !ranAny {
-		return fmt.Errorf("nothing to gate: pass -report/-baseline, -scaling-report/-scaling-baseline and/or -chaos-report/-chaos-baseline")
+		return fmt.Errorf("nothing to gate: pass -report/-baseline, -scaling-report/-scaling-baseline, -chaos-report/-chaos-baseline and/or -hotkey-report/-hotkey-baseline")
+	}
+	return nil
+}
+
+func loadHotkey(path string) (*workload.HotkeyReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep := &workload.HotkeyReport{}
+	if err := json.NewDecoder(f).Decode(rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != workload.HotkeySchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, workload.HotkeySchema)
+	}
+	return rep, nil
+}
+
+// gateHotkey applies the replication-forest thresholds; every violation is
+// reported before the error returns so CI logs show the full picture.
+func gateHotkey(rep, base *workload.HotkeyReport, minScaling, minJainRatio float64, out *os.File) error {
+	// The baseline pins the workload: HotkeySpec includes the K sweep (a
+	// slice), so the pin is a field-wise comparison via canonical JSON — a
+	// report from a gentler flash, a bigger server or a narrower sweep is
+	// not the gated scenario.
+	repSpec, err := json.Marshal(rep.Spec)
+	if err != nil {
+		return err
+	}
+	baseSpec, err := json.Marshal(base.Spec)
+	if err != nil {
+		return err
+	}
+	if string(repSpec) != string(baseSpec) {
+		return fmt.Errorf("report spec %s and baseline spec %s are different workloads; regenerate the baseline",
+			repSpec, baseSpec)
+	}
+	bad := 0
+	check := func(ok bool, format string, args ...any) {
+		if ok {
+			fmt.Fprintf(out, "ok   "+format+"\n", args...)
+		} else {
+			fmt.Fprintf(out, "FAIL "+format+"\n", args...)
+			bad++
+		}
+	}
+	baseRun := rep.Run(1)
+	check(baseRun != nil, "k=1 baseline run present in the sweep")
+	check(rep.ScalingX >= minScaling,
+		"widest forest scales %.2fx over k=1 (floor %.2fx)", rep.ScalingX, minScaling)
+	check(rep.JainRatio >= minJainRatio,
+		"widest forest jain ratio %.3f vs k=1 (floor %.2f)", rep.JainRatio, minJainRatio)
+	for _, run := range rep.Runs {
+		if run.K <= 1 {
+			continue
+		}
+		check(run.Promotions >= 1 && run.Demotions >= 1,
+			"k=%d promote/demote round trip (%d promotions, %d demotions)",
+			run.K, run.Promotions, run.Demotions)
+		check(run.PromotedAtS >= 0 && run.DemotedAtS > run.PromotedAtS,
+			"k=%d promoted at %.1fs, demoted at %.1fs", run.K, run.PromotedAtS, run.DemotedAtS)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d hot-key gate violation(s)", bad)
 	}
 	return nil
 }

@@ -1,0 +1,63 @@
+package main
+
+// CLI wiring for the hot-key scenario (internal/workload.RunHotkey): sweep
+// the forest widths, print the scaling and fairness figures, write the JSON
+// artifact CI's benchgate thresholds against the committed baseline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"webwave/internal/workload"
+)
+
+func runHotkey(sp workload.HotkeySpec, jsonPath string) error {
+	sp = sp.WithDefaults()
+	fmt.Printf("scenario hot-key: %d nodes, forest widths %v; one document ramping %.0f -> %.0f req/s against %.0f req/s per server\n",
+		sp.Nodes, sp.Ks, sp.BaseRate, sp.BaseRate*sp.PeakFactor, sp.NodeCapacity)
+	rep, err := workload.RunHotkey(sp, func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  scaling %.2fx throughput at the widest forest vs k=1, jain ratio %.3f\n",
+		rep.ScalingX, rep.JainRatio)
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("report: %s\n", jsonPath)
+	}
+	return nil
+}
+
+// parseKs parses the -ks flag ("1,3") into a forest-width sweep.
+func parseKs(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var ks []int
+	for _, part := range strings.Split(s, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("bad -ks entry %q (want positive integers)", part)
+		}
+		ks = append(ks, k)
+	}
+	return ks, nil
+}

@@ -19,6 +19,12 @@
 //	webwave-bench -scenario core-scaling -procs 1,2,4,8 -json BENCH_scaling.json
 //	webwave-bench -scenario core-scaling -procs 1,4 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	webwave-bench -scenario chaos -kill-fraction 0.1 -json BENCH_chaos.json
+//	webwave-bench -scenario hot-key -ks 1,3 -json BENCH_hotkey.json
+//
+// hot-key is special but deterministic: a seeded capacity model of the
+// replication forest (one document's flash crowd against k=1 vs k=3 trees,
+// promote/demote hysteresis, two-choices routing) whose report benchgate
+// thresholds against the committed baseline.
 //
 // Three scenarios are special, wall-clock (NOT deterministic) measurements
 // of the live serving stack: wire-throughput drives the same pressure once
@@ -74,6 +80,7 @@ func run(args []string) error {
 	repeat := fs.Int("repeat", 1, "core-scaling: full-sweep repetitions, keeping the lowest efficiency per core count (baselines use 3)")
 	killFraction := fs.Float64("kill-fraction", 0, "chaos: fraction of interior nodes killed mid-run (0 = default 0.10)")
 	heartbeatMS := fs.Int("heartbeat-ms", 0, "chaos: failure-detector period, milliseconds (0 = default 40)")
+	ks := fs.String("ks", "", "hot-key: comma-separated forest widths to sweep (default 1,3)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile covering the run to this file")
 	memprofile := fs.String("memprofile", "", "write an end-of-run heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -123,6 +130,8 @@ func run(args []string) error {
 			"core-scaling")
 		fmt.Printf("%-14s live cluster under node churn: kill/restart interior nodes, availability + repair time + post-repair Jain\n",
 			"chaos")
+		fmt.Printf("%-14s deterministic replication-forest model: single-doc flash crowd, k=1 vs k=3 trees, scaling + Jain + promote/demote round trip\n",
+			"hot-key")
 		return nil
 	}
 
@@ -146,6 +155,16 @@ func run(args []string) error {
 		return runChaos(workload.ChaosSpec{
 			Seed: *seed, Nodes: *n, TotalRate: *rate, Duration: *duration,
 			KillFraction: *killFraction, HeartbeatMS: *heartbeatMS,
+		}, *jsonPath)
+	}
+	if *scenario == "hot-key" {
+		sweep, err := parseKs(*ks)
+		if err != nil {
+			return err
+		}
+		return runHotkey(workload.HotkeySpec{
+			Seed: *seed, Nodes: *n, BaseRate: *rate,
+			Duration: *duration, Window: *window, Ks: sweep,
 		}, *jsonPath)
 	}
 

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"webwave/internal/core"
+	"webwave/internal/netproto"
+	"webwave/internal/tree"
+)
+
+// promoteConfig is smallConfig plus the replication-forest knobs, tuned so
+// a test's injection loop crosses the threshold within a few diffusion
+// periods.
+func promoteConfig() Config {
+	cfg := smallConfig()
+	cfg.PromoteThreshold = 50 // req/s
+	cfg.PromoteK = 2
+	cfg.PromoteHysteresis = 2
+	return cfg
+}
+
+// pump injects `doc` at `origin` in a background loop until the returned
+// stop function is called — the flash crowd the promotion machinery reacts
+// to. Send errors are tolerated: a killed entry node mid-chaos just thins
+// the flash.
+func pump(c *Cluster, origin int, doc core.DocID) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				for i := 0; i < 5; i++ {
+					_ = c.Inject(origin, doc) // ~1000 req/s offered
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done); <-finished })
+	}
+}
+
+func rootsOf(st *netproto.Stats, doc core.DocID) []int {
+	if st == nil || st.PromotedDocs == nil {
+		return nil
+	}
+	return st.PromotedDocs[doc]
+}
+
+// TestHotDocPromotionAndDemotion drives a flash crowd at a live cluster's
+// home and watches the full replication-forest life cycle: the home
+// promotes the document onto PromoteK of its children (who report replica
+// duty and hold the copy), and once the flash ends the document cools
+// through the hysteresis window and is demoted everywhere.
+func TestHotDocPromotionAndDemotion(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent, 0, 0, 0})
+	docs := map[core.DocID][]byte{"hot": []byte("viral body"), "cold": []byte("quiet")}
+	c, err := New(tr, docs, promoteConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	stop := pump(c, 0, "hot")
+	st := waitNodeStats(t, c, 0, "home promoted the hot doc", func(st *netproto.Stats) bool {
+		return len(rootsOf(st, "hot")) == 2 && st.Promotions >= 1
+	})
+	roots := rootsOf(st, "hot")
+
+	// Each replica root hosts the copy and reports its replica duty.
+	for _, r := range roots {
+		waitNodeStats(t, c, r, "replica root hosts the copy", func(st *netproto.Stats) bool {
+			return len(st.ReplicaDocs) == 1 && st.ReplicaDocs[0] == "hot"
+		})
+	}
+	// The quiet document never promotes.
+	if got := rootsOf(st, "cold"); got != nil {
+		t.Fatalf("cold doc promoted to %v", got)
+	}
+
+	// Flash over: demand decays out of the rate windows and the document
+	// cools through the hysteresis into demotion, forest-wide.
+	stop()
+	if left := c.Drain(5 * time.Second); left != 0 {
+		t.Fatalf("%d flash requests unanswered", left)
+	}
+	waitNodeStats(t, c, 0, "home demoted the cooled doc", func(st *netproto.Stats) bool {
+		return st.Demotions >= 1 && len(rootsOf(st, "hot")) == 0
+	})
+	for _, r := range roots {
+		waitNodeStats(t, c, r, "replica root tore its copy down", func(st *netproto.Stats) bool {
+			return len(st.ReplicaDocs) == 0
+		})
+	}
+}
+
+// TestKillReplicaRootConservesDuty is the forest chaos test: killing a
+// replica root mid-flash must (a) leave the cluster answering every
+// request, (b) re-absorb the dead root's handed-over duty at the home —
+// the promote path credits the same per-child ledger delegation uses, so
+// AbsorbedDuty must rise — and (c) repair the forest back to PromoteK
+// roots from the remaining children.
+func TestKillReplicaRootConservesDuty(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent, 0, 0, 0})
+	docs := map[core.DocID][]byte{"hot": []byte("viral body")}
+	c, err := New(tr, docs, promoteConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	stop := pump(c, 0, "hot")
+	defer stop()
+	st := waitNodeStats(t, c, 0, "home promoted the hot doc", func(st *netproto.Stats) bool {
+		return len(rootsOf(st, "hot")) == 2
+	})
+	roots := rootsOf(st, "hot")
+	victim := roots[0]
+	absorbedBefore := st.AbsorbedDuty
+
+	if !c.KillNode(victim) {
+		t.Fatalf("KillNode(%d) reported no kill", victim)
+	}
+
+	// The forest repairs: the home re-absorbs the ledgered duty and
+	// replaces the dead root with the remaining child, keeping K live
+	// roots — none of them the victim.
+	waitNodeStats(t, c, 0, "forest repaired after root death", func(st *netproto.Stats) bool {
+		roots := rootsOf(st, "hot")
+		if len(roots) != 2 || st.AbsorbedDuty <= absorbedBefore {
+			return false
+		}
+		for _, r := range roots {
+			if r == victim {
+				return false
+			}
+		}
+		return true
+	})
+
+	// The surviving forest answers requests entering at every live node.
+	// (Flash off first, so Drain converges on a finite request set.)
+	stop()
+	if left := c.Drain(5 * time.Second); left != 0 {
+		t.Fatalf("%d flash requests unanswered", left)
+	}
+	want := c.Responses()
+	for v := 0; v < tr.Len(); v++ {
+		if c.NodeDead(v) {
+			continue
+		}
+		for i := 0; i < 10; i++ {
+			if err := c.Inject(v, "hot"); err != nil {
+				t.Fatalf("inject at %d: %v", v, err)
+			}
+			want++
+		}
+	}
+	if left := c.Drain(5 * time.Second); left != 0 {
+		t.Fatalf("%d requests unanswered after root death", left)
+	}
+	if c.Responses() < want {
+		t.Fatalf("responses = %d, want >= %d", c.Responses(), want)
+	}
+}

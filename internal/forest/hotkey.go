@@ -1,0 +1,190 @@
+// Hot-document replication forests.
+//
+// One routing tree ceilings a viral document at the capacity its diffusion
+// wave can recruit around a single root. A replication forest breaks that
+// ceiling by promoting the document onto k replica roots in disjoint
+// subtrees — each runs the ordinary WebWave protocol on its own branch, so
+// the document effectively gains k independent trees — and by routing each
+// request to the less-loaded of two randomly sampled roots
+// (power-of-two-choices), which keeps the replica loads within a constant
+// factor of each other without any global coordination.
+//
+// This file holds the pieces shared by the live runtime and the
+// deterministic hot-key benchmark: replica-root selection, the two-choices
+// pick, and the diffusion-ball capacity model the simulator integrates.
+package forest
+
+import (
+	"math/rand"
+	"sort"
+
+	"webwave/internal/tree"
+)
+
+// PickReplicaRoots chooses k replica roots among candidates, preferring the
+// least-loaded (ties broken by id for determinism). The home server calls
+// this over its direct children — sibling subtrees are disjoint by
+// construction, which is what makes the replica trees independent.
+func PickReplicaRoots(candidates []int, load func(int) float64, k int) []int {
+	if k <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	picked := append([]int(nil), candidates...)
+	sort.Slice(picked, func(i, j int) bool {
+		li, lj := load(picked[i]), load(picked[j])
+		if li != lj {
+			return li < lj
+		}
+		return picked[i] < picked[j]
+	})
+	if k > len(picked) {
+		k = len(picked)
+	}
+	return picked[:k]
+}
+
+// TwoChoices returns the less-loaded of two roots sampled uniformly at
+// random (distinct when possible). With one root it is that root; with zero
+// it returns -1. Mitzenmacher's power-of-two-choices result is what keeps
+// the forest balanced: sampling two and taking the lighter drives the max
+// load exponentially closer to the mean than one random choice would.
+func TwoChoices(roots []int, load func(int) float64, rng *rand.Rand) int {
+	switch len(roots) {
+	case 0:
+		return -1
+	case 1:
+		return roots[0]
+	}
+	i := rng.Intn(len(roots))
+	j := rng.Intn(len(roots) - 1)
+	if j >= i {
+		j++
+	}
+	a, b := roots[i], roots[j]
+	if load(b) < load(a) {
+		return b
+	}
+	return a
+}
+
+// Ball returns the nodes of root's subtree within radius edges of root, in
+// BFS order starting at root itself. This is the set a diffusion wave can
+// have recruited radius rounds after a copy lands on root — the serving set
+// the hot-key capacity model integrates over.
+func Ball(t *tree.Tree, root, radius int) []int {
+	if root < 0 || root >= t.Len() {
+		return nil
+	}
+	ball := []int{root}
+	frontier := []int{root}
+	for r := 0; r < radius && len(frontier) > 0; r++ {
+		var next []int
+		for _, v := range frontier {
+			t.EachChild(v, func(c int) {
+				next = append(next, c)
+			})
+		}
+		ball = append(ball, next...)
+		frontier = next
+	}
+	return ball
+}
+
+// PromoConfig parameterizes the promotion hysteresis: a document is
+// promoted after Hysteresis consecutive observations at or above
+// PromoteThreshold, and demoted after Hysteresis consecutive observations
+// below DemoteThreshold. Keeping DemoteThreshold well under
+// PromoteThreshold opens a dead band in which neither transition fires —
+// the anti-flapping guarantee the state-machine tests pin down.
+type PromoConfig struct {
+	PromoteThreshold float64
+	DemoteThreshold  float64
+	Hysteresis       int
+}
+
+// WithDefaults fills the derived knobs: DemoteThreshold defaults to a
+// quarter of PromoteThreshold, Hysteresis to 3 observations.
+func (c PromoConfig) WithDefaults() PromoConfig {
+	if c.DemoteThreshold <= 0 {
+		c.DemoteThreshold = c.PromoteThreshold / 4
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 3
+	}
+	return c
+}
+
+// PromoAction is a promotion state machine's verdict for one observation.
+type PromoAction int
+
+const (
+	// PromoNone: no transition this observation.
+	PromoNone PromoAction = iota
+	// PromoPromote: the document just crossed into the promoted state.
+	PromoPromote
+	// PromoDemote: the document just cooled out of the promoted state.
+	PromoDemote
+)
+
+// PromoTracker is the per-document promotion hysteresis state machine,
+// shared by the live home server's control loop and the deterministic
+// hot-key benchmark model. The zero value is an unpromoted document.
+type PromoTracker struct {
+	promoted        bool
+	hotFor, coldFor int
+}
+
+// Promoted reports whether the document is currently promoted.
+func (p *PromoTracker) Promoted() bool { return p.promoted }
+
+// Observe feeds one heat measurement (the document's forest-wide serve
+// rate) and returns the transition it triggers, if any.
+func (p *PromoTracker) Observe(heat float64, cfg PromoConfig) PromoAction {
+	if !p.promoted {
+		if heat >= cfg.PromoteThreshold {
+			p.hotFor++
+		} else {
+			p.hotFor = 0
+		}
+		if p.hotFor >= cfg.Hysteresis {
+			p.promoted, p.hotFor, p.coldFor = true, 0, 0
+			return PromoPromote
+		}
+		return PromoNone
+	}
+	if heat < cfg.DemoteThreshold {
+		p.coldFor++
+	} else {
+		p.coldFor = 0
+	}
+	if p.coldFor >= cfg.Hysteresis {
+		p.promoted, p.hotFor, p.coldFor = false, 0, 0
+		return PromoDemote
+	}
+	return PromoNone
+}
+
+// Idle reports whether the tracker holds no state worth keeping: not
+// promoted and no partial hot streak. Callers use it to garbage-collect
+// per-document trackers.
+func (p *PromoTracker) Idle() bool { return !p.promoted && p.hotFor == 0 }
+
+// ReplicaForest is the home server's bookkeeping for one promoted document:
+// the replica roots and how many diffusion rounds each copy has had to
+// spread. It is deliberately tiny — the live server embeds one per promoted
+// document, and the simulator steps a slice of them.
+type ReplicaForest struct {
+	Roots []int // disjoint replica roots (home's children, plus the home tree)
+	Age   int   // diffusion rounds since promotion
+}
+
+// ServingSet returns the union of each replica root's diffusion ball at the
+// forest's current age. Roots live in disjoint subtrees, so the union is
+// concatenation without duplicates.
+func (rf *ReplicaForest) ServingSet(t *tree.Tree) []int {
+	var out []int
+	for _, r := range rf.Roots {
+		out = append(out, Ball(t, r, rf.Age)...)
+	}
+	return out
+}

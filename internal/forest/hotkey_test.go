@@ -1,0 +1,217 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"webwave/internal/tree"
+)
+
+func TestPickReplicaRoots(t *testing.T) {
+	loads := map[int]float64{2: 5, 3: 1, 4: 3, 5: 1}
+	load := func(v int) float64 { return loads[v] }
+	got := PickReplicaRoots([]int{2, 3, 4, 5}, load, 2)
+	// Least-loaded first; the 3-vs-5 tie breaks toward the smaller id.
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("PickReplicaRoots = %v, want [3 5]", got)
+	}
+	if got := PickReplicaRoots([]int{7, 8}, load, 5); len(got) != 2 {
+		t.Fatalf("k beyond candidates: got %v", got)
+	}
+	if got := PickReplicaRoots(nil, load, 3); got != nil {
+		t.Fatalf("no candidates: got %v", got)
+	}
+}
+
+// TestTwoChoicesUniform checks the sampling distribution under equal loads:
+// every root must be picked with frequency close to 1/k.
+func TestTwoChoicesUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	roots := []int{3, 9, 12, 17}
+	flat := func(int) float64 { return 0 }
+	counts := make(map[int]int)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[TwoChoices(roots, flat, rng)]++
+	}
+	want := float64(n) / float64(len(roots))
+	for _, r := range roots {
+		if dev := math.Abs(float64(counts[r]) - want); dev > 0.05*want {
+			t.Errorf("root %d picked %d times, want ~%.0f", r, counts[r], want)
+		}
+	}
+}
+
+// TestTwoChoicesBalances runs the classic balls-into-bins experiment: each
+// pick increments the chosen root's load. Two choices must keep the final
+// spread dramatically tighter than one random choice does.
+func TestTwoChoicesBalances(t *testing.T) {
+	const bins, balls = 8, 8000
+	roots := make([]int, bins)
+	for i := range roots {
+		roots[i] = i
+	}
+
+	spread := func(loads []float64) float64 {
+		min, max := loads[0], loads[0]
+		for _, l := range loads {
+			min, max = math.Min(min, l), math.Max(max, l)
+		}
+		return max - min
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	two := make([]float64, bins)
+	for i := 0; i < balls; i++ {
+		v := TwoChoices(roots, func(r int) float64 { return two[r] }, rng)
+		two[v]++
+	}
+	one := make([]float64, bins)
+	for i := 0; i < balls; i++ {
+		one[rng.Intn(bins)]++
+	}
+
+	// Two-choices with load feedback self-corrects: any bin more than one
+	// ball ahead loses every comparison it appears in, so the spread stays
+	// O(1) while single-choice drifts like sqrt(balls).
+	if s := spread(two); s > 4 {
+		t.Errorf("two-choices spread = %v, want <= 4", s)
+	}
+	if spread(two) >= spread(one) {
+		t.Errorf("two-choices spread %v not tighter than single-choice %v",
+			spread(two), spread(one))
+	}
+}
+
+func TestTwoChoicesDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	flat := func(int) float64 { return 0 }
+	if got := TwoChoices(nil, flat, rng); got != -1 {
+		t.Errorf("no roots: got %d, want -1", got)
+	}
+	if got := TwoChoices([]int{5}, flat, rng); got != 5 {
+		t.Errorf("one root: got %d, want 5", got)
+	}
+}
+
+func TestBall(t *testing.T) {
+	// 0 -> {1, 2}; 1 -> {3, 4}; 3 -> {5}
+	tr := tree.MustFromParents([]int{-1, 0, 0, 1, 1, 3})
+	cases := []struct {
+		root, radius int
+		want         []int
+	}{
+		{1, 0, []int{1}},
+		{1, 1, []int{1, 3, 4}},
+		{1, 2, []int{1, 3, 4, 5}},
+		{1, 9, []int{1, 3, 4, 5}},
+		{2, 3, []int{2}},
+	}
+	for _, c := range cases {
+		got := Ball(tr, c.root, c.radius)
+		if len(got) != len(c.want) {
+			t.Errorf("Ball(%d,%d) = %v, want %v", c.root, c.radius, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Ball(%d,%d) = %v, want %v", c.root, c.radius, got, c.want)
+				break
+			}
+		}
+	}
+	if got := Ball(tr, -1, 2); got != nil {
+		t.Errorf("out-of-range root: got %v", got)
+	}
+}
+
+// TestPromoTrackerRoundTrip walks one document through the full life cycle:
+// hot long enough to promote, then cold long enough to demote.
+func TestPromoTrackerRoundTrip(t *testing.T) {
+	cfg := PromoConfig{PromoteThreshold: 100}.WithDefaults()
+	if cfg.DemoteThreshold != 25 || cfg.Hysteresis != 3 {
+		t.Fatalf("defaults: got %+v", cfg)
+	}
+	var p PromoTracker
+	// Two hot observations are not enough; the third promotes.
+	for i := 0; i < 2; i++ {
+		if a := p.Observe(150, cfg); a != PromoNone {
+			t.Fatalf("observation %d: got %v, want PromoNone", i, a)
+		}
+	}
+	if a := p.Observe(150, cfg); a != PromoPromote {
+		t.Fatalf("third hot observation: got %v, want PromoPromote", a)
+	}
+	if !p.Promoted() {
+		t.Fatal("not promoted after PromoPromote")
+	}
+	// Cooling below the demote threshold for Hysteresis periods demotes.
+	for i := 0; i < 2; i++ {
+		if a := p.Observe(10, cfg); a != PromoNone {
+			t.Fatalf("cold observation %d: got %v, want PromoNone", i, a)
+		}
+	}
+	if a := p.Observe(10, cfg); a != PromoDemote {
+		t.Fatalf("third cold observation: got %v, want PromoDemote", a)
+	}
+	if p.Promoted() || !p.Idle() {
+		t.Fatalf("after demote: promoted=%v idle=%v", p.Promoted(), p.Idle())
+	}
+}
+
+// TestPromoTrackerNoFlapping pins the hysteresis guarantees: a heat signal
+// oscillating inside the dead band never transitions, an interrupted hot
+// streak resets, and a brief cold dip does not demote a promoted document.
+func TestPromoTrackerNoFlapping(t *testing.T) {
+	cfg := PromoConfig{PromoteThreshold: 100, DemoteThreshold: 25, Hysteresis: 3}
+
+	// Oscillation across the promote threshold: hot streak resets each
+	// time the signal dips, so no promotion ever fires.
+	var p PromoTracker
+	for i := 0; i < 50; i++ {
+		heat := 150.0
+		if i%3 == 2 {
+			heat = 50 // inside the dead band — resets the streak
+		}
+		if a := p.Observe(heat, cfg); a != PromoNone {
+			t.Fatalf("oscillating signal promoted at observation %d", i)
+		}
+	}
+
+	// Promote, then oscillate inside the dead band: never demotes.
+	p = PromoTracker{}
+	for i := 0; i < 3; i++ {
+		p.Observe(200, cfg)
+	}
+	if !p.Promoted() {
+		t.Fatal("setup: not promoted")
+	}
+	for i := 0; i < 50; i++ {
+		heat := 10.0
+		if i%3 == 2 {
+			heat = 50 // above demote threshold — resets the cold streak
+		}
+		if a := p.Observe(heat, cfg); a != PromoNone {
+			t.Fatalf("dead-band signal demoted at observation %d", i)
+		}
+	}
+	if !p.Promoted() {
+		t.Fatal("document flapped out of promotion")
+	}
+}
+
+func TestReplicaForestServingSet(t *testing.T) {
+	tr := tree.MustFromParents([]int{-1, 0, 0, 1, 1, 2})
+	rf := &ReplicaForest{Roots: []int{1, 2}, Age: 1}
+	got := rf.ServingSet(tr)
+	want := []int{1, 3, 4, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("ServingSet = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ServingSet = %v, want %v", got, want)
+		}
+	}
+}

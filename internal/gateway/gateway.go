@@ -12,6 +12,7 @@ package gateway
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -108,6 +109,13 @@ type Config struct {
 	// reads the response headers instead: it needs per-request identity,
 	// which the hook deliberately omits.) Must be safe for concurrent use.
 	OnResult func(Result)
+
+	// ReplicaRouting enables two-choices routing for promoted documents
+	// (see replica.go). Requires a backend implementing StatsBackend;
+	// silently off otherwise. ReplicaRefresh is the scrape period (default
+	// DefaultReplicaRefresh).
+	ReplicaRouting bool
+	ReplicaRefresh time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +128,9 @@ func (c Config) withDefaults() Config {
 	if c.Prefix == "" {
 		c.Prefix = "/docs/"
 	}
+	if c.ReplicaRefresh <= 0 {
+		c.ReplicaRefresh = DefaultReplicaRefresh
+	}
 	return c
 }
 
@@ -129,6 +140,13 @@ type Gateway struct {
 	cfg     Config
 
 	seq atomic.Uint64
+
+	// Replica-routing state (replica.go): the lock-free routing table the
+	// refresher goroutine swaps, and the sampler's guarded rng.
+	replicas    atomic.Pointer[replicaTable]
+	replicaStop chan struct{}
+	rngMu       sync.Mutex
+	rng         *rand.Rand
 
 	mu    sync.Mutex
 	conns map[int]*originConn // entry node -> pooled connection
@@ -148,7 +166,14 @@ type originConn struct {
 
 // New builds a gateway over a running cluster.
 func New(b Backend, cfg Config) *Gateway {
-	return &Gateway{backend: b, cfg: cfg.withDefaults(), conns: make(map[int]*originConn)}
+	g := &Gateway{
+		backend: b,
+		cfg:     cfg.withDefaults(),
+		conns:   make(map[int]*originConn),
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	g.startReplicaRouter()
+	return g
 }
 
 // Close releases the gateway's pooled connections. In-flight requests fail
@@ -156,7 +181,13 @@ func New(b Backend, cfg Config) *Gateway {
 func (g *Gateway) Close() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.done {
+		return
+	}
 	g.done = true
+	if g.replicaStop != nil {
+		close(g.replicaStop)
+	}
 	for _, oc := range g.conns {
 		oc.conn.Close()
 	}
@@ -291,6 +322,12 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	origin := g.cfg.Origin(r)
+	// A promoted document overrides the picker: enter at the less loaded
+	// of two sampled replica roots, spreading the flash crowd over the
+	// forest instead of funneling it into one tree.
+	if ro := g.replicaOrigin(core.DocID(name)); ro >= 0 {
+		origin = ro
+	}
 	start := time.Now()
 	env, err := g.fetch(origin, core.DocID(name), g.cfg.Timeout)
 	if env != nil {

@@ -1,0 +1,102 @@
+// Two-choices replica routing.
+//
+// When the home server promotes a hot document onto replica roots
+// (server.Config.PromoteThreshold), the gateway is the component that makes
+// the forest pay off: instead of injecting every request at the picker's
+// entry node — whose path leads to one tree — it learns the live root set
+// from stats scrapes and routes each request for a promoted document to the
+// less loaded of two randomly sampled roots. Load figures ride the same
+// scrape, so routing pressure follows serve pressure with one scrape period
+// of lag, and the power-of-two-choices rule keeps the roots within a
+// constant factor of each other without any coordination between gateways.
+package gateway
+
+import (
+	"time"
+
+	"webwave/internal/core"
+	"webwave/internal/forest"
+	"webwave/internal/netproto"
+)
+
+// DefaultReplicaRefresh is how often the replica router re-scrapes the
+// cluster when Config.ReplicaRouting is on.
+const DefaultReplicaRefresh = 250 * time.Millisecond
+
+// StatsBackend is the optional backend surface replica routing needs: a
+// full stats scrape, from which the router reads each home's PromotedDocs
+// and every node's load. Implemented by *cluster.Cluster.
+type StatsBackend interface {
+	Stats() ([]*netproto.Stats, error)
+}
+
+// replicaTable is one immutable routing snapshot, swapped whole behind an
+// atomic pointer so the request path reads it lock-free.
+type replicaTable struct {
+	roots map[core.DocID][]int // promoted document -> live replica roots
+	load  map[int]float64      // node -> served rate at scrape time
+}
+
+// startReplicaRouter begins the periodic scrape when routing is enabled and
+// the backend supports it. Called from New; the goroutine stops with Close.
+func (g *Gateway) startReplicaRouter() {
+	if !g.cfg.ReplicaRouting {
+		return
+	}
+	sb, ok := g.backend.(StatsBackend)
+	if !ok {
+		return
+	}
+	g.replicaStop = make(chan struct{})
+	go g.refreshReplicas(sb)
+}
+
+func (g *Gateway) refreshReplicas(sb StatsBackend) {
+	tick := time.NewTicker(g.cfg.ReplicaRefresh)
+	defer tick.Stop()
+	for {
+		select {
+		case <-g.replicaStop:
+			return
+		case <-tick.C:
+		}
+		sts, err := sb.Stats()
+		if err != nil {
+			continue // transient (a node mid-kill); keep the last table
+		}
+		tbl := &replicaTable{
+			roots: make(map[core.DocID][]int, 4),
+			load:  make(map[int]float64, len(sts)),
+		}
+		for _, st := range sts {
+			if st == nil {
+				continue
+			}
+			tbl.load[st.Node] = st.Load
+			for doc, roots := range st.PromotedDocs {
+				tbl.roots[doc] = roots
+			}
+		}
+		g.replicas.Store(tbl)
+	}
+}
+
+// replicaOrigin picks an entry node for doc by two-choices over its replica
+// roots, or -1 when the document is not promoted (or routing is off) — the
+// caller then keeps the picker's origin. The table is at most one refresh
+// stale; a root killed since simply fails the dial and the request errors
+// like any dead-origin request, until the next scrape drops it.
+func (g *Gateway) replicaOrigin(doc core.DocID) int {
+	tbl := g.replicas.Load()
+	if tbl == nil {
+		return -1
+	}
+	roots := tbl.roots[doc]
+	if len(roots) == 0 {
+		return -1
+	}
+	g.rngMu.Lock()
+	v := forest.TwoChoices(roots, func(n int) float64 { return tbl.load[n] }, g.rng)
+	g.rngMu.Unlock()
+	return v
+}

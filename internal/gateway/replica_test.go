@@ -1,0 +1,119 @@
+package gateway
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"webwave/internal/cluster"
+	"webwave/internal/core"
+	"webwave/internal/netproto"
+	"webwave/internal/tree"
+)
+
+// TestGatewayRoutesPromotedDocToReplicaRoots drives a flash crowd through
+// the gateway at a cluster with replication forests enabled and asserts the
+// router closes the loop end to end: the home promotes the hot document,
+// the gateway's scrape learns the root set, and subsequent requests enter
+// at the replica roots — both of them, since two-choices sampling spreads
+// the crowd — instead of the configured origin.
+func TestGatewayRoutesPromotedDocToReplicaRoots(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent, 0, 0, 0})
+	docs := map[core.DocID][]byte{"hot": []byte("viral body")}
+	c, err := cluster.New(tr, docs, cluster.Config{
+		GossipPeriod:     15 * time.Millisecond,
+		DiffusionPeriod:  30 * time.Millisecond,
+		Window:           300 * time.Millisecond,
+		PromoteThreshold: 50,
+		PromoteK:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	gw := New(c, Config{
+		Origin:         FixedOrigin(0), // the home: the worst single entry for a flash
+		ReplicaRouting: true,
+		ReplicaRefresh: 40 * time.Millisecond,
+	})
+	defer gw.Close()
+	srv := httptest.NewServer(gw)
+	defer srv.Close()
+
+	get := func() *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/docs/hot")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /docs/hot: status %d", resp.StatusCode)
+		}
+		return resp
+	}
+
+	// Flash through the gateway until the home promotes and the router's
+	// scrape has picked the forest up (an origin other than 0 proves both).
+	deadline := time.Now().Add(10 * time.Second)
+	promoted := false
+	for time.Now().Before(deadline) {
+		for i := 0; i < 20; i++ {
+			resp := get()
+			if resp.Header.Get("X-WebWave-Origin") != "0" {
+				promoted = true
+			}
+		}
+		if promoted {
+			break
+		}
+	}
+	if !promoted {
+		t.Fatal("gateway never rerouted the hot doc to a replica root")
+	}
+
+	sts, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st *netproto.Stats
+	for _, s := range sts {
+		if s != nil && s.PromotedDocs != nil {
+			st = s
+			break
+		}
+	}
+	if st == nil {
+		t.Fatal("no node reports a promoted doc")
+	}
+	roots := st.PromotedDocs["hot"]
+	if len(roots) != 2 {
+		t.Fatalf("replica roots = %v, want 2", roots)
+	}
+	isRoot := map[string]bool{}
+	for _, r := range roots {
+		isRoot[strconv.Itoa(r)] = true
+	}
+
+	// With the table warm, every request routes to a root, and two-choices
+	// sampling reaches both roots across a modest batch.
+	seen := map[string]int{}
+	for i := 0; i < 60; i++ {
+		seen[get().Header.Get("X-WebWave-Origin")]++
+	}
+	for origin, n := range seen {
+		if !isRoot[origin] {
+			t.Errorf("%d requests entered at %s, not a replica root %v", n, origin, roots)
+		}
+	}
+	for r := range isRoot {
+		if seen[r] == 0 {
+			t.Errorf("replica root %s never sampled in %v", r, seen)
+		}
+	}
+}

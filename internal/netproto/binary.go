@@ -53,13 +53,15 @@ var kindToCode = map[Type]byte{
 	TypePing:        13,
 	TypePong:        14,
 	TypeReclaim:     15,
+	TypePromote:     16,
+	TypeDemote:      17,
 }
 
-var codeToKind = [16]Type{
+var codeToKind = [18]Type{
 	1: TypeGossip, 2: TypeDelegate, 3: TypeDelegateAck, 4: TypeShed,
 	5: TypeRequest, 6: TypeResponse, 7: TypeTunnelFetch, 8: TypeTunnelReply,
 	9: TypeStatsQuery, 10: TypeStatsReply, 11: TypeShutdown, 12: TypeEvict,
-	13: TypePing, 14: TypePong, 15: TypeReclaim,
+	13: TypePing, 14: TypePong, 15: TypeReclaim, 16: TypePromote, 17: TypeDemote,
 }
 
 // DocInterner de-duplicates document-id strings seen by a decoder so the
@@ -126,7 +128,8 @@ func AppendEnvelopeV2(dst []byte, env *Envelope) ([]byte, error) {
 		dst = append(dst, flags)
 		dst = appendString(dst, string(env.Doc))
 		dst = appendBytes(dst, env.Body)
-	case TypeDelegate, TypeDelegateAck, TypeShed, TypeEvict, TypeReclaim, TypeTunnelFetch, TypeTunnelReply:
+	case TypeDelegate, TypeDelegateAck, TypeShed, TypeEvict, TypeReclaim,
+		TypePromote, TypeDemote, TypeTunnelFetch, TypeTunnelReply:
 		dst = appendString(dst, string(env.Doc))
 		dst = appendFloat(dst, env.Rate)
 		dst = appendBytes(dst, env.Body)
@@ -218,7 +221,8 @@ func DecodeEnvelopeV2(env *Envelope, payload []byte, in *DocInterner) error {
 		if b := r.bytes(); len(b) > 0 {
 			env.Body = append(body, b...)
 		}
-	case TypeDelegate, TypeDelegateAck, TypeShed, TypeEvict, TypeReclaim, TypeTunnelFetch, TypeTunnelReply:
+	case TypeDelegate, TypeDelegateAck, TypeShed, TypeEvict, TypeReclaim,
+		TypePromote, TypeDemote, TypeTunnelFetch, TypeTunnelReply:
 		env.Doc = in.Intern(r.bytes())
 		env.Rate = r.float()
 		if b := r.bytes(); len(b) > 0 {

@@ -37,6 +37,8 @@ func allKindEnvelopes() []*Envelope {
 		{Kind: TypePing, From: 4, To: 1, Seq: 12},
 		{Kind: TypePong, From: 1, To: 4, Seq: 13},
 		{Kind: TypeReclaim, From: 4, To: 0, Seq: 14, Doc: "d", Rate: 12.5},
+		{Kind: TypePromote, From: 0, To: 5, Seq: 15, Doc: "hot", Rate: 80.5, Body: []byte("copy")},
+		{Kind: TypeDemote, From: 0, To: 5, Seq: 16, Doc: "hot", Rate: 2.25},
 	}
 }
 
@@ -48,7 +50,7 @@ func TestAllKindsHaveBinaryEncoding(t *testing.T) {
 		TypeGossip, TypeDelegate, TypeDelegateAck, TypeShed, TypeRequest,
 		TypeResponse, TypeEvict, TypeTunnelFetch, TypeTunnelReply,
 		TypeStatsQuery, TypeStatsReply, TypeShutdown, TypePing, TypePong,
-		TypeReclaim,
+		TypeReclaim, TypePromote, TypeDemote,
 	}
 	for _, k := range kinds {
 		code, ok := kindToCode[k]

@@ -82,6 +82,18 @@ const (
 	// same bookkeeping the evict-hint path feeds — so a later loss of this
 	// child re-absorbs exactly the duty that actually lives below the edge.
 	TypeReclaim Type = "reclaim"
+	// TypePromote enrolls the receiver as a replica root for a hot
+	// document: Doc names it, Rate is the serve duty the home hands over
+	// with the copy, and Body carries the document bytes when the receiver
+	// is not known to hold them. The home records the handed-over rate in
+	// its per-child duty ledger — the same bookkeeping delegation feeds —
+	// so losing a replica root re-absorbs exactly the duty living there.
+	TypePromote Type = "promote"
+	// TypeDemote dissolves a replica root once the document cools: the
+	// replica stops advertising the copy and hands its residual serve duty
+	// back up through the ordinary evict-hint path, with Rate echoing the
+	// duty the home should expect back.
+	TypeDemote Type = "demote"
 )
 
 // Envelope is the single wire message. Fields are a flat union; which are
@@ -185,6 +197,16 @@ type Stats struct {
 	// duty went.
 	ReclaimedDuty float64 `json:"reclaimed_duty,omitempty"`
 	AbsorbedDuty  float64 `json:"absorbed_duty,omitempty"`
+	// Hot-document replication forest figures. PromotedDocs is the home
+	// server's view of its live replica forests: document → replica-root
+	// node ids, the map the gateway's two-choices router refreshes from.
+	// ReplicaDocs lists the documents this node currently serves as a
+	// replica root. Promotions/Demotions count completed transitions at
+	// the home.
+	PromotedDocs map[core.DocID][]int `json:"promoted_docs,omitempty"`
+	ReplicaDocs  []core.DocID         `json:"replica_docs,omitempty"`
+	Promotions   int64                `json:"promotions,omitempty"`
+	Demotions    int64                `json:"demotions,omitempty"`
 }
 
 // FilterStats mirrors router.Stats for the wire.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"webwave/internal/core"
+	"webwave/internal/forest"
 	"webwave/internal/netproto"
 	"webwave/internal/router"
 	"webwave/internal/transport"
@@ -27,6 +28,16 @@ type control struct {
 	underFor    int // consecutive under-loaded periods with no delegation
 
 	nGossip, nTunnels int64
+
+	// Replication-forest state (promote.go). promoCfg/promos/replicaHeat
+	// belong to the home side of the protocol, replicaDocs to the replica
+	// side; a mid-tree node uses both roles at once only in degenerate
+	// configurations, so the maps coexist harmlessly.
+	promoCfg                forest.PromoConfig
+	promos                  map[core.DocID]*promoEntry     // home: per-doc tracker + roots
+	replicaHeat             map[core.DocID]map[int]float64 // home: announced served rates per root
+	replicaDocs             map[core.DocID]bool            // replica: docs this node hosts a replica for
+	nPromotions, nDemotions int64
 
 	// Failure-detector state (loop-owned except failoverOn, which the
 	// Start-time orphan path also sets). lastParent / childSeen record when
@@ -59,6 +70,14 @@ func newControl(s *Server) *control {
 		batch:       make([]event, 0, s.cfg.MaxBatch),
 		gossipSeen:  make(map[int]int, 8),
 		laneSender:  laneSender{s: s, lane: len(s.shards)},
+		promoCfg: forest.PromoConfig{
+			PromoteThreshold: s.cfg.PromoteThreshold,
+			DemoteThreshold:  s.cfg.DemoteThreshold,
+			Hysteresis:       s.cfg.PromoteHysteresis,
+		}.WithDefaults(),
+		promos:      make(map[core.DocID]*promoEntry, 4),
+		replicaHeat: make(map[core.DocID]map[int]float64, 4),
+		replicaDocs: make(map[core.DocID]bool, 4),
 	}
 }
 
@@ -170,6 +189,12 @@ func (c *control) handle(ev event) {
 	case netproto.TypePong:
 		// Liveness only, recorded by noteAlive above.
 
+	case netproto.TypePromote:
+		c.handlePromote(ev)
+
+	case netproto.TypeDemote:
+		c.handleDemote(ev)
+
 	case netproto.TypeStatsQuery:
 		s.stampAndSend(ev.conn, &netproto.Envelope{
 			Kind: netproto.TypeStatsReply, From: s.cfg.ID, To: env.From,
@@ -258,6 +283,7 @@ func (c *control) handleConnClosed(conn transport.Conn) {
 		// control queue, so this cannot deadlock.
 		c.s.post(sh.events, event{cmd: cmdChildGone, child: gone})
 	}
+	c.forestChildGone(gone)
 }
 
 // parentLost flips the node into orphan mode: the parent pointer clears (so
@@ -457,6 +483,10 @@ func (c *control) doDiffusion() {
 	} else {
 		c.underFor = 0
 	}
+
+	// Replication forests ride the diffusion cadence: the home runs the
+	// promotion state machine, replica roots announce their served rates.
+	c.doPromotion(snaps)
 }
 
 // delegateDown picks the child's largest forwarded streams we actually
@@ -693,6 +723,7 @@ func (c *control) snapshot() *netproto.Stats {
 		Passed:    rs.Passed,
 	}
 	st.ShardQueueLens, st.CtrlQueueLen, st.QueueLen = s.queueLens()
+	c.promoStats(st)
 	return st
 }
 

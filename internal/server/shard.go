@@ -287,6 +287,12 @@ func (sh *shard) handleCmd(ev event) {
 		sh.absorbChildDuty(ev.child)
 	case cmdParentRestored:
 		sh.parentRestored()
+	case cmdPromoteOut:
+		sh.promoteOut(ev.child, ev.doc, ev.rate)
+	case cmdPromoteIn:
+		sh.promoteIn(ev.doc, ev.rate, ev.body)
+	case cmdDemoteLocal:
+		sh.demoteLocal(ev.doc)
 	}
 }
 

@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunHotkeyDeterministic pins the property CI's byte-compare gate
+// relies on: the same spec and seed produce an identical report.
+func TestRunHotkeyDeterministic(t *testing.T) {
+	sp := HotkeySpec{Seed: 7}
+	a, err := RunHotkey(sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunHotkey(sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different reports:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestRunHotkeyModel checks the capacity model's shape: both widths face
+// the identical offered trace; the single tree saturates at one server's
+// capacity and never promotes; the forest promotes during the ramp, demotes
+// after the decay, spreads the crowd (higher Jain) and scales throughput.
+func TestRunHotkeyModel(t *testing.T) {
+	rep, err := RunHotkey(HotkeySpec{Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, wide := rep.Run(1), rep.Run(3)
+	if base == nil || wide == nil {
+		t.Fatalf("default sweep missing k=1 or k=3: %+v", rep.Runs)
+	}
+	if base.Offered != wide.Offered {
+		t.Fatalf("offered differs across widths: %d vs %d", base.Offered, wide.Offered)
+	}
+	if base.Promotions != 0 || base.Demotions != 0 {
+		t.Fatalf("k=1 ran the promotion machinery: %+v", base)
+	}
+	if wide.Promotions < 1 || wide.Demotions < 1 {
+		t.Fatalf("k=3 never completed a promote/demote round trip: %+v", wide)
+	}
+	if wide.PromotedAtS < 0 || wide.DemotedAtS <= wide.PromotedAtS {
+		t.Fatalf("round trip out of order: promoted %.1fs, demoted %.1fs",
+			wide.PromotedAtS, wide.DemotedAtS)
+	}
+	if len(wide.Roots) != 2 {
+		t.Fatalf("k=3 forest has %d replica roots, want 2 (%v)", len(wide.Roots), wide.Roots)
+	}
+	if rep.ScalingX < 2 {
+		t.Fatalf("forest scaling %.2fx < 2x", rep.ScalingX)
+	}
+	if wide.Jain <= base.Jain {
+		t.Fatalf("forest jain %.3f did not improve on single-tree %.3f", wide.Jain, base.Jain)
+	}
+}

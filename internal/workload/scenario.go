@@ -37,6 +37,27 @@ func Scenarios() []Spec {
 			},
 		},
 		{
+			// Adversarial skew: a Zipf head steep enough (s = 1.3) that the
+			// top document alone carries ~a third of all traffic, plus a
+			// single-document flash crowd riding on top — the workload
+			// replication forests exist for. The deterministic run shows how
+			// far diffusion alone stretches before the hot-key bench's
+			// forest model takes over.
+			Name:       "adversarial-skew",
+			Nodes:      31,
+			NumDocs:    64,
+			Popularity: PopZipf,
+			ZipfSkew:   1.3,
+			TotalRate:  250,
+			Duration:   48,
+			Arrival:    ArrivalPoisson,
+			Tunneling:  true,
+			Flash: &FlashCrowd{
+				Start: 12, Ramp: 6, Hold: 12, Decay: 6,
+				Factor: 10, HotDocs: 1,
+			},
+		},
+		{
 			// Nodes fail and recover mid-run under bursty traffic. Requests
 			// originating at a down node are lost; the rest of the tree
 			// keeps serving around it.
