@@ -8,6 +8,12 @@ BENCH_CACHE_JSON ?= BENCH_cache.json
 BENCH_SCALING_JSON ?= BENCH_scaling.json
 BENCH_CHAOS_JSON ?= BENCH_chaos.json
 BENCH_HOTKEY_JSON ?= BENCH_hotkey.json
+BENCH_RESTART_JSON ?= BENCH_restart.json
+BENCH_BIGRAM_JSON ?= BENCH_bigram.json
+# The restart scenario replays the chaos workload twice (cold + warm), so
+# the gated schedule is shorter than chaos's; the committed baseline pins
+# this figure — change both together or the spec check fails.
+RESTART_DURATION ?= 6
 WIRE_THROUGHPUT_JSON ?= wire-throughput.json
 BENCHTIME ?= 0.3s
 # CI sweeps a subset of the committed baseline's core counts; local full
@@ -26,6 +32,7 @@ COVER_FLOOR ?= 70.0
 	cover cover-check bench-smoke bench-micro bench-wire \
 	bench-cache bench-cache-baseline bench-scaling bench-scaling-baseline \
 	bench-chaos bench-chaos-baseline bench-hotkey bench-hotkey-baseline \
+	bench-restart bench-restart-baseline bench-bigram bench-bigram-baseline \
 	docs-check profile clean
 
 all: build test
@@ -153,6 +160,39 @@ bench-chaos-baseline:
 	$(GO) run ./cmd/webwave-bench -scenario chaos -seed 1 \
 		-json bench/BENCH_chaos_baseline.json
 
+# bench-restart replays the chaos workload twice — cold restarts vs warm
+# (disk-tier) restarts — and gates warm post-restart availability, warm
+# reabsorb time, journal recovery (warm_docs >= 1) and zero failed revives
+# against the committed baseline. Wall-clock: NOT deterministic; the gate
+# applies thresholds, and the baseline pins the workload.
+bench-restart:
+	$(GO) run ./cmd/webwave-bench -scenario restart -seed 1 \
+		-duration $(RESTART_DURATION) -json $(BENCH_RESTART_JSON)
+	$(GO) run ./cmd/benchgate -restart-report $(BENCH_RESTART_JSON) \
+		-restart-baseline bench/BENCH_restart_baseline.json
+
+# bench-restart-baseline regenerates the committed restart baseline after an
+# intentional behavior change; commit the result.
+bench-restart-baseline:
+	$(GO) run ./cmd/webwave-bench -scenario restart -seed 1 \
+		-duration $(RESTART_DURATION) -json bench/BENCH_restart_baseline.json
+
+# bench-bigram runs the bigger-than-ram scenario (corpus ~10x every node's
+# memory budget; in-ram vs mem-only vs two-tier passes) and gates two-tier
+# hit-rate retention, the mem-only thrash margin and actual disk serving
+# against the committed baseline. Wall-clock: NOT deterministic.
+bench-bigram:
+	$(GO) run ./cmd/webwave-bench -scenario bigger-than-ram -seed 1 \
+		-json $(BENCH_BIGRAM_JSON)
+	$(GO) run ./cmd/benchgate -bigram-report $(BENCH_BIGRAM_JSON) \
+		-bigram-baseline bench/BENCH_bigram_baseline.json
+
+# bench-bigram-baseline regenerates the committed bigger-than-ram baseline
+# after an intentional behavior change; commit the result.
+bench-bigram-baseline:
+	$(GO) run ./cmd/webwave-bench -scenario bigger-than-ram -seed 1 \
+		-json bench/BENCH_bigram_baseline.json
+
 # bench-hotkey runs the deterministic replication-forest model (one
 # document's flash crowd against k=1 vs k=3 trees) and gates the scaling
 # (widest forest must beat the single tree >=2x in throughput), the Jain
@@ -184,4 +224,5 @@ profile:
 clean:
 	rm -f $(BENCH_JSON) $(BENCH_WIRE_JSON) $(BENCH_CACHE_JSON) \
 		$(BENCH_SCALING_JSON) $(BENCH_CHAOS_JSON) $(BENCH_HOTKEY_JSON) \
+		$(BENCH_RESTART_JSON) $(BENCH_BIGRAM_JSON) \
 		$(WIRE_THROUGHPUT_JSON) bench-micro.out cpu.pprof mem.pprof coverage.out

@@ -33,8 +33,28 @@
 //     then clear absolute thresholds: availability under the interior-node
 //     kills at least -min-availability, post-repair Jain within the allowed
 //     ratio of the same schedule's no-failure run, at least one observed
-//     failover, and nobody left orphaned at the end. Thresholds rather than
-//     byte comparison because the run is wall-clock.
+//     failover, nobody left orphaned at the end, and zero failed revives.
+//     Thresholds rather than byte comparison because the run is wall-clock.
+//
+//   - Restart (-restart-report/-restart-baseline): the warm-restart floor.
+//     The committed baseline pins the workload; the warm pass must then
+//     answer at least -min-warm-availability of the schedule offered after
+//     the revival instant, reabsorb within -max-warm-reabsorb seconds (or
+//     within one failure-detection window of the same report's cold pass —
+//     the figure is wall-clock and quantized by the heartbeat detector, so
+//     the relative bound is the honest one on a loaded or jittery CI box),
+//     actually recover documents from its journals (warm_docs >= 1,
+//     otherwise the tier silently did nothing and the pass degenerates to a
+//     second cold run), and revive every victim in both passes.
+//
+//   - Bigger-than-ram (-bigram-report/-bigram-baseline): the disk-tier
+//     floor. The committed baseline pins the workload (a corpus that fits in
+//     memory would gate nothing); two-tier's hit rate must stay within
+//     -max-twotier-regress of the in-ram ceiling, memory-only must lose at
+//     least -min-drop-ratio times more hit rate than two-tier (the thrash is
+//     real AND the fix is real — a gentle workload where nothing thrashes
+//     fails the gate rather than vacuously passing it), and two-tier must
+//     actually serve from disk (disk_hits > 0).
 //
 // Usage:
 //
@@ -42,6 +62,8 @@
 //	benchgate -scaling-report BENCH_scaling.json -scaling-baseline bench/BENCH_scaling_baseline.json [-max-scaling-regress 0.15]
 //	benchgate -chaos-report BENCH_chaos.json -chaos-baseline bench/BENCH_chaos_baseline.json [-min-availability 0.95] [-min-jain-ratio 0.90]
 //	benchgate -hotkey-report BENCH_hotkey.json -hotkey-baseline bench/BENCH_hotkey_baseline.json [-min-scaling 2.0] [-min-hotkey-jain-ratio 0.90]
+//	benchgate -restart-report BENCH_restart.json -restart-baseline bench/BENCH_restart_baseline.json [-min-warm-availability 0.981] [-max-warm-reabsorb 0.06]
+//	benchgate -bigram-report BENCH_bigram.json -bigram-baseline bench/BENCH_bigram_baseline.json [-max-twotier-regress 0.10] [-min-drop-ratio 2.0]
 package main
 
 import (
@@ -76,6 +98,15 @@ func run(args []string) error {
 	hotkeyBasePath := fs.String("hotkey-baseline", "", "committed hot-key baseline JSON (pins the workload)")
 	minScaling := fs.Float64("min-scaling", 2.0, "hot-key: minimum widest-forest/k=1 throughput ratio")
 	minHotkeyJainRatio := fs.Float64("min-hotkey-jain-ratio", 0.90, "hot-key: minimum widest-forest Jain relative to the k=1 run")
+	restartPath := fs.String("restart-report", "", "restart-warmth report JSON produced by this run")
+	restartBasePath := fs.String("restart-baseline", "", "committed restart baseline JSON (pins the workload)")
+	minWarmAvail := fs.Float64("min-warm-availability", 0.981, "restart: minimum warm-pass post-restart availability")
+	maxWarmReabsorb := fs.Float64("max-warm-reabsorb", 0.06, "restart: warm reabsorb ceiling in seconds (relaxed when cold is slower)")
+	bigramPath := fs.String("bigram-report", "", "bigger-than-ram report JSON produced by this run")
+	bigramBasePath := fs.String("bigram-baseline", "", "committed bigger-than-ram baseline JSON (pins the workload)")
+	maxTwoTierRegress := fs.Float64("max-twotier-regress", 0.10, "bigram: max allowed fractional two-tier hit-rate drop vs the in-ram ceiling")
+	minDropRatio := fs.Float64("min-drop-ratio", 2.0, "bigram: memory-only hit drop must be at least this multiple of two-tier's")
+	minMemOnlyDrop := fs.Float64("min-memonly-drop", 0.10, "bigram: minimum memory-only hit drop (proves the corpus really exceeds memory)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -148,10 +179,177 @@ func run(args []string) error {
 		}
 		ranAny = true
 	}
+	if *restartPath != "" || *restartBasePath != "" {
+		if *restartPath == "" || *restartBasePath == "" {
+			return fmt.Errorf("both -restart-report and -restart-baseline are required")
+		}
+		rep, err := loadRestart(*restartPath)
+		if err != nil {
+			return err
+		}
+		base, err := loadRestart(*restartBasePath)
+		if err != nil {
+			return err
+		}
+		if err := gateRestart(rep, base, *minWarmAvail, *maxWarmReabsorb, os.Stdout); err != nil {
+			return err
+		}
+		ranAny = true
+	}
+	if *bigramPath != "" || *bigramBasePath != "" {
+		if *bigramPath == "" || *bigramBasePath == "" {
+			return fmt.Errorf("both -bigram-report and -bigram-baseline are required")
+		}
+		rep, err := loadBigram(*bigramPath)
+		if err != nil {
+			return err
+		}
+		base, err := loadBigram(*bigramBasePath)
+		if err != nil {
+			return err
+		}
+		if err := gateBigram(rep, base, *maxTwoTierRegress, *minDropRatio, *minMemOnlyDrop, os.Stdout); err != nil {
+			return err
+		}
+		ranAny = true
+	}
 	if !ranAny {
-		return fmt.Errorf("nothing to gate: pass -report/-baseline, -scaling-report/-scaling-baseline, -chaos-report/-chaos-baseline and/or -hotkey-report/-hotkey-baseline")
+		return fmt.Errorf("nothing to gate: pass -report/-baseline, -scaling-report/-scaling-baseline, -chaos-report/-chaos-baseline, -hotkey-report/-hotkey-baseline, -restart-report/-restart-baseline and/or -bigram-report/-bigram-baseline")
 	}
 	return nil
+}
+
+func loadRestart(path string) (*workload.RestartReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep := &workload.RestartReport{}
+	if err := json.NewDecoder(f).Decode(rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != workload.RestartSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, workload.RestartSchema)
+	}
+	return rep, nil
+}
+
+// gateRestart applies the warm-restart thresholds; every violation is
+// reported before the error returns so CI logs show the full picture.
+func gateRestart(rep, base *workload.RestartReport, minWarmAvail, maxWarmReabsorb float64, out *os.File) error {
+	// The baseline pins the workload: a report from a smaller tree, gentler
+	// kills, a shorter downtime or a bigger cache budget is not the gated
+	// scenario.
+	if rep.Spec != base.Spec {
+		return fmt.Errorf("report spec %+v and baseline spec %+v are different workloads; regenerate the baseline",
+			rep.Spec, base.Spec)
+	}
+	bad := 0
+	check := func(ok bool, format string, args ...any) {
+		if ok {
+			fmt.Fprintf(out, "ok   "+format+"\n", args...)
+		} else {
+			fmt.Fprintf(out, "FAIL "+format+"\n", args...)
+			bad++
+		}
+	}
+	check(rep.Warm.PostRestartAvailability >= minWarmAvail,
+		"warm post-restart availability %.4f (floor %.4f; cold %.4f)",
+		rep.Warm.PostRestartAvailability, minWarmAvail, rep.Cold.PostRestartAvailability)
+	// Reabsorb is wall-clock AND quantized by the failure detector: any
+	// single measurement lands anywhere inside one detection window
+	// (HeartbeatMisses silent periods), so the absolute ceiling alone would
+	// flake. A warm pass within one detection window of the same report's
+	// cold pass also passes — that covers both detector quantization and a
+	// loaded CI runner slowing the passes alike — while a genuinely broken
+	// warm path overshoots the window. -1 (never repaired) fails both arms.
+	hb := rep.Spec.HeartbeatMS
+	if hb <= 0 {
+		hb = 40 // ChaosSpec.WithDefaults
+	}
+	detectWindow := 3 * float64(hb) / 1000 // default HeartbeatMisses
+	warmReabsorbOK := rep.Warm.ReabsorbSeconds >= 0 &&
+		(rep.Warm.ReabsorbSeconds <= maxWarmReabsorb ||
+			(rep.Cold.ReabsorbSeconds >= 0 && rep.Warm.ReabsorbSeconds <= rep.Cold.ReabsorbSeconds+detectWindow))
+	check(warmReabsorbOK, "warm reabsorb %.2fs (ceiling %.2fs, cold %.2fs + %.2fs detection window)",
+		rep.Warm.ReabsorbSeconds, maxWarmReabsorb, rep.Cold.ReabsorbSeconds, detectWindow)
+	check(rep.Warm.WarmDocs >= 1,
+		"warm docs recovered %d (journal replay must restore something)", rep.Warm.WarmDocs)
+	check(rep.Cold.FailedRevives == 0 && rep.Warm.FailedRevives == 0,
+		"failed revives cold %d warm %d (every victim must come back)",
+		rep.Cold.FailedRevives, rep.Warm.FailedRevives)
+	if bad > 0 {
+		return fmt.Errorf("%d restart gate violation(s)", bad)
+	}
+	return nil
+}
+
+func loadBigram(path string) (*workload.BigramReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep := &workload.BigramReport{}
+	if err := json.NewDecoder(f).Decode(rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != workload.BigramSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, workload.BigramSchema)
+	}
+	return rep, nil
+}
+
+// gateBigram applies the disk-tier thresholds; every violation is reported
+// before the error returns so CI logs show the full picture.
+func gateBigram(rep, base *workload.BigramReport, maxTwoTierRegress, minDropRatio, minMemOnlyDrop float64, out *os.File) error {
+	// The baseline pins the workload: a smaller corpus or a bigger memory
+	// budget removes the pressure the gate exists to measure.
+	if rep.Spec != base.Spec {
+		return fmt.Errorf("report spec %+v and baseline spec %+v are different workloads; regenerate the baseline",
+			rep.Spec, base.Spec)
+	}
+	bad := 0
+	check := func(ok bool, format string, args ...any) {
+		if ok {
+			fmt.Fprintf(out, "ok   "+format+"\n", args...)
+		} else {
+			fmt.Fprintf(out, "FAIL "+format+"\n", args...)
+			bad++
+		}
+	}
+	// All three figures come from the same report — the in-ram ceiling is
+	// re-measured every run, so the comparison is same-hardware by
+	// construction and the baseline only pins the spec.
+	check(rep.TwoTier.HitRate >= rep.InRAM.HitRate*(1-maxTwoTierRegress),
+		"two-tier hit rate %.4f within %.0f%% of in-ram %.4f",
+		rep.TwoTier.HitRate, maxTwoTierRegress*100, rep.InRAM.HitRate)
+	check(rep.MemOnlyHitDrop >= minMemOnlyDrop,
+		"mem-only hit drop %.4f (floor %.2f — the constrained budget must actually thrash)",
+		rep.MemOnlyHitDrop, minMemOnlyDrop)
+	twoTierDrop := rep.TwoTierHitDrop
+	if twoTierDrop < 0 {
+		twoTierDrop = 0 // two-tier beating the in-ram ceiling only makes the ratio easier
+	}
+	check(rep.MemOnlyHitDrop >= minDropRatio*twoTierDrop,
+		"mem-only drop %.4f is %.1fx two-tier drop %.4f (floor %.1fx)",
+		rep.MemOnlyHitDrop, safeRatio(rep.MemOnlyHitDrop, twoTierDrop), rep.TwoTierHitDrop, minDropRatio)
+	check(rep.TwoTier.DiskHits > 0,
+		"two-tier disk hits %d (the tier must actually serve)", rep.TwoTier.DiskHits)
+	if bad > 0 {
+		return fmt.Errorf("%d bigger-than-ram gate violation(s)", bad)
+	}
+	return nil
+}
+
+// safeRatio is for display only: the drop ratio with a zero denominator is
+// effectively infinite, rendered as 999x rather than +Inf.
+func safeRatio(num, den float64) float64 {
+	if den <= 0 {
+		return 999
+	}
+	return num / den
 }
 
 func loadHotkey(path string) (*workload.HotkeyReport, error) {
@@ -265,6 +463,7 @@ func gateChaos(rep, base *workload.ChaosReport, minAvail, minJainRatio float64, 
 	check(rep.Reconnects >= 1, "reconnects %d (failover must have fired)", rep.Reconnects)
 	check(rep.FinalOrphaned == 0, "orphaned at end %d (tree must be repaired)", rep.FinalOrphaned)
 	check(rep.ReabsorbSeconds >= 0, "reabsorb %.2fs (repair must complete within the run)", rep.ReabsorbSeconds)
+	check(rep.FailedRevives == 0, "failed revives %d (every scheduled restart must succeed)", rep.FailedRevives)
 	if bad > 0 {
 		return fmt.Errorf("%d chaos gate violation(s)", bad)
 	}

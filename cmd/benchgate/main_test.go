@@ -278,3 +278,204 @@ func TestChaosGateRejectsDifferentWorkload(t *testing.T) {
 		t.Fatal("gate compared different workloads")
 	}
 }
+
+func TestChaosGateFailsOnFailedRevives(t *testing.T) {
+	dir := t.TempDir()
+	base := writeChaos(t, dir, "base.json", chaosReport(0.99, 1.0, 2, 0))
+	broken := chaosReport(0.99, 1.0, 2, 0)
+	broken.FailedRevives = 1
+	rep := writeChaos(t, dir, "rep.json", broken)
+	if err := run([]string{"-chaos-report", rep, "-chaos-baseline", base}); err == nil {
+		t.Fatal("gate accepted a run with a swallowed revive failure")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Restart gate.
+
+func restartReport(warmAvail, coldReabsorb, warmReabsorb float64, warmDocs int64) *workload.RestartReport {
+	spec := workload.RestartSpec{
+		ChaosSpec: workload.ChaosSpec{
+			Seed: 1, Nodes: 31, NumDocs: 48, TotalRate: 600, Duration: 12,
+			KillFraction: 0.10,
+		},
+		CacheBudgetBytes: 16 << 10,
+	}
+	return &workload.RestartReport{
+		Schema: workload.RestartSchema, Scenario: "restart", Spec: spec,
+		Killed: []int{4},
+		Cold: workload.RestartPassReport{
+			Offered: 7200, Responses: 7100, Availability: 0.986,
+			PostRestartAvailability: 0.985, ReabsorbSeconds: coldReabsorb, Reconnects: 2,
+		},
+		Warm: workload.RestartPassReport{
+			Offered: 7200, Responses: 7150, Availability: 0.993,
+			PostRestartAvailability: warmAvail, ReabsorbSeconds: warmReabsorb, Reconnects: 2,
+			WarmDocs: warmDocs, DiskHits: 40,
+		},
+	}
+}
+
+func writeRestart(t *testing.T, dir, name string, rep *workload.RestartReport) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return path
+}
+
+func TestRestartGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRestart(t, dir, "base.json", restartReport(0.995, 0.08, 0.04, 6))
+	rep := writeRestart(t, dir, "rep.json", restartReport(0.990, 0.07, 0.03, 5))
+	if err := run([]string{"-restart-report", rep, "-restart-baseline", base}); err != nil {
+		t.Fatalf("gate failed on a healthy restart run: %v", err)
+	}
+}
+
+func TestRestartGateFailsOnColdWarmPass(t *testing.T) {
+	// Warm availability below the floor: the tier bought nothing.
+	dir := t.TempDir()
+	base := writeRestart(t, dir, "base.json", restartReport(0.995, 0.08, 0.04, 6))
+	rep := writeRestart(t, dir, "rep.json", restartReport(0.90, 0.08, 0.04, 6))
+	if err := run([]string{"-restart-report", rep, "-restart-baseline", base}); err == nil {
+		t.Fatal("gate accepted warm availability below the floor")
+	}
+}
+
+func TestRestartGateFailsWithoutWarmDocs(t *testing.T) {
+	// warm_docs 0: the warm pass degenerated to a second cold run.
+	dir := t.TempDir()
+	base := writeRestart(t, dir, "base.json", restartReport(0.995, 0.08, 0.04, 6))
+	rep := writeRestart(t, dir, "rep.json", restartReport(0.995, 0.08, 0.04, 0))
+	if err := run([]string{"-restart-report", rep, "-restart-baseline", base}); err == nil {
+		t.Fatal("gate accepted a warm pass that recovered nothing")
+	}
+}
+
+func TestRestartGateReabsorbRelativeArm(t *testing.T) {
+	// Warm reabsorb over the absolute ceiling but inside one
+	// failure-detection window (3 x 40ms default heartbeat) of cold: that's
+	// detector quantization or a loaded CI box, so this must pass.
+	dir := t.TempDir()
+	base := writeRestart(t, dir, "base.json", restartReport(0.995, 0.30, 0.40, 6))
+	rep := writeRestart(t, dir, "rep.json", restartReport(0.995, 0.30, 0.40, 6))
+	if err := run([]string{"-restart-report", rep, "-restart-baseline", base}); err != nil {
+		t.Fatalf("gate failed a warm pass within the detection window of cold: %v", err)
+	}
+	// But warm beyond BOTH the ceiling and cold + the window fails.
+	slow := writeRestart(t, dir, "slow.json", restartReport(0.995, 0.30, 0.50, 6))
+	baseSlow := writeRestart(t, dir, "baseslow.json", restartReport(0.995, 0.30, 0.50, 6))
+	if err := run([]string{"-restart-report", slow, "-restart-baseline", baseSlow}); err == nil {
+		t.Fatal("gate accepted warm reabsorb beyond cold plus a detection window and over the ceiling")
+	}
+}
+
+func TestRestartGateFailsOnFailedRevives(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRestart(t, dir, "base.json", restartReport(0.995, 0.08, 0.04, 6))
+	broken := restartReport(0.995, 0.08, 0.04, 6)
+	broken.Warm.FailedRevives = 1
+	rep := writeRestart(t, dir, "rep.json", broken)
+	if err := run([]string{"-restart-report", rep, "-restart-baseline", base}); err == nil {
+		t.Fatal("gate accepted a pass with a failed revive")
+	}
+}
+
+func TestRestartGateRejectsDifferentWorkload(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRestart(t, dir, "base.json", restartReport(0.995, 0.08, 0.04, 6))
+	eased := restartReport(0.995, 0.08, 0.04, 6)
+	eased.Spec.CacheBudgetBytes = 1 << 30 // nothing evicts, nothing to recover
+	rep := writeRestart(t, dir, "rep.json", eased)
+	if err := run([]string{"-restart-report", rep, "-restart-baseline", base}); err == nil {
+		t.Fatal("gate compared different workloads")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Bigger-than-ram gate.
+
+func bigramReport(inram, memonly, twotier float64, diskHits int64) *workload.BigramReport {
+	return &workload.BigramReport{
+		Schema: workload.BigramSchema, Scenario: "bigger-than-ram",
+		Spec: workload.BigramSpec{
+			Seed: 1, Nodes: 15, Clients: 24, NumDocs: 256, BodyBytes: 4096,
+			ZipfSkew: 0.7, Duration: 2, MemoryRatio: 10,
+			CacheBudgetBytes: 104857, DiskBudgetBytes: 2097152,
+		},
+		InRAM:          workload.BigramPassReport{HitRate: inram},
+		MemOnly:        workload.BigramPassReport{HitRate: memonly},
+		TwoTier:        workload.BigramPassReport{HitRate: twotier, DiskHits: diskHits},
+		MemOnlyHitDrop: inram - memonly,
+		TwoTierHitDrop: inram - twotier,
+	}
+}
+
+func writeBigram(t *testing.T, dir, name string, rep *workload.BigramReport) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return path
+}
+
+func TestBigramGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBigram(t, dir, "base.json", bigramReport(0.82, 0.31, 0.81, 8000))
+	rep := writeBigram(t, dir, "rep.json", bigramReport(0.80, 0.35, 0.78, 6000))
+	if err := run([]string{"-bigram-report", rep, "-bigram-baseline", base}); err != nil {
+		t.Fatalf("gate failed on a healthy bigger-than-ram run: %v", err)
+	}
+}
+
+func TestBigramGateFailsOnTwoTierCollapse(t *testing.T) {
+	// Two-tier more than 10% below the in-ram ceiling: the tier leaks.
+	dir := t.TempDir()
+	base := writeBigram(t, dir, "base.json", bigramReport(0.82, 0.31, 0.81, 8000))
+	rep := writeBigram(t, dir, "rep.json", bigramReport(0.82, 0.31, 0.60, 8000))
+	if err := run([]string{"-bigram-report", rep, "-bigram-baseline", base}); err == nil {
+		t.Fatal("gate accepted a collapsed two-tier hit rate")
+	}
+}
+
+func TestBigramGateFailsWithoutThrash(t *testing.T) {
+	// Mem-only barely dropping means the workload is not actually bigger
+	// than ram — the scenario gates nothing and must fail loudly.
+	dir := t.TempDir()
+	base := writeBigram(t, dir, "base.json", bigramReport(0.82, 0.80, 0.81, 8000))
+	rep := writeBigram(t, dir, "rep.json", bigramReport(0.82, 0.80, 0.81, 8000))
+	if err := run([]string{"-bigram-report", rep, "-bigram-baseline", base}); err == nil {
+		t.Fatal("gate accepted a workload where memory-only never thrashed")
+	}
+}
+
+func TestBigramGateFailsWithoutDiskHits(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBigram(t, dir, "base.json", bigramReport(0.82, 0.31, 0.81, 8000))
+	rep := writeBigram(t, dir, "rep.json", bigramReport(0.82, 0.31, 0.81, 0))
+	if err := run([]string{"-bigram-report", rep, "-bigram-baseline", base}); err == nil {
+		t.Fatal("gate accepted a two-tier pass that never served from disk")
+	}
+}
+
+func TestBigramGateRejectsDifferentWorkload(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBigram(t, dir, "base.json", bigramReport(0.82, 0.31, 0.81, 8000))
+	eased := bigramReport(0.82, 0.31, 0.81, 8000)
+	eased.Spec.CacheBudgetBytes = 1 << 30 // the corpus fits in memory
+	rep := writeBigram(t, dir, "rep.json", eased)
+	if err := run([]string{"-bigram-report", rep, "-bigram-baseline", base}); err == nil {
+		t.Fatal("gate compared different workloads")
+	}
+}

@@ -74,6 +74,7 @@ func run(args []string) error {
 	wirev := fs.Int("wirev", 2, "live/wire: TCP wire protocol version (1=JSON, 2=binary)")
 	body := fs.Int("body", 0, "wire-throughput: document body bytes (default 1024)")
 	cacheBudget := fs.Int64("cache-budget", 0, "override per-node cache budget, bytes (0 = scenario default)")
+	diskBudget := fs.Int64("disk-budget", 0, "restart/bigger-than-ram: per-node disk-tier budget, bytes (0 = scenario default)")
 	docBytes := fs.Int("doc-bytes", 0, "override document body size, bytes")
 	evictPolicy := fs.String("evict-policy", "", "live: eviction policy (lru, heat or gdsf)")
 	procs := fs.String("procs", "1,2,4,8", "core-scaling: comma-separated GOMAXPROCS sweep")
@@ -130,6 +131,10 @@ func run(args []string) error {
 			"core-scaling")
 		fmt.Printf("%-14s live cluster under node churn: kill/restart interior nodes, availability + repair time + post-repair Jain\n",
 			"chaos")
+		fmt.Printf("%-14s chaos workload twice, cold vs warm (disk-tier) restarts: post-restart availability + reabsorb + recovered docs\n",
+			"restart")
+		fmt.Printf("%-14s corpus ~10x memory budget, three passes (in-ram / mem-only / two-tier): hit-rate retention + disk hits\n",
+			"bigger-than-ram")
 		fmt.Printf("%-14s deterministic replication-forest model: single-doc flash crowd, k=1 vs k=3 trees, scaling + Jain + promote/demote round trip\n",
 			"hot-key")
 		return nil
@@ -155,6 +160,24 @@ func run(args []string) error {
 		return runChaos(workload.ChaosSpec{
 			Seed: *seed, Nodes: *n, TotalRate: *rate, Duration: *duration,
 			KillFraction: *killFraction, HeartbeatMS: *heartbeatMS,
+		}, *jsonPath)
+	}
+	if *scenario == "restart" {
+		return runRestart(workload.RestartSpec{
+			ChaosSpec: workload.ChaosSpec{
+				Seed: *seed, Nodes: *n, TotalRate: *rate, Duration: *duration,
+				KillFraction: *killFraction, HeartbeatMS: *heartbeatMS,
+			},
+			CacheBudgetBytes: *cacheBudget,
+			DiskBudgetBytes:  *diskBudget,
+		}, *jsonPath)
+	}
+	if *scenario == "bigger-than-ram" {
+		return runBigram(workload.BigramSpec{
+			Seed: *seed, Nodes: *n, Clients: *clients,
+			BodyBytes: *docBytes, Duration: *duration,
+			CacheBudgetBytes: *cacheBudget,
+			DiskBudgetBytes:  *diskBudget,
 		}, *jsonPath)
 	}
 	if *scenario == "hot-key" {

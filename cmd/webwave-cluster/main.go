@@ -36,6 +36,8 @@ func run(args []string) error {
 	cacheBudget := fs.Int64("cache-budget", 0, "per-server cache budget, bytes (0 = unlimited)")
 	cacheShards := fs.Int("cache-shards", 0, "cache store stripe count (0 = follow -shards)")
 	evictPolicy := fs.String("evict-policy", "", "eviction policy: lru (default), heat or gdsf")
+	dataDir := fs.String("data-dir", "", "disk-tier root (per-node subdirs for spilled bodies + recovery journal; empty = no disk tier)")
+	diskBudget := fs.Int64("disk-budget", 0, "per-server disk-tier budget, bytes (0 = unlimited; needs -data-dir)")
 	shards := fs.Int("shards", 0, "doc-sharded event loops per server (0 = GOMAXPROCS)")
 	maxBatch := fs.Int("max-batch", 0, "events drained per loop iteration (0 = default 256)")
 	queueDepth := fs.Int("queue-depth", 0, "per-loop event queue capacity (0 = default 1024)")
@@ -60,6 +62,8 @@ func run(args []string) error {
 		CacheBudgetBytes: *cacheBudget,
 		CacheShards:      *cacheShards,
 		EvictPolicy:      *evictPolicy,
+		DataDir:          *dataDir,
+		DiskBudgetBytes:  *diskBudget,
 		NumShards:        *shards,
 		MaxBatch:         *maxBatch,
 		QueueDepth:       *queueDepth,

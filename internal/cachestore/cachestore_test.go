@@ -179,6 +179,25 @@ func TestOversizeBodyRejected(t *testing.T) {
 	}
 }
 
+func TestOversizePutRejectedWithoutEvicting(t *testing.T) {
+	s := New(Config{BudgetBytes: 300, Shards: 1, Policy: LRU})
+	s.Put("a", body(100))
+	s.Put("b", body(100))
+	// A new body that can never fit must be rejected up front: evicting
+	// every resident first and rejecting anyway would trade the working
+	// set for nothing.
+	evs, ok := s.Put("huge", body(301))
+	if ok || len(evs) != 0 {
+		t.Fatalf("oversize put: evs=%v ok=%v, want clean rejection", evs, ok)
+	}
+	if !s.Contains("a") || !s.Contains("b") {
+		t.Fatalf("oversize put evicted residents: a=%v b=%v", s.Contains("a"), s.Contains("b"))
+	}
+	if st := s.Stats(); st.Evictions != 0 || st.Rejected != 1 {
+		t.Fatalf("stats after oversize put: %+v", st)
+	}
+}
+
 func TestOversizeRefreshRejectedWithoutEvicting(t *testing.T) {
 	s := New(Config{BudgetBytes: 300, Shards: 1, Policy: LRU})
 	s.Put("a", body(100))

@@ -14,6 +14,7 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,13 @@ type Config struct {
 	// CacheBudgetBytes bounds every server's cached bytes (0 = unlimited).
 	// The home server's published documents are pinned and exempt.
 	CacheBudgetBytes int64
+	// DataDir enables each server's disk persistence tier: node v gets
+	// DataDir/node-v as its server.Config.DataDir, so a KillNode followed
+	// by RestartNode comes back warm — journal replayed, held copies
+	// re-announced. Empty disables the tier. DiskBudgetBytes bounds each
+	// node's on-disk body bytes (0 = unlimited).
+	DataDir         string
+	DiskBudgetBytes int64
 	// CacheShards is each server's cache-store stripe count (default: the
 	// server's NumShards, keeping evictions local to the owning shard).
 	CacheShards int
@@ -164,6 +172,7 @@ func New(t *tree.Tree, docs map[core.DocID][]byte, cfg Config) (*Cluster, error)
 			NumShards:        cfg.NumShards,
 			MaxBatch:         cfg.MaxBatch,
 			QueueDepth:       cfg.QueueDepth,
+			DiskBudgetBytes:  cfg.DiskBudgetBytes,
 			HeartbeatPeriod:  cfg.HeartbeatPeriod,
 			HeartbeatMisses:  cfg.HeartbeatMisses,
 			// Promotion knobs go to every node: only the root runs the home
@@ -172,6 +181,9 @@ func New(t *tree.Tree, docs map[core.DocID][]byte, cfg Config) (*Cluster, error)
 			DemoteThreshold:   cfg.DemoteThreshold,
 			PromoteK:          cfg.PromoteK,
 			PromoteHysteresis: cfg.PromoteHysteresis,
+		}
+		if cfg.DataDir != "" {
+			scfg.DataDir = filepath.Join(cfg.DataDir, fmt.Sprintf("node-%d", v))
 		}
 		if v == t.Root() {
 			scfg.Docs = docs
@@ -521,9 +533,12 @@ func (c *Cluster) KillNode(v int) bool {
 // original configuration (the root re-publishes its pinned documents). The
 // revived node dials its configured parent — or, if that parent is still
 // down and ancestors are configured, comes up orphaned and fails over —
-// and rejoins the tree as a fresh leaf: its former children have already
-// re-attached elsewhere. The injection connection is re-dialed so traffic
-// can enter at the node again.
+// and rejoins the tree as a leaf: its former children have already
+// re-attached elsewhere. With Config.DataDir set the restart is warm: the
+// node replays its journal against the surviving body files and comes up
+// holding (and re-announcing) what it held when it was killed, instead of
+// an empty cache. The injection connection is re-dialed so traffic can
+// enter at the node again.
 func (c *Cluster) RestartNode(v int) error {
 	if v < 0 || v >= len(c.servers) {
 		return fmt.Errorf("cluster: restart node %d out of range", v)

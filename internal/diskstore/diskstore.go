@@ -1,0 +1,366 @@
+// Package diskstore is the server's second cache tier: a byte-budgeted,
+// disk-backed store of evicted-but-warm document bodies, plus an
+// append-only CRC-framed journal (journal.go) of admissions, drops and
+// serve-duty targets. Together they make a node's cache state survive a
+// SIGKILL: bodies live one-file-per-document under the store directory
+// (the filename encodes the document id, so presence is recoverable by a
+// directory scan alone), and the journal replays to the duty each copy
+// carried, which a restarted node re-announces through the existing
+// reclaim frames — zero new repair protocol.
+//
+// The store deliberately mirrors cachestore's contract — Put returns the
+// evictions it caused, bodies are immutable, pinning is absent (origin
+// copies are republished from config, never from disk) — so the server
+// wires it in as "where evicted bodies spill" rather than a new subsystem
+// with its own lifecycle rules. Writes are atomic (temp file + rename):
+// a crash mid-spill leaves either the previous body or none, never a torn
+// one.
+package diskstore
+
+import (
+	"encoding/base64"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"webwave/internal/core"
+)
+
+// bodyExt suffixes every body file; anything else in the directory is
+// ignored (temp files, stray editor droppings).
+const bodyExt = ".body"
+
+// Config parameterizes a Store.
+type Config struct {
+	// Dir is the directory body files live in; created if missing.
+	Dir string
+	// BudgetBytes bounds the total body bytes held (0 = unlimited). The
+	// least-recently-used bodies are deleted to admit new ones.
+	BudgetBytes int64
+}
+
+// Eviction reports one document displaced by a Put, mirroring
+// cachestore.Eviction so callers reuse their teardown plumbing.
+type Eviction struct {
+	Doc   core.DocID
+	Bytes int64
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Docs         int
+	Bytes        int64
+	Hits, Misses int64
+	Puts         int64
+	Rejected     int64 // bodies larger than the whole budget
+	Evictions    int64
+	EvictedBytes int64
+}
+
+// entry is one resident body: its size and its position in the intrusive
+// LRU list (head = most recently used).
+type entry struct {
+	doc        core.DocID
+	size       int64
+	prev, next *entry
+}
+
+// Store is the disk tier. All methods are safe for concurrent use; file
+// I/O happens under the store mutex, which is acceptable at the disk
+// tier's call rates (spills and misses, not the serve fast path).
+type Store struct {
+	dir    string
+	budget int64
+
+	mu         sync.Mutex
+	entries    map[core.DocID]*entry
+	head, tail *entry
+	bytes      int64
+
+	hits, misses, puts     int64
+	rejected               int64
+	evictions, evictedByte int64
+}
+
+// Open creates (or reopens) a store over cfg.Dir. Bodies already present
+// are indexed by scanning the directory — recovery needs no journal for
+// presence, only for duty — oldest-modified first, so a budget shrink
+// evicts the stalest survivors.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("diskstore: empty dir")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	s := &Store{
+		dir:     cfg.Dir,
+		budget:  cfg.BudgetBytes,
+		entries: make(map[core.DocID]*entry, 64),
+	}
+	des, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	type found struct {
+		doc  core.DocID
+		size int64
+		mod  int64
+	}
+	var scan []found
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		doc, ok := docOfFile(de.Name())
+		if !ok {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // vanished mid-scan: not resident
+		}
+		scan = append(scan, found{doc: doc, size: info.Size(), mod: info.ModTime().UnixNano()})
+	}
+	sort.Slice(scan, func(i, j int) bool {
+		if scan[i].mod != scan[j].mod {
+			return scan[i].mod < scan[j].mod
+		}
+		return scan[i].doc < scan[j].doc
+	})
+	for _, f := range scan {
+		e := &entry{doc: f.doc, size: f.size}
+		s.entries[f.doc] = e
+		s.pushFront(e)
+		s.bytes += f.size
+	}
+	s.evictOver(nil) // budget may have shrunk since the last run
+	return s, nil
+}
+
+// fileOf maps a document id to its body path: URL-safe base64 of the id,
+// so arbitrary ids (slashes, dots, bytes) round-trip through one flat
+// directory.
+func (s *Store) fileOf(doc core.DocID) string {
+	return filepath.Join(s.dir, base64.RawURLEncoding.EncodeToString([]byte(doc))+bodyExt)
+}
+
+// docOfFile inverts fileOf for directory scans.
+func docOfFile(name string) (core.DocID, bool) {
+	if len(name) <= len(bodyExt) || name[len(name)-len(bodyExt):] != bodyExt {
+		return "", false
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(name[:len(name)-len(bodyExt)])
+	if err != nil {
+		return "", false
+	}
+	return core.DocID(raw), true
+}
+
+// Put stores a body, evicting least-recently-used bodies to fit the
+// budget, and reports the evictions. A body larger than the whole budget
+// is rejected outright — without first evicting every resident body. A
+// repeat Put of a resident document only refreshes recency (bodies are
+// immutable), costing no write.
+func (s *Store) Put(doc core.DocID, body []byte) ([]Eviction, bool) {
+	size := int64(len(body))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.entries[doc]; e != nil {
+		s.touch(e)
+		return nil, true
+	}
+	if s.budget > 0 && size > s.budget {
+		s.rejected++
+		return nil, false
+	}
+	var evs []Eviction
+	if s.budget > 0 {
+		evs = s.evictOver(&size)
+	}
+	// Atomic publish: write to a temp file in the same directory, then
+	// rename over the final name. A crash between the two leaves no file —
+	// the document is simply not resident on recovery.
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		return evs, false
+	}
+	_, werr := tmp.Write(body)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return evs, false
+	}
+	if err := os.Rename(tmp.Name(), s.fileOf(doc)); err != nil {
+		os.Remove(tmp.Name())
+		return evs, false
+	}
+	e := &entry{doc: doc, size: size}
+	s.entries[doc] = e
+	s.pushFront(e)
+	s.bytes += size
+	s.puts++
+	return evs, true
+}
+
+// evictOver deletes LRU bodies until the store fits the budget (plus
+// `incoming` bytes about to be admitted, when non-nil), returning what it
+// displaced. Caller holds the mutex.
+func (s *Store) evictOver(incoming *int64) []Eviction {
+	if s.budget <= 0 {
+		return nil
+	}
+	need := s.bytes
+	if incoming != nil {
+		need += *incoming
+	}
+	var evs []Eviction
+	for need > s.budget && s.tail != nil {
+		victim := s.tail
+		s.removeEntry(victim)
+		os.Remove(s.fileOf(victim.doc))
+		need -= victim.size
+		s.evictions++
+		s.evictedByte += victim.size
+		evs = append(evs, Eviction{Doc: victim.doc, Bytes: victim.size})
+	}
+	return evs
+}
+
+// Get reads a body, refreshing its recency. A missing or unreadable file
+// drops the stale index entry and reports a miss.
+func (s *Store) Get(doc core.DocID) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[doc]
+	if e == nil {
+		s.misses++
+		return nil, false
+	}
+	body, err := os.ReadFile(s.fileOf(doc))
+	if err != nil {
+		s.removeEntry(e)
+		s.misses++
+		return nil, false
+	}
+	s.touch(e)
+	s.hits++
+	return body, true
+}
+
+// Peek reads a body without touching recency or hit counters — copy
+// transfers (delegation bodies, recovery) are not demand.
+func (s *Store) Peek(doc core.DocID) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[doc]
+	if e == nil {
+		return nil, false
+	}
+	body, err := os.ReadFile(s.fileOf(doc))
+	if err != nil {
+		s.removeEntry(e)
+		return nil, false
+	}
+	return body, true
+}
+
+// Contains reports residency without touching recency.
+func (s *Store) Contains(doc core.DocID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entries[doc] != nil
+}
+
+// Delete removes a body (no-op when absent).
+func (s *Store) Delete(doc core.DocID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.entries[doc]; e != nil {
+		s.removeEntry(e)
+		os.Remove(s.fileOf(doc))
+	}
+}
+
+// Docs returns the resident document ids, most recently used first.
+func (s *Store) Docs() []core.DocID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]core.DocID, 0, len(s.entries))
+	for e := s.head; e != nil; e = e.next {
+		out = append(out, e.doc)
+	}
+	return out
+}
+
+// Len returns the resident document count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Bytes returns the resident body bytes.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Budget returns the configured byte budget (0 = unlimited).
+func (s *Store) Budget() int64 { return s.budget }
+
+// StatsSnapshot returns current counters.
+func (s *Store) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Docs: len(s.entries), Bytes: s.bytes,
+		Hits: s.hits, Misses: s.misses, Puts: s.puts,
+		Rejected:  s.rejected,
+		Evictions: s.evictions, EvictedBytes: s.evictedByte,
+	}
+}
+
+// Intrusive LRU list plumbing (caller holds the mutex).
+
+func (s *Store) pushFront(e *entry) {
+	e.prev, e.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *Store) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *Store) touch(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+func (s *Store) removeEntry(e *entry) {
+	s.unlink(e)
+	delete(s.entries, e.doc)
+	s.bytes -= e.size
+}

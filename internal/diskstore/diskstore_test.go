@@ -1,0 +1,143 @@
+package diskstore
+
+import (
+	"testing"
+
+	"webwave/internal/core"
+)
+
+func body(n int, fill byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, ok := s.Put("doc/a", body(100, 'a'))
+	if !ok || len(evs) != 0 {
+		t.Fatalf("Put = %v, %v; want admitted with no evictions", evs, ok)
+	}
+	got, ok := s.Get("doc/a")
+	if !ok || string(got) != string(body(100, 'a')) {
+		t.Fatalf("Get returned %q, %v", got, ok)
+	}
+	if s.Len() != 1 || s.Bytes() != 100 {
+		t.Fatalf("Len=%d Bytes=%d, want 1/100", s.Len(), s.Bytes())
+	}
+	if _, ok := s.Get("doc/missing"); ok {
+		t.Fatal("Get of absent doc reported a hit")
+	}
+	st := s.StatsSnapshot()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+}
+
+func TestBudgetEvictsLRU(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir(), BudgetBytes: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", body(100, 'a'))
+	s.Put("b", body(100, 'b'))
+	s.Get("a") // a is now more recent than b
+	evs, ok := s.Put("c", body(100, 'c'))
+	if !ok {
+		t.Fatal("Put c rejected")
+	}
+	if len(evs) != 1 || evs[0].Doc != "b" || evs[0].Bytes != 100 {
+		t.Fatalf("evictions = %+v, want LRU doc b", evs)
+	}
+	if s.Contains("b") {
+		t.Fatal("evicted doc still resident")
+	}
+	if !s.Contains("a") || !s.Contains("c") {
+		t.Fatal("survivors missing")
+	}
+}
+
+func TestOversizedBodyRejectedWithoutEvicting(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir(), BudgetBytes: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", body(100, 'a'))
+	s.Put("b", body(100, 'b'))
+	evs, ok := s.Put("huge", body(301, 'x'))
+	if ok {
+		t.Fatal("over-budget body admitted")
+	}
+	if len(evs) != 0 {
+		t.Fatalf("rejection evicted %+v; residents must survive", evs)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len=%d after rejection, want 2", s.Len())
+	}
+	if s.StatsSnapshot().Rejected != 1 {
+		t.Fatal("rejection not counted")
+	}
+}
+
+func TestReopenRecoversBodiesByScan(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("odd/../id with spaces", body(64, 'q'))
+	s.Put("plain", body(32, 'p'))
+
+	// No Close/flush step: every Put is already durable (rename). Reopen
+	// as a crashed-and-restarted node would.
+	r, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || r.Bytes() != 96 {
+		t.Fatalf("recovered Len=%d Bytes=%d, want 2/96", r.Len(), r.Bytes())
+	}
+	got, ok := r.Get("odd/../id with spaces")
+	if !ok || string(got) != string(body(64, 'q')) {
+		t.Fatalf("recovered body mismatch: %q, %v", got, ok)
+	}
+}
+
+func TestReopenShrunkBudgetEvicts(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []core.DocID{"a", "b", "c", "d"} {
+		s.Put(d, body(100, byte(d[0])))
+	}
+	r, err := Open(Config{Dir: dir, BudgetBytes: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || r.Bytes() > 250 {
+		t.Fatalf("shrunk reopen kept Len=%d Bytes=%d, want 2 docs under 250B", r.Len(), r.Bytes())
+	}
+}
+
+func TestDeleteAndRepeatPut(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir(), BudgetBytes: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", body(100, 'a'))
+	s.Put("a", body(100, 'a')) // repeat: recency refresh only
+	if got := s.StatsSnapshot().Puts; got != 1 {
+		t.Fatalf("repeat Put wrote again: puts=%d, want 1", got)
+	}
+	s.Delete("a")
+	if s.Contains("a") || s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatal("Delete left residue")
+	}
+}

@@ -207,6 +207,22 @@ type Stats struct {
 	ReplicaDocs  []core.DocID         `json:"replica_docs,omitempty"`
 	Promotions   int64                `json:"promotions,omitempty"`
 	Demotions    int64                `json:"demotions,omitempty"`
+	// Disk persistence tier figures (zero with Config.DataDir unset).
+	// DiskHits counts requests served from the disk tier (a subset of
+	// Served — each also re-admits the body to memory); DiskDocs/DiskBytes/
+	// DiskBudgetBytes mirror the cache figures for the on-disk tier;
+	// DiskSpills counts memory evictions that became disk-resident spills
+	// (duty kept) rather than losses (duty hinted upstream); WarmDocs is
+	// the number of documents recovered from the journal at startup; and
+	// JournalLag is the journal records appended but not yet fsynced — what
+	// a power cut (not a process kill) could lose.
+	DiskHits        int64 `json:"disk_hits,omitempty"`
+	DiskDocs        int64 `json:"disk_docs,omitempty"`
+	DiskBytes       int64 `json:"disk_bytes,omitempty"`
+	DiskBudgetBytes int64 `json:"disk_budget_bytes,omitempty"`
+	DiskSpills      int64 `json:"disk_spills,omitempty"`
+	WarmDocs        int64 `json:"warm_docs,omitempty"`
+	JournalLag      int64 `json:"journal_lag,omitempty"`
 }
 
 // FilterStats mirrors router.Stats for the wire.

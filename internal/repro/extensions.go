@@ -154,6 +154,12 @@ type LiveConfig struct {
 	CacheShards      int
 	EvictPolicy      string
 
+	// DataDir non-empty adds the disk tier: per-node subdirectories holding
+	// spilled bodies plus a recovery journal (see internal/diskstore).
+	// DiskBudgetBytes bounds each node's on-disk bytes (0 = unlimited).
+	DataDir         string
+	DiskBudgetBytes int64
+
 	// NumShards is each server's doc-sharded event loop count (0 =
 	// GOMAXPROCS); MaxBatch and QueueDepth tune the loops' batch bound and
 	// queue capacity (0 = server defaults).
@@ -228,6 +234,8 @@ func RunLiveCluster(cfg LiveConfig) (*LiveResult, error) {
 		CacheBudgetBytes: cfg.CacheBudgetBytes,
 		CacheShards:      cfg.CacheShards,
 		EvictPolicy:      evictPolicy,
+		DataDir:          cfg.DataDir,
+		DiskBudgetBytes:  cfg.DiskBudgetBytes,
 		NumShards:        cfg.NumShards,
 		MaxBatch:         cfg.MaxBatch,
 		QueueDepth:       cfg.QueueDepth,

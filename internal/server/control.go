@@ -506,7 +506,7 @@ func (c *control) delegateDown(child int, want float64, snaps []*shardSnap) {
 		}
 		flows := sn.flows[child]
 		for doc, flow := range flows {
-			if !c.s.cache.Contains(doc) {
+			if !c.s.holdsCopy(doc) {
 				continue
 			}
 			srv := sn.served[doc]
@@ -589,7 +589,7 @@ func (c *control) claimPassing(want float64, snaps []*shardSnap) float64 {
 			if claimed >= want {
 				return claimed
 			}
-			if !c.s.cache.Contains(doc) {
+			if !c.s.holdsCopy(doc) {
 				continue
 			}
 			spare := flow - sn.served[doc]
@@ -623,7 +623,7 @@ func (c *control) tunnel(load float64, snaps []*shardSnap) {
 		}
 		for _, flows := range sn.flows {
 			for doc, r := range flows {
-				if r > bestFlow && !s.cache.Contains(doc) {
+				if r > bestFlow && !s.holdsCopy(doc) {
 					best, bestFlow = doc, r
 				}
 			}
@@ -699,6 +699,7 @@ func (c *control) snapshot() *netproto.Stats {
 		st.EvictHintsIn += sn.counters.evictHintsIn
 		st.ReclaimedDuty += sn.counters.reclaimedDuty
 		st.AbsorbedDuty += sn.counters.absorbedDuty
+		st.DiskHits += sn.counters.diskHits
 		// Snapshot-carried (not a live atomic), so a scrape never reports
 		// more fast serves than the drained Served it sits inside.
 		st.FastServed += sn.counters.fastServed
@@ -723,6 +724,16 @@ func (c *control) snapshot() *netproto.Stats {
 		Passed:    rs.Passed,
 	}
 	st.ShardQueueLens, st.CtrlQueueLen, st.QueueLen = s.queueLens()
+	if s.disk != nil {
+		st.DiskDocs = int64(s.disk.Len())
+		st.DiskBytes = s.disk.Bytes()
+		st.DiskBudgetBytes = s.disk.Budget()
+		st.DiskSpills = s.nSpills.Load()
+		st.WarmDocs = int64(s.warmDocs)
+	}
+	if s.journal != nil {
+		st.JournalLag = s.journal.Lag()
+	}
 	c.promoStats(st)
 	return st
 }

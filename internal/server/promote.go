@@ -327,7 +327,7 @@ func (c *control) promoStats(st *netproto.Stats) {
 // command.
 func (sh *shard) promoteOut(child int, doc core.DocID, rate float64) {
 	conn := sh.s.childConn(child)
-	if conn == nil || !sh.s.cache.Contains(doc) {
+	if conn == nil || !sh.s.holdsCopy(doc) {
 		return
 	}
 	sh.targets[doc] -= rate
@@ -335,7 +335,7 @@ func (sh *shard) promoteOut(child int, doc core.DocID, rate float64) {
 		sh.targets[doc] = 0
 	}
 	sh.dutyLedger(child)[doc] += rate
-	body, _ := sh.s.cache.Peek(doc) // a handoff is not local demand
+	body, _ := sh.s.bodyOf(doc) // a handoff is not local demand
 	sh.sendOn(conn, &netproto.Envelope{
 		Kind: netproto.TypePromote, From: sh.s.cfg.ID, To: child,
 		Doc: doc, Rate: rate, Body: body,
@@ -354,7 +354,7 @@ func (sh *shard) promoteIn(doc core.DocID, rate float64, body []byte) {
 		// flows back to the home through its unanswered announcements.
 		sh.admit(doc, body)
 	}
-	if sh.s.cache.Contains(doc) {
+	if sh.s.holdsCopy(doc) {
 		sh.targets[doc] += rate
 		sh.refreshCredit(doc) // arm the fast path without waiting a tick
 	}
@@ -366,7 +366,7 @@ func (sh *shard) promoteIn(doc core.DocID, rate float64, body []byte) {
 // The cached body stays — it is unpinned, so ordinary pressure reclaims
 // it, and a re-promotion shortly after costs no second body transfer.
 func (sh *shard) demoteLocal(doc core.DocID) {
-	if !sh.s.cache.Contains(doc) {
+	if !sh.s.holdsCopy(doc) {
 		return // evicted earlier: the residual already traveled with the hint
 	}
 	sh.rt.Remove(doc)

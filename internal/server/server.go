@@ -45,6 +45,7 @@ import (
 
 	"webwave/internal/cachestore"
 	"webwave/internal/core"
+	"webwave/internal/diskstore"
 	"webwave/internal/netproto"
 	"webwave/internal/transport"
 )
@@ -126,6 +127,17 @@ type Config struct {
 	// cachestore.Heat (evict the lowest request-rate-per-byte copy, rates
 	// read from this server's sliding windows), or cachestore.GDSF.
 	EvictPolicy cachestore.Policy
+
+	// DataDir enables the disk persistence tier: evicted-but-warm bodies
+	// spill to DataDir/bodies under DiskBudgetBytes, and an append-only
+	// journal (DataDir/journal.wal) records admissions, drops and duty so
+	// a killed node restarts warm — replaying the journal against the
+	// surviving bodies and re-announcing held duty as reclaim frames.
+	// Empty disables the tier (pre-existing memory-only behavior).
+	DataDir string
+	// DiskBudgetBytes bounds the disk tier's body bytes (0 = unlimited).
+	// Ignored when DataDir is empty.
+	DiskBudgetBytes int64
 
 	// BarrierPatience is the number of diffusion periods a node stays
 	// under-loaded with no delegation before tunneling (paper: > 2).
@@ -318,6 +330,14 @@ type Server struct {
 	// server's shard hash). Bodies are immutable by convention.
 	cache *cachestore.Store
 
+	// disk and journal form the persistence tier (nil with DataDir unset);
+	// warmDocs counts documents recovered at New time, nSpills the memory
+	// evictions that became disk-resident spills instead of losses.
+	disk     *diskstore.Store
+	journal  *diskstore.Journal
+	warmDocs int
+	nSpills  atomic.Int64
+
 	shards []*shard
 	ctrl   *control
 
@@ -384,6 +404,14 @@ func New(cfg Config) (*Server, error) {
 			sh := s.shardFor(id)
 			sh.rt.Install(id, nil) // the home extracts everything it owns
 			sh.publish(id, body, true)
+		}
+	}
+	if cfg.DataDir != "" {
+		// Warm recovery runs here, single-threaded, before any loop exists:
+		// the journal replays against the surviving body files and the node
+		// comes up already holding what it held when it was killed.
+		if err := s.openPersist(); err != nil {
+			return nil, err
 		}
 	}
 	return s, nil
@@ -476,6 +504,15 @@ func (s *Server) Start() error {
 		s.ctrl.failoverOn.Store(true)
 		s.wg.Add(1)
 		go s.failover()
+	}
+	if s.warmDocs > 0 && !s.isRoot && s.parentLink() != nil {
+		// Warm restart: re-announce recovered duty upstream right away. The
+		// parentRestored handler is exactly the failover replay — reclaim
+		// frames for every held target — so a warm node needs zero new
+		// repair protocol to resume carrying what it carried before the kill.
+		for _, sh := range s.shards {
+			s.post(sh.events, event{cmd: cmdParentRestored})
+		}
 	}
 	return nil
 }
@@ -702,6 +739,7 @@ func (s *Server) Stop() {
 		s.connsMu.Unlock()
 	})
 	s.wg.Wait()
+	s.closePersist()
 }
 
 // Addr returns the listen address (useful with TCP port 0).

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"webwave/internal/cachestore"
 	"webwave/internal/core"
 	"webwave/internal/netproto"
 	"webwave/internal/router"
@@ -109,6 +110,7 @@ type shardCounters struct {
 	served, forwarded, coalesced       int64
 	delegIn, delegOut, shedIn, shedOut int64
 	evictHintsIn, fastServed           int64
+	diskHits                           int64
 	reclaimedDuty, absorbedDuty        float64
 }
 
@@ -154,7 +156,12 @@ type shard struct {
 	nServed, nForwarded, nCoalesced  int64
 	nDelegIn, nDelegOut              int64
 	nShedIn, nShedOut, nEvictHintsIn int64
+	nDiskHits                        int64
 	nReclaimedDuty, nAbsorbedDuty    float64
+
+	// jTargets is the last journaled duty per admitted document (persist.go);
+	// nil while the disk tier is disabled.
+	jTargets map[core.DocID]float64
 
 	// Lock-free surfaces.
 	pub         atomic.Pointer[pubMap]    // publication index (single writer: this loop)
@@ -275,7 +282,7 @@ func (sh *shard) handleCmd(ev event) {
 		// The claim was computed from a snapshot; re-validate like
 		// delegateOut does, so a copy evicted in between does not get a
 		// phantom target resurrected for it.
-		if !sh.s.cache.Contains(ev.doc) {
+		if !sh.s.holdsCopy(ev.doc) {
 			return
 		}
 		sh.targets[ev.doc] += ev.rate
@@ -311,7 +318,7 @@ func (sh *shard) absorbChildDuty(child int) {
 		if rate <= 0 {
 			continue
 		}
-		if sh.s.cache.Contains(doc) {
+		if sh.s.holdsCopy(doc) {
 			sh.targets[doc] += rate
 			sh.nAbsorbedDuty += rate
 			sh.refreshCredit(doc)
@@ -368,7 +375,7 @@ func (sh *shard) parentRestored() {
 	stranded := sh.strandedDuty
 	sh.strandedDuty = nil
 	for doc, rate := range stranded {
-		if sh.s.cache.Contains(doc) {
+		if sh.s.holdsCopy(doc) {
 			sh.targets[doc] += rate
 			sh.nAbsorbedDuty += rate
 			sh.refreshCredit(doc)
@@ -432,6 +439,7 @@ func (sh *shard) tick() {
 	sh.drainFast()
 	sh.reapTombstones()
 	sh.refreshCredits()
+	sh.journalTick()
 	sweepEvery := sh.s.cfg.PendingTTL / 2
 	if sweepEvery < 10*time.Millisecond {
 		sweepEvery = 10 * time.Millisecond
@@ -532,6 +540,7 @@ func (sh *shard) publishSnap(fast int64) {
 			delegIn: sh.nDelegIn, delegOut: sh.nDelegOut,
 			shedIn: sh.nShedIn, shedOut: sh.nShedOut,
 			evictHintsIn:  sh.nEvictHintsIn,
+			diskHits:      sh.nDiskHits,
 			fastServed:    fast,
 			reclaimedDuty: sh.nReclaimedDuty, absorbedDuty: sh.nAbsorbedDuty,
 		},
@@ -699,7 +708,7 @@ func (sh *shard) handle(ev event) {
 			// the home server and the parent reclaims it via claimPassing.
 			sh.admit(env.Doc, env.Body)
 		}
-		if sh.s.cache.Contains(env.Doc) {
+		if sh.s.holdsCopy(env.Doc) {
 			sh.targets[env.Doc] += env.Rate
 			sh.refreshCredit(env.Doc) // arm the fast path without waiting a tick
 			sh.sendOn(ev.conn, &netproto.Envelope{
@@ -715,9 +724,9 @@ func (sh *shard) handle(ev event) {
 		sh.nShedIn++
 		// Duty coming back up is no longer the sender's: debit its ledger.
 		sh.dropLedgerDuty(env.From, env.Doc, env.Rate)
-		// Pick up shed duty only for documents we hold; otherwise the
-		// request flow simply continues to the home server.
-		if sh.s.cache.Contains(env.Doc) {
+		// Pick up shed duty only for documents we hold (either tier);
+		// otherwise the request flow simply continues to the home server.
+		if sh.s.holdsCopy(env.Doc) {
 			sh.targets[env.Doc] += env.Rate
 			sh.refreshCredit(env.Doc)
 		}
@@ -729,7 +738,7 @@ func (sh *shard) handle(ev event) {
 		// can serve (origin copies are pinned).
 		sh.nEvictHintsIn++
 		sh.dropLedgerDuty(env.From, env.Doc, env.Rate)
-		if sh.s.cache.Contains(env.Doc) {
+		if sh.s.holdsCopy(env.Doc) {
 			sh.targets[env.Doc] += env.Rate
 			sh.refreshCredit(env.Doc)
 		}
@@ -747,7 +756,7 @@ func (sh *shard) handle(ev event) {
 		// Only the home can answer authoritatively. Peek: a tunnel fetch
 		// is a copy transfer, not local demand, so it must not refresh
 		// recency or frequency.
-		if body, ok := sh.s.cache.Peek(env.Doc); ok {
+		if body, ok := sh.s.bodyOf(env.Doc); ok {
 			sh.sendOn(ev.conn, &netproto.Envelope{
 				Kind: netproto.TypeTunnelReply, From: sh.s.cfg.ID, To: env.From,
 				Doc: env.Doc, Body: body,
@@ -922,7 +931,34 @@ func (sh *shard) answerWaiters(fl *flight, resp *netproto.Envelope) {
 // the abandoned target rate so a surviving copy upstream absorbs the duty
 // instead of waiting a diffusion period to notice the imbalance.
 func (sh *shard) admit(doc core.DocID, body []byte) bool {
+	// Write through to the disk tier first, so the body is crash-safe (and
+	// eviction-safe) before any duty is accepted for it.
+	sh.diskWriteThrough(doc, body)
 	evs, ok := sh.s.cache.Put(doc, body)
+	sh.applyEvictions(evs)
+	if ok {
+		sh.installFilter(doc)
+		sh.publish(doc, body, false)
+		sh.journalAdmit(doc)
+		return true
+	}
+	if sh.s.diskHas(doc) {
+		// Too big (or too contended) for memory, but captured by the disk
+		// tier: the node still accepts the copy and its duty — this is what
+		// lets a corpus larger than RAM keep serving below the home server.
+		// No publication: the fast path needs an in-memory body; the read
+		// path serves the copy from disk until a hit re-admits it.
+		sh.installFilter(doc)
+		sh.journalAdmit(doc)
+		return true
+	}
+	return false
+}
+
+// applyEvictions runs the protocol-side cleanup for a Put's displaced
+// documents: cut the fast path now, route the owner-side teardown (or
+// spill) to each document's owning shard.
+func (sh *shard) applyEvictions(evs []cachestore.Eviction) {
 	for _, ev := range evs {
 		sh.s.nEvicted.Add(1)
 		sh.s.nEvictedBytes.Add(int64(ev.Bytes))
@@ -934,11 +970,6 @@ func (sh *shard) admit(doc core.DocID, body []byte) bool {
 			owner.postEvicted(ev.Doc)
 		}
 	}
-	if ok {
-		sh.installFilter(doc)
-		sh.publish(doc, body, false)
-	}
-	return ok
 }
 
 // dropEvicted is the owner-side eviction cleanup: filter down, publication
@@ -958,11 +989,21 @@ func (sh *shard) dropEvicted(doc core.DocID) {
 		}
 		return
 	}
+	if sh.s.diskHas(doc) {
+		// Spilled, not lost: the disk tier still holds the body (admission
+		// wrote through), so the node keeps the document's duty and filter.
+		// Only the fast path goes down — it needs an in-memory body — and
+		// the read path serves memory → disk until a hit re-admits it.
+		sh.unpublish(doc)
+		sh.s.nSpills.Add(1)
+		return
+	}
 	sh.rt.Remove(doc)
 	sh.unpublish(doc)
 	residual := sh.targets[doc]
 	delete(sh.targets, doc)
 	delete(sh.served, doc)
+	sh.journalDrop(doc)
 	// A copy displaced before accruing any serve duty has nothing for the
 	// parent to absorb; hintUp skips the no-op (and parks the hint while
 	// orphaned).
@@ -972,6 +1013,16 @@ func (sh *shard) dropEvicted(doc core.DocID) {
 func (sh *shard) serveRequest(ev event) {
 	env := ev.env
 	body, cached := sh.s.cache.Get(env.Doc)
+	if !cached {
+		if dbody, ok := sh.s.diskGet(env.Doc); ok {
+			// Disk-tier hit: serve the spilled copy and re-admit it to
+			// memory so subsequent requests take the fast path again (the
+			// disk copy stays — bodies are immutable, demotion is free).
+			sh.nDiskHits++
+			sh.readmitFromDisk(env.Doc, dbody)
+			body, cached = dbody, true
+		}
+	}
 	if !cached && !sh.s.isRoot {
 		// The filter extracted a document we no longer hold (install/evict
 		// race); keep the request moving toward the home server.
@@ -991,6 +1042,20 @@ func (sh *shard) serveRequest(ev event) {
 	}
 	sh.sendOn(ev.conn, resp)
 	netproto.PutEnvelope(resp)
+}
+
+// readmitFromDisk promotes a disk-served body back into memory so the next
+// request takes the fast path. No journal traffic: the document was already
+// journaled as admitted, and the disk copy stays where it is. If memory
+// still refuses the body (budget smaller than the body), the document simply
+// stays disk-resident.
+func (sh *shard) readmitFromDisk(doc core.DocID, body []byte) {
+	evs, ok := sh.s.cache.Put(doc, body)
+	sh.applyEvictions(evs)
+	if ok {
+		sh.publish(doc, body, false)
+		sh.refreshCredit(doc)
+	}
 }
 
 // installFilter wires the admission decision for one cached document: the
@@ -1013,7 +1078,7 @@ func (sh *shard) installFilter(doc core.DocID) {
 // shard re-validates what still holds.
 func (sh *shard) delegateOut(child int, doc core.DocID, rate float64) {
 	conn := sh.s.childConn(child)
-	if conn == nil || !sh.s.cache.Contains(doc) {
+	if conn == nil || !sh.s.holdsCopy(doc) {
 		return
 	}
 	sh.targets[doc] -= rate
@@ -1022,7 +1087,7 @@ func (sh *shard) delegateOut(child int, doc core.DocID, rate float64) {
 	}
 	sh.nDelegOut++
 	sh.dutyLedger(child)[doc] += rate // credited back if the child sheds or dies
-	body, _ := sh.s.cache.Peek(doc)   // a handoff is not local demand
+	body, _ := sh.s.bodyOf(doc)       // a handoff is not local demand
 	sh.sendOn(conn, &netproto.Envelope{
 		Kind: netproto.TypeDelegate, From: sh.s.cfg.ID, To: child,
 		Doc: doc, Rate: rate, Body: body,
@@ -1035,7 +1100,7 @@ func (sh *shard) delegateOut(child int, doc core.DocID, rate float64) {
 // and a shed here would hand the parent the same duty twice.
 func (sh *shard) shedOut(doc core.DocID, rate float64) {
 	pl := sh.s.parentLink()
-	if pl == nil || !sh.s.cache.Contains(doc) {
+	if pl == nil || !sh.s.holdsCopy(doc) {
 		return
 	}
 	sh.targets[doc] -= rate

@@ -104,6 +104,11 @@ type ChaosReport struct {
 	AbsorbedDuty    float64 `json:"absorbed_duty"`
 	HeartbeatMisses int64   `json:"heartbeat_misses"`
 	FinalOrphaned   int     `json:"final_orphaned"`
+	// FailedRevives counts killed nodes whose RestartNode errored — nodes
+	// the run meant to bring back but could not. A silent revive failure
+	// would depress availability with no visible cause, so the count is
+	// reported (and gated to zero) rather than swallowed.
+	FailedRevives int64 `json:"failed_revives"`
 
 	ControlAvailability float64 `json:"control_availability"`
 }
@@ -117,6 +122,22 @@ type chaosPass struct {
 	reclaimed, absorbed        float64
 	heartbeatMisses            int64
 	finalOrphaned              int
+	failedRevives              int64
+	// Restart-warmth figures: responses already in at restart time, and the
+	// schedule entries offered from restart to end — their quotient is the
+	// post-restart availability the warm-vs-cold comparison gates.
+	respAtRestart int64
+	tailOffered   int64
+	warmDocs      int64
+	diskHits      int64
+}
+
+// chaosOpts is the optional cluster configuration a chaos-style run may
+// carry: a per-node data dir (enabling warm restarts) and the two tier
+// budgets. The zero value is the memory-only cluster RunChaos always ran.
+type chaosOpts struct {
+	dataDir                 string
+	cacheBudget, diskBudget int64
 }
 
 // RunChaos executes the control pass and the chaos pass on the identical
@@ -127,16 +148,64 @@ func RunChaos(sp ChaosSpec, logf func(format string, args ...any)) (*ChaosReport
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	t, docs, sched, killed, err := chaosSetup(sp)
+	if err != nil {
+		return nil, err
+	}
+
+	control, err := chaosRun(sp, t, docs, sched, nil, chaosOpts{})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: control pass: %w", err)
+	}
+	logf("  control: %d/%d answered (%.4f), tail jain %.3f",
+		control.responses, control.offered,
+		availability(control), control.tailJain)
+	chaos, err := chaosRun(sp, t, docs, sched, killed, chaosOpts{})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: failure pass: %w", err)
+	}
+	logf("  chaos:   %d/%d answered (%.4f), tail jain %.3f, reabsorb %.2fs, reconnects %d, killed %v",
+		chaos.responses, chaos.offered, availability(chaos),
+		chaos.tailJain, chaos.reabsorb, chaos.reconnects, killed)
+
+	rep := &ChaosReport{
+		Schema: ChaosSchema, Scenario: "chaos", Spec: sp, Killed: killed,
+		Offered:             chaos.offered,
+		FailedInjects:       chaos.failed,
+		Responses:           chaos.responses,
+		Availability:        round6(availability(chaos)),
+		ReabsorbSeconds:     round6(chaos.reabsorb),
+		PostRepairJain:      round6(chaos.tailJain),
+		NoFailJain:          round6(control.tailJain),
+		Reconnects:          chaos.reconnects,
+		ReclaimedDuty:       round6(chaos.reclaimed),
+		AbsorbedDuty:        round6(chaos.absorbed),
+		HeartbeatMisses:     chaos.heartbeatMisses,
+		FinalOrphaned:       chaos.finalOrphaned,
+		FailedRevives:       chaos.failedRevives,
+		ControlAvailability: round6(availability(control)),
+	}
+	if control.tailJain > 0 {
+		rep.JainRatio = round6(chaos.tailJain / control.tailJain)
+	}
+	return rep, nil
+}
+
+// chaosSetup builds the deterministic fixtures every chaos-style scenario
+// shares: the tree, the document catalog, the Poisson schedule, and the
+// interior victim set — all derived from sp.Seed, so two passes (control vs
+// chaos, cold vs warm) replay the identical workload.
+func chaosSetup(sp ChaosSpec) (*tree.Tree, map[core.DocID][]byte, []trace.Request, []int, error) {
 	rng := rand.New(rand.NewSource(sp.Seed))
 	t, err := tree.RandomBounded(sp.Nodes, 3, rng)
 	if err != nil {
-		return nil, fmt.Errorf("chaos: tree: %w", err)
+		return nil, nil, nil, nil, fmt.Errorf("chaos: tree: %w", err)
 	}
 	demand, err := trace.ZipfDemand(t, trace.ZipfDemandConfig{
 		NumDocs: sp.NumDocs, Skew: 1.0, TotalRate: sp.TotalRate,
 	}, rng)
 	if err != nil {
-		return nil, fmt.Errorf("chaos: demand: %w", err)
+		return nil, nil, nil, nil, fmt.Errorf("chaos: demand: %w", err)
 	}
 	docs := make(map[core.DocID][]byte, len(demand.Docs))
 	for _, d := range demand.Docs {
@@ -161,42 +230,7 @@ func RunChaos(sp ChaosSpec, logf func(format string, args ...any)) (*ChaosReport
 	rng.Shuffle(len(interior), func(i, j int) { interior[i], interior[j] = interior[j], interior[i] })
 	killed := append([]int(nil), interior[:nKill]...)
 	sort.Ints(killed)
-
-	control, err := chaosRun(sp, t, docs, sched, nil)
-	if err != nil {
-		return nil, fmt.Errorf("chaos: control pass: %w", err)
-	}
-	logf("  control: %d/%d answered (%.4f), tail jain %.3f",
-		control.responses, control.offered,
-		availability(control), control.tailJain)
-	chaos, err := chaosRun(sp, t, docs, sched, killed)
-	if err != nil {
-		return nil, fmt.Errorf("chaos: failure pass: %w", err)
-	}
-	logf("  chaos:   %d/%d answered (%.4f), tail jain %.3f, reabsorb %.2fs, reconnects %d, killed %v",
-		chaos.responses, chaos.offered, availability(chaos),
-		chaos.tailJain, chaos.reabsorb, chaos.reconnects, killed)
-
-	rep := &ChaosReport{
-		Schema: ChaosSchema, Scenario: "chaos", Spec: sp, Killed: killed,
-		Offered:             chaos.offered,
-		FailedInjects:       chaos.failed,
-		Responses:           chaos.responses,
-		Availability:        round6(availability(chaos)),
-		ReabsorbSeconds:     round6(chaos.reabsorb),
-		PostRepairJain:      round6(chaos.tailJain),
-		NoFailJain:          round6(control.tailJain),
-		Reconnects:          chaos.reconnects,
-		ReclaimedDuty:       round6(chaos.reclaimed),
-		AbsorbedDuty:        round6(chaos.absorbed),
-		HeartbeatMisses:     chaos.heartbeatMisses,
-		FinalOrphaned:       chaos.finalOrphaned,
-		ControlAvailability: round6(availability(control)),
-	}
-	if control.tailJain > 0 {
-		rep.JainRatio = round6(chaos.tailJain / control.tailJain)
-	}
-	return rep, nil
+	return t, docs, sched, killed, nil
 }
 
 func availability(p *chaosPass) float64 {
@@ -208,14 +242,17 @@ func availability(p *chaosPass) float64 {
 
 // chaosRun plays the schedule against a fresh cluster; killed nil means the
 // no-failure control pass.
-func chaosRun(sp ChaosSpec, t *tree.Tree, docs map[core.DocID][]byte, sched []trace.Request, killed []int) (*chaosPass, error) {
+func chaosRun(sp ChaosSpec, t *tree.Tree, docs map[core.DocID][]byte, sched []trace.Request, killed []int, opt chaosOpts) (*chaosPass, error) {
 	c, err := cluster.New(t, docs, cluster.Config{
-		GossipPeriod:    20 * time.Millisecond,
-		DiffusionPeriod: 40 * time.Millisecond,
-		Window:          400 * time.Millisecond,
-		Tunneling:       true,
-		Ancestors:       true,
-		HeartbeatPeriod: time.Duration(sp.HeartbeatMS) * time.Millisecond,
+		GossipPeriod:     20 * time.Millisecond,
+		DiffusionPeriod:  40 * time.Millisecond,
+		Window:           400 * time.Millisecond,
+		Tunneling:        true,
+		Ancestors:        true,
+		HeartbeatPeriod:  time.Duration(sp.HeartbeatMS) * time.Millisecond,
+		DataDir:          opt.dataDir,
+		CacheBudgetBytes: opt.cacheBudget,
+		DiskBudgetBytes:  opt.diskBudget,
 	})
 	if err != nil {
 		return nil, err
@@ -285,19 +322,28 @@ func chaosRun(sp ChaosSpec, t *tree.Tree, docs map[core.DocID][]byte, sched []tr
 		go func() {
 			defer wg.Done()
 			time.Sleep(time.Until(start.Add(dur(sp.KillAt + sp.Downtime))))
+			pass.respAtRestart = c.Responses()
 			for _, v := range killed {
-				c.RestartNode(v) // best effort; a failed revive shows up in availability
+				if err := c.RestartNode(v); err != nil {
+					// A node that should be back but is not silently depresses
+					// availability; count it so the report (and gate) sees it.
+					pass.failedRevives++
+				}
 			}
 		}()
 	}
 
 	// Open-loop playback at schedule times; injections into dead entry
 	// nodes fail and count against availability.
+	restartAt := sp.KillAt + sp.Downtime
 	for i := range sched {
 		if wait := time.Until(start.Add(dur(sched[i].Time))); wait > 0 {
 			time.Sleep(wait)
 		}
 		pass.offered++
+		if sched[i].Time >= restartAt {
+			pass.tailOffered++
+		}
 		if err := c.Inject(sched[i].Origin, sched[i].Doc); err != nil {
 			pass.failed++
 		}
@@ -322,6 +368,8 @@ func chaosRun(sp ChaosSpec, t *tree.Tree, docs map[core.DocID][]byte, sched []tr
 			pass.absorbed += st.AbsorbedDuty
 			pass.heartbeatMisses += st.HeartbeatMisses
 			pass.finalOrphaned += st.Orphaned
+			pass.warmDocs += st.WarmDocs
+			pass.diskHits += st.DiskHits
 		}
 	}
 	return pass, nil

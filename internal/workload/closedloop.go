@@ -36,6 +36,14 @@ type ClosedLoopSpec struct {
 
 	Network   transport.Network // cluster links (a TCPNetwork variant)
 	NumShards int               // per-server shard loops (0 = GOMAXPROCS)
+
+	// CacheBudgetBytes bounds every node's in-memory body bytes (0 =
+	// unlimited, the pre-existing behavior); DataDir non-empty adds the
+	// disk tier (per-node subdirectories) under DiskBudgetBytes — the
+	// two-tier configuration the bigger-than-ram scenario measures.
+	CacheBudgetBytes int64
+	DiskBudgetBytes  int64
+	DataDir          string
 }
 
 // ClosedLoopResult is one measurement, covering only the measured window —
@@ -52,12 +60,14 @@ type ClosedLoopResult struct {
 	Forwarded     int64
 	Coalesced     int64
 	FastServed    int64
+	DiskHits      int64 // serves answered from the disk tier
 }
 
 // counterScrape is the per-node counter baseline captured at measure start.
 type counterScrape struct {
 	served                           []int64
 	forwarded, coalesced, fastServed int64
+	diskHits                         int64
 	ok                               bool
 }
 
@@ -77,6 +87,7 @@ func scrapeCounters(c *cluster.Cluster, n int) counterScrape {
 		cs.forwarded += st.Forwarded
 		cs.coalesced += st.Coalesced
 		cs.fastServed += st.FastServed
+		cs.diskHits += st.DiskHits
 	}
 	cs.ok = true
 	return cs
@@ -100,13 +111,16 @@ func RunClosedLoop(sp ClosedLoopSpec) (ClosedLoopResult, error) {
 		docs[docIDs[j]] = body
 	}
 	c, err := cluster.New(t, docs, cluster.Config{
-		Network:         sp.Network,
-		AddrFor:         func(int) string { return "127.0.0.1:0" },
-		GossipPeriod:    25 * time.Millisecond,
-		DiffusionPeriod: 50 * time.Millisecond,
-		Window:          500 * time.Millisecond,
-		Tunneling:       true,
-		NumShards:       sp.NumShards,
+		Network:          sp.Network,
+		AddrFor:          func(int) string { return "127.0.0.1:0" },
+		GossipPeriod:     25 * time.Millisecond,
+		DiffusionPeriod:  50 * time.Millisecond,
+		Window:           500 * time.Millisecond,
+		Tunneling:        true,
+		NumShards:        sp.NumShards,
+		CacheBudgetBytes: sp.CacheBudgetBytes,
+		DiskBudgetBytes:  sp.DiskBudgetBytes,
+		DataDir:          sp.DataDir,
 	})
 	if err != nil {
 		return ClosedLoopResult{}, err
@@ -222,6 +236,7 @@ func RunClosedLoop(sp ClosedLoopSpec) (ClosedLoopResult, error) {
 		res.Forwarded = after.forwarded - before.forwarded
 		res.Coalesced = after.coalesced - before.coalesced
 		res.FastServed = after.fastServed - before.fastServed
+		res.DiskHits = after.diskHits - before.diskHits
 		var total, below int64
 		for v := range after.served {
 			d := after.served[v] - before.served[v]
