@@ -47,6 +47,26 @@
 //     otherwise the tier silently did nothing and the pass degenerates to a
 //     second cold run), and revive every victim in both passes.
 //
+//   - Update-heavy (-update-report/-update-baseline): the mutability floor.
+//     The committed baseline pins the workload (spec mismatch fails); the
+//     report's write-mix pass must then answer everything, actually write
+//     (writes >= 1, every post-write response staleness-sampled, at least
+//     one republish applied somewhere), keep the p99 response staleness at
+//     or under -max-p99-staleness (default 0 = one diffusion period, read
+//     from the report — a write must diffuse within a propagation tick),
+//     and cost at most -max-hitrate-cost of the read-only control's hit
+//     rate. Thresholds rather than byte comparison because the run is
+//     wall-clock.
+//
+//   - Invalidation-storm (-storm-report/-storm-baseline): the lease floor.
+//     The committed baseline pins the workload; the storm must then answer
+//     every burst read, exercise the leases (lease refreshes >= 1, at least
+//     one invalidation applied), complete the warm-up promotion when a
+//     forest is configured, and collapse the per-write origin load: origin
+//     fetches per write at most -max-origin-factor times the subtree count
+//     (O(subtrees), not O(clients)) and upstream forwards per write at most
+//     -max-forward-fraction of the client count (no thundering herd).
+//
 //   - Bigger-than-ram (-bigram-report/-bigram-baseline): the disk-tier
 //     floor. The committed baseline pins the workload (a corpus that fits in
 //     memory would gate nothing); two-tier's hit rate must stay within
@@ -64,6 +84,8 @@
 //	benchgate -hotkey-report BENCH_hotkey.json -hotkey-baseline bench/BENCH_hotkey_baseline.json [-min-scaling 2.0] [-min-hotkey-jain-ratio 0.90]
 //	benchgate -restart-report BENCH_restart.json -restart-baseline bench/BENCH_restart_baseline.json [-min-warm-availability 0.981] [-max-warm-reabsorb 0.06]
 //	benchgate -bigram-report BENCH_bigram.json -bigram-baseline bench/BENCH_bigram_baseline.json [-max-twotier-regress 0.10] [-min-drop-ratio 2.0]
+//	benchgate -update-report BENCH_update.json -update-baseline bench/BENCH_update_baseline.json [-max-p99-staleness 0] [-max-hitrate-cost 0.10]
+//	benchgate -storm-report BENCH_storm.json -storm-baseline bench/BENCH_storm_baseline.json [-max-origin-factor 4.0] [-max-forward-fraction 0.5]
 package main
 
 import (
@@ -107,6 +129,14 @@ func run(args []string) error {
 	maxTwoTierRegress := fs.Float64("max-twotier-regress", 0.10, "bigram: max allowed fractional two-tier hit-rate drop vs the in-ram ceiling")
 	minDropRatio := fs.Float64("min-drop-ratio", 2.0, "bigram: memory-only hit drop must be at least this multiple of two-tier's")
 	minMemOnlyDrop := fs.Float64("min-memonly-drop", 0.10, "bigram: minimum memory-only hit drop (proves the corpus really exceeds memory)")
+	updatePath := fs.String("update-report", "", "update-heavy report JSON produced by this run")
+	updateBasePath := fs.String("update-baseline", "", "committed update-heavy baseline JSON (pins the workload)")
+	maxP99Staleness := fs.Float64("max-p99-staleness", 0, "update: p99 staleness ceiling in seconds (0 = one diffusion period from the report)")
+	maxHitRateCost := fs.Float64("max-hitrate-cost", 0.10, "update: max fractional hit-rate drop of the write mix vs the read-only control")
+	stormPath := fs.String("storm-report", "", "invalidation-storm report JSON produced by this run")
+	stormBasePath := fs.String("storm-baseline", "", "committed invalidation-storm baseline JSON (pins the workload)")
+	maxOriginFactor := fs.Float64("max-origin-factor", 4.0, "storm: per-write origin fetches ceiling as a multiple of the subtree count")
+	maxForwardFraction := fs.Float64("max-forward-fraction", 0.5, "storm: per-write upstream forwards ceiling as a fraction of the client count")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -213,8 +243,166 @@ func run(args []string) error {
 		}
 		ranAny = true
 	}
+	if *updatePath != "" || *updateBasePath != "" {
+		if *updatePath == "" || *updateBasePath == "" {
+			return fmt.Errorf("both -update-report and -update-baseline are required")
+		}
+		rep, err := loadUpdate(*updatePath)
+		if err != nil {
+			return err
+		}
+		base, err := loadUpdate(*updateBasePath)
+		if err != nil {
+			return err
+		}
+		if err := gateUpdate(rep, base, *maxP99Staleness, *maxHitRateCost, os.Stdout); err != nil {
+			return err
+		}
+		ranAny = true
+	}
+	if *stormPath != "" || *stormBasePath != "" {
+		if *stormPath == "" || *stormBasePath == "" {
+			return fmt.Errorf("both -storm-report and -storm-baseline are required")
+		}
+		rep, err := loadStorm(*stormPath)
+		if err != nil {
+			return err
+		}
+		base, err := loadStorm(*stormBasePath)
+		if err != nil {
+			return err
+		}
+		if err := gateStorm(rep, base, *maxOriginFactor, *maxForwardFraction, os.Stdout); err != nil {
+			return err
+		}
+		ranAny = true
+	}
 	if !ranAny {
-		return fmt.Errorf("nothing to gate: pass -report/-baseline, -scaling-report/-scaling-baseline, -chaos-report/-chaos-baseline, -hotkey-report/-hotkey-baseline, -restart-report/-restart-baseline and/or -bigram-report/-bigram-baseline")
+		return fmt.Errorf("nothing to gate: pass -report/-baseline, -scaling-report/-scaling-baseline, -chaos-report/-chaos-baseline, -hotkey-report/-hotkey-baseline, -restart-report/-restart-baseline, -bigram-report/-bigram-baseline, -update-report/-update-baseline and/or -storm-report/-storm-baseline")
+	}
+	return nil
+}
+
+func loadUpdate(path string) (*workload.UpdateReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep := &workload.UpdateReport{}
+	if err := json.NewDecoder(f).Decode(rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != workload.UpdateSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, workload.UpdateSchema)
+	}
+	return rep, nil
+}
+
+// gateUpdate applies the mutability thresholds; every violation is reported
+// before the error returns so CI logs show the full picture.
+func gateUpdate(rep, base *workload.UpdateReport, maxP99, maxCost float64, out *os.File) error {
+	// The baseline pins the workload: a report from a smaller tree, a gentler
+	// rate or a thinner write mix is not the gated scenario.
+	if rep.Spec != base.Spec {
+		return fmt.Errorf("report spec %+v and baseline spec %+v are different workloads; regenerate the baseline",
+			rep.Spec, base.Spec)
+	}
+	// The default staleness ceiling is the propagation unit itself: a write
+	// must be visible tree-wide within about one diffusion period.
+	if maxP99 <= 0 {
+		maxP99 = rep.DiffusionPeriodS
+	}
+	bad := 0
+	check := func(ok bool, format string, args ...any) {
+		if ok {
+			fmt.Fprintf(out, "ok   "+format+"\n", args...)
+		} else {
+			fmt.Fprintf(out, "FAIL "+format+"\n", args...)
+			bad++
+		}
+	}
+	check(rep.ReadOnly.Unanswered == 0 && rep.Update.Unanswered == 0,
+		"unanswered reads: read-only %d, update %d (every request must be served)",
+		rep.ReadOnly.Unanswered, rep.Update.Unanswered)
+	check(rep.Update.Writes >= 1,
+		"writes %d (the mix must actually write)", rep.Update.Writes)
+	check(rep.Update.Staleness.Samples >= rep.Update.Writes,
+		"staleness samples %d over %d writes (post-write responses must be sampled)",
+		rep.Update.Staleness.Samples, rep.Update.Writes)
+	check(rep.Update.RepublishesIn >= 1,
+		"republishes applied %d (writes must diffuse to at least one node)",
+		rep.Update.RepublishesIn)
+	check(rep.Update.Staleness.P99 <= maxP99,
+		"p99 staleness %.4fs (ceiling %.4fs, one diffusion period %.4fs)",
+		rep.Update.Staleness.P99, maxP99, rep.DiffusionPeriodS)
+	check(rep.HitRateCost <= maxCost,
+		"hit-rate cost %.4f of the read-only control (ceiling %.2f; %.4f -> %.4f)",
+		rep.HitRateCost, maxCost, rep.ReadOnly.HitRate, rep.Update.HitRate)
+	if bad > 0 {
+		return fmt.Errorf("%d update-heavy gate violation(s)", bad)
+	}
+	return nil
+}
+
+func loadStorm(path string) (*workload.StormReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep := &workload.StormReport{}
+	if err := json.NewDecoder(f).Decode(rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != workload.StormSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, workload.StormSchema)
+	}
+	return rep, nil
+}
+
+// gateStorm applies the lease-collapse thresholds; every violation is
+// reported before the error returns so CI logs show the full picture.
+func gateStorm(rep, base *workload.StormReport, maxOriginFactor, maxForwardFraction float64, out *os.File) error {
+	// The baseline pins the workload: fewer clients per burst, fewer writes
+	// or a longer settle would ease the storm the gate exists to measure.
+	if rep.Spec != base.Spec {
+		return fmt.Errorf("report spec %+v and baseline spec %+v are different workloads; regenerate the baseline",
+			rep.Spec, base.Spec)
+	}
+	bad := 0
+	check := func(ok bool, format string, args ...any) {
+		if ok {
+			fmt.Fprintf(out, "ok   "+format+"\n", args...)
+		} else {
+			fmt.Fprintf(out, "FAIL "+format+"\n", args...)
+			bad++
+		}
+	}
+	check(rep.Unanswered == 0,
+		"unanswered burst reads %d (every storm read must be served)", rep.Unanswered)
+	check(rep.Writes >= 1 && rep.InvalidationsIn >= 1,
+		"%d writes, %d invalidations applied (the storm must actually invalidate)",
+		rep.Writes, rep.InvalidationsIn)
+	check(rep.LeaseRefreshes >= 1,
+		"lease refreshes %d (the leases must be exercised)", rep.LeaseRefreshes)
+	if rep.Spec.K > 1 {
+		check(rep.Promotions >= 1,
+			"promotions %d with K=%d (warm-up must raise the forest)", rep.Promotions, rep.Spec.K)
+	}
+	// The headline: per-write origin load is O(subtrees), not O(clients).
+	// Zero is legitimate — proactive duty diffusion can repair the tree
+	// before the burst lands — so only the ceiling is gated.
+	originCeiling := maxOriginFactor * float64(rep.Spec.Subtrees)
+	check(rep.PerWriteOriginFetches <= originCeiling,
+		"%.1f origin fetches/write over %d subtrees (ceiling %.1f; %d clients would herd)",
+		rep.PerWriteOriginFetches, rep.Spec.Subtrees, originCeiling, rep.Spec.Clients)
+	forwardCeiling := maxForwardFraction * float64(rep.Spec.Clients)
+	check(rep.PerWriteForwards <= forwardCeiling,
+		"%.1f upstream forwards/write vs %d clients (ceiling %.1f)",
+		rep.PerWriteForwards, rep.Spec.Clients, forwardCeiling)
+	if bad > 0 {
+		return fmt.Errorf("%d invalidation-storm gate violation(s)", bad)
 	}
 	return nil
 }

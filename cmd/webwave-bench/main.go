@@ -20,11 +20,21 @@
 //	webwave-bench -scenario core-scaling -procs 1,4 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	webwave-bench -scenario chaos -kill-fraction 0.1 -json BENCH_chaos.json
 //	webwave-bench -scenario hot-key -ks 1,3 -json BENCH_hotkey.json
+//	webwave-bench -scenario update-heavy -write-fraction 0.1 -json BENCH_update.json
+//	webwave-bench -scenario invalidation-storm -k 2 -writes 8 -json BENCH_storm.json
 //
 // hot-key is special but deterministic: a seeded capacity model of the
 // replication forest (one document's flash crowd against k=1 vs k=3 trees,
 // promote/demote hysteresis, two-choices routing) whose report benchgate
 // thresholds against the committed baseline.
+//
+// update-heavy and invalidation-storm are the mutable-document scenarios:
+// update-heavy replays one Poisson schedule twice against a live cluster
+// (read-only control, then a seeded write mix) and reports staleness
+// percentiles plus the hit-rate cost of mutability; invalidation-storm
+// promotes one hot document, then repeatedly invalidates it and storms the
+// leaves, measuring how far the subtree leases collapse per-write origin
+// fetches below one-per-client.
 //
 // Three scenarios are special, wall-clock (NOT deterministic) measurements
 // of the live serving stack: wire-throughput drives the same pressure once
@@ -82,6 +92,12 @@ func run(args []string) error {
 	killFraction := fs.Float64("kill-fraction", 0, "chaos: fraction of interior nodes killed mid-run (0 = default 0.10)")
 	heartbeatMS := fs.Int("heartbeat-ms", 0, "chaos: failure-detector period, milliseconds (0 = default 40)")
 	ks := fs.String("ks", "", "hot-key: comma-separated forest widths to sweep (default 1,3)")
+	writeFraction := fs.Float64("write-fraction", 0, "update-heavy: fraction of the schedule that becomes republish writes (0 = default 0.10)")
+	writes := fs.Int("writes", 0, "invalidation-storm: write rounds (0 = default 8)")
+	subtrees := fs.Int("subtrees", 0, "invalidation-storm: interior subtrees under the origin (0 = default 3)")
+	leavesPer := fs.Int("leaves-per", 0, "invalidation-storm: leaves per subtree (0 = default 4)")
+	kWidth := fs.Int("k", 0, "invalidation-storm: replication-forest width for the hot doc (0 = default 2, 1 disables)")
+	settleMS := fs.Int("settle-ms", 0, "invalidation-storm: write-to-burst settle, milliseconds (0 = default 25)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile covering the run to this file")
 	memprofile := fs.String("memprofile", "", "write an end-of-run heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -137,6 +153,10 @@ func run(args []string) error {
 			"bigger-than-ram")
 		fmt.Printf("%-14s deterministic replication-forest model: single-doc flash crowd, k=1 vs k=3 trees, scaling + Jain + promote/demote round trip\n",
 			"hot-key")
+		fmt.Printf("%-14s live cluster, one schedule twice (read-only vs write mix): staleness percentiles + hit-rate cost of mutability\n",
+			"update-heavy")
+		fmt.Printf("%-18s live forest, repeated invalidate + leaf read storm: per-write origin fetches vs clients (lease collapse)\n",
+			"invalidation-storm")
 		return nil
 	}
 
@@ -188,6 +208,23 @@ func run(args []string) error {
 		return runHotkey(workload.HotkeySpec{
 			Seed: *seed, Nodes: *n, BaseRate: *rate,
 			Duration: *duration, Window: *window, Ks: sweep,
+		}, *jsonPath)
+	}
+
+	if *scenario == "update-heavy" {
+		return runUpdate(workload.UpdateSpec{
+			Seed: *seed, Nodes: *n, TotalRate: *rate, Duration: *duration,
+			WriteFraction: *writeFraction,
+		}, *jsonPath)
+	}
+	if *scenario == "invalidation-storm" {
+		cl := 0
+		if fsFlagSet(fs, "clients") {
+			cl = *clients
+		}
+		return runStorm(workload.StormSpec{
+			Seed: *seed, Subtrees: *subtrees, LeavesPer: *leavesPer,
+			Clients: cl, Writes: *writes, K: *kWidth, SettleMS: *settleMS,
 		}, *jsonPath)
 	}
 
@@ -251,6 +288,19 @@ func run(args []string) error {
 		fmt.Printf("report: %s\n", *jsonPath)
 	}
 	return nil
+}
+
+// fsFlagSet reports whether the named flag was set explicitly — the storm
+// scenario's clients default (120) differs from the live-mode default (16),
+// so only an explicit -clients overrides it.
+func fsFlagSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func printSummary(rep *workload.Report) {

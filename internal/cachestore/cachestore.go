@@ -119,6 +119,7 @@ type entry struct {
 	body       []byte
 	prev, next *entry
 	pinned     bool
+	version    uint64  // document version of this copy (0 = never republished)
 	hits       int64   // Get count since insert (GDSF frequency)
 	pri        float64 // GDSF priority at last touch
 }
@@ -232,17 +233,64 @@ func (s *Store) Contains(doc core.DocID) bool {
 // cached in that case and the caller must not install admission state for
 // it. The entry just inserted is never its own victim.
 func (s *Store) Put(doc core.DocID, body []byte) (evicted []Eviction, ok bool) {
-	return s.put(doc, body, false)
+	return s.put(doc, body, 0, false, false)
+}
+
+// PutVersion is Put for a specific document version: the copy is stored
+// with the given version number, refusing downgrades — a Put carrying a
+// version below an existing copy's is dropped (ok=false, nothing evicted),
+// so a delayed delegation can never roll a republished document back.
+func (s *Store) PutVersion(doc core.DocID, body []byte, version uint64) (evicted []Eviction, ok bool) {
+	return s.put(doc, body, version, false, true)
 }
 
 // Pin inserts a document immune to eviction — the home server's published
 // originals. Pinned entries count toward Bytes but are exempt from the
 // budget check: origin copies must exist for the protocol to be correct.
 func (s *Store) Pin(doc core.DocID, body []byte) {
-	s.put(doc, body, true)
+	s.put(doc, body, 0, true, false)
 }
 
-func (s *Store) put(doc core.DocID, body []byte, pin bool) ([]Eviction, bool) {
+// PinVersion pins a specific version of a document — the origin's copy
+// after a republish. Downgrades are refused as in PutVersion.
+func (s *Store) PinVersion(doc core.DocID, body []byte, version uint64) bool {
+	_, ok := s.put(doc, body, version, true, true)
+	return ok
+}
+
+// Version reports the version of the cached copy, without touching
+// recency. ok is false when the document is not cached.
+func (s *Store) Version(doc core.DocID) (uint64, bool) {
+	sh := s.shardFor(doc)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[doc]; ok {
+		return e.version, true
+	}
+	return 0, false
+}
+
+// GetVersion is Get plus the copy's version number.
+func (s *Store) GetVersion(doc core.DocID) ([]byte, uint64, bool) {
+	sh := s.shardFor(doc)
+	sh.mu.Lock()
+	e, ok := sh.entries[doc]
+	if !ok {
+		sh.mu.Unlock()
+		s.misses.Add(1)
+		return nil, 0, false
+	}
+	sh.touch(e)
+	body, ver := e.body, e.version
+	sh.mu.Unlock()
+	s.hits.Add(1)
+	return body, ver, true
+}
+
+// put inserts or refreshes doc. With setVersion, the entry's version is set
+// to version (downgrades refused); without it, a refresh keeps the entry's
+// existing version — unversioned callers cannot regress a versioned copy.
+func (s *Store) put(doc core.DocID, body []byte, version uint64, pin, setVersion bool) ([]Eviction, bool) {
 	sh := s.shardFor(doc)
 	sh.mu.Lock()
 
@@ -258,6 +306,10 @@ func (s *Store) put(doc core.DocID, body []byte, pin bool) ([]Eviction, bool) {
 	}
 
 	if e, found := sh.entries[doc]; found {
+		if setVersion && version < e.version {
+			sh.mu.Unlock()
+			return nil, false
+		}
 		delta := int64(len(body) - len(e.body))
 		if !pin && !e.pinned && s.shardBudget > 0 && delta > 0 && sh.bytes+delta > s.shardBudget {
 			// Refresh that would burst the budget: evict around it first.
@@ -268,6 +320,9 @@ func (s *Store) put(doc core.DocID, body []byte, pin bool) ([]Eviction, bool) {
 				return evs, false
 			}
 			e.body = body
+			if setVersion {
+				e.version = version
+			}
 			sh.bytes += delta
 			sh.touch(e)
 			sh.mu.Unlock()
@@ -276,6 +331,9 @@ func (s *Store) put(doc core.DocID, body []byte, pin bool) ([]Eviction, bool) {
 		}
 		e.body = body
 		e.pinned = e.pinned || pin
+		if setVersion {
+			e.version = version
+		}
 		sh.bytes += delta
 		sh.touch(e)
 		sh.mu.Unlock()
@@ -284,7 +342,7 @@ func (s *Store) put(doc core.DocID, body []byte, pin bool) ([]Eviction, bool) {
 	}
 
 	size := int64(len(body))
-	e := &entry{doc: doc, body: body, pinned: pin}
+	e := &entry{doc: doc, body: body, pinned: pin, version: version}
 	e.pri = sh.clock + 1/max1(float64(len(body)))
 	var evs []Eviction
 	if !pin && s.shardBudget > 0 && sh.bytes+size > s.shardBudget {

@@ -351,3 +351,59 @@ func TestConcurrentBudgetAccounting(t *testing.T) {
 		t.Fatalf("high-water %d exceeds budget %d", s.MaxBytes(), budget)
 	}
 }
+
+// TestVersionedCopies covers the per-copy version number: monotonic
+// upgrades, downgrade refusal, and version preservation across unversioned
+// refreshes.
+func TestVersionedCopies(t *testing.T) {
+	s := New(Config{Shards: 1})
+	if _, ok := s.PutVersion("d", body(10), 3); !ok {
+		t.Fatal("versioned insert refused")
+	}
+	if v, ok := s.Version("d"); !ok || v != 3 {
+		t.Fatalf("Version = %d,%v want 3,true", v, ok)
+	}
+	// Downgrade refused, copy untouched.
+	if _, ok := s.PutVersion("d", body(20), 2); ok {
+		t.Fatal("downgrade accepted")
+	}
+	if b, v, ok := s.GetVersion("d"); !ok || v != 3 || len(b) != 10 {
+		t.Fatalf("after downgrade: len=%d v=%d ok=%v", len(b), v, ok)
+	}
+	// Same-version refresh allowed (idempotent re-admit).
+	if _, ok := s.PutVersion("d", body(12), 3); !ok {
+		t.Fatal("same-version refresh refused")
+	}
+	// Upgrade advances.
+	if _, ok := s.PutVersion("d", body(11), 7); !ok {
+		t.Fatal("upgrade refused")
+	}
+	if v, _ := s.Version("d"); v != 7 {
+		t.Fatalf("version after upgrade = %d, want 7", v)
+	}
+	// Unversioned Put keeps the version.
+	if _, ok := s.Put("d", body(9)); !ok {
+		t.Fatal("unversioned refresh refused")
+	}
+	if v, _ := s.Version("d"); v != 7 {
+		t.Fatalf("version after unversioned refresh = %d, want 7", v)
+	}
+	// Pinned origin copies republish through PinVersion.
+	s.Pin("origin", body(5))
+	if !s.PinVersion("origin", body(6), 1) {
+		t.Fatal("pin upgrade refused")
+	}
+	if s.PinVersion("origin", body(4), 0) {
+		t.Fatal("pin downgrade accepted")
+	}
+	if v, ok := s.Version("origin"); !ok || v != 1 {
+		t.Fatalf("pinned version = %d,%v want 1,true", v, ok)
+	}
+	// Missing docs report no version.
+	if _, ok := s.Version("absent"); ok {
+		t.Fatal("absent doc has a version")
+	}
+	if _, _, ok := s.GetVersion("absent"); ok {
+		t.Fatal("absent doc GetVersion ok")
+	}
+}

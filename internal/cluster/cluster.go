@@ -120,6 +120,14 @@ type Cluster struct {
 	servedBy    map[int]int64
 	sentAt      map[pendingKey]time.Time
 	latencies   []float64 // seconds, one per answered request
+
+	// Mutable-document write log (update.go): the latest version assigned
+	// per document, when each version was written, and the staleness age of
+	// every response for a written document.
+	verMu     sync.Mutex
+	docVers   map[core.DocID]uint64
+	writeAt   map[core.DocID][]time.Time
+	staleness []float64 // seconds; 0 = served the latest version
 }
 
 // pendingKey identifies an in-flight request for latency accounting.
@@ -151,6 +159,8 @@ func New(t *tree.Tree, docs map[core.DocID][]byte, cfg Config) (*Cluster, error)
 		reqSeq:      make([]uint64, t.Len()),
 		servedBy:    make(map[int]int64),
 		sentAt:      make(map[pendingKey]time.Time),
+		docVers:     make(map[core.DocID]uint64),
+		writeAt:     make(map[core.DocID][]time.Time),
 	}
 
 	recovery := cfg.Ancestors || cfg.HeartbeatPeriod > 0
@@ -252,6 +262,7 @@ func (c *Cluster) collect(conn transport.Conn) {
 			c.latencies = append(c.latencies, now.Sub(sent).Seconds())
 		}
 		c.servedByMu.Unlock()
+		c.noteServedVersion(env, now)
 		netproto.PutEnvelope(env) // fully consumed: recycle
 	}
 }

@@ -1,0 +1,109 @@
+package cluster
+
+// Mutable-document injection and staleness accounting. Writes enter the
+// tree at the root — the document's origin — as republish (versioned body
+// push) or invalidate (version-only) frames and diffuse down; the cluster
+// assigns each document a monotonically increasing version and remembers
+// when every version was written, so each response's served version maps
+// to a staleness age: how long ago the served copy was superseded (zero
+// when the response carried the latest version). The staleness percentiles
+// the update scenarios gate on come straight from these samples.
+
+import (
+	"fmt"
+	"time"
+
+	"webwave/internal/core"
+	"webwave/internal/netproto"
+	"webwave/internal/stats"
+)
+
+// Republish injects a versioned body write for doc at its origin (the
+// root). The new body diffuses down the tree along the duty edges as
+// republish frames; off-ledger subtrees get version-only invalidates and
+// lease-refresh on demand. Returns the version assigned to the write.
+func (c *Cluster) Republish(doc core.DocID, body []byte) (uint64, error) {
+	return c.write(netproto.TypeRepublish, doc, body)
+}
+
+// Invalidate injects a version-only write: every copy below the origin
+// drops its body (keeping its duty and filter) and refreshes through the
+// subtree lease on the next demand. The body still installs at the origin
+// — the root must always serve the latest version — but never travels in
+// the invalidate frames. Returns the version assigned to the write.
+func (c *Cluster) Invalidate(doc core.DocID, body []byte) (uint64, error) {
+	return c.write(netproto.TypeInvalidate, doc, body)
+}
+
+func (c *Cluster) write(kind netproto.Type, doc core.DocID, body []byte) (uint64, error) {
+	root := c.t.Root()
+	c.verMu.Lock()
+	ver := c.docVers[doc] + 1
+	c.docVers[doc] = ver
+	// writeAt[doc][v-1] is the instant version v was written — the moment
+	// every copy of version v-1 (and older) became stale.
+	c.writeAt[doc] = append(c.writeAt[doc], time.Now())
+	c.verMu.Unlock()
+	c.injectMu.Lock()
+	conn := c.injectConns[root]
+	c.injectMu.Unlock()
+	err := conn.Send(&netproto.Envelope{
+		Kind: kind, From: -1, To: root,
+		Doc: doc, DocVersion: ver, Body: body,
+	})
+	if err != nil {
+		return ver, fmt.Errorf("cluster: %s %q: %w", kind, doc, err)
+	}
+	return ver, nil
+}
+
+// LatestVersion returns the version the cluster last assigned to doc (0 =
+// never written).
+func (c *Cluster) LatestVersion(doc core.DocID) uint64 {
+	c.verMu.Lock()
+	defer c.verMu.Unlock()
+	return c.docVers[doc]
+}
+
+// noteServedVersion records one response's staleness sample. Only
+// documents that have been written at least once produce samples —
+// read-only documents have no version history to be stale against.
+// Caller must NOT hold verMu.
+func (c *Cluster) noteServedVersion(env *netproto.Envelope, now time.Time) {
+	c.verMu.Lock()
+	times, written := c.writeAt[env.Doc]
+	if written {
+		age := 0.0
+		if int(env.DocVersion) < len(times) {
+			// The served version was superseded the instant the next one
+			// was written; the sample is how long ago that was.
+			age = now.Sub(times[env.DocVersion]).Seconds()
+		}
+		c.staleness = append(c.staleness, age)
+	}
+	c.verMu.Unlock()
+}
+
+// StalenessSummary returns descriptive statistics over the staleness ages
+// (seconds) of every response for a written document: 0 for a response
+// that carried the latest version, else the time since the served version
+// was superseded.
+func (c *Cluster) StalenessSummary() stats.Summary {
+	c.verMu.Lock()
+	samples := append([]float64(nil), c.staleness...)
+	c.verMu.Unlock()
+	return stats.Summarize(samples)
+}
+
+// StaleServed returns how many responses carried a superseded version, and
+// the total number of staleness-sampled responses.
+func (c *Cluster) StaleServed() (stale, total int64) {
+	c.verMu.Lock()
+	defer c.verMu.Unlock()
+	for _, age := range c.staleness {
+		if age > 0 {
+			stale++
+		}
+	}
+	return stale, int64(len(c.staleness))
+}

@@ -43,13 +43,27 @@ const (
 	OpDrop Op = 2
 	// OpTarget records a change to Doc's serve-duty target.
 	OpTarget Op = 3
+	// OpVersion records the document version of the held copy after a
+	// republish or versioned admit. Its 8-byte field carries the version
+	// as a uint64 instead of float64 rate bits. Replay folds it in only
+	// while the document is held and never moves a version backward, so
+	// reordered teardown noise cannot resurrect or roll back a copy.
+	OpVersion Op = 4
 )
 
 // Record is one journal entry.
 type Record struct {
-	Op   Op
-	Doc  core.DocID
-	Rate float64
+	Op      Op
+	Doc     core.DocID
+	Rate    float64
+	Version uint64
+}
+
+// DocState is the replayed per-document state: the last known duty rate
+// and the version of the held copy (0 = never republished).
+type DocState struct {
+	Rate    float64
+	Version uint64
 }
 
 // maxFrame bounds a frame's payload; document ids are short, so anything
@@ -77,8 +91,9 @@ type Journal struct {
 // OpenJournal replays the journal at path (creating it if missing),
 // truncates any torn tail, and returns the journal opened for append
 // alongside the replayed state: each held document mapped to its last
-// known duty rate. Records for documents later dropped are absent.
-func OpenJournal(path string) (*Journal, map[core.DocID]float64, error) {
+// known duty rate and copy version. Records for documents later dropped
+// are absent.
+func OpenJournal(path string) (*Journal, map[core.DocID]DocState, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("diskstore: journal: %w", err)
@@ -105,8 +120,8 @@ func OpenJournal(path string) (*Journal, map[core.DocID]float64, error) {
 // replay scans frames from the start of f, folding them into the
 // presence/duty state, and returns the byte offset just past the last
 // valid frame. I/O errors other than a clean or torn end are returned.
-func replay(f *os.File) (map[core.DocID]float64, int64, error) {
-	state := make(map[core.DocID]float64, 64)
+func replay(f *os.File) (map[core.DocID]DocState, int64, error) {
+	state := make(map[core.DocID]DocState, 64)
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, 0, err
 	}
@@ -132,29 +147,42 @@ func replay(f *os.File) (map[core.DocID]float64, int64, error) {
 		if crc32.ChecksumIEEE(payload) != sum {
 			return state, off, nil // corrupt frame
 		}
-		rec := Record{
-			Op:   Op(payload[0]),
-			Rate: math.Float64frombits(binary.LittleEndian.Uint64(payload[1:9])),
-			Doc:  core.DocID(payload[9:]),
+		rec := Record{Op: Op(payload[0]), Doc: core.DocID(payload[9:])}
+		field := binary.LittleEndian.Uint64(payload[1:9])
+		if rec.Op == OpVersion {
+			rec.Version = field
+		} else {
+			rec.Rate = math.Float64frombits(field)
 		}
 		applyRecord(state, rec)
 		off += int64(8 + n)
 	}
 }
 
-// applyRecord folds one record into the presence/duty state.
-func applyRecord(state map[core.DocID]float64, rec Record) {
+// applyRecord folds one record into the presence/duty state. Unknown ops
+// are skipped, so journals written by newer code replay under older code.
+func applyRecord(state map[core.DocID]DocState, rec Record) {
 	switch rec.Op {
 	case OpAdmit:
-		state[rec.Doc] = rec.Rate
+		// An admit keeps a previously journaled version: re-admission after
+		// a spill does not reset the copy to version 0.
+		st := state[rec.Doc]
+		st.Rate = rec.Rate
+		state[rec.Doc] = st
 	case OpDrop:
 		delete(state, rec.Doc)
 	case OpTarget:
 		// A target for a document never admitted (or already dropped) is
 		// stale noise from a reordered teardown; it must not resurrect the
 		// document.
-		if _, held := state[rec.Doc]; held {
-			state[rec.Doc] = rec.Rate
+		if st, held := state[rec.Doc]; held {
+			st.Rate = rec.Rate
+			state[rec.Doc] = st
+		}
+	case OpVersion:
+		if st, held := state[rec.Doc]; held && rec.Version > st.Version {
+			st.Version = rec.Version
+			state[rec.Doc] = st
 		}
 	}
 }
@@ -176,6 +204,23 @@ func (j *Journal) Append(op Op, doc core.DocID, rate float64) error {
 	return nil
 }
 
+// AppendVersion writes one OpVersion record carrying the held copy's
+// document version.
+func (j *Journal) AppendVersion(doc core.DocID, version uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("diskstore: journal closed")
+	}
+	j.buf = appendFrame(j.buf[:0], Record{Op: OpVersion, Doc: doc, Version: version})
+	if _, err := j.f.Write(j.buf); err != nil {
+		return err
+	}
+	j.unsynced++
+	j.appended++
+	return nil
+}
+
 // appendFrame encodes one record onto buf.
 func appendFrame(buf []byte, rec Record) []byte {
 	n := 9 + len(rec.Doc)
@@ -184,7 +229,11 @@ func appendFrame(buf []byte, rec Record) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, 0) // CRC patched below
 	payloadAt := len(buf)
 	buf = append(buf, byte(rec.Op))
-	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.Rate))
+	field := math.Float64bits(rec.Rate)
+	if rec.Op == OpVersion {
+		field = rec.Version
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, field)
 	buf = append(buf, rec.Doc...)
 	binary.LittleEndian.PutUint32(buf[crcAt:], crc32.ChecksumIEEE(buf[payloadAt:]))
 	return buf
@@ -234,11 +283,12 @@ func (j *Journal) Appended() int64 {
 	return j.appended
 }
 
-// Compact rewrites the journal as one OpAdmit per live document —
-// typically run right after recovery, so journals stay proportional to
-// the held set instead of growing across restarts. The rewrite is atomic
-// (temp file + rename); a crash mid-compaction leaves the old journal.
-func (j *Journal) Compact(state map[core.DocID]float64) error {
+// Compact rewrites the journal as one OpAdmit (plus one OpVersion for
+// republished copies) per live document — typically run right after
+// recovery, so journals stay proportional to the held set instead of
+// growing across restarts. The rewrite is atomic (temp file + rename); a
+// crash mid-compaction leaves the old journal.
+func (j *Journal) Compact(state map[core.DocID]DocState) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
@@ -249,8 +299,14 @@ func (j *Journal) Compact(state map[core.DocID]float64) error {
 		return err
 	}
 	var buf []byte
-	for doc, rate := range state {
-		buf = appendFrame(buf[:0], Record{Op: OpAdmit, Doc: doc, Rate: rate})
+	records := 0
+	for doc, st := range state {
+		buf = appendFrame(buf[:0], Record{Op: OpAdmit, Doc: doc, Rate: st.Rate})
+		if st.Version > 0 {
+			buf = appendFrame(buf, Record{Op: OpVersion, Doc: doc, Version: st.Version})
+			records++
+		}
+		records++
 		if _, err := tmp.Write(buf); err != nil {
 			tmp.Close()
 			os.Remove(tmp.Name())
@@ -278,7 +334,7 @@ func (j *Journal) Compact(state map[core.DocID]float64) error {
 	old.Close()
 	j.f = f
 	j.unsynced = 0
-	j.appended = int64(len(state))
+	j.appended = int64(records)
 	j.lastSync = time.Now()
 	return nil
 }

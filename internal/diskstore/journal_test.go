@@ -36,12 +36,12 @@ func TestJournalRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[core.DocID]float64{"a": 12.5, "c/with/slashes": 7}
+	want := map[core.DocID]DocState{"a": {Rate: 12.5}, "c/with/slashes": {Rate: 7}}
 	if len(state) != len(want) {
 		t.Fatalf("replayed %v, want %v", state, want)
 	}
-	for doc, rate := range want {
-		if state[doc] != rate {
+	for doc, st := range want {
+		if state[doc] != st {
 			t.Fatalf("replayed %v, want %v", state, want)
 		}
 	}
@@ -93,7 +93,7 @@ func TestJournalTornTail(t *testing.T) {
 		if err != nil {
 			t.Fatalf("cut at %d: recovery refused: %v", cut, err)
 		}
-		if len(state) != 1 || state["a"] != 1 {
+		if len(state) != 1 || state["a"].Rate != 1 {
 			t.Fatalf("cut at %d: replayed %v, want only a=1", cut, state)
 		}
 		// The tail must be gone: a fresh append then a replay sees the
@@ -104,7 +104,7 @@ func TestJournalTornTail(t *testing.T) {
 		if err != nil {
 			t.Fatalf("cut at %d: reopen after append: %v", cut, err)
 		}
-		if len(state) != 2 || state["a"] != 1 || state["c"] != 3 {
+		if len(state) != 2 || state["a"].Rate != 1 || state["c"].Rate != 3 {
 			t.Fatalf("cut at %d: post-append replay %v", cut, state)
 		}
 	}
@@ -148,7 +148,7 @@ func TestJournalCompact(t *testing.T) {
 	}
 	j.Append(OpAdmit, "keep", 5)
 	before, _ := os.Stat(path)
-	if err := j.Compact(map[core.DocID]float64{"keep": 5}); err != nil {
+	if err := j.Compact(map[core.DocID]DocState{"keep": {Rate: 5, Version: 2}}); err != nil {
 		t.Fatal(err)
 	}
 	after, _ := os.Stat(path)
@@ -164,8 +164,8 @@ func TestJournalCompact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(state) != 1 || state["keep"] != 6 {
-		t.Fatalf("post-compact replay %v, want keep=6", state)
+	if len(state) != 1 || (state["keep"] != DocState{Rate: 6, Version: 2}) {
+		t.Fatalf("post-compact replay %v, want keep rate 6 version 2", state)
 	}
 }
 
@@ -185,5 +185,63 @@ func TestJournalLagAndSync(t *testing.T) {
 	}
 	if j.Lag() != 0 {
 		t.Fatalf("Lag=%d after Sync, want 0", j.Lag())
+	}
+}
+
+// TestJournalVersionRecords covers OpVersion replay semantics: versions
+// stick to held documents, never move backward, die with a drop, and do
+// not resurrect dropped documents.
+func TestJournalVersionRecords(t *testing.T) {
+	path := journalPath(t)
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(OpAdmit, "a", 4)
+	j.AppendVersion("a", 3)
+	j.AppendVersion("a", 2) // stale: must not roll back
+	j.Append(OpAdmit, "b", 1)
+	j.AppendVersion("b", 9)
+	j.Append(OpDrop, "b", 0)
+	j.AppendVersion("b", 10) // after drop: must not resurrect
+	j.Append(OpAdmit, "c", 2)
+	j.Append(OpDrop, "c", 0)
+	j.Append(OpAdmit, "c", 2) // re-admit after drop: version starts fresh
+	j.Close()
+
+	_, state, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[core.DocID]DocState{"a": {Rate: 4, Version: 3}, "c": {Rate: 2}}
+	if len(state) != len(want) {
+		t.Fatalf("replayed %v, want %v", state, want)
+	}
+	for doc, st := range want {
+		if state[doc] != st {
+			t.Fatalf("replayed %v, want %v", state, want)
+		}
+	}
+}
+
+// TestJournalVersionSurvivesReadmit pins the spill/re-admit interaction: an
+// OpAdmit for a still-held document refreshes the rate without resetting
+// the journaled version.
+func TestJournalVersionSurvivesReadmit(t *testing.T) {
+	path := journalPath(t)
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(OpAdmit, "a", 4)
+	j.AppendVersion("a", 6)
+	j.Append(OpAdmit, "a", 8) // disk->memory re-admission re-journals
+	j.Close()
+	_, state, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := state["a"]; st != (DocState{Rate: 8, Version: 6}) {
+		t.Fatalf("replayed %+v, want rate 8 version 6", st)
 	}
 }

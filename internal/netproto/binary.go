@@ -55,13 +55,16 @@ var kindToCode = map[Type]byte{
 	TypeReclaim:     15,
 	TypePromote:     16,
 	TypeDemote:      17,
+	TypeRepublish:   18,
+	TypeInvalidate:  19,
 }
 
-var codeToKind = [18]Type{
+var codeToKind = [20]Type{
 	1: TypeGossip, 2: TypeDelegate, 3: TypeDelegateAck, 4: TypeShed,
 	5: TypeRequest, 6: TypeResponse, 7: TypeTunnelFetch, 8: TypeTunnelReply,
 	9: TypeStatsQuery, 10: TypeStatsReply, 11: TypeShutdown, 12: TypeEvict,
 	13: TypePing, 14: TypePong, 15: TypeReclaim, 16: TypePromote, 17: TypeDemote,
+	18: TypeRepublish, 19: TypeInvalidate,
 }
 
 // DocInterner de-duplicates document-id strings seen by a decoder so the
@@ -128,11 +131,14 @@ func AppendEnvelopeV2(dst []byte, env *Envelope) ([]byte, error) {
 		dst = append(dst, flags)
 		dst = appendString(dst, string(env.Doc))
 		dst = appendBytes(dst, env.Body)
+		dst = binary.AppendUvarint(dst, env.DocVersion)
 	case TypeDelegate, TypeDelegateAck, TypeShed, TypeEvict, TypeReclaim,
-		TypePromote, TypeDemote, TypeTunnelFetch, TypeTunnelReply:
+		TypePromote, TypeDemote, TypeTunnelFetch, TypeTunnelReply,
+		TypeRepublish, TypeInvalidate:
 		dst = appendString(dst, string(env.Doc))
 		dst = appendFloat(dst, env.Rate)
 		dst = appendBytes(dst, env.Body)
+		dst = binary.AppendUvarint(dst, env.DocVersion)
 	case TypeStatsQuery, TypeShutdown, TypePing, TypePong:
 		// Header only.
 	case TypeStatsReply:
@@ -221,13 +227,16 @@ func DecodeEnvelopeV2(env *Envelope, payload []byte, in *DocInterner) error {
 		if b := r.bytes(); len(b) > 0 {
 			env.Body = append(body, b...)
 		}
+		env.DocVersion = r.uvarint()
 	case TypeDelegate, TypeDelegateAck, TypeShed, TypeEvict, TypeReclaim,
-		TypePromote, TypeDemote, TypeTunnelFetch, TypeTunnelReply:
+		TypePromote, TypeDemote, TypeTunnelFetch, TypeTunnelReply,
+		TypeRepublish, TypeInvalidate:
 		env.Doc = in.Intern(r.bytes())
 		env.Rate = r.float()
 		if b := r.bytes(); len(b) > 0 {
 			env.Body = append(body, b...)
 		}
+		env.DocVersion = r.uvarint()
 	case TypeStatsQuery, TypeShutdown, TypePing, TypePong:
 		// Header only.
 	case TypeStatsReply:

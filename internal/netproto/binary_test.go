@@ -37,8 +37,11 @@ func allKindEnvelopes() []*Envelope {
 		{Kind: TypePing, From: 4, To: 1, Seq: 12},
 		{Kind: TypePong, From: 1, To: 4, Seq: 13},
 		{Kind: TypeReclaim, From: 4, To: 0, Seq: 14, Doc: "d", Rate: 12.5},
-		{Kind: TypePromote, From: 0, To: 5, Seq: 15, Doc: "hot", Rate: 80.5, Body: []byte("copy")},
+		{Kind: TypePromote, From: 0, To: 5, Seq: 15, Doc: "hot", Rate: 80.5, Body: []byte("copy"), DocVersion: 3},
 		{Kind: TypeDemote, From: 0, To: 5, Seq: 16, Doc: "hot", Rate: 2.25},
+		{Kind: TypeRepublish, From: 0, To: 5, Seq: 17, Doc: "hot", Body: []byte("v2 body"), DocVersion: 2},
+		{Kind: TypeInvalidate, From: 0, To: 5, Seq: 18, Doc: "hot", DocVersion: 7},
+		{Kind: TypeResponse, From: 2, To: 4, Origin: 4, ReqID: 101, ServedBy: 2, Hops: 1, Doc: "hot", Body: []byte("v2 body"), DocVersion: 2},
 	}
 }
 
@@ -50,7 +53,7 @@ func TestAllKindsHaveBinaryEncoding(t *testing.T) {
 		TypeGossip, TypeDelegate, TypeDelegateAck, TypeShed, TypeRequest,
 		TypeResponse, TypeEvict, TypeTunnelFetch, TypeTunnelReply,
 		TypeStatsQuery, TypeStatsReply, TypeShutdown, TypePing, TypePong,
-		TypeReclaim, TypePromote, TypeDemote,
+		TypeReclaim, TypePromote, TypeDemote, TypeRepublish, TypeInvalidate,
 	}
 	for _, k := range kinds {
 		code, ok := kindToCode[k]
@@ -176,44 +179,103 @@ func TestMixedVersionStream(t *testing.T) {
 }
 
 // TestMaxFrameBoundaryBody exercises bodies that land a v2 frame exactly on
-// the MaxFrame payload bound, and one byte past it.
+// the MaxFrame payload bound, and one byte past it, for both a classic
+// delegate frame and a versioned republish frame (whose trailing uvarint
+// version shifts the boundary).
 func TestMaxFrameBoundaryBody(t *testing.T) {
-	mk := func(bodyLen int) *Envelope {
-		return &Envelope{Kind: TypeDelegate, From: 1, To: 2, Doc: "d", Rate: 1, Body: make([]byte, bodyLen)}
+	for _, kind := range []Type{TypeDelegate, TypeRepublish} {
+		t.Run(string(kind), func(t *testing.T) {
+			mk := func(bodyLen int) *Envelope {
+				return &Envelope{Kind: kind, From: 1, To: 2, Doc: "d", Rate: 1, Body: make([]byte, bodyLen), DocVersion: 300}
+			}
+			base, err := AppendEnvelopeV2(nil, mk(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// payload(B) = len(base) - 1 (nil body's 1-byte length) + uvarintLen(B) + B.
+			exact := -1
+			for b := MaxFrame - len(base) - 8; b <= MaxFrame; b++ {
+				n := len(base) - 1 + uvarintLen(uint64(b)) + b
+				if n == MaxFrame {
+					exact = b
+					break
+				}
+			}
+			if exact < 0 {
+				t.Fatal("no body length lands exactly on MaxFrame")
+			}
+			frame, err := AppendFrameV2(nil, mk(exact))
+			if err != nil {
+				t.Fatalf("exact MaxFrame payload rejected: %v", err)
+			}
+			if got := len(frame) - 4; got != MaxFrame {
+				t.Fatalf("payload = %d bytes, want MaxFrame", got)
+			}
+			got := GetEnvelope()
+			defer PutEnvelope(got)
+			if err := DecodePayload(got, frame[4:], nil); err != nil {
+				t.Fatalf("decode MaxFrame payload: %v", err)
+			}
+			if len(got.Body) != exact {
+				t.Fatalf("body length %d, want %d", len(got.Body), exact)
+			}
+			if got.DocVersion != 300 {
+				t.Fatalf("doc version %d, want 300", got.DocVersion)
+			}
+			if _, err := AppendFrameV2(nil, mk(exact+1)); !errors.Is(err, ErrFrameTooLarge) {
+				t.Errorf("over-MaxFrame error = %v, want ErrFrameTooLarge", err)
+			}
+		})
 	}
-	base, err := AppendEnvelopeV2(nil, mk(0))
-	if err != nil {
-		t.Fatal(err)
-	}
-	// payload(B) = len(base) - 1 (nil body's 1-byte length) + uvarintLen(B) + B.
-	exact := -1
-	for b := MaxFrame - len(base) - 8; b <= MaxFrame; b++ {
-		n := len(base) - 1 + uvarintLen(uint64(b)) + b
-		if n == MaxFrame {
-			exact = b
-			break
+}
+
+// TestMixedVersionUpdateStream interleaves v1 and v2 republish/invalidate
+// frames on one stream: the per-frame codec negotiation must preserve doc
+// versions and bodies regardless of which codec carried each frame.
+func TestMixedVersionUpdateStream(t *testing.T) {
+	var buf bytes.Buffer
+	w1 := NewFrameWriter(&buf, 1)
+	w2 := NewFrameWriter(&buf, 2)
+	const n = 8
+	for i := 0; i < n; i++ {
+		w := w1
+		if i%2 == 1 {
+			w = w2
+		}
+		env := &Envelope{Kind: TypeRepublish, From: 0, To: i, Doc: "hot", DocVersion: uint64(i + 1), Body: []byte{byte(i)}}
+		if i%3 == 0 {
+			env = &Envelope{Kind: TypeInvalidate, From: 0, To: i, Doc: "hot", DocVersion: uint64(i + 1)}
+		}
+		if err := w.WriteEnvelope(env); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
 		}
 	}
-	if exact < 0 {
-		t.Fatal("no body length lands exactly on MaxFrame")
+	r := NewFrameReader(&buf)
+	env := &Envelope{}
+	for i := 0; i < n; i++ {
+		if err := r.ReadInto(env); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		wantKind := TypeRepublish
+		if i%3 == 0 {
+			wantKind = TypeInvalidate
+		}
+		if env.Kind != wantKind || env.DocVersion != uint64(i+1) || env.To != i {
+			t.Errorf("frame %d corrupted: %+v", i, env)
+		}
+		if wantKind == TypeRepublish && (len(env.Body) != 1 || env.Body[0] != byte(i)) {
+			t.Errorf("frame %d body corrupted: %v", i, env.Body)
+		}
+		wantV := Version
+		if i%2 == 1 {
+			wantV = Version2
+		}
+		if env.V != wantV {
+			t.Errorf("frame %d version = %d, want %d", i, env.V, wantV)
+		}
 	}
-	frame, err := AppendFrameV2(nil, mk(exact))
-	if err != nil {
-		t.Fatalf("exact MaxFrame payload rejected: %v", err)
-	}
-	if got := len(frame) - 4; got != MaxFrame {
-		t.Fatalf("payload = %d bytes, want MaxFrame", got)
-	}
-	got := GetEnvelope()
-	defer PutEnvelope(got)
-	if err := DecodePayload(got, frame[4:], nil); err != nil {
-		t.Fatalf("decode MaxFrame payload: %v", err)
-	}
-	if len(got.Body) != exact {
-		t.Fatalf("body length %d, want %d", len(got.Body), exact)
-	}
-	if _, err := AppendFrameV2(nil, mk(exact+1)); !errors.Is(err, ErrFrameTooLarge) {
-		t.Errorf("over-MaxFrame error = %v, want ErrFrameTooLarge", err)
+	if err := r.ReadInto(env); !errors.Is(err, io.EOF) {
+		t.Errorf("after drain: %v, want EOF", err)
 	}
 }
 

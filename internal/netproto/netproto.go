@@ -94,6 +94,24 @@ const (
 	// back up through the ordinary evict-hint path, with Rate echoing the
 	// duty the home should expect back.
 	TypeDemote Type = "demote"
+	// TypeRepublish pushes a new version of a mutable document down the
+	// tree: DocVersion is the new monotonically increasing version number
+	// and Body the replacement bytes. A copy-holder that sees a higher
+	// version than its own swaps its copy in place (memory and disk tiers)
+	// and forwards the frame to its children, so the new body diffuses
+	// along the same filter/target edges delegation built. Stale frames
+	// (DocVersion at or below the local version) are dropped, which makes
+	// rebroadcast loops and duplicate delivery harmless.
+	TypeRepublish Type = "republish"
+	// TypeInvalidate marks a document version stale without shipping the
+	// body: DocVersion is the superseding version, Body is empty on the
+	// downward diffusion path (the optional body is only meaningful on the
+	// injection edge at the origin, which uses it to install the new copy
+	// before diffusing). A copy-holder drops its stale copy but keeps its
+	// admission filter and serve duty; the next request misses locally and
+	// rides the per-shard single-flight upward — the tree-wide lease — so a
+	// whole invalidated subtree refreshes with one origin fetch.
+	TypeInvalidate Type = "invalidate"
 )
 
 // Envelope is the single wire message. Fields are a flat union; which are
@@ -112,6 +130,12 @@ type Envelope struct {
 	Doc  core.DocID `json:"doc,omitempty"`
 	Rate float64    `json:"rate,omitempty"`
 	Body []byte     `json:"body,omitempty"`
+	// DocVersion is the document's version number: the superseding version
+	// on republish/invalidate frames, the version of the copy handed over
+	// on delegate/promote/tunnel frames, and the version of the copy that
+	// answered on responses (so clients can measure staleness). 0 means the
+	// document has never been republished.
+	DocVersion uint64 `json:"doc_version,omitempty"`
 
 	// Requests.
 	Origin int    `json:"origin,omitempty"`
@@ -223,6 +247,18 @@ type Stats struct {
 	DiskSpills      int64 `json:"disk_spills,omitempty"`
 	WarmDocs        int64 `json:"warm_docs,omitempty"`
 	JournalLag      int64 `json:"journal_lag,omitempty"`
+	// Mutable-document figures (zero until a document is republished).
+	// RepublishesIn counts version-advancing republish frames applied;
+	// InvalidationsIn counts version-advancing invalidate frames applied
+	// (both exclude stale duplicates, which are dropped). StaleDrops counts
+	// frames or handed-over copies refused because they carried a version
+	// at or below the local one. LeaseRefreshes counts stale copies
+	// re-admitted from an upstream response body — each is one subtree-wide
+	// lease fetch that answered every coalesced waiter below it.
+	RepublishesIn   int64 `json:"republishes_in,omitempty"`
+	InvalidationsIn int64 `json:"invalidations_in,omitempty"`
+	StaleDrops      int64 `json:"stale_drops,omitempty"`
+	LeaseRefreshes  int64 `json:"lease_refreshes,omitempty"`
 }
 
 // FilterStats mirrors router.Stats for the wire.

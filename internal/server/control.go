@@ -700,6 +700,10 @@ func (c *control) snapshot() *netproto.Stats {
 		st.ReclaimedDuty += sn.counters.reclaimedDuty
 		st.AbsorbedDuty += sn.counters.absorbedDuty
 		st.DiskHits += sn.counters.diskHits
+		st.RepublishesIn += sn.counters.republishesIn
+		st.InvalidationsIn += sn.counters.invalidationsIn
+		st.StaleDrops += sn.counters.staleDrops
+		st.LeaseRefreshes += sn.counters.leaseRefreshes
 		// Snapshot-carried (not a live atomic), so a scrape never reports
 		// more fast serves than the drained Served it sits inside.
 		st.FastServed += sn.counters.fastServed

@@ -192,7 +192,7 @@ func TestChildDutyLedgerArithmetic(t *testing.T) {
 	s.ctrl.registerChild(7, nopConn{})
 	sh := s.shards[0]
 	sh.now = time.Now()
-	if !sh.admit("d", []byte("body")) {
+	if !sh.admit("d", []byte("body"), 0) {
 		t.Fatal("admit failed")
 	}
 	sh.targets["d"] = 4

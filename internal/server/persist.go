@@ -50,12 +50,14 @@ func (s *Server) openPersist() error {
 // recoverWarm rebuilds cache and duty state from a previous run: for each
 // journaled document whose body survived on disk, re-admit to memory
 // (under the budget; the rest stays disk-resident), reinstall the
-// admission filter and restore the last journaled target. The journal is
-// then compacted to the recovered set, so it stays proportional to the
-// held documents across restart cycles.
-func (s *Server) recoverWarm(state map[core.DocID]float64) {
-	live := make(map[core.DocID]float64, len(state))
-	for doc, rate := range state {
+// admission filter and restore the last journaled target and copy
+// version — so a warm restart resumes serving the version it held, and
+// version gating keeps working across the kill. The journal is then
+// compacted to the recovered set, so it stays proportional to the held
+// documents across restart cycles.
+func (s *Server) recoverWarm(state map[core.DocID]diskstore.DocState) {
+	live := make(map[core.DocID]diskstore.DocState, len(state))
+	for doc, st := range state {
 		if s.isRoot {
 			if _, pinned := s.cfg.Docs[doc]; pinned {
 				continue // origin copies republish from config, not disk
@@ -66,20 +68,27 @@ func (s *Server) recoverWarm(state map[core.DocID]float64) {
 			continue // journaled as held, but the body tier dropped it
 		}
 		sh := s.shardFor(doc)
-		evs, inMem := s.cache.Put(doc, body)
+		if st.Version > 0 {
+			sh.docVer[doc] = st.Version
+			if sh.jVers == nil {
+				sh.jVers = make(map[core.DocID]uint64, 16)
+			}
+			sh.jVers[doc] = st.Version
+		}
+		evs, inMem := s.cache.PutVersion(doc, body, st.Version)
 		sh.applyEvictions(evs) // earlier-recovered docs may spill back to disk-only
 		sh.installFilter(doc)
-		if rate > 0 {
-			sh.targets[doc] = rate
+		if st.Rate > 0 {
+			sh.targets[doc] = st.Rate
 		}
 		if sh.jTargets == nil {
 			sh.jTargets = make(map[core.DocID]float64, 16)
 		}
-		sh.jTargets[doc] = rate
+		sh.jTargets[doc] = st.Rate
 		if inMem {
-			sh.publish(doc, body, false)
+			sh.publish(doc, body, false, st.Version)
 		}
-		live[doc] = rate
+		live[doc] = st
 		s.warmDocs++
 	}
 	_ = s.journal.Compact(live)
@@ -184,6 +193,7 @@ func (sh *shard) journalDrop(doc core.DocID) {
 	}
 	_ = j.Append(diskstore.OpDrop, doc, 0)
 	delete(sh.jTargets, doc)
+	delete(sh.jVers, doc) // a later re-admission journals its version afresh
 }
 
 // journalTick runs on the shard's maintenance tick: append a target

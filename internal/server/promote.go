@@ -211,7 +211,7 @@ func (c *control) handlePromote(ev event) {
 		}
 		// Blocking post: losing the enrollment would strand the handed-over
 		// duty (the home's ledger already credits it to us).
-		s.post(s.shardFor(env.Doc).events, event{cmd: cmdPromoteIn, doc: env.Doc, rate: env.Rate, body: body})
+		s.post(s.shardFor(env.Doc).events, event{cmd: cmdPromoteIn, doc: env.Doc, rate: env.Rate, body: body, ver: env.DocVersion})
 		return
 	}
 	if s.childConn(env.From) == nil {
@@ -338,7 +338,7 @@ func (sh *shard) promoteOut(child int, doc core.DocID, rate float64) {
 	body, _ := sh.s.bodyOf(doc) // a handoff is not local demand
 	sh.sendOn(conn, &netproto.Envelope{
 		Kind: netproto.TypePromote, From: sh.s.cfg.ID, To: child,
-		Doc: doc, Rate: rate, Body: body,
+		Doc: doc, Rate: rate, Body: body, DocVersion: sh.docVer[doc],
 	})
 }
 
@@ -346,13 +346,13 @@ func (sh *shard) promoteOut(child int, doc core.DocID, rate float64) {
 // take the handed-over duty. From here on the ordinary machinery serves
 // it — publication feeds the lock-free fast path, diffusion delegates the
 // duty deeper into this root's subtree, eviction hints it back up.
-func (sh *shard) promoteIn(doc core.DocID, rate float64, body []byte) {
+func (sh *shard) promoteIn(doc core.DocID, rate float64, body []byte, ver uint64) {
 	sh.s.gotDelegate.Store(true) // replica duty counts as received work (tunneling patience)
 	if body != nil {
 		// A body that does not fit under the byte budget is simply not
 		// admitted; the target is skipped too, and the un-serveable share
 		// flows back to the home through its unanswered announcements.
-		sh.admit(doc, body)
+		sh.admit(doc, body, ver)
 	}
 	if sh.s.holdsCopy(doc) {
 		sh.targets[doc] += rate

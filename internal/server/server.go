@@ -219,6 +219,7 @@ type event struct {
 	child int
 	rate  float64
 	body  []byte // document bytes riding a cmdPromoteIn (copied off the wire)
+	ver   uint64 // document version riding a cmdPromoteIn
 	reply chan *shardSnap
 }
 
@@ -403,7 +404,7 @@ func New(cfg Config) (*Server, error) {
 			s.cache.Pin(id, body) // origin copies are immune to eviction
 			sh := s.shardFor(id)
 			sh.rt.Install(id, nil) // the home extracts everything it owns
-			sh.publish(id, body, true)
+			sh.publish(id, body, true, 0)
 		}
 	}
 	if cfg.DataDir != "" {
@@ -570,7 +571,8 @@ func (s *Server) dispatch(env *netproto.Envelope, conn transport.Conn) {
 		s.post(sh.events, event{env: env, conn: conn})
 	case netproto.TypeResponse, netproto.TypeDelegate, netproto.TypeDelegateAck,
 		netproto.TypeShed, netproto.TypeEvict, netproto.TypeReclaim,
-		netproto.TypeTunnelFetch, netproto.TypeTunnelReply:
+		netproto.TypeTunnelFetch, netproto.TypeTunnelReply,
+		netproto.TypeRepublish, netproto.TypeInvalidate:
 		s.post(s.shardFor(env.Doc).events, event{env: env, conn: conn})
 	case netproto.TypePromote, netproto.TypeDemote:
 		// Control-plane kinds despite carrying a Doc: the promotion state
@@ -636,6 +638,7 @@ func (s *Server) tryFastServe(sh *shard, env *netproto.Envelope, conn transport.
 		Kind: netproto.TypeResponse, From: s.cfg.ID, To: env.Origin,
 		Doc: env.Doc, Origin: env.Origin, ReqID: env.ReqID,
 		ServedBy: s.cfg.ID, Hops: env.Hops, Body: e.body,
+		DocVersion: e.version,
 		// Seq deliberately unstamped: no receiver consumes it, and the
 		// global counter would be the one shared cacheline every core's
 		// fast path contends on. Loop-emitted frames keep their stamps.

@@ -22,6 +22,10 @@ type pubMap = map[core.DocID]*pubEntry
 // accumulate fast-path activity between shard ticks.
 type pubEntry struct {
 	body []byte
+	// version is the document version of body (0 = never republished);
+	// responses stamp it so clients and staleness probes can compare the
+	// served copy against the latest write.
+	version uint64
 	// always marks an origin (pinned) copy: admitted unconditionally. A
 	// delegated or tunneled copy instead spends credits, the fast-path
 	// stand-in for the shard's rate-limited admission filter.
@@ -111,6 +115,8 @@ type shardCounters struct {
 	delegIn, delegOut, shedIn, shedOut int64
 	evictHintsIn, fastServed           int64
 	diskHits                           int64
+	republishesIn, invalidationsIn     int64
+	staleDrops, leaseRefreshes         int64
 	reclaimedDuty, absorbedDuty        float64
 }
 
@@ -142,9 +148,17 @@ type shard struct {
 	// the child sheds duty back or abandons it with an evict hint. When a
 	// child dies the ledger is what the node re-absorbs, so the wave does
 	// not silently lose the dead subtree's share.
-	childDuty   map[int]map[core.DocID]float64
-	pending     map[pendingKey]pendingEntry
-	inflight    map[core.DocID]*flight
+	childDuty map[int]map[core.DocID]float64
+	pending   map[pendingKey]pendingEntry
+	inflight  map[core.DocID]*flight
+	// docVer is the latest document version this shard has seen per doc
+	// (from republish/invalidate frames, delegated copies, or responses);
+	// it only moves forward. staleDocs marks documents whose body was
+	// dropped by an invalidation while their filter and duty stayed —
+	// cleared when a passing response re-admits the fresh copy (the lease
+	// refresh, update.go).
+	docVer      map[core.DocID]uint64
+	staleDocs   map[core.DocID]bool
 	flightRetry time.Duration
 	batch       []event
 	laneSender
@@ -157,11 +171,15 @@ type shard struct {
 	nDelegIn, nDelegOut              int64
 	nShedIn, nShedOut, nEvictHintsIn int64
 	nDiskHits                        int64
+	nRepublishesIn, nInvalidationsIn int64
+	nStaleDrops, nLeaseRefreshes     int64
 	nReclaimedDuty, nAbsorbedDuty    float64
 
 	// jTargets is the last journaled duty per admitted document (persist.go);
-	// nil while the disk tier is disabled.
+	// nil while the disk tier is disabled. jVers mirrors it for the last
+	// journaled copy version (update.go).
 	jTargets map[core.DocID]float64
+	jVers    map[core.DocID]uint64
 
 	// Lock-free surfaces.
 	pub         atomic.Pointer[pubMap]    // publication index (single writer: this loop)
@@ -201,6 +219,8 @@ func newShard(s *Server, idx int) *shard {
 		childDuty:   make(map[int]map[core.DocID]float64, 8),
 		pending:     make(map[pendingKey]pendingEntry, 64),
 		inflight:    make(map[core.DocID]*flight, 16),
+		docVer:      make(map[core.DocID]uint64, 16),
+		staleDocs:   make(map[core.DocID]bool, 4),
 		batch:       make([]event, 0, cfg.MaxBatch),
 		totalServed: newRateWindow(cfg.Window, 8),
 		laneSender:  laneSender{s: s, lane: idx},
@@ -297,7 +317,7 @@ func (sh *shard) handleCmd(ev event) {
 	case cmdPromoteOut:
 		sh.promoteOut(ev.child, ev.doc, ev.rate)
 	case cmdPromoteIn:
-		sh.promoteIn(ev.doc, ev.rate, ev.body)
+		sh.promoteIn(ev.doc, ev.rate, ev.body, ev.ver)
 	case cmdDemoteLocal:
 		sh.demoteLocal(ev.doc)
 	}
@@ -539,10 +559,14 @@ func (sh *shard) publishSnap(fast int64) {
 			served: sh.nServed, forwarded: sh.nForwarded, coalesced: sh.nCoalesced,
 			delegIn: sh.nDelegIn, delegOut: sh.nDelegOut,
 			shedIn: sh.nShedIn, shedOut: sh.nShedOut,
-			evictHintsIn:  sh.nEvictHintsIn,
-			diskHits:      sh.nDiskHits,
-			fastServed:    fast,
-			reclaimedDuty: sh.nReclaimedDuty, absorbedDuty: sh.nAbsorbedDuty,
+			evictHintsIn:    sh.nEvictHintsIn,
+			diskHits:        sh.nDiskHits,
+			republishesIn:   sh.nRepublishesIn,
+			invalidationsIn: sh.nInvalidationsIn,
+			staleDrops:      sh.nStaleDrops,
+			leaseRefreshes:  sh.nLeaseRefreshes,
+			fastServed:      fast,
+			reclaimedDuty:   sh.nReclaimedDuty, absorbedDuty: sh.nAbsorbedDuty,
 		},
 	}
 	for d, t := range sh.targets {
@@ -605,10 +629,11 @@ func (sh *shard) killPub(doc core.DocID) {
 }
 
 // publish installs (or refreshes) a document in the copy-on-write
-// publication index. Owner loop only (single writer). Counts still pending
-// on a replaced entry (a refresh, or a tombstone being republished) are
-// drained first so no fast-path serves vanish from the stats.
-func (sh *shard) publish(doc core.DocID, body []byte, always bool) {
+// publication index, stamping the copy's version for response frames.
+// Owner loop only (single writer). Counts still pending on a replaced
+// entry (a refresh, or a tombstone being republished) are drained first so
+// no fast-path serves vanish from the stats.
+func (sh *shard) publish(doc core.DocID, body []byte, always bool, version uint64) {
 	old := sh.pub.Load()
 	var nm pubMap
 	if old == nil {
@@ -622,7 +647,7 @@ func (sh *shard) publish(doc core.DocID, body []byte, always bool) {
 			sh.drainEntry(doc, prev)
 		}
 	}
-	e := &pubEntry{body: body, always: always}
+	e := &pubEntry{body: body, always: always, version: version}
 	nm[doc] = e
 	sh.pub.Store(&nm)
 }
@@ -687,6 +712,10 @@ func (sh *shard) handle(ev event) {
 		sh.handleRequest(ev)
 
 	case netproto.TypeResponse:
+		// A response is also a version observation: learn the served
+		// version before routing, so the lease check below compares
+		// against the freshest high-water mark.
+		sh.bumpDocVer(env.Doc, env.DocVersion)
 		key := pendingKey{origin: env.Origin, reqID: env.ReqID}
 		if pe, ok := sh.pending[key]; ok {
 			delete(sh.pending, key)
@@ -698,6 +727,7 @@ func (sh *shard) handle(ev event) {
 			delete(sh.inflight, env.Doc)
 			sh.answerWaiters(fl, env)
 		}
+		sh.maybeLeaseRefresh(env)
 
 	case netproto.TypeDelegate:
 		sh.nDelegIn++
@@ -706,7 +736,7 @@ func (sh *shard) handle(ev event) {
 			// A copy that does not fit under the byte budget is simply not
 			// admitted (no ack): the delegated flow keeps passing toward
 			// the home server and the parent reclaims it via claimPassing.
-			sh.admit(env.Doc, env.Body)
+			sh.admit(env.Doc, env.Body, env.DocVersion)
 		}
 		if sh.s.holdsCopy(env.Doc) {
 			sh.targets[env.Doc] += env.Rate
@@ -759,17 +789,23 @@ func (sh *shard) handle(ev event) {
 		if body, ok := sh.s.bodyOf(env.Doc); ok {
 			sh.sendOn(ev.conn, &netproto.Envelope{
 				Kind: netproto.TypeTunnelReply, From: sh.s.cfg.ID, To: env.From,
-				Doc: env.Doc, Body: body,
+				Doc: env.Doc, Body: body, DocVersion: sh.docVer[env.Doc],
 			})
 		}
 
 	case netproto.TypeTunnelReply:
-		if env.Body != nil && sh.admit(env.Doc, env.Body) {
+		if env.Body != nil && sh.admit(env.Doc, env.Body, env.DocVersion) {
 			// The tunnel's pre-claim raised the target before the copy
 			// existed; arm the fast path now instead of one tick late —
 			// the burst that triggered tunneling is happening right now.
 			sh.refreshCredit(env.Doc)
 		}
+
+	case netproto.TypeRepublish:
+		sh.handleRepublish(env)
+
+	case netproto.TypeInvalidate:
+		sh.handleInvalidate(env)
 	}
 }
 
@@ -913,6 +949,7 @@ func (sh *shard) answerWaiters(fl *flight, resp *netproto.Envelope) {
 			Doc: resp.Doc, Origin: w.origin, ReqID: w.reqID,
 			ServedBy: resp.ServedBy, Hops: resp.Hops,
 			Body: resp.Body, NotFound: resp.NotFound,
+			DocVersion: resp.DocVersion,
 		}
 		sh.sendOn(w.conn, out)
 	}
@@ -930,16 +967,27 @@ func (sh *shard) answerWaiters(fl *flight, resp *netproto.Envelope) {
 // serve target and rate window, and hints the eviction to the parent with
 // the abandoned target rate so a surviving copy upstream absorbs the duty
 // instead of waiting a diffusion period to notice the imbalance.
-func (sh *shard) admit(doc core.DocID, body []byte) bool {
+func (sh *shard) admit(doc core.DocID, body []byte, ver uint64) bool {
+	if ver < sh.docVer[doc] {
+		// A stale body (a delegation or tunnel reply that raced a
+		// republish): refuse it — admitting it would roll the document
+		// back behind the version the tree has already converged on.
+		sh.nStaleDrops++
+		return false
+	}
+	if sh.bumpDocVer(doc, ver) && sh.s.disk != nil {
+		sh.s.disk.Delete(doc) // any resident disk body predates ver
+	}
 	// Write through to the disk tier first, so the body is crash-safe (and
 	// eviction-safe) before any duty is accepted for it.
 	sh.diskWriteThrough(doc, body)
-	evs, ok := sh.s.cache.Put(doc, body)
+	evs, ok := sh.s.cache.PutVersion(doc, body, ver)
 	sh.applyEvictions(evs)
 	if ok {
 		sh.installFilter(doc)
-		sh.publish(doc, body, false)
+		sh.publish(doc, body, false, ver)
 		sh.journalAdmit(doc)
+		sh.journalVersion(doc, ver)
 		return true
 	}
 	if sh.s.diskHas(doc) {
@@ -950,6 +998,7 @@ func (sh *shard) admit(doc core.DocID, body []byte) bool {
 		// path serves the copy from disk until a hit re-admits it.
 		sh.installFilter(doc)
 		sh.journalAdmit(doc)
+		sh.journalVersion(doc, ver)
 		return true
 	}
 	return false
@@ -983,7 +1032,7 @@ func (sh *shard) dropEvicted(doc core.DocID) {
 		// dead (fast path disabled) forever. Republish from the live copy.
 		if e := (*sh.pub.Load())[doc]; e != nil && e.dead.Load() {
 			if body, ok := sh.s.cache.Peek(doc); ok {
-				sh.publish(doc, body, false)
+				sh.publish(doc, body, false, sh.docVer[doc])
 				sh.refreshCredit(doc)
 			}
 		}
@@ -1039,6 +1088,10 @@ func (sh *shard) serveRequest(ev event) {
 		Doc: env.Doc, Origin: env.Origin, ReqID: env.ReqID,
 		ServedBy: sh.s.cfg.ID, Hops: env.Hops,
 		Body: body, NotFound: !cached,
+		// Stale copies are dropped the instant a newer version is known
+		// (republish swaps in place, invalidate deletes), so a locally
+		// served body is always at the shard's high-water version.
+		DocVersion: sh.docVer[env.Doc],
 	}
 	sh.sendOn(ev.conn, resp)
 	netproto.PutEnvelope(resp)
@@ -1050,10 +1103,10 @@ func (sh *shard) serveRequest(ev event) {
 // still refuses the body (budget smaller than the body), the document simply
 // stays disk-resident.
 func (sh *shard) readmitFromDisk(doc core.DocID, body []byte) {
-	evs, ok := sh.s.cache.Put(doc, body)
+	evs, ok := sh.s.cache.PutVersion(doc, body, sh.docVer[doc])
 	sh.applyEvictions(evs)
 	if ok {
-		sh.publish(doc, body, false)
+		sh.publish(doc, body, false, sh.docVer[doc])
 		sh.refreshCredit(doc)
 	}
 }
@@ -1090,7 +1143,7 @@ func (sh *shard) delegateOut(child int, doc core.DocID, rate float64) {
 	body, _ := sh.s.bodyOf(doc)       // a handoff is not local demand
 	sh.sendOn(conn, &netproto.Envelope{
 		Kind: netproto.TypeDelegate, From: sh.s.cfg.ID, To: child,
-		Doc: doc, Rate: rate, Body: body,
+		Doc: doc, Rate: rate, Body: body, DocVersion: sh.docVer[doc],
 	})
 }
 
