@@ -12,6 +12,14 @@ BENCH_RESTART_JSON ?= BENCH_restart.json
 BENCH_BIGRAM_JSON ?= BENCH_bigram.json
 BENCH_UPDATE_JSON ?= BENCH_update.json
 BENCH_STORM_JSON ?= BENCH_storm.json
+BENCH_SWARM_JSON ?= BENCH_swarm.json
+BENCH_SWARM_SMOKE_JSON ?= BENCH_swarm_smoke.json
+# The CI-sized swarm: 2 racks x 8 processes, 5-deep tree, rack 0 SIGKILLed
+# mid-run. The committed smoke baseline pins exactly these figures, so the
+# flags and the baseline must change together (regenerate with
+# bench-swarm-smoke-baseline).
+SWARM_SMOKE_FLAGS = -seed 1 -racks 2 -rack-nodes 8 -rack-depth 4 \
+	-rate 120 -duration 8 -kill-rack 0
 # The restart scenario replays the chaos workload twice (cold + warm), so
 # the gated schedule is shorter than chaos's; the committed baseline pins
 # this figure — change both together or the spec check fails.
@@ -36,7 +44,8 @@ COVER_FLOOR ?= 75.0
 	bench-chaos bench-chaos-baseline bench-hotkey bench-hotkey-baseline \
 	bench-restart bench-restart-baseline bench-bigram bench-bigram-baseline \
 	bench-update bench-update-baseline bench-storm bench-storm-baseline \
-	docs-check profile clean
+	swarm-bins bench-swarm bench-swarm-baseline bench-swarm-smoke \
+	bench-swarm-smoke-baseline docs-check profile clean
 
 all: build test
 
@@ -258,6 +267,40 @@ bench-hotkey-baseline:
 	$(GO) run ./cmd/webwave-bench -scenario hot-key -seed 1 \
 		-json bench/BENCH_hotkey_baseline.json
 
+# swarm-bins builds the two binaries the multi-process scenario needs: the
+# node binary every swarm process execs, and the runner that spawns them.
+swarm-bins:
+	$(GO) build -o bin/webwave-cluster ./cmd/webwave-cluster
+	$(GO) build -o bin/webwave-swarm ./cmd/webwave-swarm
+
+# bench-swarm launches the headline multi-process swarm — 101 separate OS
+# processes (4 racks x 25 + root, depth-6 tree) over real TCP — SIGKILLs an
+# entire rack mid-run, re-execs it warm, and gates availability, repair,
+# reabsorption, journal recovery and harness hygiene against the committed
+# baseline. Wall-clock AND process-heavy: NOT deterministic; the gate
+# applies thresholds, and the baseline pins the workload shape.
+bench-swarm: swarm-bins
+	./bin/webwave-swarm -seed 1 -json $(BENCH_SWARM_JSON)
+	$(GO) run ./cmd/benchgate -swarm-report $(BENCH_SWARM_JSON) \
+		-swarm-baseline bench/BENCH_swarm_baseline.json
+
+# bench-swarm-baseline regenerates the committed swarm baseline after an
+# intentional behavior change; commit the result.
+bench-swarm-baseline: swarm-bins
+	./bin/webwave-swarm -seed 1 -json bench/BENCH_swarm_baseline.json
+
+# bench-swarm-smoke is the CI-sized form: 17 processes, one rack killed,
+# same gate. Fast enough for every PR; the 101-process form runs nightly.
+bench-swarm-smoke: swarm-bins
+	./bin/webwave-swarm $(SWARM_SMOKE_FLAGS) -json $(BENCH_SWARM_SMOKE_JSON)
+	$(GO) run ./cmd/benchgate -swarm-report $(BENCH_SWARM_SMOKE_JSON) \
+		-swarm-baseline bench/BENCH_swarm_smoke_baseline.json
+
+# bench-swarm-smoke-baseline regenerates the committed smoke baseline; keep
+# SWARM_SMOKE_FLAGS and this baseline in lockstep.
+bench-swarm-smoke-baseline: swarm-bins
+	./bin/webwave-swarm $(SWARM_SMOKE_FLAGS) -json bench/BENCH_swarm_smoke_baseline.json
+
 # docs-check verifies every relative markdown link (and heading anchor) in
 # all top-level markdown and docs/ resolves; CI's docs job runs exactly this.
 docs-check:
@@ -277,4 +320,6 @@ clean:
 		$(BENCH_SCALING_JSON) $(BENCH_CHAOS_JSON) $(BENCH_HOTKEY_JSON) \
 		$(BENCH_RESTART_JSON) $(BENCH_BIGRAM_JSON) \
 		$(BENCH_UPDATE_JSON) $(BENCH_STORM_JSON) \
+		$(BENCH_SWARM_JSON) $(BENCH_SWARM_SMOKE_JSON) \
 		$(WIRE_THROUGHPUT_JSON) bench-micro.out cpu.pprof mem.pprof coverage.out
+	rm -rf bin

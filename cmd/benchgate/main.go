@@ -76,6 +76,15 @@
 //     fails the gate rather than vacuously passing it), and two-tier must
 //     actually serve from disk (disk_hits > 0).
 //
+//   - Swarm (-swarm-report/-swarm-baseline): the multi-process scale-out
+//     floor. The committed baseline pins the swarm shape (racks, rack size,
+//     spine depth, kill schedule); the report must then survive the
+//     whole-rack SIGKILL with availability at least -min-swarm-availability,
+//     repair and re-whole the tree within the run, move duty (absorbed by
+//     survivors and reclaimed by the revived rack), recover documents from
+//     journals on the re-exec (warm, not cold), and keep the harness clean:
+//     zero failed revives, zero forced teardowns, scrape errors bounded.
+//
 // Usage:
 //
 //	benchgate -report BENCH_cache.json -baseline bench/BENCH_cache_baseline.json [-max-regress 0.10]
@@ -133,6 +142,9 @@ func run(args []string) error {
 	updateBasePath := fs.String("update-baseline", "", "committed update-heavy baseline JSON (pins the workload)")
 	maxP99Staleness := fs.Float64("max-p99-staleness", 0, "update: p99 staleness ceiling in seconds (0 = one diffusion period from the report)")
 	maxHitRateCost := fs.Float64("max-hitrate-cost", 0.10, "update: max fractional hit-rate drop of the write mix vs the read-only control")
+	swarmPath := fs.String("swarm-report", "", "swarm report JSON produced by this run")
+	swarmBasePath := fs.String("swarm-baseline", "", "committed swarm baseline JSON (pins the workload)")
+	minSwarmAvail := fs.Float64("min-swarm-availability", 0.95, "swarm: minimum served/offered under the whole-rack kill")
 	stormPath := fs.String("storm-report", "", "invalidation-storm report JSON produced by this run")
 	stormBasePath := fs.String("storm-baseline", "", "committed invalidation-storm baseline JSON (pins the workload)")
 	maxOriginFactor := fs.Float64("max-origin-factor", 4.0, "storm: per-write origin fetches ceiling as a multiple of the subtree count")
@@ -260,6 +272,23 @@ func run(args []string) error {
 		}
 		ranAny = true
 	}
+	if *swarmPath != "" || *swarmBasePath != "" {
+		if *swarmPath == "" || *swarmBasePath == "" {
+			return fmt.Errorf("both -swarm-report and -swarm-baseline are required")
+		}
+		rep, err := loadSwarm(*swarmPath)
+		if err != nil {
+			return err
+		}
+		base, err := loadSwarm(*swarmBasePath)
+		if err != nil {
+			return err
+		}
+		if err := gateSwarm(rep, base, *minSwarmAvail, os.Stdout); err != nil {
+			return err
+		}
+		ranAny = true
+	}
 	if *stormPath != "" || *stormBasePath != "" {
 		if *stormPath == "" || *stormBasePath == "" {
 			return fmt.Errorf("both -storm-report and -storm-baseline are required")
@@ -278,7 +307,7 @@ func run(args []string) error {
 		ranAny = true
 	}
 	if !ranAny {
-		return fmt.Errorf("nothing to gate: pass -report/-baseline, -scaling-report/-scaling-baseline, -chaos-report/-chaos-baseline, -hotkey-report/-hotkey-baseline, -restart-report/-restart-baseline, -bigram-report/-bigram-baseline, -update-report/-update-baseline and/or -storm-report/-storm-baseline")
+		return fmt.Errorf("nothing to gate: pass -report/-baseline, -scaling-report/-scaling-baseline, -chaos-report/-chaos-baseline, -hotkey-report/-hotkey-baseline, -restart-report/-restart-baseline, -bigram-report/-bigram-baseline, -update-report/-update-baseline, -storm-report/-storm-baseline and/or -swarm-report/-swarm-baseline")
 	}
 	return nil
 }

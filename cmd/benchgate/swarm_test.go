@@ -1,0 +1,95 @@
+package main
+
+// Gate tests for the multi-process swarm scenario: synthetic reports walk
+// each threshold without launching any processes.
+
+import (
+	"testing"
+
+	"webwave/internal/workload"
+)
+
+func swarmReport() *workload.SwarmReport {
+	sp := workload.SwarmSpec{Seed: 7}.WithDefaults()
+	return &workload.SwarmReport{
+		Schema: workload.SwarmSchema, Scenario: "swarm", Spec: sp,
+		Nodes: 1 + sp.Racks*sp.RackNodes, Depth: sp.RackDepth + 1,
+		RackKilled: []int{1, 2, 3},
+		Offered:    4700, Rerouted: 280, Responses: 4650, LostInFlight: 50,
+		Availability:  0.989,
+		RepairSeconds: 0.3, ReabsorbSeconds: 0.9,
+		Reconnects: 0, ReclaimedDuty: 1300, AbsorbedDuty: 700,
+		WarmDocs: 100,
+	}
+}
+
+func TestSwarmGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", swarmReport())
+	rep := writeJSON(t, dir, "rep.json", swarmReport())
+	if err := run([]string{"-swarm-report", rep, "-swarm-baseline", base}); err != nil {
+		t.Fatalf("gate failed on an in-band report: %v", err)
+	}
+}
+
+func TestSwarmGateFailsOnAvailability(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", swarmReport())
+	bad := swarmReport()
+	bad.Availability = 0.90
+	rep := writeJSON(t, dir, "rep.json", bad)
+	if err := run([]string{"-swarm-report", rep, "-swarm-baseline", base}); err == nil {
+		t.Fatal("gate accepted availability below the floor")
+	}
+}
+
+func TestSwarmGateFailsOnColdRestart(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", swarmReport())
+	bad := swarmReport()
+	bad.WarmDocs = 0 // re-exec came back cold: journals recovered nothing
+	rep := writeJSON(t, dir, "rep.json", bad)
+	if err := run([]string{"-swarm-report", rep, "-swarm-baseline", base}); err == nil {
+		t.Fatal("gate accepted a cold re-exec (warm_docs 0)")
+	}
+}
+
+func TestSwarmGateFailsOnIncompleteReabsorb(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", swarmReport())
+	bad := swarmReport()
+	bad.ReabsorbSeconds = -1
+	rep := writeJSON(t, dir, "rep.json", bad)
+	if err := run([]string{"-swarm-report", rep, "-swarm-baseline", base}); err == nil {
+		t.Fatal("gate accepted a tree that never became whole again")
+	}
+}
+
+func TestSwarmGateFailsOnDirtyHarness(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", swarmReport())
+	for _, mutate := range []func(r *workload.SwarmReport){
+		func(r *workload.SwarmReport) { r.FailedRevives = 1 },
+		func(r *workload.SwarmReport) { r.ForcedTeardowns = 2 },
+		func(r *workload.SwarmReport) { r.FinalOrphaned = 1 },
+		func(r *workload.SwarmReport) { r.ScrapeErrors = int64(r.Nodes) + 1 },
+	} {
+		bad := swarmReport()
+		mutate(bad)
+		rep := writeJSON(t, dir, "rep.json", bad)
+		if err := run([]string{"-swarm-report", rep, "-swarm-baseline", base}); err == nil {
+			t.Fatalf("gate accepted a dirty harness: %+v", bad)
+		}
+	}
+}
+
+func TestSwarmGateRejectsSpecMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", swarmReport())
+	shrunk := swarmReport()
+	shrunk.Spec.Racks = 2 // half the swarm is not the gated scenario
+	rep := writeJSON(t, dir, "rep.json", shrunk)
+	if err := run([]string{"-swarm-report", rep, "-swarm-baseline", base}); err == nil {
+		t.Fatal("gate accepted a shrunken swarm against the committed baseline")
+	}
+}

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	webwave-cluster [-docs 8] [-rate 4000] [-horizon 3] [-parents "-1 0 0 1 1 2 2"]
+//
+// The `node` subcommand instead hosts a single server in this process over
+// real TCP until SIGTERM — the building block the webwave-swarm runner
+// spawns hundreds of:
+//
+//	webwave-cluster node -id 3 -addr 127.0.0.1:42003 -parent-id 1 -parent-addr 127.0.0.1:42001 ...
 package main
 
 import (
@@ -14,12 +20,21 @@ import (
 	"fmt"
 	"os"
 
+	"webwave/internal/cluster"
 	"webwave/internal/repro"
 	"webwave/internal/tree"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "node" {
+		if err := cluster.RunNode(args[1:], os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "webwave-cluster node:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(args); err != nil {
 		fmt.Fprintln(os.Stderr, "webwave-cluster:", err)
 		os.Exit(1)
 	}

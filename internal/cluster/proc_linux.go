@@ -1,0 +1,13 @@
+//go:build linux
+
+package cluster
+
+import "syscall"
+
+// nodeSysProcAttr arms the parent-death signal: if the harness process dies
+// — crash, SIGKILL, a test binary torn down by a timeout — the kernel
+// SIGKILLs every node child, so an interrupted swarm run cannot strand a
+// hundred webwave processes on the machine.
+func nodeSysProcAttr() *syscall.SysProcAttr {
+	return &syscall.SysProcAttr{Pdeathsig: syscall.SIGKILL}
+}

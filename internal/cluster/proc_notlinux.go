@@ -1,0 +1,9 @@
+//go:build !linux
+
+package cluster
+
+import "syscall"
+
+// nodeSysProcAttr returns no special attributes off linux (no parent-death
+// signal available; Stop's SIGTERM/SIGKILL sweep is the only reaper).
+func nodeSysProcAttr() *syscall.SysProcAttr { return nil }

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package cluster
+
+import "os"
+
+// signalTerm has no graceful option without unix signals; the process is
+// killed outright (Stop still reaps it, it just skips the drain).
+func signalTerm(proc *os.Process) {
+	proc.Kill()
+}

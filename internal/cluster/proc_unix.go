@@ -1,0 +1,13 @@
+//go:build unix
+
+package cluster
+
+import (
+	"os"
+	"syscall"
+)
+
+// signalTerm asks a node process to drain gracefully.
+func signalTerm(proc *os.Process) {
+	proc.Signal(syscall.SIGTERM)
+}

@@ -25,12 +25,16 @@ import (
 
 // failover hunts the ancestor list until a candidate answers the handshake
 // or the server stops. At most one instance runs per server (guarded by
-// control.failoverOn); rounds back off exponentially so a long outage does
-// not spin dials, while a healed partition or restarted ancestor is picked
-// up on the next round.
+// control.failoverOn); rounds are paced by a jittered exponential backoff
+// capped at Config.ReconnectCap, so a long outage costs a bounded dial
+// budget (one round per cap, eventually) instead of a spin — and the jitter
+// desynchronizes a whole subtree of orphans that all observed the same
+// parent death within one heartbeat, which would otherwise stampede the
+// replacement in lockstep. A healed partition or restarted ancestor is
+// picked up on the next round.
 func (s *Server) failover() {
 	defer s.wg.Done()
-	backoff := s.cfg.GossipPeriod
+	backoff := &transport.Backoff{Base: s.cfg.GossipPeriod, Cap: s.cfg.ReconnectCap}
 	for {
 		for _, addr := range s.cfg.AncestorAddrs {
 			select {
@@ -63,15 +67,12 @@ func (s *Server) failover() {
 			}
 			return
 		}
-		t := time.NewTimer(backoff)
+		t := time.NewTimer(backoff.Next())
 		select {
 		case <-s.stopped:
 			t.Stop()
 			return
 		case <-t.C:
-		}
-		if backoff < time.Second {
-			backoff *= 2
 		}
 	}
 }

@@ -68,6 +68,23 @@ type Config struct {
 	// that loses its parent stays orphaned (pre-failure behavior).
 	AncestorAddrs []string
 
+	// DialAttempts is the bounded dial budget Start spends on the
+	// configured parent (jittered backoff between tries) before giving up:
+	// with ancestors configured the node then starts orphaned and fails
+	// over in the background; without them Start errors. Default 1 — the
+	// historical single try. Multi-process swarms raise it so a node
+	// exec'd moments before its parent attaches cleanly instead of
+	// orphan-starting.
+	DialAttempts int
+
+	// ReconnectCap bounds the failover hunt's backoff: rounds over the
+	// ancestor list are paced by a jittered exponential schedule from
+	// GossipPeriod up to this cap (default 2s), so a node that outlives a
+	// dying rack settles into a slow, desynchronized redial instead of a
+	// crash-loop — and a whole subtree of orphans does not stampede a
+	// restarted parent in lockstep.
+	ReconnectCap time.Duration
+
 	// HeartbeatPeriod enables the liveness detector: every period the
 	// control loop pings its tree neighbors and counts the periods that
 	// elapsed with no traffic from each. A neighbor silent for
@@ -185,6 +202,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HeartbeatMisses <= 0 {
 		c.HeartbeatMisses = 3
+	}
+	if c.DialAttempts <= 0 {
+		c.DialAttempts = 1
+	}
+	if c.ReconnectCap <= 0 {
+		c.ReconnectCap = 2 * time.Second
 	}
 	if c.NumShards <= 0 {
 		c.NumShards = runtime.GOMAXPROCS(0)
@@ -466,7 +489,14 @@ func (s *Server) Start() error {
 
 	startFailover := false
 	if !s.isRoot {
-		conn, err := transport.DialOn(s.cfg.Network, s.cfg.Addr, s.cfg.ParentAddr)
+		// The startup dial spends a bounded budget (DialAttempts, jittered
+		// backoff between tries) on the configured parent: in a multi-process
+		// launch a child is routinely exec'd a beat before its parent
+		// listens, and a couple of paced retries attach it to the right
+		// place instead of orphan-starting it onto a grandparent.
+		conn, err := transport.DialRetry(s.cfg.Network, s.cfg.Addr, s.cfg.ParentAddr,
+			&transport.Backoff{Base: s.cfg.GossipPeriod, Cap: s.cfg.ReconnectCap},
+			s.cfg.DialAttempts, s.stopped)
 		if err != nil {
 			if len(s.cfg.AncestorAddrs) == 0 {
 				l.Close()

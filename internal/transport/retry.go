@@ -1,0 +1,189 @@
+package transport
+
+// Dial/bind hardening for multi-process clusters. When a whole rack of
+// node processes is SIGKILLed and re-exec'd, hundreds of children redial
+// their parents at once and every restarted node re-binds the address it
+// died holding. Backoff paces the redial storm (jittered exponential
+// delays, capped, reset on success); DialRetry and ListenRetry wrap one
+// dial/bind in that schedule with a bounded attempt budget, so a node that
+// starts before its parent — or outlives a dying rack — degrades to a slow,
+// desynchronized hunt instead of a crash-loop or a tight spin.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Backoff is a jittered, capped exponential backoff schedule. The zero
+// value is usable (50ms base, 2s cap, factor 2, ±20% jitter). Next returns
+// the delay to sleep before the next attempt; Reset — called on success —
+// rewinds the schedule so the next failure starts cheap again.
+//
+// Jitter matters here more than it usually does: every child of a killed
+// parent observes the loss within one heartbeat of the others, so without
+// desynchronization the whole subtree redials in lockstep exactly when the
+// parent is busiest recovering.
+type Backoff struct {
+	Base   time.Duration // first delay (default 50ms)
+	Cap    time.Duration // delay ceiling (default 2s)
+	Factor float64       // growth per attempt (default 2)
+	// Jitter is the fractional spread: each delay is drawn uniformly from
+	// [d*(1-Jitter), d*(1+Jitter)], then clamped to Cap. Default 0.2;
+	// negative disables jitter entirely (deterministic schedules in tests).
+	Jitter float64
+	// Seed makes the jitter stream deterministic when nonzero (tests).
+	Seed int64
+
+	mu      sync.Mutex
+	attempt int
+	rng     *rand.Rand
+}
+
+func (b *Backoff) base() time.Duration {
+	if b.Base > 0 {
+		return b.Base
+	}
+	return 50 * time.Millisecond
+}
+
+func (b *Backoff) cap() time.Duration {
+	if b.Cap > 0 {
+		return b.Cap
+	}
+	return 2 * time.Second
+}
+
+func (b *Backoff) factor() float64 {
+	if b.Factor > 1 {
+		return b.Factor
+	}
+	return 2
+}
+
+func (b *Backoff) jitter() float64 {
+	switch {
+	case b.Jitter < 0:
+		return 0
+	case b.Jitter == 0:
+		return 0.2
+	default:
+		return b.Jitter
+	}
+}
+
+// Next returns the delay to wait before the next attempt and advances the
+// schedule. Safe for concurrent use (one schedule shared by helpers).
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d := float64(b.base())
+	for i := 0; i < b.attempt; i++ {
+		d *= b.factor()
+		if d >= float64(b.cap()) {
+			d = float64(b.cap())
+			break
+		}
+	}
+	b.attempt++
+	if j := b.jitter(); j > 0 {
+		if b.rng == nil {
+			seed := b.Seed
+			if seed == 0 {
+				seed = time.Now().UnixNano()
+			}
+			b.rng = rand.New(rand.NewSource(seed))
+		}
+		// Uniform in [d*(1-j), d*(1+j)].
+		d *= 1 - j + 2*j*b.rng.Float64()
+	}
+	if d > float64(b.cap()) {
+		d = float64(b.cap())
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Reset rewinds the schedule to the base delay — call it after a success so
+// the next independent failure is retried promptly rather than at the cap.
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	b.attempt = 0
+	b.mu.Unlock()
+}
+
+// Attempts returns how many delays Next has handed out since the last Reset.
+func (b *Backoff) Attempts() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempt
+}
+
+// DialRetry dials dst over n (attributed to src when the network supports
+// it) up to `attempts` times, sleeping b's schedule between failures. A nil
+// b uses a fresh default schedule; attempts <= 0 means one try. The stop
+// channel (may be nil) aborts the wait between attempts — a stopping server
+// must not sit out a capped delay. The last dial error is returned.
+func DialRetry(n Network, src, dst string, b *Backoff, attempts int, stop <-chan struct{}) (Conn, error) {
+	if b == nil {
+		b = &Backoff{}
+	}
+	if attempts <= 0 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			t := time.NewTimer(b.Next())
+			select {
+			case <-t.C:
+			case <-stop:
+				t.Stop()
+				return nil, ErrClosed
+			}
+		}
+		var conn Conn
+		conn, err = DialOn(n, src, dst)
+		if err == nil {
+			b.Reset()
+			return conn, nil
+		}
+	}
+	return nil, fmt.Errorf("transport: dial %s: %d attempt(s): %w", dst, attempts, err)
+}
+
+// ListenRetry binds addr over n, retrying "address already in use" failures
+// on b's schedule until wait elapses. A freshly re-exec'd node reclaiming
+// the address its previous incarnation died holding races the kernel's
+// cleanup of the old socket; retrying the bind (with SO_REUSEADDR set by
+// the TCP network) turns that race into a short stall instead of a startup
+// failure. Non-address-conflict errors fail immediately.
+func ListenRetry(n Network, addr string, b *Backoff, wait time.Duration) (Listener, error) {
+	if b == nil {
+		b = &Backoff{Base: 25 * time.Millisecond, Cap: 250 * time.Millisecond}
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		l, err := n.Listen(addr)
+		if err == nil {
+			return l, nil
+		}
+		if !AddrInUse(err) || !time.Now().Before(deadline) {
+			return nil, err
+		}
+		time.Sleep(b.Next())
+	}
+}
+
+// AddrInUse reports whether err is a bind-time address conflict — the only
+// listen failure worth retrying (the previous holder is about to vanish).
+func AddrInUse(err error) bool {
+	if err == nil {
+		return false
+	}
+	return strings.Contains(err.Error(), "address already in use")
+}

@@ -1,0 +1,176 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffSchedule verifies the deterministic (jitter-free) growth: base,
+// base*2, base*4, ..., clamped at the cap and never beyond it.
+func TestBackoffSchedule(t *testing.T) {
+	b := &Backoff{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Jitter: -1}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := b.Next(); got != w*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	if b.Attempts() != len(want) {
+		t.Fatalf("attempts %d, want %d", b.Attempts(), len(want))
+	}
+}
+
+// TestBackoffJitterBounds draws many delays at a fixed attempt index and
+// checks every one lands inside [d*(1-j), d*(1+j)] — and that the spread is
+// real (not a constant), since lockstep redials are what jitter exists to
+// break up.
+func TestBackoffJitterBounds(t *testing.T) {
+	const base, j = 100 * time.Millisecond, 0.2
+	lo := time.Duration(float64(base) * (1 - j))
+	hi := time.Duration(float64(base) * (1 + j))
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		b := &Backoff{Base: base, Cap: time.Second, Jitter: j, Seed: int64(i + 1)}
+		d := b.Next() // first delay: growth hasn't kicked in, pure jitter around base
+		if d < lo || d > hi {
+			t.Fatalf("seed %d: jittered delay %v outside [%v, %v]", i+1, d, lo, hi)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("jitter produced only %d distinct delays in 200 draws", len(seen))
+	}
+}
+
+// TestBackoffJitterNeverExceedsCap: jitter above the cap is clamped, so the
+// cap is a hard ceiling, not a midpoint the jitter straddles.
+func TestBackoffJitterNeverExceedsCap(t *testing.T) {
+	b := &Backoff{Base: 50 * time.Millisecond, Cap: 100 * time.Millisecond, Jitter: 0.5, Seed: 7}
+	for i := 0; i < 50; i++ {
+		if d := b.Next(); d > 100*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v exceeds the cap", i, d)
+		}
+	}
+}
+
+// TestBackoffResetOnSuccess: after Reset the schedule restarts at the base,
+// so one long outage does not poison the retry latency of the next.
+func TestBackoffResetOnSuccess(t *testing.T) {
+	b := &Backoff{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Jitter: -1}
+	for i := 0; i < 5; i++ {
+		b.Next()
+	}
+	b.Reset()
+	if got := b.Next(); got != 10*time.Millisecond {
+		t.Fatalf("post-reset delay %v, want the base 10ms", got)
+	}
+	if b.Attempts() != 1 {
+		t.Fatalf("post-reset attempts %d, want 1", b.Attempts())
+	}
+}
+
+// TestDialRetryBudget: a dial against nothing fails after exactly the
+// attempt budget, and a listener appearing mid-schedule is found. Reset on
+// success is exercised through the helper (the schedule is reusable).
+func TestDialRetryBudget(t *testing.T) {
+	n := NewMemoryNetwork(MemoryOptions{})
+	b := &Backoff{Base: time.Millisecond, Cap: 5 * time.Millisecond, Jitter: -1}
+	if _, err := DialRetry(n, "", "nowhere", b, 3, nil); err == nil {
+		t.Fatal("dial against nothing succeeded")
+	}
+
+	// Listener appears while the retry schedule is sleeping.
+	go func() {
+		time.Sleep(3 * time.Millisecond)
+		l, err := n.Listen("late")
+		if err != nil {
+			return
+		}
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	conn, err := DialRetry(n, "", "late", b, 50, nil)
+	if err != nil {
+		t.Fatalf("dial retry against a late listener: %v", err)
+	}
+	conn.Close()
+	if b.Attempts() != 0 {
+		t.Fatalf("backoff not reset on success: attempts %d", b.Attempts())
+	}
+}
+
+// TestDialRetryStop: the stop channel aborts the wait between attempts
+// immediately instead of sitting out the remaining schedule.
+func TestDialRetryStop(t *testing.T) {
+	n := NewMemoryNetwork(MemoryOptions{})
+	stop := make(chan struct{})
+	close(stop)
+	start := time.Now()
+	_, err := DialRetry(n, "", "nowhere", &Backoff{Base: time.Minute, Jitter: -1}, 10, stop)
+	if err == nil {
+		t.Fatal("stopped dial succeeded")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("stopped dial took %v; the stop channel should abort the wait", time.Since(start))
+	}
+}
+
+// TestListenRetryReclaimsAddress simulates a restarted node racing its
+// predecessor's teardown: the old listener still holds the address when the
+// new bind starts, and the retry schedule picks the address up once the old
+// holder lets go.
+func TestListenRetryReclaimsAddress(t *testing.T) {
+	n := TCPNetwork{}
+	old, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("first bind: %v", err)
+	}
+	addr := old.Addr()
+
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		old.Close()
+	}()
+	// BindRetryWait default (2s) covers the 100ms handover comfortably.
+	nl, err := n.Listen(addr)
+	if err != nil {
+		t.Fatalf("rebind during teardown race: %v", err)
+	}
+	nl.Close()
+}
+
+// TestListenNoRetryFailsFast: with retrying disabled a genuine conflict
+// fails immediately (the historical behavior stays reachable).
+func TestListenNoRetryFailsFast(t *testing.T) {
+	n := TCPNetwork{BindRetryWait: -1}
+	l, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	defer l.Close()
+	start := time.Now()
+	if _, err := n.Listen(l.Addr()); err == nil {
+		t.Fatal("conflicting bind succeeded")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("no-retry bind took %v", time.Since(start))
+	}
+}
+
+// TestAddrInUse covers both the TCP error text and the memory network's.
+func TestAddrInUse(t *testing.T) {
+	mem := NewMemoryNetwork(MemoryOptions{})
+	if _, err := mem.Listen("a"); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	_, err := mem.Listen("a")
+	if !AddrInUse(err) {
+		t.Fatalf("memory double-listen error %v not classified as address-in-use", err)
+	}
+	if AddrInUse(nil) {
+		t.Fatal("nil classified as address-in-use")
+	}
+}

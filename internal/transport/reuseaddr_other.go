@@ -1,0 +1,9 @@
+//go:build !unix
+
+package transport
+
+import "syscall"
+
+// reuseAddrControl is a no-op off unix; Go's defaults already allow rebinds
+// on the platforms the swarm harness targets.
+func reuseAddrControl(network, address string, c syscall.RawConn) error { return nil }

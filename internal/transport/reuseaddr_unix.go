@@ -1,0 +1,19 @@
+//go:build unix
+
+package transport
+
+import "syscall"
+
+// reuseAddrControl sets SO_REUSEADDR on a listener socket before bind: a
+// re-exec'd node reclaiming the address its SIGKILLed predecessor held must
+// not flake on the predecessor's lingering TIME_WAIT sockets.
+func reuseAddrControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_REUSEADDR, 1)
+	})
+	if err != nil {
+		return err
+	}
+	return serr
+}

@@ -3,12 +3,14 @@ package transport
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"webwave/internal/netproto"
 )
@@ -24,6 +26,20 @@ import (
 // payload's first byte, so the two versions interoperate on one stream.
 type TCPNetwork struct {
 	Version int
+
+	// DialTimeout bounds each connect attempt. Without it a dial into a
+	// freshly SIGKILLed peer can hang for the kernel's full SYN-retry
+	// schedule (minutes), wedging failover hunts behind one dead address.
+	// 0 means no timeout (the historical behavior).
+	DialTimeout time.Duration
+
+	// BindRetryWait bounds how long Listen retries an "address already in
+	// use" failure before giving up. A re-exec'd node reclaiming the
+	// address its previous incarnation died holding races the kernel's
+	// teardown of the old socket; listeners are opened with SO_REUSEADDR
+	// and the bind is retried with backoff inside this budget. 0 means the
+	// default 2s; negative disables retrying (one bind attempt).
+	BindRetryWait time.Duration
 }
 
 func (n TCPNetwork) version() int {
@@ -33,18 +49,40 @@ func (n TCPNetwork) version() int {
 	return netproto.Version2
 }
 
-// Listen implements Network.
+// Listen implements Network. Listeners are opened with SO_REUSEADDR so a
+// restarted process can rebind the address its predecessor's sockets still
+// hold in TIME_WAIT, and a bind that races the predecessor's actual
+// teardown ("address already in use") is retried with backoff for up to
+// BindRetryWait instead of failing the restart.
 func (n TCPNetwork) Listen(addr string) (Listener, error) {
-	l, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: tcp listen %s: %w", addr, err)
+	lc := net.ListenConfig{Control: reuseAddrControl}
+	wait := n.BindRetryWait
+	if wait == 0 {
+		wait = 2 * time.Second
 	}
-	return &tcpListener{l: l, version: n.version()}, nil
+	b := &Backoff{Base: 25 * time.Millisecond, Cap: 250 * time.Millisecond}
+	deadline := time.Now().Add(wait)
+	for {
+		l, err := lc.Listen(context.Background(), "tcp", addr)
+		if err == nil {
+			return &tcpListener{l: l, version: n.version()}, nil
+		}
+		if wait <= 0 || !AddrInUse(err) || !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("transport: tcp listen %s: %w", addr, err)
+		}
+		time.Sleep(b.Next())
+	}
 }
 
 // Dial implements Network.
 func (n TCPNetwork) Dial(addr string) (Conn, error) {
-	c, err := net.Dial("tcp", addr)
+	var c net.Conn
+	var err error
+	if n.DialTimeout > 0 {
+		c, err = net.DialTimeout("tcp", addr, n.DialTimeout)
+	} else {
+		c, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("transport: tcp dial %s: %w", addr, err)
 	}

@@ -1,0 +1,100 @@
+package workload
+
+// End-to-end swarm run at test scale: RunSwarm spawns real OS processes
+// (this test binary re-exec'd as nodes, same trick as the cluster
+// package's proc tests), SIGKILLs a rack, revives it warm, and must come
+// back with a clean report. Assertions stay at the level the benchgate
+// thresholds use — this is the scenario engine's own smoke test, not a
+// performance gate.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"webwave/internal/cluster"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("WEBWAVE_NODE_MAIN") == "1" {
+		if err := cluster.RunNode(os.Args[1:], os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "node:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func TestRunSwarmEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	sp := SwarmSpec{
+		Seed: 3, Racks: 2, RackNodes: 3, RackDepth: 2,
+		NumDocs: 6, TotalRate: 60, Duration: 4,
+		KillRack: 1, KillAt: 1.2, Downtime: 1,
+	}.WithDefaults()
+	opt := SwarmOptions{
+		Command: []string{os.Args[0]},
+		Env:     []string{"WEBWAVE_NODE_MAIN=1"},
+		WorkDir: t.TempDir(),
+	}
+	rep, err := RunSwarm(sp, opt, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != SwarmSchema || rep.Scenario != "swarm" {
+		t.Fatalf("report header %q/%q", rep.Schema, rep.Scenario)
+	}
+	if rep.Nodes != 7 || rep.Depth != 3 {
+		t.Fatalf("topology %d nodes depth %d, want 7 nodes depth 3", rep.Nodes, rep.Depth)
+	}
+	if got, want := len(rep.RackKilled), sp.RackNodes; got != want {
+		t.Fatalf("rack kill hit %d processes, want %d", got, want)
+	}
+	if rep.Responses == 0 || rep.Offered == 0 {
+		t.Fatalf("no traffic flowed: offered %d responses %d", rep.Offered, rep.Responses)
+	}
+	if rep.Availability < 0.9 {
+		t.Fatalf("availability %.4f on a 7-process swarm", rep.Availability)
+	}
+	if rep.RepairSeconds < 0 || rep.ReabsorbSeconds < 0 {
+		t.Fatalf("recovery incomplete: repair %.2fs reabsorb %.2fs", rep.RepairSeconds, rep.ReabsorbSeconds)
+	}
+	if rep.FailedRevives != 0 || rep.ForcedTeardowns != 0 || rep.FinalOrphaned != 0 {
+		t.Fatalf("dirty harness: revives %d teardowns %d orphaned %d",
+			rep.FailedRevives, rep.ForcedTeardowns, rep.FinalOrphaned)
+	}
+}
+
+func TestRunSwarmNoFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	sp := SwarmSpec{
+		Seed: 5, Racks: 1, RackNodes: 2, RackDepth: 2,
+		NumDocs: 4, TotalRate: 40, Duration: 2,
+		KillRack: -1,
+	}.WithDefaults()
+	opt := SwarmOptions{
+		Command: []string{os.Args[0]},
+		Env:     []string{"WEBWAVE_NODE_MAIN=1"},
+		WorkDir: t.TempDir(),
+	}
+	rep, err := RunSwarm(sp, opt, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No kill: the monitors must report "never happened", not zero.
+	if rep.RepairSeconds != -1 || rep.ReabsorbSeconds != -1 {
+		t.Fatalf("kill monitors ran without a kill: repair %.2f reabsorb %.2f",
+			rep.RepairSeconds, rep.ReabsorbSeconds)
+	}
+	if len(rep.RackKilled) != 0 {
+		t.Fatalf("rack killed %v with KillRack -1", rep.RackKilled)
+	}
+	if rep.Availability < 0.99 {
+		t.Fatalf("availability %.4f with no failure injected", rep.Availability)
+	}
+}

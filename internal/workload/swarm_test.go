@@ -1,0 +1,117 @@
+package workload
+
+// Shape tests for the swarm topology builder and its restart scheduler —
+// pure tree math, no processes.
+
+import (
+	"testing"
+)
+
+func TestSwarmTreeShape(t *testing.T) {
+	sp := SwarmSpec{Seed: 7}.WithDefaults()
+	tr, err := SwarmTree(sp.Racks, sp.RackNodes, sp.RackDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tr.Len(), 1+sp.Racks*sp.RackNodes; got != want {
+		t.Fatalf("nodes %d, want %d (the headline swarm is 101 processes)", got, want)
+	}
+	if got, want := tr.Height(), sp.RackDepth+1; got != want {
+		t.Fatalf("height %d, want %d (root + %d-deep spine)", got, want, sp.RackDepth)
+	}
+	// Every rack is a contiguous id range whose members never attach
+	// outside the rack (except the head, which hangs off the root) — that
+	// contiguity is what makes a whole-rack kill a single id interval.
+	for r := 0; r < sp.Racks; r++ {
+		nodes := SwarmRackNodes(sp, r)
+		if len(nodes) != sp.RackNodes {
+			t.Fatalf("rack %d has %d nodes, want %d", r, len(nodes), sp.RackNodes)
+		}
+		base := nodes[0]
+		for i, v := range nodes {
+			if v != base+i {
+				t.Fatalf("rack %d not contiguous at index %d: %d", r, i, v)
+			}
+			parent := tr.Parent(v)
+			if i == 0 {
+				if parent != 0 {
+					t.Fatalf("rack %d head %d hangs off %d, want root", r, v, parent)
+				}
+				continue
+			}
+			if parent < base || parent >= base+sp.RackNodes {
+				t.Fatalf("rack %d node %d has out-of-rack parent %d", r, v, parent)
+			}
+			if parent >= v {
+				t.Fatalf("node %d's parent %d is not an earlier id — restart order would break", v, parent)
+			}
+		}
+	}
+}
+
+func TestSwarmTreeClampsShallowRacks(t *testing.T) {
+	// A rack shallower than its spine is clamped, not an error.
+	sp := SwarmSpec{Racks: 2, RackNodes: 3, RackDepth: 9}.WithDefaults()
+	if sp.RackDepth != 3 {
+		t.Fatalf("RackDepth %d, want clamped to RackNodes 3", sp.RackDepth)
+	}
+	tr, err := SwarmTree(sp.Racks, sp.RackNodes, sp.RackDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Height(); got != 3 {
+		t.Fatalf("height %d, want 3", got)
+	}
+}
+
+func TestSwarmSpecDefaultsScaleDetector(t *testing.T) {
+	big := SwarmSpec{}.WithDefaults() // 4×25 = 100 nodes
+	if big.HeartbeatMS != 200 {
+		t.Fatalf("big-swarm heartbeat %dms, want 200", big.HeartbeatMS)
+	}
+	small := SwarmSpec{Racks: 2, RackNodes: 8}.WithDefaults()
+	if small.HeartbeatMS != 50 {
+		t.Fatalf("small-swarm heartbeat %dms, want 50", small.HeartbeatMS)
+	}
+	if big.KillAt != big.Duration/3 || big.Downtime != big.Duration/4 {
+		t.Fatalf("kill schedule %v/%v not derived from duration %v", big.KillAt, big.Downtime, big.Duration)
+	}
+}
+
+func TestDepthWavesRestartOrder(t *testing.T) {
+	sp := SwarmSpec{Seed: 1}.WithDefaults()
+	tr, err := SwarmTree(sp.Racks, sp.RackNodes, sp.RackDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := SwarmRackNodes(sp, 2)
+	waves := depthWaves(tr, killed)
+
+	// Every killed node appears exactly once, and no node's parent sits in
+	// a later (or the same) wave — within-wave restarts run in parallel, so
+	// a same-wave parent would race its child's bring-up.
+	wave := map[int]int{}
+	total := 0
+	for w, nodes := range waves {
+		for _, v := range nodes {
+			wave[v] = w
+			total++
+		}
+	}
+	if total != len(killed) {
+		t.Fatalf("waves cover %d nodes, want %d", total, len(killed))
+	}
+	for _, v := range killed {
+		p := tr.Parent(v)
+		if pw, inKilled := wave[p]; inKilled && pw >= wave[v] {
+			t.Fatalf("node %d (wave %d) restarts no later than its parent %d (wave %d)", v, wave[v], p, pw)
+		}
+	}
+	// Waves are strictly shallowest-first.
+	for w := 1; w < len(waves); w++ {
+		if tr.Depth(waves[w][0]) <= tr.Depth(waves[w-1][0]) {
+			t.Fatalf("wave %d depth %d not deeper than wave %d depth %d",
+				w, tr.Depth(waves[w][0]), w-1, tr.Depth(waves[w-1][0]))
+		}
+	}
+}
