@@ -1,0 +1,75 @@
+package main
+
+// Gate tests for the hot-key scenario: the replication-forest thresholds
+// (scaling floor, Jain fairness ratio, promote/demote round trip) and the
+// spec pin against the committed baseline.
+
+import (
+	"testing"
+
+	"webwave/internal/workload"
+)
+
+func hotkeyReport(scaling, jainRatio float64) *workload.HotkeyReport {
+	sp := workload.HotkeySpec{Seed: 1}.WithDefaults()
+	run := func(k int, rps float64) workload.HotkeyRun {
+		r := workload.HotkeyRun{
+			K: k, Offered: 4000, Served: 3800, ThroughputRPS: rps, Jain: 0.9,
+			PromotedAtS: -1, DemotedAtS: -1,
+		}
+		if k > 1 {
+			r.Promotions, r.Demotions = 1, 1
+			r.PromotedAtS, r.DemotedAtS = 8, 30
+		}
+		return r
+	}
+	return &workload.HotkeyReport{
+		Schema: workload.HotkeySchema, Scenario: "hot-key", Spec: sp,
+		Runs:      []workload.HotkeyRun{run(1, 100), run(4, 100*scaling)},
+		ScalingX:  scaling,
+		JainRatio: jainRatio,
+	}
+}
+
+func TestHotkeyGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", hotkeyReport(2.6, 0.95))
+	rep := writeJSON(t, dir, "rep.json", hotkeyReport(2.6, 0.95))
+	if err := run([]string{"-hotkey-report", rep, "-hotkey-baseline", base}); err != nil {
+		t.Fatalf("gate failed on an in-band report: %v", err)
+	}
+}
+
+func TestHotkeyGateFailsBelowScalingFloor(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", hotkeyReport(2.6, 0.95))
+	rep := writeJSON(t, dir, "rep.json", hotkeyReport(1.2, 0.95))
+	if err := run([]string{"-hotkey-report", rep, "-hotkey-baseline", base,
+		"-min-scaling", "2.0"}); err == nil {
+		t.Fatal("gate accepted a forest that stopped scaling")
+	}
+}
+
+func TestHotkeyGateFailsWithoutRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", hotkeyReport(2.6, 0.95))
+	stuck := hotkeyReport(2.6, 0.95)
+	// The widest forest promoted but never demoted after the decay.
+	stuck.Runs[1].Demotions = 0
+	stuck.Runs[1].DemotedAtS = -1
+	rep := writeJSON(t, dir, "rep.json", stuck)
+	if err := run([]string{"-hotkey-report", rep, "-hotkey-baseline", base}); err == nil {
+		t.Fatal("gate accepted a promotion that never demoted")
+	}
+}
+
+func TestHotkeyGateRejectsMismatchedSpec(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", hotkeyReport(2.6, 0.95))
+	soft := hotkeyReport(2.6, 0.95)
+	soft.Spec.PeakFactor = 2 // quietly gentler flash
+	rep := writeJSON(t, dir, "rep.json", soft)
+	if err := run([]string{"-hotkey-report", rep, "-hotkey-baseline", base}); err == nil {
+		t.Fatal("gate compared different workloads")
+	}
+}

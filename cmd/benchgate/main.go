@@ -67,6 +67,15 @@
 //     (O(subtrees), not O(clients)) and upstream forwards per write at most
 //     -max-forward-fraction of the client count (no thundering herd).
 //
+//   - Session (-session-report/-session-baseline): the read-my-writes
+//     floor. The committed baseline pins the workload; the token arm must
+//     then answer every read with ZERO violations (the guarantee holds end
+//     to end) while the token-less arm of the identical schedule shows
+//     strictly positive violations — a zero there means the schedule went
+//     soft and stopped provoking the races the tokens exist to close, so
+//     the gate fails rather than vacuously passing. The token arm must also
+//     have exercised the server-side gate (session refreshes >= 1).
+//
 //   - Bigger-than-ram (-bigram-report/-bigram-baseline): the disk-tier
 //     floor. The committed baseline pins the workload (a corpus that fits in
 //     memory would gate nothing); two-tier's hit rate must stay within
@@ -95,6 +104,7 @@
 //	benchgate -bigram-report BENCH_bigram.json -bigram-baseline bench/BENCH_bigram_baseline.json [-max-twotier-regress 0.10] [-min-drop-ratio 2.0]
 //	benchgate -update-report BENCH_update.json -update-baseline bench/BENCH_update_baseline.json [-max-p99-staleness 0] [-max-hitrate-cost 0.10]
 //	benchgate -storm-report BENCH_storm.json -storm-baseline bench/BENCH_storm_baseline.json [-max-origin-factor 4.0] [-max-forward-fraction 0.5]
+//	benchgate -session-report BENCH_session.json -session-baseline bench/BENCH_session_baseline.json
 package main
 
 import (
@@ -149,6 +159,8 @@ func run(args []string) error {
 	stormBasePath := fs.String("storm-baseline", "", "committed invalidation-storm baseline JSON (pins the workload)")
 	maxOriginFactor := fs.Float64("max-origin-factor", 4.0, "storm: per-write origin fetches ceiling as a multiple of the subtree count")
 	maxForwardFraction := fs.Float64("max-forward-fraction", 0.5, "storm: per-write upstream forwards ceiling as a fraction of the client count")
+	sessionPath := fs.String("session-report", "", "session report JSON produced by this run")
+	sessionBasePath := fs.String("session-baseline", "", "committed session baseline JSON (pins the workload)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -306,8 +318,25 @@ func run(args []string) error {
 		}
 		ranAny = true
 	}
+	if *sessionPath != "" || *sessionBasePath != "" {
+		if *sessionPath == "" || *sessionBasePath == "" {
+			return fmt.Errorf("both -session-report and -session-baseline are required")
+		}
+		rep, err := loadSession(*sessionPath)
+		if err != nil {
+			return err
+		}
+		base, err := loadSession(*sessionBasePath)
+		if err != nil {
+			return err
+		}
+		if err := gateSession(rep, base, os.Stdout); err != nil {
+			return err
+		}
+		ranAny = true
+	}
 	if !ranAny {
-		return fmt.Errorf("nothing to gate: pass -report/-baseline, -scaling-report/-scaling-baseline, -chaos-report/-chaos-baseline, -hotkey-report/-hotkey-baseline, -restart-report/-restart-baseline, -bigram-report/-bigram-baseline, -update-report/-update-baseline, -storm-report/-storm-baseline and/or -swarm-report/-swarm-baseline")
+		return fmt.Errorf("nothing to gate: pass -report/-baseline, -scaling-report/-scaling-baseline, -chaos-report/-chaos-baseline, -hotkey-report/-hotkey-baseline, -restart-report/-restart-baseline, -bigram-report/-bigram-baseline, -update-report/-update-baseline, -storm-report/-storm-baseline, -session-report/-session-baseline and/or -swarm-report/-swarm-baseline")
 	}
 	return nil
 }
@@ -432,6 +461,64 @@ func gateStorm(rep, base *workload.StormReport, maxOriginFactor, maxForwardFract
 		rep.PerWriteForwards, rep.Spec.Clients, forwardCeiling)
 	if bad > 0 {
 		return fmt.Errorf("%d invalidation-storm gate violation(s)", bad)
+	}
+	return nil
+}
+
+func loadSession(path string) (*workload.SessionReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep := &workload.SessionReport{}
+	if err := json.NewDecoder(f).Decode(rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != workload.SessionSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, workload.SessionSchema)
+	}
+	return rep, nil
+}
+
+// gateSession applies the read-my-writes thresholds; every violation is
+// reported before the error returns so CI logs show the full picture.
+func gateSession(rep, base *workload.SessionReport, out *os.File) error {
+	// The baseline pins the workload: fewer rounds, fewer reads per write or
+	// a smaller catalog would soften the races the gate exists to measure.
+	if rep.Spec != base.Spec {
+		return fmt.Errorf("report spec %+v and baseline spec %+v are different workloads; regenerate the baseline",
+			rep.Spec, base.Spec)
+	}
+	bad := 0
+	check := func(ok bool, format string, args ...any) {
+		if ok {
+			fmt.Fprintf(out, "ok   "+format+"\n", args...)
+		} else {
+			fmt.Fprintf(out, "FAIL "+format+"\n", args...)
+			bad++
+		}
+	}
+	check(rep.WithTokens.Unanswered == 0 && rep.WithoutTokens.Unanswered == 0,
+		"unanswered reads: with tokens %d, without %d (every session read must be served)",
+		rep.WithTokens.Unanswered, rep.WithoutTokens.Unanswered)
+	check(rep.WithTokens.Writes >= 1 && rep.WithoutTokens.Writes >= 1,
+		"writes: with tokens %d, without %d (the schedule must actually write)",
+		rep.WithTokens.Writes, rep.WithoutTokens.Writes)
+	// The headline pair: the token arm must hold the guarantee absolutely,
+	// and the bare arm of the identical schedule must demonstrate the races
+	// the tokens close — otherwise the zero above proves nothing.
+	check(rep.WithTokens.Violations == 0,
+		"read-my-writes violations with tokens %d (the guarantee admits no exceptions)",
+		rep.WithTokens.Violations)
+	check(rep.WithoutTokens.Violations > 0,
+		"read-my-writes violations without tokens %d over %d rounds (the schedule must provoke the race)",
+		rep.WithoutTokens.Violations, rep.WithoutTokens.ViolationWindows)
+	check(rep.WithTokens.SessionRefreshes >= 1,
+		"session refreshes %d (the server-side gate must be exercised, not bypassed)",
+		rep.WithTokens.SessionRefreshes)
+	if bad > 0 {
+		return fmt.Errorf("%d session gate violation(s)", bad)
 	}
 	return nil
 }

@@ -1,0 +1,100 @@
+package main
+
+// Gate tests for the session scenario: the read-my-writes floor. The gated
+// shape is two-sided — zero violations with tokens AND a strictly positive
+// count without them — so both directions of softness fail.
+
+import (
+	"testing"
+
+	"webwave/internal/workload"
+)
+
+func sessionReport(withViolations, withoutViolations int64) *workload.SessionReport {
+	sp := workload.SessionSpec{Seed: 1}.WithDefaults()
+	pass := func(violations int64) workload.SessionPass {
+		return workload.SessionPass{
+			Reads: int64(sp.Rounds * sp.ReadsPerWrite), Writes: int64(sp.Rounds),
+			Responses:  int64(sp.Rounds * sp.ReadsPerWrite),
+			Violations: violations, ViolationWindows: min64(violations, int64(sp.Rounds)),
+			SessionRefreshes: 400, LeaseRefreshes: 60,
+		}
+	}
+	return &workload.SessionReport{
+		Schema: workload.SessionSchema, Scenario: "session", Spec: sp,
+		Nodes:            1 + sp.Subtrees*(1+sp.LeavesPer),
+		WithTokens:       pass(withViolations),
+		WithoutTokens:    pass(withoutViolations),
+		DiffusionPeriodS: 0.04,
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestSessionGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", sessionReport(0, 180))
+	rep := writeJSON(t, dir, "rep.json", sessionReport(0, 205))
+	if err := run([]string{"-session-report", rep, "-session-baseline", base}); err != nil {
+		t.Fatalf("gate failed on an in-band report: %v", err)
+	}
+}
+
+func TestSessionGateFailsOnTokenViolation(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", sessionReport(0, 180))
+	// Even a single violation with tokens on the wire breaks the guarantee.
+	rep := writeJSON(t, dir, "rep.json", sessionReport(1, 180))
+	if err := run([]string{"-session-report", rep, "-session-baseline", base}); err == nil {
+		t.Fatal("gate accepted a read-my-writes violation under tokens")
+	}
+}
+
+func TestSessionGateFailsOnSoftSchedule(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", sessionReport(0, 180))
+	// Zero violations WITHOUT tokens means the schedule stopped provoking
+	// the race — the token arm's zero proves nothing.
+	rep := writeJSON(t, dir, "rep.json", sessionReport(0, 0))
+	if err := run([]string{"-session-report", rep, "-session-baseline", base}); err == nil {
+		t.Fatal("gate accepted a schedule that provoked no races")
+	}
+}
+
+func TestSessionGateFailsOnUnexercisedGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", sessionReport(0, 180))
+	idle := sessionReport(0, 180)
+	idle.WithTokens.SessionRefreshes = 0
+	rep := writeJSON(t, dir, "rep.json", idle)
+	if err := run([]string{"-session-report", rep, "-session-baseline", base}); err == nil {
+		t.Fatal("gate accepted a run that never exercised the server-side gate")
+	}
+}
+
+func TestSessionGateFailsOnUnanswered(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", sessionReport(0, 180))
+	starved := sessionReport(0, 180)
+	starved.WithTokens.Unanswered = 2
+	rep := writeJSON(t, dir, "rep.json", starved)
+	if err := run([]string{"-session-report", rep, "-session-baseline", base}); err == nil {
+		t.Fatal("gate accepted unanswered session reads")
+	}
+}
+
+func TestSessionGateRejectsMismatchedSpec(t *testing.T) {
+	dir := t.TempDir()
+	soft := sessionReport(0, 180)
+	soft.Spec.Rounds = 5 // quietly shrunk schedule
+	rep := writeJSON(t, dir, "rep.json", soft)
+	base := writeJSON(t, dir, "base.json", sessionReport(0, 180))
+	if err := run([]string{"-session-report", rep, "-session-baseline", base}); err == nil {
+		t.Fatal("gate compared different workloads")
+	}
+}

@@ -22,6 +22,7 @@
 //	webwave-bench -scenario hot-key -ks 1,3 -json BENCH_hotkey.json
 //	webwave-bench -scenario update-heavy -write-fraction 0.1 -json BENCH_update.json
 //	webwave-bench -scenario invalidation-storm -k 2 -writes 8 -json BENCH_storm.json
+//	webwave-bench -scenario session -rounds 40 -json BENCH_session.json
 //
 // hot-key is special but deterministic: a seeded capacity model of the
 // replication forest (one document's flash crowd against k=1 vs k=3 trees,
@@ -34,7 +35,10 @@
 // percentiles plus the hit-rate cost of mutability; invalidation-storm
 // promotes one hot document, then repeatedly invalidates it and storms the
 // leaves, measuring how far the subtree leases collapse per-write origin
-// fetches below one-per-client.
+// fetches below one-per-client. session replays a seeded
+// write-then-read-elsewhere schedule twice — session token riding the wire,
+// then stripped — and reports read-my-writes violations per arm: the gated
+// shape is zero with tokens and strictly positive without.
 //
 // Three scenarios are special, wall-clock (NOT deterministic) measurements
 // of the live serving stack: wire-throughput drives the same pressure once
@@ -94,8 +98,11 @@ func run(args []string) error {
 	ks := fs.String("ks", "", "hot-key: comma-separated forest widths to sweep (default 1,3)")
 	writeFraction := fs.Float64("write-fraction", 0, "update-heavy: fraction of the schedule that becomes republish writes (0 = default 0.10)")
 	writes := fs.Int("writes", 0, "invalidation-storm: write rounds (0 = default 8)")
-	subtrees := fs.Int("subtrees", 0, "invalidation-storm: interior subtrees under the origin (0 = default 3)")
-	leavesPer := fs.Int("leaves-per", 0, "invalidation-storm: leaves per subtree (0 = default 4)")
+	subtrees := fs.Int("subtrees", 0, "invalidation-storm/session: interior subtrees under the origin (0 = default 3)")
+	leavesPer := fs.Int("leaves-per", 0, "invalidation-storm/session: leaves per subtree (0 = default 4)")
+	sessionDocs := fs.Int("docs", 0, "session: catalog size (0 = default 4)")
+	rounds := fs.Int("rounds", 0, "session: write-then-read rounds per pass (0 = default 40)")
+	readsPerWrite := fs.Int("reads-per-write", 0, "session: reads injected per round (0 = default 6)")
 	kWidth := fs.Int("k", 0, "invalidation-storm: replication-forest width for the hot doc (0 = default 2, 1 disables)")
 	settleMS := fs.Int("settle-ms", 0, "invalidation-storm: write-to-burst settle, milliseconds (0 = default 25)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile covering the run to this file")
@@ -157,6 +164,8 @@ func run(args []string) error {
 			"update-heavy")
 		fmt.Printf("%-18s live forest, repeated invalidate + leaf read storm: per-write origin fetches vs clients (lease collapse)\n",
 			"invalidation-storm")
+		fmt.Printf("%-14s live star, seeded write-then-read-elsewhere schedule twice (token on/off): read-my-writes violations\n",
+			"session")
 		return nil
 	}
 
@@ -225,6 +234,13 @@ func run(args []string) error {
 		return runStorm(workload.StormSpec{
 			Seed: *seed, Subtrees: *subtrees, LeavesPer: *leavesPer,
 			Clients: cl, Writes: *writes, K: *kWidth, SettleMS: *settleMS,
+		}, *jsonPath)
+	}
+
+	if *scenario == "session" {
+		return runSession(workload.SessionSpec{
+			Seed: *seed, Subtrees: *subtrees, LeavesPer: *leavesPer,
+			Docs: *sessionDocs, Rounds: *rounds, ReadsPerWrite: *readsPerWrite,
 		}, *jsonPath)
 	}
 

@@ -45,6 +45,22 @@ func runStorm(sp workload.StormSpec, jsonPath string) error {
 	return writeReportJSON(rep, jsonPath)
 }
 
+func runSession(sp workload.SessionSpec, jsonPath string) error {
+	sp = sp.WithDefaults()
+	fmt.Printf("scenario session: %d subtrees x %d leaves, %d docs, %d rounds x %d reads\n",
+		sp.Subtrees, sp.LeavesPer, sp.Docs, sp.Rounds, sp.ReadsPerWrite)
+	rep, err := workload.RunSession(sp, func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  violations: %d with tokens, %d without (over %d/%d rounds), %d session refreshes\n",
+		rep.WithTokens.Violations, rep.WithoutTokens.Violations,
+		rep.WithoutTokens.ViolationWindows, sp.Rounds, rep.WithTokens.SessionRefreshes)
+	return writeReportJSON(rep, jsonPath)
+}
+
 func writeReportJSON(rep any, jsonPath string) error {
 	if jsonPath == "" {
 		return nil

@@ -8,10 +8,17 @@
 // request climbed before stumbling on a copy. Hammer a hot document and
 // watch Served-By migrate down the tree as WebWave delegates copies.
 //
+// Documents are writable: PUT /docs/<name> republishes a new version into
+// the tree and returns an X-WebWave-Session token; presenting that token on
+// later GETs (any entry node) guarantees read-my-writes — a node holding an
+// older copy bypasses it and refreshes through the tree.
+//
 // Usage:
 //
 //	webwave-http -listen 127.0.0.1:8080 -nodes 15 -docs 8
 //	curl -i http://127.0.0.1:8080/docs/doc-0
+//	curl -i -X PUT --data-binary 'new body' http://127.0.0.1:8080/docs/doc-0
+//	curl -i -H 'X-WebWave-Session: doc-0=1' http://127.0.0.1:8080/docs/doc-0
 package main
 
 import (
@@ -36,6 +43,57 @@ func main() {
 	}
 }
 
+// service is the assembled document service: a live in-process tree behind
+// the HTTP gateway. Split from run so tests can drive the handler through
+// httptest without flags, sockets, or signal handling.
+type service struct {
+	c      *cluster.Cluster
+	gw     *gateway.Gateway
+	tree   *tree.Tree
+	leaves []int
+}
+
+// Handler is the HTTP surface tests and the real server both mount.
+func (s *service) Handler() http.Handler { return s.gw }
+
+func (s *service) Close() {
+	s.gw.Close()
+	s.c.Stop()
+}
+
+// buildService starts the tree and fronts it with a gateway whose entry
+// points are the tree's leaves.
+func buildService(nodes, nDocs int, seed int64, tunneling bool) (*service, error) {
+	t, err := tree.Random(nodes, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	docs := make(map[core.DocID][]byte, nDocs)
+	for i := 0; i < nDocs; i++ {
+		id := core.DocID(fmt.Sprintf("doc-%d", i))
+		docs[id] = []byte(fmt.Sprintf("WebWave document %q served off a %d-node tree\n", id, nodes))
+	}
+
+	c, err := cluster.New(t, docs, cluster.Config{
+		GossipPeriod:    50 * time.Millisecond,
+		DiffusionPeriod: 100 * time.Millisecond,
+		Window:          time.Second,
+		Tunneling:       tunneling,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var leaves []int
+	for v := 0; v < t.Len(); v++ {
+		if t.NumChildren(v) == 0 {
+			leaves = append(leaves, v)
+		}
+	}
+	gw := gateway.New(c, gateway.Config{Origin: gateway.HashOrigin(leaves)})
+	return &service{c: c, gw: gw, tree: t, leaves: leaves}, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("webwave-http", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:8080", "HTTP listen address")
@@ -47,46 +105,22 @@ func run(args []string) error {
 		return err
 	}
 
-	t, err := tree.Random(*nodes, rand.New(rand.NewSource(*seed)))
+	svc, err := buildService(*nodes, *nDocs, *seed, *tunneling)
 	if err != nil {
 		return err
 	}
-	docs := make(map[core.DocID][]byte, *nDocs)
-	for i := 0; i < *nDocs; i++ {
-		id := core.DocID(fmt.Sprintf("doc-%d", i))
-		docs[id] = []byte(fmt.Sprintf("WebWave document %q served off a %d-node tree\n", id, *nodes))
-	}
-
-	c, err := cluster.New(t, docs, cluster.Config{
-		GossipPeriod:    50 * time.Millisecond,
-		DiffusionPeriod: 100 * time.Millisecond,
-		Window:          time.Second,
-		Tunneling:       *tunneling,
-	})
-	if err != nil {
-		return err
-	}
-	defer c.Stop()
-
-	var leaves []int
-	for v := 0; v < t.Len(); v++ {
-		if t.NumChildren(v) == 0 {
-			leaves = append(leaves, v)
-		}
-	}
-	gw := gateway.New(c, gateway.Config{Origin: gateway.HashOrigin(leaves)})
-	defer gw.Close()
+	defer svc.Close()
 
 	srv := &http.Server{
 		Addr:              *listen,
-		Handler:           gw,
+		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 
 	fmt.Printf("webwave-http: %d-node tree, %d documents, entry at %d leaves\n",
-		t.Len(), len(docs), len(leaves))
+		svc.tree.Len(), *nDocs, len(svc.leaves))
 	fmt.Printf("webwave-http: serving on http://%s/docs/doc-0\n", *listen)
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"webwave/internal/gateway"
+)
+
+func startService(t *testing.T) (*service, *httptest.Server) {
+	t.Helper()
+	svc, err := buildService(7, 4, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return svc, srv
+}
+
+// TestServeDocAndCacheHit smokes the read path: a published document comes
+// back with the protocol headers, and a repeat of the same request is
+// served again (a cache hit somewhere in the tree — same body, a live
+// Served-By either way).
+func TestServeDocAndCacheHit(t *testing.T) {
+	_, srv := startService(t)
+	var firstBody string
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(srv.URL + "/docs/doc-0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %d: status %d", i, resp.StatusCode)
+		}
+		if resp.Header.Get("X-WebWave-Served-By") == "" {
+			t.Fatalf("GET %d: missing X-WebWave-Served-By", i)
+		}
+		if i == 0 {
+			firstBody = string(body)
+			continue
+		}
+		if string(body) != firstBody {
+			t.Fatalf("repeat GET body %q, want %q", body, firstBody)
+		}
+	}
+}
+
+// TestSessionHeaderReadMyWrites exercises the new session flow end to end
+// through the command's own service assembly: PUT returns a session token,
+// and a GET presenting it must serve at least the written version.
+func TestSessionHeaderReadMyWrites(t *testing.T) {
+	_, srv := startService(t)
+	put, err := http.NewRequest(http.MethodPut, srv.URL+"/docs/doc-1", bytes.NewReader([]byte("rewritten")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT status %d, want %d", resp.StatusCode, http.StatusNoContent)
+	}
+	token := resp.Header.Get(gateway.SessionHeader)
+	if token != "doc-1=1" {
+		t.Fatalf("session token %q, want %q", token, "doc-1=1")
+	}
+
+	get, err := http.NewRequest(http.MethodGet, srv.URL+"/docs/doc-1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Header.Set(gateway.SessionHeader, token)
+	resp, err = http.DefaultClient.Do(get)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session GET status %d", resp.StatusCode)
+	}
+	if string(body) != "rewritten" {
+		t.Fatalf("session GET body %q, want the written body", body)
+	}
+	if got := resp.Header.Get(gateway.DocVersionHeader); got != "1" {
+		t.Fatalf("session GET version %q, want 1", got)
+	}
+}
+
+// TestRunErrors covers the command's own failure surface without binding a
+// real port: a bad flag fails the parse, a zero-node tree fails assembly,
+// and an unlistenable address surfaces the server error.
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-nodes", "0"}); err == nil {
+		t.Error("zero-node tree accepted")
+	}
+	if err := run([]string{"-nodes", "3", "-docs", "1", "-listen", "127.0.0.1:99999"}); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}
+
+// TestErrorPaths covers the failure surface: a missing document name is a
+// 400, an unpublished document a 404, and an unsupported method a 405.
+func TestErrorPaths(t *testing.T) {
+	_, srv := startService(t)
+	cases := []struct {
+		method, path string
+		want         int
+	}{
+		{http.MethodGet, "/docs/", http.StatusBadRequest},
+		{http.MethodGet, "/docs/no-such-doc", http.StatusNotFound},
+		{http.MethodGet, "/other/doc-0", http.StatusNotFound},
+		{http.MethodDelete, "/docs/doc-0", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", tc.method, tc.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}

@@ -118,8 +118,15 @@ type Cluster struct {
 	totalHops   atomic.Int64
 	servedByMu  sync.Mutex
 	servedBy    map[int]int64
-	sentAt      map[pendingKey]time.Time
+	sentAt      map[pendingKey]sentInfo
 	latencies   []float64 // seconds, one per answered request
+
+	// rmwViolations counts read-my-writes violations: responses that
+	// carried an older version than the injecting session had already
+	// written (session.go). The detector runs on every session read whether
+	// or not the token rode the wire, so the token-less arm of the session
+	// scenario measures the violation rate the tokens eliminate.
+	rmwViolations atomic.Int64
 
 	// Mutable-document write log (update.go): the latest version assigned
 	// per document, when each version was written, and the staleness age of
@@ -134,6 +141,14 @@ type Cluster struct {
 type pendingKey struct {
 	origin int
 	reqID  uint64
+}
+
+// sentInfo is one in-flight request's accounting record: when it was
+// injected, and — for session reads — the version the session expects the
+// response to be at or beyond (0 for version-oblivious reads).
+type sentInfo struct {
+	at     time.Time
+	expect uint64
 }
 
 // New starts one server per tree node (parents before children, so child
@@ -158,7 +173,7 @@ func New(t *tree.Tree, docs map[core.DocID][]byte, cfg Config) (*Cluster, error)
 		injectConns: make([]transport.Conn, t.Len()),
 		reqSeq:      make([]uint64, t.Len()),
 		servedBy:    make(map[int]int64),
-		sentAt:      make(map[pendingKey]time.Time),
+		sentAt:      make(map[pendingKey]sentInfo),
 		docVers:     make(map[core.DocID]uint64),
 		writeAt:     make(map[core.DocID][]time.Time),
 	}
@@ -259,7 +274,10 @@ func (c *Cluster) collect(conn transport.Conn) {
 		c.servedBy[env.ServedBy]++
 		if sent, ok := c.sentAt[key]; ok {
 			delete(c.sentAt, key)
-			c.latencies = append(c.latencies, now.Sub(sent).Seconds())
+			c.latencies = append(c.latencies, now.Sub(sent.at).Seconds())
+			if isRMWViolation(sent.expect, env.DocVersion, env.NotFound) {
+				c.rmwViolations.Add(1)
+			}
 		}
 		c.servedByMu.Unlock()
 		c.noteServedVersion(env, now)
@@ -271,6 +289,13 @@ func (c *Cluster) collect(conn transport.Conn) {
 // failed send (the origin node is down) rolls its accounting back, so Drain
 // still converges on the requests that actually entered the tree.
 func (c *Cluster) Inject(origin int, doc core.DocID) error {
+	return c.inject(origin, doc, 0, 0)
+}
+
+// inject is the shared injection path: expect is the version the session
+// expects back (violation accounting only), minVer what rides the wire as
+// the request's MinVersion (0 = no token).
+func (c *Cluster) inject(origin int, doc core.DocID, expect, minVer uint64) error {
 	if origin < 0 || origin >= c.t.Len() {
 		return fmt.Errorf("cluster: origin %d out of range", origin)
 	}
@@ -281,12 +306,12 @@ func (c *Cluster) Inject(origin int, doc core.DocID) error {
 	c.injectMu.Unlock()
 	key := pendingKey{origin: origin, reqID: seq}
 	c.servedByMu.Lock()
-	c.sentAt[key] = time.Now()
+	c.sentAt[key] = sentInfo{at: time.Now(), expect: expect}
 	c.servedByMu.Unlock()
 	c.outstanding.Add(1)
 	err := conn.Send(&netproto.Envelope{
 		Kind: netproto.TypeRequest, From: -1, To: origin,
-		Origin: origin, ReqID: seq, Doc: doc,
+		Origin: origin, ReqID: seq, Doc: doc, MinVersion: minVer,
 	})
 	if err != nil {
 		c.outstanding.Add(-1)

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"webwave/internal/core"
+	"webwave/internal/tree"
+)
+
+// TestIsRMWViolation pins the violation predicate deterministically: a
+// stale serve after a session write must count, an equal-or-newer serve
+// must not, and reads outside any session (expect 0) never count.
+func TestIsRMWViolation(t *testing.T) {
+	cases := []struct {
+		name     string
+		expect   uint64
+		served   uint64
+		notFound bool
+		want     bool
+	}{
+		{name: "stale serve after session write", expect: 3, served: 2, want: true},
+		{name: "serve of the never-written version after a write", expect: 1, served: 0, want: true},
+		{name: "equal-version serve", expect: 3, served: 3, want: false},
+		{name: "newer-version serve", expect: 3, served: 5, want: false},
+		{name: "no session expectation", expect: 0, served: 0, want: false},
+		{name: "no session expectation, versioned serve", expect: 0, served: 7, want: false},
+		{name: "not-found carries no copy", expect: 3, served: 0, notFound: true, want: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := isRMWViolation(tc.expect, tc.served, tc.notFound); got != tc.want {
+				t.Errorf("isRMWViolation(%d, %d, %v) = %v, want %v",
+					tc.expect, tc.served, tc.notFound, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSessionTokenRatchet checks the token only moves forward and degrades
+// safely when nil (a token-less session).
+func TestSessionTokenRatchet(t *testing.T) {
+	tok := NewSessionToken()
+	if got := tok.MinVersion("d"); got != 0 {
+		t.Fatalf("fresh token floor = %d, want 0", got)
+	}
+	tok.Observe("d", 4)
+	tok.Observe("d", 2) // older write observation must not lower the floor
+	if got := tok.MinVersion("d"); got != 4 {
+		t.Fatalf("floor after observe(4), observe(2) = %d, want 4", got)
+	}
+	tok.Observe("e", 1)
+	if got, gotE := tok.MinVersion("d"), tok.MinVersion("e"); got != 4 || gotE != 1 {
+		t.Fatalf("per-doc floors = %d/%d, want 4/1", got, gotE)
+	}
+	var nilTok *SessionToken
+	nilTok.Observe("d", 9) // must not panic
+	if got := nilTok.MinVersion("d"); got != 0 {
+		t.Fatalf("nil token floor = %d, want 0", got)
+	}
+}
+
+// TestSessionReadMyWrites runs the guarantee end to end on a live two-node
+// tree: a leaf-cached copy goes stale the instant the session writes, and a
+// tokened read injected at the leaf immediately after must come back at the
+// written version (zero violations), with the server recording the session
+// refresh that bypassed the stale copy.
+func TestSessionReadMyWrites(t *testing.T) {
+	tr := tree.MustFromParents([]int{tree.NoParent, 0})
+	c, err := New(tr, map[core.DocID][]byte{"d": []byte("v0")}, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	warmCopy(t, c, 1, "d")
+
+	tok := NewSessionToken()
+	for i := 1; i <= 5; i++ {
+		ver, err := c.RepublishSession("d", []byte(fmt.Sprintf("v%d", i)), tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ver != uint64(i) || tok.MinVersion("d") != uint64(i) {
+			t.Fatalf("write %d assigned version %d, token floor %d", i, ver, tok.MinVersion("d"))
+		}
+		// Read through the other edge immediately — the write is still
+		// diffusing, so without the token this is exactly the stale window.
+		if err := c.InjectSession(1, "d", tok, true); err != nil {
+			t.Fatal(err)
+		}
+		if left := c.Drain(5 * time.Second); left != 0 {
+			t.Fatalf("write %d: %d session reads unanswered", i, left)
+		}
+	}
+	if v := c.RMWViolations(); v != 0 {
+		t.Fatalf("%d read-my-writes violations with tokens, want 0", v)
+	}
+	sts, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refreshes int64
+	for _, st := range sts {
+		if st != nil {
+			refreshes += st.SessionRefreshes
+		}
+	}
+	if refreshes == 0 {
+		t.Fatal("no session refreshes recorded: the token never gated a stale copy")
+	}
+}

@@ -261,8 +261,10 @@ func (oc *originConn) collect() {
 	}
 }
 
-// fetch injects one request at origin and waits for the response.
-func (g *Gateway) fetch(origin int, doc core.DocID, timeout time.Duration) (*netproto.Envelope, error) {
+// fetch injects one request at origin and waits for the response. minVer
+// is the session's version floor for doc (0 = any): it rides the request,
+// so nodes holding an older copy bypass it instead of serving it.
+func (g *Gateway) fetch(origin int, doc core.DocID, minVer uint64, timeout time.Duration) (*netproto.Envelope, error) {
 	oc, err := g.originConnFor(origin)
 	if err != nil {
 		return nil, err
@@ -279,7 +281,7 @@ func (g *Gateway) fetch(origin int, doc core.DocID, timeout time.Duration) (*net
 
 	err = oc.conn.Send(&netproto.Envelope{
 		Kind: netproto.TypeRequest, From: -1, To: origin,
-		Origin: origin, ReqID: id, Doc: doc,
+		Origin: origin, ReqID: id, Doc: doc, MinVersion: minVer,
 	})
 	if err != nil {
 		oc.mu.Lock()
@@ -306,8 +308,8 @@ func (g *Gateway) fetch(origin int, doc core.DocID, timeout time.Duration) (*net
 
 // ServeHTTP implements http.Handler.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		w.Header().Set("Allow", "GET, HEAD")
+	if r.Method != http.MethodGet && r.Method != http.MethodHead && r.Method != http.MethodPut {
+		w.Header().Set("Allow", "GET, HEAD, PUT")
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
@@ -320,6 +322,15 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing document name", http.StatusBadRequest)
 		return
 	}
+	if r.Method == http.MethodPut {
+		g.handlePut(w, r, core.DocID(name))
+		return
+	}
+	// The session header's floor for this document (0 without one) rides
+	// the request: any node holding an older copy bypasses it, so a client
+	// that threads the header returned by its PUT through this GET reads
+	// its own write through any edge.
+	minVer := ParseSession(r.Header.Get(SessionHeader))[core.DocID(name)]
 
 	origin := g.cfg.Origin(r)
 	// A promoted document overrides the picker: enter at the less loaded
@@ -329,7 +340,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		origin = ro
 	}
 	start := time.Now()
-	env, err := g.fetch(origin, core.DocID(name), g.cfg.Timeout)
+	env, err := g.fetch(origin, core.DocID(name), minVer, g.cfg.Timeout)
 	if env != nil {
 		defer netproto.PutEnvelope(env) // recycled once the body is written
 	}
@@ -359,6 +370,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-WebWave-Served-By", strconv.Itoa(env.ServedBy))
 	w.Header().Set("X-WebWave-Hops", strconv.Itoa(env.Hops))
 	w.Header().Set("X-WebWave-Origin", strconv.Itoa(origin))
+	w.Header().Set(DocVersionHeader, strconv.FormatUint(env.DocVersion, 10))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(env.Body)))
 	if r.Method == http.MethodHead {

@@ -1,0 +1,128 @@
+// Read-my-writes sessions over HTTP. A client that writes through the
+// gateway gets back a session header naming the version its write was
+// assigned; presenting that header on later reads makes the tree bypass
+// any copy older than the session has seen (the envelope's MinVersion).
+// The header is the session token — the gateway keeps no per-client state,
+// so any replica of the edge can honor a token any other replica minted.
+
+package gateway
+
+import (
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"webwave/internal/core"
+)
+
+const (
+	// SessionHeader carries a session's version floors as
+	// "doc=ver[,doc=ver...]". Sent by clients on reads, returned (merged)
+	// by the gateway on writes.
+	SessionHeader = "X-WebWave-Session"
+	// DocVersionHeader reports the version of the copy that answered (on
+	// reads) or the version a write was assigned (on writes).
+	DocVersionHeader = "X-WebWave-Doc-Version"
+)
+
+// maxWriteBody bounds a PUT body read; larger writes are refused before
+// they buffer.
+const maxWriteBody = 8 << 20
+
+// Publisher is the write slice of a backend: injecting a versioned
+// republish at a document's origin. Implemented by *cluster.Cluster.
+// Gateways whose backend does not implement it refuse writes with 405.
+type Publisher interface {
+	Republish(doc core.DocID, body []byte) (uint64, error)
+}
+
+// ParseSession decodes a session header value into per-document version
+// floors. Malformed pairs are skipped — a damaged token degrades to weaker
+// freshness, never to an error.
+func ParseSession(h string) map[core.DocID]uint64 {
+	if h == "" {
+		return nil
+	}
+	var m map[core.DocID]uint64
+	for _, pair := range strings.Split(h, ",") {
+		eq := strings.LastIndexByte(pair, '=')
+		if eq <= 0 {
+			continue
+		}
+		doc := strings.TrimSpace(pair[:eq])
+		ver, err := strconv.ParseUint(strings.TrimSpace(pair[eq+1:]), 10, 64)
+		if err != nil || doc == "" || ver == 0 {
+			continue
+		}
+		if m == nil {
+			m = make(map[core.DocID]uint64, 4)
+		}
+		if ver > m[core.DocID(doc)] {
+			m[core.DocID(doc)] = ver
+		}
+	}
+	return m
+}
+
+// FormatSession encodes version floors as a session header value, sorted by
+// document id so equal sessions serialize identically.
+func FormatSession(m map[core.DocID]uint64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	docs := make([]string, 0, len(m))
+	for d := range m {
+		docs = append(docs, string(d))
+	}
+	sort.Strings(docs)
+	var b strings.Builder
+	for i, d := range docs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(d)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatUint(m[core.DocID(d)], 10))
+	}
+	return b.String()
+}
+
+// handlePut publishes a new document version through the backend and
+// returns the updated session token: the request's incoming floors merged
+// with the version this write was assigned. A client that threads the
+// returned header through its next read gets read-my-writes across any
+// edge.
+func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request, doc core.DocID) {
+	pub, ok := g.backend.(Publisher)
+	if !ok {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "backend does not accept writes", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxWriteBody+1))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxWriteBody {
+		http.Error(w, "document body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	ver, err := pub.Republish(doc, body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	sess := ParseSession(r.Header.Get(SessionHeader))
+	if sess == nil {
+		sess = make(map[core.DocID]uint64, 1)
+	}
+	if ver > sess[doc] {
+		sess[doc] = ver
+	}
+	w.Header().Set(SessionHeader, FormatSession(sess))
+	w.Header().Set(DocVersionHeader, strconv.FormatUint(ver, 10))
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,109 @@
+package gateway
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"webwave/internal/core"
+)
+
+func TestParseFormatSession(t *testing.T) {
+	cases := []struct {
+		in   string
+		want map[core.DocID]uint64
+	}{
+		{"", nil},
+		{"a=3", map[core.DocID]uint64{"a": 3}},
+		{"a=3,b=7", map[core.DocID]uint64{"a": 3, "b": 7}},
+		{" a = 3 , b = 7 ", map[core.DocID]uint64{"a": 3, "b": 7}},
+		// Duplicates keep the highest floor; malformed pairs and zero
+		// versions are skipped, not fatal.
+		{"a=3,a=5,a=4", map[core.DocID]uint64{"a": 5}},
+		{"junk,=4,a=,a=x,b=0,c=2", map[core.DocID]uint64{"c": 2}},
+		// Document ids may themselves contain '=' — the last one splits.
+		{"k=v=9", map[core.DocID]uint64{"k=v": 9}},
+	}
+	for _, tc := range cases {
+		got := ParseSession(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("ParseSession(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for d, v := range tc.want {
+			if got[d] != v {
+				t.Errorf("ParseSession(%q)[%q] = %d, want %d", tc.in, d, got[d], v)
+			}
+		}
+	}
+	// Round trip: format is sorted and re-parses to the same floors.
+	m := map[core.DocID]uint64{"b": 2, "a": 9}
+	if got := FormatSession(m); got != "a=9,b=2" {
+		t.Errorf("FormatSession = %q, want %q", got, "a=9,b=2")
+	}
+	back := ParseSession(FormatSession(m))
+	if back["a"] != 9 || back["b"] != 2 || len(back) != 2 {
+		t.Errorf("round trip = %v, want %v", back, m)
+	}
+	if FormatSession(nil) != "" {
+		t.Error("FormatSession(nil) must be empty")
+	}
+}
+
+// TestGatewaySessionWriteThenRead drives the full HTTP session flow: PUT a
+// new version through the gateway, thread the returned session header into
+// an immediate GET at a different entry node, and require the response to
+// carry at least the written version — read-my-writes across edges.
+func TestGatewaySessionWriteThenRead(t *testing.T) {
+	c := startCluster(t, map[core.DocID][]byte{"d": []byte("v0")})
+	gw := New(c, Config{Origin: FixedOrigin(2)})
+	defer gw.Close()
+	srv := httptest.NewServer(gw)
+	defer srv.Close()
+
+	put, err := http.NewRequest(http.MethodPut, srv.URL+"/docs/d", bytes.NewReader([]byte("v1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT status %d, want %d", resp.StatusCode, http.StatusNoContent)
+	}
+	sess := resp.Header.Get(SessionHeader)
+	if sess != "d=1" {
+		t.Fatalf("PUT session header %q, want %q", sess, "d=1")
+	}
+	if resp.Header.Get(DocVersionHeader) != "1" {
+		t.Fatalf("PUT version header %q, want 1", resp.Header.Get(DocVersionHeader))
+	}
+
+	get, err := http.NewRequest(http.MethodGet, srv.URL+"/docs/d", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Header.Set(SessionHeader, sess)
+	resp, err = http.DefaultClient.Do(get)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status %d", resp.StatusCode)
+	}
+	if string(body) != "v1" {
+		t.Fatalf("session GET body %q, want the written %q", body, "v1")
+	}
+	if got := resp.Header.Get(DocVersionHeader); got != "1" {
+		t.Fatalf("session GET version %q, want 1", got)
+	}
+}

@@ -119,6 +119,7 @@ func AppendEnvelopeV2(dst []byte, env *Envelope) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, env.ReqID)
 		dst = binary.AppendUvarint(dst, uint64(env.Hops))
 		dst = appendString(dst, string(env.Doc))
+		dst = binary.AppendUvarint(dst, env.MinVersion)
 	case TypeResponse:
 		dst = binary.AppendVarint(dst, int64(env.Origin))
 		dst = binary.AppendUvarint(dst, env.ReqID)
@@ -139,6 +140,14 @@ func AppendEnvelopeV2(dst []byte, env *Envelope) ([]byte, error) {
 		dst = appendFloat(dst, env.Rate)
 		dst = appendBytes(dst, env.Body)
 		dst = binary.AppendUvarint(dst, env.DocVersion)
+		if env.Kind == TypeTunnelFetch {
+			// MinVersion trails the shared delegate-family layout on
+			// tunnel_fetch only — the one family member that carries a
+			// session's version floor across a barrier. The decoder demands
+			// it, so both sides change together (same discipline as the
+			// trailing DocVersion).
+			dst = binary.AppendUvarint(dst, env.MinVersion)
+		}
 	case TypeStatsQuery, TypeShutdown, TypePing, TypePong:
 		// Header only.
 	case TypeStatsReply:
@@ -217,6 +226,7 @@ func DecodeEnvelopeV2(env *Envelope, payload []byte, in *DocInterner) error {
 		env.ReqID = r.uvarint()
 		env.Hops = int(r.uvarint())
 		env.Doc = in.Intern(r.bytes())
+		env.MinVersion = r.uvarint()
 	case TypeResponse:
 		env.Origin = int(r.varint())
 		env.ReqID = r.uvarint()
@@ -237,6 +247,9 @@ func DecodeEnvelopeV2(env *Envelope, payload []byte, in *DocInterner) error {
 			env.Body = append(body, b...)
 		}
 		env.DocVersion = r.uvarint()
+		if env.Kind == TypeTunnelFetch {
+			env.MinVersion = r.uvarint()
+		}
 	case TypeStatsQuery, TypeShutdown, TypePing, TypePong:
 		// Header only.
 	case TypeStatsReply:

@@ -21,9 +21,11 @@ func allKindEnvelopes() []*Envelope {
 		{Kind: TypeShed, From: 5, To: 1, Doc: "d", Rate: 7},
 		{Kind: TypeEvict, From: 5, To: 1, Seq: 11, Doc: "d", Rate: 3.5},
 		{Kind: TypeRequest, From: -1, To: 4, Origin: 4, ReqID: 99, Hops: 2, Doc: "d"},
+		{Kind: TypeRequest, From: -1, To: 4, Origin: 4, ReqID: 102, Hops: 1, Doc: "d", MinVersion: 5},
 		{Kind: TypeResponse, From: 2, To: 4, Origin: 4, ReqID: 99, ServedBy: 2, Hops: 3, Doc: "d", Body: []byte("b")},
 		{Kind: TypeResponse, From: 2, To: 4, Origin: 4, ReqID: 100, ServedBy: 0, NotFound: true, Doc: "missing"},
 		{Kind: TypeTunnelFetch, From: 6, Doc: "d3"},
+		{Kind: TypeTunnelFetch, From: 6, Doc: "d3", MinVersion: 9},
 		{Kind: TypeTunnelReply, From: 0, To: 6, Doc: "d3", Body: []byte("b")},
 		{Kind: TypeStatsQuery, From: -1, To: 1},
 		{Kind: TypeStatsReply, From: 1, Stats: &Stats{

@@ -3,7 +3,13 @@ package netproto
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
+	"math"
+	"reflect"
 	"testing"
+	"unicode/utf8"
+
+	"webwave/internal/core"
 )
 
 // FuzzReadFrame feeds arbitrary bytes to the frame decoder: it must never
@@ -36,6 +42,25 @@ func FuzzReadFrame(f *testing.F) {
 	corrupt := append([]byte(nil), binFrame...)
 	corrupt[5] = 0xEE // kind code byte
 	f.Add(corrupt)
+	// Session-token seeds: MinVersion-bearing request and tunnel_fetch
+	// frames in both codecs (the trailing-uvarint layouts).
+	for _, env := range []*Envelope{
+		{Kind: TypeRequest, From: -1, To: 3, Origin: 3, ReqID: 8, Doc: "d", MinVersion: 42},
+		{Kind: TypeTunnelFetch, From: 6, To: 0, Doc: "d", MinVersion: 7},
+	} {
+		var jsonFrame bytes.Buffer
+		e := *env
+		if err := WriteFrame(&jsonFrame, &e); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(jsonFrame.Bytes())
+		v2Frame, err := AppendFrameV2(nil, env)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(v2Frame)
+		f.Add(v2Frame[:len(v2Frame)-1]) // trailing MinVersion truncated away
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		env, err := ReadFrame(bytes.NewReader(data))
@@ -64,5 +89,75 @@ func FuzzReadFrame(f *testing.F) {
 			t.Fatalf("ReadFrame err=%v but ReadInto err=%v", err, ierr)
 		}
 		PutEnvelope(into)
+	})
+}
+
+// FuzzRoundTrip builds an envelope of every kind from fuzzed field values
+// and checks decode(encode(env)) == env on both codecs: the v2 bytes must
+// re-encode byte-identically after a decode, and the v1 JSON path must
+// reproduce the envelope the v2 path canonicalized (v2 drops fields its
+// kind layout does not carry, so the v2 decode is the canonical form).
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(int64(-1), int64(3), uint64(7), "doc-1", 2.5, []byte("body"), uint64(3), uint64(9), int64(4), uint64(11), int64(2), false)
+	f.Add(int64(6), int64(0), uint64(0), "d", 0.0, []byte(nil), uint64(0), uint64(42), int64(0), uint64(0), int64(0), true)
+	f.Fuzz(func(t *testing.T, from, to int64, seq uint64, doc string, rate float64, body []byte, docVer, minVer uint64, origin int64, reqID uint64, hops int64, flag bool) {
+		if math.IsNaN(rate) || math.IsInf(rate, 0) {
+			rate = 0 // JSON cannot carry non-finite floats
+		}
+		for code := 1; code < len(codeToKind); code++ {
+			kind := codeToKind[code]
+			env := &Envelope{
+				Kind: kind, From: int(from), To: int(to), Seq: seq,
+				Load: rate, Doc: core.DocID(doc), Rate: math.Abs(rate),
+				Body: body, DocVersion: docVer, MinVersion: minVer,
+				Origin: int(origin), ReqID: reqID, Hops: int(hops), NotFound: flag,
+			}
+			if kind == TypeStatsReply && flag {
+				env.Stats = &Stats{Node: int(from), Served: int64(seq)}
+			}
+			frame, err := AppendFrameV2(nil, env)
+			if err != nil {
+				if errors.Is(err, ErrFrameTooLarge) {
+					continue
+				}
+				t.Fatalf("%s: AppendFrameV2: %v", kind, err)
+			}
+			canon := &Envelope{}
+			if err := DecodePayload(canon, frame[4:], nil); err != nil {
+				t.Fatalf("%s: decode of own v2 encoding failed: %v", kind, err)
+			}
+			re, err := AppendFrameV2(nil, canon)
+			if err != nil {
+				t.Fatalf("%s: re-encode: %v", kind, err)
+			}
+			if !bytes.Equal(frame, re) {
+				t.Fatalf("%s: v2 encoding not stable across a decode:\n first %x\nsecond %x", kind, frame, re)
+			}
+			// JSON leg: marshaling replaces invalid UTF-8 in strings, so
+			// only byte-exact-representable docs make a fair comparison.
+			if !utf8.ValidString(doc) {
+				continue
+			}
+			var jsonBuf bytes.Buffer
+			je := *canon
+			if err := WriteFrame(&jsonBuf, &je); err != nil {
+				t.Fatalf("%s: WriteFrame: %v", kind, err)
+			}
+			fromJSON, err := ReadFrame(&jsonBuf)
+			if err != nil {
+				t.Fatalf("%s: ReadFrame(json): %v", kind, err)
+			}
+			a, b := *fromJSON, *canon
+			a.V, b.V = 0, 0
+			if len(a.Body) == 0 {
+				a.Body = nil
+			}
+			if len(b.Body) == 0 {
+				b.Body = nil
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s: v1 and v2 disagree:\n json %+v\n  v2  %+v", kind, a, b)
+			}
+		}
 	})
 }

@@ -140,6 +140,12 @@ type Envelope struct {
 	// Requests.
 	Origin int    `json:"origin,omitempty"`
 	ReqID  uint64 `json:"req_id,omitempty"`
+	// MinVersion is the oldest document version the requesting session will
+	// accept (read-my-writes session tokens): a node holding an older copy
+	// must bypass it and refresh through the tree instead of serving it.
+	// 0 — the default — accepts any version. Rides request and tunnel_fetch
+	// frames.
+	MinVersion uint64 `json:"min_version,omitempty"`
 	// ServedBy is set on responses: the node that served the request.
 	ServedBy int `json:"served_by,omitempty"`
 	// Hops counts tree edges the request traversed before being served.
@@ -259,6 +265,11 @@ type Stats struct {
 	InvalidationsIn int64 `json:"invalidations_in,omitempty"`
 	StaleDrops      int64 `json:"stale_drops,omitempty"`
 	LeaseRefreshes  int64 `json:"lease_refreshes,omitempty"`
+	// SessionRefreshes counts requests whose session token demanded a newer
+	// version than the local copy held: each bypassed the copy and rode the
+	// subtree lease upward (or parked at the root) instead of being served
+	// stale.
+	SessionRefreshes int64 `json:"session_refreshes,omitempty"`
 }
 
 // FilterStats mirrors router.Stats for the wire.

@@ -704,6 +704,7 @@ func (c *control) snapshot() *netproto.Stats {
 		st.InvalidationsIn += sn.counters.invalidationsIn
 		st.StaleDrops += sn.counters.staleDrops
 		st.LeaseRefreshes += sn.counters.leaseRefreshes
+		st.SessionRefreshes += sn.counters.sessionRefreshes
 		// Snapshot-carried (not a live atomic), so a scrape never reports
 		// more fast serves than the drained Served it sits inside.
 		st.FastServed += sn.counters.fastServed

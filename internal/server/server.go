@@ -311,13 +311,21 @@ type pendingEntry struct {
 	at   time.Time
 	doc  core.DocID
 	hops int
+	// minVer is the forwarded request's session floor, kept so a failover
+	// replay (parentRestored) re-sends the request with the same guarantee
+	// instead of silently dropping it.
+	minVer uint64
 }
 
 // waiter is a request coalesced behind an identical in-flight fetch.
+// minVer is the session's version floor (0 = any): a response older than it
+// must not answer this waiter — the waiter re-arms as a fresh flight
+// instead (refetchUnsatisfied).
 type waiter struct {
 	origin int
 	reqID  uint64
 	conn   transport.Conn
+	minVer uint64
 }
 
 // flight tracks one upstream fetch for an uncached document; concurrent
@@ -655,6 +663,12 @@ func (s *Server) tryFastServe(sh *shard, env *netproto.Envelope, conn transport.
 	}
 	e := (*pm)[env.Doc]
 	if e == nil || e.dead.Load() {
+		return false
+	}
+	if env.MinVersion > e.version {
+		// The session has seen a newer version than this copy: decline
+		// before spending a credit so the queued path can gate the request
+		// upward (sessionGate) instead of serving it stale.
 		return false
 	}
 	if !e.always && e.credits.Add(-1) < 0 {

@@ -1,0 +1,199 @@
+package server
+
+// Single-threaded tests for the session-token gating paths: the fast-path
+// decline, root-side parking (sessionGate / answerParked), the non-root
+// bypass-and-forward branch, and the re-arm of waiters a too-old response
+// could not satisfy (refetchUnsatisfied). The cluster harness exercises the
+// same machinery end to end; these pin the per-branch behavior.
+
+import (
+	"testing"
+	"time"
+
+	"webwave/internal/core"
+	"webwave/internal/netproto"
+	"webwave/internal/transport"
+)
+
+// sinkConn records every envelope sent on it, so single-threaded shard
+// tests can assert exactly which waiters were answered and with what.
+type sinkConn struct{ sent []netproto.Envelope }
+
+func (c *sinkConn) Send(env *netproto.Envelope) error {
+	cp := *env
+	if env.Body != nil {
+		cp.Body = append([]byte(nil), env.Body...)
+	}
+	c.sent = append(c.sent, cp)
+	return nil
+}
+func (c *sinkConn) Recv() (*netproto.Envelope, error) { return nil, transport.ErrClosed }
+func (c *sinkConn) Close() error                      { return nil }
+
+// TestSessionGateParksAtRoot drives the root's shard loop single-threaded:
+// a request whose floor exceeds the high-water mark must park rather than
+// serve stale, each landing write answers exactly the waiters it satisfies,
+// and a floor on a document that was never published escapes to NotFound
+// instead of parking forever.
+func TestSessionGateParksAtRoot(t *testing.T) {
+	s, err := New(Config{
+		ID: 0, Addr: "root", ParentID: -1,
+		Docs:    map[core.DocID][]byte{"d": []byte("v0")},
+		Network: newTestNetwork(), NumShards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := s.shards[0]
+	sh.now = time.Now()
+
+	// The lock-free fast path must decline a floored request rather than
+	// serve the origin copy below the session's version; without a floor
+	// the same copy serves fine.
+	fast := &sinkConn{}
+	if s.tryFastServe(sh, &netproto.Envelope{
+		Kind: netproto.TypeRequest, Doc: "d", Origin: 9, ReqID: 1, MinVersion: 1,
+	}, fast) {
+		t.Fatal("fast path served below the session floor")
+	}
+	if !s.tryFastServe(sh, &netproto.Envelope{
+		Kind: netproto.TypeRequest, Doc: "d", Origin: 9, ReqID: 1,
+	}, fast) {
+		t.Fatal("fast path declined a floor-less request for a published doc")
+	}
+
+	// Queued path: floors above the high-water mark park as flight waiters.
+	c1, c2 := &sinkConn{}, &sinkConn{}
+	sh.handle(event{env: &netproto.Envelope{
+		Kind: netproto.TypeRequest, From: -1, To: 0, Doc: "d", Origin: 9, ReqID: 2, MinVersion: 1,
+	}, conn: c1})
+	sh.handle(event{env: &netproto.Envelope{
+		Kind: netproto.TypeRequest, From: -1, To: 0, Doc: "d", Origin: 9, ReqID: 3, MinVersion: 2,
+	}, conn: c2})
+	if sh.nSessionRefreshes != 2 {
+		t.Fatalf("session refreshes = %d, want 2", sh.nSessionRefreshes)
+	}
+	if fl := sh.inflight["d"]; fl == nil || len(fl.waiters) != 2 {
+		t.Fatalf("parked flight = %+v, want 2 waiters", sh.inflight["d"])
+	}
+	if len(c1.sent) != 0 || len(c2.sent) != 0 {
+		t.Fatal("a parked request was answered before its version landed")
+	}
+
+	// Version 1 lands: the floor-1 waiter is answered from the fresh origin
+	// copy, the floor-2 waiter stays parked for the next write.
+	sh.handle(event{env: &netproto.Envelope{
+		Kind: netproto.TypeRepublish, From: -1, To: 0, Doc: "d", DocVersion: 1, Body: []byte("b1"),
+	}, conn: nopConn{}})
+	if len(c1.sent) != 1 {
+		t.Fatalf("floor-1 waiter got %d responses, want 1", len(c1.sent))
+	}
+	if r := c1.sent[0]; r.Kind != netproto.TypeResponse || r.ReqID != 2 ||
+		r.DocVersion != 1 || string(r.Body) != "b1" || r.NotFound {
+		t.Fatalf("floor-1 response = %+v, want version 1 body b1", r)
+	}
+	if len(c2.sent) != 0 {
+		t.Fatal("floor-2 waiter answered with version 1")
+	}
+
+	// A body-carrying invalidate at the origin is version 2 landing: the
+	// remaining waiter is answered and the flight retires.
+	sh.handle(event{env: &netproto.Envelope{
+		Kind: netproto.TypeInvalidate, From: -1, To: 0, Doc: "d", DocVersion: 2, Body: []byte("b2"),
+	}, conn: nopConn{}})
+	if len(c2.sent) != 1 || c2.sent[0].DocVersion != 2 || string(c2.sent[0].Body) != "b2" {
+		t.Fatalf("floor-2 responses = %+v, want one at version 2", c2.sent)
+	}
+	if sh.inflight["d"] != nil {
+		t.Fatal("flight not retired after all waiters were answered")
+	}
+
+	// A floor on a document the root never published cannot land: the gate
+	// steps aside and the request answers NotFound like any other miss.
+	c3 := &sinkConn{}
+	sh.handle(event{env: &netproto.Envelope{
+		Kind: netproto.TypeRequest, From: -1, To: 0, Doc: "ghost", Origin: 9, ReqID: 4, MinVersion: 3,
+	}, conn: c3})
+	if len(c3.sent) != 1 || !c3.sent[0].NotFound {
+		t.Fatalf("ghost responses = %+v, want one NotFound", c3.sent)
+	}
+}
+
+// TestSessionGateBypassesStaleCopyAndRefetches drives a non-root shard: a
+// floored request must bypass (not drop) the held copy and ride upward, a
+// second floored session coalesces behind the flight, and a response too
+// old for a coalesced floor re-arms it as a fresh flight carrying the
+// group's floor instead of answering it stale.
+func TestSessionGateBypassesStaleCopyAndRefetches(t *testing.T) {
+	s, err := New(Config{
+		ID: 1, Addr: "x", ParentID: 0, ParentAddr: "p",
+		Network: newTestNetwork(), NumShards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := s.shards[0]
+	sh.now = time.Now()
+	if !sh.admit("d", []byte("v1"), 1) {
+		t.Fatal("admit failed")
+	}
+
+	// A floor above the held version bypasses the copy: the body is marked
+	// stale (token-less readers keep being served from it) and the request
+	// travels upward — orphaned here (no parent link), parked for replay
+	// with its floor preserved.
+	lead := &sinkConn{}
+	sh.handle(event{env: &netproto.Envelope{
+		Kind: netproto.TypeRequest, From: -1, To: 1, Doc: "d", Origin: 7, ReqID: 1, MinVersion: 2,
+	}, conn: lead})
+	if sh.nSessionRefreshes != 1 {
+		t.Fatalf("session refreshes = %d, want 1", sh.nSessionRefreshes)
+	}
+	if !sh.staleDocs["d"] {
+		t.Fatal("gate did not mark the bypassed copy stale")
+	}
+	if !s.cache.Contains("d") {
+		t.Fatal("gate dropped the copy instead of marking it stale")
+	}
+	pe, ok := sh.pending[pendingKey{origin: 7, reqID: 1}]
+	if !ok || pe.minVer != 2 {
+		t.Fatalf("pending entry = %+v (%v), want minVer 2 preserved", pe, ok)
+	}
+
+	// A second gated session coalesces behind the flight with its own floor.
+	w2 := &sinkConn{}
+	sh.handle(event{env: &netproto.Envelope{
+		Kind: netproto.TypeRequest, From: -1, To: 1, Doc: "d", Origin: 7, ReqID: 2, MinVersion: 3,
+	}, conn: w2})
+	if fl := sh.inflight["d"]; fl == nil || len(fl.waiters) != 1 || fl.waiters[0].minVer != 3 {
+		t.Fatalf("coalesced flight = %+v, want one waiter with floor 3", sh.inflight["d"])
+	}
+
+	// The response lands at version 2: it routes to the leader and lease-
+	// refreshes the stale copy, but must NOT answer the floor-3 waiter —
+	// that one re-arms as a fresh flight carrying its floor.
+	sh.handle(event{env: &netproto.Envelope{
+		Kind: netproto.TypeResponse, From: 0, To: 1, Doc: "d", Origin: 7, ReqID: 1,
+		DocVersion: 2, Body: []byte("b2"),
+	}, conn: nopConn{}})
+	if len(lead.sent) != 1 || lead.sent[0].DocVersion != 2 {
+		t.Fatalf("leader responses = %+v, want one at version 2", lead.sent)
+	}
+	if len(w2.sent) != 0 {
+		t.Fatal("floor-3 waiter answered with a version-2 body")
+	}
+	if sh.nLeaseRefreshes != 1 || sh.staleDocs["d"] {
+		t.Fatalf("lease refreshes = %d, stale = %v; want the passing response to repair the copy",
+			sh.nLeaseRefreshes, sh.staleDocs["d"])
+	}
+	if body, held := s.cache.Peek("d"); !held || string(body) != "b2" {
+		t.Fatalf("held body = %q (%v) after refresh, want b2", body, held)
+	}
+	if sh.inflight["d"] == nil {
+		t.Fatal("unsatisfied waiter was not re-armed as a fresh flight")
+	}
+	pe, ok = sh.pending[pendingKey{origin: 7, reqID: 2}]
+	if !ok || pe.minVer != 3 {
+		t.Fatalf("re-armed pending entry = %+v (%v), want the group floor 3", pe, ok)
+	}
+}

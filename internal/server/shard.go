@@ -117,6 +117,7 @@ type shardCounters struct {
 	diskHits                           int64
 	republishesIn, invalidationsIn     int64
 	staleDrops, leaseRefreshes         int64
+	sessionRefreshes                   int64
 	reclaimedDuty, absorbedDuty        float64
 }
 
@@ -173,6 +174,7 @@ type shard struct {
 	nDiskHits                        int64
 	nRepublishesIn, nInvalidationsIn int64
 	nStaleDrops, nLeaseRefreshes     int64
+	nSessionRefreshes                int64
 	nReclaimedDuty, nAbsorbedDuty    float64
 
 	// jTargets is the last journaled duty per admitted document (persist.go);
@@ -408,6 +410,7 @@ func (sh *shard) parentRestored() {
 		*fwd = netproto.Envelope{
 			Kind: netproto.TypeRequest, From: sh.s.cfg.ID, To: pl.id,
 			Doc: pe.doc, Origin: key.origin, ReqID: key.reqID, Hops: pe.hops + 1,
+			MinVersion: pe.minVer,
 		}
 		sh.sendOn(pl.conn, fwd)
 		pe.at = sh.now // restart the TTL clock from the replay
@@ -559,14 +562,15 @@ func (sh *shard) publishSnap(fast int64) {
 			served: sh.nServed, forwarded: sh.nForwarded, coalesced: sh.nCoalesced,
 			delegIn: sh.nDelegIn, delegOut: sh.nDelegOut,
 			shedIn: sh.nShedIn, shedOut: sh.nShedOut,
-			evictHintsIn:    sh.nEvictHintsIn,
-			diskHits:        sh.nDiskHits,
-			republishesIn:   sh.nRepublishesIn,
-			invalidationsIn: sh.nInvalidationsIn,
-			staleDrops:      sh.nStaleDrops,
-			leaseRefreshes:  sh.nLeaseRefreshes,
-			fastServed:      fast,
-			reclaimedDuty:   sh.nReclaimedDuty, absorbedDuty: sh.nAbsorbedDuty,
+			evictHintsIn:     sh.nEvictHintsIn,
+			diskHits:         sh.nDiskHits,
+			republishesIn:    sh.nRepublishesIn,
+			invalidationsIn:  sh.nInvalidationsIn,
+			staleDrops:       sh.nStaleDrops,
+			leaseRefreshes:   sh.nLeaseRefreshes,
+			sessionRefreshes: sh.nSessionRefreshes,
+			fastServed:       fast,
+			reclaimedDuty:    sh.nReclaimedDuty, absorbedDuty: sh.nAbsorbedDuty,
 		},
 	}
 	for d, t := range sh.targets {
@@ -785,8 +789,11 @@ func (sh *shard) handle(ev event) {
 	case netproto.TypeTunnelFetch:
 		// Only the home can answer authoritatively. Peek: a tunnel fetch
 		// is a copy transfer, not local demand, so it must not refresh
-		// recency or frequency.
-		if body, ok := sh.s.bodyOf(env.Doc); ok {
+		// recency or frequency. A fetch carrying a session floor newer than
+		// our high-water mark goes unanswered — shipping an older copy
+		// across the barrier would plant exactly the stale body the token
+		// exists to bypass.
+		if body, ok := sh.s.bodyOf(env.Doc); ok && env.MinVersion <= sh.docVer[env.Doc] {
 			sh.sendOn(ev.conn, &netproto.Envelope{
 				Kind: netproto.TypeTunnelReply, From: sh.s.cfg.ID, To: env.From,
 				Doc: env.Doc, Body: body, DocVersion: sh.docVer[env.Doc],
@@ -887,11 +894,52 @@ func (sh *shard) handleRequest(ev event) {
 	// the full demand even when the upstream fetch is shared.
 	sh.flowWindow(env.From, env.Doc).Add(sh.now, 1)
 
+	if env.MinVersion > sh.docVer[env.Doc] && sh.sessionGate(ev) {
+		return
+	}
 	if sh.rt.Classify(env.Doc) == router.Extract || sh.s.isRoot {
 		sh.serveRequest(ev)
 		return
 	}
 	sh.forwardUp(ev)
+}
+
+// sessionGate handles a request whose session token demands a newer version
+// than this shard has seen (MinVersion > docVer): serving the local copy
+// would violate read-my-writes, so the request bypasses it and rides the
+// subtree-lease single-flight upward instead — any held body is marked
+// stale (kept serving token-less readers) so the passing response re-admits
+// the fresh copy through maybeLeaseRefresh, the same repair path
+// invalidation uses. At the root there is no upward edge; the write that
+// minted the token is still in flight toward us, so the request parks as a
+// flight waiter until the version lands (answerParked) or the pending sweep
+// expires it (a token claiming a version that never arrives). Reports
+// whether the request was consumed; false means the token is unsatisfiable
+// here and normal serving should proceed (an unpublished document at the
+// root answers NotFound rather than parking forever).
+func (sh *shard) sessionGate(ev event) bool {
+	env := ev.env
+	if sh.s.isRoot {
+		if _, published := sh.s.bodyOf(env.Doc); !published && sh.docVer[env.Doc] == 0 {
+			return false
+		}
+		sh.nSessionRefreshes++
+		fl := sh.inflight[env.Doc]
+		if fl == nil {
+			fl = &flight{at: sh.now}
+			sh.inflight[env.Doc] = fl
+		}
+		fl.waiters = append(fl.waiters, waiter{
+			origin: env.Origin, reqID: env.ReqID, conn: ev.conn, minVer: env.MinVersion,
+		})
+		return true
+	}
+	sh.nSessionRefreshes++
+	if sh.s.holdsCopy(env.Doc) {
+		sh.staleDocs[env.Doc] = true
+	}
+	sh.forwardUp(ev)
+	return true
 }
 
 // forwardUp relays a request toward the home server, remembering which
@@ -911,7 +959,7 @@ func (sh *shard) forwardUp(ev event) {
 	env := ev.env
 	fl := sh.inflight[env.Doc]
 	if fl != nil && sh.now.Sub(fl.at) < sh.flightRetry {
-		fl.waiters = append(fl.waiters, waiter{origin: env.Origin, reqID: env.ReqID, conn: ev.conn})
+		fl.waiters = append(fl.waiters, waiter{origin: env.Origin, reqID: env.ReqID, conn: ev.conn, minVer: env.MinVersion})
 		sh.nCoalesced++
 		return
 	}
@@ -922,7 +970,7 @@ func (sh *shard) forwardUp(ev event) {
 	fl.at = sh.now
 	sh.nForwarded++
 	key := pendingKey{origin: env.Origin, reqID: env.ReqID}
-	sh.pending[key] = pendingEntry{conn: ev.conn, at: sh.now, doc: env.Doc, hops: env.Hops}
+	sh.pending[key] = pendingEntry{conn: ev.conn, at: sh.now, doc: env.Doc, hops: env.Hops, minVer: env.MinVersion}
 	pl := sh.s.parentLink()
 	if pl == nil {
 		return // orphaned: queued for replay
@@ -937,13 +985,21 @@ func (sh *shard) forwardUp(ev event) {
 }
 
 // answerWaiters fans a response out to every request coalesced behind the
-// fetch that produced it.
+// fetch that produced it. Waiters whose session floor exceeds the
+// response's version must not be answered with it (a token-less leader's
+// fetch can resolve to a copy older than what a coalesced session has
+// already seen); they re-arm as a fresh flight instead.
 func (sh *shard) answerWaiters(fl *flight, resp *netproto.Envelope) {
 	if len(fl.waiters) == 0 {
 		return
 	}
+	var unsatisfied []waiter
 	out := netproto.GetEnvelope()
 	for _, w := range fl.waiters {
+		if w.minVer > resp.DocVersion && !resp.NotFound {
+			unsatisfied = append(unsatisfied, w)
+			continue
+		}
 		*out = netproto.Envelope{
 			Kind: netproto.TypeResponse, From: sh.s.cfg.ID, To: w.origin,
 			Doc: resp.Doc, Origin: w.origin, ReqID: w.reqID,
@@ -954,6 +1010,45 @@ func (sh *shard) answerWaiters(fl *flight, resp *netproto.Envelope) {
 		sh.sendOn(w.conn, out)
 	}
 	netproto.PutEnvelope(out)
+	if len(unsatisfied) > 0 {
+		sh.refetchUnsatisfied(resp.Doc, unsatisfied)
+	}
+}
+
+// refetchUnsatisfied re-arms session waiters a too-old response could not
+// answer: they become a fresh flight whose first waiter leads a new fetch
+// upward carrying the group's highest version floor — ancestors gate on it
+// recursively, so the routed response is guaranteed to satisfy everyone
+// left behind it. At the root there is nowhere to forward; the group stays
+// parked until the claimed write lands (answerParked) or the sweep expires
+// the flight.
+func (sh *shard) refetchUnsatisfied(doc core.DocID, ws []waiter) {
+	fl := &flight{at: sh.now, waiters: ws}
+	sh.inflight[doc] = fl
+	if sh.s.isRoot {
+		return
+	}
+	lead := ws[0]
+	fl.waiters = ws[1:]
+	var maxVer uint64
+	for _, w := range ws {
+		if w.minVer > maxVer {
+			maxVer = w.minVer
+		}
+	}
+	sh.nForwarded++
+	sh.pending[pendingKey{origin: lead.origin, reqID: lead.reqID}] = pendingEntry{conn: lead.conn, at: sh.now, doc: doc, minVer: maxVer}
+	pl := sh.s.parentLink()
+	if pl == nil {
+		return // orphaned: replayed by parentRestored
+	}
+	fwd := netproto.GetEnvelope()
+	*fwd = netproto.Envelope{
+		Kind: netproto.TypeRequest, From: sh.s.cfg.ID, To: pl.id,
+		Doc: doc, Origin: lead.origin, ReqID: lead.reqID, MinVersion: maxVer,
+	}
+	sh.sendOn(pl.conn, fwd)
+	netproto.PutEnvelope(fwd)
 }
 
 // admit caches a document copy under the byte budget and wires the

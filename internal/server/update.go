@@ -52,6 +52,7 @@ func (sh *shard) handleRepublish(env *netproto.Envelope) {
 	switch {
 	case sh.s.isRoot:
 		sh.originWrite(doc, body, ver)
+		sh.answerParked(doc)
 	case sh.s.holdsCopy(doc):
 		if body == nil || !sh.refreshCopy(doc, body, ver) {
 			// No body to install (or neither tier kept it): degrade to an
@@ -77,6 +78,9 @@ func (sh *shard) handleInvalidate(env *netproto.Envelope) {
 		sh.originWrite(doc, env.Body, ver)
 	} else {
 		sh.invalidateLocal(doc)
+	}
+	if sh.s.isRoot {
+		sh.answerParked(doc)
 	}
 	sh.diffuseDown(doc, ver, nil)
 }
@@ -181,6 +185,47 @@ func (sh *shard) maybeLeaseRefresh(env *netproto.Envelope) {
 		sh.nLeaseRefreshes++
 		sh.refreshCredit(env.Doc)
 	}
+}
+
+// answerParked serves session requests parked at the root (sessionGate) for
+// a version that just arrived: once the high-water mark satisfies a
+// waiter's floor it is answered from the pinned origin copy — the origin is
+// never stale relative to itself, so the copy is stamped at docVer exactly
+// like serveRequest does. Waiters demanding a still-newer version stay
+// parked for the next write (or the sweep's expiry).
+func (sh *shard) answerParked(doc core.DocID) {
+	fl := sh.inflight[doc]
+	if fl == nil || len(fl.waiters) == 0 {
+		return
+	}
+	body, ok := sh.s.bodyOf(doc)
+	if !ok {
+		return
+	}
+	ver := sh.docVer[doc]
+	var kept []waiter
+	out := netproto.GetEnvelope()
+	for _, w := range fl.waiters {
+		if w.minVer > ver {
+			kept = append(kept, w)
+			continue
+		}
+		sh.nServed++
+		sh.totalServed.Add(sh.now, 1)
+		sh.servedWindow(doc).Add(sh.now, 1)
+		*out = netproto.Envelope{
+			Kind: netproto.TypeResponse, From: sh.s.cfg.ID, To: w.origin,
+			Doc: doc, Origin: w.origin, ReqID: w.reqID,
+			ServedBy: sh.s.cfg.ID, Body: body, DocVersion: ver,
+		}
+		sh.sendOn(w.conn, out)
+	}
+	netproto.PutEnvelope(out)
+	if len(kept) == 0 {
+		delete(sh.inflight, doc)
+		return
+	}
+	fl.waiters = kept
 }
 
 // journalVersion records the held copy's version, deduplicated per

@@ -1,0 +1,60 @@
+package workload
+
+import "testing"
+
+// TestSessionRunSmall smoke-tests the session runner end to end on a small
+// star: both arms answer every read, the token arm holds the read-my-writes
+// guarantee absolutely, the bare arm of the identical schedule shows the
+// violations the tokens eliminate, and the server-side gate actually fires.
+// The zero check is NOT loosened for CI noise — the guarantee is the
+// product; the calibrated two-sided gate lives in benchgate against the
+// committed baseline.
+func TestSessionRunSmall(t *testing.T) {
+	rep, err := RunSession(SessionSpec{
+		Seed: 1, Subtrees: 2, LeavesPer: 2, Docs: 2, Rounds: 8, ReadsPerWrite: 3,
+	}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != SessionSchema || rep.Scenario != "session" {
+		t.Fatalf("bad report identity: %q %q", rep.Schema, rep.Scenario)
+	}
+	if rep.Nodes != 7 {
+		t.Fatalf("nodes = %d, want 7 for a 2x2 star", rep.Nodes)
+	}
+	for arm, pass := range map[string]SessionPass{
+		"with tokens": rep.WithTokens, "without tokens": rep.WithoutTokens,
+	} {
+		if pass.Writes != 8 || pass.Reads != 24 {
+			t.Errorf("%s: %d writes, %d reads; want 8 and 24", arm, pass.Writes, pass.Reads)
+		}
+		if pass.Unanswered != 0 {
+			t.Errorf("%s: %d session reads unanswered", arm, pass.Unanswered)
+		}
+		if pass.Responses != pass.Reads {
+			t.Errorf("%s: %d responses to %d reads", arm, pass.Responses, pass.Reads)
+		}
+	}
+	if rep.WithTokens.Violations != 0 {
+		t.Errorf("with tokens: %d read-my-writes violations, want exactly 0",
+			rep.WithTokens.Violations)
+	}
+	if rep.WithoutTokens.Violations == 0 {
+		t.Error("without tokens: 0 violations — the schedule provoked no races, " +
+			"so the token arm's zero proves nothing")
+	}
+	if rep.WithoutTokens.ViolationWindows < 1 ||
+		rep.WithoutTokens.ViolationWindows > int64(rep.Spec.Rounds) {
+		t.Errorf("violation windows %d out of range [1, %d]",
+			rep.WithoutTokens.ViolationWindows, rep.Spec.Rounds)
+	}
+	if rep.WithTokens.SessionRefreshes < 1 {
+		t.Errorf("session refreshes %d: the server-side gate never fired",
+			rep.WithTokens.SessionRefreshes)
+	}
+	// The bare arm carries no floors on the wire, so nothing should gate.
+	if rep.WithoutTokens.SessionRefreshes != 0 {
+		t.Errorf("without tokens: %d session refreshes on a token-less wire",
+			rep.WithoutTokens.SessionRefreshes)
+	}
+}

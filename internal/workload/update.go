@@ -373,13 +373,20 @@ type StormReport struct {
 // stormTree builds the two-level star: root 0, Subtrees interior children,
 // LeavesPer leaves under each.
 func stormTree(sp StormSpec) (*tree.Tree, []int) {
+	return starTree(sp.Subtrees, sp.LeavesPer)
+}
+
+// starTree builds a two-level star (root, subtrees interior children,
+// leavesPer leaves under each) and returns the tree plus its leaves in
+// subtree-major order: leaves[s*leavesPer+l] is leaf l of subtree s.
+func starTree(subtrees, leavesPer int) (*tree.Tree, []int) {
 	parents := []int{tree.NoParent}
-	for s := 0; s < sp.Subtrees; s++ {
+	for s := 0; s < subtrees; s++ {
 		parents = append(parents, 0)
 	}
 	var leaves []int
-	for s := 0; s < sp.Subtrees; s++ {
-		for l := 0; l < sp.LeavesPer; l++ {
+	for s := 0; s < subtrees; s++ {
+		for l := 0; l < leavesPer; l++ {
 			leaves = append(leaves, len(parents))
 			parents = append(parents, 1+s)
 		}
